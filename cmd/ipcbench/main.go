@@ -1,0 +1,72 @@
+// Command ipcbench regenerates the paper's tables and figures from the
+// discrete-event reproduction (and the live-runtime ablations).
+//
+// Usage:
+//
+//	ipcbench                    # run every experiment
+//	ipcbench -exp fig2          # run one experiment
+//	ipcbench -exp fig11 -msgs 5000
+//	ipcbench -list              # list experiment ids
+//	ipcbench -quick             # faster, lower-precision sweeps
+//	ipcbench -records           # also dump the flat record map
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ulipc/internal/experiment"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id to run (default: all)")
+		msgs    = flag.Int("msgs", 0, "requests per client (0 = experiment default)")
+		quick   = flag.Bool("quick", false, "faster, lower-precision sweeps")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		records = flag.Bool("records", false, "also print the machine-readable record map")
+		format  = flag.String("format", "text", "output format: text (tables + ASCII plots) or md (Markdown tables)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiment.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := experiment.Options{Msgs: *msgs, Quick: *quick}
+	var toRun []experiment.Experiment
+	if *exp == "" {
+		toRun = experiment.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := experiment.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ipcbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			toRun = append(toRun, e)
+		}
+	}
+
+	for _, e := range toRun {
+		rep, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ipcbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *format == "md" {
+			rep.RenderMarkdown(os.Stdout)
+		} else {
+			rep.Render(os.Stdout)
+		}
+		if *records {
+			rep.RenderRecords(os.Stdout)
+			fmt.Println()
+		}
+	}
+}

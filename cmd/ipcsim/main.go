@@ -1,0 +1,141 @@
+// Command ipcsim runs a single client/server configuration on the
+// discrete-event kernel and reports throughput, round-trip time, and the
+// per-process counters (context switches, yields, semaphore traffic) the
+// paper's analysis relies on. With -trace it also prints the scheduler
+// event time-line.
+//
+// Examples:
+//
+//	ipcsim -machine sgi -alg BSS -clients 3 -msgs 1000
+//	ipcsim -machine linux -policy linuxmod -alg BSWY -handoff
+//	ipcsim -machine challenge -alg BSLS -maxspin 2 -clients 6
+//	ipcsim -machine sgi -alg BSW -clients 1 -msgs 3 -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ulipc/internal/core"
+	"ulipc/internal/machine"
+	"ulipc/internal/trace"
+	"ulipc/internal/workload"
+)
+
+func main() {
+	var (
+		machineName = flag.String("machine", "sgi", "machine model: sgi, ibm, challenge, linux")
+		policy      = flag.String("policy", "", "scheduler policy: degrading (default), fixed, linux10, linuxmod")
+		algName     = flag.String("alg", "BSS", "protocol: BSS, BSW, BSWY, BSLS (or 'sysv' for the baseline)")
+		clients     = flag.Int("clients", 1, "number of client processes")
+		msgs        = flag.Int("msgs", 1000, "requests per client")
+		maxSpin     = flag.Int("maxspin", core.DefaultMaxSpin, "BSLS MAX_SPIN")
+		queueCap    = flag.Int("queuecap", 64, "shared queue capacity")
+		handoff     = flag.Bool("handoff", false, "use the handoff(pid) extension")
+		throttle    = flag.Int("throttle", 0, "server wake throttle (0 = unlimited)")
+		serverWork  = flag.Int64("work", 0, "server-side processing per request, microseconds")
+		think       = flag.Int64("think", 0, "client think time between requests, microseconds")
+		background  = flag.Int("bg", 0, "CPU-bound background processes (multiprogramming)")
+		duplex      = flag.Bool("duplex", false, "thread-per-client architecture (duplex queue pair per client)")
+		workers     = flag.Int("workers", 1, "server worker pool size (>1: shared queue, counted-waiters wakes)")
+		traceEvents = flag.Int("trace", 0, "print the first N scheduler events (0 = no trace)")
+	)
+	flag.Parse()
+
+	m, ok := machine.ByName(*machineName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ipcsim: unknown machine %q\n", *machineName)
+		os.Exit(2)
+	}
+	cfg := workload.Config{
+		Machine:     m,
+		Policy:      *policy,
+		Clients:     *clients,
+		Msgs:        *msgs,
+		MaxSpin:     *maxSpin,
+		QueueCap:    *queueCap,
+		Handoff:     *handoff,
+		Throttle:    *throttle,
+		ServerWork:  *serverWork * 1000,
+		ClientThink: *think * 1000,
+		Background:  *background,
+	}
+	if *workers > 1 {
+		cfg.ServerWorkers = *workers
+	}
+	var rec *trace.Recorder
+	if *traceEvents > 0 {
+		rec = &trace.Recorder{Max: *traceEvents}
+		cfg.Trace = rec.Fn()
+	}
+	if *duplex {
+		cfg.Arch = workload.ArchThreadPerClient
+	}
+	if *algName == "sysv" || *algName == "SYSV" {
+		cfg.Transport = workload.TransportSysV
+	} else {
+		alg, err := core.AlgorithmByName(*algName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipcsim:", err)
+			os.Exit(2)
+		}
+		cfg.Alg = alg
+	}
+
+	res, err := workload.RunSim(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipcsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("machine   %s, policy %s\n", m, flagOr(*policy, "degrading"))
+	fmt.Printf("workload  %d client(s) x %d msgs, arch %s, transport %s", *clients, *msgs, cfg.Arch, cfg.Transport)
+	if cfg.Transport == workload.TransportULIPC {
+		fmt.Printf("/%s", cfg.Alg)
+		if cfg.Alg == core.BSLS {
+			fmt.Printf(" (MAX_SPIN=%d)", *maxSpin)
+		}
+	}
+	fmt.Println()
+	fmt.Printf("result    %.2f messages/ms, %.1f us mean round trip, %.3f ms elapsed\n",
+		res.Throughput, res.RTTMicros, float64(res.Duration)/1e6)
+	fmt.Println()
+	fmt.Println("per-process counters:")
+	fmt.Printf("  %-8s vcs=%-7d ivcs=%-5d yields=%-7d P=%-7d V=%-7d blocks=%-7d sleeps=%d\n",
+		"server", res.Server.VoluntaryCS, res.Server.InvoluntaryCS, res.Server.Yields,
+		res.Server.SemP, res.Server.SemV, res.Server.Blocks, res.Server.Sleeps)
+	fmt.Printf("  %-8s vcs=%-7d ivcs=%-5d yields=%-7d P=%-7d V=%-7d blocks=%-7d sleeps=%d\n",
+		"clients", res.Clients.VoluntaryCS, res.Clients.InvoluntaryCS, res.Clients.Yields,
+		res.Clients.SemP, res.Clients.SemV, res.Clients.Blocks, res.Clients.Sleeps)
+	if res.Clients.SpinLoops > 0 {
+		fmt.Printf("  spin loops: %.1f%% fall-through, %.1f iterations on average\n",
+			float64(res.Clients.SpinFallThrus)/float64(res.Clients.SpinLoops)*100,
+			float64(res.Clients.SpinIters)/float64(res.Clients.SpinLoops))
+	}
+	fmt.Printf("  yields per message: client %.2f, server %.2f\n",
+		res.Clients.YieldsPerMsg(),
+		perMsg(res.Server.Yields, res.Server.MsgsReceived))
+	if *background > 0 {
+		fmt.Printf("  background: %d process(es), CPU share %.2f during the measurement\n",
+			*background, res.BackgroundCPUShare())
+	}
+	if rec != nil {
+		fmt.Printf("\nfirst %d scheduler events:\n", len(rec.Events))
+		rec.Render(os.Stdout)
+	}
+}
+
+func perMsg(v, msgs int64) float64 {
+	if msgs == 0 {
+		return 0
+	}
+	return float64(v) / float64(msgs)
+}
+
+func flagOr(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
+}

@@ -1,0 +1,46 @@
+// Quickstart: one client, one echo server, the BSLS protocol — the
+// smallest complete use of the ulipc public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ulipc"
+)
+
+func main() {
+	// A System owns the shared state: the server's receive queue and one
+	// reply queue per client, each with an awake flag and a counting
+	// semaphore — the layout of the paper's shared-memory segment.
+	sys, err := ulipc.NewSystem(ulipc.Options{
+		Alg:     ulipc.BSLS, // poll a bounded number of times, then sleep
+		MaxSpin: ulipc.DefaultMaxSpin,
+		Clients: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The server is a single-threaded Receive/Reply loop. Serve echoes
+	// requests until every connected client has disconnected.
+	srv := sys.Server()
+	done := make(chan int64, 1)
+	go func() { done <- srv.Serve(nil) }()
+
+	cl, err := sys.Client(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Connect, make a few synchronous calls, disconnect.
+	cl.Send(ulipc.Msg{Op: ulipc.OpConnect})
+	for i := 0; i < 5; i++ {
+		req := ulipc.Msg{Op: ulipc.OpEcho, Seq: int32(i), Val: float64(i) * 1.5}
+		ans := cl.Send(req)
+		fmt.Printf("request %d: sent val=%.1f, got val=%.1f\n", i, req.Val, ans.Val)
+	}
+	cl.Send(ulipc.Msg{Op: ulipc.OpDisconnect})
+
+	fmt.Printf("server echoed %d messages\n", <-done)
+}

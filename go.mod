@@ -1,0 +1,3 @@
+module ulipc
+
+go 1.22

@@ -1,0 +1,245 @@
+// Package chart renders the experiment results as text tables and ASCII
+// line charts, so every figure of the paper can be regenerated in a
+// terminal.
+package chart
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, cols)
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		sep := make([]string, cols)
+		for i := range sep {
+			sep[i] = strings.Repeat("-", widths[i])
+		}
+		writeRow(sep)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is one named curve of a plot.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Plot is a multi-series line chart over a shared X axis.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+}
+
+// markers distinguish series in the ASCII rendering.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the plot as ASCII art of the given size (sensible
+// defaults are used for non-positive width/height).
+func (p *Plot) Render(w io.Writer, width, height int) {
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+	if len(p.X) == 0 || len(p.Series) == 0 {
+		fmt.Fprintf(w, "%s: (no data)\n", p.Title)
+		return
+	}
+
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for _, v := range s.Y {
+			if math.IsNaN(v) {
+				continue
+			}
+			ymin = math.Min(ymin, v)
+			ymax = math.Max(ymax, v)
+		}
+	}
+	if math.IsInf(ymin, 1) {
+		fmt.Fprintf(w, "%s: (no data)\n", p.Title)
+		return
+	}
+	if ymin > 0 && ymin < ymax/2 {
+		ymin = 0 // throughput plots read better anchored at zero
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	xmin, xmax := p.X[0], p.X[len(p.X)-1]
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	plotPoint := func(x, y float64, mark byte) {
+		cx := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		cy := int(math.Round((y - ymin) / (ymax - ymin) * float64(height-1)))
+		row := height - 1 - cy
+		if row < 0 || row >= height || cx < 0 || cx >= width {
+			return
+		}
+		grid[row][cx] = mark
+	}
+	for si, s := range p.Series {
+		mark := markers[si%len(markers)]
+		for i, v := range s.Y {
+			if i >= len(p.X) || math.IsNaN(v) {
+				continue
+			}
+			plotPoint(p.X[i], v, mark)
+			// Linear interpolation towards the next point for a line-ish look.
+			if i+1 < len(s.Y) && i+1 < len(p.X) && !math.IsNaN(s.Y[i+1]) {
+				steps := 8
+				for k := 1; k < steps; k++ {
+					f := float64(k) / float64(steps)
+					plotPoint(p.X[i]+(p.X[i+1]-p.X[i])*f, v+(s.Y[i+1]-v)*f, '.')
+				}
+			}
+		}
+	}
+	// Re-stamp markers over interpolation dots.
+	for si, s := range p.Series {
+		mark := markers[si%len(markers)]
+		for i, v := range s.Y {
+			if i < len(p.X) && !math.IsNaN(v) {
+				plotPoint(p.X[i], v, mark)
+			}
+		}
+	}
+
+	if p.Title != "" {
+		fmt.Fprintf(w, "%s\n", p.Title)
+	}
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.1f", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%8.1f", ymin)
+		case height / 2:
+			label = fmt.Sprintf("%8.1f", (ymax+ymin)/2)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s  %-8.3g%s%8.3g\n", strings.Repeat(" ", 8), xmin,
+		strings.Repeat(" ", max(1, width-16)), xmax)
+	if p.YLabel != "" || p.XLabel != "" {
+		fmt.Fprintf(w, "          y: %s, x: %s\n", p.YLabel, p.XLabel)
+	}
+	for si, s := range p.Series {
+		fmt.Fprintf(w, "          %c %s\n", markers[si%len(markers)], s.Name)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RenderMarkdown writes the table as GitHub-flavoured Markdown, so
+// experiment output can be pasted into EXPERIMENTS.md verbatim.
+func (t *Table) RenderMarkdown(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "**%s**\n\n", t.Title)
+	}
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	if cols == 0 {
+		return
+	}
+	row := func(cells []string) {
+		fmt.Fprint(w, "|")
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(w, " %s |", strings.ReplaceAll(c, "|", "\\|"))
+		}
+		fmt.Fprintln(w)
+	}
+	row(t.Headers)
+	sep := make([]string, cols)
+	for i := range sep {
+		sep[i] = "---"
+	}
+	row(sep)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,126 @@
+package chart
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		Headers: []string{"name", "value"},
+	}
+	tbl.AddRow("short", "1.00")
+	tbl.AddRow("much-longer-name", "2.50")
+	var sb strings.Builder
+	tbl.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"demo", "name", "value", "short", "much-longer-name", "2.50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: 'value' header and both values start at the same
+	// offset.
+	h := strings.Index(lines[1], "value")
+	r1 := strings.Index(lines[3], "1.00")
+	r2 := strings.Index(lines[4], "2.50")
+	if h != r1 || r1 != r2 {
+		t.Errorf("columns misaligned: %d %d %d\n%s", h, r1, r2, out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tbl := &Table{Headers: []string{"a"}}
+	tbl.AddRow("x", "extra")
+	var sb strings.Builder
+	tbl.Render(&sb) // must not panic
+	if !strings.Contains(sb.String(), "extra") {
+		t.Error("extra cell dropped")
+	}
+}
+
+func TestPlotRenderContainsMarkers(t *testing.T) {
+	p := &Plot{
+		Title:  "throughput",
+		XLabel: "clients",
+		YLabel: "msg/ms",
+		X:      []float64{1, 2, 3},
+		Series: []Series{
+			{Name: "BSS", Y: []float64{1, 2, 3}},
+			{Name: "SYSV", Y: []float64{1, 1, 1}},
+		},
+	}
+	var sb strings.Builder
+	p.Render(&sb, 40, 10)
+	out := sb.String()
+	for _, want := range []string{"throughput", "*", "o", "BSS", "SYSV", "clients", "msg/ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotEmptyData(t *testing.T) {
+	var sb strings.Builder
+	(&Plot{Title: "empty"}).Render(&sb, 40, 10)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Errorf("empty plot output: %q", sb.String())
+	}
+
+	sb.Reset()
+	(&Plot{Title: "nan", X: []float64{1}, Series: []Series{{Name: "s", Y: nil}}}).Render(&sb, 40, 10)
+	if sb.Len() == 0 {
+		t.Error("nan plot produced nothing")
+	}
+}
+
+func TestPlotFlatSeries(t *testing.T) {
+	p := &Plot{
+		X:      []float64{1, 2},
+		Series: []Series{{Name: "flat", Y: []float64{5, 5}}},
+	}
+	var sb strings.Builder
+	p.Render(&sb, 30, 8) // must not divide by zero
+	if !strings.Contains(sb.String(), "*") {
+		t.Error("flat series not drawn")
+	}
+}
+
+func TestPlotDefaultSize(t *testing.T) {
+	p := &Plot{X: []float64{0, 1}, Series: []Series{{Name: "s", Y: []float64{0, 1}}}}
+	var sb strings.Builder
+	p.Render(&sb, 0, 0)
+	if sb.Len() == 0 {
+		t.Error("default-size plot empty")
+	}
+}
+
+func TestPad(t *testing.T) {
+	if pad("ab", 4) != "ab  " {
+		t.Errorf("pad = %q", pad("ab", 4))
+	}
+	if pad("abcd", 2) != "abcd" {
+		t.Errorf("pad = %q", pad("abcd", 2))
+	}
+}
+
+func TestTableRenderMarkdown(t *testing.T) {
+	tbl := &Table{Title: "demo", Headers: []string{"a", "b"}}
+	tbl.AddRow("1", "x|y")
+	var sb strings.Builder
+	tbl.RenderMarkdown(&sb)
+	out := sb.String()
+	for _, want := range []string{"**demo**", "| a | b |", "| --- | --- |", "x\\|y"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	var empty strings.Builder
+	(&Table{}).RenderMarkdown(&empty) // must not panic
+}

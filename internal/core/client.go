@@ -1,0 +1,150 @@
+package core
+
+import "ulipc/internal/metrics"
+
+// Handoff targets understood by Actor.Handoff, mirroring the paper's
+// proposed system call interface (Section 6).
+const (
+	HandoffSelf = -1 // same semantics as yield
+	HandoffAny  = -2 // deschedule caller; run any other ready process
+)
+
+// Client is the client side of a Send/Receive/Reply connection: it
+// enqueues requests on the server's receive queue and dequeues responses
+// from its own reply queue.
+type Client struct {
+	ID      int32     // reply-channel number carried in every request
+	Alg     Algorithm // sleep/wake-up protocol
+	MaxSpin int       // BSLS MAX_SPIN (DefaultMaxSpin if zero)
+	Srv     Port      // enqueue endpoint of the server's receive queue
+	Rcv     Port      // dequeue endpoint of this client's reply queue
+	A       Actor
+	M       *metrics.Proc // optional spin-loop statistics
+
+	// UseHandoff enables the Section 6 extension: hand-off hints replace
+	// plain busy_wait/yield on the critical path. HandoffTarget is the
+	// server's pid.
+	UseHandoff    bool
+	HandoffTarget int
+}
+
+func (c *Client) maxSpin() int {
+	if c.MaxSpin <= 0 {
+		return DefaultMaxSpin
+	}
+	return c.MaxSpin
+}
+
+// tryHandoff is the "try to handoff" hint: the handoff syscall when
+// enabled, otherwise the portable busy_wait (yield on a uniprocessor,
+// delay loop on a multiprocessor).
+func (c *Client) tryHandoff() {
+	if c.M != nil {
+		c.M.BusyWaits.Add(1)
+	}
+	if c.UseHandoff {
+		c.A.Handoff(c.HandoffTarget)
+		return
+	}
+	c.A.BusyWait()
+}
+
+// Send performs a synchronous request/response exchange using the
+// configured protocol and returns the server's reply.
+func (c *Client) Send(m Msg) Msg {
+	m.Client = c.ID
+	if c.M != nil {
+		defer c.M.MsgsSent.Add(1)
+	}
+	switch c.Alg {
+	case BSS:
+		return c.sendBSS(m)
+	case BSW:
+		return c.sendBSW(m)
+	case BSWY:
+		return c.sendBSWY(m)
+	case BSLS:
+		return c.sendBSLS(m)
+	}
+	panic("core: unknown algorithm")
+}
+
+// sendBSS is Figure 1: busy-wait on both the full and the empty
+// condition.
+func (c *Client) sendBSS(m Msg) Msg {
+	busySpinUntil(c.A, func() bool { return c.Srv.TryEnqueue(m) })
+	var ans Msg
+	busySpinUntil(c.A, func() bool {
+		var ok bool
+		ans, ok = c.Rcv.TryDequeue()
+		return ok
+	})
+	return ans
+}
+
+// sendBSW is Figure 5: wake the server if its awake flag is clear, then
+// sleep on the reply semaphore via the raced-checked consumer wait.
+func (c *Client) sendBSW(m Msg) Msg {
+	enqueueOrSleep(c.Srv, c.A, m)
+	wakeConsumer(c.Srv, c.A)
+	return consumerWait(c.Rcv, c.A, nil)
+}
+
+// sendBSWY is Figure 7: BSW plus busy_wait calls that suggest hand-off
+// scheduling — one right after waking the server ("and let it run") and
+// one at the top of each wait iteration ("try to handoff").
+func (c *Client) sendBSWY(m Msg) Msg {
+	enqueueOrSleep(c.Srv, c.A, m)
+	if !c.Srv.TASAwake() {
+		c.A.V(c.Srv.Sem())
+		c.tryHandoff()
+	}
+	return consumerWait(c.Rcv, c.A, c.tryHandoff)
+}
+
+// sendBSLS is Figure 9: poll the reply queue up to MAX_SPIN times before
+// entering the blocking path.
+func (c *Client) sendBSLS(m Msg) Msg {
+	enqueueOrSleep(c.Srv, c.A, m)
+	wakeConsumer(c.Srv, c.A)
+	spinPoll(c.Rcv, c.A, c.maxSpin(), c.M)
+	return consumerWait(c.Rcv, c.A, c.tryHandoff)
+}
+
+// SendAsync enqueues a request and wakes the server without waiting for
+// a reply — the asynchronous IPC mode the paper's introduction motivates
+// (a client can enqueue multiple requests and the server can drain them
+// all without any kernel involvement).
+func (c *Client) SendAsync(m Msg) {
+	m.Client = c.ID
+	enqueueOrSleep(c.Srv, c.A, m)
+	if c.Alg != BSS {
+		wakeConsumer(c.Srv, c.A)
+	}
+	if c.M != nil {
+		c.M.MsgsSent.Add(1)
+	}
+}
+
+// RecvReply collects one reply for a previous SendAsync, blocking
+// according to the configured protocol.
+func (c *Client) RecvReply() Msg {
+	switch c.Alg {
+	case BSS:
+		var ans Msg
+		busySpinUntil(c.A, func() bool {
+			var ok bool
+			ans, ok = c.Rcv.TryDequeue()
+			return ok
+		})
+		return ans
+	case BSW:
+		return consumerWait(c.Rcv, c.A, nil)
+	case BSWY:
+		return consumerWait(c.Rcv, c.A, c.tryHandoff)
+	case BSLS:
+		spinPoll(c.Rcv, c.A, c.maxSpin(), c.M)
+		return consumerWait(c.Rcv, c.A, c.tryHandoff)
+	}
+	panic("core: unknown algorithm")
+}

@@ -1,0 +1,152 @@
+// Package core implements the paper's contribution: a Send/Receive/Reply
+// user-level IPC interface layered over shared-memory FIFO queues, with
+// four sleep/wake-up protocols:
+//
+//   - BSS  — Both Sides Spin (Figure 1): busy-wait on empty/full queues.
+//   - BSW  — Both Sides Wait (Figure 5): counting semaphores plus a
+//     per-queue awake flag, with test-and-set closing the wake-up races
+//     of Figure 4.
+//   - BSWY — Both Sides Wait and Yield (Figure 7): BSW plus
+//     busy_wait/yield calls that suggest hand-off scheduling.
+//   - BSLS — Both Sides Limited Spin (Figure 9): poll the queue up to
+//     MAX_SPIN times before entering the blocking path.
+//
+// The algorithms are written once against two small interfaces: Port
+// (one endpoint of a shared queue plus its consumer's wake state) and
+// Actor (the process's system-call surface). internal/simbind binds them
+// to the discrete-event kernel for the paper's experiments;
+// internal/livebind binds them to real atomics and goroutines for use as
+// a library.
+package core
+
+import "fmt"
+
+// Msg is the fixed-size message the paper's evaluation exchanges: an
+// opcode identifying the request type, the reply channel on which to
+// return the result, and a double-precision argument. Fixed-size messages
+// permit efficient free-pool management; variable-sized payloads hang off
+// a shared-memory pointer carried in Val (Section 2.1).
+type Msg struct {
+	Op     int32
+	Client int32
+	Seq    int32
+	Val    float64
+}
+
+// Operation codes used by the client/server harness.
+const (
+	OpEcho       int32 = iota // echo Val back to the client
+	OpConnect                 // client announces itself
+	OpDisconnect              // client is done
+	OpWork                    // echo after simulated server-side work
+)
+
+// SemID names the counting semaphore associated with a queue's consumer.
+type SemID int
+
+// Port is one process's endpoint view of a shared one-way queue together
+// with the consumer-side wake state (the awake flag and the counting
+// semaphore the consumer sleeps on).
+type Port interface {
+	// TryEnqueue attempts to append m; it reports false if the queue
+	// (i.e. the shared free pool) is full.
+	TryEnqueue(m Msg) bool
+
+	// TryDequeue attempts to remove the head message.
+	TryDequeue() (Msg, bool)
+
+	// Empty is the non-destructive poll used by the BSLS spin loop.
+	Empty() bool
+
+	// SetAwake plainly stores the consumer's awake flag (steps C.2/C.5).
+	SetAwake(v bool)
+
+	// TASAwake atomically test-and-sets the awake flag to true and
+	// returns the previous value. Producers use it so that only the
+	// first to find the flag clear issues the wake-up; consumers use it
+	// to detect a redundant pending wake-up (the Figure 4 race fixes).
+	TASAwake() bool
+
+	// Sem identifies the counting semaphore the consumer sleeps on.
+	Sem() SemID
+}
+
+// Actor is the system-call surface a protocol participant uses. The
+// uniprocessor/multiprocessor split of busy_wait (yield vs delay loop)
+// lives behind this interface, so protocol code ports transparently
+// (Section 4.1).
+type Actor interface {
+	// Yield performs a yield() system call.
+	Yield()
+
+	// BusyWait is the paper's busy_wait(): yield() on a uniprocessor, a
+	// fixed delay loop on a multiprocessor.
+	BusyWait()
+
+	// PollDelay is one poll_queue iteration of the BSLS spin loop:
+	// yield() on a uniprocessor, a 25us busy-wait on a multiprocessor.
+	PollDelay()
+
+	// SleepSec sleeps at least s seconds (UNIX sleep semantics); used on
+	// queue-full, which implies the consumer is saturated.
+	SleepSec(s int)
+
+	// P blocks on the counting semaphore if its count is zero.
+	P(SemID)
+
+	// V unblocks a waiter or increments the count; it must NOT force a
+	// rescheduling decision (System V semantics).
+	V(SemID)
+
+	// Handoff suggests running the process that owns the given port
+	// (the Section 6 extension). Implementations without hand-off
+	// support treat it as Yield.
+	Handoff(target int)
+}
+
+// Algorithm selects a sleep/wake-up protocol.
+type Algorithm int
+
+const (
+	BSS Algorithm = iota
+	BSW
+	BSWY
+	BSLS
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case BSS:
+		return "BSS"
+	case BSW:
+		return "BSW"
+	case BSWY:
+		return "BSWY"
+	case BSLS:
+		return "BSLS"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// AlgorithmByName parses a protocol name (case-sensitive, as printed).
+func AlgorithmByName(s string) (Algorithm, error) {
+	switch s {
+	case "BSS", "bss":
+		return BSS, nil
+	case "BSW", "bsw":
+		return BSW, nil
+	case "BSWY", "bswy":
+		return BSWY, nil
+	case "BSLS", "bsls":
+		return BSLS, nil
+	}
+	return 0, fmt.Errorf("core: unknown algorithm %q", s)
+}
+
+// Algorithms lists all protocols in presentation order.
+func Algorithms() []Algorithm { return []Algorithm{BSS, BSW, BSWY, BSLS} }
+
+// DefaultMaxSpin is the MAX_SPIN the paper recommends for BSLS: "at a
+// MAX_SPIN value of 20, a single client only blocks 3% of the time".
+const DefaultMaxSpin = 20

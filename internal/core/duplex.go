@@ -1,0 +1,149 @@
+package core
+
+import "ulipc/internal/metrics"
+
+// This file implements the alternative server architecture Section 2.1
+// sketches: "an alternative architecture might be to have a server
+// thread per client, but that would require two queues per client to
+// implement the full-duplex virtual connection." Each client gets a
+// dedicated server handler and a pair of unidirectional queues; both
+// endpoints use the same sleep/wake-up protocols as the shared-queue
+// architecture.
+
+// DuplexClient is the client endpoint of a full-duplex virtual
+// connection: it enqueues requests on the client-to-server queue and
+// waits for responses on the server-to-client queue.
+type DuplexClient struct {
+	Alg     Algorithm
+	MaxSpin int
+	Snd     Port // enqueue endpoint of the client->server queue
+	Rcv     Port // dequeue endpoint of the server->client queue
+	A       Actor
+	M       *metrics.Proc
+}
+
+// Send performs a synchronous request/response exchange on the
+// connection.
+func (c *DuplexClient) Send(m Msg) Msg {
+	if c.M != nil {
+		defer c.M.MsgsSent.Add(1)
+	}
+	switch c.Alg {
+	case BSS:
+		busySpinUntil(c.A, func() bool { return c.Snd.TryEnqueue(m) })
+		var ans Msg
+		busySpinUntil(c.A, func() bool {
+			var ok bool
+			ans, ok = c.Rcv.TryDequeue()
+			return ok
+		})
+		return ans
+	case BSW:
+		enqueueOrSleep(c.Snd, c.A, m)
+		wakeConsumer(c.Snd, c.A)
+		return consumerWait(c.Rcv, c.A, nil)
+	case BSWY:
+		enqueueOrSleep(c.Snd, c.A, m)
+		if !c.Snd.TASAwake() {
+			c.A.V(c.Snd.Sem())
+			c.A.BusyWait()
+		}
+		return consumerWait(c.Rcv, c.A, c.A.BusyWait)
+	case BSLS:
+		enqueueOrSleep(c.Snd, c.A, m)
+		wakeConsumer(c.Snd, c.A)
+		spinPoll(c.Rcv, c.A, c.maxSpin(), c.M)
+		return consumerWait(c.Rcv, c.A, c.A.BusyWait)
+	}
+	panic("core: unknown algorithm")
+}
+
+func (c *DuplexClient) maxSpin() int {
+	if c.MaxSpin <= 0 {
+		return DefaultMaxSpin
+	}
+	return c.MaxSpin
+}
+
+// DuplexHandler is the server endpoint of one full-duplex connection —
+// the body of a per-client server thread.
+type DuplexHandler struct {
+	Alg     Algorithm
+	MaxSpin int
+	Rcv     Port // dequeue endpoint of the client->server queue
+	Snd     Port // enqueue endpoint of the server->client queue
+	A       Actor
+	M       *metrics.Proc
+}
+
+func (h *DuplexHandler) maxSpin() int {
+	if h.MaxSpin <= 0 {
+		return DefaultMaxSpin
+	}
+	return h.MaxSpin
+}
+
+// Receive returns the connection's next request.
+func (h *DuplexHandler) Receive() Msg {
+	var m Msg
+	switch h.Alg {
+	case BSS:
+		busySpinUntil(h.A, func() bool {
+			var ok bool
+			m, ok = h.Rcv.TryDequeue()
+			return ok
+		})
+	case BSW:
+		m = consumerWait(h.Rcv, h.A, nil)
+	case BSWY:
+		if got, ok := h.Rcv.TryDequeue(); ok {
+			m = got
+			break
+		}
+		h.A.Yield()
+		m = consumerWait(h.Rcv, h.A, nil)
+	case BSLS:
+		spinPoll(h.Rcv, h.A, h.maxSpin(), h.M)
+		m = consumerWait(h.Rcv, h.A, nil)
+	default:
+		panic("core: unknown algorithm")
+	}
+	if h.M != nil {
+		h.M.MsgsReceived.Add(1)
+	}
+	return m
+}
+
+// Reply sends the response on the connection.
+func (h *DuplexHandler) Reply(m Msg) {
+	if h.Alg == BSS {
+		busySpinUntil(h.A, func() bool { return h.Snd.TryEnqueue(m) })
+		return
+	}
+	enqueueOrSleep(h.Snd, h.A, m)
+	wakeConsumer(h.Snd, h.A)
+}
+
+// ServeConn runs the echo loop for one connection until the client
+// disconnects, returning the number of data requests served.
+func (h *DuplexHandler) ServeConn(work func(*Msg)) (served int64) {
+	for {
+		m := h.Receive()
+		switch m.Op {
+		case OpDisconnect:
+			h.Reply(m)
+			return served
+		case OpWork:
+			if work != nil {
+				work(&m)
+			}
+			served++
+			h.Reply(m)
+		default: // OpConnect, OpEcho
+			if m.Op != OpConnect {
+				served++
+			}
+			h.Reply(m)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package core
+
+import "math"
+
+// Variable-sized messages (Section 2.1): a fixed-size message carries a
+// reference to a variable-sized component in shared memory. The Val
+// field's 64 bits hold the block reference and the payload length; the
+// bits are never interpreted as a number, only round-tripped.
+
+// SetBlock stores a shared-memory block reference and payload length in
+// the message's Val field.
+func (m *Msg) SetBlock(ref uint32, n int) {
+	m.Val = math.Float64frombits(uint64(ref)<<32 | uint64(uint32(n)))
+}
+
+// Block extracts a shared-memory block reference and payload length
+// stored by SetBlock.
+func (m *Msg) Block() (ref uint32, n int) {
+	bits := math.Float64bits(m.Val)
+	return uint32(bits >> 32), int(uint32(bits))
+}

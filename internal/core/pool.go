@@ -1,0 +1,252 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"ulipc/internal/metrics"
+)
+
+// Worker-pool server: Section 2.1 contemplates "multiple clients and
+// multiple server threads" on the shared queues, but the paper's single
+// awake flag cannot represent several sleeping workers — one V satisfies
+// the flag and a second sleeping worker is never woken even though its
+// message is queued (internal/protomodel finds the interleaving
+// exhaustively). The pool uses the counted-waiters discipline instead,
+// verified by the same model checker:
+//
+//   - a worker REGISTERS (waiters++) before its re-check, and sleeps if
+//     the re-check still finds nothing;
+//   - a producer, after enqueueing, CLAIMS a waiter (atomic decrement if
+//     positive) and only then issues the V;
+//   - a worker whose re-check found a message tries to unregister
+//     (atomic decrement if positive); if it was already claimed it just
+//     moves on — the stale V wakes some worker spuriously, and every
+//     woken worker re-checks the queue before sleeping again. Draining
+//     the V here instead would steal a live wake-up from a sibling (the
+//     checker finds that deadlock too).
+
+// PoolPort is a queue endpoint whose consumer side is a pool of workers
+// synchronised by a waiter counter.
+type PoolPort interface {
+	TryEnqueue(m Msg) bool
+	TryDequeue() (Msg, bool)
+	Empty() bool
+
+	// RegisterWaiter increments the waiter count (a worker is about to
+	// re-check and then sleep).
+	RegisterWaiter()
+
+	// TryUnregisterWaiter atomically decrements the waiter count if it
+	// is positive; false means a producer already claimed this
+	// registration (its V is, or will be, pending).
+	TryUnregisterWaiter() bool
+
+	// ClaimWaiter atomically decrements the waiter count if it is
+	// positive; true directs the producer to issue the wake-up V.
+	ClaimWaiter() bool
+
+	// Sem identifies the counting semaphore the pool sleeps on.
+	Sem() SemID
+}
+
+// poolWake is the producer-side wake: claim a waiter, then V.
+func poolWake(q PoolPort, a Actor) {
+	if q.ClaimWaiter() {
+		a.V(q.Sem())
+	}
+}
+
+// PoolCoordinator is the shared bookkeeping of one worker pool:
+// connection accounting and shutdown broadcast. All fields are atomic so
+// the same type serves the live runtime and the simulator.
+type PoolCoordinator struct {
+	Workers int
+
+	connected atomic.Int64
+	ever      atomic.Bool
+	served    atomic.Int64
+	stop      atomic.Bool
+}
+
+// Stopped reports whether the pool has been shut down.
+func (pc *PoolCoordinator) Stopped() bool { return pc.stop.Load() }
+
+// Served returns the number of data requests handled across workers.
+func (pc *PoolCoordinator) Served() int64 { return pc.served.Load() }
+
+// PoolWorker is one server thread of a worker pool. All workers of a
+// pool share the receive PoolPort, the reply ports and the coordinator;
+// each has its own Actor (its own process/goroutine context).
+type PoolWorker struct {
+	Alg     Algorithm
+	MaxSpin int
+	Rcv     PoolPort
+	Replies []Port
+	A       Actor
+	C       *PoolCoordinator
+	M       *metrics.Proc
+}
+
+func (w *PoolWorker) maxSpin() int {
+	if w.MaxSpin <= 0 {
+		return DefaultMaxSpin
+	}
+	return w.MaxSpin
+}
+
+// Receive returns the next request, or false when the pool has shut
+// down. Wake-ups are re-checked against both the queue and the stop
+// flag, so spurious wakes (stale claimed Vs, shutdown broadcast) are
+// absorbed here.
+func (w *PoolWorker) Receive() (Msg, bool) {
+	for {
+		if w.C.Stopped() {
+			return Msg{}, false
+		}
+		if m, ok := w.Rcv.TryDequeue(); ok {
+			if w.M != nil {
+				w.M.MsgsReceived.Add(1)
+			}
+			return m, true
+		}
+		switch w.Alg {
+		case BSS:
+			// Busy-wait with stop checks; no registration needed.
+			w.A.BusyWait()
+			continue
+		case BSWY:
+			w.A.Yield()
+		case BSLS:
+			spinPoll(w.Rcv, w.A, w.maxSpin(), w.M)
+		}
+		w.Rcv.RegisterWaiter()
+		if m, ok := w.Rcv.TryDequeue(); ok {
+			// Late success: unregister, or — if a producer claimed us —
+			// leave the stale V for a sibling's re-check cycle.
+			w.Rcv.TryUnregisterWaiter()
+			if w.M != nil {
+				w.M.MsgsReceived.Add(1)
+			}
+			return m, true
+		}
+		if w.C.Stopped() {
+			// Don't park across shutdown; the registration is stale but
+			// harmless (no producer will claim it).
+			return Msg{}, false
+		}
+		w.A.P(w.Rcv.Sem())
+		// Woken (possibly spuriously): loop to re-check.
+	}
+}
+
+// Reply sends a response to the client and wakes it if needed. Reply
+// queues have a single consumer each, so the paper's flag protocol
+// applies unchanged; a synchronous client has at most one outstanding
+// request, so no two workers touch the same reply queue concurrently.
+func (w *PoolWorker) Reply(client int32, m Msg) {
+	if client < 0 || int(client) >= len(w.Replies) {
+		return // hostile/corrupted reply channel: drop
+	}
+	q := w.Replies[client]
+	if w.Alg == BSS {
+		busySpinUntil(w.A, func() bool { return q.TryEnqueue(m) })
+		return
+	}
+	enqueueOrSleep(q, w.A, m)
+	wakeConsumer(q, w.A)
+}
+
+// Serve runs this worker's echo loop until the pool shuts down (all
+// clients disconnected). The worker that processes the last disconnect
+// broadcasts shutdown by waking every sibling.
+func (w *PoolWorker) Serve(work func(*Msg)) {
+	for {
+		m, ok := w.Receive()
+		if !ok {
+			return
+		}
+		if client := m.Client; client < 0 || int(client) >= len(w.Replies) {
+			continue
+		}
+		switch m.Op {
+		case OpConnect:
+			w.C.connected.Add(1)
+			w.C.ever.Store(true)
+			w.Reply(m.Client, m)
+		case OpDisconnect:
+			left := w.C.connected.Add(-1)
+			w.Reply(m.Client, m)
+			if w.C.ever.Load() && left == 0 {
+				w.C.stop.Store(true)
+				// Shutdown broadcast: unconditional Vs so parked
+				// siblings wake, observe the stop flag and exit.
+				for i := 0; i < w.C.Workers; i++ {
+					w.A.V(w.Rcv.Sem())
+				}
+				return
+			}
+		case OpWork:
+			if work != nil {
+				work(&m)
+			}
+			w.C.served.Add(1)
+			w.Reply(m.Client, m)
+		default: // OpEcho
+			w.C.served.Add(1)
+			w.Reply(m.Client, m)
+		}
+	}
+}
+
+// PoolClient is the client side of a worker-pool server: requests go to
+// the shared pool queue with claim-based wake-ups; replies arrive on the
+// client's own single-consumer queue using the paper's flag protocol.
+type PoolClient struct {
+	ID      int32
+	Alg     Algorithm
+	MaxSpin int
+	Srv     PoolPort // enqueue endpoint of the pool's receive queue
+	Rcv     Port     // dequeue endpoint of this client's reply queue
+	A       Actor
+	M       *metrics.Proc
+}
+
+func (c *PoolClient) maxSpin() int {
+	if c.MaxSpin <= 0 {
+		return DefaultMaxSpin
+	}
+	return c.MaxSpin
+}
+
+// Send performs a synchronous exchange with the worker pool.
+func (c *PoolClient) Send(m Msg) Msg {
+	m.Client = c.ID
+	if c.M != nil {
+		defer c.M.MsgsSent.Add(1)
+	}
+	if c.Alg == BSS {
+		busySpinUntil(c.A, func() bool { return c.Srv.TryEnqueue(m) })
+		var ans Msg
+		busySpinUntil(c.A, func() bool {
+			var ok bool
+			ans, ok = c.Rcv.TryDequeue()
+			return ok
+		})
+		return ans
+	}
+	for !c.Srv.TryEnqueue(m) {
+		c.A.SleepSec(1)
+	}
+	poolWake(c.Srv, c.A)
+	switch c.Alg {
+	case BSW:
+		return consumerWait(c.Rcv, c.A, nil)
+	case BSWY:
+		c.A.BusyWait()
+		return consumerWait(c.Rcv, c.A, c.A.BusyWait)
+	case BSLS:
+		spinPoll(c.Rcv, c.A, c.maxSpin(), c.M)
+		return consumerWait(c.Rcv, c.A, c.A.BusyWait)
+	}
+	panic("core: unknown algorithm")
+}

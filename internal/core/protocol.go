@@ -1,0 +1,107 @@
+package core
+
+import "ulipc/internal/metrics"
+
+// This file contains the shared building blocks of the four protocols,
+// transcribed from the paper's Figures 1, 5, 7 and 9.
+
+// enqueueOrSleep implements the producer-side queue-full handling common
+// to Send and Reply: "the process will sleep for at least one second...
+// the queue full condition seldom occurs and the implication is that the
+// consumer is saturated".
+func enqueueOrSleep(q Port, a Actor, m Msg) {
+	for !q.TryEnqueue(m) {
+		a.SleepSec(1)
+	}
+}
+
+// wakeConsumer implements steps P.2/P.3 with the Figure 4 race-2 fix:
+// test-and-set ensures only the first producer to find the awake flag
+// clear issues the (expensive) wake-up system call.
+//
+//	if( !tas( &(Q->awake) ) ) V( sem );
+func wakeConsumer(q Port, a Actor) bool {
+	if !q.TASAwake() {
+		a.V(q.Sem())
+		return true
+	}
+	return false
+}
+
+// consumerWait implements the consumer side of the blocking protocol
+// (steps C.1–C.5 of Figure 4 with both race fixes), shared by BSW, BSWY
+// and BSLS:
+//
+//	while( !dequeue( Q, msg ) ) {
+//	    <preWait hook — BSWY's busy_wait "try to handoff">
+//	    Q->awake = 0;
+//	    if( !dequeue( Q, msg ) ) {
+//	        P( sem );          /* wait for producer */
+//	        Q->awake = 1;
+//	    } else {               /* message ready */
+//	        if( tas( &Q->awake ) ) P( sem ); /* fix race condition */
+//	        break;
+//	    }
+//	}
+//
+// The second dequeue (step C.3) is required because a producer may check
+// the awake flag after the first dequeue fails but before the flag is
+// cleared (Execution Interleaving 4 — the consumer would sleep forever).
+// The tas on the success path drains a pending redundant wake-up so the
+// semaphore count cannot accumulate (Execution Interleaving 3).
+func consumerWait(q Port, a Actor, preWait func()) Msg {
+	for {
+		if m, ok := q.TryDequeue(); ok {
+			return m
+		}
+		if preWait != nil {
+			preWait()
+		}
+		q.SetAwake(false)
+		if m, ok := q.TryDequeue(); ok {
+			// Reply/request arrived between the dequeues: re-set the
+			// flag ourselves; if a producer already set it, it has also
+			// issued a V we must consume without blocking.
+			if q.TASAwake() {
+				a.P(q.Sem())
+			}
+			return m
+		}
+		a.P(q.Sem())
+		q.SetAwake(true)
+	}
+}
+
+// spinPoll implements the BSLS limited-spin prefix (Figure 9):
+//
+//	spincnt = 0;
+//	while( empty(Q) && spincnt++ < MAX_SPIN )
+//	    poll_queue( Q );
+//
+// It records the Section 4.2 statistics (how often the loop fell through
+// to the blocking path, and the iteration count) when m is non-nil. The
+// poll needs only the non-destructive empty check, so it accepts any
+// endpoint flavour (Port or PoolPort).
+func spinPoll(q interface{ Empty() bool }, a Actor, maxSpin int, m *metrics.Proc) {
+	if m != nil {
+		m.SpinLoops.Add(1)
+	}
+	spincnt := 0
+	for q.Empty() && spincnt < maxSpin {
+		a.PollDelay()
+		spincnt++
+		if m != nil {
+			m.SpinIters.Add(1)
+		}
+	}
+	if spincnt >= maxSpin && m != nil {
+		m.SpinFallThrus.Add(1)
+	}
+}
+
+// busySpinUntil busy-waits (Figure 1's busy_wait) until ready() holds.
+func busySpinUntil(a Actor, ready func() bool) {
+	for !ready() {
+		a.BusyWait()
+	}
+}

@@ -1,0 +1,231 @@
+package core
+
+import "ulipc/internal/metrics"
+
+// Server is the server side of the Send/Receive/Reply interface: a
+// single-threaded loop that dequeues requests from one receive queue and
+// enqueues responses on per-client reply queues (the architecture used
+// for the paper's evaluation — one receive queue is adequate for multiple
+// clients as long as each request carries its reply-channel number).
+type Server struct {
+	Alg     Algorithm
+	MaxSpin int
+	Rcv     Port   // dequeue endpoint of the receive queue
+	Replies []Port // enqueue endpoints of the per-client reply queues
+	A       Actor
+	M       *metrics.Proc // optional spin-loop statistics
+
+	// UseHandoff makes the server's scheduling hints use
+	// handoff(PID_ANY) instead of plain yield (Section 6).
+	UseHandoff bool
+
+	// Throttle, when positive, caps the number of simultaneously awake
+	// (unparked) clients — the Section 5 "future work" extension that
+	// breaks the BSLS positive-feedback collapse on multiprocessors.
+	// When more than Throttle clients are active, a client that blocks
+	// is "parked": its reply is enqueued but the wake-up V is deferred,
+	// so the remaining active clients see short queues and stop falling
+	// through their spin loops. Parked clients are re-admitted FIFO, one
+	// at a time with pacing, plus an age-based force, so no client
+	// starves.
+	Throttle int
+
+	deferred  []deferredWake
+	receives  int64
+	lastAdmit int64
+	connected int // maintained by Serve (or SetConnected) for the throttle
+}
+
+// SetConnected tells the throttle how many clients are currently
+// connected. Serve maintains this automatically; callers driving
+// Receive/Reply directly must keep it updated for Throttle to be safe.
+func (s *Server) SetConnected(n int) { s.connected = n }
+
+type deferredWake struct {
+	client int32
+	at     int64 // receive count when deferred (starvation guard)
+}
+
+func (s *Server) maxSpin() int {
+	if s.MaxSpin <= 0 {
+		return DefaultMaxSpin
+	}
+	return s.MaxSpin
+}
+
+func (s *Server) letClientsRun() {
+	if s.M != nil {
+		s.M.BusyWaits.Add(1)
+	}
+	if s.UseHandoff {
+		s.A.Handoff(HandoffAny)
+		return
+	}
+	s.A.Yield()
+}
+
+// Receive returns the next client request, blocking (per the configured
+// protocol) while the receive queue is empty.
+func (s *Server) Receive() Msg {
+	if s.Throttle > 0 && s.connected > 0 && len(s.deferred) >= s.connected {
+		// Every connected client is parked: the parked clients are the
+		// only possible source of new requests, so admit one now or the
+		// system would deadlock.
+		s.admitOne()
+	}
+	var m Msg
+	switch s.Alg {
+	case BSS:
+		busySpinUntil(s.A, func() bool {
+			var ok bool
+			m, ok = s.Rcv.TryDequeue()
+			return ok
+		})
+	case BSW:
+		m = consumerWait(s.Rcv, s.A, nil)
+	case BSWY:
+		// Figure 7: if a request is already queued, take it; otherwise
+		// yield once to let clients run (and possibly enqueue) before
+		// entering the blocking path. The extra dequeue attempt is what
+		// makes the algorithm scale with multiple clients: with several
+		// outstanding entries it is more productive to keep processing
+		// than to give up the processor after every reply.
+		if got, ok := s.Rcv.TryDequeue(); ok {
+			m = got
+			break
+		}
+		s.letClientsRun()
+		m = consumerWait(s.Rcv, s.A, nil)
+	case BSLS:
+		spinPoll(s.Rcv, s.A, s.maxSpin(), s.M)
+		m = consumerWait(s.Rcv, s.A, nil)
+	default:
+		panic("core: unknown algorithm")
+	}
+	if s.M != nil {
+		s.M.MsgsReceived.Add(1)
+	}
+	s.retireWake(m.Client)
+	return m
+}
+
+// ValidClient reports whether a client-supplied reply-channel number is
+// usable. The paper's security note (Section 1) applies: the server must
+// protect itself by careful access to the shared queues, and the
+// reply-channel number arrives from untrusted client memory.
+func (s *Server) ValidClient(client int32) bool {
+	return client >= 0 && int(client) < len(s.Replies)
+}
+
+// Reply sends a response to the given client and wakes it if needed.
+// Replies to out-of-range channel numbers are dropped (a hostile or
+// corrupted client must not crash the server). Disconnect replies bypass
+// the wake throttle: a departing client sends no further requests, so
+// its wake slot would never retire.
+func (s *Server) Reply(client int32, m Msg) {
+	if !s.ValidClient(client) {
+		return
+	}
+	q := s.Replies[client]
+	if s.Alg == BSS {
+		busySpinUntil(s.A, func() bool { return q.TryEnqueue(m) })
+		return
+	}
+	enqueueOrSleep(q, s.A, m)
+	if m.Op == OpDisconnect || m.Op == OpConnect {
+		// Control-path replies bypass the throttle: a departing client
+		// sends no further requests (its slot would never retire) and a
+		// connecting client may synchronise with other clients before
+		// its first request (holding a slot across the barrier).
+		wakeConsumer(q, s.A)
+		return
+	}
+	s.wakeClient(client)
+}
+
+// wakeClient wakes the client's consumer, honouring the wake throttle.
+func (s *Server) wakeClient(client int32) {
+	q := s.Replies[client]
+	if q.TASAwake() {
+		return // client is awake (or another wake is already pending)
+	}
+	if s.Throttle > 0 && len(s.Replies)-len(s.deferred)-1 >= s.Throttle {
+		// Too many clients are active: park this one. The awake flag is
+		// already set (so no other producer will duplicate the wake) but
+		// the V is owed; it is issued when the client is re-admitted.
+		s.deferred = append(s.deferred, deferredWake{client: client, at: s.receives})
+		return
+	}
+	s.A.V(q.Sem())
+}
+
+// retireWake paces the re-admission of parked clients.
+func (s *Server) retireWake(client int32) {
+	if s.Throttle <= 0 {
+		return
+	}
+	s.receives++
+	if len(s.deferred) == 0 {
+		return
+	}
+	// Admission pacing: re-admit parked clients one at a time, at most
+	// one per admitInterval receives. Bursting them all back in would
+	// immediately re-create the overload that parked them. The age check
+	// is the starvation guard: FIFO order plus a forced admission after
+	// a bounded number of receives means every parked client is
+	// eventually woken.
+	interval := int64(2 * len(s.Replies))
+	aged := s.receives-s.deferred[0].at > 4*interval
+	if aged || s.receives-s.lastAdmit >= interval {
+		s.admitOne()
+	}
+}
+
+// admitOne wakes the longest-parked client.
+func (s *Server) admitOne() {
+	next := s.deferred[0].client
+	s.deferred = s.deferred[1:]
+	s.lastAdmit = s.receives
+	s.A.V(s.Replies[next].Sem())
+}
+
+// PendingWakes reports how many deferred wake-ups are queued (tests).
+func (s *Server) PendingWakes() int { return len(s.deferred) }
+
+// Serve runs the canonical echo loop of the paper's evaluation: Receive
+// requests and echo the argument back until every connected client has
+// disconnected. work is invoked for OpWork requests to model server-side
+// request processing; it may be nil.
+func (s *Server) Serve(work func(*Msg)) (served int64) {
+	connected := 0
+	everConnected := false
+	for {
+		m := s.Receive()
+		if !s.ValidClient(m.Client) {
+			continue // hostile/corrupted request: no usable reply channel
+		}
+		switch m.Op {
+		case OpConnect:
+			connected++
+			s.connected = connected
+			everConnected = true
+			s.Reply(m.Client, m)
+		case OpDisconnect:
+			connected--
+			s.connected = connected
+			s.Reply(m.Client, m)
+			if everConnected && connected == 0 {
+				return served
+			}
+		case OpWork:
+			if work != nil {
+				work(&m)
+			}
+			served++
+			s.Reply(m.Client, m)
+		default: // OpEcho
+			served++
+			s.Reply(m.Client, m)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package experiment
+
+import (
+	"fmt"
+
+	"ulipc/internal/core"
+	"ulipc/internal/machine"
+	"ulipc/internal/workload"
+)
+
+// RunArch compares the paper's evaluation architecture (one
+// single-threaded server, a shared receive queue, a reply queue per
+// client) against the alternative Section 2.1 sketches (a server thread
+// per client with a full-duplex queue pair per connection), on both the
+// uniprocessor and the multiprocessor models.
+func RunArch(opt Options) (*Report, error) {
+	r := newReport("arch", "Server architecture: shared queue vs thread-per-client",
+		"Section 2.1: a single receive queue is adequate for multiple clients; thread-per-client doubles the queues and, on a uniprocessor, forfeits the server's request batching")
+	msgs := opt.msgs()
+
+	for _, m := range []*machine.Model{machine.SGIIndy(), machine.SGIChallenge8()} {
+		clients := clientSweep(opt.Quick)
+		if m.CPUs > 1 {
+			clients = mpClientSweep(opt.Quick)
+		}
+		shared, _, err := sweep(workload.Config{Machine: m, Alg: core.BSLS, MaxSpin: 20}, clients, msgs)
+		if err != nil {
+			return nil, err
+		}
+		duplex, _, err := sweep(workload.Config{
+			Machine: m, Alg: core.BSLS, MaxSpin: 20, Arch: workload.ArchThreadPerClient,
+		}, clients, msgs)
+		if err != nil {
+			return nil, err
+		}
+		curves := map[string][]float64{"shared-queue": shared, "thread-per-client": duplex}
+		order := []string{"shared-queue", "thread-per-client"}
+		r.Tables = append(r.Tables, throughputTable(
+			fmt.Sprintf("Architecture — %s, BSLS-20 (messages/ms)", m.Name), clients, curves, order))
+		r.Plots = append(r.Plots, throughputPlot(
+			fmt.Sprintf("Architecture — %s", m.Name), clients, curves, order))
+		short := "uni"
+		if m.CPUs > 1 {
+			short = "mp"
+		}
+		r.recordCurve("arch/"+short+"/shared", clients, shared)
+		r.recordCurve("arch/"+short+"/duplex", clients, duplex)
+	}
+	r.note("On the uniprocessor the shared queue wins under load: one server activation drains every client's request, while per-client handlers each pay their own wake-up and switch.")
+	r.note("On the multiprocessor the per-client handlers can run in parallel, so thread-per-client narrows the gap (at the cost of a process and two queues per client).")
+	return r, nil
+}

@@ -1,0 +1,220 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation, plus the ablations DESIGN.md calls out. Each experiment
+// produces a Report containing text tables, ASCII plots, notes, and a
+// flat record map that the test suite asserts shape-level claims
+// against (who wins, by what factor, where crossovers fall).
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ulipc/internal/chart"
+	"ulipc/internal/machine"
+	"ulipc/internal/workload"
+)
+
+// Options tunes experiment execution.
+type Options struct {
+	// Msgs is the number of requests per client (0 = default 2000;
+	// Quick runs use 500).
+	Msgs int
+	// Quick trades precision for speed (CI-friendly).
+	Quick bool
+}
+
+func (o Options) msgs() int {
+	if o.Msgs > 0 {
+		return o.Msgs
+	}
+	if o.Quick {
+		return 500
+	}
+	return 2000
+}
+
+// Report is the result of one experiment.
+type Report struct {
+	ID         string
+	Title      string
+	PaperClaim string // what the paper's artefact shows
+	Tables     []*chart.Table
+	Plots      []*chart.Plot
+	Notes      []string
+	Records    map[string]float64
+}
+
+func newReport(id, title, claim string) *Report {
+	return &Report{ID: id, Title: title, PaperClaim: claim, Records: map[string]float64{}}
+}
+
+func (r *Report) note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the full report to w.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	if r.PaperClaim != "" {
+		fmt.Fprintf(w, "paper: %s\n", r.PaperClaim)
+	}
+	fmt.Fprintln(w)
+	for _, t := range r.Tables {
+		t.Render(w)
+		fmt.Fprintln(w)
+	}
+	for _, p := range r.Plots {
+		p.Render(w, 64, 16)
+		fmt.Fprintln(w)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	if len(r.Notes) > 0 {
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderMarkdown writes the report's tables and notes as Markdown, the
+// format EXPERIMENTS.md uses.
+func (r *Report) RenderMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "## %s — %s\n\n", r.ID, r.Title)
+	if r.PaperClaim != "" {
+		fmt.Fprintf(w, "Paper: %s\n\n", r.PaperClaim)
+	}
+	for _, t := range r.Tables {
+		t.RenderMarkdown(w)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "* %s\n", n)
+	}
+	if len(r.Notes) > 0 {
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderRecords writes the flat record map (sorted) — the
+// machine-readable paper-vs-measured data used by EXPERIMENTS.md.
+func (r *Report) RenderRecords(w io.Writer) {
+	keys := make([]string, 0, len(r.Records))
+	for k := range r.Records {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s = %.3f\n", k, r.Records[k])
+	}
+}
+
+// Experiment is a registered, runnable reproduction artefact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Report, error)
+}
+
+// All returns the experiments in the paper's presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Primitive operation times (Table 1)", RunTable1},
+		{"fig2", "Uniprocessor BSS vs SYSV throughput (Figure 2)", RunFig2},
+		{"fig3", "Non-degrading (fixed) priorities (Figure 3)", RunFig3},
+		{"fig6", "Both Sides Wait (Figure 6)", RunFig6},
+		{"fig8", "Both Sides Wait and Yield (Figure 8)", RunFig8},
+		{"fig10", "BSLS MAX_SPIN sensitivity (Figure 10)", RunFig10},
+		{"fig11", "Multiprocessor throughput (Figure 11)", RunFig11},
+		{"fig12", "Modified sched_yield in Linux (Figure 12)", RunFig12},
+		{"switches", "Context-switch analysis (Section 2.2)", RunSwitches},
+		{"multiprog", "Multiprogrammed environment (Section 1 motivation)", RunMultiprog},
+		{"arch", "Server architecture: shared queue vs thread-per-client (Section 2.1)", RunArch},
+		{"workers", "Server worker pool scaling (Section 2.1 extension)", RunWorkers},
+		{"sensitivity", "Calibration robustness: aging-quantum sweep", RunSensitivity},
+		{"ablation", "BSLS wake-throttling (Section 5 future work)", RunAblation},
+		{"queues", "Queue implementation ablation (live runtime)", RunQueues},
+		{"async", "Asynchronous send batching (Section 1 motivation)", RunAsync},
+	}
+}
+
+// ByID finds an experiment by its identifier.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// clientSweep is the client-count axis of the uniprocessor figures.
+func clientSweep(quick bool) []int {
+	if quick {
+		return []int{1, 2, 4, 6}
+	}
+	return []int{1, 2, 3, 4, 5, 6}
+}
+
+// sweep runs the workload across client counts and returns throughputs
+// in messages/ms.
+func sweep(base workload.Config, clients []int, msgs int) ([]float64, []workload.Result, error) {
+	ths := make([]float64, 0, len(clients))
+	results := make([]workload.Result, 0, len(clients))
+	for _, n := range clients {
+		cfg := base
+		cfg.Clients = n
+		cfg.Msgs = msgs
+		res, err := workload.RunSim(cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s n=%d: %w", res.Label, n, err)
+		}
+		ths = append(ths, res.Throughput)
+		results = append(results, res)
+	}
+	return ths, results, nil
+}
+
+func floats(ints []int) []float64 {
+	out := make([]float64, len(ints))
+	for i, v := range ints {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// recordCurve stores a throughput curve under prefix/<clients>.
+func (r *Report) recordCurve(prefix string, clients []int, ths []float64) {
+	for i, n := range clients {
+		r.Records[fmt.Sprintf("%s/%d", prefix, n)] = ths[i]
+	}
+}
+
+// uniMachines returns the two uniprocessor models of Figures 2-10.
+func uniMachines() []*machine.Model {
+	return []*machine.Model{machine.SGIIndy(), machine.IBMP4()}
+}
+
+// throughputTable builds the standard clients-vs-curves table.
+func throughputTable(title string, clients []int, curves map[string][]float64, order []string) *chart.Table {
+	t := &chart.Table{Title: title}
+	t.Headers = append([]string{"clients"}, order...)
+	for i, n := range clients {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, name := range order {
+			row = append(row, f2(curves[name][i]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// throughputPlot builds the standard throughput-vs-clients plot.
+func throughputPlot(title string, clients []int, curves map[string][]float64, order []string) *chart.Plot {
+	p := &chart.Plot{Title: title, XLabel: "clients", YLabel: "messages/ms", X: floats(clients)}
+	for _, name := range order {
+		p.Series = append(p.Series, chart.Series{Name: name, Y: curves[name]})
+	}
+	return p
+}

@@ -1,0 +1,403 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// The shape tests assert the paper's qualitative claims — who wins, by
+// roughly what factor, where crossovers fall — from the experiments'
+// record maps. They are the reproduction's acceptance suite.
+
+var shapeOpts = Options{Quick: true, Msgs: 600}
+
+func runExp(t *testing.T, id string) *Report {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("unknown experiment %q", id)
+	}
+	rep, err := e.Run(shapeOpts)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return rep
+}
+
+func rec(t *testing.T, r *Report, key string) float64 {
+	t.Helper()
+	v, ok := r.Records[key]
+	if !ok {
+		t.Fatalf("%s: missing record %q; have %d records", r.ID, key, len(r.Records))
+	}
+	return v
+}
+
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r := runExp(t, "table1")
+	// SGI rows (index: 0 enq/deq, 1 msg pair, 2/3/4 yields) vs Table 1.
+	within := func(key string, want, tol float64) {
+		got := rec(t, r, key)
+		if got < want-tol || got > want+tol {
+			t.Errorf("%s = %.2f, want %.1f +/- %.1f", key, got, want, tol)
+		}
+	}
+	within("t1/sgi/0", 3, 0.3)  // enqueue/dequeue pair
+	within("t1/sgi/1", 37, 1.0) // msgsnd/msgrcv pair
+	within("t1/sgi/2", 16, 0.5) // 1-process yields
+	within("t1/sgi/3", 18, 2.0) // 2-process yields
+	within("t1/sgi/4", 45, 5.0) // 4-process yields
+}
+
+func TestFig2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r := runExp(t, "fig2")
+
+	// SGI: BSS throughput RISES with clients (the batching effect) and
+	// beats SYSV by at least 1.4x at one client (paper: >1.5).
+	sgi1 := rec(t, r, "fig2/sgi/bss/1")
+	sgi6 := rec(t, r, "fig2/sgi/bss/6")
+	if sgi6 <= sgi1 {
+		t.Errorf("SGI BSS must rise with clients: %.2f -> %.2f", sgi1, sgi6)
+	}
+	if ratio := rec(t, r, "fig2/sgi/ratio1"); ratio < 1.4 {
+		t.Errorf("SGI BSS/SYSV at 1 client = %.2f, want >= 1.4", ratio)
+	}
+	// SGI 1-client throughput anchors near the paper's ~8.4 msg/ms.
+	if sgi1 < 7 || sgi1 > 10 {
+		t.Errorf("SGI BSS 1-client = %.2f msg/ms, want ~8.4", sgi1)
+	}
+
+	// IBM: BSS throughput FALLS with clients; ~32 msg/ms at one client
+	// rolling off toward ~19; BSS/SYSV ~1.8.
+	ibm1 := rec(t, r, "fig2/ibm/bss/1")
+	ibm6 := rec(t, r, "fig2/ibm/bss/6")
+	if ibm6 >= ibm1 {
+		t.Errorf("IBM BSS must fall with clients: %.2f -> %.2f", ibm1, ibm6)
+	}
+	if ibm1 < 25 || ibm1 > 45 {
+		t.Errorf("IBM BSS 1-client = %.2f msg/ms, want ~32", ibm1)
+	}
+	if ratio := rec(t, r, "fig2/ibm/ratio1"); ratio < 1.4 {
+		t.Errorf("IBM BSS/SYSV at 1 client = %.2f, want >= 1.4", ratio)
+	}
+	// The rolloff lands in the paper's ballpark (19): within a band.
+	if ibm6 < 12 || ibm6 > 25 {
+		t.Errorf("IBM BSS 6-client = %.2f msg/ms, want ~19", ibm6)
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r := runExp(t, "fig3")
+	// Fixed priorities beat the default scheduler on both machines at
+	// one client (paper: +50% SGI, +30% IBM; our idealised fixed mode
+	// gains more on the SGI — see the experiment note).
+	for _, m := range []string{"sgi", "ibm"} {
+		fixed := rec(t, r, "fig3/"+m+"/fixed/1")
+		def := rec(t, r, "fig3/"+m+"/default/1")
+		if fixed < def*1.0 {
+			t.Errorf("%s: fixed (%.2f) must not lose to default (%.2f)", m, fixed, def)
+		}
+	}
+	if fixed, def := rec(t, r, "fig3/sgi/fixed/1"), rec(t, r, "fig3/sgi/default/1"); fixed < def*1.4 {
+		t.Errorf("SGI fixed = %.2f vs default %.2f; want >= 1.4x", fixed, def)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r := runExp(t, "fig6")
+	// BSW "more or less matches" SYSV on both machines.
+	for _, m := range []string{"sgi", "ibm"} {
+		ratio := rec(t, r, "fig6/"+m+"/bsw_vs_sysv1")
+		if ratio < 0.7 || ratio > 1.4 {
+			t.Errorf("%s: BSW/SYSV at 1 client = %.2f, want ~1", m, ratio)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r := runExp(t, "fig8")
+	// The busy_wait hints help at 1 client...
+	if bswy, bsw := rec(t, r, "fig8/sgi/bswy/1"), rec(t, r, "fig8/sgi/bsw/1"); bswy <= bsw {
+		t.Errorf("SGI: BSWY (%.2f) must beat BSW (%.2f) at 1 client", bswy, bsw)
+	}
+	// ...but degrade as concurrency grows (paper: "performance degrades
+	// as concurrency is increased further").
+	if one, six := rec(t, r, "fig8/sgi/bswy/1"), rec(t, r, "fig8/sgi/bswy/6"); six >= one {
+		t.Errorf("SGI: BSWY must degrade with clients: %.2f -> %.2f", one, six)
+	}
+	// With fixed priorities BSWY matches busy-waiting BSS.
+	bswyF := rec(t, r, "fig8/sgi/bswy_fixed/1")
+	bssF := rec(t, r, "fig8/sgi/bss_fixed/1")
+	if bswyF < bssF*0.9 || bswyF > bssF*1.1 {
+		t.Errorf("SGI fixed: BSWY %.2f vs BSS %.2f, want within 10%%", bswyF, bssF)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r := runExp(t, "fig10")
+	// Performance generally improves as MAX_SPIN increases: spin=20 is
+	// at least as good as spin=1 everywhere on both machines.
+	for _, m := range []string{"sgi", "ibm"} {
+		for _, n := range []int{1, 2, 4, 6} {
+			lo := r.Records[key2("fig10/%s/spin1/%d", m, n)]
+			hi := r.Records[key2("fig10/%s/spin20/%d", m, n)]
+			if lo > hi*1.05 {
+				t.Errorf("%s %d clients: spin1 (%.2f) beats spin20 (%.2f)", m, n, lo, hi)
+			}
+		}
+		// At MAX_SPIN=20 BSLS is within 10% of busy-waiting BSS.
+		bsls := r.Records[key2("fig10/%s/spin20/%d", m, 1)]
+		bss := r.Records[key2("fig10/%s/bss/%d", m, 1)]
+		if bsls < bss*0.9 {
+			t.Errorf("%s: BSLS-20 (%.2f) must approach BSS (%.2f)", m, bsls, bss)
+		}
+	}
+	// Spin-loop statistics: at small MAX_SPIN clients block per message;
+	// at MAX_SPIN=20 blocking is (near-)zero — the paper's 3% is OS
+	// noise our deterministic simulator does not have.
+	if fall := rec(t, r, "fig10/stats/fallthrough/1/1"); fall < 50 {
+		t.Errorf("MAX_SPIN=1 fall-through = %.1f%%, want high", fall)
+	}
+	if fall := rec(t, r, "fig10/stats/fallthrough/1/20"); fall > 5 {
+		t.Errorf("MAX_SPIN=20 fall-through = %.1f%%, want ~0 (paper: 3%%)", fall)
+	}
+}
+
+func key2(format, m string, n int) string {
+	return strings.Replace(strings.Replace(format, "%s", m, 1), "%d", itoa(n), 1)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	s := ""
+	for n > 0 {
+		s = string(rune('0'+n%10)) + s
+		n /= 10
+	}
+	return s
+}
+
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r := runExp(t, "fig11")
+	// BSS rises then saturates: the last two points are within 10%.
+	b5 := rec(t, r, "fig11/bss/5")
+	b7 := rec(t, r, "fig11/bss/7")
+	if b7 < b5*0.85 {
+		t.Errorf("BSS must stay stable after saturation: %.2f -> %.2f", b5, b7)
+	}
+	if b5 < rec(t, r, "fig11/bss/1")*2 {
+		t.Errorf("BSS must scale up before saturation")
+	}
+	// BSLS with the smallest MAX_SPIN collapses: well below BSS at 7
+	// clients.
+	s1 := rec(t, r, "fig11/spin1/7")
+	if s1 > b7*0.5 {
+		t.Errorf("BSLS-1 must collapse at 7 clients: %.2f vs BSS %.2f", s1, b7)
+	}
+	// The collapse point moves right with MAX_SPIN: the largest spin
+	// value has not collapsed by 7 clients.
+	s4 := rec(t, r, "fig11/spin4/7")
+	if s4 < b7*0.8 {
+		t.Errorf("BSLS-4 must still track BSS at 7 clients: %.2f vs %.2f", s4, b7)
+	}
+	// SYSV is the worst performer and does not scale.
+	v1 := rec(t, r, "fig11/sysv/1")
+	v7 := rec(t, r, "fig11/sysv/7")
+	if v7 > v1*1.2 {
+		t.Errorf("SYSV must not scale: %.2f -> %.2f", v1, v7)
+	}
+	if v7 > b7 {
+		t.Errorf("SYSV (%.2f) must trail BSS (%.2f)", v7, b7)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r := runExp(t, "fig12")
+	// The unmodified kernel's BSS round trip is on the tens-of-ms scale.
+	if rtt := rec(t, r, "fig12/linux10/rtt_ms"); rtt < 10 {
+		t.Errorf("linux10 BSS rtt = %.1f ms, want tens of ms", rtt)
+	}
+	// The modified sched_yield restores the ~120us round trip.
+	if rtt := rec(t, r, "fig12/bss/rtt_us"); rtt < 90 || rtt > 160 {
+		t.Errorf("linuxmod BSS rtt = %.1f us, want ~120", rtt)
+	}
+	// BSWY — with no client-side spinning — performs as well as BSS
+	// across the curve (within 10%).
+	for _, n := range []int{1, 2, 4, 6} {
+		bss := r.Records["fig12/bss/"+itoa(n)]
+		bswy := r.Records["fig12/bswy/"+itoa(n)]
+		if bswy < bss*0.9 {
+			t.Errorf("%d clients: BSWY (%.2f) must match BSS (%.2f)", n, bswy, bss)
+		}
+	}
+	// handoff matches BSWY at one client.
+	h1 := rec(t, r, "fig12/handoff/1")
+	w1 := rec(t, r, "fig12/bswy/1")
+	if h1 < w1*0.9 || h1 > w1*1.1 {
+		t.Errorf("handoff (%.2f) must match BSWY (%.2f) at 1 client", h1, w1)
+	}
+}
+
+func TestSwitchesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r := runExp(t, "switches")
+	// One client: one voluntary switch per message at the server.
+	if cs := rec(t, r, "switches/cs_per_msg/1"); cs < 0.9 || cs > 1.1 {
+		t.Errorf("1 client: %.2f voluntary CS/msg, want ~1", cs)
+	}
+	// More clients: strictly fewer switches per message (batching).
+	prev := rec(t, r, "switches/cs_per_msg/1")
+	for _, n := range []int{2, 4, 6} {
+		cur := rec(t, r, "switches/cs_per_msg/"+itoa(n))
+		if cur >= prev {
+			t.Errorf("CS/msg must fall with clients: %d clients %.3f >= %.3f", n, cur, prev)
+		}
+		prev = cur
+	}
+	// ~2.5 yields per round trip on the SGI (we accept 2-4).
+	if y := rec(t, r, "switches/yields_per_msg"); y < 2 || y > 4 {
+		t.Errorf("yields/msg = %.2f, want ~2.5", y)
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r := runExp(t, "ablation")
+	// At the collapse point (5+ clients) the throttle must recover
+	// throughput relative to no throttle.
+	for _, n := range []int{5, 7} {
+		no := rec(t, r, "ablation/throttle0/"+itoa(n))
+		th := rec(t, r, "ablation/throttle2/"+itoa(n))
+		if th < no {
+			t.Errorf("%d clients: throttle=2 (%.2f) must not lose to none (%.2f)", n, th, no)
+		}
+	}
+	if no, th := rec(t, r, "ablation/throttle0/5"), rec(t, r, "ablation/throttle2/5"); th < no*1.2 {
+		t.Errorf("5 clients: throttle=2 (%.2f) should recover >20%% over none (%.2f)", th, no)
+	}
+}
+
+func TestAsyncShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r := runExp(t, "async")
+	// Per-message cost falls monotonically with batch depth, and a deep
+	// batch amortises at least 3x over synchronous sends.
+	prev := rec(t, r, "async/us_per_msg/1")
+	for _, b := range []int{2, 4, 8, 16} {
+		cur := rec(t, r, "async/us_per_msg/"+itoa(b))
+		if cur >= prev {
+			t.Errorf("batch %d: %.2f us/msg >= previous %.2f", b, cur, prev)
+		}
+		prev = cur
+	}
+	if deep, sync := rec(t, r, "async/us_per_msg/16"), rec(t, r, "async/us_per_msg/1"); sync < deep*3 {
+		t.Errorf("batching gain = %.1fx, want >= 3x", sync/deep)
+	}
+}
+
+func TestQueuesExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	e, _ := ByID("queues")
+	rep, err := e.Run(Options{Quick: true, Msgs: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"two-lock", "lock-free", "ring"} {
+		if v, ok := rep.Records["queues/"+kind+"/1"]; !ok || v <= 0 {
+			t.Errorf("missing/zero live throughput for %s", kind)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if _, ok := ByID(e.ID); !ok {
+			t.Errorf("ByID(%s) failed", e.ID)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID accepted unknown id")
+	}
+	// Every figure and table of the paper's evaluation is covered.
+	for _, id := range []string{"table1", "fig2", "fig3", "fig6", "fig8", "fig10", "fig11", "fig12"} {
+		if !seen[id] {
+			t.Errorf("paper artefact %s missing from registry", id)
+		}
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	r := newReport("id", "title", "claim")
+	r.Records["a/b"] = 1.5
+	r.note("hello %d", 7)
+	var sb strings.Builder
+	r.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"id", "title", "claim", "hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	sb.Reset()
+	r.RenderRecords(&sb)
+	if !strings.Contains(sb.String(), "a/b = 1.500") {
+		t.Errorf("records render: %q", sb.String())
+	}
+}
+
+func TestReportRenderMarkdown(t *testing.T) {
+	r := newReport("id", "title", "claim")
+	tbl := throughputTable("tbl", []int{1, 2}, map[string][]float64{"A": {1, 2}}, []string{"A"})
+	r.Tables = append(r.Tables, tbl)
+	r.note("a note")
+	var sb strings.Builder
+	r.RenderMarkdown(&sb)
+	out := sb.String()
+	for _, want := range []string{"## id — title", "Paper: claim", "| clients | A |", "* a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

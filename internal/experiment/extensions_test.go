@@ -1,0 +1,89 @@
+package experiment
+
+import "testing"
+
+func TestMultiprogShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r := runExp(t, "multiprog")
+	// The paper's motivation: with infrequent requests, busy-waiting
+	// wastes cycles a background job could use. Blocking protocols must
+	// give the background job a larger CPU share...
+	bssBG := rec(t, r, "multiprog/BSS/bgshare")
+	bswBG := rec(t, r, "multiprog/BSW/bgshare")
+	if bswBG < bssBG+0.05 {
+		t.Errorf("BSW background share %.2f must clearly exceed BSS %.2f", bswBG, bssBG)
+	}
+	// ...without losing IPC throughput (the blocked server is woken
+	// directly instead of competing from a degraded priority).
+	bssTh := rec(t, r, "multiprog/BSS/throughput")
+	bswTh := rec(t, r, "multiprog/BSW/throughput")
+	if bswTh < bssTh*0.95 {
+		t.Errorf("BSW IPC throughput %.2f must not trail BSS %.2f", bswTh, bssTh)
+	}
+	// BSLS sits between pure spinning and pure blocking.
+	bslsBG := rec(t, r, "multiprog/BSLS-20/bgshare")
+	if bslsBG < bssBG || bslsBG > bswBG+0.02 {
+		t.Errorf("BSLS background share %.2f should sit between BSS %.2f and BSW %.2f",
+			bslsBG, bssBG, bswBG)
+	}
+}
+
+func TestArchShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r := runExp(t, "arch")
+	// Single client: the two architectures are equivalent (one
+	// connection either way).
+	s1 := rec(t, r, "arch/uni/shared/1")
+	d1 := rec(t, r, "arch/uni/duplex/1")
+	if d1 < s1*0.95 || d1 > s1*1.05 {
+		t.Errorf("1 client: shared %.2f vs duplex %.2f, want equal", s1, d1)
+	}
+	// Under uniprocessor load the shared queue's batching wins.
+	s6 := rec(t, r, "arch/uni/shared/6")
+	d6 := rec(t, r, "arch/uni/duplex/6")
+	if s6 <= d6 {
+		t.Errorf("6 clients uni: shared %.2f must beat thread-per-client %.2f", s6, d6)
+	}
+}
+
+func TestSensitivityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r := runExp(t, "sensitivity")
+	// IBM's falling shape must be robust across the whole sweep.
+	for _, scale := range []string{"0.50", "0.75", "1.00", "1.50", "2.00"} {
+		if rec(t, r, "sensitivity/ibm/"+scale+"/falling") != 1 {
+			t.Errorf("IBM falling shape broke at scale %s", scale)
+		}
+	}
+	// SGI's rising shape holds in the sticky-yield regime (>= calibrated).
+	for _, scale := range []string{"1.00", "1.50", "2.00"} {
+		if rec(t, r, "sensitivity/sgi/"+scale+"/rising") != 1 {
+			t.Errorf("SGI rising shape broke at scale %s", scale)
+		}
+	}
+	// BSS beats SYSV from half to 1.5x the calibrated aging quantum.
+	for _, scale := range []string{"0.50", "0.75", "1.00", "1.50"} {
+		if rec(t, r, "sensitivity/sgi/"+scale+"/beats_sysv") != 1 {
+			t.Errorf("SGI BSS-beats-SYSV broke at scale %s", scale)
+		}
+	}
+}
+
+func TestWorkersShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r := runExp(t, "workers")
+	if s2 := rec(t, r, "workers/speedup2"); s2 < 1.7 || s2 > 2.2 {
+		t.Errorf("2-worker speedup = %.2f, want ~2", s2)
+	}
+	if s4 := rec(t, r, "workers/speedup4"); s4 < 3.2 || s4 > 4.4 {
+		t.Errorf("4-worker speedup = %.2f, want ~4", s4)
+	}
+}

@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"fmt"
+
+	"ulipc/internal/core"
+	"ulipc/internal/machine"
+	"ulipc/internal/workload"
+)
+
+// Fig11Spins are the MAX_SPIN values of the three middle curves of
+// Figure 11. (The paper's exact values are not legible in our source;
+// what matters for the shape is that the collapse point moves right as
+// MAX_SPIN grows.)
+var Fig11Spins = []int{1, 2, 4}
+
+// mpClientSweep is the client axis of the multiprocessor figure: up to
+// CPUs-1 clients so that the server and every client has a processor.
+func mpClientSweep(quick bool) []int {
+	if quick {
+		return []int{1, 3, 5, 7}
+	}
+	return []int{1, 2, 3, 4, 5, 6, 7}
+}
+
+// RunFig11 reproduces Figure 11: server throughput on the 8-processor
+// SGI Challenge for BSS, BSLS with three MAX_SPIN values, and SYSV.
+func RunFig11(opt Options) (*Report, error) {
+	r := newReport("fig11", "Multiprocessor server throughput (8-CPU SGI Challenge)",
+		"BSS rises until the server saturates then stays stable; BSLS matches BSS up to a point then collapses (wake-up positive feedback); SYSV is worst and does not scale")
+	clients := mpClientSweep(opt.Quick)
+	msgs := opt.msgs()
+	m := machine.SGIChallenge8()
+
+	bss, _, err := sweep(workload.Config{Machine: m, Alg: core.BSS}, clients, msgs)
+	if err != nil {
+		return nil, err
+	}
+	curves := map[string][]float64{"BSS": bss}
+	order := []string{"BSS"}
+	r.recordCurve("fig11/bss", clients, bss)
+
+	for _, spin := range Fig11Spins {
+		ths, _, err := sweep(workload.Config{Machine: m, Alg: core.BSLS, MaxSpin: spin}, clients, msgs)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("BSLS-%d", spin)
+		curves[name] = ths
+		order = append(order, name)
+		r.recordCurve(fmt.Sprintf("fig11/spin%d", spin), clients, ths)
+	}
+
+	sysv, _, err := sweep(workload.Config{Machine: m, Transport: workload.TransportSysV}, clients, msgs)
+	if err != nil {
+		return nil, err
+	}
+	curves["SYSV"] = sysv
+	order = append(order, "SYSV")
+	r.recordCurve("fig11/sysv", clients, sysv)
+
+	r.Tables = append(r.Tables, throughputTable(
+		"Figure 11 — "+m.Name+" (messages/ms)", clients, curves, order))
+	r.Plots = append(r.Plots, throughputPlot("Figure 11 — "+m.Name, clients, curves, order))
+	r.note("poll_queue is a 25us busy-wait loop on the multiprocessor (Section 5); busy_wait is a delay loop instead of yield().")
+	r.note("The BSLS collapse is the paper's positive feedback: once one client exceeds MAX_SPIN the server pays V+wakeup per message, slowing replies and pushing more clients past MAX_SPIN.")
+	return r, nil
+}

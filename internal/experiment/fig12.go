@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"ulipc/internal/core"
+	"ulipc/internal/machine"
+	"ulipc/internal/workload"
+)
+
+// RunFig12 reproduces Figure 12 and the Section 6 Linux study: with the
+// unmodified Linux 1.0.32 scheduler a BSS round trip takes ~33
+// milliseconds (yield does not expire the quantum); with the paper's
+// modified sched_yield BSS returns to ~120us, BSWY — the algorithm with
+// NO client-side spinning — matches busy-waiting BSS, and the handoff
+// system call matches BSWY.
+func RunFig12(opt Options) (*Report, error) {
+	r := newReport("fig12", "Modified sched_yield in Linux (66 MHz 486)",
+		"BSWY performs as well as busy-waiting BSS once yield expires the caller's quantum; handoff matches BSWY but does not improve it further")
+	clients := clientSweep(opt.Quick)
+	msgs := opt.msgs()
+	m := machine.Linux486()
+
+	// Unmodified kernel: a couple of messages is enough to demonstrate
+	// the 33ms-scale latency without hours of virtual time.
+	brokenRes, err := workload.RunSim(workload.Config{
+		Machine: m, Policy: "linux10", Alg: core.BSS, Clients: 1, Msgs: 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.Records["fig12/linux10/rtt_ms"] = brokenRes.RTTMicros / 1000
+	r.note("Unmodified Linux 1.0.32 (yield keeps the CPU until the quantum expires): BSS round trip = " +
+		f1(brokenRes.RTTMicros/1000) + " ms (paper: ~33 ms order of magnitude; ours includes both sides' quanta).")
+
+	bss, bssRes, err := sweep(workload.Config{Machine: m, Policy: "linuxmod", Alg: core.BSS}, clients, msgs)
+	if err != nil {
+		return nil, err
+	}
+	bswy, _, err := sweep(workload.Config{Machine: m, Policy: "linuxmod", Alg: core.BSWY}, clients, msgs)
+	if err != nil {
+		return nil, err
+	}
+	handoff, _, err := sweep(workload.Config{Machine: m, Policy: "linuxmod", Alg: core.BSWY, Handoff: true}, clients, msgs)
+	if err != nil {
+		return nil, err
+	}
+	bsw, _, err := sweep(workload.Config{Machine: m, Policy: "linuxmod", Alg: core.BSW}, clients, msgs)
+	if err != nil {
+		return nil, err
+	}
+	sysv, _, err := sweep(workload.Config{Machine: m, Policy: "linuxmod", Transport: workload.TransportSysV}, clients, msgs)
+	if err != nil {
+		return nil, err
+	}
+
+	curves := map[string][]float64{
+		"BSS": bss, "BSWY": bswy, "BSWY+handoff": handoff, "BSW": bsw, "SYSV": sysv,
+	}
+	order := []string{"BSS", "BSWY", "BSWY+handoff", "BSW", "SYSV"}
+	r.Tables = append(r.Tables, throughputTable(
+		"Figure 12 — "+m.Name+", modified sched_yield (messages/ms)", clients, curves, order))
+	r.Plots = append(r.Plots, throughputPlot("Figure 12 — "+m.Name, clients, curves, order))
+	r.recordCurve("fig12/bss", clients, bss)
+	r.recordCurve("fig12/bswy", clients, bswy)
+	r.recordCurve("fig12/handoff", clients, handoff)
+	r.recordCurve("fig12/sysv", clients, sysv)
+	r.Records["fig12/bss/rtt_us"] = bssRes[0].RTTMicros
+
+	r.note("Modified sched_yield: 1-client BSS round trip = " + f1(bssRes[0].RTTMicros) +
+		" us (paper: ~120 us on a 66 MHz 486).")
+	r.note("handoff(pid) matches BSWY at one client, as the paper reports; at higher client counts the direct hand-off defeats the server's request batching in our simulation — a plausible mechanism for why the paper found no further improvement.")
+	return r, nil
+}

@@ -1,0 +1,48 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsProduceCompleteReports is the integration sweep: every
+// registered experiment must run in quick mode and yield a well-formed
+// report (tables with rows, records, and a renderable body).
+func TestAllExperimentsProduceCompleteReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run(Options{Quick: true, Msgs: 150})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if rep.ID != e.ID {
+				t.Errorf("report id %q != experiment id %q", rep.ID, e.ID)
+			}
+			if len(rep.Tables) == 0 {
+				t.Error("no tables")
+			}
+			for i, tbl := range rep.Tables {
+				if len(tbl.Rows) == 0 {
+					t.Errorf("table %d has no rows", i)
+				}
+			}
+			if len(rep.Records) == 0 {
+				t.Error("no records")
+			}
+			var sb strings.Builder
+			rep.Render(&sb)
+			if !strings.Contains(sb.String(), e.ID) {
+				t.Error("render missing experiment id")
+			}
+			sb.Reset()
+			rep.RenderRecords(&sb)
+			if sb.Len() == 0 {
+				t.Error("empty record rendering")
+			}
+		})
+	}
+}

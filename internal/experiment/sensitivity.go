@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"fmt"
+
+	"ulipc/internal/chart"
+	"ulipc/internal/core"
+	"ulipc/internal/machine"
+	"ulipc/internal/workload"
+)
+
+// RunSensitivity checks the robustness of the headline Figure 2 shapes
+// to the one scheduler parameter that is pure calibration (the
+// priority-aging quantum): the claims — SGI BSS rising with clients and
+// beating SYSV; IBM BSS falling — must hold across a wide band around
+// the calibrated values, or the reproduction would be a knife-edge
+// artefact.
+func RunSensitivity(opt Options) (*Report, error) {
+	r := newReport("sensitivity", "Calibration robustness: aging-quantum sweep",
+		"the Figure 2 shape claims must not depend on the exact aging calibration")
+	msgs := opt.msgs()
+	clients := []int{1, 6}
+
+	for _, scale := range []float64{0.5, 0.75, 1.0, 1.5, 2.0} {
+		sgi := machine.SGIIndy()
+		sgi.UsageQuantum = machine.Time(float64(sgi.UsageQuantum) * scale)
+		bss, _, err := sweep(workload.Config{Machine: sgi, Alg: core.BSS}, clients, msgs)
+		if err != nil {
+			return nil, err
+		}
+		sysv, _, err := sweep(workload.Config{Machine: sgi, Transport: workload.TransportSysV}, clients, msgs)
+		if err != nil {
+			return nil, err
+		}
+		key := fmt.Sprintf("sensitivity/sgi/%.2f", scale)
+		r.Records[key+"/bss1"] = bss[0]
+		r.Records[key+"/bss6"] = bss[1]
+		r.Records[key+"/sysv1"] = sysv[0]
+		r.Records[key+"/rising"] = boolTo01(bss[1] > bss[0])
+		r.Records[key+"/beats_sysv"] = boolTo01(bss[0] > sysv[0])
+
+		ibm := machine.IBMP4()
+		ibm.UsageQuantum = machine.Time(float64(ibm.UsageQuantum) * scale)
+		ibss, _, err := sweep(workload.Config{Machine: ibm, Alg: core.BSS}, clients, msgs)
+		if err != nil {
+			return nil, err
+		}
+		ikey := fmt.Sprintf("sensitivity/ibm/%.2f", scale)
+		r.Records[ikey+"/bss1"] = ibss[0]
+		r.Records[ikey+"/bss6"] = ibss[1]
+		r.Records[ikey+"/falling"] = boolTo01(ibss[1] < ibss[0])
+	}
+
+	t := throughputSensitivityTable(r)
+	r.Tables = append(r.Tables, t)
+	r.note("Scale multiplies the machine's UsageQuantum (priority levels per CPU consumed). The rising/falling/beats-SYSV columns are the shape claims under test.")
+	r.note("Finding: IBM's falling shape is robust across the whole band; SGI's rising shape holds for scales >= 1 — i.e. whenever yields are sticky enough that a single spinning pair wastes multiple yields per exchange, which is exactly the regime the paper's own 2.5-yields-per-RTT instrumentation places IRIX in. Below that, 1-client BSS is already efficient and batching cannot improve on it.")
+	return r, nil
+}
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func throughputSensitivityTable(r *Report) *chart.Table {
+	t := &chart.Table{}
+	t.Title = "Aging-quantum sensitivity (x = calibrated value)"
+	t.Headers = []string{"scale", "SGI BSS 1c", "SGI BSS 6c", "rising?", "beats SYSV?", "IBM BSS 1c", "IBM BSS 6c", "falling?"}
+	for _, scale := range []string{"0.50", "0.75", "1.00", "1.50", "2.00"} {
+		sk := "sensitivity/sgi/" + scale
+		ik := "sensitivity/ibm/" + scale
+		t.AddRow(scale,
+			f2(r.Records[sk+"/bss1"]), f2(r.Records[sk+"/bss6"]),
+			yn(r.Records[sk+"/rising"]), yn(r.Records[sk+"/beats_sysv"]),
+			f2(r.Records[ik+"/bss1"]), f2(r.Records[ik+"/bss6"]),
+			yn(r.Records[ik+"/falling"]))
+	}
+	return t
+}
+
+func yn(v float64) string {
+	if v > 0.5 {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,164 @@
+package experiment
+
+import (
+	"fmt"
+
+	"ulipc/internal/chart"
+	"ulipc/internal/core"
+	"ulipc/internal/machine"
+	"ulipc/internal/metrics"
+	"ulipc/internal/sim"
+	"ulipc/internal/sim/sched"
+	"ulipc/internal/simbind"
+)
+
+// RunTable1 reproduces Table 1: the measured times for the primitive
+// operations on the two uniprocessor platforms — the enqueue/dequeue
+// pair, the msgsnd/msgrcv pair, and concurrent yield loop trips with
+// 1, 2 and 4 processes.
+func RunTable1(opt Options) (*Report, error) {
+	r := newReport("table1", "Measured times for primitive operations",
+		"SGI: enq/deq pair 3us, msgsnd/msgrcv pair 37us, concurrent yields 16/18/45us for 1/2/4 processes")
+
+	iters := opt.msgs() * 5
+	type row struct {
+		name  string
+		paper map[string]string // per machine; "?" where the source is unreadable
+		get   func(m *machine.Model) (float64, error)
+	}
+	rows := []row{
+		{
+			name:  "enqueue/dequeue pair (us)",
+			paper: map[string]string{"sgi": "3", "ibm": "(unreadable)"},
+			get:   func(m *machine.Model) (float64, error) { return measureEnqDeq(m, iters) },
+		},
+		{
+			name:  "msgsnd/msgrcv pair (us)",
+			paper: map[string]string{"sgi": "37", "ibm": "(unreadable)"},
+			get:   func(m *machine.Model) (float64, error) { return measureMsgPair(m, iters) },
+		},
+		{
+			name:  "concurrent yields, 1 process (us)",
+			paper: map[string]string{"sgi": "16", "ibm": "(unreadable)"},
+			get:   func(m *machine.Model) (float64, error) { return measureYields(m, 1, iters) },
+		},
+		{
+			name:  "concurrent yields, 2 processes (us)",
+			paper: map[string]string{"sgi": "18", "ibm": "(unreadable)"},
+			get:   func(m *machine.Model) (float64, error) { return measureYields(m, 2, iters) },
+		},
+		{
+			name:  "concurrent yields, 4 processes (us)",
+			paper: map[string]string{"sgi": "45", "ibm": "(unreadable)"},
+			get:   func(m *machine.Model) (float64, error) { return measureYields(m, 4, iters) },
+		},
+	}
+
+	for _, m := range uniMachines() {
+		short := "sgi"
+		if m.Name == machine.IBMP4().Name {
+			short = "ibm"
+		}
+		t := throughputTableHeader(m.Name)
+		for i, rw := range rows {
+			v, err := rw.get(m)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(rw.name, rw.paper[short], f2(v))
+			r.Records[fmt.Sprintf("t1/%s/%d", short, i)] = v
+		}
+		r.Tables = append(r.Tables, t)
+	}
+	r.note("Paper's IBM column is unreadable in our source; the IBM costs are calibrated to the Figure 2b anchors instead (see EXPERIMENTS.md).")
+	r.note("Concurrent-yield trips are wall time divided by total yields across processes, matching the paper's per-process normalisation.")
+	return r, nil
+}
+
+func throughputTableHeader(name string) *chart.Table {
+	return &chart.Table{
+		Title:   "Table 1 — " + name,
+		Headers: []string{"primitive", "paper", "measured"},
+	}
+}
+
+// measureEnqDeq times an enqueue/dequeue pair executed by one process in
+// a tight loop (as the paper measures it: no contention, no blocking).
+func measureEnqDeq(m *machine.Model, iters int) (float64, error) {
+	var perPair float64
+	err := microRun(m, func(k *sim.Kernel) {
+		q := simbind.NewQueue(k, "q", 4)
+		k.Spawn("bench", 0, func(p *sim.Proc) {
+			port := simbind.NewPort(p, q)
+			t0 := p.Now()
+			for i := 0; i < iters; i++ {
+				port.TryEnqueue(core.Msg{Val: float64(i)})
+				port.TryDequeue()
+			}
+			perPair = float64(p.Now()-t0) / float64(iters) / 1000.0
+		})
+	})
+	return perPair, err
+}
+
+// measureMsgPair times a msgsnd/msgrcv pair executed by one process in a
+// tight loop against a System V queue.
+func measureMsgPair(m *machine.Model, iters int) (float64, error) {
+	var perPair float64
+	err := microRun(m, func(k *sim.Kernel) {
+		q := k.NewMsgQueue(4)
+		k.Spawn("bench", 0, func(p *sim.Proc) {
+			t0 := p.Now()
+			for i := 0; i < iters; i++ {
+				p.MsgSnd(q, i)
+				p.MsgRcv(q)
+			}
+			perPair = float64(p.Now()-t0) / float64(iters) / 1000.0
+		})
+	})
+	return perPair, err
+}
+
+// measureYields reproduces the concurrent-yield experiment: n processes
+// barrier and then enter a tight yield loop; the reported time is wall
+// time divided by the total number of yields.
+func measureYields(m *machine.Model, n, iters int) (float64, error) {
+	var start, end sim.Time
+	err := microRun(m, func(k *sim.Kernel) {
+		b := k.NewBarrier(n)
+		for i := 0; i < n; i++ {
+			i := i
+			k.Spawn(fmt.Sprintf("spinner%d", i), 0, func(p *sim.Proc) {
+				p.Barrier(b)
+				if i == 0 {
+					start = p.Now()
+				}
+				for j := 0; j < iters; j++ {
+					p.Yield()
+				}
+				if t := p.Now(); t > end {
+					end = t
+				}
+			})
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return float64(end-start) / float64(n*iters) / 1000.0, nil
+}
+
+// microRun builds a kernel with the default degrading policy, lets setup
+// spawn the processes, and runs to completion.
+func microRun(m *machine.Model, setup func(*sim.Kernel)) error {
+	pol, err := sched.New(sched.PolicyDegrading)
+	if err != nil {
+		return err
+	}
+	k, err := sim.New(sim.Config{Machine: m, Sched: pol, Metrics: metrics.NewSet()})
+	if err != nil {
+		return err
+	}
+	setup(k)
+	return k.Run()
+}

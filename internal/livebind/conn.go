@@ -1,0 +1,126 @@
+package livebind
+
+import (
+	"fmt"
+	"sync"
+
+	"ulipc/internal/core"
+)
+
+// Dynamic connection management. The shared segment pre-allocates
+// Options.Clients reply queues (exactly as the paper's server allocates
+// a reply queue per client); Connect claims a free slot at runtime,
+// performs the connect handshake, and Close releases the slot for reuse
+// — so a long-running server serves an arbitrary sequence of short-lived
+// clients with a bounded segment.
+
+// Conn is a live client connection with lifecycle management.
+type Conn struct {
+	cl     *core.Client
+	sys    *System
+	slot   int
+	closed bool
+	mu     sync.Mutex
+}
+
+// connPool tracks free client slots; it lives on System.
+type connPool struct {
+	mu   sync.Mutex
+	free []int
+	init bool
+}
+
+func (s *System) slots() *connPool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if !s.conns.init {
+		s.conns.init = true
+		for i := len(s.replies) - 1; i >= 0; i-- {
+			s.conns.free = append(s.conns.free, i)
+		}
+	}
+	return &s.conns
+}
+
+// Connect claims a free client slot, sends the connect handshake, and
+// returns the connection. It fails when every slot is in use (the
+// shared segment is a fixed-size resource, like the paper's mapped
+// regions).
+func (s *System) Connect() (*Conn, error) {
+	pool := s.slots()
+	pool.mu.Lock()
+	if len(pool.free) == 0 {
+		pool.mu.Unlock()
+		return nil, fmt.Errorf("livebind: all %d client slots in use", len(s.replies))
+	}
+	slot := pool.free[len(pool.free)-1]
+	pool.free = pool.free[:len(pool.free)-1]
+	pool.mu.Unlock()
+
+	cl, err := s.Client(slot)
+	if err != nil {
+		pool.mu.Lock()
+		pool.free = append(pool.free, slot)
+		pool.mu.Unlock()
+		return nil, err
+	}
+	if ans := cl.Send(core.Msg{Op: core.OpConnect}); ans.Op != core.OpConnect {
+		pool.mu.Lock()
+		pool.free = append(pool.free, slot)
+		pool.mu.Unlock()
+		return nil, fmt.Errorf("livebind: bad connect reply %+v", ans)
+	}
+	return &Conn{cl: cl, sys: s, slot: slot}, nil
+}
+
+// Send issues a synchronous request on the connection.
+func (c *Conn) Send(m core.Msg) (core.Msg, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return core.Msg{}, fmt.Errorf("livebind: send on closed connection")
+	}
+	return c.cl.Send(m), nil
+}
+
+// SendAsync issues an asynchronous request; collect replies with
+// RecvReply.
+func (c *Conn) SendAsync(m core.Msg) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("livebind: send on closed connection")
+	}
+	c.cl.SendAsync(m)
+	return nil
+}
+
+// RecvReply collects one reply for a previous SendAsync.
+func (c *Conn) RecvReply() (core.Msg, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return core.Msg{}, fmt.Errorf("livebind: recv on closed connection")
+	}
+	return c.cl.RecvReply(), nil
+}
+
+// Slot returns the reply-channel number this connection occupies.
+func (c *Conn) Slot() int { return c.slot }
+
+// Close sends the disconnect handshake and releases the slot for reuse.
+// Close is idempotent.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.cl.Send(core.Msg{Op: core.OpDisconnect})
+	pool := c.sys.slots()
+	pool.mu.Lock()
+	pool.free = append(pool.free, c.slot)
+	pool.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,121 @@
+package livebind
+
+import (
+	"sync"
+	"testing"
+
+	"ulipc/internal/core"
+)
+
+func TestConnectLifecycle(t *testing.T) {
+	sys, err := NewSystem(Options{Alg: core.BSLS, Clients: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := sys.Server()
+	done := make(chan int64, 1)
+	go func() { done <- srv.Serve(nil) }()
+
+	c1, err := sys.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := sys.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Slot() == c2.Slot() {
+		t.Fatal("two connections share a slot")
+	}
+	// All slots in use.
+	if _, err := sys.Connect(); err == nil {
+		t.Fatal("third connection accepted with 2 slots")
+	}
+	ans, err := c1.Send(core.Msg{Op: core.OpEcho, Val: 5})
+	if err != nil || ans.Val != 5 {
+		t.Fatalf("send: %v %v", ans, err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The slot is reusable.
+	c3, err := sys.Connect()
+	if err != nil {
+		t.Fatalf("reconnect after close: %v", err)
+	}
+	if c3.Slot() != c1.Slot() {
+		t.Fatalf("slot not reused: %d vs %d", c3.Slot(), c1.Slot())
+	}
+	c3.Close()
+	c2.Close()
+	<-done
+}
+
+func TestConnClosedOps(t *testing.T) {
+	sys, err := NewSystem(Options{Alg: core.BSW, Clients: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := sys.Server()
+	go srv.Serve(nil)
+	c, err := sys.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := c.Close(); err != nil {
+		t.Fatal("Close must be idempotent")
+	}
+	if _, err := c.Send(core.Msg{Op: core.OpEcho}); err == nil {
+		t.Fatal("send on closed connection accepted")
+	}
+	if err := c.SendAsync(core.Msg{Op: core.OpEcho}); err == nil {
+		t.Fatal("async send on closed connection accepted")
+	}
+	if _, err := c.RecvReply(); err == nil {
+		t.Fatal("recv on closed connection accepted")
+	}
+}
+
+func TestConnectChurn(t *testing.T) {
+	// Many short-lived clients over few slots: the long-running server
+	// must survive arbitrary connect/disconnect sequences. Serve exits
+	// when the connected count hits zero, so the test holds one anchor
+	// connection open for the duration.
+	sys, err := NewSystem(Options{Alg: core.BSLS, MaxSpin: 4, Clients: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := sys.Server()
+	done := make(chan int64, 1)
+	go func() { done <- srv.Serve(nil) }()
+
+	anchor, err := sys.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c, err := sys.Connect()
+				if err != nil {
+					continue // transient slot exhaustion is expected
+				}
+				for j := 0; j < 5; j++ {
+					ans, err := c.Send(core.Msg{Op: core.OpEcho, Seq: int32(j)})
+					if err != nil || ans.Seq != int32(j) {
+						t.Errorf("g%d: bad reply %+v %v", g, ans, err)
+					}
+				}
+				c.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+	anchor.Close()
+	<-done
+}

@@ -1,0 +1,212 @@
+// Package livebind binds the protocol code of internal/core to a real
+// in-process runtime: queues from internal/queue, atomic test-and-set on
+// the awake flags, runtime.Gosched as yield, and counting semaphores
+// built on sync.Cond.
+//
+// This is the library surface a Go program uses directly. "Processes"
+// are goroutines (optionally pinned to OS threads); the address-space
+// boundary of the paper's deployment is elided, but every code path —
+// the queues, the awake-flag races, the wake-up system calls — is the
+// same one a shared-memory deployment exercises. See DESIGN.md for the
+// substitution rationale.
+package livebind
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"ulipc/internal/core"
+	"ulipc/internal/metrics"
+	"ulipc/internal/queue"
+)
+
+// Channel is one unidirectional shared queue plus its consumer's wake
+// state (awake flag and semaphore) — the live analogue of the paper's
+// shared-memory queue segment.
+type Channel struct {
+	q       queue.Queue
+	awake   atomic.Bool
+	waiters atomic.Int64 // worker-pool registrations
+	sem     *Semaphore
+	id      core.SemID
+}
+
+// NewChannel builds a channel over the given queue implementation.
+func NewChannel(kind queue.Kind, capacity int) (*Channel, error) {
+	q, err := queue.New(kind, capacity)
+	if err != nil {
+		return nil, err
+	}
+	c := &Channel{q: q, sem: NewSemaphore(0)}
+	c.awake.Store(true)
+	return c, nil
+}
+
+// Queue exposes the underlying queue (diagnostics).
+func (c *Channel) Queue() queue.Queue { return c.q }
+
+// SemCount exposes the semaphore count (diagnostics and tests: the
+// Figure 4 race analysis is about this value staying bounded).
+func (c *Channel) SemCount() int64 { return c.sem.Count() }
+
+// Port is a process's endpoint on a channel; it implements core.Port.
+type Port struct {
+	c *Channel
+}
+
+// NewPort returns an endpoint view of the channel.
+func NewPort(c *Channel) *Port { return &Port{c: c} }
+
+// TryEnqueue implements core.Port.
+func (p *Port) TryEnqueue(m core.Msg) bool { return p.c.q.Enqueue(m) }
+
+// TryDequeue implements core.Port.
+func (p *Port) TryDequeue() (core.Msg, bool) { return p.c.q.Dequeue() }
+
+// Empty implements core.Port.
+func (p *Port) Empty() bool { return p.c.q.Empty() }
+
+// SetAwake implements core.Port.
+func (p *Port) SetAwake(v bool) { p.c.awake.Store(v) }
+
+// TASAwake implements core.Port.
+func (p *Port) TASAwake() bool { return p.c.awake.Swap(true) }
+
+// Sem implements core.Port.
+func (p *Port) Sem() core.SemID { return p.c.id }
+
+// Actor implements core.Actor over the Go runtime. Each participant
+// (client or server goroutine) owns one Actor; the sems table maps
+// core.SemID to the process-wide semaphores.
+type Actor struct {
+	sems []*Semaphore
+
+	// SpinIters, when positive, makes BusyWait/PollDelay a bounded spin
+	// (multiprocessor flavour); otherwise they are runtime.Gosched
+	// (uniprocessor flavour).
+	SpinIters int
+
+	// SleepScale compresses the protocols' queue-full sleep(1) for
+	// testing; 0 means full UNIX semantics (1 second).
+	SleepScale time.Duration
+
+	M *metrics.Proc // optional
+
+	spinSink int64
+}
+
+// Yield implements core.Actor.
+func (a *Actor) Yield() {
+	if a.M != nil {
+		a.M.Yields.Add(1)
+	}
+	runtime.Gosched()
+}
+
+// BusyWait implements core.Actor.
+func (a *Actor) BusyWait() {
+	if a.SpinIters > 0 {
+		a.spin(a.SpinIters)
+		return
+	}
+	runtime.Gosched()
+}
+
+// PollDelay implements core.Actor.
+func (a *Actor) PollDelay() { a.BusyWait() }
+
+// SleepSec implements core.Actor.
+func (a *Actor) SleepSec(s int) {
+	if a.M != nil {
+		a.M.Sleeps.Add(1)
+	}
+	d := time.Duration(s) * time.Second
+	if a.SleepScale > 0 {
+		d = time.Duration(s) * a.SleepScale
+	}
+	time.Sleep(d)
+}
+
+// P implements core.Actor.
+func (a *Actor) P(id core.SemID) {
+	if a.M != nil {
+		a.M.SemP.Add(1)
+	}
+	a.sems[id].P()
+}
+
+// V implements core.Actor.
+func (a *Actor) V(id core.SemID) {
+	if a.M != nil {
+		a.M.SemV.Add(1)
+	}
+	a.sems[id].V()
+}
+
+// Handoff implements core.Actor. The Go runtime exposes no hand-off
+// primitive, so the hint degrades to a yield — exactly the fallback the
+// paper's portable implementation uses.
+func (a *Actor) Handoff(target int) { a.Yield() }
+
+// spin burns CPU without synchronisation. The accumulator is per-Actor
+// (one Actor per goroutine), so there is no shared mutable state.
+//
+//go:noinline
+func (a *Actor) spin(n int) {
+	acc := a.spinSink
+	for i := 0; i < n; i++ {
+		acc += int64(i)
+	}
+	a.spinSink = acc
+}
+
+var (
+	_ core.Port  = (*Port)(nil)
+	_ core.Actor = (*Actor)(nil)
+)
+
+// PoolPort is a channel endpoint whose consumer side is a worker pool
+// (counted waiters); it implements core.PoolPort.
+type PoolPort struct {
+	c *Channel
+}
+
+// NewPoolPort returns a pool-endpoint view of the channel.
+func NewPoolPort(c *Channel) *PoolPort { return &PoolPort{c: c} }
+
+// TryEnqueue implements core.PoolPort.
+func (p *PoolPort) TryEnqueue(m core.Msg) bool { return p.c.q.Enqueue(m) }
+
+// TryDequeue implements core.PoolPort.
+func (p *PoolPort) TryDequeue() (core.Msg, bool) { return p.c.q.Dequeue() }
+
+// Empty implements core.PoolPort.
+func (p *PoolPort) Empty() bool { return p.c.q.Empty() }
+
+// RegisterWaiter implements core.PoolPort.
+func (p *PoolPort) RegisterWaiter() { p.c.waiters.Add(1) }
+
+// TryUnregisterWaiter implements core.PoolPort.
+func (p *PoolPort) TryUnregisterWaiter() bool { return decIfPositive(&p.c.waiters) }
+
+// ClaimWaiter implements core.PoolPort.
+func (p *PoolPort) ClaimWaiter() bool { return decIfPositive(&p.c.waiters) }
+
+// Sem implements core.PoolPort.
+func (p *PoolPort) Sem() core.SemID { return p.c.id }
+
+// decIfPositive atomically decrements v if it is positive.
+func decIfPositive(v *atomic.Int64) bool {
+	for {
+		cur := v.Load()
+		if cur <= 0 {
+			return false
+		}
+		if v.CompareAndSwap(cur, cur-1) {
+			return true
+		}
+	}
+}
+
+var _ core.PoolPort = (*PoolPort)(nil)

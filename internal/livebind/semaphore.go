@@ -1,0 +1,44 @@
+package livebind
+
+import "sync"
+
+// Semaphore is a counting semaphore with System V semantics: P blocks
+// while the count is zero; V increments the count or wakes one waiter.
+// Like the kernel primitive, V never yields the caller.
+type Semaphore struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	count int64
+}
+
+// NewSemaphore creates a semaphore with the given initial count.
+func NewSemaphore(initial int64) *Semaphore {
+	s := &Semaphore{count: initial}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// P (down) decrements the count, blocking while it is zero.
+func (s *Semaphore) P() {
+	s.mu.Lock()
+	for s.count == 0 {
+		s.cond.Wait()
+	}
+	s.count--
+	s.mu.Unlock()
+}
+
+// V (up) increments the count and wakes one waiter.
+func (s *Semaphore) V() {
+	s.mu.Lock()
+	s.count++
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// Count returns the current count (diagnostics).
+func (s *Semaphore) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}

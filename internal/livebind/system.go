@@ -1,0 +1,244 @@
+package livebind
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ulipc/internal/core"
+	"ulipc/internal/metrics"
+	"ulipc/internal/queue"
+	"ulipc/internal/shm"
+)
+
+// Options configures a live IPC system (one server, n client slots).
+type Options struct {
+	Alg       core.Algorithm
+	MaxSpin   int        // BSLS MAX_SPIN (core.DefaultMaxSpin if zero)
+	Clients   int        // number of client slots (reply queues)
+	QueueCap  int        // per-queue capacity; default 64
+	QueueKind queue.Kind // queue implementation; default two-lock
+	SpinIters int        // >0: multiprocessor busy_wait flavour
+	Throttle  int        // server wake throttle (0 = unlimited)
+
+	// SleepScale compresses the queue-full sleep(1); 0 keeps the paper's
+	// full-second UNIX semantics.
+	SleepScale time.Duration
+
+	// BlockSlots, when positive, attaches a shared block pool for
+	// variable-sized message components (Section 2.1), with that many
+	// slots per size class.
+	BlockSlots int
+
+	// Duplex additionally wires a client->server queue per client so
+	// the thread-per-client architecture (DuplexPair) can be used.
+	Duplex bool
+
+	Metrics *metrics.Set // optional; created if nil
+}
+
+// System wires a server and its clients over live channels. It is the
+// top-level entry point of the library: create a System, run Server()
+// in its own goroutine, and issue requests through the Client handles.
+type System struct {
+	opts    Options
+	recv    *Channel
+	replies []*Channel
+	c2s     []*Channel // per-client request channels (Duplex only)
+	sems    []*Semaphore
+	blocks  *shm.BlockPool
+	ms      *metrics.Set
+
+	connMu sync.Mutex
+	conns  connPool
+}
+
+// NewSystem builds the shared state for one server and opts.Clients
+// clients.
+func NewSystem(opts Options) (*System, error) {
+	if opts.Clients < 1 {
+		return nil, fmt.Errorf("livebind: need at least 1 client, got %d", opts.Clients)
+	}
+	if opts.QueueCap <= 0 {
+		opts.QueueCap = 64
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = metrics.NewSet()
+	}
+	s := &System{opts: opts, ms: opts.Metrics}
+	var err error
+	if s.recv, err = NewChannel(opts.QueueKind, opts.QueueCap); err != nil {
+		return nil, err
+	}
+	s.addSem(s.recv)
+	for i := 0; i < opts.Clients; i++ {
+		ch, err := NewChannel(opts.QueueKind, opts.QueueCap)
+		if err != nil {
+			return nil, err
+		}
+		s.addSem(ch)
+		s.replies = append(s.replies, ch)
+	}
+	if opts.Duplex {
+		for i := 0; i < opts.Clients; i++ {
+			ch, err := NewChannel(opts.QueueKind, opts.QueueCap)
+			if err != nil {
+				return nil, err
+			}
+			s.addSem(ch)
+			s.c2s = append(s.c2s, ch)
+		}
+	}
+	if opts.BlockSlots > 0 {
+		pool, err := shm.NewDefaultBlockPool(opts.BlockSlots)
+		if err != nil {
+			return nil, err
+		}
+		s.blocks = pool
+	}
+	return s, nil
+}
+
+// Blocks returns the shared block pool for variable-sized message
+// components, or nil if Options.BlockSlots was zero.
+func (s *System) Blocks() *shm.BlockPool { return s.blocks }
+
+// DuplexPair returns the two endpoints of client i's full-duplex virtual
+// connection — the thread-per-client architecture of Section 2.1. The
+// handler is meant to run on its own goroutine (the "server thread").
+// Requires Options.Duplex.
+func (s *System) DuplexPair(i int) (*core.DuplexClient, *core.DuplexHandler, error) {
+	if !s.opts.Duplex {
+		return nil, nil, fmt.Errorf("livebind: system built without Options.Duplex")
+	}
+	if i < 0 || i >= len(s.c2s) {
+		return nil, nil, fmt.Errorf("livebind: client index %d out of range [0,%d)", i, len(s.c2s))
+	}
+	ca := s.newActor(fmt.Sprintf("client%d", i))
+	cl := &core.DuplexClient{
+		Alg:     s.opts.Alg,
+		MaxSpin: s.opts.MaxSpin,
+		Snd:     NewPort(s.c2s[i]),
+		Rcv:     NewPort(s.replies[i]),
+		A:       ca,
+		M:       ca.M,
+	}
+	ha := s.newActor(fmt.Sprintf("server%d", i))
+	h := &core.DuplexHandler{
+		Alg:     s.opts.Alg,
+		MaxSpin: s.opts.MaxSpin,
+		Rcv:     NewPort(s.c2s[i]),
+		Snd:     NewPort(s.replies[i]),
+		A:       ha,
+		M:       ha.M,
+	}
+	return cl, h, nil
+}
+
+func (s *System) addSem(c *Channel) {
+	c.id = core.SemID(len(s.sems))
+	s.sems = append(s.sems, c.sem)
+}
+
+// Metrics returns the system's metrics set.
+func (s *System) Metrics() *metrics.Set { return s.ms }
+
+// ReceiveChannel exposes the server receive channel (diagnostics).
+func (s *System) ReceiveChannel() *Channel { return s.recv }
+
+// ReplyChannel exposes a client's reply channel (diagnostics).
+func (s *System) ReplyChannel(i int) *Channel { return s.replies[i] }
+
+func (s *System) newActor(name string) *Actor {
+	return &Actor{
+		sems:       s.sems,
+		SpinIters:  s.opts.SpinIters,
+		SleepScale: s.opts.SleepScale,
+		M:          s.ms.NewProc(name),
+	}
+}
+
+// WorkerPool builds a pool of n server workers sharing the receive
+// queue (the "multiple server threads" of Section 2.1, using the
+// model-checked counted-waiters wake discipline) plus the matching
+// client constructor. Run each worker's Serve on its own goroutine and
+// issue requests through PoolClient handles.
+func (s *System) WorkerPool(n int) ([]*core.PoolWorker, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("livebind: worker pool needs >= 1 worker, got %d", n)
+	}
+	coord := &core.PoolCoordinator{Workers: n}
+	workers := make([]*core.PoolWorker, n)
+	for w := 0; w < n; w++ {
+		a := s.newActor(fmt.Sprintf("server%d", w))
+		replies := make([]core.Port, len(s.replies))
+		for i, ch := range s.replies {
+			replies[i] = NewPort(ch)
+		}
+		workers[w] = &core.PoolWorker{
+			Alg:     s.opts.Alg,
+			MaxSpin: s.opts.MaxSpin,
+			Rcv:     NewPoolPort(s.recv),
+			Replies: replies,
+			A:       a,
+			C:       coord,
+			M:       a.M,
+		}
+	}
+	return workers, nil
+}
+
+// PoolClient builds the client handle for slot i against a worker pool
+// built with WorkerPool.
+func (s *System) PoolClient(i int) (*core.PoolClient, error) {
+	if i < 0 || i >= len(s.replies) {
+		return nil, fmt.Errorf("livebind: client index %d out of range [0,%d)", i, len(s.replies))
+	}
+	a := s.newActor(fmt.Sprintf("client%d", i))
+	return &core.PoolClient{
+		ID:      int32(i),
+		Alg:     s.opts.Alg,
+		MaxSpin: s.opts.MaxSpin,
+		Srv:     NewPoolPort(s.recv),
+		Rcv:     NewPort(s.replies[i]),
+		A:       a,
+		M:       a.M,
+	}, nil
+}
+
+// Server builds the server-side handle. Run its Serve loop (or drive
+// Receive/Reply directly) on a dedicated goroutine.
+func (s *System) Server() *core.Server {
+	a := s.newActor("server")
+	replies := make([]core.Port, len(s.replies))
+	for i, ch := range s.replies {
+		replies[i] = NewPort(ch)
+	}
+	return &core.Server{
+		Alg:      s.opts.Alg,
+		MaxSpin:  s.opts.MaxSpin,
+		Rcv:      NewPort(s.recv),
+		Replies:  replies,
+		A:        a,
+		M:        a.M,
+		Throttle: s.opts.Throttle,
+	}
+}
+
+// Client builds the handle for client slot i. Each handle is owned by a
+// single goroutine.
+func (s *System) Client(i int) (*core.Client, error) {
+	if i < 0 || i >= len(s.replies) {
+		return nil, fmt.Errorf("livebind: client index %d out of range [0,%d)", i, len(s.replies))
+	}
+	a := s.newActor(fmt.Sprintf("client%d", i))
+	return &core.Client{
+		ID:      int32(i),
+		Alg:     s.opts.Alg,
+		MaxSpin: s.opts.MaxSpin,
+		Srv:     NewPort(s.recv),
+		Rcv:     NewPort(s.replies[i]),
+		A:       a,
+		M:       a.M,
+	}, nil
+}

@@ -1,0 +1,108 @@
+// Package machine defines cost models for the hardware/OS platforms the
+// paper evaluates on. A Model carries only primitive-operation costs (the
+// kind of numbers reported in the paper's Table 1) plus scheduler
+// parameters; all figure-level behaviour must emerge from the interaction
+// of the protocols with the simulated scheduler.
+//
+// All times are virtual nanoseconds (sim.Time).
+package machine
+
+import "fmt"
+
+// Time is virtual time in nanoseconds. It mirrors sim.Time; machine is a
+// leaf package so it declares its own alias to avoid an import cycle.
+type Time = int64
+
+// Convenient units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Model is the calibrated cost model for one platform.
+type Model struct {
+	Name string
+	CPUs int
+
+	// Shared-memory user-level primitive costs.
+	EnqueueCost Time // one enqueue on the shared two-lock queue
+	DequeueCost Time // one dequeue (including a failed attempt on empty)
+	EmptyCost   Time // non-destructive empty check (BSLS poll)
+	TASCost     Time // atomic test-and-set on the awake flag
+	StoreCost   Time // plain store of the awake flag
+	LockHold    Time // serialization window per queue op (MP contention)
+
+	// System call costs (kernel entry+exit inclusive).
+	YieldCost   Time // sched_yield, excluding any context switch
+	SemPCost    Time // semaphore down, excluding blocking
+	SemVCost    Time // semaphore up, excluding any wakeup dispatch
+	MsgSndCost  Time // SYSV msgsnd, excluding blocking
+	MsgRcvCost  Time // SYSV msgrcv, excluding blocking
+	BlockCost   Time // extra kernel work to put a process to sleep
+	WakeupCost  Time // extra kernel work to make a process runnable
+	HandoffCost Time // proposed handoff(pid) syscall
+
+	// Context switch cost. Grows with the number of ready processes to
+	// model cache/TLB pollution (the paper's Table 1 shows concurrent
+	// yield loop trips of 16/18/45us for 1/2/4 processes on the SGI).
+	CtxSwitchBase    Time // switch cost with <=2 ready processes
+	CtxSwitchPerProc Time // additional cost per ready process beyond 2
+	CtxSwitchMax     Time // cap
+
+	// Scheduler parameters.
+	Quantum      Time    // scheduling quantum
+	UsageQuantum Time    // CPU usage that degrades priority by one level
+	DecayPerUs   float64 // usage decay per microsecond off-CPU
+	SleepFloor   Time    // minimum sleep(1) duration (UNIX semantics: >= 1s)
+
+	// Busy-wait behaviour.
+	SpinPollCost Time // one poll_queue busy-wait iteration on an MP (25us in Sec. 5)
+	BusyWaitSpin bool // true: busy_wait is a delay loop (MP); false: yield (uniprocessor)
+}
+
+// CtxSwitch returns the modelled context-switch cost when nReady processes
+// are ready to run.
+func (m *Model) CtxSwitch(nReady int) Time {
+	c := m.CtxSwitchBase
+	if nReady > 2 {
+		c += Time(nReady-2) * m.CtxSwitchPerProc
+	}
+	if m.CtxSwitchMax > 0 && c > m.CtxSwitchMax {
+		c = m.CtxSwitchMax
+	}
+	return c
+}
+
+// Validate reports configuration errors (zero or negative critical costs).
+func (m *Model) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("machine: empty name")
+	}
+	if m.CPUs < 1 {
+		return fmt.Errorf("machine %s: CPUs must be >= 1, got %d", m.Name, m.CPUs)
+	}
+	type named struct {
+		n string
+		v Time
+	}
+	for _, f := range []named{
+		{"EnqueueCost", m.EnqueueCost}, {"DequeueCost", m.DequeueCost},
+		{"YieldCost", m.YieldCost}, {"SemPCost", m.SemPCost},
+		{"SemVCost", m.SemVCost}, {"MsgSndCost", m.MsgSndCost},
+		{"MsgRcvCost", m.MsgRcvCost}, {"Quantum", m.Quantum},
+	} {
+		if f.v <= 0 {
+			return fmt.Errorf("machine %s: %s must be positive, got %d", m.Name, f.n, f.v)
+		}
+	}
+	if m.DecayPerUs < 0 {
+		return fmt.Errorf("machine %s: DecayPerUs must be >= 0", m.Name)
+	}
+	return nil
+}
+
+func (m *Model) String() string {
+	return fmt.Sprintf("%s (%d CPU)", m.Name, m.CPUs)
+}

@@ -1,0 +1,113 @@
+package machine
+
+import "testing"
+
+func TestPresetsValidate(t *testing.T) {
+	for _, m := range Presets() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesBadModels(t *testing.T) {
+	m := SGIIndy()
+	m.Name = ""
+	if m.Validate() == nil {
+		t.Error("empty name accepted")
+	}
+
+	m = SGIIndy()
+	m.CPUs = 0
+	if m.Validate() == nil {
+		t.Error("zero CPUs accepted")
+	}
+
+	m = SGIIndy()
+	m.YieldCost = 0
+	if m.Validate() == nil {
+		t.Error("zero yield cost accepted")
+	}
+
+	m = SGIIndy()
+	m.DecayPerUs = -1
+	if m.Validate() == nil {
+		t.Error("negative decay accepted")
+	}
+}
+
+func TestCtxSwitchGrowsAndCaps(t *testing.T) {
+	m := SGIIndy()
+	base := m.CtxSwitch(1)
+	if base != m.CtxSwitchBase {
+		t.Fatalf("1 ready: %d, want base %d", base, m.CtxSwitchBase)
+	}
+	if m.CtxSwitch(2) != m.CtxSwitchBase {
+		t.Fatal("2 ready must still be base")
+	}
+	four := m.CtxSwitch(4)
+	if four != m.CtxSwitchBase+2*m.CtxSwitchPerProc {
+		t.Fatalf("4 ready: %d", four)
+	}
+	big := m.CtxSwitch(1000)
+	if big != m.CtxSwitchMax {
+		t.Fatalf("1000 ready: %d, want cap %d", big, m.CtxSwitchMax)
+	}
+}
+
+// TestTable1Anchors pins the SGI model to the paper's Table 1 numbers:
+// these are inputs, not measurements, so equality is exact.
+func TestTable1Anchors(t *testing.T) {
+	m := SGIIndy()
+	if got := m.EnqueueCost + m.DequeueCost; got != 3*Microsecond {
+		t.Errorf("enq/deq pair = %d, want 3us", got)
+	}
+	if got := m.MsgSndCost + m.MsgRcvCost; got != 37*Microsecond {
+		t.Errorf("msgsnd/msgrcv pair = %d, want 37us", got)
+	}
+	if m.YieldCost != 16*Microsecond {
+		t.Errorf("yield = %d, want 16us", m.YieldCost)
+	}
+	if m.YieldCost+m.CtxSwitch(2) != 18*Microsecond {
+		t.Errorf("2-process yield trip = %d, want 18us", m.YieldCost+m.CtxSwitch(2))
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want string
+	}{
+		{"sgi", "SGI-Indy-IRIX6.2"},
+		{"ibm", "IBM-P4-AIX4.1"},
+		{"challenge", "SGI-Challenge-8P"},
+		{"linux", "Linux-486-1.0.32"},
+	} {
+		m, ok := ByName(tc.name)
+		if !ok || m.Name != tc.want {
+			t.Errorf("ByName(%q) = %v, %v", tc.name, m, ok)
+		}
+	}
+	if _, ok := ByName("cray"); ok {
+		t.Error("unknown machine accepted")
+	}
+}
+
+func TestChallengeIsMultiprocessor(t *testing.T) {
+	m := SGIChallenge8()
+	if m.CPUs != 8 {
+		t.Fatalf("CPUs = %d", m.CPUs)
+	}
+	if !m.BusyWaitSpin {
+		t.Fatal("Challenge busy_wait must be a spin loop, not yield")
+	}
+	if SGIIndy().BusyWaitSpin {
+		t.Fatal("Indy busy_wait must be yield")
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := SGIIndy().String(); s == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSnapshotCopiesCounters(t *testing.T) {
+	s := NewSet()
+	p := s.NewProc("worker")
+	p.Yields.Add(3)
+	p.SemP.Add(2)
+	p.MsgsSent.Add(10)
+	snap := p.Snapshot()
+	p.Yields.Add(100)
+	if snap.Yields != 3 || snap.SemP != 2 || snap.MsgsSent != 10 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestAddAccumulates(t *testing.T) {
+	a := Snapshot{Name: "a", Yields: 1, Blocks: 2, CPUTimeNS: 10}
+	b := Snapshot{Name: "b", Yields: 3, Blocks: 4, CPUTimeNS: 20}
+	a.Add(b)
+	if a.Yields != 4 || a.Blocks != 6 || a.CPUTimeNS != 30 {
+		t.Fatalf("sum = %+v", a)
+	}
+	if a.Name != "a" {
+		t.Fatal("Add must keep the receiver's name")
+	}
+}
+
+func TestByPrefix(t *testing.T) {
+	s := NewSet()
+	for _, name := range []string{"client0", "client1", "server"} {
+		p := s.NewProc(name)
+		p.Yields.Add(1)
+	}
+	clients := s.ByPrefix("client")
+	if clients.Yields != 2 {
+		t.Fatalf("client yields = %d", clients.Yields)
+	}
+	total := s.Total()
+	if total.Yields != 3 {
+		t.Fatalf("total yields = %d", total.Yields)
+	}
+}
+
+func TestFind(t *testing.T) {
+	s := NewSet()
+	s.NewProc("x")
+	if _, ok := s.Find("x"); !ok {
+		t.Error("Find missed x")
+	}
+	if _, ok := s.Find("y"); ok {
+		t.Error("Find invented y")
+	}
+}
+
+func TestSnapshotsSorted(t *testing.T) {
+	s := NewSet()
+	s.NewProc("b")
+	s.NewProc("a")
+	snaps := s.Snapshots()
+	if len(snaps) != 2 || snaps[0].Name != "a" || snaps[1].Name != "b" {
+		t.Fatalf("snaps = %v", snaps)
+	}
+}
+
+func TestRates(t *testing.T) {
+	var p Proc
+	p.Yields.Add(5)
+	p.MsgsSent.Add(2)
+	if got := p.Snapshot().YieldsPerMsg(); got != 2.5 {
+		t.Fatalf("yields/msg = %v", got)
+	}
+	if (Snapshot{}).YieldsPerMsg() != 0 {
+		t.Fatal("zero messages must give 0 rate")
+	}
+
+	p.SpinLoops.Add(4)
+	p.SpinFallThrus.Add(1)
+	p.SpinIters.Add(8)
+	if got := p.FallThroughRate(); got != 0.25 {
+		t.Fatalf("fall-through = %v", got)
+	}
+	if got := p.AvgSpinIters(); got != 2 {
+		t.Fatalf("avg iters = %v", got)
+	}
+	var empty Proc
+	if empty.FallThroughRate() != 0 || empty.AvgSpinIters() != 0 {
+		t.Fatal("empty proc rates must be 0")
+	}
+}
+
+func TestSwitchesTotal(t *testing.T) {
+	var p Proc
+	p.VoluntaryCS.Add(3)
+	p.InvoluntaryCS.Add(4)
+	if p.SwitchesTotal() != 7 {
+		t.Fatalf("total = %d", p.SwitchesTotal())
+	}
+	if p.Snapshot().SwitchesTotal() != 7 {
+		t.Fatal("snapshot total mismatch")
+	}
+}
+
+func TestStringContainsName(t *testing.T) {
+	s := Snapshot{Name: "thing", VoluntaryCS: 1}
+	if !strings.Contains(s.String(), "thing") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}

@@ -1,0 +1,310 @@
+package protomodel
+
+import "fmt"
+
+// Multi-consumer extension: Section 2.1 contemplates "multiple clients
+// and multiple server threads" on the shared queues, but the paper's
+// protocol tracks the consumer side with a single boolean awake flag —
+// which cannot represent two sleeping workers. PoolCheck model-checks
+// the multi-consumer case for two consumer-side disciplines:
+//
+//   - SharedFlag: the paper's protocol verbatim, flag shared by all
+//     consumers. Exhaustive exploration finds the lost-wakeup deadlock
+//     (one V wakes one worker; the flag — now set — suppresses the wake
+//     for the second sleeping worker even though its message is queued).
+//   - Counted waiters (SharedFlag=false): the fix used by
+//     internal/core's worker pool — a waiter counter; producers claim a
+//     waiter (atomic decrement) before issuing V, consumers register
+//     before their re-check and drain the pending V if they were claimed
+//     after finding a message anyway.
+type PoolConfig struct {
+	Consumers int // worker pool size (1..maxConsumers)
+	Producers int
+	Msgs      int // per producer; Producers*Msgs must divide by Consumers
+
+	// SharedFlag selects the paper's single-awake-flag discipline;
+	// false selects the counted-waiters discipline.
+	SharedFlag bool
+}
+
+const maxConsumers = 2
+
+// Pool consumer program counters.
+const (
+	pcTop    = iota // dequeue attempt
+	pcReg           // clear flag / register as waiter
+	pcDeq2          // second dequeue attempt
+	pcUnreg         // counted: try to unregister after a late success
+	pcDrainP        // consume the claimed V
+	pcSleep         // P()
+	pcWake          // counted: nothing; shared: set flag
+	pcDone
+)
+
+// poolState is the exploration state for the pool model.
+type poolState struct {
+	queue    int8
+	flag     bool // shared-flag discipline
+	waiters  int8 // counted discipline
+	sem      int8
+	consumed int8
+
+	cpc [maxConsumers]int8
+	// cnt is each worker's consumption count. Workers exit at their
+	// quota (total/consumers): a finished worker cannot cover for a
+	// sleeping sibling, which is what exposes the shared-flag hazard —
+	// with a single immortal worker any wake-up drains the whole queue
+	// and the flaw stays hidden.
+	cnt  [maxConsumers]int8
+	ppc  [maxProducers]int8
+	sent [maxProducers]int8
+}
+
+// PoolCheck exhaustively explores the multi-consumer protocol variant.
+func PoolCheck(cfg PoolConfig) (Result, error) {
+	if cfg.Consumers < 1 || cfg.Consumers > maxConsumers {
+		return Result{}, fmt.Errorf("protomodel: consumers must be in [1,%d]", maxConsumers)
+	}
+	if cfg.Producers < 1 || cfg.Producers > maxProducers {
+		return Result{}, fmt.Errorf("protomodel: producers must be in [1,%d]", maxProducers)
+	}
+	if cfg.Msgs < 1 || cfg.Msgs > 3 {
+		return Result{}, fmt.Errorf("protomodel: msgs must be in [1,3]")
+	}
+	total := cfg.Producers * cfg.Msgs
+	if total%cfg.Consumers != 0 {
+		return Result{}, fmt.Errorf("protomodel: total messages (%d) must divide by consumers (%d)", total, cfg.Consumers)
+	}
+	c := &poolChecker{
+		cfg: cfg, target: int8(total), quota: int8(total / cfg.Consumers),
+		seen: map[poolState]bool{}, allConsumed: true,
+	}
+	init := poolState{flag: true}
+	for i := 0; i < cfg.Consumers; i++ {
+		init.cpc[i] = pcTop
+	}
+	for i := cfg.Consumers; i < maxConsumers; i++ {
+		init.cpc[i] = pcDone
+	}
+	for i := 0; i < cfg.Producers; i++ {
+		init.ppc[i] = pEnq
+	}
+	c.explore(init, nil)
+	c.res.States = len(c.seen)
+	c.res.AllConsumed = c.res.Terminal > 0 && c.allConsumed
+	return c.res, nil
+}
+
+type poolChecker struct {
+	cfg         PoolConfig
+	target      int8
+	quota       int8 // per-worker consumption before it leaves the pool
+	seen        map[poolState]bool
+	res         Result
+	allConsumed bool
+}
+
+func (c *poolChecker) explore(s poolState, path []string) {
+	if c.seen[s] {
+		return
+	}
+	c.seen[s] = true
+	if int(s.sem) > c.res.MaxSem {
+		c.res.MaxSem = int(s.sem)
+	}
+	moved := false
+	for i := 0; i < c.cfg.Consumers; i++ {
+		if ns, label, ok := c.stepConsumer(s, i); ok {
+			moved = true
+			c.explore(ns, pathAppend(path, label))
+		}
+	}
+	for i := 0; i < c.cfg.Producers; i++ {
+		if ns, label, ok := c.stepProducer(s, i); ok {
+			moved = true
+			c.explore(ns, pathAppend(path, label))
+		}
+	}
+	if moved {
+		return
+	}
+	producersDone := true
+	for i := 0; i < c.cfg.Producers; i++ {
+		if s.ppc[i] != pDone {
+			producersDone = false
+		}
+	}
+	// A worker pool never drains completely: with every message consumed
+	// and every producer done, workers that are exited OR parked asleep
+	// (blocked in P with nothing pending) form a legitimate final state —
+	// exactly how an idle server pool looks. Anything else stuck is a
+	// deadlock (e.g. a worker asleep while its message sits queued).
+	if producersDone && s.consumed == c.target {
+		parkedOK := true
+		for i := 0; i < c.cfg.Consumers; i++ {
+			if s.cpc[i] != pcDone && s.cpc[i] != pcSleep {
+				parkedOK = false
+			}
+		}
+		if parkedOK {
+			c.res.Terminal++
+			return
+		}
+	}
+	if !c.res.Deadlock {
+		c.res.Deadlock = true
+		c.res.DeadlockPath = append([]string(nil), path...)
+	}
+	if producersDone && s.consumed != c.target {
+		c.allConsumed = false
+	}
+}
+
+// afterConsume routes worker i after handling a message (or a spurious
+// wake): it exits at its quota, otherwise loops.
+func (c *poolChecker) afterConsume(s *poolState, i int) {
+	if s.cnt[i] >= c.quota {
+		s.cpc[i] = pcDone
+		return
+	}
+	s.cpc[i] = pcTop
+}
+
+// take records worker i consuming one message.
+func (c *poolChecker) take(s *poolState, i int) {
+	s.queue--
+	s.consumed++
+	s.cnt[i]++
+}
+
+func (c *poolChecker) stepConsumer(s poolState, i int) (poolState, string, bool) {
+	name := func(step string) string { return fmt.Sprintf("C%d.%s", i+1, step) }
+	switch s.cpc[i] {
+	case pcTop:
+		if s.cnt[i] >= c.quota {
+			s.cpc[i] = pcDone
+			return s, name("exit"), true
+		}
+		if s.queue > 0 {
+			c.take(&s, i)
+			c.afterConsume(&s, i)
+			return s, name("1 dequeue-ok"), true
+		}
+		s.cpc[i] = pcReg
+		return s, name("1 dequeue-empty"), true
+
+	case pcReg:
+		if c.cfg.SharedFlag {
+			s.flag = false
+		} else {
+			s.waiters++
+		}
+		s.cpc[i] = pcDeq2
+		return s, name("2 register"), true
+
+	case pcDeq2:
+		if s.queue > 0 {
+			c.take(&s, i)
+			s.cpc[i] = pcUnreg
+			return s, name("3 dequeue-ok"), true
+		}
+		s.cpc[i] = pcSleep
+		return s, name("3 dequeue-empty"), true
+
+	case pcUnreg:
+		if c.cfg.SharedFlag {
+			// Paper's drain: tas the flag; pending V if it was set.
+			old := s.flag
+			s.flag = true
+			if old {
+				s.cpc[i] = pcDrainP
+			} else {
+				c.afterConsume(&s, i)
+			}
+			return s, name("3' tas(flag)"), true
+		}
+		if s.waiters > 0 {
+			s.waiters--
+			c.afterConsume(&s, i)
+			return s, name("3' unregister"), true
+		}
+		// Claimed by a producer: leave the V alone. Draining here — even
+		// non-blockingly — can steal a live wake-up from a sleeping
+		// sibling (the V at hand may be the claim of ITS registration);
+		// the exhaustive checker finds that deadlock. A stale V is
+		// benign: it wakes some below-quota worker spuriously, and that
+		// worker must re-check the queue before sleeping again.
+		c.afterConsume(&s, i)
+		return s, name("3' claimed-skip"), true
+
+	case pcDrainP:
+		// Only the shared-flag discipline drains (single consumer: the
+		// pending V is provably its own).
+		if s.sem > 0 {
+			s.sem--
+			c.afterConsume(&s, i)
+			return s, name("3' P(drain)"), true
+		}
+		return s, "", false
+
+	case pcSleep:
+		if s.sem > 0 {
+			s.sem--
+			s.cpc[i] = pcWake
+			return s, name("4 P()"), true
+		}
+		return s, "", false
+
+	case pcWake:
+		if c.cfg.SharedFlag {
+			s.flag = true
+		}
+		// Counted: the registration was consumed by the producer's claim.
+		s.cpc[i] = pcTop
+		return s, name("5 wake"), true
+	}
+	return s, "", false
+}
+
+func (c *poolChecker) stepProducer(s poolState, i int) (poolState, string, bool) {
+	name := func(step string) string { return fmt.Sprintf("P%d.%s", i+1, step) }
+	switch s.ppc[i] {
+	case pEnq:
+		s.queue++
+		s.sent[i]++
+		s.ppc[i] = pTAS
+		return s, name("1 enqueue"), true
+
+	case pTAS:
+		if c.cfg.SharedFlag {
+			old := s.flag
+			s.flag = true
+			if !old {
+				s.ppc[i] = pV
+			} else {
+				s.ppc[i] = c.nextMsg(s, i)
+			}
+			return s, name("2 tas(flag)"), true
+		}
+		if s.waiters > 0 {
+			s.waiters-- // claim one waiter
+			s.ppc[i] = pV
+		} else {
+			s.ppc[i] = c.nextMsg(s, i)
+		}
+		return s, name("2 claim"), true
+
+	case pV:
+		s.sem++
+		s.ppc[i] = c.nextMsg(s, i)
+		return s, name("3 V"), true
+	}
+	return s, "", false
+}
+
+func (c *poolChecker) nextMsg(s poolState, i int) int8 {
+	if int(s.sent[i]) >= c.cfg.Msgs {
+		return pDone
+	}
+	return pEnq
+}

@@ -1,0 +1,84 @@
+package protomodel
+
+import "testing"
+
+// TestPoolSharedFlagBreaksWithTwoWorkers demonstrates the Section 2.1
+// hazard this package's pool model exists for: the paper's single awake
+// flag cannot represent two sleeping workers, so a producer's
+// test-and-set suppresses the second wake-up and a worker sleeps forever
+// with its message queued.
+func TestPoolSharedFlagBreaksWithTwoWorkers(t *testing.T) {
+	res, err := PoolCheck(PoolConfig{Consumers: 2, Producers: 2, Msgs: 1, SharedFlag: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlock {
+		t.Fatal("shared awake flag with two workers must admit a lost wakeup")
+	}
+	if len(res.DeadlockPath) == 0 {
+		t.Fatal("expected a counterexample trace")
+	}
+}
+
+// TestPoolSharedFlagSafeWithOneWorker: with a single consumer the pool
+// model degenerates to the paper's protocol and must be safe.
+func TestPoolSharedFlagSafeWithOneWorker(t *testing.T) {
+	for producers := 1; producers <= 3; producers++ {
+		res, err := PoolCheck(PoolConfig{Consumers: 1, Producers: producers, Msgs: 2, SharedFlag: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Deadlock {
+			t.Fatalf("p=%d: deadlock:\n%v", producers, res.DeadlockPath)
+		}
+		if !res.AllConsumed {
+			t.Fatalf("p=%d: messages lost", producers)
+		}
+	}
+}
+
+// TestPoolCountedWaitersSafe verifies the counted-waiters discipline —
+// the fix internal/core's worker pool uses — across pool and producer
+// sizes: no interleaving deadlocks and every message is consumed.
+func TestPoolCountedWaitersSafe(t *testing.T) {
+	for consumers := 1; consumers <= 2; consumers++ {
+		for producers := 1; producers <= 3; producers++ {
+			for msgs := 1; msgs <= 2; msgs++ {
+				if (producers*msgs)%consumers != 0 {
+					continue
+				}
+				res, err := PoolCheck(PoolConfig{Consumers: consumers, Producers: producers, Msgs: msgs})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Deadlock {
+					t.Fatalf("c=%d p=%d m=%d: deadlock:\n%v", consumers, producers, msgs, res.DeadlockPath)
+				}
+				if !res.AllConsumed {
+					t.Fatalf("c=%d p=%d m=%d: messages lost", consumers, producers, msgs)
+				}
+				// Claim-miss strands leave stale Vs pending; they are
+				// bounded by the claims issued (one per message).
+				if res.MaxSem > producers*msgs {
+					t.Fatalf("c=%d p=%d m=%d: sem reached %d", consumers, producers, msgs, res.MaxSem)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolValidation exercises the input guards.
+func TestPoolValidation(t *testing.T) {
+	if _, err := PoolCheck(PoolConfig{Consumers: 0, Producers: 1, Msgs: 1}); err == nil {
+		t.Error("0 consumers accepted")
+	}
+	if _, err := PoolCheck(PoolConfig{Consumers: 3, Producers: 1, Msgs: 1}); err == nil {
+		t.Error("3 consumers accepted (model bound is 2)")
+	}
+	if _, err := PoolCheck(PoolConfig{Consumers: 1, Producers: 0, Msgs: 1}); err == nil {
+		t.Error("0 producers accepted")
+	}
+	if _, err := PoolCheck(PoolConfig{Consumers: 1, Producers: 1, Msgs: 4}); err == nil {
+		t.Error("4 msgs accepted (model bound is 3)")
+	}
+}

@@ -1,0 +1,341 @@
+// Package protomodel is an exhaustive interleaving model checker for the
+// paper's sleep/wake-up protocol (Figure 4). It enumerates every
+// interleaving of one consumer and P producers executing the abstract
+// protocol steps (C.1–C.5, P.1–P.3) over shared state (queue length,
+// awake flag, semaphore count) and verifies the paper's claims about
+// each race condition and each fix:
+//
+//   - Interleaving 1 (wake-up before sleep): harmful — the consumer can
+//     sleep forever — unless the wake-up remains pending, i.e. the
+//     sleep/wake-up primitive is a counting semaphore.
+//   - Interleaving 2 (multiple wake-ups): with plain reads of the awake
+//     flag, concurrent producers issue redundant Vs and the semaphore
+//     count accumulates (the overflow the authors hit); test-and-set on
+//     the flag bounds it.
+//   - Interleaving 3 (wake-up without sleep): without the consumer-side
+//     test-and-set drain, the count accumulates even with one producer;
+//     with it the count stays bounded.
+//   - Interleaving 4 (why step C.3 is required): dropping the second
+//     dequeue deadlocks — a producer can check the flag between the
+//     consumer's failed dequeue and its clearing of the flag.
+package protomodel
+
+import "fmt"
+
+// Config selects the protocol variant to model-check.
+type Config struct {
+	Producers int // number of producer processes (>= 1)
+	Msgs      int // messages each producer enqueues (>= 1)
+
+	// CountingSem: the sleep/wake-up primitive is a counting semaphore
+	// (wake-ups remain pending). False models an event/binary wake-up:
+	// waking a non-sleeping consumer is a no-op.
+	CountingSem bool
+
+	// UseC3: the consumer re-checks the queue after clearing the awake
+	// flag (step C.3).
+	UseC3 bool
+
+	// ProducerTAS: producers test-and-set the awake flag so only the
+	// first issues the wake-up (the Interleaving 2 fix).
+	ProducerTAS bool
+
+	// ConsumerDrain: on a successful C.3 dequeue the consumer
+	// test-and-sets the flag and drains a pending redundant V (the
+	// Interleaving 3 fix).
+	ConsumerDrain bool
+}
+
+// FullProtocol returns the configuration with every fix applied — the
+// protocol of Figure 5 (BSW).
+func FullProtocol(producers, msgs int) Config {
+	return Config{
+		Producers: producers, Msgs: msgs,
+		CountingSem: true, UseC3: true, ProducerTAS: true, ConsumerDrain: true,
+	}
+}
+
+// Result summarises the exhaustive exploration.
+type Result struct {
+	States       int      // distinct states explored
+	Deadlock     bool     // some interleaving wedges the system
+	DeadlockPath []string // step labels of one wedging interleaving
+	MaxSem       int      // highest semaphore count over all interleavings
+	AllConsumed  bool     // every terminal state consumed every message
+	Terminal     int      // number of distinct terminal states
+}
+
+// Consumer program counters.
+const (
+	cTop    = iota // C.1: dequeue attempt
+	cClear         // C.2: awake <- false
+	cDeq2          // C.3: second dequeue attempt
+	cDrain         // test-and-set awake; pending V?
+	cDrainP        // drain the pending V (never blocks in a correct run)
+	cSleep         // C.4: block(consumer)
+	cWake          // C.5: awake <- true
+	cDone
+)
+
+// Producer program counters.
+const (
+	pEnq  = iota // P.1: enqueue
+	pTAS         // P.2 with fix: test-and-set awake
+	pRead        // P.2 without fix: read awake
+	pTest        // P.2 without fix: decide from the stale read
+	pV           // P.3: unblock(consumer)
+	pDone
+)
+
+// state is the full interleaving-exploration state. It is a value type
+// used as a map key, so exploration memoises on the complete state.
+type state struct {
+	queue    int8
+	awake    bool
+	sem      int8
+	consumed int8
+
+	cpc     int8 // consumer pc
+	blocked bool // consumer blocked in P with nothing pending
+
+	ppc  [maxProducers]int8
+	preg [maxProducers]bool // producer's stale read of awake
+	sent [maxProducers]int8
+}
+
+const maxProducers = 3
+
+// Check exhaustively explores every interleaving of the configured
+// protocol variant.
+func Check(cfg Config) (Result, error) {
+	if cfg.Producers < 1 || cfg.Producers > maxProducers {
+		return Result{}, fmt.Errorf("protomodel: producers must be in [1,%d]", maxProducers)
+	}
+	if cfg.Msgs < 1 || cfg.Msgs > 4 {
+		return Result{}, fmt.Errorf("protomodel: msgs must be in [1,4]")
+	}
+	target := int8(cfg.Producers * cfg.Msgs)
+
+	c := &checker{cfg: cfg, target: target, seen: map[state]bool{}, allConsumed: true}
+	init := state{awake: true, cpc: cTop}
+	for i := 0; i < cfg.Producers; i++ {
+		init.ppc[i] = pEnq
+	}
+	c.explore(init, nil)
+	c.res.States = len(c.seen)
+	c.res.AllConsumed = c.res.Terminal > 0 && c.allConsumed
+	return c.res, nil
+}
+
+type checker struct {
+	cfg         Config
+	target      int8
+	seen        map[state]bool
+	res         Result
+	allConsumed bool
+}
+
+func (c *checker) explore(s state, path []string) {
+	if c.seen[s] {
+		return
+	}
+	c.seen[s] = true
+	if int(s.sem) > c.res.MaxSem {
+		c.res.MaxSem = int(s.sem)
+	}
+
+	moved := false
+
+	// Consumer step.
+	if ns, label, ok := c.stepConsumer(s); ok {
+		moved = true
+		c.explore(ns, pathAppend(path, label))
+	}
+	// Producer steps.
+	for i := 0; i < c.cfg.Producers; i++ {
+		if ns, label, ok := c.stepProducer(s, i); ok {
+			moved = true
+			c.explore(ns, pathAppend(path, label))
+		}
+	}
+
+	if moved {
+		return
+	}
+	// No process can step: terminal or deadlocked.
+	producersDone := true
+	for i := 0; i < c.cfg.Producers; i++ {
+		if s.ppc[i] != pDone {
+			producersDone = false
+		}
+	}
+	if s.cpc == cDone && producersDone {
+		c.res.Terminal++
+		if s.consumed != c.target {
+			c.allConsumed = false
+		}
+		return
+	}
+	if !c.res.Deadlock {
+		c.res.Deadlock = true
+		c.res.DeadlockPath = append([]string(nil), path...)
+	}
+}
+
+// stepConsumer executes the consumer's enabled step, if any.
+func (c *checker) stepConsumer(s state) (state, string, bool) {
+	switch s.cpc {
+	case cTop:
+		if s.queue > 0 {
+			s.queue--
+			s.consumed++
+			s.cpc = c.afterConsume(s.consumed)
+			return s, "C.1 dequeue-ok", true
+		}
+		s.cpc = cClear
+		return s, "C.1 dequeue-empty", true
+
+	case cClear:
+		s.awake = false
+		if c.cfg.UseC3 {
+			s.cpc = cDeq2
+		} else {
+			s.cpc = cSleep
+		}
+		return s, "C.2 awake=0", true
+
+	case cDeq2:
+		if s.queue > 0 {
+			s.queue--
+			s.consumed++
+			if c.cfg.ConsumerDrain {
+				s.cpc = cDrain
+			} else {
+				s.cpc = c.afterConsume(s.consumed)
+			}
+			return s, "C.3 dequeue-ok", true
+		}
+		s.cpc = cSleep
+		return s, "C.3 dequeue-empty", true
+
+	case cDrain:
+		old := s.awake
+		s.awake = true
+		if old && c.cfg.CountingSem {
+			s.cpc = cDrainP // a producer signalled: drain its V
+		} else {
+			// No pending signal (or event semantics, where there is no
+			// count to drain).
+			s.cpc = c.afterConsume(s.consumed)
+		}
+		return s, "C.3' tas(awake)", true
+
+	case cDrainP:
+		if s.sem > 0 {
+			s.sem--
+			s.cpc = c.afterConsume(s.consumed)
+			return s, "C.3' P(drain)", true
+		}
+		// The pending V has not landed yet: wait for it (the producer
+		// that set the flag is still before its V step).
+		return s, "", false
+
+	case cSleep:
+		if c.cfg.CountingSem {
+			if s.sem > 0 {
+				s.sem--
+				s.cpc = cWake
+				return s, "C.4 P()", true
+			}
+			return s, "", false // blocked until a V
+		}
+		// Event semantics: mark blocked; only a producer's unblock can
+		// transition us (handled in the producer's V step).
+		if !s.blocked {
+			s.blocked = true
+			return s, "C.4 block()", true
+		}
+		return s, "", false
+
+	case cWake:
+		s.awake = true
+		s.cpc = cTop
+		return s, "C.5 awake=1", true
+	}
+	return s, "", false
+}
+
+func (c *checker) afterConsume(consumed int8) int8 {
+	if consumed >= c.target {
+		return cDone
+	}
+	return cTop
+}
+
+// stepProducer executes producer i's enabled step, if any.
+func (c *checker) stepProducer(s state, i int) (state, string, bool) {
+	name := func(step string) string { return fmt.Sprintf("P%d.%s", i+1, step) }
+	switch s.ppc[i] {
+	case pEnq:
+		s.queue++
+		s.sent[i]++
+		if c.cfg.ProducerTAS {
+			s.ppc[i] = pTAS
+		} else {
+			s.ppc[i] = pRead
+		}
+		return s, name("1 enqueue"), true
+
+	case pTAS:
+		old := s.awake
+		s.awake = true
+		if !old {
+			s.ppc[i] = pV
+		} else {
+			s.ppc[i] = c.nextMsg(s, i)
+		}
+		return s, name("2 tas(awake)"), true
+
+	case pRead:
+		s.preg[i] = s.awake
+		s.ppc[i] = pTest
+		return s, name("2 read awake"), true
+
+	case pTest:
+		if !s.preg[i] {
+			s.ppc[i] = pV
+		} else {
+			s.ppc[i] = c.nextMsg(s, i)
+		}
+		return s, name("2 test"), true
+
+	case pV:
+		if c.cfg.CountingSem {
+			s.sem++
+		} else if s.blocked {
+			s.blocked = false
+			s.cpc = cWake
+		}
+		// Event semantics on a non-sleeping consumer: the wake-up is
+		// lost (Interleaving 1's hazard).
+		s.ppc[i] = c.nextMsg(s, i)
+		return s, name("3 unblock"), true
+	}
+	return s, "", false
+}
+
+// pathAppend copies on append so sibling branches cannot clobber a
+// recorded counterexample trace.
+func pathAppend(path []string, label string) []string {
+	np := make([]string, len(path)+1)
+	copy(np, path)
+	np[len(path)] = label
+	return np
+}
+
+func (c *checker) nextMsg(s state, i int) int8 {
+	if int(s.sent[i]) >= c.cfg.Msgs {
+		return pDone
+	}
+	return pEnq
+}

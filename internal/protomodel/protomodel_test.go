@@ -1,0 +1,221 @@
+package protomodel
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func check(t *testing.T, cfg Config) Result {
+	t.Helper()
+	res, err := Check(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFullProtocolIsSafe verifies the complete BSW protocol (Figure 5):
+// no interleaving deadlocks, every message is consumed, and the
+// semaphore count stays bounded regardless of producer count.
+func TestFullProtocolIsSafe(t *testing.T) {
+	for producers := 1; producers <= 3; producers++ {
+		for msgs := 1; msgs <= 3; msgs++ {
+			res := check(t, FullProtocol(producers, msgs))
+			if res.Deadlock {
+				t.Errorf("p=%d m=%d: deadlock:\n%v", producers, msgs, res.DeadlockPath)
+			}
+			if !res.AllConsumed {
+				t.Errorf("p=%d m=%d: some terminal state lost messages", producers, msgs)
+			}
+			if res.MaxSem > producers {
+				t.Errorf("p=%d m=%d: semaphore reached %d", producers, msgs, res.MaxSem)
+			}
+		}
+	}
+}
+
+// TestInterleaving1LostWakeup verifies the first race of Figure 4: with
+// an event-style (non-pending) wake-up, a producer can issue the wake
+// before the consumer sleeps and the consumer sleeps forever. Counting
+// semaphores fix it because the wake-up remains pending.
+func TestInterleaving1LostWakeup(t *testing.T) {
+	broken := FullProtocol(1, 2)
+	broken.CountingSem = false
+	res := check(t, broken)
+	if !res.Deadlock {
+		t.Fatal("event-style wakeup must admit a lost-wakeup deadlock")
+	}
+	if len(res.DeadlockPath) == 0 {
+		t.Fatal("expected a counterexample trace")
+	}
+
+	fixed := FullProtocol(1, 2)
+	res = check(t, fixed)
+	if res.Deadlock {
+		t.Fatalf("counting semaphores must prevent the lost wakeup; trace:\n%v", res.DeadlockPath)
+	}
+}
+
+// TestInterleaving2MultipleWakeups verifies the second race: without
+// test-and-set on the producer side, concurrent producers both observe
+// awake==0 and both issue V, so the semaphore count accumulates beyond
+// one pending wake-up — the overflow path the authors hit in their first
+// implementation. The TAS fix bounds it.
+func TestInterleaving2MultipleWakeups(t *testing.T) {
+	broken := FullProtocol(3, 2)
+	broken.ProducerTAS = false
+	res := check(t, broken)
+	if res.MaxSem < 2 {
+		t.Fatalf("plain-read producers must accumulate wakeups; max sem = %d", res.MaxSem)
+	}
+	if res.Deadlock {
+		// The race is a performance problem, not a safety one — the
+		// paper: "this race condition is not necessarily harmful".
+		t.Fatalf("multiple wakeups must not deadlock; trace:\n%v", res.DeadlockPath)
+	}
+
+	fixed := FullProtocol(3, 2)
+	res = check(t, fixed)
+	if res.MaxSem > 1 {
+		t.Fatalf("with producer TAS at most one wakeup may be pending; max sem = %d", res.MaxSem)
+	}
+}
+
+// TestInterleaving3WakeupWithoutSleep verifies the third race: a
+// producer wakes a consumer that did not need to sleep (its second
+// dequeue succeeded). Without the consumer-side drain the count is left
+// pending and accumulates over time; with the drain the consumer
+// consumes the redundant V immediately.
+func TestInterleaving3WakeupWithoutSleep(t *testing.T) {
+	// Without the drain, a pending V survives into the next cycle even
+	// with a single producer.
+	broken := FullProtocol(1, 3)
+	broken.ConsumerDrain = false
+	res := check(t, broken)
+	if res.Deadlock {
+		t.Fatalf("missing drain must not deadlock; trace:\n%v", res.DeadlockPath)
+	}
+	if !res.AllConsumed {
+		t.Fatal("missing drain must not lose messages")
+	}
+	if res.MaxSem < 1 {
+		t.Fatal("expected a redundant pending wakeup to be observable")
+	}
+
+	fixed := FullProtocol(1, 3)
+	fres := check(t, fixed)
+	if fres.MaxSem > 1 {
+		t.Fatalf("full protocol: max sem = %d", fres.MaxSem)
+	}
+}
+
+// TestInterleaving4SecondDequeueRequired verifies the fourth time-line
+// of Figure 4: without step C.3 the producer can check the awake flag
+// after the consumer's failed dequeue but before the flag is cleared,
+// skip the wake-up, and leave the consumer asleep forever.
+func TestInterleaving4SecondDequeueRequired(t *testing.T) {
+	broken := FullProtocol(1, 1)
+	broken.UseC3 = false
+	res := check(t, broken)
+	if !res.Deadlock {
+		t.Fatal("dropping step C.3 must admit a sleep-forever deadlock")
+	}
+
+	fixed := FullProtocol(1, 1)
+	res = check(t, fixed)
+	if res.Deadlock {
+		t.Fatalf("full protocol must not deadlock; trace:\n%v", res.DeadlockPath)
+	}
+}
+
+// TestSemAccumulationGrowsWithProducers quantifies the Interleaving 2
+// accumulation: the maximum pending count grows with the number of
+// racing producers when the TAS fix is absent.
+func TestSemAccumulationGrowsWithProducers(t *testing.T) {
+	prev := 0
+	for producers := 1; producers <= 3; producers++ {
+		cfg := FullProtocol(producers, 2)
+		cfg.ProducerTAS = false
+		res := check(t, cfg)
+		if res.MaxSem < prev {
+			t.Errorf("max sem decreased with more producers: %d -> %d", prev, res.MaxSem)
+		}
+		prev = res.MaxSem
+	}
+	if prev < 2 {
+		t.Errorf("3 racing producers should accumulate >= 2 pending wakeups, got %d", prev)
+	}
+}
+
+// TestConfigValidation exercises the input guards.
+func TestConfigValidation(t *testing.T) {
+	if _, err := Check(Config{Producers: 0, Msgs: 1}); err == nil {
+		t.Error("0 producers accepted")
+	}
+	if _, err := Check(Config{Producers: 4, Msgs: 1}); err == nil {
+		t.Error("4 producers accepted (model bound is 3)")
+	}
+	if _, err := Check(Config{Producers: 1, Msgs: 0}); err == nil {
+		t.Error("0 msgs accepted")
+	}
+	if _, err := Check(Config{Producers: 1, Msgs: 5}); err == nil {
+		t.Error("5 msgs accepted (model bound is 4)")
+	}
+}
+
+// TestStateSpaceIsExplored sanity-checks that the checker explores a
+// nontrivial state space and reaches terminal states.
+func TestStateSpaceIsExplored(t *testing.T) {
+	res := check(t, FullProtocol(2, 2))
+	if res.States < 100 {
+		t.Errorf("suspiciously small state space: %d", res.States)
+	}
+	if res.Terminal == 0 {
+		t.Error("no terminal states reached")
+	}
+}
+
+// TestQuickSafeConfigsNeverLoseMessages drives random protocol variants
+// through the checker: any variant with counting semaphores and step C.3
+// is deadlock-free and delivers every message, regardless of the other
+// two fixes (they affect only the pending-wakeup accounting).
+func TestQuickSafeConfigsNeverLoseMessages(t *testing.T) {
+	check := func(producers, msgs uint8, producerTAS, consumerDrain bool) bool {
+		cfg := Config{
+			Producers:     1 + int(producers)%3,
+			Msgs:          1 + int(msgs)%3,
+			CountingSem:   true,
+			UseC3:         true,
+			ProducerTAS:   producerTAS,
+			ConsumerDrain: consumerDrain,
+		}
+		res, err := Check(cfg)
+		if err != nil {
+			return false
+		}
+		return !res.Deadlock && res.AllConsumed
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeadlockTraceIsWellFormed: counterexample traces use the paper's
+// step vocabulary.
+func TestDeadlockTraceIsWellFormed(t *testing.T) {
+	cfg := FullProtocol(1, 1)
+	cfg.UseC3 = false
+	res, err := Check(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlock || len(res.DeadlockPath) == 0 {
+		t.Fatal("expected a deadlock trace")
+	}
+	for _, step := range res.DeadlockPath {
+		if !strings.HasPrefix(step, "C.") && !strings.HasPrefix(step, "P") {
+			t.Fatalf("unexpected step label %q", step)
+		}
+	}
+}

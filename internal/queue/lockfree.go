@@ -1,0 +1,99 @@
+package queue
+
+import (
+	"sync/atomic"
+
+	"ulipc/internal/core"
+)
+
+// LockFree is the Michael & Scott non-blocking concurrent queue
+// [Michael & Scott, PODC'96]. It serves as the ablation counterpart to
+// the two-lock queue the paper uses. Nodes are garbage-collected Go
+// allocations rather than arena offsets: GC rules out ABA without
+// counted pointers, at the cost of the position-independent layout (this
+// variant could not live in a shared mapping as-is — which is one reason
+// the paper's system uses the two-lock queue).
+type LockFree struct {
+	head     atomic.Pointer[lfNode] // dummy
+	tail     atomic.Pointer[lfNode]
+	length   atomic.Int64
+	capacity int
+}
+
+type lfNode struct {
+	next atomic.Pointer[lfNode]
+	msg  core.Msg
+}
+
+// NewLockFree builds a lock-free M&S queue holding at most capacity
+// messages.
+func NewLockFree(capacity int) (*LockFree, error) {
+	q := &LockFree{capacity: capacity}
+	dummy := &lfNode{}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q, nil
+}
+
+// Cap implements Queue.
+func (q *LockFree) Cap() int { return q.capacity }
+
+// Enqueue implements Queue.
+func (q *LockFree) Enqueue(m core.Msg) bool {
+	// Flow control: reserve a slot first; undo on the (impossible in
+	// this algorithm) failure path.
+	if q.length.Add(1) > int64(q.capacity) {
+		q.length.Add(-1)
+		return false
+	}
+	node := &lfNode{msg: m}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue // tail moved under us; retry
+		}
+		if next != nil {
+			// Tail is lagging: help advance it.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, node) {
+			q.tail.CompareAndSwap(tail, node)
+			return true
+		}
+	}
+}
+
+// Dequeue implements Queue.
+func (q *LockFree) Dequeue() (core.Msg, bool) {
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			continue
+		}
+		if next == nil {
+			return core.Msg{}, false // empty
+		}
+		if head == tail {
+			// Tail is lagging behind a concurrent enqueue: help it.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		m := next.msg
+		if q.head.CompareAndSwap(head, next) {
+			q.length.Add(-1)
+			return m, true
+		}
+	}
+}
+
+// Empty implements Queue.
+func (q *LockFree) Empty() bool {
+	return q.head.Load().next.Load() == nil
+}
+
+// Len returns the approximate number of queued messages.
+func (q *LockFree) Len() int { return int(q.length.Load()) }

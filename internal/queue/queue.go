@@ -1,0 +1,87 @@
+// Package queue implements the concurrent FIFO queues the live runtime
+// layers the IPC protocols over:
+//
+//   - TwoLock — the Michael & Scott two-lock queue the paper's evaluation
+//     uses ("the evaluation software uses a common implementation of the
+//     Michael and Scott two-lock queue").
+//   - LockFree — the Michael & Scott non-blocking queue (ablation A2).
+//   - Ring — a bounded MPMC ring buffer with per-slot sequence numbers
+//     (ablation A2).
+//
+// All variants are flow-controlled: Enqueue reports false when the queue
+// is full (for the list-based queues, when the fixed-size node pool is
+// exhausted), which is the condition the protocols' queue-full sleep
+// reacts to.
+package queue
+
+import (
+	"fmt"
+
+	"ulipc/internal/core"
+)
+
+// Queue is a concurrent, flow-controlled FIFO of fixed-size messages.
+type Queue interface {
+	// Enqueue appends m, reporting false if the queue is full.
+	Enqueue(m core.Msg) bool
+	// Dequeue removes the head message, reporting false if empty.
+	Dequeue() (core.Msg, bool)
+	// Empty reports whether the queue appears empty (a non-destructive
+	// poll; may race with concurrent operations).
+	Empty() bool
+	// Cap returns the maximum number of queued messages.
+	Cap() int
+}
+
+// Kind selects a queue implementation.
+type Kind int
+
+const (
+	KindTwoLock Kind = iota
+	KindLockFree
+	KindRing
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindTwoLock:
+		return "two-lock"
+	case KindLockFree:
+		return "lock-free"
+	case KindRing:
+		return "ring"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// KindByName parses a queue kind name.
+func KindByName(s string) (Kind, error) {
+	switch s {
+	case "two-lock", "twolock", "2lock", "":
+		return KindTwoLock, nil
+	case "lock-free", "lockfree", "msq":
+		return KindLockFree, nil
+	case "ring", "mpmc":
+		return KindRing, nil
+	}
+	return 0, fmt.Errorf("queue: unknown kind %q", s)
+}
+
+// Kinds returns all implementations in presentation order.
+func Kinds() []Kind { return []Kind{KindTwoLock, KindLockFree, KindRing} }
+
+// New builds a queue of the given kind with the given capacity.
+func New(kind Kind, capacity int) (Queue, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("queue: capacity must be >= 1, got %d", capacity)
+	}
+	switch kind {
+	case KindTwoLock:
+		return NewTwoLock(capacity)
+	case KindLockFree:
+		return NewLockFree(capacity)
+	case KindRing:
+		return NewRing(capacity)
+	}
+	return nil, fmt.Errorf("queue: unknown kind %d", kind)
+}

@@ -1,0 +1,95 @@
+package queue
+
+import (
+	"sync/atomic"
+
+	"ulipc/internal/core"
+)
+
+// Ring is a bounded multi-producer multi-consumer ring buffer with
+// per-slot sequence numbers (Vyukov's MPMC queue). Unlike the list-based
+// queues it needs no node pool and no locks, but its capacity is fixed
+// at a power of two. Ablation counterpart A2.
+type Ring struct {
+	mask  uint64
+	slots []ringSlot
+	enq   atomic.Uint64
+	deq   atomic.Uint64
+}
+
+type ringSlot struct {
+	seq atomic.Uint64
+	msg core.Msg
+}
+
+// NewRing builds a ring holding at least capacity messages (rounded up
+// to the next power of two).
+func NewRing(capacity int) (*Ring, error) {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	r := &Ring{mask: uint64(n - 1), slots: make([]ringSlot, n)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r, nil
+}
+
+// Cap implements Queue.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Enqueue implements Queue.
+func (r *Ring) Enqueue(m core.Msg) bool {
+	for {
+		pos := r.enq.Load()
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				slot.msg = m
+				slot.seq.Store(pos + 1)
+				return true
+			}
+		case seq < pos:
+			return false // slot still owned by a lagging consumer: full
+		}
+		// seq > pos: another producer claimed this slot; retry.
+	}
+}
+
+// Dequeue implements Queue.
+func (r *Ring) Dequeue() (core.Msg, bool) {
+	for {
+		pos := r.deq.Load()
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos+1:
+			if r.deq.CompareAndSwap(pos, pos+1) {
+				m := slot.msg
+				slot.seq.Store(pos + uint64(len(r.slots)))
+				return m, true
+			}
+		case seq <= pos:
+			return core.Msg{}, false // empty
+		}
+		// seq > pos+1: another consumer claimed this slot; retry.
+	}
+}
+
+// Empty implements Queue.
+func (r *Ring) Empty() bool {
+	pos := r.deq.Load()
+	return r.slots[pos&r.mask].seq.Load() <= pos
+}
+
+// Len returns the approximate number of queued messages.
+func (r *Ring) Len() int {
+	e, d := r.enq.Load(), r.deq.Load()
+	if e < d {
+		return 0
+	}
+	return int(e - d)
+}

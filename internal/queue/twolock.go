@@ -1,0 +1,97 @@
+package queue
+
+import (
+	"sync"
+
+	"ulipc/internal/core"
+	"ulipc/internal/shm"
+)
+
+// TwoLock is the Michael & Scott two-lock concurrent queue [Michael &
+// Scott, PODC'96] over an offset-addressed node arena. A dummy node
+// decouples the head and tail locks so enqueuers never contend with
+// dequeuers; the fixed-size node pool provides flow control.
+type TwoLock struct {
+	pool *shm.Pool
+
+	headMu sync.Mutex
+	head   shm.Ref // dummy node; head.next is the first real element
+
+	tailMu sync.Mutex
+	tail   shm.Ref
+
+	capacity int
+}
+
+// NewTwoLock builds a two-lock queue holding at most capacity messages.
+func NewTwoLock(capacity int) (*TwoLock, error) {
+	// One extra node for the dummy.
+	pool, err := shm.NewPoolSize(capacity + 1)
+	if err != nil {
+		return nil, err
+	}
+	dummy, ok := pool.Alloc()
+	if !ok {
+		panic("queue: fresh pool exhausted")
+	}
+	pool.Arena().Node(dummy).SetNext(shm.NilRef)
+	return &TwoLock{pool: pool, head: dummy, tail: dummy, capacity: capacity}, nil
+}
+
+// Cap implements Queue.
+func (q *TwoLock) Cap() int { return q.capacity }
+
+// Enqueue implements Queue.
+func (q *TwoLock) Enqueue(m core.Msg) bool {
+	node, ok := q.pool.Alloc()
+	if !ok {
+		return false // pool exhausted: queue full
+	}
+	a := q.pool.Arena()
+	n := a.Node(node)
+	n.SetMsg(m)
+	n.SetNext(shm.NilRef)
+
+	q.tailMu.Lock()
+	a.Node(q.tail).SetNext(node)
+	q.tail = node
+	q.tailMu.Unlock()
+	return true
+}
+
+// Dequeue implements Queue.
+func (q *TwoLock) Dequeue() (core.Msg, bool) {
+	a := q.pool.Arena()
+	q.headMu.Lock()
+	dummy := q.head
+	first := a.Node(dummy).Next()
+	if first == shm.NilRef {
+		q.headMu.Unlock()
+		return core.Msg{}, false
+	}
+	m := a.Node(first).Msg()
+	q.head = first // first becomes the new dummy
+	q.headMu.Unlock()
+	q.pool.Free(dummy)
+	return m, true
+}
+
+// Empty implements Queue.
+func (q *TwoLock) Empty() bool {
+	q.headMu.Lock()
+	first := q.pool.Arena().Node(q.head).Next()
+	q.headMu.Unlock()
+	return first == shm.NilRef
+}
+
+// Len returns the number of queued messages (O(n); diagnostics only).
+func (q *TwoLock) Len() int {
+	a := q.pool.Arena()
+	q.headMu.Lock()
+	defer q.headMu.Unlock()
+	n := 0
+	for r := a.Node(q.head).Next(); r != shm.NilRef; r = a.Node(r).Next() {
+		n++
+	}
+	return n
+}

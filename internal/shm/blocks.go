@@ -1,0 +1,177 @@
+package shm
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Variable-sized messages (Section 2.1): "Variable sized messages can be
+// accommodated by using one of the fields of the fixed sized message to
+// point to a variable sized component in shared memory." BlockPool is
+// that shared-memory component store: a slab allocator with power-of-two
+// size classes, addressed by position-independent 32-bit references so
+// the whole pool could live in a mapped segment.
+
+// BlockRef is a position-independent reference to an allocated block:
+// the size class in the high 8 bits, the slot index in the low 24.
+type BlockRef = uint32
+
+// NilBlock is the null block reference.
+const NilBlock BlockRef = ^BlockRef(0)
+
+func packBlock(class, slot int) BlockRef {
+	return BlockRef(class)<<24 | BlockRef(slot)&0xFFFFFF
+}
+
+func unpackBlock(r BlockRef) (class, slot int) {
+	return int(r >> 24), int(r & 0xFFFFFF)
+}
+
+// slabClass is one size class: count slots of size bytes plus a lock-free
+// free stack of slot indices (tagged against ABA like the node pool).
+type slabClass struct {
+	size  int
+	count int
+	data  []byte
+	next  []uint32 // free-list links, indexed by slot
+	head  atomic.Uint64
+	free  atomic.Int64
+}
+
+const slotNil = uint32(0xFFFFFFFF)
+
+func newSlabClass(size, count int) *slabClass {
+	c := &slabClass{
+		size:  size,
+		count: count,
+		data:  make([]byte, size*count),
+		next:  make([]uint32, count),
+	}
+	c.head.Store(packHead(0, NilRef))
+	for i := count - 1; i >= 0; i-- {
+		c.push(uint32(i))
+	}
+	return c
+}
+
+func (c *slabClass) push(slot uint32) {
+	for {
+		h := c.head.Load()
+		tag, top := unpackHead(h)
+		c.next[slot] = top
+		if c.head.CompareAndSwap(h, packHead(tag+1, slot)) {
+			c.free.Add(1)
+			return
+		}
+	}
+}
+
+func (c *slabClass) pop() (uint32, bool) {
+	for {
+		h := c.head.Load()
+		tag, top := unpackHead(h)
+		if top == slotNil {
+			return 0, false
+		}
+		if c.head.CompareAndSwap(h, packHead(tag+1, c.next[top])) {
+			c.free.Add(-1)
+			return top, true
+		}
+	}
+}
+
+// BlockPool is the variable-sized-component store.
+type BlockPool struct {
+	classes []*slabClass
+}
+
+// DefaultBlockSizes are the size classes used by NewDefaultBlockPool.
+var DefaultBlockSizes = []int{64, 256, 1024, 4096}
+
+// NewBlockPool builds a pool with the given class sizes (ascending) and
+// the same slot count in each class.
+func NewBlockPool(sizes []int, countPerClass int) (*BlockPool, error) {
+	if len(sizes) == 0 || len(sizes) > 255 {
+		return nil, fmt.Errorf("shm: need 1..255 size classes, got %d", len(sizes))
+	}
+	if countPerClass < 1 || countPerClass > 0xFFFFFF {
+		return nil, fmt.Errorf("shm: count per class out of range: %d", countPerClass)
+	}
+	p := &BlockPool{}
+	prev := 0
+	for _, size := range sizes {
+		if size <= prev {
+			return nil, fmt.Errorf("shm: class sizes must be ascending, got %v", sizes)
+		}
+		prev = size
+		p.classes = append(p.classes, newSlabClass(size, countPerClass))
+	}
+	return p, nil
+}
+
+// NewDefaultBlockPool builds a pool with the default size classes.
+func NewDefaultBlockPool(countPerClass int) (*BlockPool, error) {
+	return NewBlockPool(DefaultBlockSizes, countPerClass)
+}
+
+// MaxBlock returns the largest allocatable block size.
+func (p *BlockPool) MaxBlock() int { return p.classes[len(p.classes)-1].size }
+
+// Alloc returns a block of at least n bytes, or false if no class can
+// satisfy the request (too large, or the class is exhausted — the
+// caller's flow control reacts exactly as it does to a full queue).
+func (p *BlockPool) Alloc(n int) (BlockRef, []byte, bool) {
+	if n < 0 {
+		return NilBlock, nil, false
+	}
+	for ci, c := range p.classes {
+		if c.size < n {
+			continue
+		}
+		if slot, ok := c.pop(); ok {
+			off := int(slot) * c.size
+			return packBlock(ci, int(slot)), c.data[off : off+c.size : off+c.size], true
+		}
+		// Exhausted: fall through to a larger class.
+	}
+	return NilBlock, nil, false
+}
+
+// Get returns the storage of an allocated block.
+func (p *BlockPool) Get(r BlockRef) ([]byte, error) {
+	class, slot := unpackBlock(r)
+	if class >= len(p.classes) {
+		return nil, fmt.Errorf("shm: bad block class %d", class)
+	}
+	c := p.classes[class]
+	if slot >= c.count {
+		return nil, fmt.Errorf("shm: bad block slot %d (class %d)", slot, class)
+	}
+	off := slot * c.size
+	return c.data[off : off+c.size : off+c.size], nil
+}
+
+// Free returns a block to its class.
+func (p *BlockPool) Free(r BlockRef) error {
+	class, slot := unpackBlock(r)
+	if class >= len(p.classes) {
+		return fmt.Errorf("shm: bad block class %d", class)
+	}
+	c := p.classes[class]
+	if slot >= c.count {
+		return fmt.Errorf("shm: bad block slot %d (class %d)", slot, class)
+	}
+	c.push(uint32(slot))
+	return nil
+}
+
+// FreeCount returns the free slots in the class holding blocks of at
+// least n bytes (diagnostics).
+func (p *BlockPool) FreeCount(n int) int64 {
+	for _, c := range p.classes {
+		if c.size >= n {
+			return c.free.Load()
+		}
+	}
+	return 0
+}

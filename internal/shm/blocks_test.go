@@ -1,0 +1,163 @@
+package shm
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockPoolValidation(t *testing.T) {
+	if _, err := NewBlockPool(nil, 4); err == nil {
+		t.Error("empty classes accepted")
+	}
+	if _, err := NewBlockPool([]int{64, 32}, 4); err == nil {
+		t.Error("descending classes accepted")
+	}
+	if _, err := NewBlockPool([]int{64, 64}, 4); err == nil {
+		t.Error("duplicate classes accepted")
+	}
+	if _, err := NewBlockPool([]int{64}, 0); err == nil {
+		t.Error("zero count accepted")
+	}
+}
+
+func TestBlockAllocPicksSmallestClass(t *testing.T) {
+	p, err := NewBlockPool([]int{64, 256, 1024}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, buf, ok := p.Alloc(100)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	if len(buf) != 256 {
+		t.Fatalf("got a %d-byte block, want the 256 class", len(buf))
+	}
+	got, err := p.Get(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &buf[0] {
+		t.Fatal("Get returned different storage")
+	}
+	if err := p.Free(ref); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockAllocTooLarge(t *testing.T) {
+	p, _ := NewDefaultBlockPool(2)
+	if _, _, ok := p.Alloc(p.MaxBlock() + 1); ok {
+		t.Fatal("oversized alloc succeeded")
+	}
+	if _, _, ok := p.Alloc(-1); ok {
+		t.Fatal("negative alloc succeeded")
+	}
+}
+
+func TestBlockExhaustionFallsToLargerClass(t *testing.T) {
+	p, err := NewBlockPool([]int{64, 256}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, b1, ok := p.Alloc(10)
+	if !ok || len(b1) != 64 {
+		t.Fatalf("first alloc: %v %d", ok, len(b1))
+	}
+	// The 64 class is exhausted: the request spills into the 256 class.
+	r2, b2, ok := p.Alloc(10)
+	if !ok || len(b2) != 256 {
+		t.Fatalf("spill alloc: %v %d", ok, len(b2))
+	}
+	if _, _, ok := p.Alloc(10); ok {
+		t.Fatal("alloc succeeded with every class exhausted")
+	}
+	p.Free(r1)
+	p.Free(r2)
+	if p.FreeCount(10) != 1 || p.FreeCount(100) != 1 {
+		t.Fatalf("free counts: %d %d", p.FreeCount(10), p.FreeCount(100))
+	}
+}
+
+func TestBlockDataIsolation(t *testing.T) {
+	p, _ := NewBlockPool([]int{16}, 4)
+	refs := make([]BlockRef, 4)
+	for i := range refs {
+		ref, buf, ok := p.Alloc(16)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		refs[i] = ref
+		for j := range buf {
+			buf[j] = byte(i)
+		}
+	}
+	for i, ref := range refs {
+		buf, err := p.Get(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, bytes.Repeat([]byte{byte(i)}, 16)) {
+			t.Fatalf("block %d corrupted: %v", i, buf)
+		}
+	}
+}
+
+func TestBlockBadRefs(t *testing.T) {
+	p, _ := NewDefaultBlockPool(2)
+	if _, err := p.Get(packBlock(200, 0)); err == nil {
+		t.Error("bad class accepted by Get")
+	}
+	if _, err := p.Get(packBlock(0, 99)); err == nil {
+		t.Error("bad slot accepted by Get")
+	}
+	if err := p.Free(packBlock(200, 0)); err == nil {
+		t.Error("bad class accepted by Free")
+	}
+	if err := p.Free(packBlock(0, 99)); err == nil {
+		t.Error("bad slot accepted by Free")
+	}
+}
+
+func TestBlockRefPacking(t *testing.T) {
+	check := func(class uint8, slot uint32) bool {
+		s := int(slot & 0xFFFFFF)
+		c, g := unpackBlock(packBlock(int(class), s))
+		return c == int(class) && g == s
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockConcurrentStress(t *testing.T) {
+	p, err := NewBlockPool([]int{32}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				ref, buf, ok := p.Alloc(32)
+				if !ok {
+					continue
+				}
+				buf[0] = byte(g)
+				if buf[0] != byte(g) {
+					t.Errorf("lost write")
+				}
+				if err := p.Free(ref); err != nil {
+					t.Errorf("free: %v", err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if p.FreeCount(32) != 64 {
+		t.Fatalf("free count = %d, want 64", p.FreeCount(32))
+	}
+}

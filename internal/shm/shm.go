@@ -1,0 +1,139 @@
+// Package shm provides the shared-memory substrate the live runtime
+// builds its queues on: a fixed-size arena of message nodes addressed by
+// 32-bit offsets (refs) and a lock-free free pool.
+//
+// All cross-"process" references are indices, never Go pointers, so the
+// arena layout is position-independent — the same structure could live in
+// a memory-mapped segment shared across address spaces, which is how the
+// paper deploys it. The free pool implements the fixed-size-message
+// free-pool management Section 2.1 calls out as the reason for fixed
+// message sizes.
+package shm
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"ulipc/internal/core"
+)
+
+// Ref is a position-independent reference to a node in an arena.
+type Ref = uint32
+
+// NilRef is the null reference.
+const NilRef Ref = ^Ref(0)
+
+// Node is one fixed-size message slot: a link and the message payload
+// (the paper's 24-byte message: opcode, reply channel, argument).
+type Node struct {
+	next atomic.Uint32
+	msg  core.Msg
+}
+
+// Next returns the node's link.
+func (n *Node) Next() Ref { return n.next.Load() }
+
+// SetNext stores the node's link.
+func (n *Node) SetNext(r Ref) { n.next.Store(r) }
+
+// Msg returns the node's message payload.
+func (n *Node) Msg() core.Msg { return n.msg }
+
+// SetMsg stores the node's message payload.
+func (n *Node) SetMsg(m core.Msg) { n.msg = m }
+
+// Arena is a fixed-size array of nodes addressed by Ref.
+type Arena struct {
+	nodes []Node
+}
+
+// NewArena allocates an arena with n node slots.
+func NewArena(n int) (*Arena, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shm: arena size must be >= 1, got %d", n)
+	}
+	if n >= int(NilRef) {
+		return nil, fmt.Errorf("shm: arena size %d exceeds ref space", n)
+	}
+	return &Arena{nodes: make([]Node, n)}, nil
+}
+
+// Len returns the number of node slots.
+func (a *Arena) Len() int { return len(a.nodes) }
+
+// Node returns the node at ref r. It panics on NilRef or out-of-range
+// refs — those indicate corruption, not recoverable conditions.
+func (a *Arena) Node(r Ref) *Node {
+	return &a.nodes[r]
+}
+
+// packed pool head: high 32 bits are an ABA tag, low 32 bits the top ref.
+func packHead(tag uint32, top Ref) uint64 { return uint64(tag)<<32 | uint64(top) }
+func unpackHead(h uint64) (tag uint32, top Ref) {
+	return uint32(h >> 32), Ref(h & 0xFFFFFFFF)
+}
+
+// Pool is a lock-free free list (Treiber stack with an ABA tag) of arena
+// nodes. Exhaustion of the pool is the queue-full condition the
+// protocols' flow control reacts to.
+type Pool struct {
+	arena *Arena
+	head  atomic.Uint64
+	free  atomic.Int64 // approximate free count (diagnostics)
+}
+
+// NewPool builds a pool owning every node of a fresh arena.
+func NewPool(arena *Arena) *Pool {
+	p := &Pool{arena: arena}
+	p.head.Store(packHead(0, NilRef))
+	// Thread all nodes onto the free list.
+	for i := arena.Len() - 1; i >= 0; i-- {
+		p.Free(Ref(i))
+	}
+	return p
+}
+
+// NewPoolSize is a convenience constructor: arena + pool of n nodes.
+func NewPoolSize(n int) (*Pool, error) {
+	a, err := NewArena(n)
+	if err != nil {
+		return nil, err
+	}
+	return NewPool(a), nil
+}
+
+// Arena returns the backing arena.
+func (p *Pool) Arena() *Arena { return p.arena }
+
+// Alloc pops a free node, reporting false if the pool is exhausted.
+func (p *Pool) Alloc() (Ref, bool) {
+	for {
+		h := p.head.Load()
+		tag, top := unpackHead(h)
+		if top == NilRef {
+			return NilRef, false
+		}
+		next := p.arena.Node(top).Next()
+		if p.head.CompareAndSwap(h, packHead(tag+1, next)) {
+			p.free.Add(-1)
+			return top, true
+		}
+	}
+}
+
+// Free pushes a node back onto the free list.
+func (p *Pool) Free(r Ref) {
+	n := p.arena.Node(r)
+	for {
+		h := p.head.Load()
+		tag, top := unpackHead(h)
+		n.SetNext(top)
+		if p.head.CompareAndSwap(h, packHead(tag+1, r)) {
+			p.free.Add(1)
+			return
+		}
+	}
+}
+
+// FreeCount returns the approximate number of free nodes.
+func (p *Pool) FreeCount() int64 { return p.free.Load() }

@@ -1,0 +1,156 @@
+package shm
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"ulipc/internal/core"
+)
+
+func TestArenaValidation(t *testing.T) {
+	if _, err := NewArena(0); err == nil {
+		t.Error("zero-size arena accepted")
+	}
+	if _, err := NewArena(-3); err == nil {
+		t.Error("negative arena accepted")
+	}
+	a, err := NewArena(10)
+	if err != nil || a.Len() != 10 {
+		t.Fatalf("arena: %v len=%d", err, a.Len())
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	a, _ := NewArena(2)
+	n := a.Node(1)
+	n.SetMsg(core.Msg{Op: 3, Val: 1.5})
+	n.SetNext(0)
+	if got := n.Msg(); got.Op != 3 || got.Val != 1.5 {
+		t.Fatalf("msg = %+v", got)
+	}
+	if n.Next() != 0 {
+		t.Fatalf("next = %d", n.Next())
+	}
+}
+
+func TestPoolAllocAll(t *testing.T) {
+	p, err := NewPoolSize(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Ref]bool{}
+	for i := 0; i < 5; i++ {
+		r, ok := p.Alloc()
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		if seen[r] {
+			t.Fatalf("ref %d allocated twice", r)
+		}
+		seen[r] = true
+	}
+	if _, ok := p.Alloc(); ok {
+		t.Fatal("alloc beyond capacity succeeded")
+	}
+	if p.FreeCount() != 0 {
+		t.Fatalf("free count = %d", p.FreeCount())
+	}
+	for r := range seen {
+		p.Free(r)
+	}
+	if p.FreeCount() != 5 {
+		t.Fatalf("free count = %d after freeing all", p.FreeCount())
+	}
+}
+
+// TestPoolQuickNoDoubleAlloc drives random alloc/free sequences and
+// verifies a node is never handed out twice while held.
+func TestPoolQuickNoDoubleAlloc(t *testing.T) {
+	check := func(ops []bool) bool {
+		p, err := NewPoolSize(8)
+		if err != nil {
+			return false
+		}
+		held := map[Ref]bool{}
+		var order []Ref
+		for _, alloc := range ops {
+			if alloc {
+				r, ok := p.Alloc()
+				if ok {
+					if held[r] {
+						return false // double allocation
+					}
+					held[r] = true
+					order = append(order, r)
+				} else if len(held) != 8 {
+					return false // spurious exhaustion
+				}
+			} else if len(order) > 0 {
+				r := order[0]
+				order = order[1:]
+				delete(held, r)
+				p.Free(r)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolConcurrentStress(t *testing.T) {
+	p, err := NewPoolSize(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]Ref, 0, 8)
+			for i := 0; i < 5000; i++ {
+				if len(local) < 8 {
+					if r, ok := p.Alloc(); ok {
+						local = append(local, r)
+						continue
+					}
+				}
+				if len(local) > 0 {
+					p.Free(local[len(local)-1])
+					local = local[:len(local)-1]
+				}
+			}
+			for _, r := range local {
+				p.Free(r)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.FreeCount() != 64 {
+		t.Fatalf("free count = %d, want 64 (leak or double free)", p.FreeCount())
+	}
+	// Every node allocatable again, each exactly once.
+	seen := map[Ref]bool{}
+	for i := 0; i < 64; i++ {
+		r, ok := p.Alloc()
+		if !ok || seen[r] {
+			t.Fatalf("post-stress alloc %d: ok=%v dup=%v", i, ok, seen[r])
+		}
+		seen[r] = true
+	}
+}
+
+func TestPackHeadRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		tag uint32
+		top Ref
+	}{{0, 0}, {1, NilRef}, {0xFFFFFFFF, 12345}, {7, 0xFFFFFFFE}} {
+		tag, top := unpackHead(packHead(tc.tag, tc.top))
+		if tag != tc.tag || top != tc.top {
+			t.Errorf("pack(%d,%d) round-tripped to (%d,%d)", tc.tag, tc.top, tag, top)
+		}
+	}
+}

@@ -1,0 +1,534 @@
+// Package sim is a deterministic discrete-event simulator of a small
+// multiprocessor UNIX kernel: processes, CPUs, a pluggable scheduler,
+// counting semaphores, System V message queues, and the system calls the
+// paper's protocols exercise (yield, P/V, sleep, msgsnd/msgrcv, handoff).
+//
+// Process bodies are ordinary Go functions running on dedicated
+// goroutines, but the engine serialises them: a process executes Go code
+// only between an engine resume and its next Step/syscall request, so at
+// most one process runs at any real-time instant and all shared-memory
+// effects are totally ordered by virtual time (ties broken FIFO). This
+// yields deterministic, repeatable interleavings — including the races of
+// the paper's Figure 4 — without real concurrency hazards.
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"ulipc/internal/machine"
+	"ulipc/internal/metrics"
+)
+
+// CPU models one processor.
+type CPU struct {
+	id       int
+	proc     *Proc // currently running process, nil if idle
+	lastProc *Proc // last process to run (switch-cost accounting)
+}
+
+// ID returns the CPU number.
+func (c *CPU) ID() int { return c.id }
+
+// TraceFn receives engine trace events when configured.
+type TraceFn func(t Time, cpu int, proc string, what, detail string)
+
+// Config configures a Kernel.
+type Config struct {
+	Machine *machine.Model
+	Sched   Scheduler
+	MaxTime Time         // abort threshold; default 1000 virtual seconds
+	Metrics *metrics.Set // optional; created if nil
+	Trace   TraceFn      // optional
+}
+
+// Kernel is the simulated operating system instance.
+type Kernel struct {
+	mach  *machine.Model
+	sched Scheduler
+
+	now     Time
+	seq     uint64
+	maxTime Time
+
+	cpus   []*CPU
+	procs  []*Proc
+	events eventHeap
+	reqCh  chan request
+	live   int
+
+	sems     []*semaphore
+	msgqs    []*msgQueue
+	barriers []*barrier
+
+	ms    *metrics.Set
+	trace TraceFn
+
+	started bool
+	err     error
+}
+
+// New creates a kernel for the given machine model and scheduler policy.
+func New(cfg Config) (*Kernel, error) {
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("sim: nil machine model")
+	}
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Sched == nil {
+		return nil, fmt.Errorf("sim: nil scheduler")
+	}
+	if cfg.MaxTime <= 0 {
+		cfg.MaxTime = 1000 * Second
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewSet()
+	}
+	k := &Kernel{
+		mach:    cfg.Machine,
+		sched:   cfg.Sched,
+		maxTime: cfg.MaxTime,
+		reqCh:   make(chan request),
+		ms:      cfg.Metrics,
+		trace:   cfg.Trace,
+	}
+	for i := 0; i < cfg.Machine.CPUs; i++ {
+		k.cpus = append(k.cpus, &CPU{id: i})
+	}
+	k.sched.Attach(k)
+	return k, nil
+}
+
+// Machine returns the machine model in use.
+func (k *Kernel) Machine() *machine.Model { return k.mach }
+
+// Metrics returns the metrics set for this kernel.
+func (k *Kernel) Metrics() *metrics.Set { return k.ms }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Procs returns all spawned processes.
+func (k *Kernel) Procs() []*Proc { return k.procs }
+
+// ProcByID returns the process with the given pid, or nil.
+func (k *Kernel) ProcByID(pid int) *Proc {
+	if pid < 0 || pid >= len(k.procs) {
+		return nil
+	}
+	return k.procs[pid]
+}
+
+// Spawn registers a process with the given name, static priority and
+// body. All processes become runnable when Run is called. Spawn must not
+// be called after Run.
+func (k *Kernel) Spawn(name string, basePrio int, body func(*Proc)) *Proc {
+	if k.started {
+		panic("sim: Spawn after Run")
+	}
+	p := &Proc{
+		id:       len(k.procs),
+		name:     name,
+		k:        k,
+		body:     body,
+		resumeCh: make(chan struct{}),
+		state:    StateNew,
+		BasePrio: basePrio,
+		M:        k.ms.NewProc(name),
+	}
+	k.procs = append(k.procs, p)
+	k.live++
+	go func() {
+		<-p.resumeCh
+		var exitErr error
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					exitErr = fmt.Errorf("sim: process %s panicked: %v\n%s", p.name, r, debug.Stack())
+				}
+			}()
+			p.body(p)
+		}()
+		k.reqCh <- request{p: p, kind: reqExit, err: exitErr}
+	}()
+	return p
+}
+
+// Run executes the simulation until every process has exited. It returns
+// an error on deadlock, on exceeding MaxTime, or if a process panicked.
+func (k *Kernel) Run() error {
+	if k.started {
+		return fmt.Errorf("sim: Run called twice")
+	}
+	k.started = true
+	for _, p := range k.procs {
+		p.state = StateReady
+		k.sched.Ready(p)
+		p.queued = true
+	}
+	for _, c := range k.cpus {
+		k.dispatch(c, 0)
+	}
+	for k.live > 0 && k.err == nil {
+		if k.events.Len() == 0 {
+			return k.deadlock()
+		}
+		ev := k.events.pop()
+		if ev.t > k.maxTime {
+			return fmt.Errorf("sim: virtual time exceeded MaxTime (%d ns) with %d live processes", k.maxTime, k.live)
+		}
+		k.now = ev.t
+		switch ev.kind {
+		case evTimer:
+			if ev.p.state == StateSleeping {
+				k.makeReady(ev.p)
+			}
+		case evRun:
+			k.applyRun(ev)
+		}
+	}
+	return k.err
+}
+
+func (k *Kernel) deadlock() error {
+	desc := ""
+	for _, p := range k.procs {
+		if p.state != StateDead {
+			desc += fmt.Sprintf(" %s=%s", p.name, p.state)
+		}
+	}
+	return fmt.Errorf("sim: deadlock at t=%d:%s", k.now, desc)
+}
+
+func (k *Kernel) tracef(cpu int, proc, what, detail string) {
+	if k.trace != nil {
+		k.trace(k.now, cpu, proc, what, detail)
+	}
+}
+
+// charge accounts consumed CPU time to the process.
+func (k *Kernel) charge(p *Proc, d Time) {
+	if d <= 0 {
+		return
+	}
+	k.sched.Charge(p, d)
+	p.quantumLeft -= d
+	p.M.CPUTimeNS.Add(int64(d))
+}
+
+func (k *Kernel) applyRun(ev event) {
+	p := ev.p
+	k.charge(p, ev.dur)
+	switch ev.req.kind {
+	case reqStep:
+		k.advance(p)
+	case reqExit:
+		k.exitProc(p, ev.req.err)
+	case reqSys:
+		k.applySyscall(p, ev.req)
+	}
+}
+
+// collect resumes p and receives its next request. The process's code
+// segment between its previous interaction point and the next request
+// executes during this call, at the current virtual time.
+func (k *Kernel) collect(p *Proc) request {
+	p.resumeCh <- struct{}{}
+	return <-k.reqCh
+}
+
+// advance lets the running process produce its next request, then
+// schedules it (or preempts on quantum expiry).
+func (k *Kernel) advance(p *Proc) {
+	r := k.collect(p)
+	k.scheduleOrPreempt(p, r)
+}
+
+func (k *Kernel) scheduleOrPreempt(p *Proc, r request) {
+	if p.quantumLeft <= 0 && r.kind != reqExit && k.sched.ReadyCount() > 0 {
+		cpu := p.cpu
+		p.state = StateReady
+		k.sched.Ready(p)
+		p.queued = true
+		// No incumbent preference at quantum expiry: the whole point of
+		// the expiry is to round-robin among equal-priority processes.
+		q := k.sched.Pick(cpu.id, nil)
+		if q == p {
+			// Still the best choice: refresh the quantum and continue.
+			p.queued = false
+			p.state = StateRunning
+			p.quantumLeft = k.sched.QuantumFor(p)
+			k.scheduleReq(p, r)
+			return
+		}
+		p.M.InvoluntaryCS.Add(1)
+		rr := r
+		p.pending = &rr
+		p.cpu = nil
+		k.tracef(cpu.id, p.name, "preempt", "")
+		k.startOn(cpu, q, 0)
+		return
+	}
+	k.scheduleReq(p, r)
+}
+
+// scheduleReq pushes the completion event for the request, consuming any
+// accumulated kernel overhead (context-switch / block cost).
+func (k *Kernel) scheduleReq(p *Proc, r request) {
+	d := r.cost + p.extraDelay
+	p.extraDelay = 0
+	k.seq++
+	k.events.push(event{t: k.now + d, seq: k.seq, kind: evRun, p: p, req: r, dur: d})
+}
+
+// startOn places q on the CPU, charging a context-switch cost if the CPU
+// last ran a different process.
+func (k *Kernel) startOn(cpu *CPU, q *Proc, extra Time) {
+	q.queued = false
+	if cpu.lastProc != nil && cpu.lastProc != q {
+		extra += k.mach.CtxSwitch(k.sched.ReadyCount() + 1)
+		k.tracef(cpu.id, q.name, "switch-in", "")
+	}
+	cpu.proc = q
+	cpu.lastProc = q
+	q.cpu = cpu
+	q.state = StateRunning
+	q.quantumLeft = k.sched.QuantumFor(q)
+	q.extraDelay += extra
+	if q.pending != nil {
+		r := *q.pending
+		q.pending = nil
+		k.scheduleReq(q, r)
+		return
+	}
+	k.advance(q)
+}
+
+// dispatch picks the next process for an (about to be) idle CPU.
+func (k *Kernel) dispatch(cpu *CPU, extra Time) {
+	q := k.sched.Pick(cpu.id, nil)
+	if q == nil {
+		cpu.proc = nil
+		return
+	}
+	q.queued = false
+	k.startOn(cpu, q, extra)
+}
+
+// makeReady marks p runnable and fills an idle CPU if one exists. It does
+// NOT preempt a running process: like the System V primitives the paper
+// builds on, a wakeup only enters the run queue.
+func (k *Kernel) makeReady(p *Proc) {
+	p.state = StateReady
+	if !p.queued {
+		k.sched.Ready(p)
+		p.queued = true
+	}
+	for _, c := range k.cpus {
+		if c.proc == nil {
+			k.dispatch(c, 0)
+			return
+		}
+	}
+}
+
+// block removes the running process from its CPU and dispatches a
+// replacement, charging the kernel's block cost to the switch.
+func (k *Kernel) block(p *Proc, st ProcState) {
+	p.state = st
+	p.M.VoluntaryCS.Add(1)
+	cpu := p.cpu
+	p.cpu = nil
+	cpu.proc = nil
+	k.tracef(cpu.id, p.name, "block", st.String())
+	k.dispatch(cpu, k.mach.BlockCost)
+}
+
+func (k *Kernel) exitProc(p *Proc, err error) {
+	p.state = StateDead
+	k.live--
+	if err != nil && k.err == nil {
+		k.err = err
+	}
+	cpu := p.cpu
+	p.cpu = nil
+	if cpu != nil {
+		cpu.proc = nil
+		if cpu.lastProc == p {
+			cpu.lastProc = nil
+		}
+		k.dispatch(cpu, 0)
+	}
+	k.tracef(-1, p.name, "exit", "")
+}
+
+func (k *Kernel) applySyscall(p *Proc, r request) {
+	switch r.sys {
+	case sysYield:
+		k.doYield(p)
+
+	case sysSemP:
+		s := k.sems[r.arg]
+		if s.count > 0 {
+			s.count--
+			k.advance(p)
+			return
+		}
+		p.M.Blocks.Add(1)
+		s.waiters = append(s.waiters, p)
+		k.block(p, StateBlocked)
+
+	case sysSemV:
+		s := k.sems[r.arg]
+		if len(s.waiters) > 0 {
+			w := s.waiters[0]
+			s.waiters = s.waiters[1:]
+			p.M.Wakeups.Add(1)
+			p.extraDelay += k.mach.WakeupCost
+			k.tracef(cpuID(p), p.name, "wake", w.name)
+			k.makeReady(w)
+		} else {
+			s.count++
+		}
+		k.advance(p)
+
+	case sysSleep:
+		k.seq++
+		k.events.push(event{t: k.now + r.arg, seq: k.seq, kind: evTimer, p: p})
+		k.block(p, StateSleeping)
+
+	case sysMsgSnd:
+		q := k.msgqs[r.arg]
+		if len(q.msgs) >= q.capacity {
+			p.M.Blocks.Add(1)
+			p.sysRet = r.payload // park until a receiver drains the queue
+			q.sndWaiters = append(q.sndWaiters, p)
+			k.block(p, StateBlocked)
+			return
+		}
+		q.msgs = append(q.msgs, r.payload)
+		if len(q.rcvWaiters) > 0 {
+			w := q.rcvWaiters[0]
+			q.rcvWaiters = q.rcvWaiters[1:]
+			w.sysRet = q.msgs[0]
+			q.msgs = q.msgs[1:]
+			p.M.Wakeups.Add(1)
+			p.extraDelay += k.mach.WakeupCost
+			k.makeReady(w)
+		}
+		k.advance(p)
+
+	case sysMsgRcv:
+		q := k.msgqs[r.arg]
+		if len(q.msgs) > 0 {
+			p.sysRet = q.msgs[0]
+			q.msgs = q.msgs[1:]
+			if len(q.sndWaiters) > 0 {
+				s := q.sndWaiters[0]
+				q.sndWaiters = q.sndWaiters[1:]
+				q.msgs = append(q.msgs, s.sysRet)
+				s.sysRet = nil
+				p.M.Wakeups.Add(1)
+				p.extraDelay += k.mach.WakeupCost
+				k.makeReady(s)
+			}
+			k.advance(p)
+			return
+		}
+		p.M.Blocks.Add(1)
+		q.rcvWaiters = append(q.rcvWaiters, p)
+		k.block(p, StateBlocked)
+
+	case sysBarrier:
+		b := k.barriers[r.arg]
+		b.arrived = append(b.arrived, p)
+		if len(b.arrived) < b.parties {
+			k.block(p, StateBlocked)
+			return
+		}
+		waiters := b.arrived[:len(b.arrived)-1]
+		b.arrived = nil
+		for _, w := range waiters {
+			k.makeReady(w)
+		}
+		k.advance(p)
+
+	case sysHandoff:
+		k.doHandoff(p, int(r.arg))
+
+	default:
+		k.err = fmt.Errorf("sim: unknown syscall %d", r.sys)
+	}
+}
+
+func (k *Kernel) doYield(p *Proc) {
+	k.sched.OnYield(p)
+	cpu := p.cpu
+	p.state = StateReady
+	k.sched.Ready(p)
+	p.queued = true
+	q := k.sched.Pick(cpu.id, p)
+	if q == p {
+		// The scheduler chose the yielding process again: no switch.
+		// Deliberately no quantum refresh — a yield that does not
+		// transfer the CPU must still burn down the caller's slice, or
+		// a spinning process could monopolise the CPU forever.
+		p.queued = false
+		p.state = StateRunning
+		k.advance(p)
+		return
+	}
+	p.M.VoluntaryCS.Add(1)
+	p.cpu = nil
+	k.tracef(cpu.id, p.name, "yield-switch", q.name)
+	k.startOn(cpu, q, 0)
+}
+
+func (k *Kernel) doHandoff(p *Proc, pid int) {
+	cpu := p.cpu
+	switch {
+	case pid == PIDSelf:
+		k.doYield(p)
+
+	case pid == PIDAny:
+		// Deschedule the caller in favour of any other ready process,
+		// even one with lower priority.
+		q := k.sched.Pick(cpu.id, nil)
+		if q == nil {
+			k.advance(p)
+			return
+		}
+		q.queued = false
+		p.M.VoluntaryCS.Add(1)
+		p.state = StateReady
+		k.sched.Ready(p)
+		p.queued = true
+		p.cpu = nil
+		k.tracef(cpu.id, p.name, "handoff-any", q.name)
+		k.startOn(cpu, q, 0)
+
+	default:
+		t := k.ProcByID(pid)
+		if t == nil || t.state != StateReady || !k.sched.Steal(t) {
+			// Target not eligible: fall back to yield semantics.
+			k.doYield(p)
+			return
+		}
+		t.queued = false
+		p.M.VoluntaryCS.Add(1)
+		p.state = StateReady
+		k.sched.Ready(p)
+		p.queued = true
+		p.cpu = nil
+		k.tracef(cpu.id, p.name, "handoff", t.name)
+		k.startOn(cpu, t, 0)
+	}
+}
+
+func cpuID(p *Proc) int {
+	if p.cpu == nil {
+		return -1
+	}
+	return p.cpu.id
+}

@@ -1,0 +1,443 @@
+package sim_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ulipc/internal/machine"
+	"ulipc/internal/metrics"
+	"ulipc/internal/sim"
+	"ulipc/internal/sim/sched"
+)
+
+// TestQuantumPreemption verifies involuntary context switches: a
+// CPU-bound process must be preempted at quantum expiry when another
+// process is ready.
+func TestQuantumPreemption(t *testing.T) {
+	m := machine.SGIIndy()
+	m.Quantum = 1 * sim.Millisecond
+	ms := metrics.NewSet()
+	pol, _ := sched.New(sched.PolicyLinuxMod) // FIFO round-robin: clean semantics
+	k, err := sim.New(sim.Config{Machine: m, Sched: pol, Metrics: ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			p.Step(100 * sim.Microsecond) // 5ms total, 5 quanta
+		}
+	}
+	k.Spawn("a", 0, body)
+	k.Spawn("b", 0, body)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := ms.Find("a")
+	if a.InvoluntaryCS < 3 {
+		t.Fatalf("a: involuntary switches = %d, want >= 3 (5ms of work, 1ms quantum)", a.InvoluntaryCS)
+	}
+	if a.VoluntaryCS != 0 {
+		t.Fatalf("a: voluntary switches = %d, want 0 (never blocks)", a.VoluntaryCS)
+	}
+}
+
+// TestNoPreemptionWithoutCompetitor: quantum expiry with an empty run
+// queue must not count a switch.
+func TestNoPreemptionWithoutCompetitor(t *testing.T) {
+	m := machine.SGIIndy()
+	m.Quantum = 1 * sim.Millisecond
+	ms := metrics.NewSet()
+	pol, _ := sched.New(sched.PolicyDegrading)
+	k, _ := sim.New(sim.Config{Machine: m, Sched: pol, Metrics: ms})
+	k.Spawn("solo", 0, func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			p.Step(100 * sim.Microsecond)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	solo, _ := ms.Find("solo")
+	if solo.SwitchesTotal() != 0 {
+		t.Fatalf("solo process switched %d times", solo.SwitchesTotal())
+	}
+}
+
+// TestCPUTimeAccounting: virtual CPU time must equal the sum of step
+// costs plus syscall costs.
+func TestCPUTimeAccounting(t *testing.T) {
+	m := machine.SGIIndy()
+	ms := metrics.NewSet()
+	pol, _ := sched.New(sched.PolicyDegrading)
+	k, _ := sim.New(sim.Config{Machine: m, Sched: pol, Metrics: ms})
+	k.Spawn("w", 0, func(p *sim.Proc) {
+		p.Step(10 * sim.Microsecond)
+		p.Yield() // no switch: solo process
+		p.Step(5 * sim.Microsecond)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := ms.Find("w")
+	want := int64(15*sim.Microsecond + m.YieldCost)
+	if w.CPUTimeNS != want {
+		t.Fatalf("cpu time = %d, want %d", w.CPUTimeNS, want)
+	}
+}
+
+// TestSemaphoreWaitersFIFO: semaphore waiters are released in arrival
+// order.
+func TestSemaphoreWaitersFIFO(t *testing.T) {
+	pol, _ := sched.New(sched.PolicyDegrading)
+	k, _ := sim.New(sim.Config{Machine: machine.SGIIndy(), Sched: pol})
+	sem := k.NewSem(0)
+	var order []string
+	for _, name := range []string{"w0", "w1", "w2"} {
+		name := name
+		k.Spawn(name, 0, func(p *sim.Proc) {
+			p.SemP(sem)
+			order = append(order, name)
+		})
+	}
+	k.Spawn("waker", 0, func(p *sim.Proc) {
+		p.Step(10 * sim.Microsecond) // let the waiters queue up
+		for i := 0; i < 3; i++ {
+			p.SemV(sem)
+			p.Step(50 * sim.Microsecond) // let each one run
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, ",") != "w0,w1,w2" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// TestVDoesNotPreempt verifies the paper's key System V behaviour: a V
+// readies the waiter but the caller keeps the CPU.
+func TestVDoesNotPreempt(t *testing.T) {
+	pol, _ := sched.New(sched.PolicyDegrading)
+	k, _ := sim.New(sim.Config{Machine: machine.SGIIndy(), Sched: pol})
+	sem := k.NewSem(0)
+	var order []string
+	k.Spawn("sleeper", 0, func(p *sim.Proc) {
+		p.SemP(sem)
+		order = append(order, "sleeper-woke")
+	})
+	k.Spawn("waker", 0, func(p *sim.Proc) {
+		p.Step(time10us())
+		p.SemV(sem)
+		order = append(order, "waker-after-V")
+		p.Step(time10us())
+		order = append(order, "waker-still-running")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"waker-after-V", "waker-still-running", "sleeper-woke"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v (V must not force a reschedule)", order, want)
+		}
+	}
+}
+
+func time10us() sim.Time { return 10 * sim.Microsecond }
+
+// TestIdleCPUPicksUpWakeup: on a multiprocessor a wakeup fills an idle
+// CPU immediately.
+func TestIdleCPUPicksUpWakeup(t *testing.T) {
+	pol, _ := sched.New(sched.PolicyDegrading)
+	k, _ := sim.New(sim.Config{Machine: machine.SGIChallenge8(), Sched: pol})
+	sem := k.NewSem(0)
+	var wakeAt, wokeAt sim.Time
+	k.Spawn("sleeper", 0, func(p *sim.Proc) {
+		p.SemP(sem)
+		wokeAt = p.Now()
+	})
+	k.Spawn("waker", 0, func(p *sim.Proc) {
+		p.Step(100 * sim.Microsecond)
+		wakeAt = p.Now()
+		p.SemV(sem)
+		p.Step(500 * sim.Microsecond) // keep this CPU busy
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The sleeper must have run on another CPU well before the waker's
+	// 500us tail finished.
+	if wokeAt > wakeAt+100*sim.Microsecond {
+		t.Fatalf("sleeper woke at %d, wake at %d: idle CPU not used", wokeAt, wakeAt)
+	}
+}
+
+// TestSleepFloor: SleepSec honours the machine's one-second floor.
+func TestSleepFloor(t *testing.T) {
+	pol, _ := sched.New(sched.PolicyDegrading)
+	k, _ := sim.New(sim.Config{Machine: machine.SGIIndy(), Sched: pol, MaxTime: 10 * sim.Second})
+	var woke sim.Time
+	k.Spawn("s", 0, func(p *sim.Proc) {
+		p.SleepSec(0) // floor lifts this to >= 1s
+		woke = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke < sim.Second {
+		t.Fatalf("woke at %d, want >= 1s (UNIX sleep floor)", woke)
+	}
+}
+
+// TestMaxTimeAborts: runaway simulations terminate with an error.
+func TestMaxTimeAborts(t *testing.T) {
+	pol, _ := sched.New(sched.PolicyDegrading)
+	k, _ := sim.New(sim.Config{Machine: machine.SGIIndy(), Sched: pol, MaxTime: 1 * sim.Millisecond})
+	k.Spawn("spinner", 0, func(p *sim.Proc) {
+		for {
+			p.Step(100 * sim.Microsecond)
+		}
+	})
+	if err := k.Run(); err == nil {
+		t.Fatal("expected MaxTime error")
+	}
+}
+
+// TestSpawnAfterRunPanics guards the API contract.
+func TestSpawnAfterRunPanics(t *testing.T) {
+	pol, _ := sched.New(sched.PolicyDegrading)
+	k, _ := sim.New(sim.Config{Machine: machine.SGIIndy(), Sched: pol})
+	k.Spawn("w", 0, func(p *sim.Proc) { p.Step(1) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	k.Spawn("late", 0, func(p *sim.Proc) {})
+}
+
+// TestRunTwiceErrors guards the API contract.
+func TestRunTwiceErrors(t *testing.T) {
+	pol, _ := sched.New(sched.PolicyDegrading)
+	k, _ := sim.New(sim.Config{Machine: machine.SGIIndy(), Sched: pol})
+	k.Spawn("w", 0, func(p *sim.Proc) {})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err == nil {
+		t.Fatal("second Run accepted")
+	}
+}
+
+// TestHandoffToBlockedFallsBack: handing off to a blocked process
+// behaves like yield instead of wedging.
+func TestHandoffToBlockedFallsBack(t *testing.T) {
+	pol, _ := sched.New(sched.PolicyDegrading)
+	k, _ := sim.New(sim.Config{Machine: machine.SGIIndy(), Sched: pol})
+	sem := k.NewSem(0)
+	var blocked *sim.Proc
+	blocked = k.Spawn("blocked", 0, func(p *sim.Proc) {
+		p.SemP(sem)
+	})
+	k.Spawn("caller", 0, func(p *sim.Proc) {
+		p.Step(10 * sim.Microsecond) // let "blocked" block first
+		p.Handoff(blocked.ID())      // target not ready: acts as yield
+		p.SemV(sem)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHandoffToUnknownPID: bad pids degrade to yield.
+func TestHandoffToUnknownPID(t *testing.T) {
+	pol, _ := sched.New(sched.PolicyDegrading)
+	k, _ := sim.New(sim.Config{Machine: machine.SGIIndy(), Sched: pol})
+	k.Spawn("caller", 0, func(p *sim.Proc) {
+		p.Handoff(999)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceEventsEmitted: the trace hook sees switches and blocks.
+func TestTraceEventsEmitted(t *testing.T) {
+	var events []string
+	trace := func(tm sim.Time, cpu int, proc string, what, detail string) {
+		events = append(events, what)
+	}
+	pol, _ := sched.New(sched.PolicyDegrading)
+	k, _ := sim.New(sim.Config{Machine: machine.SGIIndy(), Sched: pol, Trace: trace})
+	sem := k.NewSem(0)
+	k.Spawn("a", 0, func(p *sim.Proc) {
+		p.SemP(sem)
+	})
+	k.Spawn("b", 0, func(p *sim.Proc) {
+		p.Step(10 * sim.Microsecond)
+		p.SemV(sem)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(events, ",")
+	for _, want := range []string{"block", "wake", "switch-in", "exit"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace missing %q: %v", want, events)
+		}
+	}
+}
+
+// TestBarrierReusable: a barrier can be reused for successive phases.
+func TestBarrierReusable(t *testing.T) {
+	pol, _ := sched.New(sched.PolicyDegrading)
+	k, _ := sim.New(sim.Config{Machine: machine.SGIIndy(), Sched: pol})
+	b := k.NewBarrier(2)
+	var phases [2]int
+	for i := 0; i < 2; i++ {
+		k.Spawn("w", 0, func(p *sim.Proc) {
+			p.Barrier(b)
+			phases[0]++
+			p.Barrier(b)
+			phases[1]++
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if phases[0] != 2 || phases[1] != 2 {
+		t.Fatalf("phases = %v", phases)
+	}
+}
+
+// TestNegativeStepPanics guards against cost-model bugs.
+func TestNegativeStepPanics(t *testing.T) {
+	pol, _ := sched.New(sched.PolicyDegrading)
+	k, _ := sim.New(sim.Config{Machine: machine.SGIIndy(), Sched: pol})
+	k.Spawn("bad", 0, func(p *sim.Proc) {
+		p.Step(-5)
+	})
+	if err := k.Run(); err == nil {
+		t.Fatal("negative step must surface as an error")
+	}
+}
+
+// TestConfigValidation covers kernel construction errors.
+func TestConfigValidation(t *testing.T) {
+	pol, _ := sched.New(sched.PolicyDegrading)
+	if _, err := sim.New(sim.Config{Sched: pol}); err == nil {
+		t.Error("nil machine accepted")
+	}
+	if _, err := sim.New(sim.Config{Machine: machine.SGIIndy()}); err == nil {
+		t.Error("nil scheduler accepted")
+	}
+	bad := machine.SGIIndy()
+	bad.Quantum = 0
+	if _, err := sim.New(sim.Config{Machine: bad, Sched: pol}); err == nil {
+		t.Error("invalid machine accepted")
+	}
+}
+
+// TestProcAccessors covers the small introspection surface.
+func TestProcAccessors(t *testing.T) {
+	pol, _ := sched.New(sched.PolicyDegrading)
+	k, _ := sim.New(sim.Config{Machine: machine.SGIIndy(), Sched: pol})
+	p := k.Spawn("w", 3, func(p *sim.Proc) {})
+	if p.ID() != 0 || p.Name() != "w" || p.BasePrio != 3 {
+		t.Fatalf("accessors: id=%d name=%q prio=%d", p.ID(), p.Name(), p.BasePrio)
+	}
+	if k.ProcByID(0) != p || k.ProcByID(5) != nil || k.ProcByID(-1) != nil {
+		t.Fatal("ProcByID misbehaves")
+	}
+	if len(k.Procs()) != 1 {
+		t.Fatal("Procs()")
+	}
+	if p.String() == "" || p.State().String() == "" {
+		t.Fatal("String()")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.State() != sim.StateDead {
+		t.Fatalf("state = %v", p.State())
+	}
+}
+
+// TestMsgRcvDeliversInOrder: message queues are FIFO across blocking
+// receivers.
+func TestMsgRcvDeliversInOrder(t *testing.T) {
+	pol, _ := sched.New(sched.PolicyDegrading)
+	k, _ := sim.New(sim.Config{Machine: machine.SGIIndy(), Sched: pol})
+	q := k.NewMsgQueue(8)
+	var got []any
+	k.Spawn("rcv", 0, func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			got = append(got, p.MsgRcv(q))
+		}
+	})
+	k.Spawn("snd", 0, func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			p.MsgSnd(q, i)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got = %v", got)
+		}
+	}
+}
+
+// TestQuickCPUAccountingInvariant drives random workloads and checks the
+// fundamental accounting invariant: total charged CPU time can never
+// exceed elapsed virtual time x CPUs.
+func TestQuickCPUAccountingInvariant(t *testing.T) {
+	check := func(nProcs, steps, costSel uint8, mp bool) bool {
+		m := machine.SGIIndy()
+		if mp {
+			m = machine.SGIChallenge8()
+		}
+		ms := metrics.NewSet()
+		pol, _ := sched.New(sched.PolicyDegrading)
+		k, err := sim.New(sim.Config{Machine: m, Sched: pol, Metrics: ms})
+		if err != nil {
+			return false
+		}
+		procs := 1 + int(nProcs)%4
+		nSteps := 1 + int(steps)%20
+		cost := sim.Time(1+int(costSel)%50) * sim.Microsecond
+		sem := k.NewSem(0)
+		for i := 0; i < procs; i++ {
+			i := i
+			k.Spawn("w", 0, func(p *sim.Proc) {
+				for j := 0; j < nSteps; j++ {
+					p.Step(cost)
+					if i%2 == 0 {
+						p.SemV(sem)
+					} else {
+						p.Yield()
+					}
+				}
+				// Drain own Vs so nothing dangles.
+				for j := 0; i%2 == 0 && j < nSteps; j++ {
+					p.SemP(sem)
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		total := ms.Total().CPUTimeNS
+		budget := int64(k.Now()) * int64(m.CPUs)
+		return total <= budget
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,413 @@
+package sim_test
+
+import (
+	"testing"
+
+	"ulipc/internal/machine"
+	"ulipc/internal/metrics"
+	"ulipc/internal/sim"
+	"ulipc/internal/sim/sched"
+)
+
+func newKernel(t *testing.T, m *machine.Model, policy string) *sim.Kernel {
+	t.Helper()
+	s, err := sched.New(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := sim.New(sim.Config{Machine: m, Sched: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestSingleProcRuns(t *testing.T) {
+	k := newKernel(t, machine.SGIIndy(), sched.PolicyDegrading)
+	var ticks int
+	var endTime sim.Time
+	k.Spawn("worker", 0, func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			p.Step(1000)
+			ticks++
+		}
+		endTime = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 10 {
+		t.Fatalf("ticks = %d, want 10", ticks)
+	}
+	if endTime != 10*1000 {
+		t.Fatalf("virtual end time = %d, want 10000", endTime)
+	}
+}
+
+func TestStepAdvancesVirtualTime(t *testing.T) {
+	k := newKernel(t, machine.SGIIndy(), sched.PolicyDegrading)
+	var times []sim.Time
+	k.Spawn("w", 0, func(p *sim.Proc) {
+		times = append(times, p.Now())
+		p.Step(5 * sim.Microsecond)
+		times = append(times, p.Now())
+		p.Step(0)
+		times = append(times, p.Now())
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if times[1]-times[0] != 5*sim.Microsecond {
+		t.Errorf("step advanced %d, want 5us", times[1]-times[0])
+	}
+	if times[2] != times[1] {
+		t.Errorf("zero-cost step advanced time: %d -> %d", times[1], times[2])
+	}
+}
+
+func TestSemaphoreBlocksAndWakes(t *testing.T) {
+	k := newKernel(t, machine.SGIIndy(), sched.PolicyDegrading)
+	sem := k.NewSem(0)
+	var order []string
+	k.Spawn("consumer", 0, func(p *sim.Proc) {
+		p.SemP(sem)
+		order = append(order, "consumed")
+	})
+	k.Spawn("producer", 0, func(p *sim.Proc) {
+		p.Step(50 * sim.Microsecond)
+		order = append(order, "produced")
+		p.SemV(sem)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "produced" || order[1] != "consumed" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSemaphoreCountingSemantics(t *testing.T) {
+	k := newKernel(t, machine.SGIIndy(), sched.PolicyDegrading)
+	sem := k.NewSem(2)
+	passed := 0
+	k.Spawn("w", 0, func(p *sim.Proc) {
+		p.SemP(sem)
+		passed++
+		p.SemP(sem)
+		passed++
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if passed != 2 {
+		t.Fatalf("passed = %d, want 2 (initial count 2 must not block)", passed)
+	}
+	if got := k.SemCount(sem); got != 0 {
+		t.Fatalf("final count = %d, want 0", got)
+	}
+}
+
+func TestSleepWakesAtRightTime(t *testing.T) {
+	k := newKernel(t, machine.SGIIndy(), sched.PolicyDegrading)
+	var woke sim.Time
+	k.Spawn("sleeper", 0, func(p *sim.Proc) {
+		p.SleepNS(2 * sim.Millisecond)
+		woke = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke < 2*sim.Millisecond {
+		t.Fatalf("woke at %d, want >= 2ms", woke)
+	}
+	if woke > 3*sim.Millisecond {
+		t.Fatalf("woke at %d, too late", woke)
+	}
+}
+
+func TestMsgQueueRoundTrip(t *testing.T) {
+	k := newKernel(t, machine.SGIIndy(), sched.PolicyDegrading)
+	req := k.NewMsgQueue(16)
+	rsp := k.NewMsgQueue(16)
+	var got any
+	k.Spawn("server", 0, func(p *sim.Proc) {
+		v := p.MsgRcv(req)
+		p.MsgSnd(rsp, v)
+	})
+	k.Spawn("client", 0, func(p *sim.Proc) {
+		p.MsgSnd(req, 42)
+		got = p.MsgRcv(rsp)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("got %v, want 42", got)
+	}
+}
+
+func TestMsgQueueFullBlocksSender(t *testing.T) {
+	k := newKernel(t, machine.SGIIndy(), sched.PolicyDegrading)
+	q := k.NewMsgQueue(1)
+	var received []any
+	k.Spawn("sender", 0, func(p *sim.Proc) {
+		p.MsgSnd(q, 1)
+		p.MsgSnd(q, 2) // must block until the receiver drains
+		p.MsgSnd(q, 3)
+	})
+	k.Spawn("receiver", 0, func(p *sim.Proc) {
+		p.SleepNS(1 * sim.Millisecond)
+		for i := 0; i < 3; i++ {
+			received = append(received, p.MsgRcv(q))
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(received) != 3 || received[0] != 1 || received[1] != 2 || received[2] != 3 {
+		t.Fatalf("received = %v", received)
+	}
+}
+
+func TestBarrierReleasesAllTogether(t *testing.T) {
+	k := newKernel(t, machine.SGIIndy(), sched.PolicyDegrading)
+	const n = 4
+	b := k.NewBarrier(n)
+	var before, after [n]sim.Time
+	for i := 0; i < n; i++ {
+		i := i
+		k.Spawn("w", 0, func(p *sim.Proc) {
+			p.Step(sim.Time(i) * sim.Microsecond) // stagger arrivals
+			before[i] = p.Now()
+			p.Barrier(b)
+			after[i] = p.Now()
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var maxBefore sim.Time
+	for i := 0; i < n; i++ {
+		if before[i] > maxBefore {
+			maxBefore = before[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		if after[i] < maxBefore {
+			t.Fatalf("proc %d passed barrier at %d before last arrival %d", i, after[i], maxBefore)
+		}
+	}
+}
+
+func TestYieldAlternatesUnderLinuxMod(t *testing.T) {
+	k := newKernel(t, machine.Linux486(), sched.PolicyLinuxMod)
+	var order []string
+	mk := func(name string) func(*sim.Proc) {
+		return func(p *sim.Proc) {
+			for i := 0; i < 3; i++ {
+				order = append(order, name)
+				p.Yield()
+			}
+		}
+	}
+	k.Spawn("a", 0, mk("a"))
+	k.Spawn("b", 0, mk("b"))
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// With forced-switch yield the two processes must alternate.
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want alternation", order)
+		}
+	}
+}
+
+func TestYieldDoesNotSwitchUnderLinux10(t *testing.T) {
+	k := newKernel(t, machine.Linux486(), sched.PolicyLinux10)
+	var order []string
+	mk := func(name string) func(*sim.Proc) {
+		return func(p *sim.Proc) {
+			for i := 0; i < 3; i++ {
+				order = append(order, name)
+				p.Yield()
+			}
+		}
+	}
+	k.Spawn("a", 0, mk("a"))
+	k.Spawn("b", 0, mk("b"))
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Unmodified Linux 1.0: yield re-picks the caller, so "a" finishes its
+	// loop before "b" starts (quantum is far larger than 3 yields).
+	want := []string{"a", "a", "a", "b", "b", "b"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestHandoffTransfersCPU(t *testing.T) {
+	k := newKernel(t, machine.Linux486(), sched.PolicyLinux10)
+	var order []string
+	var target *sim.Proc
+	a := k.Spawn("a", 0, func(p *sim.Proc) {
+		order = append(order, "a1")
+		p.Handoff(target.ID())
+		order = append(order, "a2")
+	})
+	target = k.Spawn("b", 0, func(p *sim.Proc) {
+		order = append(order, "b1")
+	})
+	_ = a
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Even under linux10 (where yield would NOT switch), handoff must run b.
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestHandoffPIDAnyRunsOther(t *testing.T) {
+	k := newKernel(t, machine.Linux486(), sched.PolicyLinux10)
+	var order []string
+	k.Spawn("a", 5, func(p *sim.Proc) { // higher priority caller
+		order = append(order, "a1")
+		p.Handoff(sim.PIDAny)
+		order = append(order, "a2")
+	})
+	k.Spawn("b", 0, func(p *sim.Proc) {
+		order = append(order, "b1")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	k := newKernel(t, machine.SGIIndy(), sched.PolicyDegrading)
+	sem := k.NewSem(0)
+	k.Spawn("stuck", 0, func(p *sim.Proc) {
+		p.SemP(sem) // nobody will V
+	})
+	err := k.Run()
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	k := newKernel(t, machine.SGIIndy(), sched.PolicyDegrading)
+	k.Spawn("bad", 0, func(p *sim.Proc) {
+		p.Step(100)
+		panic("boom")
+	})
+	err := k.Run()
+	if err == nil {
+		t.Fatal("expected panic to surface as error")
+	}
+}
+
+func TestMetricsCountSyscalls(t *testing.T) {
+	ms := metrics.NewSet()
+	s, _ := sched.New(sched.PolicyDegrading)
+	k, err := sim.New(sim.Config{Machine: machine.SGIIndy(), Sched: s, Metrics: ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sem := k.NewSem(1)
+	k.Spawn("w", 0, func(p *sim.Proc) {
+		p.Yield()
+		p.SemP(sem)
+		p.SemV(sem)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := ms.Find("w")
+	if !ok {
+		t.Fatal("no metrics for w")
+	}
+	if snap.Yields != 1 || snap.SemP != 1 || snap.SemV != 1 {
+		t.Fatalf("snap = %+v", snap)
+	}
+	if snap.Syscalls != 3 {
+		t.Fatalf("syscalls = %d, want 3", snap.Syscalls)
+	}
+}
+
+func TestMultiprocessorParallelism(t *testing.T) {
+	// Two CPU-bound processes on an 8-CPU machine must overlap in virtual
+	// time: total makespan ~= single process runtime.
+	k := newKernel(t, machine.SGIChallenge8(), sched.PolicyDegrading)
+	var ends [2]sim.Time
+	for i := 0; i < 2; i++ {
+		i := i
+		k.Spawn("w", 0, func(p *sim.Proc) {
+			for j := 0; j < 100; j++ {
+				p.Step(10 * sim.Microsecond)
+			}
+			ends[i] = p.Now()
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range ends {
+		if e > 1100*sim.Microsecond {
+			t.Fatalf("proc %d finished at %d; wanted parallel execution ~1000us", i, e)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (sim.Time, int64) {
+		s, _ := sched.New(sched.PolicyDegrading)
+		ms := metrics.NewSet()
+		k, err := sim.New(sim.Config{Machine: machine.SGIIndy(), Sched: s, Metrics: ms})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sem := k.NewSem(0)
+		var end sim.Time
+		k.Spawn("c", 0, func(p *sim.Proc) {
+			for i := 0; i < 50; i++ {
+				p.Step(500)
+				p.SemV(sem)
+				p.Yield()
+			}
+			end = p.Now()
+		})
+		k.Spawn("s", 0, func(p *sim.Proc) {
+			for i := 0; i < 50; i++ {
+				p.SemP(sem)
+				p.Step(300)
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return end, ms.Total().SwitchesTotal()
+	}
+	e1, s1 := run()
+	e2, s2 := run()
+	if e1 != e2 || s1 != s2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", e1, s1, e2, s2)
+	}
+}

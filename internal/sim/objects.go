@@ -1,0 +1,63 @@
+package sim
+
+// Kernel-managed synchronisation and IPC objects: counting semaphores
+// (the paper's sleep/wake-up primitive), System V style message queues
+// (the kernel-mediated baseline), and barriers (workload start line-up).
+
+// SemID names a kernel counting semaphore.
+type SemID int
+
+// QID names a kernel (System V style) message queue.
+type QID int
+
+// BarrierID names a kernel barrier.
+type BarrierID int
+
+type semaphore struct {
+	count   int64
+	waiters []*Proc // FIFO
+}
+
+type msgQueue struct {
+	msgs       []any
+	capacity   int
+	sndWaiters []*Proc // blocked senders, payload parked in p.sysRet
+	rcvWaiters []*Proc // blocked receivers
+}
+
+type barrier struct {
+	parties int
+	arrived []*Proc
+	waiting bool
+}
+
+// NewSem creates a counting semaphore with the given initial count.
+func (k *Kernel) NewSem(initial int64) SemID {
+	k.sems = append(k.sems, &semaphore{count: initial})
+	return SemID(len(k.sems) - 1)
+}
+
+// SemCount returns the current count of a semaphore (diagnostics only).
+func (k *Kernel) SemCount(id SemID) int64 { return k.sems[id].count }
+
+// SemWaiters returns the number of processes blocked on the semaphore.
+func (k *Kernel) SemWaiters(id SemID) int { return len(k.sems[id].waiters) }
+
+// NewMsgQueue creates a System V style message queue holding at most
+// capacity messages.
+func (k *Kernel) NewMsgQueue(capacity int) QID {
+	if capacity < 1 {
+		capacity = 1
+	}
+	k.msgqs = append(k.msgqs, &msgQueue{capacity: capacity})
+	return QID(len(k.msgqs) - 1)
+}
+
+// QueueLen returns the number of messages currently in the queue.
+func (k *Kernel) QueueLen(q QID) int { return len(k.msgqs[q].msgs) }
+
+// NewBarrier creates a barrier for the given number of parties.
+func (k *Kernel) NewBarrier(parties int) BarrierID {
+	k.barriers = append(k.barriers, &barrier{parties: parties})
+	return BarrierID(len(k.barriers) - 1)
+}

@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"fmt"
+
+	"ulipc/internal/metrics"
+)
+
+// ProcState is the lifecycle state of a simulated process.
+type ProcState int
+
+const (
+	StateNew ProcState = iota
+	StateReady
+	StateRunning
+	StateBlocked  // waiting on a semaphore / message queue / barrier
+	StateSleeping // in a timed sleep
+	StateDead
+)
+
+func (s ProcState) String() string {
+	switch s {
+	case StateNew:
+		return "new"
+	case StateReady:
+		return "ready"
+	case StateRunning:
+		return "running"
+	case StateBlocked:
+		return "blocked"
+	case StateSleeping:
+		return "sleeping"
+	case StateDead:
+		return "dead"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Special pids for the handoff system call (Section 6 of the paper).
+const (
+	PIDSelf = -1 // handoff(PID_SELF): same semantics as yield
+	PIDAny  = -2 // handoff(PID_ANY): block caller, run best other ready process
+)
+
+type reqKind int
+
+const (
+	reqStep reqKind = iota // consume CPU, then run the next code segment
+	reqSys                 // system call
+	reqExit                // process body returned (or panicked)
+)
+
+type sysKind int
+
+const (
+	sysYield sysKind = iota
+	sysSemP
+	sysSemV
+	sysSleep
+	sysMsgSnd
+	sysMsgRcv
+	sysBarrier
+	sysHandoff
+)
+
+func (s sysKind) String() string {
+	switch s {
+	case sysYield:
+		return "yield"
+	case sysSemP:
+		return "semP"
+	case sysSemV:
+		return "semV"
+	case sysSleep:
+		return "sleep"
+	case sysMsgSnd:
+		return "msgsnd"
+	case sysMsgRcv:
+		return "msgrcv"
+	case sysBarrier:
+		return "barrier"
+	case sysHandoff:
+		return "handoff"
+	}
+	return "sys?"
+}
+
+// request is what a process goroutine hands to the engine at each
+// interaction point: "my last code segment is done; here is what I do
+// next and what it costs".
+type request struct {
+	p       *Proc
+	kind    reqKind
+	sys     sysKind
+	cost    Time
+	arg     int64 // semaphore/queue/barrier id, sleep duration, handoff pid
+	payload any   // msgsnd payload
+	err     error // reqExit: non-nil if the body panicked
+}
+
+// Proc is a simulated kernel-level process. Its body runs on a dedicated
+// goroutine, but the engine serialises execution: exactly one process
+// executes Go code at any moment, and only between an engine resume and
+// the process's next Step/syscall request.
+type Proc struct {
+	id   int
+	name string
+	k    *Kernel
+
+	body func(*Proc)
+
+	resumeCh chan struct{}
+
+	state   ProcState
+	cpu     *CPU
+	pending *request // request not yet scheduled (preempted / not yet dispatched)
+	sysRet  any      // return value for the in-progress blocking syscall
+
+	// Scheduler-owned fields.
+	BasePrio   int     // static priority (higher = more important)
+	Usage      float64 // decayed recent CPU usage, in UsageQuantum units
+	UsageStamp Time    // virtual time Usage was last decayed
+	queued     bool    // in the scheduler run queue
+
+	quantumLeft Time
+	extraDelay  Time // kernel overhead (switch/block) charged before the next step
+
+	M *metrics.Proc
+}
+
+// ID returns the process's pid.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the process's name.
+func (p *Proc) Name() string { return p.name }
+
+// State returns the current lifecycle state.
+func (p *Proc) State() ProcState { return p.state }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time. Only valid while the process is
+// executing (between a resume and its next request).
+func (p *Proc) Now() Time { return p.k.now }
+
+// request hands control to the engine and blocks until resumed.
+func (p *Proc) request(r request) {
+	r.p = p
+	p.k.reqCh <- r
+	<-p.resumeCh
+}
+
+// Step consumes cost of virtual CPU time. Code executed after Step
+// returns (up to the next Step or syscall) happens atomically at the
+// step's completion time with respect to all other processes.
+func (p *Proc) Step(cost Time) {
+	if cost < 0 {
+		panic(fmt.Sprintf("sim: negative step cost %d", cost))
+	}
+	p.request(request{kind: reqStep, cost: cost})
+}
+
+// Yield performs a yield() system call. Whether the CPU actually switches
+// is up to the scheduler policy, exactly as on the paper's systems.
+func (p *Proc) Yield() {
+	p.M.Yields.Add(1)
+	p.M.Syscalls.Add(1)
+	p.request(request{kind: reqSys, sys: sysYield, cost: p.k.mach.YieldCost})
+}
+
+// SemP performs a down (P) operation on a counting semaphore, blocking if
+// the count is zero.
+func (p *Proc) SemP(id SemID) {
+	p.M.SemP.Add(1)
+	p.M.Syscalls.Add(1)
+	p.request(request{kind: reqSys, sys: sysSemP, cost: p.k.mach.SemPCost, arg: int64(id)})
+}
+
+// SemV performs an up (V) operation on a counting semaphore. It readies a
+// waiter if one exists but — like System V semaphores — does NOT force a
+// rescheduling decision on the caller's CPU.
+func (p *Proc) SemV(id SemID) {
+	p.M.SemV.Add(1)
+	p.M.Syscalls.Add(1)
+	p.request(request{kind: reqSys, sys: sysSemV, cost: p.k.mach.SemVCost, arg: int64(id)})
+}
+
+// SleepNS sleeps for at least d of virtual time.
+func (p *Proc) SleepNS(d Time) {
+	p.M.Sleeps.Add(1)
+	p.M.Syscalls.Add(1)
+	p.request(request{kind: reqSys, sys: sysSleep, cost: p.k.mach.BlockCost, arg: d})
+}
+
+// SleepSec sleeps for at least s seconds, honouring the machine's
+// SleepFloor (UNIX sleep(1) semantics: at least one second).
+func (p *Proc) SleepSec(s int) {
+	d := Time(s) * Second
+	if d < p.k.mach.SleepFloor {
+		d = p.k.mach.SleepFloor
+	}
+	p.SleepNS(d)
+}
+
+// MsgSnd sends payload on a simulated System V message queue, blocking
+// while the queue is full.
+func (p *Proc) MsgSnd(q QID, payload any) {
+	p.M.Syscalls.Add(1)
+	p.request(request{kind: reqSys, sys: sysMsgSnd, cost: p.k.mach.MsgSndCost, arg: int64(q), payload: payload})
+}
+
+// MsgRcv receives the next message from a simulated System V message
+// queue, blocking while it is empty.
+func (p *Proc) MsgRcv(q QID) any {
+	p.M.Syscalls.Add(1)
+	p.sysRet = nil
+	p.request(request{kind: reqSys, sys: sysMsgRcv, cost: p.k.mach.MsgRcvCost, arg: int64(q)})
+	ret := p.sysRet
+	p.sysRet = nil
+	return ret
+}
+
+// Barrier blocks until all parties of the barrier have arrived.
+func (p *Proc) Barrier(b BarrierID) {
+	p.M.Syscalls.Add(1)
+	p.request(request{kind: reqSys, sys: sysBarrier, cost: p.k.mach.SemPCost, arg: int64(b)})
+}
+
+// Handoff performs the paper's proposed handoff(pid) system call:
+// pid >= 0 hands the CPU to that process if it is ready; PIDSelf behaves
+// like yield; PIDAny deschedules the caller in favour of any other ready
+// process, even one with lower priority.
+func (p *Proc) Handoff(pid int) {
+	p.M.Handoffs.Add(1)
+	p.M.Syscalls.Add(1)
+	p.request(request{kind: reqSys, sys: sysHandoff, cost: p.k.mach.HandoffCost, arg: int64(pid)})
+}
+
+func (p *Proc) String() string {
+	return fmt.Sprintf("proc %d (%s, %s)", p.id, p.name, p.state)
+}

@@ -1,0 +1,40 @@
+package sim
+
+// Scheduler is the pluggable CPU scheduling policy. Implementations live
+// in internal/sim/sched; the engine calls these hooks at well-defined
+// points. All calls happen from the engine goroutine, so implementations
+// need no locking.
+type Scheduler interface {
+	// Name identifies the policy in reports.
+	Name() string
+
+	// Attach is called once before the simulation starts.
+	Attach(k *Kernel)
+
+	// Ready inserts p into the run queue. p is guaranteed not to be
+	// queued already.
+	Ready(p *Proc)
+
+	// Pick removes and returns the next process to run on the given CPU,
+	// or nil if the run queue is empty. The engine passes the process
+	// currently on the CPU (possibly nil) so policies can prefer the
+	// incumbent on priority ties — the source of the paper's
+	// "yield does not switch" behaviour.
+	Pick(cpu int, incumbent *Proc) *Proc
+
+	// Steal removes a specific process from the run queue (for handoff).
+	// It reports whether p was queued.
+	Steal(p *Proc) bool
+
+	// OnYield is invoked when p voluntarily yields, before Ready(p).
+	OnYield(p *Proc)
+
+	// Charge accounts d of CPU consumption to p (drives priority aging).
+	Charge(p *Proc, d Time)
+
+	// QuantumFor returns the time slice to grant p on dispatch.
+	QuantumFor(p *Proc) Time
+
+	// ReadyCount returns the number of queued runnable processes.
+	ReadyCount() int
+}

@@ -1,0 +1,86 @@
+package sched
+
+import "ulipc/internal/sim"
+
+// Degrading models the dynamically degrading (aging) priority schedulers
+// of IRIX 6.2 and AIX 4.1 (Section 2.2 of the paper). A process's
+// effective priority drops one level per UsageQuantum of recently
+// consumed CPU; off-CPU time forgives usage at DecayPerUs nanoseconds per
+// microsecond. On a yield the scheduler prefers the incumbent on priority
+// ties, which is exactly the behaviour that makes a spinning process
+// perform ~2.5 yields before the OS finally switches: "it is only after
+// the active process has accumulated sufficient execution time that its
+// priority is degraded enough to warrant a full context switch."
+type Degrading struct {
+	name         string
+	usageQuantum float64
+	decayPerUs   float64
+	quantum      sim.Time
+	q            runq
+	k            *sim.Kernel
+}
+
+// NewDegrading builds a degrading-priority policy with the machine's
+// aging parameters. The name distinguishes flavours in reports.
+func NewDegrading(name string) *Degrading {
+	return &Degrading{name: name}
+}
+
+// Name implements sim.Scheduler.
+func (d *Degrading) Name() string { return d.name }
+
+// Attach implements sim.Scheduler.
+func (d *Degrading) Attach(k *sim.Kernel) {
+	d.k = k
+	m := k.Machine()
+	d.usageQuantum = float64(m.UsageQuantum)
+	d.decayPerUs = m.DecayPerUs
+	d.quantum = m.Quantum
+}
+
+// decay lazily forgives usage for time spent off-CPU.
+func (d *Degrading) decay(p *sim.Proc) {
+	now := d.k.Now()
+	dt := now - p.UsageStamp
+	if dt > 0 {
+		p.Usage -= d.decayPerUs * float64(dt) / 1000.0
+		if p.Usage < 0 {
+			p.Usage = 0
+		}
+	}
+	p.UsageStamp = now
+}
+
+// prio returns the effective (level-quantised) priority of p.
+func (d *Degrading) prio(p *sim.Proc) float64 {
+	d.decay(p)
+	level := int(p.Usage / d.usageQuantum)
+	return float64(p.BasePrio - level)
+}
+
+// Ready implements sim.Scheduler.
+func (d *Degrading) Ready(p *sim.Proc) { d.q.add(p) }
+
+// Pick implements sim.Scheduler.
+func (d *Degrading) Pick(cpu int, incumbent *sim.Proc) *sim.Proc {
+	return d.q.pickBest(incumbent, d.prio)
+}
+
+// Steal implements sim.Scheduler.
+func (d *Degrading) Steal(p *sim.Proc) bool { return d.q.remove(p) }
+
+// OnYield implements sim.Scheduler. Usage was already charged for the
+// yield syscall itself; degrading schedulers apply no extra penalty.
+func (d *Degrading) OnYield(p *sim.Proc) {}
+
+// Charge implements sim.Scheduler.
+func (d *Degrading) Charge(p *sim.Proc, dur sim.Time) {
+	d.decay(p)
+	p.Usage += float64(dur)
+}
+
+// QuantumFor implements sim.Scheduler.
+func (d *Degrading) QuantumFor(p *sim.Proc) sim.Time { return d.quantum }
+
+// ReadyCount implements sim.Scheduler.
+func (d *Degrading) ReadyCount() int { return d.q.len() }

@@ -1,0 +1,48 @@
+package sched
+
+import "ulipc/internal/sim"
+
+// Fixed models non-degrading (fixed) priority scheduling (the paper's
+// Figure 3 and the dotted curves of Figure 8): effective priority is the
+// static priority alone, and a yield always rotates among equal-priority
+// processes, so yielding reliably hands the CPU over. On the paper's
+// systems this mode requires super-user privileges; here it is just a
+// policy choice.
+type Fixed struct {
+	q       runq
+	quantum sim.Time
+}
+
+// NewFixed builds a fixed-priority policy.
+func NewFixed() *Fixed { return &Fixed{} }
+
+// Name implements sim.Scheduler.
+func (f *Fixed) Name() string { return "fixed" }
+
+// Attach implements sim.Scheduler.
+func (f *Fixed) Attach(k *sim.Kernel) { f.quantum = k.Machine().Quantum }
+
+// Ready implements sim.Scheduler.
+func (f *Fixed) Ready(p *sim.Proc) { f.q.add(p) }
+
+// Pick implements sim.Scheduler. The incumbent is deliberately NOT
+// preferred: a yield under fixed priorities moves the caller behind its
+// equal-priority peers, giving strict round-robin hand-over.
+func (f *Fixed) Pick(cpu int, incumbent *sim.Proc) *sim.Proc {
+	return f.q.pickBest(nil, func(p *sim.Proc) float64 { return float64(p.BasePrio) })
+}
+
+// Steal implements sim.Scheduler.
+func (f *Fixed) Steal(p *sim.Proc) bool { return f.q.remove(p) }
+
+// OnYield implements sim.Scheduler.
+func (f *Fixed) OnYield(p *sim.Proc) {}
+
+// Charge implements sim.Scheduler. Fixed priorities do not age.
+func (f *Fixed) Charge(p *sim.Proc, dur sim.Time) {}
+
+// QuantumFor implements sim.Scheduler.
+func (f *Fixed) QuantumFor(p *sim.Proc) sim.Time { return f.quantum }
+
+// ReadyCount implements sim.Scheduler.
+func (f *Fixed) ReadyCount() int { return f.q.len() }

@@ -1,0 +1,93 @@
+package sched
+
+import "ulipc/internal/sim"
+
+// Linux10 models the simplistic scheduler of Linux 1.0.32 as the paper
+// found it (Section 6): sched_yield does not expire the caller's quantum,
+// so a spinning process keeps the CPU until its quantum runs out, giving
+// BSS "response times on the order of 33 milliseconds instead of the 120
+// microseconds we were expecting".
+type Linux10 struct {
+	q       runq
+	quantum sim.Time
+}
+
+// NewLinux10 builds the unmodified Linux 1.0.32 policy.
+func NewLinux10() *Linux10 { return &Linux10{} }
+
+// Name implements sim.Scheduler.
+func (l *Linux10) Name() string { return "linux10" }
+
+// Attach implements sim.Scheduler.
+func (l *Linux10) Attach(k *sim.Kernel) { l.quantum = k.Machine().Quantum }
+
+// Ready implements sim.Scheduler.
+func (l *Linux10) Ready(p *sim.Proc) { l.q.add(p) }
+
+// Pick implements sim.Scheduler. On a yield (incumbent non-nil) the
+// incumbent is always re-picked — the Linux 1.0 bug the paper fixes. At
+// quantum expiry the engine passes a nil incumbent and the queue rotates
+// FIFO.
+func (l *Linux10) Pick(cpu int, incumbent *sim.Proc) *sim.Proc {
+	if incumbent != nil && l.q.remove(incumbent) {
+		return incumbent
+	}
+	return l.q.pickFIFO()
+}
+
+// Steal implements sim.Scheduler.
+func (l *Linux10) Steal(p *sim.Proc) bool { return l.q.remove(p) }
+
+// OnYield implements sim.Scheduler.
+func (l *Linux10) OnYield(p *sim.Proc) {}
+
+// Charge implements sim.Scheduler.
+func (l *Linux10) Charge(p *sim.Proc, dur sim.Time) {}
+
+// QuantumFor implements sim.Scheduler.
+func (l *Linux10) QuantumFor(p *sim.Proc) sim.Time { return l.quantum }
+
+// ReadyCount implements sim.Scheduler.
+func (l *Linux10) ReadyCount() int { return l.q.len() }
+
+// LinuxMod models the paper's modified sched_yield: the call expires the
+// caller's quantum and forces a context switch, so a yield always hands
+// the CPU to the next ready process (this restored the 120us BSS round
+// trip on the 66 MHz 486).
+type LinuxMod struct {
+	q       runq
+	quantum sim.Time
+}
+
+// NewLinuxMod builds the modified-yield Linux policy.
+func NewLinuxMod() *LinuxMod { return &LinuxMod{} }
+
+// Name implements sim.Scheduler.
+func (l *LinuxMod) Name() string { return "linuxmod" }
+
+// Attach implements sim.Scheduler.
+func (l *LinuxMod) Attach(k *sim.Kernel) { l.quantum = k.Machine().Quantum }
+
+// Ready implements sim.Scheduler.
+func (l *LinuxMod) Ready(p *sim.Proc) { l.q.add(p) }
+
+// Pick implements sim.Scheduler: strict FIFO round-robin; a yield always
+// switches when another process is ready.
+func (l *LinuxMod) Pick(cpu int, incumbent *sim.Proc) *sim.Proc {
+	return l.q.pickFIFO()
+}
+
+// Steal implements sim.Scheduler.
+func (l *LinuxMod) Steal(p *sim.Proc) bool { return l.q.remove(p) }
+
+// OnYield implements sim.Scheduler.
+func (l *LinuxMod) OnYield(p *sim.Proc) {}
+
+// Charge implements sim.Scheduler.
+func (l *LinuxMod) Charge(p *sim.Proc, dur sim.Time) {}
+
+// QuantumFor implements sim.Scheduler.
+func (l *LinuxMod) QuantumFor(p *sim.Proc) sim.Time { return l.quantum }
+
+// ReadyCount implements sim.Scheduler.
+func (l *LinuxMod) ReadyCount() int { return l.q.len() }

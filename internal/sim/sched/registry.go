@@ -1,0 +1,35 @@
+package sched
+
+import (
+	"fmt"
+
+	"ulipc/internal/sim"
+)
+
+// Policy names accepted by New.
+const (
+	PolicyDegrading = "degrading" // default degrading-priority UNIX scheduler
+	PolicyFixed     = "fixed"     // non-degrading fixed priorities
+	PolicyLinux10   = "linux10"   // unmodified Linux 1.0.32
+	PolicyLinuxMod  = "linuxmod"  // Linux with the paper's modified sched_yield
+)
+
+// New constructs a scheduler policy by name.
+func New(name string) (sim.Scheduler, error) {
+	switch name {
+	case PolicyDegrading, "":
+		return NewDegrading(PolicyDegrading), nil
+	case PolicyFixed:
+		return NewFixed(), nil
+	case PolicyLinux10:
+		return NewLinux10(), nil
+	case PolicyLinuxMod:
+		return NewLinuxMod(), nil
+	}
+	return nil, fmt.Errorf("sched: unknown policy %q", name)
+}
+
+// Names returns all policy names.
+func Names() []string {
+	return []string{PolicyDegrading, PolicyFixed, PolicyLinux10, PolicyLinuxMod}
+}

@@ -1,0 +1,75 @@
+// Package sched implements the scheduler policies the paper evaluates
+// against: degrading (aging) priorities in IRIX and AIX flavours, fixed
+// (non-degrading) priorities, the simplistic Linux 1.0.32 scheduler, the
+// paper's modified sched_yield, and hand-off scheduling support.
+package sched
+
+import "ulipc/internal/sim"
+
+// entry is one run-queue slot.
+type entry struct {
+	p   *sim.Proc
+	seq uint64 // insertion order for FIFO tie-breaking
+}
+
+// runq is a small priority run queue. Queues in these workloads hold at
+// most a handful of processes, so a slice scan is both simple and fast.
+type runq struct {
+	entries []entry
+	seq     uint64
+}
+
+func (q *runq) add(p *sim.Proc) {
+	q.seq++
+	q.entries = append(q.entries, entry{p: p, seq: q.seq})
+}
+
+func (q *runq) remove(p *sim.Proc) bool {
+	for i, e := range q.entries {
+		if e.p == p {
+			q.entries = append(q.entries[:i], q.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (q *runq) len() int { return len(q.entries) }
+
+// pickBest removes and returns the entry with the highest priority
+// according to prio(p). Ties go to the incumbent if it is queued,
+// otherwise to the earliest-inserted entry (FIFO).
+func (q *runq) pickBest(incumbent *sim.Proc, prio func(*sim.Proc) float64) *sim.Proc {
+	if len(q.entries) == 0 {
+		return nil
+	}
+	best := -1
+	var bestPrio float64
+	var bestSeq uint64
+	for i, e := range q.entries {
+		pr := prio(e.p)
+		switch {
+		case best < 0 || pr > bestPrio:
+			best, bestPrio, bestSeq = i, pr, e.seq
+		case pr == bestPrio:
+			if e.p == incumbent {
+				best, bestSeq = i, e.seq
+			} else if q.entries[best].p != incumbent && e.seq < bestSeq {
+				best, bestSeq = i, e.seq
+			}
+		}
+	}
+	p := q.entries[best].p
+	q.entries = append(q.entries[:best], q.entries[best+1:]...)
+	return p
+}
+
+// pickFIFO removes and returns the earliest-inserted entry.
+func (q *runq) pickFIFO() *sim.Proc {
+	if len(q.entries) == 0 {
+		return nil
+	}
+	p := q.entries[0].p
+	q.entries = q.entries[1:]
+	return p
+}

@@ -1,0 +1,82 @@
+package sim
+
+import "ulipc/internal/machine"
+
+// Time is virtual time in nanoseconds.
+type Time = machine.Time
+
+// Convenient re-exports so sim users need not import machine for units.
+const (
+	Microsecond = machine.Microsecond
+	Millisecond = machine.Millisecond
+	Second      = machine.Second
+)
+
+type evKind int
+
+const (
+	evRun   evKind = iota // a process step or syscall completes
+	evTimer               // a sleeping process wakes
+)
+
+// event is a scheduled occurrence in virtual time.
+type event struct {
+	t    Time
+	seq  uint64 // tie-break: FIFO among equal timestamps
+	kind evKind
+	p    *Proc
+	req  request // for evRun: the request whose cost has now elapsed
+	dur  Time    // CPU time represented by this event (for charging)
+}
+
+// eventHeap is a min-heap ordered by (t, seq).
+type eventHeap struct {
+	items []event
+}
+
+func (h *eventHeap) Len() int { return len(h.items) }
+
+func (h *eventHeap) push(e event) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.items) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.items) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
+}
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}

@@ -1,0 +1,247 @@
+// Package simbind binds the protocol code of internal/core to the
+// discrete-event kernel of internal/sim. Every shared-memory operation
+// (queue op, awake-flag access) is a timed step, so operations from
+// different simulated processes interleave at the same granularity the
+// paper's race analysis (Figure 4) considers, and multiprocessor lock
+// contention on the two-lock queue is modelled in virtual time.
+package simbind
+
+import (
+	"ulipc/internal/core"
+	"ulipc/internal/machine"
+	"ulipc/internal/sim"
+)
+
+// spinLock models one lock of the Michael & Scott two-lock queue: it is
+// considered held until freeAt; an acquirer whose attempt lands earlier
+// spins (consuming virtual CPU) until then. On a uniprocessor the engine
+// serialises steps so the lock never spins; on the multiprocessor model
+// it captures queue-op serialisation between CPUs.
+type spinLock struct {
+	freeAt sim.Time
+}
+
+func (l *spinLock) acquire(p *sim.Proc, opCost, hold sim.Time) {
+	p.Step(opCost)
+	for l.freeAt > p.Now() {
+		p.Step(l.freeAt - p.Now())
+	}
+	l.freeAt = p.Now() + hold
+}
+
+// SQueue is a simulated shared-memory FIFO queue with the consumer-side
+// wake state (awake flag + counting semaphore) the protocols need. The
+// head and tail locks follow the two-lock queue: enqueuers and dequeuers
+// do not contend with each other.
+type SQueue struct {
+	name     string
+	capacity int
+	msgs     []core.Msg
+	headLock spinLock
+	tailLock spinLock
+	awake    bool
+	waiters  int // worker-pool registrations (counted-waiters discipline)
+	sem      sim.SemID
+
+	// Enqueues and Dequeues count successful operations (diagnostics).
+	Enqueues int64
+	Dequeues int64
+}
+
+// NewQueue creates a simulated shared queue with the given capacity (the
+// size of the fixed-message free pool) whose consumer sleeps on a fresh
+// kernel semaphore. The awake flag starts true: a consumer is awake until
+// it declares otherwise.
+func NewQueue(k *sim.Kernel, name string, capacity int) *SQueue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SQueue{
+		name:     name,
+		capacity: capacity,
+		awake:    true,
+		sem:      k.NewSem(0),
+	}
+}
+
+// Name returns the queue's diagnostic name.
+func (q *SQueue) Name() string { return q.name }
+
+// Len returns the current number of queued messages.
+func (q *SQueue) Len() int { return len(q.msgs) }
+
+// Port is a process's endpoint on a simulated shared queue. It implements
+// core.Port, charging the machine model's primitive costs per operation.
+type Port struct {
+	q    *SQueue
+	p    *sim.Proc
+	mach *machine.Model
+}
+
+// NewPort returns p's endpoint view of q.
+func NewPort(p *sim.Proc, q *SQueue) *Port {
+	return &Port{q: q, p: p, mach: p.Kernel().Machine()}
+}
+
+// TryEnqueue implements core.Port.
+func (sp *Port) TryEnqueue(m core.Msg) bool {
+	sp.q.tailLock.acquire(sp.p, sp.mach.EnqueueCost, sp.mach.LockHold)
+	if len(sp.q.msgs) >= sp.q.capacity {
+		return false
+	}
+	sp.q.msgs = append(sp.q.msgs, m)
+	sp.q.Enqueues++
+	return true
+}
+
+// TryDequeue implements core.Port.
+func (sp *Port) TryDequeue() (core.Msg, bool) {
+	sp.q.headLock.acquire(sp.p, sp.mach.DequeueCost, sp.mach.LockHold)
+	if len(sp.q.msgs) == 0 {
+		return core.Msg{}, false
+	}
+	m := sp.q.msgs[0]
+	sp.q.msgs = sp.q.msgs[1:]
+	sp.q.Dequeues++
+	return m, true
+}
+
+// Empty implements core.Port (the BSLS non-destructive poll).
+func (sp *Port) Empty() bool {
+	sp.p.Step(sp.mach.EmptyCost)
+	return len(sp.q.msgs) == 0
+}
+
+// SetAwake implements core.Port.
+func (sp *Port) SetAwake(v bool) {
+	sp.p.Step(sp.mach.StoreCost)
+	sp.q.awake = v
+}
+
+// TASAwake implements core.Port.
+func (sp *Port) TASAwake() bool {
+	sp.p.Step(sp.mach.TASCost)
+	old := sp.q.awake
+	sp.q.awake = true
+	return old
+}
+
+// Sem implements core.Port.
+func (sp *Port) Sem() core.SemID { return core.SemID(sp.q.sem) }
+
+// Actor adapts a simulated process to core.Actor.
+type Actor struct {
+	p    *sim.Proc
+	mach *machine.Model
+}
+
+// NewActor returns the core.Actor view of a simulated process.
+func NewActor(p *sim.Proc) *Actor {
+	return &Actor{p: p, mach: p.Kernel().Machine()}
+}
+
+// Yield implements core.Actor.
+func (a *Actor) Yield() { a.p.Yield() }
+
+// BusyWait implements core.Actor: yield() on a uniprocessor, a fixed
+// delay loop on a multiprocessor (Section 4.1: "the software is identical
+// ... except that busy-waiting is implemented as a yield() system call on
+// the uniprocessor and as a busy-wait delay loop on the multiprocessor").
+func (a *Actor) BusyWait() {
+	if a.mach.BusyWaitSpin {
+		a.p.Step(a.mach.SpinPollCost)
+		return
+	}
+	a.p.Yield()
+}
+
+// PollDelay implements core.Actor (one poll_queue iteration).
+func (a *Actor) PollDelay() { a.BusyWait() }
+
+// SleepSec implements core.Actor.
+func (a *Actor) SleepSec(s int) { a.p.SleepSec(s) }
+
+// P implements core.Actor.
+func (a *Actor) P(id core.SemID) { a.p.SemP(sim.SemID(id)) }
+
+// V implements core.Actor.
+func (a *Actor) V(id core.SemID) { a.p.SemV(sim.SemID(id)) }
+
+// Handoff implements core.Actor, mapping the protocol-level targets onto
+// the kernel's handoff system call.
+func (a *Actor) Handoff(target int) {
+	switch target {
+	case core.HandoffSelf:
+		a.p.Handoff(sim.PIDSelf)
+	case core.HandoffAny:
+		a.p.Handoff(sim.PIDAny)
+	default:
+		a.p.Handoff(target)
+	}
+}
+
+var (
+	_ core.Port  = (*Port)(nil)
+	_ core.Actor = (*Actor)(nil)
+)
+
+// PoolPort is a process's endpoint on a simulated shared queue whose
+// consumer side is a worker pool (counted waiters instead of the single
+// awake flag). It implements core.PoolPort.
+type PoolPort struct {
+	q    *SQueue
+	p    *sim.Proc
+	mach *machine.Model
+}
+
+// NewPoolPort returns p's pool-endpoint view of q.
+func NewPoolPort(p *sim.Proc, q *SQueue) *PoolPort {
+	return &PoolPort{q: q, p: p, mach: p.Kernel().Machine()}
+}
+
+// TryEnqueue implements core.PoolPort.
+func (sp *PoolPort) TryEnqueue(m core.Msg) bool {
+	return (&Port{q: sp.q, p: sp.p, mach: sp.mach}).TryEnqueue(m)
+}
+
+// TryDequeue implements core.PoolPort.
+func (sp *PoolPort) TryDequeue() (core.Msg, bool) {
+	return (&Port{q: sp.q, p: sp.p, mach: sp.mach}).TryDequeue()
+}
+
+// Empty implements core.PoolPort.
+func (sp *PoolPort) Empty() bool {
+	return (&Port{q: sp.q, p: sp.p, mach: sp.mach}).Empty()
+}
+
+// RegisterWaiter implements core.PoolPort (an atomic increment on shared
+// memory: test-and-set weight).
+func (sp *PoolPort) RegisterWaiter() {
+	sp.p.Step(sp.mach.TASCost)
+	sp.q.waiters++
+}
+
+// TryUnregisterWaiter implements core.PoolPort.
+func (sp *PoolPort) TryUnregisterWaiter() bool {
+	sp.p.Step(sp.mach.TASCost)
+	if sp.q.waiters > 0 {
+		sp.q.waiters--
+		return true
+	}
+	return false
+}
+
+// ClaimWaiter implements core.PoolPort.
+func (sp *PoolPort) ClaimWaiter() bool {
+	sp.p.Step(sp.mach.TASCost)
+	if sp.q.waiters > 0 {
+		sp.q.waiters--
+		return true
+	}
+	return false
+}
+
+// Sem implements core.PoolPort.
+func (sp *PoolPort) Sem() core.SemID { return core.SemID(sp.q.sem) }
+
+var _ core.PoolPort = (*PoolPort)(nil)

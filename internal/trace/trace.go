@@ -1,0 +1,91 @@
+// Package trace records and renders execution time-lines from the
+// simulator — the same "Execution Interleaving" presentation the paper's
+// Figure 4 uses: one column per process, steps progressing downwards.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"ulipc/internal/sim"
+)
+
+// Event is one recorded engine event.
+type Event struct {
+	T      sim.Time
+	CPU    int
+	Proc   string
+	What   string
+	Detail string
+}
+
+// Recorder accumulates engine trace events. The engine is single
+// threaded, so no locking is needed.
+type Recorder struct {
+	Events []Event
+	Max    int // stop recording beyond this many events (0 = 100000)
+}
+
+// Fn returns the sim.TraceFn to plug into sim.Config.Trace.
+func (r *Recorder) Fn() sim.TraceFn {
+	return func(t sim.Time, cpu int, proc string, what, detail string) {
+		limit := r.Max
+		if limit == 0 {
+			limit = 100000
+		}
+		if len(r.Events) >= limit {
+			return
+		}
+		r.Events = append(r.Events, Event{T: t, CPU: cpu, Proc: proc, What: what, Detail: detail})
+	}
+}
+
+// Render writes a flat chronological listing.
+func (r *Recorder) Render(w io.Writer) {
+	for _, e := range r.Events {
+		detail := e.Detail
+		if detail != "" {
+			detail = " " + detail
+		}
+		fmt.Fprintf(w, "%12.3fus cpu%d %-10s %s%s\n", float64(e.T)/1000, e.CPU, e.Proc, e.What, detail)
+	}
+}
+
+// RenderInterleaving writes a Figure 4 style multi-column time-line for
+// the named processes; events from other processes are dropped.
+func (r *Recorder) RenderInterleaving(w io.Writer, procs []string) {
+	col := map[string]int{}
+	for i, p := range procs {
+		col[p] = i
+	}
+	const width = 26
+	header := make([]string, len(procs))
+	for i, p := range procs {
+		header[i] = pad(p, width)
+	}
+	fmt.Fprintf(w, "%14s  %s\n", "time (us)", strings.Join(header, ""))
+	for _, e := range r.Events {
+		c, ok := col[e.Proc]
+		if !ok {
+			continue
+		}
+		cells := make([]string, len(procs))
+		for i := range cells {
+			cells[i] = strings.Repeat(" ", width)
+		}
+		text := e.What
+		if e.Detail != "" {
+			text += " " + e.Detail
+		}
+		cells[c] = pad(text, width)
+		fmt.Fprintf(w, "%14.3f  %s\n", float64(e.T)/1000, strings.Join(cells, ""))
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s[:w]
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

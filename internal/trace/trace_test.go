@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderCollectsEvents(t *testing.T) {
+	r := &Recorder{}
+	fn := r.Fn()
+	fn(1000, 0, "client", "yield-switch", "server")
+	fn(2000, 0, "server", "block", "blocked")
+	if len(r.Events) != 2 {
+		t.Fatalf("events = %d", len(r.Events))
+	}
+	if r.Events[0].Proc != "client" || r.Events[1].What != "block" {
+		t.Fatalf("events = %+v", r.Events)
+	}
+}
+
+func TestRecorderCap(t *testing.T) {
+	r := &Recorder{Max: 3}
+	fn := r.Fn()
+	for i := 0; i < 10; i++ {
+		fn(int64(i), 0, "p", "e", "")
+	}
+	if len(r.Events) != 3 {
+		t.Fatalf("events = %d, want capped at 3", len(r.Events))
+	}
+}
+
+func TestRenderFlat(t *testing.T) {
+	r := &Recorder{}
+	fn := r.Fn()
+	fn(1500, 1, "server", "wake", "client0")
+	var sb strings.Builder
+	r.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"1.500us", "cpu1", "server", "wake client0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderInterleavingColumns(t *testing.T) {
+	r := &Recorder{}
+	fn := r.Fn()
+	fn(1000, 0, "client", "yield", "")
+	fn(2000, 0, "server", "wake", "")
+	fn(3000, 0, "other", "noise", "")
+	var sb strings.Builder
+	r.RenderInterleaving(&sb, []string{"client", "server"})
+	out := sb.String()
+	if strings.Contains(out, "noise") {
+		t.Error("events from unlisted processes must be dropped")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 events
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// The server's event must be in the second column (offset by the
+	// column width from the client's).
+	clientCol := strings.Index(lines[1], "yield")
+	serverCol := strings.Index(lines[2], "wake")
+	if serverCol <= clientCol {
+		t.Errorf("columns not separated: client@%d server@%d\n%s", clientCol, serverCol, out)
+	}
+}
+
+func TestRenderInterleavingManyColumns(t *testing.T) {
+	r := &Recorder{}
+	fn := r.Fn()
+	procs := []string{"a", "b", "c", "d"}
+	for i, p := range procs {
+		fn(int64(i)*1000, 0, p, "step", "")
+	}
+	var sb strings.Builder
+	r.RenderInterleaving(&sb, procs)
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 1+len(procs) {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Each event is in a strictly later column than the previous.
+	prev := -1
+	for i := 1; i < len(lines); i++ {
+		col := strings.Index(lines[i], "step")
+		if col <= prev {
+			t.Fatalf("columns not increasing at line %d:\n%s", i, sb.String())
+		}
+		prev = col
+	}
+}
+
+func TestRenderInterleavingTruncatesLongLabels(t *testing.T) {
+	r := &Recorder{}
+	fn := r.Fn()
+	fn(0, 0, "p", strings.Repeat("x", 100), "detail")
+	var sb strings.Builder
+	r.RenderInterleaving(&sb, []string{"p"})
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if len(line) > 120 {
+			t.Fatalf("line too long: %d chars", len(line))
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package workload
+
+// Calibration probes: these tests print the figure-level curves so the
+// machine-model parameters can be checked against the paper's anchors.
+// They only log; shape assertions live in the experiment package tests.
+
+import (
+	"testing"
+
+	"ulipc/internal/core"
+	"ulipc/internal/machine"
+)
+
+func logCurve(t *testing.T, name string, cfg Config, clients []int) []float64 {
+	t.Helper()
+	out := make([]float64, 0, len(clients))
+	for _, n := range clients {
+		c := cfg
+		c.Clients = n
+		res, err := RunSim(c)
+		if err != nil {
+			t.Fatalf("%s n=%d: %v", name, n, err)
+		}
+		out = append(out, res.Throughput)
+	}
+	t.Logf("%-28s %v -> %s", name, clients, fmtCurve(out))
+	return out
+}
+
+func fmtCurve(v []float64) string {
+	s := ""
+	for _, x := range v {
+		s += " " + trim(x)
+	}
+	return s
+}
+
+func trim(x float64) string {
+	return string([]byte(fmtFloat(x)))
+}
+
+func fmtFloat(x float64) string {
+	// two decimals without fmt verbs gymnastics
+	i := int64(x * 100)
+	whole := i / 100
+	frac := i % 100
+	if frac < 0 {
+		frac = -frac
+	}
+	digits := "0123456789"
+	return itoa(whole) + "." + string(digits[frac/10]) + string(digits[frac%10])
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+func TestCalibrationCurves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	clients := []int{1, 2, 3, 4, 5, 6}
+	msgs := 1000
+
+	sgi := machine.SGIIndy()
+	ibm := machine.IBMP4()
+
+	logCurve(t, "fig2a SGI BSS", Config{Machine: sgi, Alg: core.BSS, Msgs: msgs}, clients)
+	logCurve(t, "fig2a SGI SYSV", Config{Machine: sgi, Transport: TransportSysV, Msgs: msgs}, clients)
+	logCurve(t, "fig2b IBM BSS", Config{Machine: ibm, Alg: core.BSS, Msgs: msgs}, clients)
+	logCurve(t, "fig2b IBM SYSV", Config{Machine: ibm, Transport: TransportSysV, Msgs: msgs}, clients)
+	logCurve(t, "fig3a SGI BSS fixed", Config{Machine: sgi, Alg: core.BSS, Policy: "fixed", Msgs: msgs}, clients)
+	logCurve(t, "fig3b IBM BSS fixed", Config{Machine: ibm, Alg: core.BSS, Policy: "fixed", Msgs: msgs}, clients)
+	logCurve(t, "fig6a SGI BSW", Config{Machine: sgi, Alg: core.BSW, Msgs: msgs}, clients)
+	logCurve(t, "fig6b IBM BSW", Config{Machine: ibm, Alg: core.BSW, Msgs: msgs}, clients)
+	logCurve(t, "fig8a SGI BSWY", Config{Machine: sgi, Alg: core.BSWY, Msgs: msgs}, clients)
+	logCurve(t, "fig8a SGI BSWY fixed", Config{Machine: sgi, Alg: core.BSWY, Policy: "fixed", Msgs: msgs}, clients)
+	logCurve(t, "fig10a SGI BSLS spin=5", Config{Machine: sgi, Alg: core.BSLS, MaxSpin: 5, Msgs: msgs}, clients)
+	logCurve(t, "fig10a SGI BSLS spin=20", Config{Machine: sgi, Alg: core.BSLS, MaxSpin: 20, Msgs: msgs}, clients)
+}
+
+func TestCalibrationYieldsPerRTT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	res, err := RunSim(Config{Machine: machine.SGIIndy(), Alg: core.BSS, Clients: 1, Msgs: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("SGI BSS 1 client: rtt=%.1fus yields/msg client=%.2f server=%.2f vcs(server)=%d",
+		res.RTTMicros, res.Clients.YieldsPerMsg(),
+		float64(res.Server.Yields)/float64(res.Server.MsgsReceived), res.Server.VoluntaryCS)
+}
+
+func TestCalibrationMP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	clients := []int{1, 2, 3, 4, 5, 6, 7}
+	msgs := 1000
+	mp := machine.SGIChallenge8()
+	logCurve(t, "fig11 MP BSS", Config{Machine: mp, Alg: core.BSS, Msgs: msgs}, clients)
+	logCurve(t, "fig11 MP BSLS spin=10", Config{Machine: mp, Alg: core.BSLS, MaxSpin: 10, Msgs: msgs}, clients)
+	logCurve(t, "fig11 MP SYSV", Config{Machine: mp, Transport: TransportSysV, Msgs: msgs}, clients)
+}
+
+func TestCalibrationLinux(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	clients := []int{1, 2, 3, 4, 5, 6}
+	lx := machine.Linux486()
+	logCurve(t, "fig12 linux10 BSS", Config{Machine: lx, Policy: "linux10", Alg: core.BSS, Msgs: 50}, []int{1, 2})
+	logCurve(t, "fig12 linuxmod BSS", Config{Machine: lx, Policy: "linuxmod", Alg: core.BSS, Msgs: 1000}, clients)
+	logCurve(t, "fig12 linuxmod BSWY", Config{Machine: lx, Policy: "linuxmod", Alg: core.BSWY, Msgs: 1000}, clients)
+	logCurve(t, "fig12 linuxmod BSWY+handoff", Config{Machine: lx, Policy: "linuxmod", Alg: core.BSWY, Handoff: true, Msgs: 1000}, clients)
+	logCurve(t, "fig12 linuxmod SYSV", Config{Machine: lx, Policy: "linuxmod", Transport: TransportSysV, Msgs: 1000}, clients)
+}

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"testing"
+
+	"ulipc/internal/core"
+	"ulipc/internal/machine"
+)
+
+func TestDuplexArchCompletes(t *testing.T) {
+	for _, alg := range core.Algorithms() {
+		res := run(t, Config{
+			Alg: alg, Arch: ArchThreadPerClient, Clients: 3, Msgs: 100,
+		})
+		if res.TotalMsgs != 300 {
+			t.Errorf("%s duplex: total %d", alg, res.TotalMsgs)
+		}
+		if res.Server.MsgsReceived == 0 {
+			t.Errorf("%s duplex: server handlers recorded no messages", alg)
+		}
+	}
+}
+
+func TestDuplexMatchesSharedAtOneClient(t *testing.T) {
+	shared := run(t, Config{Alg: core.BSW, Clients: 1, Msgs: 300})
+	duplex := run(t, Config{Alg: core.BSW, Arch: ArchThreadPerClient, Clients: 1, Msgs: 300})
+	ratio := duplex.Throughput / shared.Throughput
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("1-client duplex/shared = %.3f, want ~1 (identical protocol)", ratio)
+	}
+}
+
+func TestClientThinkSlowsThroughput(t *testing.T) {
+	fast := run(t, Config{Alg: core.BSW, Clients: 1, Msgs: 200})
+	slow := run(t, Config{Alg: core.BSW, Clients: 1, Msgs: 200, ClientThink: 500 * machine.Microsecond})
+	if slow.Throughput >= fast.Throughput {
+		t.Errorf("think time did not slow throughput: %.2f vs %.2f", slow.Throughput, fast.Throughput)
+	}
+	// Round trips now include the think time.
+	if slow.RTTMicros < 500 {
+		t.Errorf("rtt = %.1f us, must include the 500us think", slow.RTTMicros)
+	}
+}
+
+func TestBackgroundProcessesRun(t *testing.T) {
+	res := run(t, Config{Alg: core.BSW, Clients: 1, Msgs: 200, Background: 2, ClientThink: 200 * machine.Microsecond})
+	if res.Background.CPUTimeNS == 0 {
+		t.Fatal("background processes recorded no CPU time")
+	}
+	if share := res.BackgroundCPUShare(); share <= 0 {
+		t.Fatalf("background share = %v", share)
+	}
+}
+
+func TestBackgroundDoesNotCorruptIPC(t *testing.T) {
+	res := run(t, Config{Alg: core.BSLS, MaxSpin: 5, Clients: 4, Msgs: 150, Background: 2})
+	if res.TotalMsgs != 600 {
+		t.Fatalf("total = %d", res.TotalMsgs)
+	}
+}
+
+func TestBackgroundShareZeroWithoutBackground(t *testing.T) {
+	res := run(t, Config{Alg: core.BSS, Clients: 1, Msgs: 100})
+	if res.BackgroundCPUShare() != 0 {
+		t.Fatalf("share = %v without background procs", res.BackgroundCPUShare())
+	}
+}
+
+func TestDuplexWithSysVRejected(t *testing.T) {
+	// SysV + thread-per-client is not modelled; the SysV transport takes
+	// precedence and must still complete (documented behaviour).
+	res := run(t, Config{Transport: TransportSysV, Arch: ArchThreadPerClient, Clients: 2, Msgs: 50})
+	if res.TotalMsgs != 100 {
+		t.Fatalf("total = %d", res.TotalMsgs)
+	}
+}
+
+func TestPoolWorkersComplete(t *testing.T) {
+	for _, alg := range core.Algorithms() {
+		res := run(t, Config{
+			Machine: machine.SGIChallenge8(), Alg: alg,
+			Clients: 4, Msgs: 100, ServerWorkers: 3,
+		})
+		if res.TotalMsgs != 400 {
+			t.Errorf("%s pool: total %d", alg, res.TotalMsgs)
+		}
+		if res.Server.MsgsReceived < 400 {
+			t.Errorf("%s pool: workers received %d", alg, res.Server.MsgsReceived)
+		}
+	}
+}
+
+func TestPoolScalesWithWorkers(t *testing.T) {
+	through := func(workers int) float64 {
+		res := run(t, Config{
+			Machine: machine.SGIChallenge8(), Alg: core.BSW,
+			Clients: 6, Msgs: 300, ServerWorkers: workers,
+			ServerWork: 20 * machine.Microsecond,
+		})
+		return res.Throughput
+	}
+	one, four := through(1), through(4)
+	if four < one*3 {
+		t.Errorf("4 workers = %.2f msg/ms vs 1 worker = %.2f; want >= 3x", four, one)
+	}
+}
+
+func TestPoolOnUniprocessor(t *testing.T) {
+	// A pool on one CPU cannot scale but must stay correct.
+	res := run(t, Config{Machine: machine.SGIIndy(), Alg: core.BSW, Clients: 3, Msgs: 100, ServerWorkers: 2})
+	if res.TotalMsgs != 300 {
+		t.Errorf("total %d", res.TotalMsgs)
+	}
+}

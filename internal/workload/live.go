@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ulipc/internal/core"
+	"ulipc/internal/livebind"
+	"ulipc/internal/metrics"
+	"ulipc/internal/queue"
+)
+
+// LiveConfig describes a live (real goroutine) benchmark run.
+type LiveConfig struct {
+	Alg       core.Algorithm
+	Clients   int
+	Msgs      int
+	MaxSpin   int
+	QueueCap  int
+	QueueKind queue.Kind
+	SpinIters int // >0: multiprocessor busy_wait flavour
+	Throttle  int
+
+	// SleepScale compresses the queue-full sleep(1) so tests and benches
+	// don't stall for wall-clock seconds; defaults to 1ms per "second".
+	SleepScale time.Duration
+}
+
+// RunLive executes the client/server workload on the live runtime and
+// returns wall-clock results.
+func RunLive(cfg LiveConfig) (Result, error) {
+	if cfg.Clients < 1 {
+		return Result{}, fmt.Errorf("workload: need at least 1 client")
+	}
+	if cfg.Msgs < 1 {
+		return Result{}, fmt.Errorf("workload: need at least 1 message")
+	}
+	if cfg.SleepScale == 0 {
+		cfg.SleepScale = time.Millisecond
+	}
+	ms := metrics.NewSet()
+	sys, err := livebind.NewSystem(livebind.Options{
+		Alg:        cfg.Alg,
+		MaxSpin:    cfg.MaxSpin,
+		Clients:    cfg.Clients,
+		QueueCap:   cfg.QueueCap,
+		QueueKind:  cfg.QueueKind,
+		SpinIters:  cfg.SpinIters,
+		Throttle:   cfg.Throttle,
+		SleepScale: cfg.SleepScale,
+		Metrics:    ms,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	var (
+		startMu  sync.Mutex
+		started  bool
+		start    time.Time
+		errsMu   sync.Mutex
+		errs     []string
+		serveEnd time.Time
+	)
+	noteStart := func() {
+		startMu.Lock()
+		if !started {
+			start = time.Now()
+			started = true
+		}
+		startMu.Unlock()
+	}
+	noteErr := func(format string, args ...any) {
+		errsMu.Lock()
+		if len(errs) < 8 {
+			errs = append(errs, fmt.Sprintf(format, args...))
+		}
+		errsMu.Unlock()
+	}
+
+	srv := sys.Server()
+	serverDone := make(chan int64, 1)
+	go func() {
+		served := srv.Serve(nil)
+		serveEnd = time.Now()
+		serverDone <- served
+	}()
+
+	var barrier sync.WaitGroup
+	barrier.Add(cfg.Clients)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		cl, err := sys.Client(i)
+		if err != nil {
+			return Result{}, err
+		}
+		wg.Add(1)
+		go func(i int, cl *core.Client) {
+			defer wg.Done()
+			if ans := cl.Send(core.Msg{Op: core.OpConnect}); ans.Op != core.OpConnect {
+				noteErr("client%d: bad connect reply %+v", i, ans)
+			}
+			barrier.Done()
+			barrier.Wait()
+			noteStart()
+			for j := 0; j < cfg.Msgs; j++ {
+				ans := cl.Send(core.Msg{Op: core.OpEcho, Seq: int32(j), Val: float64(j)})
+				if ans.Seq != int32(j) || ans.Val != float64(j) {
+					noteErr("client%d: reply mismatch at %d: %+v", i, j, ans)
+				}
+			}
+			cl.Send(core.Msg{Op: core.OpDisconnect})
+		}(i, cl)
+	}
+	wg.Wait()
+	served := <-serverDone
+
+	if len(errs) > 0 {
+		return Result{}, fmt.Errorf("workload: live validation failed: %v", errs)
+	}
+	total := int64(cfg.Clients * cfg.Msgs)
+	if served != total {
+		return Result{}, fmt.Errorf("workload: server served %d, want %d", served, total)
+	}
+	dur := serveEnd.Sub(start)
+	if dur <= 0 {
+		dur = time.Nanosecond
+	}
+	res := Result{
+		Label:      fmt.Sprintf("live/%s/%dc", cfg.Alg, cfg.Clients),
+		Throughput: float64(total) / (float64(dur.Nanoseconds()) / 1e6),
+		RTTMicros:  float64(dur.Nanoseconds()) / 1e3 / float64(cfg.Msgs),
+		Duration:   dur.Nanoseconds(),
+		TotalMsgs:  total,
+	}
+	if s, ok := ms.Find("server"); ok {
+		res.Server = s
+	}
+	res.Clients = ms.ByPrefix("client")
+	res.All = ms.Total()
+	return res, nil
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ulipc/internal/core"
+	"ulipc/internal/livebind"
+	"ulipc/internal/metrics"
+)
+
+// RunLivePool executes the worker-pool workload on the live runtime:
+// LiveConfig.Workers server goroutines share the receive queue using the
+// model-checked counted-waiters discipline.
+func RunLivePool(cfg LiveConfig, workers int) (Result, error) {
+	if workers < 1 {
+		return Result{}, fmt.Errorf("workload: need at least 1 worker")
+	}
+	if cfg.Clients < 1 || cfg.Msgs < 1 {
+		return Result{}, fmt.Errorf("workload: need at least 1 client and 1 message")
+	}
+	if cfg.SleepScale == 0 {
+		cfg.SleepScale = time.Millisecond
+	}
+	ms := metrics.NewSet()
+	sys, err := livebind.NewSystem(livebind.Options{
+		Alg:        cfg.Alg,
+		MaxSpin:    cfg.MaxSpin,
+		Clients:    cfg.Clients,
+		QueueCap:   cfg.QueueCap,
+		QueueKind:  cfg.QueueKind,
+		SpinIters:  cfg.SpinIters,
+		SleepScale: cfg.SleepScale,
+		Metrics:    ms,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	pool, err := sys.WorkerPool(workers)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var swg sync.WaitGroup
+	for _, w := range pool {
+		swg.Add(1)
+		go func(w *core.PoolWorker) {
+			defer swg.Done()
+			w.Serve(nil)
+		}(w)
+	}
+
+	var (
+		startMu sync.Mutex
+		started bool
+		start   time.Time
+		errsMu  sync.Mutex
+		errs    []string
+	)
+	noteErr := func(format string, args ...any) {
+		errsMu.Lock()
+		if len(errs) < 8 {
+			errs = append(errs, fmt.Sprintf(format, args...))
+		}
+		errsMu.Unlock()
+	}
+
+	var barrier, wg sync.WaitGroup
+	barrier.Add(cfg.Clients)
+	for i := 0; i < cfg.Clients; i++ {
+		cl, err := sys.PoolClient(i)
+		if err != nil {
+			return Result{}, err
+		}
+		wg.Add(1)
+		go func(i int, cl *core.PoolClient) {
+			defer wg.Done()
+			if ans := cl.Send(core.Msg{Op: core.OpConnect}); ans.Op != core.OpConnect {
+				noteErr("client%d: bad connect reply %+v", i, ans)
+			}
+			barrier.Done()
+			barrier.Wait()
+			startMu.Lock()
+			if !started {
+				start = time.Now()
+				started = true
+			}
+			startMu.Unlock()
+			for j := 0; j < cfg.Msgs; j++ {
+				ans := cl.Send(core.Msg{Op: core.OpEcho, Seq: int32(j), Val: float64(j)})
+				if ans.Seq != int32(j) || ans.Val != float64(j) {
+					noteErr("client%d: reply mismatch at %d: %+v", i, j, ans)
+				}
+			}
+			cl.Send(core.Msg{Op: core.OpDisconnect})
+		}(i, cl)
+	}
+	wg.Wait()
+	swg.Wait()
+	end := time.Now()
+
+	if len(errs) > 0 {
+		return Result{}, fmt.Errorf("workload: live pool validation failed: %v", errs)
+	}
+	total := int64(cfg.Clients * cfg.Msgs)
+	if served := pool[0].C.Served(); served != total {
+		return Result{}, fmt.Errorf("workload: pool served %d, want %d", served, total)
+	}
+	dur := end.Sub(start)
+	if dur <= 0 {
+		dur = time.Nanosecond
+	}
+	res := Result{
+		Label:      fmt.Sprintf("live-pool%d/%s/%dc", workers, cfg.Alg, cfg.Clients),
+		Throughput: float64(total) / (float64(dur.Nanoseconds()) / 1e6),
+		RTTMicros:  float64(dur.Nanoseconds()) / 1e3 / float64(cfg.Msgs),
+		Duration:   dur.Nanoseconds(),
+		TotalMsgs:  total,
+	}
+	res.Server = ms.ByPrefix("server")
+	res.Clients = ms.ByPrefix("client")
+	res.All = ms.Total()
+	return res, nil
+}

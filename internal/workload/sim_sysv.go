@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"ulipc/internal/core"
+	"ulipc/internal/metrics"
+	"ulipc/internal/sim"
+)
+
+// runSimSysV runs the kernel-mediated baseline: the same client/server
+// workload over simulated System V message queues (one receive queue at
+// the server, one reply queue per client), costing four system calls per
+// round trip — a msgsnd/msgrcv pair at both the client and the server.
+func runSimSysV(k *sim.Kernel, cfg Config, ms *metrics.Set) (Result, error) {
+	rec := &recorder{}
+	capacity := cfg.queueCap()
+
+	recvQ := k.NewMsgQueue(capacity)
+	replyQs := make([]sim.QID, cfg.Clients)
+	for i := range replyQs {
+		replyQs[i] = k.NewMsgQueue(capacity)
+	}
+	barrier := k.NewBarrier(cfg.Clients)
+	op := opForRun(cfg)
+
+	var stop atomic.Bool
+	spawnBackground(k, cfg, &stop)
+
+	k.Spawn("server", cfg.ServerPrio, func(p *sim.Proc) {
+		connected := 0
+		ever := false
+		for {
+			m := p.MsgRcv(recvQ).(core.Msg)
+			p.M.MsgsReceived.Add(1)
+			switch m.Op {
+			case core.OpConnect:
+				connected++
+				ever = true
+			case core.OpDisconnect:
+				connected--
+			case core.OpWork:
+				if cfg.ServerWork > 0 {
+					p.Step(cfg.ServerWork)
+				}
+			}
+			p.MsgSnd(replyQs[m.Client], m)
+			if ever && connected == 0 && m.Op == core.OpDisconnect {
+				rec.lastDone = p.Now()
+				stop.Store(true)
+				return
+			}
+		}
+	})
+
+	for i := 0; i < cfg.Clients; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("client%d", i), cfg.ClientPrio, func(p *sim.Proc) {
+			send := func(m core.Msg) core.Msg {
+				m.Client = int32(i)
+				p.MsgSnd(recvQ, m)
+				p.M.MsgsSent.Add(1)
+				return p.MsgRcv(replyQs[i]).(core.Msg)
+			}
+			send(core.Msg{Op: core.OpConnect})
+			p.Barrier(barrier)
+			rec.noteStart(p.Now())
+			for j := 0; j < cfg.Msgs; j++ {
+				if cfg.ClientThink > 0 {
+					p.Step(cfg.ClientThink)
+				}
+				ans := send(core.Msg{Op: op, Seq: int32(j), Val: float64(j)})
+				if ans.Seq != int32(j) || ans.Val != float64(j) {
+					rec.noteErr("client%d: reply mismatch at %d: %+v", i, j, ans)
+				}
+			}
+			send(core.Msg{Op: core.OpDisconnect})
+		})
+	}
+
+	if err := k.Run(); err != nil {
+		return Result{}, err
+	}
+	label := fmt.Sprintf("SYSV/%s/%dc", cfg.Machine.Name, cfg.Clients)
+	return buildResult(cfg, rec, ms, label)
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"ulipc/internal/core"
+	"ulipc/internal/metrics"
+	"ulipc/internal/sim"
+	"ulipc/internal/simbind"
+)
+
+// runSimULIPC runs the user-level IPC workload on the simulated kernel.
+func runSimULIPC(k *sim.Kernel, cfg Config, ms *metrics.Set) (Result, error) {
+	rec := &recorder{}
+	capacity := cfg.queueCap()
+
+	recvQ := simbind.NewQueue(k, "recvQ", capacity)
+	replyQs := make([]*simbind.SQueue, cfg.Clients)
+	for i := range replyQs {
+		replyQs[i] = simbind.NewQueue(k, fmt.Sprintf("replyQ%d", i), capacity)
+	}
+	barrier := k.NewBarrier(cfg.Clients)
+	op := opForRun(cfg)
+
+	var stop atomic.Bool
+	spawnBackground(k, cfg, &stop)
+
+	serverProc := k.Spawn("server", cfg.ServerPrio, func(p *sim.Proc) {
+		actor := simbind.NewActor(p)
+		replies := make([]core.Port, cfg.Clients)
+		for i := range replies {
+			replies[i] = simbind.NewPort(p, replyQs[i])
+		}
+		srv := &core.Server{
+			Alg:        cfg.Alg,
+			MaxSpin:    cfg.MaxSpin,
+			Rcv:        simbind.NewPort(p, recvQ),
+			Replies:    replies,
+			A:          actor,
+			M:          p.M,
+			UseHandoff: cfg.Handoff,
+			Throttle:   cfg.Throttle,
+		}
+		var work func(*core.Msg)
+		if cfg.ServerWork > 0 {
+			work = func(*core.Msg) { p.Step(cfg.ServerWork) }
+		}
+		srv.Serve(work)
+		rec.lastDone = p.Now()
+		stop.Store(true)
+	})
+
+	for i := 0; i < cfg.Clients; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("client%d", i), cfg.ClientPrio, func(p *sim.Proc) {
+			actor := simbind.NewActor(p)
+			cl := &core.Client{
+				ID:            int32(i),
+				Alg:           cfg.Alg,
+				MaxSpin:       cfg.MaxSpin,
+				Srv:           simbind.NewPort(p, recvQ),
+				Rcv:           simbind.NewPort(p, replyQs[i]),
+				A:             actor,
+				M:             p.M,
+				UseHandoff:    cfg.Handoff,
+				HandoffTarget: serverProc.ID(),
+			}
+			ans := cl.Send(core.Msg{Op: core.OpConnect})
+			if ans.Op != core.OpConnect {
+				rec.noteErr("client%d: bad connect reply op %d", i, ans.Op)
+			}
+			p.Barrier(barrier)
+			rec.noteStart(p.Now())
+			for j := 0; j < cfg.Msgs; j++ {
+				if cfg.ClientThink > 0 {
+					p.Step(cfg.ClientThink)
+				}
+				ans := cl.Send(core.Msg{Op: op, Seq: int32(j), Val: float64(j)})
+				if ans.Seq != int32(j) || ans.Val != float64(j) {
+					rec.noteErr("client%d: reply mismatch at %d: %+v", i, j, ans)
+				}
+			}
+			cl.Send(core.Msg{Op: core.OpDisconnect})
+		})
+	}
+
+	if err := k.Run(); err != nil {
+		return Result{}, err
+	}
+	label := fmt.Sprintf("%s/%s/%dc", cfg.Alg, cfg.Machine.Name, cfg.Clients)
+	return buildResult(cfg, rec, ms, label)
+}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"testing"
+
+	"ulipc/internal/core"
+	"ulipc/internal/machine"
+)
+
+func run(t *testing.T, cfg Config) Result {
+	t.Helper()
+	if cfg.Machine == nil {
+		cfg.Machine = machine.SGIIndy()
+	}
+	if cfg.Msgs == 0 {
+		cfg.Msgs = 200
+	}
+	if cfg.Clients == 0 {
+		cfg.Clients = 1
+	}
+	res, err := RunSim(cfg)
+	if err != nil {
+		t.Fatalf("RunSim(%+v): %v", cfg, err)
+	}
+	return res
+}
+
+func TestAllAlgorithmsCompleteOnAllMachines(t *testing.T) {
+	for _, m := range machine.Presets() {
+		for _, alg := range core.Algorithms() {
+			for _, clients := range []int{1, 3} {
+				cfg := Config{Machine: m, Alg: alg, Clients: clients, Msgs: 50}
+				if m.CPUs == 1 && m.Name == "Linux-486-1.0.32" {
+					cfg.Policy = "linuxmod"
+				}
+				res := run(t, cfg)
+				if res.Throughput <= 0 {
+					t.Errorf("%s/%s/%dc: throughput %.2f", m.Name, alg, clients, res.Throughput)
+				}
+			}
+		}
+	}
+}
+
+func TestSysVBaselineCompletes(t *testing.T) {
+	for _, m := range []*machine.Model{machine.SGIIndy(), machine.IBMP4()} {
+		res := run(t, Config{Machine: m, Transport: TransportSysV, Clients: 2, Msgs: 100})
+		if res.Throughput <= 0 {
+			t.Errorf("%s SYSV throughput %.2f", m.Name, res.Throughput)
+		}
+	}
+}
+
+func TestEchoValidationCatchesAllReplies(t *testing.T) {
+	// The run helper fails the test if any reply mismatches; a passing
+	// run with many clients demonstrates replies are routed to the right
+	// reply queues.
+	res := run(t, Config{Clients: 6, Msgs: 100, Alg: core.BSLS, MaxSpin: 10})
+	if res.TotalMsgs != 600 {
+		t.Fatalf("total msgs = %d, want 600", res.TotalMsgs)
+	}
+}
+
+func TestMetricsArePopulated(t *testing.T) {
+	res := run(t, Config{Clients: 2, Msgs: 100, Alg: core.BSW})
+	if res.Server.MsgsReceived == 0 {
+		t.Error("server received no messages in metrics")
+	}
+	if res.Clients.MsgsSent == 0 {
+		t.Error("clients sent no messages in metrics")
+	}
+	if res.All.Syscalls == 0 {
+		t.Error("no syscalls recorded")
+	}
+	// BSW should block and wake on both sides.
+	if res.All.Blocks == 0 || res.All.Wakeups == 0 {
+		t.Errorf("BSW blocks=%d wakeups=%d, want both > 0", res.All.Blocks, res.All.Wakeups)
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	cfg := Config{Clients: 3, Msgs: 150, Alg: core.BSWY, Machine: machine.SGIIndy()}
+	a, err := RunSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput != b.Throughput || a.Duration != b.Duration {
+		t.Fatalf("non-deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestServerWorkReducesThroughput(t *testing.T) {
+	base := run(t, Config{Clients: 2, Msgs: 100, Alg: core.BSS})
+	loaded := run(t, Config{Clients: 2, Msgs: 100, Alg: core.BSS, ServerWork: 200 * machine.Microsecond})
+	if loaded.Throughput >= base.Throughput {
+		t.Errorf("server work did not reduce throughput: %.2f vs %.2f", loaded.Throughput, base.Throughput)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := RunSim(Config{}); err == nil {
+		t.Error("nil machine accepted")
+	}
+	if _, err := RunSim(Config{Machine: machine.SGIIndy()}); err == nil {
+		t.Error("zero clients accepted")
+	}
+	if _, err := RunSim(Config{Machine: machine.SGIIndy(), Clients: 1}); err == nil {
+		t.Error("zero msgs accepted")
+	}
+	if _, err := RunSim(Config{Machine: machine.SGIIndy(), Clients: 1, Msgs: 1, Policy: "nope"}); err == nil {
+		t.Error("bad policy accepted")
+	}
+}

@@ -1,0 +1,130 @@
+// Package ulipc is a Go reproduction of "Efficient Sleep/Wake-up
+// Protocols for User-Level IPC" (Unrau & Krieger, ICPP 1998): a
+// Send/Receive/Reply client-server IPC facility layered over
+// shared-memory FIFO queues, with the paper's four sleep/wake-up
+// protocols (BSS, BSW, BSWY, BSLS).
+//
+// Two bindings execute the same protocol code:
+//
+//   - The live runtime (NewSystem) runs over real atomics, Michael &
+//     Scott two-lock queues in an offset-addressed arena, and counting
+//     semaphores — this is the API a Go program uses.
+//   - The discrete-event simulator (internal/sim + internal/experiment,
+//     driven by cmd/ipcbench and cmd/ipcsim) reproduces the paper's
+//     evaluation: scheduler interactions, context-switch accounting, and
+//     every table and figure.
+//
+// Quick start:
+//
+//	sys, _ := ulipc.NewSystem(ulipc.Options{Alg: ulipc.BSLS, Clients: 1})
+//	srv := sys.Server()
+//	go srv.Serve(nil)
+//	cl, _ := sys.Client(0)
+//	reply := cl.Send(ulipc.Msg{Op: ulipc.OpEcho, Val: 42})
+//	cl.Send(ulipc.Msg{Op: ulipc.OpDisconnect})
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every reproduced artefact.
+package ulipc
+
+import (
+	"ulipc/internal/core"
+	"ulipc/internal/livebind"
+	"ulipc/internal/queue"
+	"ulipc/internal/shm"
+)
+
+// Msg is the fixed-size IPC message (opcode, reply channel, sequence
+// number, double-precision argument).
+type Msg = core.Msg
+
+// Operation codes understood by Server.Serve.
+const (
+	OpEcho       = core.OpEcho
+	OpConnect    = core.OpConnect
+	OpDisconnect = core.OpDisconnect
+	OpWork       = core.OpWork
+)
+
+// Algorithm selects a sleep/wake-up protocol.
+type Algorithm = core.Algorithm
+
+// The four protocols of the paper.
+const (
+	BSS  = core.BSS  // Both Sides Spin (Figure 1)
+	BSW  = core.BSW  // Both Sides Wait (Figure 5)
+	BSWY = core.BSWY // Both Sides Wait and Yield (Figure 7)
+	BSLS = core.BSLS // Both Sides Limited Spin (Figure 9)
+)
+
+// DefaultMaxSpin is the MAX_SPIN the paper recommends for BSLS.
+const DefaultMaxSpin = core.DefaultMaxSpin
+
+// Algorithms returns the four protocols in presentation order.
+func Algorithms() []Algorithm { return core.Algorithms() }
+
+// AlgorithmByName parses a protocol name ("BSS", "BSW", "BSWY", "BSLS").
+func AlgorithmByName(s string) (Algorithm, error) { return core.AlgorithmByName(s) }
+
+// Client is the client side of a connection: synchronous Send plus the
+// asynchronous SendAsync/RecvReply pair.
+type Client = core.Client
+
+// Server is the single-threaded server loop: Receive/Reply, or the
+// canonical echo Serve loop.
+type Server = core.Server
+
+// Options configures a live IPC system.
+type Options = livebind.Options
+
+// System wires one server and its clients over live shared queues.
+type System = livebind.System
+
+// NewSystem builds a live IPC system.
+func NewSystem(opts Options) (*System, error) { return livebind.NewSystem(opts) }
+
+// QueueKind selects the shared-queue implementation.
+type QueueKind = queue.Kind
+
+// Queue implementations: the paper's two-lock Michael & Scott queue, the
+// lock-free M&S queue, and a bounded MPMC ring.
+const (
+	QueueTwoLock  = queue.KindTwoLock
+	QueueLockFree = queue.KindLockFree
+	QueueRing     = queue.KindRing
+)
+
+// DuplexClient and DuplexHandler are the endpoints of a full-duplex
+// virtual connection — the thread-per-client server architecture
+// Section 2.1 sketches as the alternative to the shared receive queue.
+// Obtain pairs from System.DuplexPair (requires Options.Duplex).
+type (
+	DuplexClient  = core.DuplexClient
+	DuplexHandler = core.DuplexHandler
+)
+
+// BlockPool stores the variable-sized components fixed-size messages
+// reference (Section 2.1). Obtain one from System.Blocks (requires
+// Options.BlockSlots); pack references with Msg.SetBlock / Msg.Block.
+type BlockPool = shm.BlockPool
+
+// BlockRef is a position-independent reference into a BlockPool.
+type BlockRef = shm.BlockRef
+
+// PoolWorker and PoolClient are the endpoints of a worker-pool server
+// ("multiple server threads" on one shared queue, Section 2.1). The pool
+// replaces the single awake flag — provably broken for more than one
+// sleeping worker, see internal/protomodel — with a model-checked
+// counted-waiters wake discipline. Obtain workers from System.WorkerPool
+// and clients from System.PoolClient.
+type (
+	PoolWorker = core.PoolWorker
+	PoolClient = core.PoolClient
+)
+
+// Conn is a dynamically managed client connection: System.Connect claims
+// a free reply-queue slot and performs the connect handshake; Conn.Close
+// disconnects and releases the slot for reuse, so a long-running server
+// serves arbitrarily many short-lived clients over a bounded shared
+// segment.
+type Conn = livebind.Conn
