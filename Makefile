@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race vet bench bench-live
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench . -benchmem
+
+# Regenerate the live wall-clock benchmark document. One run per cell of
+# {queue configuration} x {protocol} x {1,4,16 clients}; see DESIGN.md §6.
+bench-live:
+	$(GO) run ./cmd/ipcbench -live -json -o BENCH_live.json
+	@echo wrote BENCH_live.json

@@ -12,6 +12,7 @@ package ulipc_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"ulipc"
@@ -243,14 +244,13 @@ func BenchmarkLiveAsyncBatch(b *testing.B) {
 }
 
 // BenchmarkQueue measures the raw queue implementations (ablation A2):
-// uncontended enqueue/dequeue pairs.
+// uncontended enqueue/dequeue pairs. The SPSC ring rides along as the
+// reply-path comparator — it is excluded from Kinds() because the
+// generic constructor cannot prove its topology, but a single-threaded
+// enqueue/dequeue pair trivially satisfies the contract.
 func BenchmarkQueue(b *testing.B) {
-	for _, kind := range queue.Kinds() {
-		b.Run(kind.String(), func(b *testing.B) {
-			q, err := queue.New(kind, 1024)
-			if err != nil {
-				b.Fatal(err)
-			}
+	bench := func(q queue.Queue) func(*testing.B) {
+		return func(b *testing.B) {
 			m := core.Msg{Op: core.OpEcho, Val: 1}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -261,8 +261,63 @@ func BenchmarkQueue(b *testing.B) {
 					b.Fatal("dequeue failed")
 				}
 			}
-		})
+		}
 	}
+	for _, kind := range queue.Kinds() {
+		q, err := queue.New(kind, 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(kind.String(), bench(q))
+	}
+	spsc, err := queue.NewSPSC(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("spsc", bench(spsc))
+}
+
+// BenchmarkQueuePipe measures each queue as a cross-goroutine pipe: one
+// producer, one consumer, messages flowing one way. This is the shape of
+// the live runtime's reply path, and the cell where the SPSC ring's
+// cached indices should beat the MPMC implementations.
+func BenchmarkQueuePipe(b *testing.B) {
+	bench := func(q queue.Queue) func(*testing.B) {
+		return func(b *testing.B) {
+			done := make(chan struct{})
+			b.ResetTimer()
+			go func() {
+				m := core.Msg{Op: core.OpEcho}
+				for i := 0; i < b.N; i++ {
+					for !q.Enqueue(m) {
+						runtime.Gosched()
+					}
+				}
+				close(done)
+			}()
+			for i := 0; i < b.N; i++ {
+				for {
+					if _, ok := q.Dequeue(); ok {
+						break
+					}
+					runtime.Gosched()
+				}
+			}
+			<-done
+		}
+	}
+	for _, kind := range queue.Kinds() {
+		q, err := queue.New(kind, 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(kind.String(), bench(q))
+	}
+	spsc, err := queue.NewSPSC(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("spsc", bench(spsc))
 }
 
 // BenchmarkQueueContended measures the queues under producer/consumer
@@ -409,6 +464,71 @@ func BenchmarkLiveConnect(b *testing.B) {
 	b.StopTimer()
 	anchor.Close()
 	<-done
+}
+
+// benchLive runs one live workload sized to b.N total messages and
+// reports wall-clock ns per round trip and server msgs/s.
+func benchLive(b *testing.B, cfg workload.LiveConfig) {
+	b.Helper()
+	cfg.Msgs = (b.N + cfg.Clients - 1) / cfg.Clients
+	if cfg.MaxSpin == 0 {
+		cfg.MaxSpin = 20
+	}
+	res, err := workload.RunLive(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.RTTMicros*1e3, "ns/rtt")
+	b.ReportMetric(res.Throughput*1e3, "msgs/s")
+}
+
+// BenchmarkLiveMatrix is the wall-clock benchmark matrix — the same
+// cells `ipcbench -live` writes to BENCH_live.json: {queue
+// configuration} x {protocol} x {client count}. The "ring" vs
+// "ring+spsc" pair isolates the SPSC reply-path win; "default" is the
+// library's out-of-the-box configuration.
+func BenchmarkLiveMatrix(b *testing.B) {
+	for _, k := range workload.DefaultLiveBenchKinds() {
+		for _, alg := range ulipc.Algorithms() {
+			for _, n := range []int{1, 4, 16} {
+				b.Run(fmt.Sprintf("%s/%s/%dclients", k.Name, alg, n), func(b *testing.B) {
+					reply := k.Reply
+					benchLive(b, workload.LiveConfig{
+						Alg: alg, Clients: n,
+						QueueKind: k.Recv, ReplyKind: &reply,
+					})
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkLiveReplyKind isolates the reply leg: identical workloads
+// that differ only in the reply-queue implementation.
+func BenchmarkLiveReplyKind(b *testing.B) {
+	for _, reply := range []ulipc.QueueKind{ulipc.QueueSPSC, ulipc.QueueRing, ulipc.QueueTwoLock} {
+		reply := reply
+		b.Run(reply.String(), func(b *testing.B) {
+			benchLive(b, workload.LiveConfig{
+				Alg: ulipc.BSLS, Clients: 1,
+				QueueKind: ulipc.QueueRing, ReplyKind: &reply,
+			})
+		})
+	}
+}
+
+// BenchmarkLiveAllocBatch measures producer-side allocation batching on
+// the two-lock receive queue: one Treiber-stack CAS per k messages
+// instead of one per message.
+func BenchmarkLiveAllocBatch(b *testing.B) {
+	for _, batch := range []int{0, 8, 32} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			benchLive(b, workload.LiveConfig{
+				Alg: ulipc.BSW, Clients: 4,
+				QueueKind: ulipc.QueueTwoLock, AllocBatch: batch,
+			})
+		})
+	}
 }
 
 // BenchmarkLivePool measures worker-pool round trips on the live runtime

@@ -1,5 +1,6 @@
 // Command ipcbench regenerates the paper's tables and figures from the
-// discrete-event reproduction (and the live-runtime ablations).
+// discrete-event reproduction (and the live-runtime ablations), and
+// measures the live runtime's wall-clock fast path.
 //
 // Usage:
 //
@@ -9,15 +10,25 @@
 //	ipcbench -list              # list experiment ids
 //	ipcbench -quick             # faster, lower-precision sweeps
 //	ipcbench -records           # also dump the flat record map
+//
+// Live wall-clock mode (host timing, not the simulator):
+//
+//	ipcbench -live                        # text table on stdout
+//	ipcbench -live -json                  # BENCH_live.json document on stdout
+//	ipcbench -live -json -o BENCH_live.json
+//	ipcbench -live -clients 1,4 -algs BSW,BSLS -batch 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
+	"ulipc/internal/core"
 	"ulipc/internal/experiment"
+	"ulipc/internal/workload"
 )
 
 func main() {
@@ -28,8 +39,24 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		records = flag.Bool("records", false, "also print the machine-readable record map")
 		format  = flag.String("format", "text", "output format: text (tables + ASCII plots) or md (Markdown tables)")
+
+		live     = flag.Bool("live", false, "run the live wall-clock benchmark matrix instead of the simulator experiments")
+		jsonOut  = flag.Bool("json", false, "with -live: emit the BENCH_live.json document instead of a text table")
+		outFile  = flag.String("o", "", "with -live: write the output to this file instead of stdout")
+		clients  = flag.String("clients", "", "with -live: comma-separated client counts (default 1,4,16)")
+		algs     = flag.String("algs", "", "with -live: comma-separated protocols (default BSS,BSW,BSWY,BSLS)")
+		batch    = flag.Int("batch", 0, "with -live: producer alloc-batch size (two-lock queues; 0 disables)")
+		liveSpin = flag.Int("spin", 0, "with -live: busy-wait spin iterations (0 = yield flavour)")
 	)
 	flag.Parse()
+
+	if *live {
+		if err := runLive(*jsonOut, *outFile, *msgs, *quick, *clients, *algs, *batch, *liveSpin); err != nil {
+			fmt.Fprintf(os.Stderr, "ipcbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiment.All() {
@@ -69,4 +96,50 @@ func main() {
 			fmt.Println()
 		}
 	}
+}
+
+// runLive executes the wall-clock benchmark matrix (workload.RunLiveBench).
+func runLive(jsonOut bool, outFile string, msgs int, quick bool, clients, algs string, batch, spin int) error {
+	opts := workload.LiveBenchOptions{Msgs: msgs, AllocBatch: batch, SpinIters: spin}
+	if quick && msgs == 0 {
+		opts.Msgs = 200
+	}
+	if clients != "" {
+		for _, f := range strings.Split(clients, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad -clients entry %q", f)
+			}
+			opts.Clients = append(opts.Clients, n)
+		}
+	}
+	if algs != "" {
+		for _, f := range strings.Split(algs, ",") {
+			a, err := core.AlgorithmByName(strings.TrimSpace(f))
+			if err != nil {
+				return err
+			}
+			opts.Algs = append(opts.Algs, a)
+		}
+	}
+	out := os.Stdout
+	if outFile != "" {
+		// Open the destination before the (long) run so a bad path fails
+		// in milliseconds, not after the full matrix.
+		f, err := os.Create(outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	rep, err := workload.RunLiveBench(opts, os.Stderr)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return rep.WriteJSON(out)
+	}
+	rep.RenderText(out)
+	return nil
 }

@@ -65,6 +65,7 @@ func (s *System) Connect() (*Conn, error) {
 		return nil, err
 	}
 	if ans := cl.Send(core.Msg{Op: core.OpConnect}); ans.Op != core.OpConnect {
+		DrainPort(cl.Srv)
 		pool.mu.Lock()
 		pool.free = append(pool.free, slot)
 		pool.mu.Unlock()
@@ -118,6 +119,10 @@ func (c *Conn) Close() error {
 	}
 	c.closed = true
 	c.cl.Send(core.Msg{Op: core.OpDisconnect})
+	// Spill any refs the connection's producer port cached from the
+	// receive-queue pool: the slot outlives this connection, and parked
+	// refs would otherwise leak from the pool's flow control.
+	DrainPort(c.cl.Srv)
 	pool := c.sys.slots()
 	pool.mu.Lock()
 	pool.free = append(pool.free, c.slot)

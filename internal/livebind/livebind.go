@@ -12,6 +12,7 @@
 package livebind
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -19,29 +20,63 @@ import (
 	"ulipc/internal/core"
 	"ulipc/internal/metrics"
 	"ulipc/internal/queue"
+	"ulipc/internal/shm"
 )
 
 // Channel is one unidirectional shared queue plus its consumer's wake
 // state (awake flag and semaphore) — the live analogue of the paper's
 // shared-memory queue segment.
+//
+// The wake-state words are padded onto separate 64-byte cache lines:
+// the awake flag is test-and-set by every producer and stored by the
+// consumer on every blocking cycle, the waiters count is CASed by pool
+// clients and workers, and neither should invalidate the read-mostly
+// header (queue interface, semaphore pointer, sem id) or each other.
 type Channel struct {
-	q       queue.Queue
+	q    queue.Queue
+	sem  *Semaphore
+	id   core.SemID
+	kind queue.Kind
+
+	_       [64]byte
 	awake   atomic.Bool
+	_       [64]byte
 	waiters atomic.Int64 // worker-pool registrations
-	sem     *Semaphore
-	id      core.SemID
+	_       [64]byte
 }
 
 // NewChannel builds a channel over the given queue implementation.
+// KindSPSC is rejected: a bare channel's topology is not provable (any
+// number of ports may be attached to either side), so SPSC channels
+// exist only inside System, which controls endpoint creation.
 func NewChannel(kind queue.Kind, capacity int) (*Channel, error) {
+	if kind == queue.KindSPSC {
+		return nil, fmt.Errorf("livebind: KindSPSC needs a provably single-producer/single-consumer topology; use Options.ReplyKind (System enforces the topology) or queue.NewSPSC directly")
+	}
 	q, err := queue.New(kind, capacity)
 	if err != nil {
 		return nil, err
 	}
-	c := &Channel{q: q, sem: NewSemaphore(0)}
+	c := &Channel{q: q, kind: kind, sem: NewSemaphore(0)}
 	c.awake.Store(true)
 	return c, nil
 }
+
+// newSPSCChannel builds a channel over an SPSC ring. Callers (System)
+// must guarantee a single producer endpoint and a single consumer
+// endpoint; see the enforcement in System.Server/DuplexPair/WorkerPool.
+func newSPSCChannel(capacity int) (*Channel, error) {
+	q, err := queue.NewSPSC(capacity)
+	if err != nil {
+		return nil, err
+	}
+	c := &Channel{q: q, kind: queue.KindSPSC, sem: NewSemaphore(0)}
+	c.awake.Store(true)
+	return c, nil
+}
+
+// Kind returns the queue implementation the channel was built with.
+func (c *Channel) Kind() queue.Kind { return c.kind }
 
 // Queue exposes the underlying queue (diagnostics).
 func (c *Channel) Queue() queue.Queue { return c.q }
@@ -51,15 +86,71 @@ func (c *Channel) Queue() queue.Queue { return c.q }
 func (c *Channel) SemCount() int64 { return c.sem.Count() }
 
 // Port is a process's endpoint on a channel; it implements core.Port.
+//
+// A port built by System with Options.AllocBatch > 1 over a two-lock
+// queue carries a private shm.PoolCache: TryEnqueue then draws nodes
+// from the cache (refilled from the shared pool in batches) instead of
+// CASing the pool head per message. Such a port must be Closed (or
+// passed to DrainPort) when its owner retires, or the cached refs stay
+// invisible to the pool's flow control.
 type Port struct {
-	c *Channel
+	c     *Channel
+	tl    *queue.TwoLock // non-nil iff cache is non-nil
+	cache *shm.PoolCache
+	m     *metrics.Proc // optional: batching statistics
 }
 
 // NewPort returns an endpoint view of the channel.
 func NewPort(c *Channel) *Port { return &Port{c: c} }
 
+// newBatchedPort returns a producer endpoint with a private allocation
+// cache of the given batch size when the channel's queue supports it
+// (two-lock only — the other kinds have no shared node pool to batch).
+func newBatchedPort(c *Channel, batch int, m *metrics.Proc) *Port {
+	p := &Port{c: c, m: m}
+	if tl, ok := c.q.(*queue.TwoLock); ok && batch > 1 {
+		p.tl = tl
+		p.cache = tl.Pool().NewCache(batch)
+	}
+	return p
+}
+
 // TryEnqueue implements core.Port.
-func (p *Port) TryEnqueue(m core.Msg) bool { return p.c.q.Enqueue(m) }
+func (p *Port) TryEnqueue(m core.Msg) bool {
+	if p.cache != nil {
+		ref, ok, refilled := p.cache.Alloc()
+		if refilled && p.m != nil {
+			p.m.PoolRefills.Add(1)
+		}
+		if !ok {
+			return false // cache and pool both exhausted: queue full
+		}
+		p.tl.EnqueueRef(ref, m)
+		return true
+	}
+	return p.c.q.Enqueue(m)
+}
+
+// Close drains the port's private allocation cache, if any, back to the
+// shared pool. Idempotent; safe on uncached ports.
+func (p *Port) Close() {
+	if p.cache == nil {
+		return
+	}
+	if p.cache.Drain() > 0 && p.m != nil {
+		p.m.PoolSpills.Add(1)
+	}
+}
+
+// DrainPort releases a port's private producer cache (no-op for ports
+// of other bindings or uncached ports). Callers that build clients or
+// servers from a batched System should drain the producer ports when
+// the owning goroutine retires.
+func DrainPort(p core.Port) {
+	if lp, ok := p.(*Port); ok {
+		lp.Close()
+	}
+}
 
 // TryDequeue implements core.Port.
 func (p *Port) TryDequeue() (core.Msg, bool) { return p.c.q.Dequeue() }

@@ -17,9 +17,36 @@ type Options struct {
 	MaxSpin   int        // BSLS MAX_SPIN (core.DefaultMaxSpin if zero)
 	Clients   int        // number of client slots (reply queues)
 	QueueCap  int        // per-queue capacity; default 64
-	QueueKind queue.Kind // queue implementation; default two-lock
+	QueueKind queue.Kind // shared receive-queue implementation; default two-lock
 	SpinIters int        // >0: multiprocessor busy_wait flavour
 	Throttle  int        // server wake throttle (0 = unlimited)
+
+	// ReplyKind selects the queue implementation for the per-client
+	// channels (reply queues, and the client->server queues in Duplex
+	// mode). nil picks the SPSC fast path: those channels have exactly
+	// one producer (the server, or the per-connection duplex peer) and
+	// one consumer, so the padded Lamport ring with cached indices
+	// applies and the hot path does no CAS and no cross-core loads.
+	// System enforces the topology: handle constructors fail (or panic,
+	// for the error-less Server) on any acquisition that would attach a
+	// second producer to an SPSC channel, and WorkerPool — whose workers
+	// all produce into every reply queue — transparently falls back to
+	// QueueKind when the SPSC default is in effect (or errors if SPSC
+	// was requested explicitly). Set a non-nil MPMC kind to restore the
+	// old shared-queue behaviour. QueueKind may NOT be KindSPSC: the
+	// receive queue is shared by all clients.
+	ReplyKind *queue.Kind
+
+	// AllocBatch, when > 1, gives each producer port a private cache of
+	// that many free-pool refs, refilled/spilled in batched operations —
+	// one Treiber-stack CAS per AllocBatch messages instead of one per
+	// message (two-lock queues only; the other kinds have no shared node
+	// pool). Trade-off: cached refs are invisible to other producers, so
+	// flow control turns conservative — a queue can report full while up
+	// to (producers-1)*AllocBatch refs sit in caches. 0 disables.
+	// Worker-pool reply ports never batch (w workers x k refs would
+	// strand most of a reply pool).
+	AllocBatch int
 
 	// SleepScale compresses the queue-full sleep(1); 0 keeps the paper's
 	// full-second UNIX semantics.
@@ -51,6 +78,15 @@ type System struct {
 
 	connMu sync.Mutex
 	conns  connPool
+
+	// SPSC topology bookkeeping: which producer endpoints have been
+	// issued. Only consulted while the per-client channels are SPSC.
+	topoMu       sync.Mutex
+	replySPSC    bool   // per-client channels are SPSC rings
+	replyAuto    bool   // SPSC was the default, not an explicit request
+	serverTaken  bool   // Server() issued (produces into every reply queue)
+	duplexTaken  []bool // DuplexPair(i) issued
+	replyHandles bool   // any handle on the per-client channels issued
 }
 
 // NewSystem builds the shared state for one server and opts.Clients
@@ -62,17 +98,35 @@ func NewSystem(opts Options) (*System, error) {
 	if opts.QueueCap <= 0 {
 		opts.QueueCap = 64
 	}
+	if opts.QueueKind == queue.KindSPSC {
+		return nil, fmt.Errorf("livebind: QueueKind cannot be KindSPSC: the shared receive queue has one producer per client; use Options.ReplyKind for the per-client channels")
+	}
 	if opts.Metrics == nil {
 		opts.Metrics = metrics.NewSet()
 	}
-	s := &System{opts: opts, ms: opts.Metrics}
+	s := &System{opts: opts, ms: opts.Metrics, duplexTaken: make([]bool, opts.Clients)}
+
+	replyKind := queue.KindSPSC
+	s.replySPSC, s.replyAuto = true, true
+	if opts.ReplyKind != nil {
+		replyKind = *opts.ReplyKind
+		s.replySPSC = replyKind == queue.KindSPSC
+		s.replyAuto = false
+	}
+	newReply := func() (*Channel, error) {
+		if replyKind == queue.KindSPSC {
+			return newSPSCChannel(opts.QueueCap)
+		}
+		return NewChannel(replyKind, opts.QueueCap)
+	}
+
 	var err error
 	if s.recv, err = NewChannel(opts.QueueKind, opts.QueueCap); err != nil {
 		return nil, err
 	}
 	s.addSem(s.recv)
 	for i := 0; i < opts.Clients; i++ {
-		ch, err := NewChannel(opts.QueueKind, opts.QueueCap)
+		ch, err := newReply()
 		if err != nil {
 			return nil, err
 		}
@@ -81,7 +135,7 @@ func NewSystem(opts Options) (*System, error) {
 	}
 	if opts.Duplex {
 		for i := 0; i < opts.Clients; i++ {
-			ch, err := NewChannel(opts.QueueKind, opts.QueueCap)
+			ch, err := newReply()
 			if err != nil {
 				return nil, err
 			}
@@ -103,10 +157,24 @@ func NewSystem(opts Options) (*System, error) {
 // components, or nil if Options.BlockSlots was zero.
 func (s *System) Blocks() *shm.BlockPool { return s.blocks }
 
+// producerPort builds an enqueue endpoint for a channel, attaching a
+// private allocation cache when Options.AllocBatch asks for one and the
+// channel's queue supports it.
+func (s *System) producerPort(c *Channel, m *metrics.Proc) *Port {
+	if s.opts.AllocBatch > 1 {
+		return newBatchedPort(c, s.opts.AllocBatch, m)
+	}
+	return NewPort(c)
+}
+
 // DuplexPair returns the two endpoints of client i's full-duplex virtual
 // connection — the thread-per-client architecture of Section 2.1. The
 // handler is meant to run on its own goroutine (the "server thread").
 // Requires Options.Duplex.
+//
+// With SPSC per-client channels (the default), each pair may be taken
+// once, and not after Server() — either would attach a second producer
+// to the reply ring.
 func (s *System) DuplexPair(i int) (*core.DuplexClient, *core.DuplexHandler, error) {
 	if !s.opts.Duplex {
 		return nil, nil, fmt.Errorf("livebind: system built without Options.Duplex")
@@ -114,11 +182,26 @@ func (s *System) DuplexPair(i int) (*core.DuplexClient, *core.DuplexHandler, err
 	if i < 0 || i >= len(s.c2s) {
 		return nil, nil, fmt.Errorf("livebind: client index %d out of range [0,%d)", i, len(s.c2s))
 	}
+	s.topoMu.Lock()
+	if s.replySPSC {
+		if s.serverTaken {
+			s.topoMu.Unlock()
+			return nil, nil, fmt.Errorf("livebind: SPSC reply channel %d already has a producer (Server); set Options.ReplyKind to an MPMC kind to mix modes", i)
+		}
+		if s.duplexTaken[i] {
+			s.topoMu.Unlock()
+			return nil, nil, fmt.Errorf("livebind: SPSC duplex pair %d already taken; set Options.ReplyKind to an MPMC kind to share it", i)
+		}
+	}
+	s.duplexTaken[i] = true
+	s.replyHandles = true
+	s.topoMu.Unlock()
+
 	ca := s.newActor(fmt.Sprintf("client%d", i))
 	cl := &core.DuplexClient{
 		Alg:     s.opts.Alg,
 		MaxSpin: s.opts.MaxSpin,
-		Snd:     NewPort(s.c2s[i]),
+		Snd:     s.producerPort(s.c2s[i], ca.M),
 		Rcv:     NewPort(s.replies[i]),
 		A:       ca,
 		M:       ca.M,
@@ -128,7 +211,7 @@ func (s *System) DuplexPair(i int) (*core.DuplexClient, *core.DuplexHandler, err
 		Alg:     s.opts.Alg,
 		MaxSpin: s.opts.MaxSpin,
 		Rcv:     NewPort(s.c2s[i]),
-		Snd:     NewPort(s.replies[i]),
+		Snd:     s.producerPort(s.replies[i], ha.M),
 		A:       ha,
 		M:       ha.M,
 	}
@@ -167,6 +250,33 @@ func (s *System) WorkerPool(n int) ([]*core.PoolWorker, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("livebind: worker pool needs >= 1 worker, got %d", n)
 	}
+	// Every worker produces into every reply queue, so SPSC reply rings
+	// are off the table. When SPSC was merely the default, rebuild the
+	// reply queues with the system's MPMC kind before any endpoint
+	// exists; when the caller explicitly asked for SPSC, refuse.
+	s.topoMu.Lock()
+	if s.replySPSC {
+		if !s.replyAuto {
+			s.topoMu.Unlock()
+			return nil, fmt.Errorf("livebind: worker pool needs multi-producer reply queues, but Options.ReplyKind is KindSPSC")
+		}
+		if s.replyHandles {
+			s.topoMu.Unlock()
+			return nil, fmt.Errorf("livebind: worker pool must be built before any client/server/duplex handle (the SPSC reply queues are rebuilt as %s)", s.opts.QueueKind)
+		}
+		for _, ch := range s.replies {
+			q, err := queue.New(s.opts.QueueKind, s.opts.QueueCap)
+			if err != nil {
+				s.topoMu.Unlock()
+				return nil, err
+			}
+			ch.q, ch.kind = q, s.opts.QueueKind
+		}
+		s.replySPSC = false
+	}
+	s.replyHandles = true
+	s.topoMu.Unlock()
+
 	coord := &core.PoolCoordinator{Workers: n}
 	workers := make([]*core.PoolWorker, n)
 	for w := 0; w < n; w++ {
@@ -189,11 +299,19 @@ func (s *System) WorkerPool(n int) ([]*core.PoolWorker, error) {
 }
 
 // PoolClient builds the client handle for slot i against a worker pool
-// built with WorkerPool.
+// built with WorkerPool (which must be built first: it converts the
+// reply queues from the SPSC default to a multi-producer kind).
 func (s *System) PoolClient(i int) (*core.PoolClient, error) {
 	if i < 0 || i >= len(s.replies) {
 		return nil, fmt.Errorf("livebind: client index %d out of range [0,%d)", i, len(s.replies))
 	}
+	s.topoMu.Lock()
+	if s.replySPSC {
+		s.topoMu.Unlock()
+		return nil, fmt.Errorf("livebind: build the WorkerPool before its PoolClients (reply queue %d is still an SPSC ring)", i)
+	}
+	s.replyHandles = true
+	s.topoMu.Unlock()
 	a := s.newActor(fmt.Sprintf("client%d", i))
 	return &core.PoolClient{
 		ID:      int32(i),
@@ -208,11 +326,34 @@ func (s *System) PoolClient(i int) (*core.PoolClient, error) {
 
 // Server builds the server-side handle. Run its Serve loop (or drive
 // Receive/Reply directly) on a dedicated goroutine.
+//
+// With SPSC reply channels (the default) the server handle is the
+// single producer of every reply ring, so it may be built only once and
+// not combined with DuplexPair; violations panic (this constructor
+// predates the SPSC default and returns no error). Set Options.ReplyKind
+// to an MPMC kind to lift the restriction.
 func (s *System) Server() *core.Server {
+	s.topoMu.Lock()
+	if s.replySPSC {
+		if s.serverTaken {
+			s.topoMu.Unlock()
+			panic("livebind: Server() taken twice with SPSC reply channels; set Options.ReplyKind to an MPMC kind")
+		}
+		for i, taken := range s.duplexTaken {
+			if taken {
+				s.topoMu.Unlock()
+				panic(fmt.Sprintf("livebind: SPSC reply channel %d already has a producer (DuplexPair); set Options.ReplyKind to an MPMC kind", i))
+			}
+		}
+	}
+	s.serverTaken = true
+	s.replyHandles = true
+	s.topoMu.Unlock()
+
 	a := s.newActor("server")
 	replies := make([]core.Port, len(s.replies))
 	for i, ch := range s.replies {
-		replies[i] = NewPort(ch)
+		replies[i] = s.producerPort(ch, a.M)
 	}
 	return &core.Server{
 		Alg:      s.opts.Alg,
@@ -226,17 +367,22 @@ func (s *System) Server() *core.Server {
 }
 
 // Client builds the handle for client slot i. Each handle is owned by a
-// single goroutine.
+// single goroutine. With SPSC reply channels (the default) there must
+// also be at most one live handle per slot — System.Connect/Conn.Close
+// manage that automatically for dynamic clients.
 func (s *System) Client(i int) (*core.Client, error) {
 	if i < 0 || i >= len(s.replies) {
 		return nil, fmt.Errorf("livebind: client index %d out of range [0,%d)", i, len(s.replies))
 	}
+	s.topoMu.Lock()
+	s.replyHandles = true
+	s.topoMu.Unlock()
 	a := s.newActor(fmt.Sprintf("client%d", i))
 	return &core.Client{
 		ID:      int32(i),
 		Alg:     s.opts.Alg,
 		MaxSpin: s.opts.MaxSpin,
-		Srv:     NewPort(s.recv),
+		Srv:     s.producerPort(s.recv, a.M),
 		Rcv:     NewPort(s.replies[i]),
 		A:       a,
 		M:       a.M,

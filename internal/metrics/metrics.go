@@ -32,6 +32,13 @@ type Proc struct {
 	MsgsSent     atomic.Int64
 	MsgsReceived atomic.Int64
 
+	// Allocation-batching statistics: batched transfers between a
+	// producer port's private ref cache and the shared free pool
+	// (livebind Options.AllocBatch). Refills/MsgsSent approximates 1/k
+	// when batching is effective.
+	PoolRefills atomic.Int64 // batched refill fetches from the pool
+	PoolSpills  atomic.Int64 // batched returns of cached refs
+
 	// BSLS spin-loop statistics (Section 4.2): how often the poll loop
 	// fell through to the blocking path, and total iterations executed.
 	SpinLoops     atomic.Int64 // number of poll loops entered
@@ -82,6 +89,8 @@ type Snapshot struct {
 	Handoffs      int64
 	MsgsSent      int64
 	MsgsReceived  int64
+	PoolRefills   int64
+	PoolSpills    int64
 	SpinLoops     int64
 	SpinIters     int64
 	SpinFallThrus int64
@@ -105,6 +114,8 @@ func (p *Proc) Snapshot() Snapshot {
 		Handoffs:      p.Handoffs.Load(),
 		MsgsSent:      p.MsgsSent.Load(),
 		MsgsReceived:  p.MsgsReceived.Load(),
+		PoolRefills:   p.PoolRefills.Load(),
+		PoolSpills:    p.PoolSpills.Load(),
 		SpinLoops:     p.SpinLoops.Load(),
 		SpinIters:     p.SpinIters.Load(),
 		SpinFallThrus: p.SpinFallThrus.Load(),
@@ -127,6 +138,8 @@ func (s *Snapshot) Add(other Snapshot) {
 	s.Handoffs += other.Handoffs
 	s.MsgsSent += other.MsgsSent
 	s.MsgsReceived += other.MsgsReceived
+	s.PoolRefills += other.PoolRefills
+	s.PoolSpills += other.PoolSpills
 	s.SpinLoops += other.SpinLoops
 	s.SpinIters += other.SpinIters
 	s.SpinFallThrus += other.SpinFallThrus

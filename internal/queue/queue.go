@@ -7,6 +7,12 @@
 //   - LockFree — the Michael & Scott non-blocking queue (ablation A2).
 //   - Ring — a bounded MPMC ring buffer with per-slot sequence numbers
 //     (ablation A2).
+//   - SPSC — a cache-line-padded Lamport single-producer/single-consumer
+//     ring with cached indices, the live runtime's fast path for
+//     per-client reply channels. Unlike the other kinds it is NOT safe
+//     for arbitrary concurrency, so the generic constructor New rejects
+//     KindSPSC; build one with NewSPSC where the topology is provably
+//     SPSC.
 //
 // All variants are flow-controlled: Enqueue reports false when the queue
 // is full (for the list-based queues, when the fixed-size node pool is
@@ -40,6 +46,7 @@ const (
 	KindTwoLock Kind = iota
 	KindLockFree
 	KindRing
+	KindSPSC
 )
 
 func (k Kind) String() string {
@@ -50,6 +57,8 @@ func (k Kind) String() string {
 		return "lock-free"
 	case KindRing:
 		return "ring"
+	case KindSPSC:
+		return "spsc"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -63,14 +72,23 @@ func KindByName(s string) (Kind, error) {
 		return KindLockFree, nil
 	case "ring", "mpmc":
 		return KindRing, nil
+	case "spsc", "lamport":
+		return KindSPSC, nil
 	}
 	return 0, fmt.Errorf("queue: unknown kind %q", s)
 }
 
-// Kinds returns all implementations in presentation order.
+// Kinds returns the general-purpose (MPMC-safe) implementations in
+// presentation order. KindSPSC is deliberately excluded: it is only
+// valid where the topology is provably single-producer/single-consumer,
+// which generic sweeps over Kinds() cannot guarantee.
 func Kinds() []Kind { return []Kind{KindTwoLock, KindLockFree, KindRing} }
 
 // New builds a queue of the given kind with the given capacity.
+//
+// KindSPSC is rejected here by design: this constructor cannot assert
+// the single-producer/single-consumer contract, so callers that can
+// must use NewSPSC directly (livebind does this for reply channels).
 func New(kind Kind, capacity int) (Queue, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("queue: capacity must be >= 1, got %d", capacity)
@@ -82,6 +100,8 @@ func New(kind Kind, capacity int) (Queue, error) {
 		return NewLockFree(capacity)
 	case KindRing:
 		return NewRing(capacity)
+	case KindSPSC:
+		return nil, fmt.Errorf("queue: KindSPSC requires a provably single-producer/single-consumer topology; use NewSPSC at a call site that asserts it")
 	}
 	return nil, fmt.Errorf("queue: unknown kind %d", kind)
 }

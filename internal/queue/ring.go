@@ -13,8 +13,17 @@ import (
 type Ring struct {
 	mask  uint64
 	slots []ringSlot
-	enq   atomic.Uint64
-	deq   atomic.Uint64
+
+	// The enqueue and dequeue cursors are the two hottest words in the
+	// structure and are hammered by disjoint parties (producers vs
+	// consumers); padding keeps each on its own 64-byte cache line so a
+	// producer CAS does not invalidate every consumer's cached cursor
+	// (and vice versa).
+	_   [64]byte
+	enq atomic.Uint64
+	_   [56]byte
+	deq atomic.Uint64
+	_   [56]byte
 }
 
 type ringSlot struct {
@@ -22,8 +31,10 @@ type ringSlot struct {
 	msg core.Msg
 }
 
-// NewRing builds a ring holding at least capacity messages (rounded up
-// to the next power of two).
+// NewRing builds a ring holding at least capacity messages. The
+// capacity is rounded UP to the next power of two — Cap() reports the
+// effective value, which may exceed the request (flow-control
+// experiments that need an exact bound must request a power of two).
 func NewRing(capacity int) (*Ring, error) {
 	n := 1
 	for n < capacity {
@@ -79,17 +90,30 @@ func (r *Ring) Dequeue() (core.Msg, bool) {
 	}
 }
 
-// Empty implements Queue.
+// Empty implements Queue. It is a non-destructive racy poll: it reads
+// the dequeue cursor and that slot's sequence without synchronising
+// against concurrent operations, so the answer may be stale by the time
+// the caller acts on it (exactly the guarantee the BSLS spin loop
+// needs, no stronger).
 func (r *Ring) Empty() bool {
 	pos := r.deq.Load()
 	return r.slots[pos&r.mask].seq.Load() <= pos
 }
 
-// Len returns the approximate number of queued messages.
+// Len returns the approximate number of queued messages, clamped to
+// [0, Cap()]. The two cursors are loaded independently, so a snapshot
+// taken during concurrent operations can be transiently inconsistent
+// (e.g. a dequeue between the two loads could otherwise make the
+// difference exceed the capacity); the clamp keeps the result inside
+// the queue's invariant range.
 func (r *Ring) Len() int {
 	e, d := r.enq.Load(), r.deq.Load()
 	if e < d {
 		return 0
 	}
-	return int(e - d)
+	n := e - d
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
 }

@@ -1,0 +1,187 @@
+package queue
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"ulipc/internal/core"
+)
+
+func mustNewSPSC(t *testing.T, capacity int) *SPSC {
+	t.Helper()
+	q, err := NewSPSC(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestSPSCRejectedByGenericConstructor(t *testing.T) {
+	if _, err := New(KindSPSC, 8); err == nil {
+		t.Fatal("queue.New(KindSPSC) must fail: the generic constructor cannot prove the topology")
+	}
+}
+
+func TestSPSCKindName(t *testing.T) {
+	if got := KindSPSC.String(); got != "spsc" {
+		t.Fatalf("KindSPSC.String() = %q, want spsc", got)
+	}
+	for _, name := range []string{"spsc", "lamport"} {
+		k, err := KindByName(name)
+		if err != nil || k != KindSPSC {
+			t.Fatalf("KindByName(%q) = %v, %v; want KindSPSC", name, k, err)
+		}
+	}
+	for _, k := range Kinds() {
+		if k == KindSPSC {
+			t.Fatal("Kinds() must list only the general-purpose (MPMC) kinds")
+		}
+	}
+}
+
+func TestSPSCFIFO(t *testing.T) {
+	q := mustNewSPSC(t, 128)
+	for i := 0; i < 100; i++ {
+		if !q.Enqueue(core.Msg{Seq: int32(i)}) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		m, ok := q.Dequeue()
+		if !ok || m.Seq != int32(i) {
+			t.Fatalf("dequeue %d: %+v, %v", i, m, ok)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("dequeue on empty succeeded")
+	}
+}
+
+func TestSPSCFullEmptyBoundary(t *testing.T) {
+	q := mustNewSPSC(t, 3) // rounds up to 4
+	if q.Cap() != 4 {
+		t.Fatalf("Cap() = %d, want 4 (next power of two)", q.Cap())
+	}
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatal("fresh ring not empty")
+	}
+	for i := 0; i < q.Cap(); i++ {
+		if !q.Enqueue(core.Msg{Seq: int32(i)}) {
+			t.Fatalf("enqueue %d failed before capacity", i)
+		}
+	}
+	if q.Enqueue(core.Msg{}) {
+		t.Fatal("enqueue on full ring succeeded")
+	}
+	if q.Len() != q.Cap() {
+		t.Fatalf("Len() = %d, want %d", q.Len(), q.Cap())
+	}
+	// One dequeue must re-open exactly one slot, preserving order —
+	// this crosses the cached-index refresh on both sides.
+	m, ok := q.Dequeue()
+	if !ok || m.Seq != 0 {
+		t.Fatalf("dequeue after full: %+v, %v", m, ok)
+	}
+	if !q.Enqueue(core.Msg{Seq: 99}) {
+		t.Fatal("enqueue after one dequeue failed")
+	}
+	if q.Enqueue(core.Msg{}) {
+		t.Fatal("ring should be full again")
+	}
+	want := []int32{1, 2, 3, 99}
+	for i, w := range want {
+		m, ok := q.Dequeue()
+		if !ok || m.Seq != w {
+			t.Fatalf("drain %d: got %+v, %v, want Seq %d", i, m, ok, w)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("drained ring not empty")
+	}
+}
+
+// TestSPSCStress drives one producer against one consumer through a
+// small ring (constant wrap-around and boundary traffic) and checks
+// FIFO order and zero loss. Run under -race this also certifies the
+// publication protocol: the slot write must happen-before the tail
+// store that publishes it.
+func TestSPSCStress(t *testing.T) {
+	const total = 200_000
+	q := mustNewSPSC(t, 8)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			for !q.Enqueue(core.Msg{Seq: int32(i % 1024), Val: float64(i)}) {
+				runtime.Gosched()
+			}
+		}
+	}()
+	for i := 0; i < total; i++ {
+		var m core.Msg
+		var ok bool
+		for {
+			if m, ok = q.Dequeue(); ok {
+				break
+			}
+			runtime.Gosched()
+		}
+		if m.Val != float64(i) || m.Seq != int32(i%1024) {
+			t.Fatalf("out of order at %d: %+v", i, m)
+		}
+	}
+	wg.Wait()
+	if !q.Empty() {
+		t.Fatal("ring not empty after drain")
+	}
+}
+
+// TestSPSCEmptyConcurrentPoll checks that Empty/Len may be polled from
+// a third goroutine while the producer and consumer run — the BSLS spin
+// loop does exactly this on reply rings. Under -race this verifies the
+// poll touches only the atomic indices.
+func TestSPSCEmptyConcurrentPoll(t *testing.T) {
+	const total = 50_000
+	q := mustNewSPSC(t, 16)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = q.Empty()
+			if n := q.Len(); n < 0 || n > q.Cap() {
+				panic("Len out of range")
+			}
+			runtime.Gosched() // keep the poll cooperative on GOMAXPROCS=1
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			for !q.Enqueue(core.Msg{Val: float64(i)}) {
+				runtime.Gosched()
+			}
+		}
+	}()
+	for i := 0; i < total; i++ {
+		for {
+			if m, ok := q.Dequeue(); ok {
+				if m.Val != float64(i) {
+					t.Fatalf("out of order at %d: %+v", i, m)
+				}
+				break
+			}
+			runtime.Gosched()
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

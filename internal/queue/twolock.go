@@ -2,6 +2,7 @@ package queue
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"ulipc/internal/core"
 	"ulipc/internal/shm"
@@ -11,16 +12,24 @@ import (
 // Scott, PODC'96] over an offset-addressed node arena. A dummy node
 // decouples the head and tail locks so enqueuers never contend with
 // dequeuers; the fixed-size node pool provides flow control.
+//
+// The head half (mutex + dummy ref, touched by dequeuers) and the tail
+// half (mutex + tail ref, touched by enqueuers) live on separate
+// 64-byte cache lines: the two-lock design's whole point is that the
+// two parties don't contend, and sharing a line would reintroduce that
+// contention as coherence traffic.
 type TwoLock struct {
-	pool *shm.Pool
+	pool     *shm.Pool
+	capacity int
 
+	_      [64]byte
 	headMu sync.Mutex
-	head   shm.Ref // dummy node; head.next is the first real element
+	head   atomic.Uint32 // dummy node ref; head.next is the first real element
 
+	_      [64]byte
 	tailMu sync.Mutex
 	tail   shm.Ref
-
-	capacity int
+	_      [64]byte
 }
 
 // NewTwoLock builds a two-lock queue holding at most capacity messages.
@@ -35,11 +44,18 @@ func NewTwoLock(capacity int) (*TwoLock, error) {
 		panic("queue: fresh pool exhausted")
 	}
 	pool.Arena().Node(dummy).SetNext(shm.NilRef)
-	return &TwoLock{pool: pool, head: dummy, tail: dummy, capacity: capacity}, nil
+	q := &TwoLock{pool: pool, tail: dummy, capacity: capacity}
+	q.head.Store(dummy)
+	return q, nil
 }
 
 // Cap implements Queue.
 func (q *TwoLock) Cap() int { return q.capacity }
+
+// Pool exposes the backing node pool. Producers that batch their
+// allocations (shm.PoolCache) draw from it and hand the node to
+// EnqueueRef.
+func (q *TwoLock) Pool() *shm.Pool { return q.pool }
 
 // Enqueue implements Queue.
 func (q *TwoLock) Enqueue(m core.Msg) bool {
@@ -47,6 +63,14 @@ func (q *TwoLock) Enqueue(m core.Msg) bool {
 	if !ok {
 		return false // pool exhausted: queue full
 	}
+	q.EnqueueRef(node, m)
+	return true
+}
+
+// EnqueueRef appends a node the caller already allocated from Pool()
+// (directly or through a shm.PoolCache). The caller transfers ownership
+// of the ref to the queue.
+func (q *TwoLock) EnqueueRef(node shm.Ref, m core.Msg) {
 	a := q.pool.Arena()
 	n := a.Node(node)
 	n.SetMsg(m)
@@ -56,32 +80,36 @@ func (q *TwoLock) Enqueue(m core.Msg) bool {
 	a.Node(q.tail).SetNext(node)
 	q.tail = node
 	q.tailMu.Unlock()
-	return true
 }
 
 // Dequeue implements Queue.
 func (q *TwoLock) Dequeue() (core.Msg, bool) {
 	a := q.pool.Arena()
 	q.headMu.Lock()
-	dummy := q.head
+	dummy := q.head.Load()
 	first := a.Node(dummy).Next()
 	if first == shm.NilRef {
 		q.headMu.Unlock()
 		return core.Msg{}, false
 	}
 	m := a.Node(first).Msg()
-	q.head = first // first becomes the new dummy
+	q.head.Store(first) // first becomes the new dummy
 	q.headMu.Unlock()
 	q.pool.Free(dummy)
 	return m, true
 }
 
-// Empty implements Queue.
+// Empty implements Queue. It is lock-free: an atomic load of the dummy
+// ref followed by an atomic load of that node's link, so the BSLS spin
+// loop can poll it without contending with dequeuers on the head mutex.
+//
+// The read races benignly with Dequeue: the loaded dummy may be freed
+// (its link rewritten by the pool) between the two loads, yielding a
+// stale answer — acceptable for Empty's documented contract of a
+// non-destructive poll that may race. Callers act on the answer by
+// attempting a real (locked) dequeue, which re-checks.
 func (q *TwoLock) Empty() bool {
-	q.headMu.Lock()
-	first := q.pool.Arena().Node(q.head).Next()
-	q.headMu.Unlock()
-	return first == shm.NilRef
+	return q.pool.Arena().Node(q.head.Load()).Next() == shm.NilRef
 }
 
 // Len returns the number of queued messages (O(n); diagnostics only).
@@ -90,7 +118,7 @@ func (q *TwoLock) Len() int {
 	q.headMu.Lock()
 	defer q.headMu.Unlock()
 	n := 0
-	for r := a.Node(q.head).Next(); r != shm.NilRef; r = a.Node(r).Next() {
+	for r := a.Node(q.head.Load()).Next(); r != shm.NilRef; r = a.Node(r).Next() {
 		n++
 	}
 	return n

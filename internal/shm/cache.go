@@ -1,0 +1,87 @@
+package shm
+
+// PoolCache is a private, single-owner cache of free-pool refs. A
+// producer that allocates one node per message hits the shared Treiber
+// head with one CAS per message; routing the allocations through a
+// cache of batch k turns that into one batched CAS (AllocN/FreeN) per k
+// messages. The cache is deliberately NOT safe for concurrent use — it
+// belongs to exactly one producer (livebind gives each producer Port
+// its own).
+//
+// Flow-control interaction: refs parked in a cache are invisible to
+// other producers, so a pool can look exhausted while caches hold spare
+// refs — exhaustion remains exact for a single producer (Alloc fails
+// only when both the cache and the pool are empty) but becomes
+// conservative with several. Owners must Drain() the cache when they
+// retire so parked refs return to the pool instead of leaking.
+type PoolCache struct {
+	pool  *Pool
+	batch int
+	refs  []Ref // LIFO stash; high end is the hot end
+
+	// Refills and Spills count batched transfers from/to the pool.
+	// Owner-read only (plain ints, same ownership rule as the cache).
+	Refills int64
+	Spills  int64
+}
+
+// NewCache builds a cache drawing batches of batch refs from the pool.
+// A batch below 2 is clamped to 2 (batch 1 would be strictly worse than
+// uncached allocation).
+func (p *Pool) NewCache(batch int) *PoolCache {
+	if batch < 2 {
+		batch = 2
+	}
+	return &PoolCache{pool: p, batch: batch, refs: make([]Ref, 0, 2*batch)}
+}
+
+// Batch returns the configured refill/spill batch size.
+func (c *PoolCache) Batch() int { return c.batch }
+
+// Len returns the number of refs currently parked in the cache.
+func (c *PoolCache) Len() int { return len(c.refs) }
+
+// Alloc pops a cached ref, refilling from the pool in one batched
+// operation when the cache is empty. refilled reports that a refill
+// happened (metrics hook). It fails only when the cache and the pool
+// are both exhausted — a partial refill (pool holds fewer than batch
+// refs) still succeeds with what is available.
+func (c *PoolCache) Alloc() (r Ref, ok bool, refilled bool) {
+	if len(c.refs) == 0 {
+		n := c.pool.AllocN(c.refs[:c.batch])
+		if n == 0 {
+			return NilRef, false, false
+		}
+		c.refs = c.refs[:n]
+		c.Refills++
+		refilled = true
+	}
+	r = c.refs[len(c.refs)-1]
+	c.refs = c.refs[:len(c.refs)-1]
+	return r, true, refilled
+}
+
+// Free parks a ref in the cache; when the cache reaches twice the batch
+// size, the cold half is spilled back to the pool in one batched
+// operation so hoarded refs stay visible to the pool's flow control.
+func (c *PoolCache) Free(r Ref) {
+	c.refs = append(c.refs, r)
+	if len(c.refs) >= 2*c.batch {
+		c.pool.FreeN(c.refs[c.batch:])
+		c.refs = c.refs[:c.batch]
+		c.Spills++
+	}
+}
+
+// Drain returns every parked ref to the pool (one batched operation)
+// and reports how many were spilled. Owners call it when the producer
+// retires; afterwards the cache is empty but remains usable.
+func (c *PoolCache) Drain() int {
+	n := len(c.refs)
+	if n > 0 {
+		c.pool.FreeN(c.refs)
+		c.refs = c.refs[:0]
+		c.Spills++
+	}
+	return n
+}

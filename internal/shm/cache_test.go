@@ -1,0 +1,204 @@
+package shm
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func mustPool(t *testing.T, n int) *Pool {
+	t.Helper()
+	p, err := NewPoolSize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAllocNFreeN(t *testing.T) {
+	p := mustPool(t, 16)
+	dst := make([]Ref, 6)
+	if n := p.AllocN(dst); n != 6 {
+		t.Fatalf("AllocN = %d, want 6", n)
+	}
+	if got := p.FreeCount(); got != 10 {
+		t.Fatalf("FreeCount after AllocN = %d, want 10", got)
+	}
+	seen := map[Ref]bool{}
+	for _, r := range dst {
+		if r >= 16 || seen[r] {
+			t.Fatalf("bad or duplicate ref %d in %v", r, dst)
+		}
+		seen[r] = true
+	}
+	p.FreeN(dst)
+	if got := p.FreeCount(); got != 16 {
+		t.Fatalf("FreeCount after FreeN = %d, want 16", got)
+	}
+	// The whole pool must still be allocatable ref-by-ref: no node was
+	// lost or duplicated by the batched splice.
+	got := map[Ref]bool{}
+	for i := 0; i < 16; i++ {
+		r, ok := p.Alloc()
+		if !ok || got[r] {
+			t.Fatalf("alloc %d: ok=%v dup=%v", i, ok, got[r])
+		}
+		got[r] = true
+	}
+	if _, ok := p.Alloc(); ok {
+		t.Fatal("alloc on exhausted pool succeeded")
+	}
+}
+
+func TestAllocNPartialAndExhausted(t *testing.T) {
+	p := mustPool(t, 4)
+	dst := make([]Ref, 8)
+	if n := p.AllocN(dst); n != 4 {
+		t.Fatalf("partial AllocN = %d, want 4", n)
+	}
+	if n := p.AllocN(dst); n != 0 {
+		t.Fatalf("AllocN on exhausted pool = %d, want 0", n)
+	}
+	if n := p.AllocN(nil); n != 0 {
+		t.Fatal("AllocN(nil) must be a no-op")
+	}
+	p.FreeN(dst[:4])
+	if got := p.FreeCount(); got != 4 {
+		t.Fatalf("FreeCount = %d, want 4", got)
+	}
+}
+
+// TestPoolCacheExactExhaustion: a single producer routing allocations
+// through a cache must get exactly as many successful Allocs as the
+// pool has nodes — batching must not make single-producer flow control
+// conservative (partial refills take whatever is left).
+func TestPoolCacheExactExhaustion(t *testing.T) {
+	const size = 10
+	p := mustPool(t, size)
+	c := p.NewCache(4)
+	for i := 0; i < size; i++ {
+		if _, ok, _ := c.Alloc(); !ok {
+			t.Fatalf("alloc %d failed with pool+cache holding nodes", i)
+		}
+	}
+	if _, ok, _ := c.Alloc(); ok {
+		t.Fatal("alloc succeeded past pool size")
+	}
+	if c.Refills < 3 { // 4+4+2
+		t.Fatalf("Refills = %d, want >= 3", c.Refills)
+	}
+}
+
+func TestPoolCacheBatchClampAndSpill(t *testing.T) {
+	p := mustPool(t, 64)
+	if b := p.NewCache(0).Batch(); b != 2 {
+		t.Fatalf("batch clamp: got %d, want 2", b)
+	}
+	c := p.NewCache(4)
+	refs := make([]Ref, 0, 16)
+	for i := 0; i < 8; i++ {
+		r, ok, _ := c.Alloc()
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		refs = append(refs, r)
+	}
+	// Freeing 2*batch refs must spill the cold half back to the pool.
+	before := p.FreeCount()
+	for _, r := range refs {
+		c.Free(r)
+	}
+	if c.Spills == 0 {
+		t.Fatal("no spill after freeing 2*batch refs")
+	}
+	if c.Len() > 2*c.Batch() {
+		t.Fatalf("cache holds %d refs, cap is %d", c.Len(), 2*c.Batch())
+	}
+	if p.FreeCount() <= before {
+		t.Fatal("spill did not return refs to the pool")
+	}
+}
+
+// TestPoolCacheDrainRestoresFlowControl: Drain must return every parked
+// ref so the pool's free count — the protocols' queue-full signal — is
+// fully restored when a producer retires.
+func TestPoolCacheDrainRestoresFlowControl(t *testing.T) {
+	const size = 32
+	p := mustPool(t, size)
+	c := p.NewCache(8)
+	live := make([]Ref, 0, 8)
+	for i := 0; i < 8; i++ {
+		r, ok, _ := c.Alloc()
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		live = append(live, r)
+	}
+	for _, r := range live {
+		c.Free(r)
+	}
+	c.Drain()
+	if c.Len() != 0 {
+		t.Fatalf("cache still holds %d refs after Drain", c.Len())
+	}
+	if got := p.FreeCount(); got != size {
+		t.Fatalf("FreeCount after Drain = %d, want %d", got, size)
+	}
+	if c.Drain() != 0 {
+		t.Fatal("second Drain returned refs")
+	}
+	// The cache stays usable after a drain.
+	if _, ok, _ := c.Alloc(); !ok {
+		t.Fatal("alloc after Drain failed")
+	}
+}
+
+// TestPoolBatchedConcurrent hammers AllocN/FreeN from several goroutines
+// (each through its own cache, per the single-owner contract) against a
+// shared pool. Under -race this certifies the tagged-CAS walk; the
+// final FreeCount check certifies no ref is lost or duplicated.
+func TestPoolBatchedConcurrent(t *testing.T) {
+	const (
+		workers = 4
+		rounds  = 5_000
+		size    = 64
+	)
+	p := mustPool(t, size)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := p.NewCache(4)
+			held := make([]Ref, 0, 8)
+			for i := 0; i < rounds; i++ {
+				if r, ok, _ := c.Alloc(); ok {
+					held = append(held, r)
+				} else {
+					runtime.Gosched()
+				}
+				if len(held) >= 8 || (len(held) > 0 && i%3 == 0) {
+					c.Free(held[len(held)-1])
+					held = held[:len(held)-1]
+				}
+			}
+			for _, r := range held {
+				c.Free(r)
+			}
+			c.Drain()
+		}()
+	}
+	wg.Wait()
+	if got := p.FreeCount(); got != size {
+		t.Fatalf("FreeCount after drain = %d, want %d (refs lost or duplicated)", got, size)
+	}
+	// Every node must still be individually allocatable.
+	seen := map[Ref]bool{}
+	for i := 0; i < size; i++ {
+		r, ok := p.Alloc()
+		if !ok || seen[r] {
+			t.Fatalf("alloc %d: ok=%v dup=%v", i, ok, seen[r])
+		}
+		seen[r] = true
+	}
+}

@@ -76,20 +76,34 @@ func unpackHead(h uint64) (tag uint32, top Ref) {
 // Pool is a lock-free free list (Treiber stack with an ABA tag) of arena
 // nodes. Exhaustion of the pool is the queue-full condition the
 // protocols' flow control reacts to.
+//
+// The stack head (CASed by every alloc/free) and the free counter
+// (bumped by every alloc/free) are padded onto separate 64-byte cache
+// lines so the two atomics don't false-share — and neither shares a
+// line with the read-only arena pointer.
 type Pool struct {
 	arena *Arena
+	_     [64]byte
 	head  atomic.Uint64
+	_     [56]byte
 	free  atomic.Int64 // approximate free count (diagnostics)
+	_     [56]byte
 }
 
-// NewPool builds a pool owning every node of a fresh arena.
+// NewPool builds a pool owning every node of a fresh arena. The pool
+// has exclusive access to the fresh arena, so the free list is threaded
+// with plain per-node stores — node i links to node i+1, matching the
+// ascending pop order the old one-CAS-per-node construction produced —
+// rather than N CAS-looping Free calls.
 func NewPool(arena *Arena) *Pool {
 	p := &Pool{arena: arena}
-	p.head.Store(packHead(0, NilRef))
-	// Thread all nodes onto the free list.
-	for i := arena.Len() - 1; i >= 0; i-- {
-		p.Free(Ref(i))
+	n := arena.Len()
+	for i := 0; i < n-1; i++ {
+		arena.Node(Ref(i)).SetNext(Ref(i + 1))
 	}
+	arena.Node(Ref(n - 1)).SetNext(NilRef)
+	p.head.Store(packHead(0, 0))
+	p.free.Store(int64(n))
 	return p
 }
 
@@ -130,6 +144,64 @@ func (p *Pool) Free(r Ref) {
 		n.SetNext(top)
 		if p.head.CompareAndSwap(h, packHead(tag+1, r)) {
 			p.free.Add(1)
+			return
+		}
+	}
+}
+
+// AllocN pops up to len(dst) nodes with a single CAS, writing their
+// refs to dst in pop order and returning how many it took (0 when the
+// pool is exhausted). This is the batching primitive that cuts Treiber
+// head traffic from one CAS per node to one per batch.
+//
+// The walk down the free list races with concurrent alloc/free, so a
+// link read mid-walk may be stale — but the final CAS carries the ABA
+// tag, so it only succeeds if the head (and therefore the whole walked
+// prefix: nodes on the free list have stable links while the head is
+// unchanged) is exactly as first read; any interference fails the CAS
+// and the walk restarts.
+func (p *Pool) AllocN(dst []Ref) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	for {
+		h := p.head.Load()
+		tag, top := unpackHead(h)
+		if top == NilRef {
+			return 0
+		}
+		n := 0
+		r := top
+		for n < len(dst) && r != NilRef {
+			dst[n] = r
+			n++
+			r = p.arena.Node(r).Next()
+		}
+		if p.head.CompareAndSwap(h, packHead(tag+1, r)) {
+			p.free.Add(-int64(n))
+			return n
+		}
+	}
+}
+
+// FreeN pushes all the given nodes back onto the free list with a
+// single CAS: the refs are chained locally (plain stores — the caller
+// owns them) and the whole chain is spliced onto the stack at once.
+func (p *Pool) FreeN(refs []Ref) {
+	if len(refs) == 0 {
+		return
+	}
+	for i := 0; i < len(refs)-1; i++ {
+		p.arena.Node(refs[i]).SetNext(refs[i+1])
+	}
+	last := p.arena.Node(refs[len(refs)-1])
+	first := refs[0]
+	for {
+		h := p.head.Load()
+		tag, top := unpackHead(h)
+		last.SetNext(top)
+		if p.head.CompareAndSwap(h, packHead(tag+1, first)) {
+			p.free.Add(int64(len(refs)))
 			return
 		}
 	}

@@ -22,6 +22,17 @@ type LiveConfig struct {
 	SpinIters int // >0: multiprocessor busy_wait flavour
 	Throttle  int
 
+	// ReplyKind selects the reply-queue implementation. Unlike the
+	// library default (SPSC), a nil ReplyKind here follows QueueKind, so
+	// experiment sweeps over queue kinds (ablation A2) keep comparing
+	// the same implementation on both legs of the round trip. Point it
+	// at queue.KindSPSC to measure the reply fast path.
+	ReplyKind *queue.Kind
+
+	// AllocBatch enables producer-side allocation batching (see
+	// livebind.Options.AllocBatch).
+	AllocBatch int
+
 	// SleepScale compresses the queue-full sleep(1) so tests and benches
 	// don't stall for wall-clock seconds; defaults to 1ms per "second".
 	SleepScale time.Duration
@@ -39,6 +50,10 @@ func RunLive(cfg LiveConfig) (Result, error) {
 	if cfg.SleepScale == 0 {
 		cfg.SleepScale = time.Millisecond
 	}
+	replyKind := cfg.QueueKind
+	if cfg.ReplyKind != nil {
+		replyKind = *cfg.ReplyKind
+	}
 	ms := metrics.NewSet()
 	sys, err := livebind.NewSystem(livebind.Options{
 		Alg:        cfg.Alg,
@@ -46,6 +61,8 @@ func RunLive(cfg LiveConfig) (Result, error) {
 		Clients:    cfg.Clients,
 		QueueCap:   cfg.QueueCap,
 		QueueKind:  cfg.QueueKind,
+		ReplyKind:  &replyKind,
+		AllocBatch: cfg.AllocBatch,
 		SpinIters:  cfg.SpinIters,
 		Throttle:   cfg.Throttle,
 		SleepScale: cfg.SleepScale,
@@ -111,10 +128,14 @@ func RunLive(cfg LiveConfig) (Result, error) {
 				}
 			}
 			cl.Send(core.Msg{Op: core.OpDisconnect})
+			livebind.DrainPort(cl.Srv)
 		}(i, cl)
 	}
 	wg.Wait()
 	served := <-serverDone
+	for _, p := range srv.Replies {
+		livebind.DrainPort(p)
+	}
 
 	if len(errs) > 0 {
 		return Result{}, fmt.Errorf("workload: live validation failed: %v", errs)

@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"ulipc/internal/core"
+	"ulipc/internal/queue"
+)
+
+// The live wall-clock benchmark matrix: {queue configuration} x
+// {protocol} x {client count} on the host runtime, emitted as
+// BENCH_live.json so successive PRs accumulate a perf trajectory.
+// Driven by `ipcbench -live` and `make bench-live`; bench_test.go's
+// BenchmarkLive* suite measures the same cells under testing.B.
+
+// LiveBenchKind names one queue configuration of the matrix: the kind
+// of the shared receive queue and the kind of the per-client reply
+// queues (KindSPSC only for the latter — the receive queue is
+// multi-producer by construction).
+type LiveBenchKind struct {
+	Name  string
+	Recv  queue.Kind
+	Reply queue.Kind
+}
+
+// DefaultLiveBenchKinds returns the benchmark's queue configurations:
+// the three MPMC kinds used symmetrically, the ring/SPSC pair that
+// isolates the reply-path win, and the library default (two-lock
+// receive + SPSC replies).
+func DefaultLiveBenchKinds() []LiveBenchKind {
+	return []LiveBenchKind{
+		{"two-lock", queue.KindTwoLock, queue.KindTwoLock},
+		{"lock-free", queue.KindLockFree, queue.KindLockFree},
+		{"ring", queue.KindRing, queue.KindRing},
+		{"ring+spsc", queue.KindRing, queue.KindSPSC},
+		{"default", queue.KindTwoLock, queue.KindSPSC},
+	}
+}
+
+// LiveBenchOptions configures a live benchmark sweep. Zero values pick
+// the defaults noted per field.
+type LiveBenchOptions struct {
+	Kinds      []LiveBenchKind  // default DefaultLiveBenchKinds()
+	Algs       []core.Algorithm // default all four protocols
+	Clients    []int            // default {1, 4, 16}
+	Msgs       int              // per client; default 1000
+	MaxSpin    int              // default core.DefaultMaxSpin
+	AllocBatch int              // producer alloc batching (two-lock only)
+	SpinIters  int              // >0: multiprocessor busy_wait flavour
+}
+
+func (o *LiveBenchOptions) defaults() {
+	if len(o.Kinds) == 0 {
+		o.Kinds = DefaultLiveBenchKinds()
+	}
+	if len(o.Algs) == 0 {
+		o.Algs = core.Algorithms()
+	}
+	if len(o.Clients) == 0 {
+		o.Clients = []int{1, 4, 16}
+	}
+	if o.Msgs <= 0 {
+		o.Msgs = 1000
+	}
+	if o.MaxSpin <= 0 {
+		o.MaxSpin = core.DefaultMaxSpin
+	}
+}
+
+// LiveBenchEntry is one cell of the matrix.
+type LiveBenchEntry struct {
+	Queue       string  `json:"queue"`      // configuration name
+	RecvKind    string  `json:"recv_kind"`  // receive-queue implementation
+	ReplyKind   string  `json:"reply_kind"` // reply-queue implementation
+	Alg         string  `json:"alg"`
+	Clients     int     `json:"clients"`
+	MsgsPerCli  int     `json:"msgs_per_client"`
+	NsPerRTT    float64 `json:"ns_per_rtt"`   // wall-clock RTT per request
+	MsgsPerSec  float64 `json:"msgs_per_sec"` // server throughput
+	Yields      int64   `json:"yields"`
+	SemP        int64   `json:"sem_p"`
+	Blocks      int64   `json:"blocks"`
+	PoolRefills int64   `json:"pool_refills"`
+	PoolSpills  int64   `json:"pool_spills"`
+}
+
+// LiveBenchReport is the BENCH_live.json document.
+type LiveBenchReport struct {
+	GeneratedAt string           `json:"generated_at"`
+	GoVersion   string           `json:"go_version"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	NumCPU      int              `json:"num_cpu"`
+	MsgsPerCli  int              `json:"msgs_per_client"`
+	AllocBatch  int              `json:"alloc_batch"`
+	Entries     []LiveBenchEntry `json:"entries"`
+}
+
+// RunLiveBench executes the full matrix and returns the report.
+// progress, when non-nil, receives one line per completed cell.
+func RunLiveBench(opts LiveBenchOptions, progress io.Writer) (*LiveBenchReport, error) {
+	opts.defaults()
+	rep := &LiveBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		MsgsPerCli:  opts.Msgs,
+		AllocBatch:  opts.AllocBatch,
+	}
+	for _, k := range opts.Kinds {
+		for _, alg := range opts.Algs {
+			for _, n := range opts.Clients {
+				reply := k.Reply
+				res, err := RunLive(LiveConfig{
+					Alg:        alg,
+					Clients:    n,
+					Msgs:       opts.Msgs,
+					MaxSpin:    opts.MaxSpin,
+					QueueKind:  k.Recv,
+					ReplyKind:  &reply,
+					AllocBatch: opts.AllocBatch,
+					SpinIters:  opts.SpinIters,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("live bench %s/%s/%dc: %w", k.Name, alg, n, err)
+				}
+				e := LiveBenchEntry{
+					Queue:       k.Name,
+					RecvKind:    k.Recv.String(),
+					ReplyKind:   k.Reply.String(),
+					Alg:         alg.String(),
+					Clients:     n,
+					MsgsPerCli:  opts.Msgs,
+					NsPerRTT:    res.RTTMicros * 1e3,
+					MsgsPerSec:  res.Throughput * 1e3,
+					Yields:      res.All.Yields,
+					SemP:        res.All.SemP,
+					Blocks:      res.All.Blocks,
+					PoolRefills: res.All.PoolRefills,
+					PoolSpills:  res.All.PoolSpills,
+				}
+				rep.Entries = append(rep.Entries, e)
+				if progress != nil {
+					fmt.Fprintf(progress, "%-10s %-5s %2dc  %12.0f ns/rtt  %11.0f msgs/s  refills=%d\n",
+						k.Name, e.Alg, n, e.NsPerRTT, e.MsgsPerSec, e.PoolRefills)
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *LiveBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// RenderText prints the report as a fixed-width table.
+func (r *LiveBenchReport) RenderText(w io.Writer) {
+	fmt.Fprintf(w, "Live wall-clock benchmark (GOMAXPROCS=%d, %d msgs/client, alloc batch %d)\n",
+		r.GOMAXPROCS, r.MsgsPerCli, r.AllocBatch)
+	fmt.Fprintf(w, "%-10s %-10s %-6s %-5s %8s %14s %14s %9s %8s\n",
+		"queue", "recv", "reply", "alg", "clients", "ns/rtt", "msgs/s", "refills", "spills")
+	for _, e := range r.Entries {
+		fmt.Fprintf(w, "%-10s %-10s %-6s %-5s %8d %14.0f %14.0f %9d %8d\n",
+			e.Queue, e.RecvKind, e.ReplyKind, e.Alg, e.Clients, e.NsPerRTT, e.MsgsPerSec, e.PoolRefills, e.PoolSpills)
+	}
+}

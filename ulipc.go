@@ -87,12 +87,26 @@ func NewSystem(opts Options) (*System, error) { return livebind.NewSystem(opts) 
 type QueueKind = queue.Kind
 
 // Queue implementations: the paper's two-lock Michael & Scott queue, the
-// lock-free M&S queue, and a bounded MPMC ring.
+// lock-free M&S queue, a bounded MPMC ring, and a Lamport SPSC ring.
+// QueueSPSC is only valid for Options.ReplyKind (where it is already the
+// default): the per-client channels are the one place the system can
+// prove the single-producer/single-consumer topology it requires.
 const (
 	QueueTwoLock  = queue.KindTwoLock
 	QueueLockFree = queue.KindLockFree
 	QueueRing     = queue.KindRing
+	QueueSPSC     = queue.KindSPSC
 )
+
+// ReplyKind wraps a queue kind for Options.ReplyKind, which
+// distinguishes "unset" (nil: the SPSC fast-path default) from an
+// explicit choice:
+//
+//	sys, _ := ulipc.NewSystem(ulipc.Options{
+//		Clients:   4,
+//		ReplyKind: ulipc.ReplyKind(ulipc.QueueRing), // opt out of SPSC replies
+//	})
+func ReplyKind(k QueueKind) *QueueKind { return &k }
 
 // DuplexClient and DuplexHandler are the endpoints of a full-duplex
 // virtual connection — the thread-per-client server architecture
