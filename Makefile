@@ -19,6 +19,9 @@ bench:
 
 # Regenerate the live wall-clock benchmark document. One run per cell of
 # {queue configuration} x {protocol} x {1,4,16 clients}; see DESIGN.md §6.
+# -watchdog 0 keeps the recorded trajectory on the legacy (error-less)
+# send path so successive BENCH_live.json snapshots stay comparable;
+# interactive runs default to a watchdog (see README).
 bench-live:
-	$(GO) run ./cmd/ipcbench -live -json -o BENCH_live.json
+	$(GO) run ./cmd/ipcbench -live -watchdog 0 -json -o BENCH_live.json
 	@echo wrote BENCH_live.json

@@ -17,6 +17,8 @@
 //	ipcbench -live -json                  # BENCH_live.json document on stdout
 //	ipcbench -live -json -o BENCH_live.json
 //	ipcbench -live -clients 1,4 -algs BSW,BSLS -batch 8
+//	ipcbench -live -watchdog 30s          # per-cell deadline; exits non-zero
+//	                                      # with partial results on deadlock
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"ulipc/internal/core"
 	"ulipc/internal/experiment"
@@ -47,11 +50,12 @@ func main() {
 		algs     = flag.String("algs", "", "with -live: comma-separated protocols (default BSS,BSW,BSWY,BSLS)")
 		batch    = flag.Int("batch", 0, "with -live: producer alloc-batch size (two-lock queues; 0 disables)")
 		liveSpin = flag.Int("spin", 0, "with -live: busy-wait spin iterations (0 = yield flavour)")
+		watchdog = flag.Duration("watchdog", 2*time.Minute, "with -live: per-cell deadline on the context-threaded paths; a deadlocked cell is recorded and the sweep continues (0 disables, restoring the legacy error-less fast path)")
 	)
 	flag.Parse()
 
 	if *live {
-		if err := runLive(*jsonOut, *outFile, *msgs, *quick, *clients, *algs, *batch, *liveSpin); err != nil {
+		if err := runLive(*jsonOut, *outFile, *msgs, *quick, *clients, *algs, *batch, *liveSpin, *watchdog); err != nil {
 			fmt.Fprintf(os.Stderr, "ipcbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -99,8 +103,12 @@ func main() {
 }
 
 // runLive executes the wall-clock benchmark matrix (workload.RunLiveBench).
-func runLive(jsonOut bool, outFile string, msgs int, quick bool, clients, algs string, batch, spin int) error {
-	opts := workload.LiveBenchOptions{Msgs: msgs, AllocBatch: batch, SpinIters: spin}
+// With a watchdog, a deadlocked or failing cell does not hang or abort
+// the sweep: its partial numbers and Error land in the report, the
+// remaining cells still run, and the non-nil error return makes the
+// process exit non-zero after the (partial) report has been written.
+func runLive(jsonOut bool, outFile string, msgs int, quick bool, clients, algs string, batch, spin int, watchdog time.Duration) error {
+	opts := workload.LiveBenchOptions{Msgs: msgs, AllocBatch: batch, SpinIters: spin, Watchdog: watchdog}
 	if quick && msgs == 0 {
 		opts.Msgs = 200
 	}
@@ -134,12 +142,14 @@ func runLive(jsonOut bool, outFile string, msgs int, quick bool, clients, algs s
 		out = f
 	}
 	rep, err := workload.RunLiveBench(opts, os.Stderr)
-	if err != nil {
-		return err
+	if rep != nil {
+		if jsonOut {
+			if werr := rep.WriteJSON(out); werr != nil && err == nil {
+				err = werr
+			}
+		} else {
+			rep.RenderText(out)
+		}
 	}
-	if jsonOut {
-		return rep.WriteJSON(out)
-	}
-	rep.RenderText(out)
-	return nil
+	return err
 }

@@ -1,6 +1,10 @@
 package core
 
-import "ulipc/internal/metrics"
+import (
+	"context"
+
+	"ulipc/internal/metrics"
+)
 
 // Handoff targets understood by Actor.Handoff, mirroring the paper's
 // proposed system call interface (Section 6).
@@ -12,6 +16,14 @@ const (
 // Client is the client side of a Send/Receive/Reply connection: it
 // enqueues requests on the server's receive queue and dequeues responses
 // from its own reply queue.
+//
+// A handle is owned by a single goroutine. Send blocks until the reply
+// arrives (or the system shuts down); SendCtx additionally honours the
+// context's deadline/cancellation. After a cancelled SendCtx the reply
+// is still owed by the server — the handle tracks that lag and drains
+// the stale replies (in order, before enqueueing anything new) at the
+// start of the next Send/SendCtx, so late replies are never
+// misattributed to a newer request.
 type Client struct {
 	ID      int32     // reply-channel number carried in every request
 	Alg     Algorithm // sleep/wake-up protocol
@@ -26,6 +38,13 @@ type Client struct {
 	// server's pid.
 	UseHandoff    bool
 	HandoffTarget int
+
+	// lag counts replies still owed for requests whose SendCtx was
+	// cancelled after the request had been enqueued. disconnected is
+	// set once a disconnect handshake completes. Both are single-owner
+	// (the handle's goroutine), so they need no atomics.
+	lag          int
+	disconnected bool
 }
 
 func (c *Client) maxSpin() int {
@@ -34,6 +53,10 @@ func (c *Client) maxSpin() int {
 	}
 	return c.MaxSpin
 }
+
+// Lag reports how many replies are still owed for cancelled sends
+// (diagnostics and tests).
+func (c *Client) Lag() int { return c.lag }
 
 // tryHandoff is the "try to handoff" hint: the handoff syscall when
 // enabled, otherwise the portable busy_wait (yield on a uniprocessor,
@@ -50,9 +73,18 @@ func (c *Client) tryHandoff() {
 }
 
 // Send performs a synchronous request/response exchange using the
-// configured protocol and returns the server's reply.
+// configured protocol and returns the server's reply. If the system is
+// shut down underneath the exchange, Send returns the OpShutdown
+// marker message instead of blocking forever (use SendCtx for an
+// error-returning surface).
 func (c *Client) Send(m Msg) Msg {
 	m.Client = c.ID
+	for c.lag > 0 {
+		if stale := c.recvReply(); stale.Op == OpShutdown {
+			return stale
+		}
+		c.lag--
+	}
 	if c.M != nil {
 		defer c.M.MsgsSent.Add(1)
 	}
@@ -66,26 +98,99 @@ func (c *Client) Send(m Msg) Msg {
 	case BSLS:
 		return c.sendBSLS(m)
 	}
-	panic("core: unknown algorithm")
+	panic(ErrUnknownAlgorithm)
+}
+
+// SendCtx is Send with deadline/cancellation support. It returns
+// ctx.Err() if the context ends first, ErrShutdown if the system is
+// shut down, ErrDisconnected after a completed disconnect handshake,
+// and ErrNotCancellable if the binding's Actor cannot park cancellably.
+// When cancellation and the reply race, the reply wins: a message that
+// already arrived is returned rather than discarded.
+func (c *Client) SendCtx(ctx context.Context, m Msg) (Msg, error) {
+	if c.disconnected {
+		return Msg{}, ErrDisconnected
+	}
+	m.Client = c.ID
+	for c.lag > 0 {
+		if _, err := c.recvReplyCtx(ctx); err != nil {
+			return Msg{}, err
+		}
+		c.lag--
+	}
+	ans, err := c.exchangeCtx(ctx, m)
+	if err != nil {
+		return Msg{}, err
+	}
+	if m.Op == OpDisconnect {
+		c.disconnected = true
+	}
+	if c.M != nil {
+		c.M.MsgsSent.Add(1)
+	}
+	return ans, nil
+}
+
+// exchangeCtx enqueues the request, wakes the server and awaits the
+// reply, all under ctx. Once the request is enqueued, a failed wait
+// leaves one reply owed (c.lag).
+func (c *Client) exchangeCtx(ctx context.Context, m Msg) (Msg, error) {
+	switch c.Alg {
+	case BSS:
+		if err := spinEnqueueCtx(ctx, c.A, c.Srv, m); err != nil {
+			return Msg{}, err
+		}
+		c.lag++
+		ans, err := spinDequeueCtx(ctx, c.A, c.Rcv)
+		if err == nil {
+			c.lag--
+		}
+		return ans, err
+	case BSW, BSWY, BSLS:
+		if err := enqueueOrSleepCtx(ctx, c.Srv, c.A, m, c.M); err != nil {
+			return Msg{}, err
+		}
+		c.lag++
+		if c.Alg == BSWY {
+			if !c.Srv.TASAwake() {
+				c.A.V(c.Srv.Sem())
+				c.tryHandoff()
+			}
+		} else {
+			wakeConsumer(c.Srv, c.A)
+		}
+		ans, err := c.recvReplyCtx(ctx)
+		if err == nil {
+			c.lag--
+		}
+		return ans, err
+	}
+	return Msg{}, ErrUnknownAlgorithm
 }
 
 // sendBSS is Figure 1: busy-wait on both the full and the empty
 // condition.
 func (c *Client) sendBSS(m Msg) Msg {
-	busySpinUntil(c.A, func() bool { return c.Srv.TryEnqueue(m) })
+	if !busySpinUntil(c.A, c.Srv, func() bool { return c.Srv.TryEnqueue(m) }) {
+		return ShutdownMsg()
+	}
 	var ans Msg
-	busySpinUntil(c.A, func() bool {
+	if !busySpinUntil(c.A, c.Rcv, func() bool {
 		var ok bool
 		ans, ok = c.Rcv.TryDequeue()
 		return ok
-	})
+	}) {
+		return ShutdownMsg()
+	}
 	return ans
 }
 
 // sendBSW is Figure 5: wake the server if its awake flag is clear, then
 // sleep on the reply semaphore via the raced-checked consumer wait.
 func (c *Client) sendBSW(m Msg) Msg {
-	enqueueOrSleep(c.Srv, c.A, m)
+	if !enqueueOrSleep(c.Srv, c.A, m) {
+		return ShutdownMsg()
+	}
 	wakeConsumer(c.Srv, c.A)
 	return consumerWait(c.Rcv, c.A, nil)
 }
@@ -94,7 +199,9 @@ func (c *Client) sendBSW(m Msg) Msg {
 // scheduling — one right after waking the server ("and let it run") and
 // one at the top of each wait iteration ("try to handoff").
 func (c *Client) sendBSWY(m Msg) Msg {
-	enqueueOrSleep(c.Srv, c.A, m)
+	if !enqueueOrSleep(c.Srv, c.A, m) {
+		return ShutdownMsg()
+	}
 	if !c.Srv.TASAwake() {
 		c.A.V(c.Srv.Sem())
 		c.tryHandoff()
@@ -105,7 +212,9 @@ func (c *Client) sendBSWY(m Msg) Msg {
 // sendBSLS is Figure 9: poll the reply queue up to MAX_SPIN times before
 // entering the blocking path.
 func (c *Client) sendBSLS(m Msg) Msg {
-	enqueueOrSleep(c.Srv, c.A, m)
+	if !enqueueOrSleep(c.Srv, c.A, m) {
+		return ShutdownMsg()
+	}
 	wakeConsumer(c.Srv, c.A)
 	spinPoll(c.Rcv, c.A, c.maxSpin(), c.M)
 	return consumerWait(c.Rcv, c.A, c.tryHandoff)
@@ -114,10 +223,13 @@ func (c *Client) sendBSLS(m Msg) Msg {
 // SendAsync enqueues a request and wakes the server without waiting for
 // a reply — the asynchronous IPC mode the paper's introduction motivates
 // (a client can enqueue multiple requests and the server can drain them
-// all without any kernel involvement).
+// all without any kernel involvement). On shutdown the request is
+// silently dropped (use SendAsyncCtx for an error).
 func (c *Client) SendAsync(m Msg) {
 	m.Client = c.ID
-	enqueueOrSleep(c.Srv, c.A, m)
+	if !enqueueOrSleep(c.Srv, c.A, m) {
+		return
+	}
 	if c.Alg != BSS {
 		wakeConsumer(c.Srv, c.A)
 	}
@@ -126,17 +238,40 @@ func (c *Client) SendAsync(m Msg) {
 	}
 }
 
-// RecvReply collects one reply for a previous SendAsync, blocking
-// according to the configured protocol.
-func (c *Client) RecvReply() Msg {
+// SendAsyncCtx is SendAsync with deadline/cancellation support.
+func (c *Client) SendAsyncCtx(ctx context.Context, m Msg) error {
+	if c.disconnected {
+		return ErrDisconnected
+	}
+	m.Client = c.ID
+	if c.Alg == BSS {
+		if err := spinEnqueueCtx(ctx, c.A, c.Srv, m); err != nil {
+			return err
+		}
+	} else {
+		if err := enqueueOrSleepCtx(ctx, c.Srv, c.A, m, c.M); err != nil {
+			return err
+		}
+		wakeConsumer(c.Srv, c.A)
+	}
+	if c.M != nil {
+		c.M.MsgsSent.Add(1)
+	}
+	return nil
+}
+
+// recvReply is the per-protocol blocking reply dequeue (no metrics).
+func (c *Client) recvReply() Msg {
 	switch c.Alg {
 	case BSS:
 		var ans Msg
-		busySpinUntil(c.A, func() bool {
+		if !busySpinUntil(c.A, c.Rcv, func() bool {
 			var ok bool
 			ans, ok = c.Rcv.TryDequeue()
 			return ok
-		})
+		}) {
+			return ShutdownMsg()
+		}
 		return ans
 	case BSW:
 		return consumerWait(c.Rcv, c.A, nil)
@@ -146,5 +281,32 @@ func (c *Client) RecvReply() Msg {
 		spinPoll(c.Rcv, c.A, c.maxSpin(), c.M)
 		return consumerWait(c.Rcv, c.A, c.tryHandoff)
 	}
-	panic("core: unknown algorithm")
+	panic(ErrUnknownAlgorithm)
+}
+
+// recvReplyCtx is the per-protocol cancellable reply dequeue.
+func (c *Client) recvReplyCtx(ctx context.Context) (Msg, error) {
+	switch c.Alg {
+	case BSS:
+		return spinDequeueCtx(ctx, c.A, c.Rcv)
+	case BSW:
+		return consumerWaitCtx(ctx, c.Rcv, c.A, nil)
+	case BSWY:
+		return consumerWaitCtx(ctx, c.Rcv, c.A, c.tryHandoff)
+	case BSLS:
+		spinPoll(c.Rcv, c.A, c.maxSpin(), c.M)
+		return consumerWaitCtx(ctx, c.Rcv, c.A, c.tryHandoff)
+	}
+	return Msg{}, ErrUnknownAlgorithm
+}
+
+// RecvReply collects one reply for a previous SendAsync, blocking
+// according to the configured protocol. On shutdown it returns the
+// OpShutdown marker message.
+func (c *Client) RecvReply() Msg { return c.recvReply() }
+
+// RecvReplyCtx collects one reply for a previous SendAsyncCtx, honouring
+// the context's deadline/cancellation.
+func (c *Client) RecvReplyCtx(ctx context.Context) (Msg, error) {
+	return c.recvReplyCtx(ctx)
 }

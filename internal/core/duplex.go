@@ -1,6 +1,10 @@
 package core
 
-import "ulipc/internal/metrics"
+import (
+	"context"
+
+	"ulipc/internal/metrics"
+)
 
 // This file implements the alternative server architecture Section 2.1
 // sketches: "an alternative architecture might be to have a server
@@ -12,7 +16,9 @@ import "ulipc/internal/metrics"
 
 // DuplexClient is the client endpoint of a full-duplex virtual
 // connection: it enqueues requests on the client-to-server queue and
-// waits for responses on the server-to-client queue.
+// waits for responses on the server-to-client queue. Like Client, the
+// handle is single-goroutine and tracks the replies owed for cancelled
+// SendCtx calls, draining them before the next request goes out.
 type DuplexClient struct {
 	Alg     Algorithm
 	MaxSpin int
@@ -20,42 +26,134 @@ type DuplexClient struct {
 	Rcv     Port // dequeue endpoint of the server->client queue
 	A       Actor
 	M       *metrics.Proc
+
+	lag int
 }
 
 // Send performs a synchronous request/response exchange on the
-// connection.
+// connection. On shutdown it returns the OpShutdown marker message.
 func (c *DuplexClient) Send(m Msg) Msg {
+	for c.lag > 0 {
+		if stale := c.recvReply(); stale.Op == OpShutdown {
+			return stale
+		}
+		c.lag--
+	}
 	if c.M != nil {
 		defer c.M.MsgsSent.Add(1)
 	}
 	switch c.Alg {
 	case BSS:
-		busySpinUntil(c.A, func() bool { return c.Snd.TryEnqueue(m) })
-		var ans Msg
-		busySpinUntil(c.A, func() bool {
-			var ok bool
-			ans, ok = c.Rcv.TryDequeue()
-			return ok
-		})
-		return ans
+		if !busySpinUntil(c.A, c.Snd, func() bool { return c.Snd.TryEnqueue(m) }) {
+			return ShutdownMsg()
+		}
+		return c.recvReply()
 	case BSW:
-		enqueueOrSleep(c.Snd, c.A, m)
+		if !enqueueOrSleep(c.Snd, c.A, m) {
+			return ShutdownMsg()
+		}
 		wakeConsumer(c.Snd, c.A)
 		return consumerWait(c.Rcv, c.A, nil)
 	case BSWY:
-		enqueueOrSleep(c.Snd, c.A, m)
+		if !enqueueOrSleep(c.Snd, c.A, m) {
+			return ShutdownMsg()
+		}
 		if !c.Snd.TASAwake() {
 			c.A.V(c.Snd.Sem())
 			c.A.BusyWait()
 		}
 		return consumerWait(c.Rcv, c.A, c.A.BusyWait)
 	case BSLS:
-		enqueueOrSleep(c.Snd, c.A, m)
+		if !enqueueOrSleep(c.Snd, c.A, m) {
+			return ShutdownMsg()
+		}
 		wakeConsumer(c.Snd, c.A)
 		spinPoll(c.Rcv, c.A, c.maxSpin(), c.M)
 		return consumerWait(c.Rcv, c.A, c.A.BusyWait)
 	}
-	panic("core: unknown algorithm")
+	panic(ErrUnknownAlgorithm)
+}
+
+// SendCtx is Send with deadline/cancellation support (see
+// Client.SendCtx for the error contract).
+func (c *DuplexClient) SendCtx(ctx context.Context, m Msg) (Msg, error) {
+	for c.lag > 0 {
+		if _, err := c.recvReplyCtx(ctx); err != nil {
+			return Msg{}, err
+		}
+		c.lag--
+	}
+	var err error
+	switch c.Alg {
+	case BSS:
+		err = spinEnqueueCtx(ctx, c.A, c.Snd, m)
+	case BSW, BSLS:
+		if err = enqueueOrSleepCtx(ctx, c.Snd, c.A, m, c.M); err == nil {
+			wakeConsumer(c.Snd, c.A)
+		}
+	case BSWY:
+		if err = enqueueOrSleepCtx(ctx, c.Snd, c.A, m, c.M); err == nil {
+			if !c.Snd.TASAwake() {
+				c.A.V(c.Snd.Sem())
+				c.A.BusyWait()
+			}
+		}
+	default:
+		return Msg{}, ErrUnknownAlgorithm
+	}
+	if err != nil {
+		return Msg{}, err
+	}
+	c.lag++
+	ans, err := c.recvReplyCtx(ctx)
+	if err != nil {
+		return Msg{}, err
+	}
+	c.lag--
+	if c.M != nil {
+		c.M.MsgsSent.Add(1)
+	}
+	return ans, nil
+}
+
+// recvReply is the per-protocol blocking reply dequeue.
+func (c *DuplexClient) recvReply() Msg {
+	switch c.Alg {
+	case BSS:
+		var ans Msg
+		if !busySpinUntil(c.A, c.Rcv, func() bool {
+			var ok bool
+			ans, ok = c.Rcv.TryDequeue()
+			return ok
+		}) {
+			return ShutdownMsg()
+		}
+		return ans
+	case BSW:
+		return consumerWait(c.Rcv, c.A, nil)
+	case BSWY:
+		return consumerWait(c.Rcv, c.A, c.A.BusyWait)
+	case BSLS:
+		spinPoll(c.Rcv, c.A, c.maxSpin(), c.M)
+		return consumerWait(c.Rcv, c.A, c.A.BusyWait)
+	}
+	panic(ErrUnknownAlgorithm)
+}
+
+// recvReplyCtx is the per-protocol cancellable reply dequeue.
+func (c *DuplexClient) recvReplyCtx(ctx context.Context) (Msg, error) {
+	switch c.Alg {
+	case BSS:
+		return spinDequeueCtx(ctx, c.A, c.Rcv)
+	case BSW:
+		return consumerWaitCtx(ctx, c.Rcv, c.A, nil)
+	case BSWY:
+		return consumerWaitCtx(ctx, c.Rcv, c.A, c.A.BusyWait)
+	case BSLS:
+		spinPoll(c.Rcv, c.A, c.maxSpin(), c.M)
+		return consumerWaitCtx(ctx, c.Rcv, c.A, c.A.BusyWait)
+	}
+	return Msg{}, ErrUnknownAlgorithm
 }
 
 func (c *DuplexClient) maxSpin() int {
@@ -74,6 +172,10 @@ type DuplexHandler struct {
 	Snd     Port // enqueue endpoint of the server->client queue
 	A       Actor
 	M       *metrics.Proc
+
+	// pending counts requests received and not yet replied to — the
+	// double-reply audit consulted by ReplyCtx.
+	pending int
 }
 
 func (h *DuplexHandler) maxSpin() int {
@@ -83,16 +185,19 @@ func (h *DuplexHandler) maxSpin() int {
 	return h.MaxSpin
 }
 
-// Receive returns the connection's next request.
+// Receive returns the connection's next request, or the OpShutdown
+// marker message once the system is shut down and the queue drained.
 func (h *DuplexHandler) Receive() Msg {
 	var m Msg
 	switch h.Alg {
 	case BSS:
-		busySpinUntil(h.A, func() bool {
+		if !busySpinUntil(h.A, h.Rcv, func() bool {
 			var ok bool
 			m, ok = h.Rcv.TryDequeue()
 			return ok
-		})
+		}) {
+			return ShutdownMsg()
+		}
 	case BSW:
 		m = consumerWait(h.Rcv, h.A, nil)
 	case BSWY:
@@ -106,30 +211,99 @@ func (h *DuplexHandler) Receive() Msg {
 		spinPoll(h.Rcv, h.A, h.maxSpin(), h.M)
 		m = consumerWait(h.Rcv, h.A, nil)
 	default:
-		panic("core: unknown algorithm")
+		panic(ErrUnknownAlgorithm)
+	}
+	if m.Op == OpShutdown && m.Client < 0 && portClosed(h.Rcv) {
+		return m
 	}
 	if h.M != nil {
 		h.M.MsgsReceived.Add(1)
 	}
+	h.pending++
 	return m
+}
+
+// ReceiveCtx is Receive with deadline/cancellation support.
+func (h *DuplexHandler) ReceiveCtx(ctx context.Context) (Msg, error) {
+	var m Msg
+	var err error
+	switch h.Alg {
+	case BSS:
+		m, err = spinDequeueCtx(ctx, h.A, h.Rcv)
+	case BSW:
+		m, err = consumerWaitCtx(ctx, h.Rcv, h.A, nil)
+	case BSWY:
+		if got, ok := h.Rcv.TryDequeue(); ok {
+			m = got
+			break
+		}
+		h.A.Yield()
+		m, err = consumerWaitCtx(ctx, h.Rcv, h.A, nil)
+	case BSLS:
+		spinPoll(h.Rcv, h.A, h.maxSpin(), h.M)
+		m, err = consumerWaitCtx(ctx, h.Rcv, h.A, nil)
+	default:
+		return Msg{}, ErrUnknownAlgorithm
+	}
+	if err != nil {
+		return Msg{}, err
+	}
+	if h.M != nil {
+		h.M.MsgsReceived.Add(1)
+	}
+	h.pending++
+	return m, nil
 }
 
 // Reply sends the response on the connection.
 func (h *DuplexHandler) Reply(m Msg) {
+	if h.pending > 0 {
+		h.pending--
+	}
 	if h.Alg == BSS {
-		busySpinUntil(h.A, func() bool { return h.Snd.TryEnqueue(m) })
+		busySpinUntil(h.A, h.Snd, func() bool { return h.Snd.TryEnqueue(m) })
 		return
 	}
-	enqueueOrSleep(h.Snd, h.A, m)
+	if !enqueueOrSleep(h.Snd, h.A, m) {
+		return
+	}
 	wakeConsumer(h.Snd, h.A)
 }
 
+// ReplyCtx is Reply with deadline/cancellation support and the
+// double-reply audit: replying with no request outstanding returns
+// ErrDoubleReply.
+func (h *DuplexHandler) ReplyCtx(ctx context.Context, m Msg) error {
+	if h.pending <= 0 {
+		return ErrDoubleReply
+	}
+	if h.Alg == BSS {
+		if err := spinEnqueueCtx(ctx, h.A, h.Snd, m); err != nil {
+			return err
+		}
+		h.pending--
+		return nil
+	}
+	if err := enqueueOrSleepCtx(ctx, h.Snd, h.A, m, h.M); err != nil {
+		return err
+	}
+	h.pending--
+	wakeConsumer(h.Snd, h.A)
+	return nil
+}
+
 // ServeConn runs the echo loop for one connection until the client
-// disconnects, returning the number of data requests served.
+// disconnects (or the system shuts down), returning the number of data
+// requests served.
 func (h *DuplexHandler) ServeConn(work func(*Msg)) (served int64) {
 	for {
 		m := h.Receive()
 		switch m.Op {
+		case OpShutdown:
+			if m.Client < 0 {
+				return served
+			}
+			h.Reply(m)
 		case OpDisconnect:
 			h.Reply(m)
 			return served
@@ -140,6 +314,35 @@ func (h *DuplexHandler) ServeConn(work func(*Msg)) (served int64) {
 			served++
 			h.Reply(m)
 		default: // OpConnect, OpEcho
+			if m.Op != OpConnect {
+				served++
+			}
+			h.Reply(m)
+		}
+	}
+}
+
+// ServeConnCtx is ServeConn with deadline/cancellation support.
+func (h *DuplexHandler) ServeConnCtx(ctx context.Context, work func(*Msg)) (served int64, err error) {
+	for {
+		m, err := h.ReceiveCtx(ctx)
+		if err == ErrShutdown {
+			return served, nil
+		}
+		if err != nil {
+			return served, err
+		}
+		switch m.Op {
+		case OpDisconnect:
+			h.Reply(m)
+			return served, nil
+		case OpWork:
+			if work != nil {
+				work(&m)
+			}
+			served++
+			h.Reply(m)
+		default:
 			if m.Op != OpConnect {
 				served++
 			}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"context"
+	"errors"
+)
+
+// Sentinel errors of the v2 (error-returning, context-threaded) API
+// surface. The legacy methods keep their original signatures: where a
+// legacy path hits one of these conditions it either panics with the
+// sentinel as the panic value (programming errors such as an unknown
+// algorithm) or returns an OpShutdown-marked message (system teardown,
+// which is not a programming error and must not crash a process that
+// merely outlived its server).
+var (
+	// ErrShutdown is returned by every blocking *Ctx path once the
+	// system has been shut down: parked waiters are unblocked with it,
+	// and new sends fail fast with it while the system drains.
+	ErrShutdown = errors.New("core: system shut down")
+
+	// ErrNotCancellable is returned by a *Ctx method whose Actor does
+	// not implement CtxActor and which would otherwise have to block
+	// uncancellably (the discrete-event simulator binding, for one,
+	// has no cancellation surface).
+	ErrNotCancellable = errors.New("core: actor does not support cancellable waits")
+
+	// ErrUnknownAlgorithm reports an Algorithm value outside the four
+	// protocols. The legacy methods panic with this same sentinel.
+	ErrUnknownAlgorithm = errors.New("core: unknown algorithm")
+
+	// ErrDisconnected is returned by SendCtx after the handle completed
+	// a disconnect handshake: the server no longer counts this client,
+	// so further requests could deadlock the Serve exit protocol.
+	ErrDisconnected = errors.New("core: send after disconnect")
+
+	// ErrDoubleReply is returned by ReplyCtx when there is no received
+	// request outstanding for the target — replying twice would enqueue
+	// a stray message the client will misattribute to its next request.
+	ErrDoubleReply = errors.New("core: reply without outstanding request")
+)
+
+// OpShutdown is the control opcode legacy (error-less) blocking paths
+// return when the system is shut down underneath them: Receive hands
+// Serve a Msg{Op: OpShutdown, Client: -1} so the loop can exit instead
+// of panicking, and a legacy Send unblocked by shutdown returns the
+// same marker as its "reply". It is negative so it can never collide
+// with application opcodes (which grow upward from OpEcho).
+const OpShutdown int32 = -1
+
+// ShutdownMsg is the marker message legacy blocking paths return when
+// unblocked by a system shutdown.
+func ShutdownMsg() Msg { return Msg{Op: OpShutdown, Client: -1} }
+
+// CtxActor extends Actor with cancellable blocking operations. The live
+// binding implements it; the simulator binding does not (simulated time
+// has no caller to cancel from), which is why the *Ctx methods discover
+// it by assertion and fail with ErrNotCancellable rather than demanding
+// it in the type system.
+type CtxActor interface {
+	Actor
+
+	// PCtx is P with cancellation. It returns nil when a semaphore
+	// token was consumed; ctx.Err() when the wait was cancelled WITHOUT
+	// consuming a token (a token granted concurrently with cancellation
+	// must be handed back to the semaphore — see the wake-token
+	// accounting note on consumerWaitCtx); and ErrShutdown when the
+	// semaphore was shut down.
+	PCtx(ctx context.Context, id SemID) error
+
+	// SleepCtx is SleepSec with cancellation: it returns ctx.Err() if
+	// the context ends before the (scaled) sleep elapses.
+	SleepCtx(ctx context.Context, s int) error
+}
+
+// PortState is optionally implemented by ports whose system supports
+// graceful shutdown (livebind). Both predicates must be cheap: the
+// protocol paths consult them on every blocking cycle.
+type PortState interface {
+	// Refusing reports that the port accepts no new messages — the
+	// system is draining (producers stop, consumers keep going) or
+	// fully shut down.
+	Refusing() bool
+
+	// Closed reports that the port is fully shut down: queued messages
+	// may still be drained, but no more will arrive and parked
+	// consumers have been (or are being) unblocked.
+	Closed() bool
+}
+
+// portRefusing reports whether an endpoint refuses new messages.
+// Endpoints that do not implement PortState (the simulator's) never
+// refuse.
+func portRefusing(q any) bool {
+	s, ok := q.(PortState)
+	return ok && s.Refusing()
+}
+
+// portClosed reports whether an endpoint is fully shut down.
+func portClosed(q any) bool {
+	s, ok := q.(PortState)
+	return ok && s.Closed()
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync/atomic"
 
 	"ulipc/internal/metrics"
@@ -24,6 +25,13 @@ import (
 //     woken worker re-checks the queue before sleeping again. Draining
 //     the V here instead would steal a live wake-up from a sibling (the
 //     checker finds that deadlock too).
+//
+// Cancellation composes with the same discipline: a worker cancelled
+// while parked consumed no token (PCtx hands a racing grant back), and
+// it withdraws its registration on the way out. If a producer already
+// claimed the registration, the producer's V stays in the semaphore and
+// the next parked sibling absorbs it as a spurious wake — the message
+// is in the queue, so no wake-up is lost.
 
 // PoolPort is a queue endpoint whose consumer side is a pool of workers
 // synchronised by a waiter counter.
@@ -71,6 +79,11 @@ type PoolCoordinator struct {
 // Stopped reports whether the pool has been shut down.
 func (pc *PoolCoordinator) Stopped() bool { return pc.stop.Load() }
 
+// Stop marks the pool as shut down. It only raises the flag; the caller
+// must also wake parked workers (System.Shutdown broadcasts Vs, and the
+// last-disconnect path in Serve does the same) so they observe it.
+func (pc *PoolCoordinator) Stop() { pc.stop.Store(true) }
+
 // Served returns the number of data requests handled across workers.
 func (pc *PoolCoordinator) Served() int64 { return pc.served.Load() }
 
@@ -85,6 +98,12 @@ type PoolWorker struct {
 	A       Actor
 	C       *PoolCoordinator
 	M       *metrics.Proc
+
+	// outstanding[i] counts requests this worker received from client i
+	// and has not yet replied to — the double-reply audit consulted by
+	// ReplyCtx. A worker handle is single-goroutine, so plain ints
+	// suffice (each request is received and replied by the same worker).
+	outstanding []int32
 }
 
 func (w *PoolWorker) maxSpin() int {
@@ -92,6 +111,22 @@ func (w *PoolWorker) maxSpin() int {
 		return DefaultMaxSpin
 	}
 	return w.MaxSpin
+}
+
+func (w *PoolWorker) noteReceived(client int32) {
+	if client < 0 || int(client) >= len(w.Replies) {
+		return
+	}
+	if w.outstanding == nil {
+		w.outstanding = make([]int32, len(w.Replies))
+	}
+	w.outstanding[client]++
+}
+
+func (w *PoolWorker) noteReplied(client int32) {
+	if w.outstanding != nil && w.outstanding[client] > 0 {
+		w.outstanding[client]--
+	}
 }
 
 // Receive returns the next request, or false when the pool has shut
@@ -107,6 +142,7 @@ func (w *PoolWorker) Receive() (Msg, bool) {
 			if w.M != nil {
 				w.M.MsgsReceived.Add(1)
 			}
+			w.noteReceived(m.Client)
 			return m, true
 		}
 		switch w.Alg {
@@ -127,6 +163,7 @@ func (w *PoolWorker) Receive() (Msg, bool) {
 			if w.M != nil {
 				w.M.MsgsReceived.Add(1)
 			}
+			w.noteReceived(m.Client)
 			return m, true
 		}
 		if w.C.Stopped() {
@@ -139,6 +176,63 @@ func (w *PoolWorker) Receive() (Msg, bool) {
 	}
 }
 
+// ReceiveCtx is Receive with deadline/cancellation support. It returns
+// ErrShutdown once the pool has stopped (or the system shut down) and
+// ctx.Err() when the context ends first.
+func (w *PoolWorker) ReceiveCtx(ctx context.Context) (Msg, error) {
+	ca, _ := w.A.(CtxActor)
+	for {
+		if w.C.Stopped() {
+			return Msg{}, ErrShutdown
+		}
+		if err := ctx.Err(); err != nil {
+			return Msg{}, err
+		}
+		if m, ok := w.Rcv.TryDequeue(); ok {
+			if w.M != nil {
+				w.M.MsgsReceived.Add(1)
+			}
+			w.noteReceived(m.Client)
+			return m, nil
+		}
+		switch w.Alg {
+		case BSS:
+			w.A.BusyWait()
+			continue
+		case BSWY:
+			w.A.Yield()
+		case BSLS:
+			spinPoll(w.Rcv, w.A, w.maxSpin(), w.M)
+		}
+		w.Rcv.RegisterWaiter()
+		if m, ok := w.Rcv.TryDequeue(); ok {
+			w.Rcv.TryUnregisterWaiter()
+			if w.M != nil {
+				w.M.MsgsReceived.Add(1)
+			}
+			w.noteReceived(m.Client)
+			return m, nil
+		}
+		if w.C.Stopped() {
+			return Msg{}, ErrShutdown
+		}
+		if ca == nil {
+			w.Rcv.TryUnregisterWaiter()
+			return Msg{}, ErrNotCancellable
+		}
+		if err := ca.PCtx(ctx, w.Rcv.Sem()); err != nil {
+			// Cancelled without a token (PCtx handed any racing grant
+			// back). Withdraw the registration; if a producer already
+			// claimed it the V stays pending and a parked sibling absorbs
+			// it as a spurious wake — the message is queued, so no
+			// wake-up is lost.
+			w.Rcv.TryUnregisterWaiter()
+			return Msg{}, err
+		}
+		// Woken (possibly spuriously): loop to re-check.
+	}
+}
+
 // Reply sends a response to the client and wakes it if needed. Reply
 // queues have a single consumer each, so the paper's flag protocol
 // applies unchanged; a synchronous client has at most one outstanding
@@ -147,13 +241,42 @@ func (w *PoolWorker) Reply(client int32, m Msg) {
 	if client < 0 || int(client) >= len(w.Replies) {
 		return // hostile/corrupted reply channel: drop
 	}
+	w.noteReplied(client)
 	q := w.Replies[client]
 	if w.Alg == BSS {
-		busySpinUntil(w.A, func() bool { return q.TryEnqueue(m) })
+		busySpinUntil(w.A, q, func() bool { return q.TryEnqueue(m) })
 		return
 	}
-	enqueueOrSleep(q, w.A, m)
+	if !enqueueOrSleep(q, w.A, m) {
+		return // shutdown: the client is being unblocked anyway
+	}
 	wakeConsumer(q, w.A)
+}
+
+// ReplyCtx is Reply with deadline/cancellation support and the
+// double-reply audit: replying to a client this worker has no received
+// request outstanding for returns ErrDoubleReply.
+func (w *PoolWorker) ReplyCtx(ctx context.Context, client int32, m Msg) error {
+	if client < 0 || int(client) >= len(w.Replies) {
+		return ErrDoubleReply
+	}
+	if w.outstanding == nil || w.outstanding[client] <= 0 {
+		return ErrDoubleReply
+	}
+	q := w.Replies[client]
+	if w.Alg == BSS {
+		if err := spinEnqueueCtx(ctx, w.A, q, m); err != nil {
+			return err
+		}
+		w.noteReplied(client)
+		return nil
+	}
+	if err := enqueueOrSleepCtx(ctx, q, w.A, m, w.M); err != nil {
+		return err
+	}
+	w.noteReplied(client)
+	wakeConsumer(q, w.A)
+	return nil
 }
 
 // Serve runs this worker's echo loop until the pool shuts down (all
@@ -168,39 +291,74 @@ func (w *PoolWorker) Serve(work func(*Msg)) {
 		if client := m.Client; client < 0 || int(client) >= len(w.Replies) {
 			continue
 		}
-		switch m.Op {
-		case OpConnect:
-			w.C.connected.Add(1)
-			w.C.ever.Store(true)
-			w.Reply(m.Client, m)
-		case OpDisconnect:
-			left := w.C.connected.Add(-1)
-			w.Reply(m.Client, m)
-			if w.C.ever.Load() && left == 0 {
-				w.C.stop.Store(true)
-				// Shutdown broadcast: unconditional Vs so parked
-				// siblings wake, observe the stop flag and exit.
-				for i := 0; i < w.C.Workers; i++ {
-					w.A.V(w.Rcv.Sem())
-				}
-				return
-			}
-		case OpWork:
-			if work != nil {
-				work(&m)
-			}
-			w.C.served.Add(1)
-			w.Reply(m.Client, m)
-		default: // OpEcho
-			w.C.served.Add(1)
-			w.Reply(m.Client, m)
+		if w.step(m, work) {
+			return
 		}
 	}
+}
+
+// ServeCtx is Serve with deadline/cancellation support: it returns nil
+// when the pool stops (last disconnect or graceful system shutdown) and
+// ctx.Err() when the context ends first.
+func (w *PoolWorker) ServeCtx(ctx context.Context, work func(*Msg)) error {
+	for {
+		m, err := w.ReceiveCtx(ctx)
+		if err == ErrShutdown {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if client := m.Client; client < 0 || int(client) >= len(w.Replies) {
+			continue
+		}
+		if w.step(m, work) {
+			return nil
+		}
+	}
+}
+
+// step processes one received request; it reports true when this worker
+// broadcast pool shutdown (last disconnect) and should exit.
+func (w *PoolWorker) step(m Msg, work func(*Msg)) (stop bool) {
+	switch m.Op {
+	case OpConnect:
+		w.C.connected.Add(1)
+		w.C.ever.Store(true)
+		w.Reply(m.Client, m)
+	case OpDisconnect:
+		left := w.C.connected.Add(-1)
+		w.Reply(m.Client, m)
+		if w.C.ever.Load() && left == 0 {
+			w.C.stop.Store(true)
+			// Shutdown broadcast: unconditional Vs so parked
+			// siblings wake, observe the stop flag and exit.
+			for i := 0; i < w.C.Workers; i++ {
+				w.A.V(w.Rcv.Sem())
+			}
+			return true
+		}
+	case OpWork:
+		if work != nil {
+			work(&m)
+		}
+		w.C.served.Add(1)
+		w.Reply(m.Client, m)
+	default: // OpEcho
+		w.C.served.Add(1)
+		w.Reply(m.Client, m)
+	}
+	return false
 }
 
 // PoolClient is the client side of a worker-pool server: requests go to
 // the shared pool queue with claim-based wake-ups; replies arrive on the
 // client's own single-consumer queue using the paper's flag protocol.
+// Like Client, the handle is single-goroutine and drains replies owed
+// for cancelled sends before enqueueing anything new; pool workers may
+// retire cancelled requests out of order, but the client's reply queue
+// still receives exactly one reply per enqueued request, so draining by
+// count is sufficient.
 type PoolClient struct {
 	ID      int32
 	Alg     Algorithm
@@ -209,6 +367,8 @@ type PoolClient struct {
 	Rcv     Port     // dequeue endpoint of this client's reply queue
 	A       Actor
 	M       *metrics.Proc
+
+	lag int
 }
 
 func (c *PoolClient) maxSpin() int {
@@ -218,35 +378,110 @@ func (c *PoolClient) maxSpin() int {
 	return c.MaxSpin
 }
 
-// Send performs a synchronous exchange with the worker pool.
+// Lag reports how many replies are still owed for cancelled sends
+// (diagnostics and tests).
+func (c *PoolClient) Lag() int { return c.lag }
+
+// Send performs a synchronous exchange with the worker pool. On
+// shutdown it returns the OpShutdown marker message.
 func (c *PoolClient) Send(m Msg) Msg {
 	m.Client = c.ID
+	for c.lag > 0 {
+		if stale := c.recvReply(); stale.Op == OpShutdown {
+			return stale
+		}
+		c.lag--
+	}
 	if c.M != nil {
 		defer c.M.MsgsSent.Add(1)
 	}
 	if c.Alg == BSS {
-		busySpinUntil(c.A, func() bool { return c.Srv.TryEnqueue(m) })
+		if !busySpinUntil(c.A, c.Srv, func() bool { return c.Srv.TryEnqueue(m) }) {
+			return ShutdownMsg()
+		}
+		return c.recvReply()
+	}
+	if !enqueueOrSleep(c.Srv, c.A, m) {
+		return ShutdownMsg()
+	}
+	poolWake(c.Srv, c.A)
+	if c.Alg == BSWY {
+		c.A.BusyWait()
+	}
+	return c.recvReply()
+}
+
+// SendCtx is Send with deadline/cancellation support (see
+// Client.SendCtx for the error contract).
+func (c *PoolClient) SendCtx(ctx context.Context, m Msg) (Msg, error) {
+	m.Client = c.ID
+	for c.lag > 0 {
+		if _, err := c.recvReplyCtx(ctx); err != nil {
+			return Msg{}, err
+		}
+		c.lag--
+	}
+	if c.Alg == BSS {
+		if err := spinEnqueueCtx(ctx, c.A, c.Srv, m); err != nil {
+			return Msg{}, err
+		}
+	} else {
+		if err := enqueueOrSleepCtx(ctx, c.Srv, c.A, m, c.M); err != nil {
+			return Msg{}, err
+		}
+		poolWake(c.Srv, c.A)
+		if c.Alg == BSWY {
+			c.A.BusyWait()
+		}
+	}
+	c.lag++
+	ans, err := c.recvReplyCtx(ctx)
+	if err != nil {
+		return Msg{}, err
+	}
+	c.lag--
+	if c.M != nil {
+		c.M.MsgsSent.Add(1)
+	}
+	return ans, nil
+}
+
+// recvReply is the per-protocol blocking reply dequeue.
+func (c *PoolClient) recvReply() Msg {
+	switch c.Alg {
+	case BSS:
 		var ans Msg
-		busySpinUntil(c.A, func() bool {
+		if !busySpinUntil(c.A, c.Rcv, func() bool {
 			var ok bool
 			ans, ok = c.Rcv.TryDequeue()
 			return ok
-		})
+		}) {
+			return ShutdownMsg()
+		}
 		return ans
-	}
-	for !c.Srv.TryEnqueue(m) {
-		c.A.SleepSec(1)
-	}
-	poolWake(c.Srv, c.A)
-	switch c.Alg {
 	case BSW:
 		return consumerWait(c.Rcv, c.A, nil)
 	case BSWY:
-		c.A.BusyWait()
 		return consumerWait(c.Rcv, c.A, c.A.BusyWait)
 	case BSLS:
 		spinPoll(c.Rcv, c.A, c.maxSpin(), c.M)
 		return consumerWait(c.Rcv, c.A, c.A.BusyWait)
 	}
-	panic("core: unknown algorithm")
+	panic(ErrUnknownAlgorithm)
+}
+
+// recvReplyCtx is the per-protocol cancellable reply dequeue.
+func (c *PoolClient) recvReplyCtx(ctx context.Context) (Msg, error) {
+	switch c.Alg {
+	case BSS:
+		return spinDequeueCtx(ctx, c.A, c.Rcv)
+	case BSW:
+		return consumerWaitCtx(ctx, c.Rcv, c.A, nil)
+	case BSWY:
+		return consumerWaitCtx(ctx, c.Rcv, c.A, c.A.BusyWait)
+	case BSLS:
+		spinPoll(c.Rcv, c.A, c.maxSpin(), c.M)
+		return consumerWaitCtx(ctx, c.Rcv, c.A, c.A.BusyWait)
+	}
+	return Msg{}, ErrUnknownAlgorithm
 }

@@ -1,17 +1,64 @@
 package core
 
-import "ulipc/internal/metrics"
+import (
+	"context"
+
+	"ulipc/internal/metrics"
+)
 
 // This file contains the shared building blocks of the four protocols,
-// transcribed from the paper's Figures 1, 5, 7 and 9.
+// transcribed from the paper's Figures 1, 5, 7 and 9, plus their
+// context-threaded variants (cancellation, deadlines, shutdown).
 
 // enqueueOrSleep implements the producer-side queue-full handling common
 // to Send and Reply: "the process will sleep for at least one second...
 // the queue full condition seldom occurs and the implication is that the
-// consumer is saturated".
-func enqueueOrSleep(q Port, a Actor, m Msg) {
-	for !q.TryEnqueue(m) {
+// consumer is saturated". It reports false — without enqueueing — when
+// the port shut down (or started refusing new messages) underneath the
+// retry loop. The producer side needs only the enqueue operation, so it
+// accepts any endpoint flavour (Port or PoolPort).
+func enqueueOrSleep(q interface{ TryEnqueue(Msg) bool }, a Actor, m Msg) bool {
+	for {
+		if portRefusing(q) {
+			return false
+		}
+		if q.TryEnqueue(m) {
+			return true
+		}
 		a.SleepSec(1)
+	}
+}
+
+// enqueueOrSleepCtx is enqueueOrSleep with cancellation and bounded
+// retry-with-backoff: instead of the paper's flat sleep(1) forever, the
+// nap doubles (1, 2, 4, 8 "seconds", scaled by the actor's sleep scale)
+// and the loop gives up when ctx ends or the port refuses. Each retry
+// is counted in pm.Retries.
+func enqueueOrSleepCtx(ctx context.Context, q interface{ TryEnqueue(Msg) bool }, a Actor, m Msg, pm *metrics.Proc) error {
+	ca, _ := a.(CtxActor)
+	backoff := 1
+	for {
+		if portRefusing(q) {
+			return ErrShutdown
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if q.TryEnqueue(m) {
+			return nil
+		}
+		if pm != nil {
+			pm.Retries.Add(1)
+		}
+		if ca == nil {
+			return ErrNotCancellable
+		}
+		if err := ca.SleepCtx(ctx, backoff); err != nil {
+			return err
+		}
+		if backoff < 8 {
+			backoff <<= 1
+		}
 	}
 }
 
@@ -49,10 +96,17 @@ func wakeConsumer(q Port, a Actor) bool {
 // cleared (Execution Interleaving 4 — the consumer would sleep forever).
 // The tas on the success path drains a pending redundant wake-up so the
 // semaphore count cannot accumulate (Execution Interleaving 3).
+// Shutdown interacts with the loop through the port state: a closed
+// port's semaphore no longer blocks, so a parked consumer wakes, drains
+// any message still queued (the first dequeue of the next iteration)
+// and otherwise returns the OpShutdown marker.
 func consumerWait(q Port, a Actor, preWait func()) Msg {
 	for {
 		if m, ok := q.TryDequeue(); ok {
 			return m
+		}
+		if portClosed(q) {
+			return ShutdownMsg()
 		}
 		if preWait != nil {
 			preWait()
@@ -69,6 +123,90 @@ func consumerWait(q Port, a Actor, preWait func()) Msg {
 		}
 		a.P(q.Sem())
 		q.SetAwake(true)
+	}
+}
+
+// consumerWaitCtx is consumerWait with cancellation, deadline and
+// shutdown support. The delicate part is the wake-token accounting on
+// the cancel path — the Figure 4 awake-flag race, revisited under
+// cancellation:
+//
+//   - PCtx guarantees that a cancelled wait consumed NO token: a token
+//     granted concurrently with the cancellation is handed back to the
+//     semaphore (re-credited or passed to the next waiter).
+//   - The cancelled consumer then re-sets the awake flag with a
+//     test-and-set. If the flag was still clear, no producer has issued
+//     (or will issue) a wake for the current queue state, and setting
+//     it suppresses any future producer's V — clean exit. If the flag
+//     was already set, a producer won the race: it enqueued a message
+//     and issued a V this wait did not consume. The consumer drains
+//     that token (the P returns promptly: the V is issued, or the
+//     semaphore was closed) and takes the message — success beats
+//     cancellation when the two race, and the semaphore count stays
+//     bounded either way: no wake destined for a live waiter is ever
+//     swallowed, and no cancelled waiter leaves a token behind.
+func consumerWaitCtx(ctx context.Context, q Port, a Actor, preWait func()) (Msg, error) {
+	ca, _ := a.(CtxActor)
+	for {
+		if m, ok := q.TryDequeue(); ok {
+			return m, nil
+		}
+		if portClosed(q) {
+			return Msg{}, ErrShutdown
+		}
+		if err := ctx.Err(); err != nil {
+			return Msg{}, err
+		}
+		if preWait != nil {
+			preWait()
+		}
+		q.SetAwake(false)
+		if m, ok := q.TryDequeue(); ok {
+			if q.TASAwake() {
+				a.P(q.Sem())
+			}
+			return m, nil
+		}
+		if ca == nil {
+			// Can't park cancellably: restore the flag with the same
+			// token accounting as the cancel path below.
+			if q.TASAwake() {
+				a.P(q.Sem())
+				if m, ok := q.TryDequeue(); ok {
+					return m, nil
+				}
+			}
+			return Msg{}, ErrNotCancellable
+		}
+		if err := ca.PCtx(ctx, q.Sem()); err != nil {
+			if q.TASAwake() {
+				a.P(q.Sem())
+				if m, ok := q.TryDequeue(); ok {
+					return m, nil
+				}
+			}
+			return Msg{}, err
+		}
+		q.SetAwake(true)
+	}
+}
+
+// spinEnqueueCtx busy-waits an enqueue with cancellation (the BSS send
+// leg of the ctx paths). It accepts any endpoint flavour.
+func spinEnqueueCtx(ctx context.Context, a Actor, q interface {
+	TryEnqueue(Msg) bool
+}, m Msg) error {
+	for {
+		if portRefusing(q) {
+			return ErrShutdown
+		}
+		if q.TryEnqueue(m) {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		a.BusyWait()
 	}
 }
 
@@ -99,9 +237,51 @@ func spinPoll(q interface{ Empty() bool }, a Actor, maxSpin int, m *metrics.Proc
 	}
 }
 
-// busySpinUntil busy-waits (Figure 1's busy_wait) until ready() holds.
-func busySpinUntil(a Actor, ready func() bool) {
+// busySpinUntil busy-waits (Figure 1's busy_wait) until ready() holds,
+// polling q's shutdown state so a BSS spinner does not spin forever on
+// a dead system; it reports false on shutdown. Endpoints without port
+// state (the simulator's) spin exactly as before.
+func busySpinUntil(a Actor, q any, ready func() bool) bool {
 	for !ready() {
+		if portClosed(q) {
+			return false
+		}
+		a.BusyWait()
+	}
+	return true
+}
+
+// busySpinUntilCtx is busySpinUntil with cancellation: the spin aborts
+// when ctx ends or the port shuts down.
+func busySpinUntilCtx(ctx context.Context, a Actor, q any, ready func() bool) error {
+	for !ready() {
+		if portClosed(q) {
+			return ErrShutdown
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		a.BusyWait()
+	}
+	return nil
+}
+
+// spinDequeueCtx busy-waits a dequeue with cancellation (the BSS
+// receive leg of the ctx paths). It accepts any endpoint flavour (Port
+// or PoolPort).
+func spinDequeueCtx(ctx context.Context, a Actor, q interface {
+	TryDequeue() (Msg, bool)
+}) (Msg, error) {
+	for {
+		if m, ok := q.TryDequeue(); ok {
+			return m, nil
+		}
+		if portClosed(q) {
+			return Msg{}, ErrShutdown
+		}
+		if err := ctx.Err(); err != nil {
+			return Msg{}, err
+		}
 		a.BusyWait()
 	}
 }

@@ -339,7 +339,7 @@ func TestSpinPollStats(t *testing.T) {
 func TestBusySpinUntil(t *testing.T) {
 	a := newFakeActor(0)
 	n := 0
-	busySpinUntil(a, func() bool { n++; return n >= 4 })
+	busySpinUntil(a, nil, func() bool { n++; return n >= 4 })
 	if a.busyWaits != 3 {
 		t.Fatalf("busyWaits = %d, want 3", a.busyWaits)
 	}

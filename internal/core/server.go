@@ -1,6 +1,10 @@
 package core
 
-import "ulipc/internal/metrics"
+import (
+	"context"
+
+	"ulipc/internal/metrics"
+)
 
 // Server is the server side of the Send/Receive/Reply interface: a
 // single-threaded loop that dequeues requests from one receive queue and
@@ -34,6 +38,11 @@ type Server struct {
 	receives  int64
 	lastAdmit int64
 	connected int // maintained by Serve (or SetConnected) for the throttle
+
+	// outstanding[i] counts requests received from client i and not yet
+	// replied to — the double-reply audit consulted by ReplyCtx. The
+	// server handle is single-goroutine, so plain ints suffice.
+	outstanding []int32
 }
 
 // SetConnected tells the throttle how many clients are currently
@@ -64,8 +73,25 @@ func (s *Server) letClientsRun() {
 	s.A.Yield()
 }
 
+// noteReceived/noteReplied maintain the per-client outstanding-request
+// counts behind the ErrDoubleReply audit.
+func (s *Server) noteReceived(client int32) {
+	if s.outstanding == nil {
+		s.outstanding = make([]int32, len(s.Replies))
+	}
+	s.outstanding[client]++
+}
+
+func (s *Server) noteReplied(client int32) {
+	if s.outstanding != nil && s.outstanding[client] > 0 {
+		s.outstanding[client]--
+	}
+}
+
 // Receive returns the next client request, blocking (per the configured
-// protocol) while the receive queue is empty.
+// protocol) while the receive queue is empty. If the system is shut
+// down it returns the OpShutdown marker message (Client == -1) so a
+// driving loop can exit; ReceiveCtx is the error-returning variant.
 func (s *Server) Receive() Msg {
 	if s.Throttle > 0 && s.connected > 0 && len(s.deferred) >= s.connected {
 		// Every connected client is parked: the parked clients are the
@@ -76,11 +102,13 @@ func (s *Server) Receive() Msg {
 	var m Msg
 	switch s.Alg {
 	case BSS:
-		busySpinUntil(s.A, func() bool {
+		if !busySpinUntil(s.A, s.Rcv, func() bool {
 			var ok bool
 			m, ok = s.Rcv.TryDequeue()
 			return ok
-		})
+		}) {
+			return ShutdownMsg()
+		}
 	case BSW:
 		m = consumerWait(s.Rcv, s.A, nil)
 	case BSWY:
@@ -100,13 +128,64 @@ func (s *Server) Receive() Msg {
 		spinPoll(s.Rcv, s.A, s.maxSpin(), s.M)
 		m = consumerWait(s.Rcv, s.A, nil)
 	default:
-		panic("core: unknown algorithm")
+		panic(ErrUnknownAlgorithm)
+	}
+	if m.Op == OpShutdown && m.Client < 0 {
+		// Honour the marker only when the port really is shut down: a
+		// forged in-band Op=-1 message from a hostile client must not
+		// stop the server (it falls to the invalid-client drop below).
+		if portClosed(s.Rcv) {
+			return m
+		}
 	}
 	if s.M != nil {
 		s.M.MsgsReceived.Add(1)
 	}
 	s.retireWake(m.Client)
+	if s.ValidClient(m.Client) {
+		s.noteReceived(m.Client)
+	}
 	return m
+}
+
+// ReceiveCtx is Receive with deadline/cancellation support: it returns
+// ctx.Err() when the context ends first and ErrShutdown once the system
+// is shut down and the receive queue has drained.
+func (s *Server) ReceiveCtx(ctx context.Context) (Msg, error) {
+	if s.Throttle > 0 && s.connected > 0 && len(s.deferred) >= s.connected {
+		s.admitOne()
+	}
+	var m Msg
+	var err error
+	switch s.Alg {
+	case BSS:
+		m, err = spinDequeueCtx(ctx, s.A, s.Rcv)
+	case BSW:
+		m, err = consumerWaitCtx(ctx, s.Rcv, s.A, nil)
+	case BSWY:
+		if got, ok := s.Rcv.TryDequeue(); ok {
+			m = got
+			break
+		}
+		s.letClientsRun()
+		m, err = consumerWaitCtx(ctx, s.Rcv, s.A, nil)
+	case BSLS:
+		spinPoll(s.Rcv, s.A, s.maxSpin(), s.M)
+		m, err = consumerWaitCtx(ctx, s.Rcv, s.A, nil)
+	default:
+		return Msg{}, ErrUnknownAlgorithm
+	}
+	if err != nil {
+		return Msg{}, err
+	}
+	if s.M != nil {
+		s.M.MsgsReceived.Add(1)
+	}
+	s.retireWake(m.Client)
+	if s.ValidClient(m.Client) {
+		s.noteReceived(m.Client)
+	}
+	return m, nil
 }
 
 // ValidClient reports whether a client-supplied reply-channel number is
@@ -126,12 +205,15 @@ func (s *Server) Reply(client int32, m Msg) {
 	if !s.ValidClient(client) {
 		return
 	}
+	s.noteReplied(client)
 	q := s.Replies[client]
 	if s.Alg == BSS {
-		busySpinUntil(s.A, func() bool { return q.TryEnqueue(m) })
+		busySpinUntil(s.A, q, func() bool { return q.TryEnqueue(m) })
 		return
 	}
-	enqueueOrSleep(q, s.A, m)
+	if !enqueueOrSleep(q, s.A, m) {
+		return // shutdown: the client is being unblocked anyway
+	}
 	if m.Op == OpDisconnect || m.Op == OpConnect {
 		// Control-path replies bypass the throttle: a departing client
 		// sends no further requests (its slot would never retire) and a
@@ -141,6 +223,37 @@ func (s *Server) Reply(client int32, m Msg) {
 		return
 	}
 	s.wakeClient(client)
+}
+
+// ReplyCtx is Reply with deadline/cancellation support and a misuse
+// audit: it returns ErrDoubleReply when no request from that client is
+// outstanding, ErrShutdown once the system is shut down, and ctx.Err()
+// if the context ends while the reply queue is full.
+func (s *Server) ReplyCtx(ctx context.Context, client int32, m Msg) error {
+	if !s.ValidClient(client) {
+		return ErrDoubleReply
+	}
+	if s.outstanding == nil || s.outstanding[client] <= 0 {
+		return ErrDoubleReply
+	}
+	q := s.Replies[client]
+	if s.Alg == BSS {
+		if err := spinEnqueueCtx(ctx, s.A, q, m); err != nil {
+			return err
+		}
+		s.noteReplied(client)
+		return nil
+	}
+	if err := enqueueOrSleepCtx(ctx, q, s.A, m, s.M); err != nil {
+		return err
+	}
+	s.noteReplied(client)
+	if m.Op == OpDisconnect || m.Op == OpConnect {
+		wakeConsumer(q, s.A)
+		return nil
+	}
+	s.wakeClient(client)
+	return nil
 }
 
 // wakeClient wakes the client's consumer, honouring the wake throttle.
@@ -194,13 +307,18 @@ func (s *Server) PendingWakes() int { return len(s.deferred) }
 
 // Serve runs the canonical echo loop of the paper's evaluation: Receive
 // requests and echo the argument back until every connected client has
-// disconnected. work is invoked for OpWork requests to model server-side
-// request processing; it may be nil.
+// disconnected — or the system is shut down, which ends the loop
+// cleanly after in-flight requests have been drained. work is invoked
+// for OpWork requests to model server-side request processing; it may
+// be nil.
 func (s *Server) Serve(work func(*Msg)) (served int64) {
 	connected := 0
 	everConnected := false
 	for {
 		m := s.Receive()
+		if m.Op == OpShutdown && m.Client < 0 {
+			return served
+		}
 		if !s.ValidClient(m.Client) {
 			continue // hostile/corrupted request: no usable reply channel
 		}
@@ -224,6 +342,50 @@ func (s *Server) Serve(work func(*Msg)) (served int64) {
 			served++
 			s.Reply(m.Client, m)
 		default: // OpEcho
+			served++
+			s.Reply(m.Client, m)
+		}
+	}
+}
+
+// ServeCtx is Serve with deadline/cancellation support. It returns
+// (served, nil) when every connected client has disconnected or the
+// system shut down gracefully, and (served, ctx.Err()) when the context
+// ends first.
+func (s *Server) ServeCtx(ctx context.Context, work func(*Msg)) (served int64, err error) {
+	connected := 0
+	everConnected := false
+	for {
+		m, err := s.ReceiveCtx(ctx)
+		if err == ErrShutdown {
+			return served, nil
+		}
+		if err != nil {
+			return served, err
+		}
+		if !s.ValidClient(m.Client) {
+			continue
+		}
+		switch m.Op {
+		case OpConnect:
+			connected++
+			s.connected = connected
+			everConnected = true
+			s.Reply(m.Client, m)
+		case OpDisconnect:
+			connected--
+			s.connected = connected
+			s.Reply(m.Client, m)
+			if everConnected && connected == 0 {
+				return served, nil
+			}
+		case OpWork:
+			if work != nil {
+				work(&m)
+			}
+			served++
+			s.Reply(m.Client, m)
+		default:
 			served++
 			s.Reply(m.Client, m)
 		}

@@ -1,6 +1,8 @@
 package livebind
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -42,33 +44,77 @@ func (s *System) slots() *connPool {
 	return &s.conns
 }
 
-// Connect claims a free client slot, sends the connect handshake, and
-// returns the connection. It fails when every slot is in use (the
-// shared segment is a fixed-size resource, like the paper's mapped
-// regions).
-func (s *System) Connect() (*Conn, error) {
+func (s *System) claimSlot() (int, error) {
 	pool := s.slots()
 	pool.mu.Lock()
+	defer pool.mu.Unlock()
 	if len(pool.free) == 0 {
-		pool.mu.Unlock()
-		return nil, fmt.Errorf("livebind: all %d client slots in use", len(s.replies))
+		return 0, fmt.Errorf("%w: all %d slots taken", ErrNoFreeSlots, len(s.replies))
 	}
 	slot := pool.free[len(pool.free)-1]
 	pool.free = pool.free[:len(pool.free)-1]
-	pool.mu.Unlock()
+	return slot, nil
+}
 
+func (s *System) releaseSlot(slot int) {
+	pool := s.slots()
+	pool.mu.Lock()
+	pool.free = append(pool.free, slot)
+	pool.mu.Unlock()
+}
+
+// Connect claims a free client slot, sends the connect handshake, and
+// returns the connection. It fails with ErrNoFreeSlots when every slot
+// is in use (the shared segment is a fixed-size resource, like the
+// paper's mapped regions).
+func (s *System) Connect() (*Conn, error) {
+	slot, err := s.claimSlot()
+	if err != nil {
+		return nil, err
+	}
 	cl, err := s.Client(slot)
 	if err != nil {
-		pool.mu.Lock()
-		pool.free = append(pool.free, slot)
-		pool.mu.Unlock()
+		s.releaseSlot(slot)
 		return nil, err
 	}
 	if ans := cl.Send(core.Msg{Op: core.OpConnect}); ans.Op != core.OpConnect {
 		DrainPort(cl.Srv)
-		pool.mu.Lock()
-		pool.free = append(pool.free, slot)
-		pool.mu.Unlock()
+		s.releaseSlot(slot)
+		if ans.Op == core.OpShutdown {
+			return nil, core.ErrShutdown
+		}
+		return nil, fmt.Errorf("livebind: bad connect reply %+v", ans)
+	}
+	return &Conn{cl: cl, sys: s, slot: slot}, nil
+}
+
+// ConnectCtx is Connect with a deadline/cancellation on the connect
+// handshake. A slot whose handshake was cancelled mid-flight (the
+// request is enqueued but the reply is still owed) is NOT returned to
+// the free list: a fresh client handle on that slot would misattribute
+// the stale connect reply. The slot is reclaimed only when the system
+// shuts down.
+func (s *System) ConnectCtx(ctx context.Context) (*Conn, error) {
+	slot, err := s.claimSlot()
+	if err != nil {
+		return nil, err
+	}
+	cl, err := s.Client(slot)
+	if err != nil {
+		s.releaseSlot(slot)
+		return nil, err
+	}
+	ans, err := cl.SendCtx(ctx, core.Msg{Op: core.OpConnect})
+	if err != nil {
+		DrainPort(cl.Srv)
+		if cl.Lag() == 0 || errors.Is(err, core.ErrShutdown) {
+			s.releaseSlot(slot)
+		}
+		return nil, err
+	}
+	if ans.Op != core.OpConnect {
+		DrainPort(cl.Srv)
+		s.releaseSlot(slot)
 		return nil, fmt.Errorf("livebind: bad connect reply %+v", ans)
 	}
 	return &Conn{cl: cl, sys: s, slot: slot}, nil
@@ -79,9 +125,21 @@ func (c *Conn) Send(m core.Msg) (core.Msg, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return core.Msg{}, fmt.Errorf("livebind: send on closed connection")
+		return core.Msg{}, core.ErrDisconnected
 	}
 	return c.cl.Send(m), nil
+}
+
+// SendCtx issues a synchronous request honouring the context's
+// deadline/cancellation (see core.Client.SendCtx for the error
+// contract).
+func (c *Conn) SendCtx(ctx context.Context, m core.Msg) (core.Msg, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return core.Msg{}, core.ErrDisconnected
+	}
+	return c.cl.SendCtx(ctx, m)
 }
 
 // SendAsync issues an asynchronous request; collect replies with
@@ -90,10 +148,20 @@ func (c *Conn) SendAsync(m core.Msg) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return fmt.Errorf("livebind: send on closed connection")
+		return core.ErrDisconnected
 	}
 	c.cl.SendAsync(m)
 	return nil
+}
+
+// SendAsyncCtx is SendAsync with deadline/cancellation support.
+func (c *Conn) SendAsyncCtx(ctx context.Context, m core.Msg) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return core.ErrDisconnected
+	}
+	return c.cl.SendAsyncCtx(ctx, m)
 }
 
 // RecvReply collects one reply for a previous SendAsync.
@@ -101,9 +169,19 @@ func (c *Conn) RecvReply() (core.Msg, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return core.Msg{}, fmt.Errorf("livebind: recv on closed connection")
+		return core.Msg{}, core.ErrDisconnected
 	}
 	return c.cl.RecvReply(), nil
+}
+
+// RecvReplyCtx collects one reply for a previous SendAsyncCtx.
+func (c *Conn) RecvReplyCtx(ctx context.Context) (core.Msg, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return core.Msg{}, core.ErrDisconnected
+	}
+	return c.cl.RecvReplyCtx(ctx)
 }
 
 // Slot returns the reply-channel number this connection occupies.
@@ -123,9 +201,26 @@ func (c *Conn) Close() error {
 	// receive-queue pool: the slot outlives this connection, and parked
 	// refs would otherwise leak from the pool's flow control.
 	DrainPort(c.cl.Srv)
-	pool := c.sys.slots()
-	pool.mu.Lock()
-	pool.free = append(pool.free, c.slot)
-	pool.mu.Unlock()
+	c.sys.releaseSlot(c.slot)
+	return nil
+}
+
+// CloseCtx is Close with a deadline/cancellation on the disconnect
+// handshake. On ErrShutdown the slot is released anyway (the whole
+// system is torn down, so no handshake is owed); on a context error the
+// connection stays open — the disconnect reply is still owed, so the
+// caller may retry CloseCtx (or fall back to Close).
+func (c *Conn) CloseCtx(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	if _, err := c.cl.SendCtx(ctx, core.Msg{Op: core.OpDisconnect}); err != nil && !errors.Is(err, core.ErrShutdown) {
+		return err
+	}
+	c.closed = true
+	DrainPort(c.cl.Srv)
+	c.sys.releaseSlot(c.slot)
 	return nil
 }

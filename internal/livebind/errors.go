@@ -1,0 +1,26 @@
+package livebind
+
+import "errors"
+
+// Typed configuration and topology errors of the v2 entry points.
+// NewSystem and the handle constructors wrap these sentinels (with
+// detail text), so callers branch with errors.Is instead of matching
+// message strings.
+var (
+	// ErrBadClients reports an Options.Clients value outside [1, ∞).
+	ErrBadClients = errors.New("livebind: invalid client count")
+
+	// ErrBadOption reports an Options field with a nonsensical value
+	// (negative capacities, batch sizes, spin budgets, ...).
+	ErrBadOption = errors.New("livebind: invalid option")
+
+	// ErrSPSCTopology reports a configuration or handle acquisition that
+	// would break the single-producer/single-consumer guarantee of an
+	// SPSC ring — a second producer on a reply channel, KindSPSC for the
+	// shared receive queue, a worker pool over explicit SPSC replies.
+	ErrSPSCTopology = errors.New("livebind: SPSC topology violation")
+
+	// ErrNoFreeSlots reports that Connect found every pre-allocated
+	// client slot in use.
+	ErrNoFreeSlots = errors.New("livebind: all client slots in use")
+)

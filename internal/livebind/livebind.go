@@ -1,7 +1,7 @@
 // Package livebind binds the protocol code of internal/core to a real
 // in-process runtime: queues from internal/queue, atomic test-and-set on
-// the awake flags, runtime.Gosched as yield, and counting semaphores
-// built on sync.Cond.
+// the awake flags, runtime.Gosched as yield, and cancellable counting
+// semaphores with direct token hand-off (see Semaphore).
 //
 // This is the library surface a Go program uses directly. "Processes"
 // are goroutines (optionally pinned to OS threads); the address-space
@@ -12,6 +12,8 @@
 package livebind
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -37,6 +39,13 @@ type Channel struct {
 	sem  *Semaphore
 	id   core.SemID
 	kind queue.Kind
+
+	// Shutdown state (core.PortState). refuse flips first (producers
+	// stop, consumers drain), closed second (consumers unblock). Both
+	// are written once, at shutdown, and only loaded on blocking/empty
+	// cycles — they share the read-mostly header line by design.
+	refuse atomic.Bool
+	closed atomic.Bool
 
 	_       [64]byte
 	awake   atomic.Bool
@@ -84,6 +93,20 @@ func (c *Channel) Queue() queue.Queue { return c.q }
 // SemCount exposes the semaphore count (diagnostics and tests: the
 // Figure 4 race analysis is about this value staying bounded).
 func (c *Channel) SemCount() int64 { return c.sem.Count() }
+
+// Refuse makes the channel reject new messages (producers observe
+// Refusing and stop) while consumers keep draining — phase one of the
+// graceful shutdown.
+func (c *Channel) Refuse() { c.refuse.Store(true) }
+
+// CloseDown fully shuts the channel: it refuses new messages, marks the
+// channel closed (consumers return the shutdown marker once drained)
+// and releases every waiter parked on the channel's semaphore.
+func (c *Channel) CloseDown() {
+	c.refuse.Store(true)
+	c.closed.Store(true)
+	c.sem.Close()
+}
 
 // Port is a process's endpoint on a channel; it implements core.Port.
 //
@@ -167,6 +190,12 @@ func (p *Port) TASAwake() bool { return p.c.awake.Swap(true) }
 // Sem implements core.Port.
 func (p *Port) Sem() core.SemID { return p.c.id }
 
+// Refusing implements core.PortState.
+func (p *Port) Refusing() bool { return p.c.refuse.Load() }
+
+// Closed implements core.PortState.
+func (p *Port) Closed() bool { return p.c.closed.Load() }
+
 // Actor implements core.Actor over the Go runtime. Each participant
 // (client or server goroutine) owns one Actor; the sems table maps
 // core.SemID to the process-wide semaphores.
@@ -240,6 +269,51 @@ func (a *Actor) V(id core.SemID) {
 // paper's portable implementation uses.
 func (a *Actor) Handoff(target int) { a.Yield() }
 
+// countCtxErr attributes a cancellation outcome to the robustness
+// counters.
+func (a *Actor) countCtxErr(err error) {
+	if a.M == nil || err == nil {
+		return
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		a.M.Timeouts.Add(1)
+	case errors.Is(err, context.Canceled):
+		a.M.Cancels.Add(1)
+	}
+}
+
+// PCtx implements core.CtxActor: P with cancellation and exact token
+// accounting (see Semaphore.PCtx).
+func (a *Actor) PCtx(ctx context.Context, id core.SemID) error {
+	if a.M != nil {
+		a.M.SemP.Add(1)
+	}
+	err := a.sems[id].PCtx(ctx)
+	a.countCtxErr(err)
+	return err
+}
+
+// SleepCtx implements core.CtxActor: the queue-full nap, cancellable.
+func (a *Actor) SleepCtx(ctx context.Context, s int) error {
+	if a.M != nil {
+		a.M.Sleeps.Add(1)
+	}
+	d := time.Duration(s) * time.Second
+	if a.SleepScale > 0 {
+		d = time.Duration(s) * a.SleepScale
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		a.countCtxErr(ctx.Err())
+		return ctx.Err()
+	}
+}
+
 // spin burns CPU without synchronisation. The accumulator is per-Actor
 // (one Actor per goroutine), so there is no shared mutable state.
 //
@@ -253,8 +327,10 @@ func (a *Actor) spin(n int) {
 }
 
 var (
-	_ core.Port  = (*Port)(nil)
-	_ core.Actor = (*Actor)(nil)
+	_ core.Port      = (*Port)(nil)
+	_ core.Actor     = (*Actor)(nil)
+	_ core.CtxActor  = (*Actor)(nil)
+	_ core.PortState = (*Port)(nil)
 )
 
 // PoolPort is a channel endpoint whose consumer side is a worker pool
@@ -287,6 +363,12 @@ func (p *PoolPort) ClaimWaiter() bool { return decIfPositive(&p.c.waiters) }
 // Sem implements core.PoolPort.
 func (p *PoolPort) Sem() core.SemID { return p.c.id }
 
+// Refusing implements core.PortState.
+func (p *PoolPort) Refusing() bool { return p.c.refuse.Load() }
+
+// Closed implements core.PortState.
+func (p *PoolPort) Closed() bool { return p.c.closed.Load() }
+
 // decIfPositive atomically decrements v if it is positive.
 func decIfPositive(v *atomic.Int64) bool {
 	for {
@@ -300,4 +382,7 @@ func decIfPositive(v *atomic.Int64) bool {
 	}
 }
 
-var _ core.PoolPort = (*PoolPort)(nil)
+var (
+	_ core.PoolPort  = (*PoolPort)(nil)
+	_ core.PortState = (*PoolPort)(nil)
+)

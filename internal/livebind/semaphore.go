@@ -1,39 +1,185 @@
 package livebind
 
-import "sync"
+import (
+	"context"
+	"sync"
+
+	"ulipc/internal/core"
+)
 
 // Semaphore is a counting semaphore with System V semantics: P blocks
 // while the count is zero; V increments the count or wakes one waiter.
 // Like the kernel primitive, V never yields the caller.
+//
+// Two kinds of waiter coexist:
+//
+//   - Plain P parks on a sync.Cond and races for the count — the cheap,
+//     allocation-free path the legacy (error-less) protocols pay on
+//     every blocking round trip.
+//   - PCtx parks on an explicit waiter list so the wait can be
+//     cancelled with exact token accounting: V hands its token DIRECTLY
+//     to the first listed waiter (marking it granted), and a waiter
+//     cancelled after being granted hands the token back — to the next
+//     listed waiter, or to the count (waking a cond sleeper). A
+//     cancelled wait therefore never consumes a token, and a token
+//     destined for a live waiter is never lost to a cancelled one. This
+//     is the property the protocol layer's wake-token accounting
+//     (core.consumerWaitCtx) builds on.
 type Semaphore struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	count int64
+	mu      sync.Mutex
+	cond    sync.Cond // plain P sleepers
+	count   int64
+	closed  bool
+	waiters []*semWaiter // parked PCtx calls, granted in FIFO order
+}
+
+// semWaiter is one parked PCtx call. granted is guarded by the
+// semaphore mutex and is valid once ready is closed.
+type semWaiter struct {
+	ready   chan struct{}
+	granted bool
 }
 
 // NewSemaphore creates a semaphore with the given initial count.
 func NewSemaphore(initial int64) *Semaphore {
 	s := &Semaphore{count: initial}
-	s.cond = sync.NewCond(&s.mu)
+	s.cond.L = &s.mu
 	return s
 }
 
-// P (down) decrements the count, blocking while it is zero.
+// P (down) decrements the count, blocking while it is zero. On a closed
+// semaphore P returns immediately without consuming a token, so parked
+// protocol loops unblock and observe the port state.
 func (s *Semaphore) P() {
 	s.mu.Lock()
-	for s.count == 0 {
+	for s.count == 0 && !s.closed {
 		s.cond.Wait()
 	}
-	s.count--
+	if !s.closed {
+		s.count--
+	}
 	s.mu.Unlock()
 }
 
-// V (up) increments the count and wakes one waiter.
+// PCtx is P with cancellation. It returns nil when a token was
+// consumed; ctx.Err() when the wait was cancelled without consuming a
+// token (a token granted concurrently with the cancellation is handed
+// back); and core.ErrShutdown when the semaphore was closed.
+func (s *Semaphore) PCtx(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return core.ErrShutdown
+	}
+	if err := ctx.Err(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if s.count > 0 {
+		s.count--
+		s.mu.Unlock()
+		return nil
+	}
+	w := &semWaiter{ready: make(chan struct{})}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		s.mu.Lock()
+		granted := w.granted
+		s.mu.Unlock()
+		if granted {
+			return nil
+		}
+		return core.ErrShutdown // woken by Close
+	case <-ctx.Done():
+		s.mu.Lock()
+		if w.granted {
+			// A V (or Close) won the race and the grant channel is closed
+			// or closing. Hand the token back so it is not lost: to the
+			// next waiter if any, otherwise to the count.
+			s.handBackLocked()
+		} else {
+			s.removeWaiterLocked(w)
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// handBackLocked re-issues a token whose grantee was cancelled; the
+// caller holds s.mu.
+func (s *Semaphore) handBackLocked() {
+	if len(s.waiters) > 0 {
+		next := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		next.granted = true
+		close(next.ready)
+		return
+	}
+	s.count++
+	s.cond.Signal() // a plain P may be sleeping on the count
+}
+
+// removeWaiterLocked unlinks a cancelled waiter; the caller holds s.mu.
+// The waiter may already be gone (Close drained the list).
+func (s *Semaphore) removeWaiterLocked(w *semWaiter) {
+	for i, cand := range s.waiters {
+		if cand == w {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// V (up) hands a token to the first listed (cancellable) waiter, or
+// increments the count and signals a plain P sleeper. Vs on a closed
+// semaphore are dropped (every waiter has already been released and no
+// new ones arrive).
 func (s *Semaphore) V() {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		w.granted = true
+		s.mu.Unlock()
+		close(w.ready)
+		return
+	}
 	s.count++
 	s.mu.Unlock()
 	s.cond.Signal()
+}
+
+// Close releases every parked waiter without granting tokens and makes
+// all subsequent P calls non-blocking (PCtx returns core.ErrShutdown).
+// Idempotent.
+func (s *Semaphore) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ws := s.waiters
+	s.waiters = nil
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, w := range ws {
+		close(w.ready)
+	}
+}
+
+// Closed reports whether the semaphore has been closed (diagnostics).
+func (s *Semaphore) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 // Count returns the current count (diagnostics).
@@ -41,4 +187,12 @@ func (s *Semaphore) Count() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.count
+}
+
+// Waiters returns the number of parked cancellable waiters (diagnostics
+// and tests).
+func (s *Semaphore) Waiters() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
 }

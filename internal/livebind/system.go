@@ -1,6 +1,7 @@
 package livebind
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -35,6 +36,9 @@ type Options struct {
 	// was requested explicitly). Set a non-nil MPMC kind to restore the
 	// old shared-queue behaviour. QueueKind may NOT be KindSPSC: the
 	// receive queue is shared by all clients.
+	//
+	// Prefer the WithReplyKind functional option over storing a pointer
+	// here directly; the pointer field remains for compatibility.
 	ReplyKind *queue.Kind
 
 	// AllocBatch, when > 1, gives each producer port a private cache of
@@ -64,6 +68,82 @@ type Options struct {
 	Metrics *metrics.Set // optional; created if nil
 }
 
+// Option is a functional setting applied by NewSystem on top of the
+// Options struct — the v2 idiom for the fields whose zero value is
+// meaningful (so "unset" and "zero" need distinguishing, which the
+// struct forces through pointers).
+type Option func(*Options)
+
+// WithReplyKind selects the per-client channel queue implementation,
+// replacing the Options.ReplyKind pointer idiom.
+func WithReplyKind(k queue.Kind) Option {
+	return func(o *Options) { o.ReplyKind = &k }
+}
+
+// WithAllocBatch sets the producer-side allocation batch (see
+// Options.AllocBatch).
+func WithAllocBatch(n int) Option {
+	return func(o *Options) { o.AllocBatch = n }
+}
+
+// WithMaxSpin sets the BSLS MAX_SPIN budget (see Options.MaxSpin).
+func WithMaxSpin(n int) Option {
+	return func(o *Options) { o.MaxSpin = n }
+}
+
+// WithThrottle sets the server wake throttle (see Options.Throttle).
+func WithThrottle(n int) Option {
+	return func(o *Options) { o.Throttle = n }
+}
+
+// WithSleepScale compresses the queue-full sleep(1) (see
+// Options.SleepScale).
+func WithSleepScale(d time.Duration) Option {
+	return func(o *Options) { o.SleepScale = d }
+}
+
+// WithDuplex wires the client->server queues for the thread-per-client
+// architecture (see Options.Duplex).
+func WithDuplex() Option {
+	return func(o *Options) { o.Duplex = true }
+}
+
+// validate rejects nonsensical configurations with typed errors and
+// fills defaults.
+func (o *Options) validate() error {
+	if o.Clients < 1 {
+		return fmt.Errorf("%w: need at least 1 client, got %d", ErrBadClients, o.Clients)
+	}
+	if o.QueueCap < 0 {
+		return fmt.Errorf("%w: negative QueueCap %d", ErrBadOption, o.QueueCap)
+	}
+	if o.MaxSpin < 0 {
+		return fmt.Errorf("%w: negative MaxSpin %d", ErrBadOption, o.MaxSpin)
+	}
+	if o.AllocBatch < 0 {
+		return fmt.Errorf("%w: negative AllocBatch %d", ErrBadOption, o.AllocBatch)
+	}
+	if o.Throttle < 0 {
+		return fmt.Errorf("%w: negative Throttle %d", ErrBadOption, o.Throttle)
+	}
+	if o.SpinIters < 0 {
+		return fmt.Errorf("%w: negative SpinIters %d", ErrBadOption, o.SpinIters)
+	}
+	if o.BlockSlots < 0 {
+		return fmt.Errorf("%w: negative BlockSlots %d", ErrBadOption, o.BlockSlots)
+	}
+	if o.Alg < core.BSS || o.Alg > core.BSLS {
+		return fmt.Errorf("%w: unknown algorithm %d", ErrBadOption, o.Alg)
+	}
+	if o.QueueKind == queue.KindSPSC {
+		return fmt.Errorf("%w: QueueKind cannot be KindSPSC: the shared receive queue has one producer per client; use WithReplyKind for the per-client channels", ErrSPSCTopology)
+	}
+	if o.QueueCap == 0 {
+		o.QueueCap = 64
+	}
+	return nil
+}
+
 // System wires a server and its clients over live channels. It is the
 // top-level entry point of the library: create a System, run Server()
 // in its own goroutine, and issue requests through the Client handles.
@@ -79,6 +159,15 @@ type System struct {
 	connMu sync.Mutex
 	conns  connPool
 
+	// Shutdown bookkeeping: batched producer ports (whose caches must
+	// spill before teardown), worker-pool coordinators (whose stop flag
+	// must rise before the pool semaphore closes), and the one-shot
+	// shutdown latch.
+	downMu   sync.Mutex
+	ports    []*Port
+	pools    []*core.PoolCoordinator
+	shutdown bool
+
 	// SPSC topology bookkeeping: which producer endpoints have been
 	// issued. Only consulted while the per-client channels are SPSC.
 	topoMu       sync.Mutex
@@ -90,16 +179,16 @@ type System struct {
 }
 
 // NewSystem builds the shared state for one server and opts.Clients
-// clients.
-func NewSystem(opts Options) (*System, error) {
-	if opts.Clients < 1 {
-		return nil, fmt.Errorf("livebind: need at least 1 client, got %d", opts.Clients)
+// clients. Functional options (WithReplyKind, WithAllocBatch, ...) are
+// applied on top of the struct before validation; configuration errors
+// wrap the typed sentinels (ErrBadClients, ErrBadOption,
+// ErrSPSCTopology).
+func NewSystem(opts Options, extra ...Option) (*System, error) {
+	for _, apply := range extra {
+		apply(&opts)
 	}
-	if opts.QueueCap <= 0 {
-		opts.QueueCap = 64
-	}
-	if opts.QueueKind == queue.KindSPSC {
-		return nil, fmt.Errorf("livebind: QueueKind cannot be KindSPSC: the shared receive queue has one producer per client; use Options.ReplyKind for the per-client channels")
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
 	if opts.Metrics == nil {
 		opts.Metrics = metrics.NewSet()
@@ -159,12 +248,111 @@ func (s *System) Blocks() *shm.BlockPool { return s.blocks }
 
 // producerPort builds an enqueue endpoint for a channel, attaching a
 // private allocation cache when Options.AllocBatch asks for one and the
-// channel's queue supports it.
+// channel's queue supports it. Batched ports are tracked so Shutdown
+// can spill their caches back to the shared pool.
 func (s *System) producerPort(c *Channel, m *metrics.Proc) *Port {
 	if s.opts.AllocBatch > 1 {
-		return newBatchedPort(c, s.opts.AllocBatch, m)
+		p := newBatchedPort(c, s.opts.AllocBatch, m)
+		if p.cache != nil {
+			s.downMu.Lock()
+			s.ports = append(s.ports, p)
+			s.downMu.Unlock()
+		}
+		return p
 	}
 	return NewPort(c)
+}
+
+// Shutdown gracefully tears the system down:
+//
+//  1. the request-bearing channels (receive queue, duplex c2s queues)
+//     start REFUSING new messages — producers observe the state and
+//     fail fast with core.ErrShutdown, while servers keep consuming;
+//  2. Shutdown waits for the in-flight requests to drain (bounded by
+//     ctx: on expiry it proceeds to teardown and returns ctx.Err());
+//  3. worker pools are stopped;
+//  4. every channel is closed: remaining producers and consumers are
+//     unblocked — parked waiters are released by the semaphore close —
+//     and the *Ctx paths surface core.ErrShutdown (legacy paths return
+//     the OpShutdown marker message);
+//  5. batched producer caches are spilled back to the shared free pool
+//     so no refs leak from the pool's flow control.
+//
+// Shutdown is idempotent; concurrent and later calls return nil
+// immediately.
+func (s *System) Shutdown(ctx context.Context) error {
+	s.downMu.Lock()
+	if s.shutdown {
+		s.downMu.Unlock()
+		return nil
+	}
+	s.shutdown = true
+	s.downMu.Unlock()
+
+	// Phase 1: refuse new requests; replies stay open so in-flight
+	// requests still get answered.
+	s.recv.Refuse()
+	for _, ch := range s.c2s {
+		ch.Refuse()
+	}
+
+	// Phase 2: drain-wait.
+	var derr error
+	for !s.requestsDrained() {
+		if err := ctx.Err(); err != nil {
+			derr = err
+			break
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+
+	// Phase 3: stop worker pools before their semaphore closes, so a
+	// worker woken by the close observes the stop flag, not a spurious
+	// wake.
+	s.downMu.Lock()
+	pools := append([]*core.PoolCoordinator(nil), s.pools...)
+	ports := append([]*Port(nil), s.ports...)
+	s.downMu.Unlock()
+	for _, pc := range pools {
+		pc.Stop()
+	}
+
+	// Phase 4: close every channel, releasing all parked waiters. If the
+	// drain deadline expired, discard the undelivered requests first so
+	// servers exit on their next dequeue instead of processing stale
+	// work against closed reply channels.
+	if derr != nil {
+		queue.Drain(s.recv.q)
+		for _, ch := range s.c2s {
+			queue.Drain(ch.q)
+		}
+	}
+	s.recv.CloseDown()
+	for _, ch := range s.c2s {
+		ch.CloseDown()
+	}
+	for _, ch := range s.replies {
+		ch.CloseDown()
+	}
+
+	// Phase 5: spill batched producer caches.
+	for _, p := range ports {
+		p.Close()
+	}
+	return derr
+}
+
+// requestsDrained reports whether every request-bearing queue is empty.
+func (s *System) requestsDrained() bool {
+	if !s.recv.q.Empty() {
+		return false
+	}
+	for _, ch := range s.c2s {
+		if !ch.q.Empty() {
+			return false
+		}
+	}
+	return true
 }
 
 // DuplexPair returns the two endpoints of client i's full-duplex virtual
@@ -174,7 +362,7 @@ func (s *System) producerPort(c *Channel, m *metrics.Proc) *Port {
 //
 // With SPSC per-client channels (the default), each pair may be taken
 // once, and not after Server() — either would attach a second producer
-// to the reply ring.
+// to the reply ring. Violations wrap ErrSPSCTopology.
 func (s *System) DuplexPair(i int) (*core.DuplexClient, *core.DuplexHandler, error) {
 	if !s.opts.Duplex {
 		return nil, nil, fmt.Errorf("livebind: system built without Options.Duplex")
@@ -186,11 +374,11 @@ func (s *System) DuplexPair(i int) (*core.DuplexClient, *core.DuplexHandler, err
 	if s.replySPSC {
 		if s.serverTaken {
 			s.topoMu.Unlock()
-			return nil, nil, fmt.Errorf("livebind: SPSC reply channel %d already has a producer (Server); set Options.ReplyKind to an MPMC kind to mix modes", i)
+			return nil, nil, fmt.Errorf("%w: reply channel %d already has a producer (Server); set WithReplyKind to an MPMC kind to mix modes", ErrSPSCTopology, i)
 		}
 		if s.duplexTaken[i] {
 			s.topoMu.Unlock()
-			return nil, nil, fmt.Errorf("livebind: SPSC duplex pair %d already taken; set Options.ReplyKind to an MPMC kind to share it", i)
+			return nil, nil, fmt.Errorf("%w: duplex pair %d already taken; set WithReplyKind to an MPMC kind to share it", ErrSPSCTopology, i)
 		}
 	}
 	s.duplexTaken[i] = true
@@ -258,11 +446,11 @@ func (s *System) WorkerPool(n int) ([]*core.PoolWorker, error) {
 	if s.replySPSC {
 		if !s.replyAuto {
 			s.topoMu.Unlock()
-			return nil, fmt.Errorf("livebind: worker pool needs multi-producer reply queues, but Options.ReplyKind is KindSPSC")
+			return nil, fmt.Errorf("%w: worker pool needs multi-producer reply queues, but ReplyKind is KindSPSC", ErrSPSCTopology)
 		}
 		if s.replyHandles {
 			s.topoMu.Unlock()
-			return nil, fmt.Errorf("livebind: worker pool must be built before any client/server/duplex handle (the SPSC reply queues are rebuilt as %s)", s.opts.QueueKind)
+			return nil, fmt.Errorf("%w: worker pool must be built before any client/server/duplex handle (the SPSC reply queues are rebuilt as %s)", ErrSPSCTopology, s.opts.QueueKind)
 		}
 		for _, ch := range s.replies {
 			q, err := queue.New(s.opts.QueueKind, s.opts.QueueCap)
@@ -278,6 +466,9 @@ func (s *System) WorkerPool(n int) ([]*core.PoolWorker, error) {
 	s.topoMu.Unlock()
 
 	coord := &core.PoolCoordinator{Workers: n}
+	s.downMu.Lock()
+	s.pools = append(s.pools, coord)
+	s.downMu.Unlock()
 	workers := make([]*core.PoolWorker, n)
 	for w := 0; w < n; w++ {
 		a := s.newActor(fmt.Sprintf("server%d", w))
@@ -308,7 +499,7 @@ func (s *System) PoolClient(i int) (*core.PoolClient, error) {
 	s.topoMu.Lock()
 	if s.replySPSC {
 		s.topoMu.Unlock()
-		return nil, fmt.Errorf("livebind: build the WorkerPool before its PoolClients (reply queue %d is still an SPSC ring)", i)
+		return nil, fmt.Errorf("%w: build the WorkerPool before its PoolClients (reply queue %d is still an SPSC ring)", ErrSPSCTopology, i)
 	}
 	s.replyHandles = true
 	s.topoMu.Unlock()
@@ -329,20 +520,21 @@ func (s *System) PoolClient(i int) (*core.PoolClient, error) {
 //
 // With SPSC reply channels (the default) the server handle is the
 // single producer of every reply ring, so it may be built only once and
-// not combined with DuplexPair; violations panic (this constructor
-// predates the SPSC default and returns no error). Set Options.ReplyKind
-// to an MPMC kind to lift the restriction.
+// not combined with DuplexPair; violations panic with an error wrapping
+// ErrSPSCTopology (this constructor predates the SPSC default and
+// returns no error). Set WithReplyKind to an MPMC kind to lift the
+// restriction.
 func (s *System) Server() *core.Server {
 	s.topoMu.Lock()
 	if s.replySPSC {
 		if s.serverTaken {
 			s.topoMu.Unlock()
-			panic("livebind: Server() taken twice with SPSC reply channels; set Options.ReplyKind to an MPMC kind")
+			panic(fmt.Errorf("%w: Server() taken twice with SPSC reply channels; set WithReplyKind to an MPMC kind", ErrSPSCTopology))
 		}
 		for i, taken := range s.duplexTaken {
 			if taken {
 				s.topoMu.Unlock()
-				panic(fmt.Sprintf("livebind: SPSC reply channel %d already has a producer (DuplexPair); set Options.ReplyKind to an MPMC kind", i))
+				panic(fmt.Errorf("%w: reply channel %d already has a producer (DuplexPair); set WithReplyKind to an MPMC kind", ErrSPSCTopology, i))
 			}
 		}
 	}

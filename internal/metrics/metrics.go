@@ -45,6 +45,12 @@ type Proc struct {
 	SpinIters     atomic.Int64 // total poll iterations
 	SpinFallThrus atomic.Int64 // loops that exhausted MAX_SPIN
 
+	// Robustness-layer statistics (the *Ctx paths): deadline expiries,
+	// cancellations, and bounded queue-full retries.
+	Timeouts atomic.Int64 // cancellable waits ended by a deadline
+	Cancels  atomic.Int64 // cancellable waits ended by explicit cancel
+	Retries  atomic.Int64 // queue-full retry-with-backoff rounds
+
 	CPUTimeNS atomic.Int64 // virtual (sim) or estimated (live) CPU time
 }
 
@@ -94,6 +100,9 @@ type Snapshot struct {
 	SpinLoops     int64
 	SpinIters     int64
 	SpinFallThrus int64
+	Timeouts      int64
+	Cancels       int64
+	Retries       int64
 	CPUTimeNS     int64
 }
 
@@ -119,6 +128,9 @@ func (p *Proc) Snapshot() Snapshot {
 		SpinLoops:     p.SpinLoops.Load(),
 		SpinIters:     p.SpinIters.Load(),
 		SpinFallThrus: p.SpinFallThrus.Load(),
+		Timeouts:      p.Timeouts.Load(),
+		Cancels:       p.Cancels.Load(),
+		Retries:       p.Retries.Load(),
 		CPUTimeNS:     p.CPUTimeNS.Load(),
 	}
 }
@@ -143,6 +155,9 @@ func (s *Snapshot) Add(other Snapshot) {
 	s.SpinLoops += other.SpinLoops
 	s.SpinIters += other.SpinIters
 	s.SpinFallThrus += other.SpinFallThrus
+	s.Timeouts += other.Timeouts
+	s.Cancels += other.Cancels
+	s.Retries += other.Retries
 	s.CPUTimeNS += other.CPUTimeNS
 }
 

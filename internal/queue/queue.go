@@ -105,3 +105,20 @@ func New(kind Kind, capacity int) (Queue, error) {
 	}
 	return nil, fmt.Errorf("queue: unknown kind %d", kind)
 }
+
+// Drain removes and discards every message currently in the queue,
+// returning how many were dropped. It is the teardown counterpart of
+// the flow-controlled Enqueue: a system shutting down calls it on
+// queues whose consumers are gone, so undelivered messages are counted
+// rather than silently stranded. Like the underlying Dequeue it is safe
+// under concurrency, but the count is exact only once producers have
+// stopped.
+func Drain(q Queue) int {
+	n := 0
+	for {
+		if _, ok := q.Dequeue(); !ok {
+			return n
+		}
+		n++
+	}
+}

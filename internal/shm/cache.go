@@ -1,12 +1,18 @@
 package shm
 
-// PoolCache is a private, single-owner cache of free-pool refs. A
-// producer that allocates one node per message hits the shared Treiber
-// head with one CAS per message; routing the allocations through a
-// cache of batch k turns that into one batched CAS (AllocN/FreeN) per k
-// messages. The cache is deliberately NOT safe for concurrent use — it
-// belongs to exactly one producer (livebind gives each producer Port
-// its own).
+import "sync"
+
+// PoolCache is a private cache of free-pool refs with one primary
+// owner. A producer that allocates one node per message hits the shared
+// Treiber head with one CAS per message; routing the allocations
+// through a cache of batch k turns that into one batched CAS
+// (AllocN/FreeN) per k messages. The cache belongs to exactly one
+// producer (livebind gives each producer Port its own); a light mutex
+// makes Drain safe to call from another goroutine — System.Shutdown
+// spills caches whose owners may still be mid-allocation — without
+// changing the single-owner usage model. The lock is uncontended in
+// steady state (one owner), so it costs an uncontended atomic pair per
+// batched allocation, off the default (uncached) fast path entirely.
 //
 // Flow-control interaction: refs parked in a cache are invisible to
 // other producers, so a pool can look exhausted while caches hold spare
@@ -17,10 +23,12 @@ package shm
 type PoolCache struct {
 	pool  *Pool
 	batch int
-	refs  []Ref // LIFO stash; high end is the hot end
 
-	// Refills and Spills count batched transfers from/to the pool.
-	// Owner-read only (plain ints, same ownership rule as the cache).
+	mu   sync.Mutex
+	refs []Ref // LIFO stash; high end is the hot end
+
+	// Refills and Spills count batched transfers from/to the pool,
+	// written under mu; read them after the owner has quiesced.
 	Refills int64
 	Spills  int64
 }
@@ -39,7 +47,11 @@ func (p *Pool) NewCache(batch int) *PoolCache {
 func (c *PoolCache) Batch() int { return c.batch }
 
 // Len returns the number of refs currently parked in the cache.
-func (c *PoolCache) Len() int { return len(c.refs) }
+func (c *PoolCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.refs)
+}
 
 // Alloc pops a cached ref, refilling from the pool in one batched
 // operation when the cache is empty. refilled reports that a refill
@@ -47,6 +59,8 @@ func (c *PoolCache) Len() int { return len(c.refs) }
 // are both exhausted — a partial refill (pool holds fewer than batch
 // refs) still succeeds with what is available.
 func (c *PoolCache) Alloc() (r Ref, ok bool, refilled bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if len(c.refs) == 0 {
 		n := c.pool.AllocN(c.refs[:c.batch])
 		if n == 0 {
@@ -65,6 +79,8 @@ func (c *PoolCache) Alloc() (r Ref, ok bool, refilled bool) {
 // size, the cold half is spilled back to the pool in one batched
 // operation so hoarded refs stay visible to the pool's flow control.
 func (c *PoolCache) Free(r Ref) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.refs = append(c.refs, r)
 	if len(c.refs) >= 2*c.batch {
 		c.pool.FreeN(c.refs[c.batch:])
@@ -75,8 +91,11 @@ func (c *PoolCache) Free(r Ref) {
 
 // Drain returns every parked ref to the pool (one batched operation)
 // and reports how many were spilled. Owners call it when the producer
-// retires; afterwards the cache is empty but remains usable.
+// retires — and System.Shutdown calls it on the owner's behalf during
+// teardown; afterwards the cache is empty but remains usable.
 func (c *PoolCache) Drain() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	n := len(c.refs)
 	if n > 0 {
 		c.pool.FreeN(c.refs)

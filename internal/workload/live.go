@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -36,10 +37,18 @@ type LiveConfig struct {
 	// SleepScale compresses the queue-full sleep(1) so tests and benches
 	// don't stall for wall-clock seconds; defaults to 1ms per "second".
 	SleepScale time.Duration
+
+	// Watchdog, when positive, runs the workload on the context-threaded
+	// paths (SendCtx/ServeCtx) under a deadline: if any participant is
+	// still blocked past it — a deadlocked cell — the run shuts the
+	// system down, reports partial results and returns an error instead
+	// of hanging forever. Zero keeps the legacy error-less fast path.
+	Watchdog time.Duration
 }
 
 // RunLive executes the client/server workload on the live runtime and
-// returns wall-clock results.
+// returns wall-clock results. With cfg.Watchdog set it runs the
+// context-threaded variant (see LiveConfig.Watchdog).
 func RunLive(cfg LiveConfig) (Result, error) {
 	if cfg.Clients < 1 {
 		return Result{}, fmt.Errorf("workload: need at least 1 client")
@@ -70,6 +79,9 @@ func RunLive(cfg LiveConfig) (Result, error) {
 	})
 	if err != nil {
 		return Result{}, err
+	}
+	if cfg.Watchdog > 0 {
+		return runLiveCtx(cfg, sys, ms)
 	}
 
 	var (
@@ -160,5 +172,136 @@ func RunLive(cfg LiveConfig) (Result, error) {
 	}
 	res.Clients = ms.ByPrefix("client")
 	res.All = ms.Total()
+	return res, nil
+}
+
+// runLiveCtx is the watchdog variant of RunLive: the whole workload
+// runs on the context-threaded paths under cfg.Watchdog. A cell that
+// deadlocks (a protocol bug, a lost wake-up) trips the deadline instead
+// of hanging the process: every blocked participant returns
+// context.DeadlineExceeded, the system is shut down, and the partial
+// results come back alongside the error.
+func runLiveCtx(cfg LiveConfig, sys *livebind.System, ms *metrics.Set) (Result, error) {
+	rootCtx, cancel := context.WithTimeout(context.Background(), cfg.Watchdog)
+	defer cancel()
+
+	var (
+		startMu  sync.Mutex
+		started  bool
+		start    time.Time
+		errsMu   sync.Mutex
+		errs     []string
+		serveEnd time.Time
+	)
+	noteStart := func() {
+		startMu.Lock()
+		if !started {
+			start = time.Now()
+			started = true
+		}
+		startMu.Unlock()
+	}
+	noteErr := func(format string, args ...any) {
+		errsMu.Lock()
+		if len(errs) < 8 {
+			errs = append(errs, fmt.Sprintf(format, args...))
+		}
+		errsMu.Unlock()
+	}
+
+	srv := sys.Server()
+	serverDone := make(chan int64, 1)
+	go func() {
+		served, err := srv.ServeCtx(rootCtx, nil)
+		if err != nil {
+			noteErr("server: %v", err)
+		}
+		serveEnd = time.Now()
+		serverDone <- served
+	}()
+
+	var barrier sync.WaitGroup
+	barrier.Add(cfg.Clients)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		cl, err := sys.Client(i)
+		if err != nil {
+			return Result{}, err
+		}
+		wg.Add(1)
+		go func(i int, cl *core.Client) {
+			defer wg.Done()
+			defer livebind.DrainPort(cl.Srv)
+			// Each client derives its own child context: cancellation
+			// still fans out from rootCtx, but the per-message Err()
+			// polls hit a per-client mutex instead of contending on one
+			// shared context across every client goroutine.
+			cctx, ccancel := context.WithCancel(rootCtx)
+			defer ccancel()
+			if ans, err := cl.SendCtx(cctx, core.Msg{Op: core.OpConnect}); err != nil {
+				noteErr("client%d: connect: %v", i, err)
+				barrier.Done()
+				return
+			} else if ans.Op != core.OpConnect {
+				noteErr("client%d: bad connect reply %+v", i, ans)
+			}
+			barrier.Done()
+			barrier.Wait()
+			noteStart()
+			for j := 0; j < cfg.Msgs; j++ {
+				ans, err := cl.SendCtx(cctx, core.Msg{Op: core.OpEcho, Seq: int32(j), Val: float64(j)})
+				if err != nil {
+					noteErr("client%d: send %d: %v", i, j, err)
+					return
+				}
+				if ans.Seq != int32(j) || ans.Val != float64(j) {
+					noteErr("client%d: reply mismatch at %d: %+v", i, j, ans)
+				}
+			}
+			if _, err := cl.SendCtx(cctx, core.Msg{Op: core.OpDisconnect}); err != nil {
+				noteErr("client%d: disconnect: %v", i, err)
+			}
+		}(i, cl)
+	}
+	wg.Wait()
+	// Unblock the server if clients bailed out without completing the
+	// disconnect protocol (watchdog tripped), then tear the system down;
+	// Shutdown also spills any batched producer caches.
+	cancel()
+	served := <-serverDone
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), time.Second)
+	if err := sys.Shutdown(shutCtx); err != nil {
+		noteErr("shutdown: %v", err)
+	}
+	shutCancel()
+
+	if !started {
+		start = time.Now()
+		serveEnd = start
+	}
+	dur := serveEnd.Sub(start)
+	if dur <= 0 {
+		dur = time.Nanosecond
+	}
+	total := int64(cfg.Clients * cfg.Msgs)
+	res := Result{
+		Label:      fmt.Sprintf("live/%s/%dc", cfg.Alg, cfg.Clients),
+		Throughput: float64(served) / (float64(dur.Nanoseconds()) / 1e6),
+		RTTMicros:  float64(dur.Nanoseconds()) / 1e3 / float64(cfg.Msgs),
+		Duration:   dur.Nanoseconds(),
+		TotalMsgs:  served,
+	}
+	if s, ok := ms.Find("server"); ok {
+		res.Server = s
+	}
+	res.Clients = ms.ByPrefix("client")
+	res.All = ms.Total()
+
+	if len(errs) > 0 {
+		return res, fmt.Errorf("workload: live validation failed: %v", errs)
+	}
+	if served != total {
+		return res, fmt.Errorf("workload: server served %d, want %d", served, total)
+	}
 	return res, nil
 }

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -51,6 +52,12 @@ type LiveBenchOptions struct {
 	MaxSpin    int              // default core.DefaultMaxSpin
 	AllocBatch int              // producer alloc batching (two-lock only)
 	SpinIters  int              // >0: multiprocessor busy_wait flavour
+
+	// Watchdog, when positive, runs every cell on the context-threaded
+	// paths under a deadline: a deadlocked cell trips the deadline, is
+	// recorded with its Error, and the sweep continues with the next
+	// cell instead of hanging the whole benchmark.
+	Watchdog time.Duration
 }
 
 func (o *LiveBenchOptions) defaults() {
@@ -86,6 +93,11 @@ type LiveBenchEntry struct {
 	Blocks      int64   `json:"blocks"`
 	PoolRefills int64   `json:"pool_refills"`
 	PoolSpills  int64   `json:"pool_spills"`
+
+	// Error records a failed cell (watchdog deadline, validation
+	// mismatch); the numeric fields then hold the partial results
+	// gathered before the failure.
+	Error string `json:"error,omitempty"`
 }
 
 // LiveBenchReport is the BENCH_live.json document.
@@ -101,6 +113,12 @@ type LiveBenchReport struct {
 
 // RunLiveBench executes the full matrix and returns the report.
 // progress, when non-nil, receives one line per completed cell.
+//
+// Without a Watchdog the first failing cell aborts the sweep (legacy
+// behaviour: a deadlock would hang anyway). With a Watchdog, failing
+// cells are recorded in the report with their Error and partial
+// numbers, the sweep continues, and the combined error returned at the
+// end names every failed cell — callers get the full report either way.
 func RunLiveBench(opts LiveBenchOptions, progress io.Writer) (*LiveBenchReport, error) {
 	opts.defaults()
 	rep := &LiveBenchReport{
@@ -111,6 +129,7 @@ func RunLiveBench(opts LiveBenchOptions, progress io.Writer) (*LiveBenchReport, 
 		MsgsPerCli:  opts.Msgs,
 		AllocBatch:  opts.AllocBatch,
 	}
+	var failures []error
 	for _, k := range opts.Kinds {
 		for _, alg := range opts.Algs {
 			for _, n := range opts.Clients {
@@ -124,8 +143,9 @@ func RunLiveBench(opts LiveBenchOptions, progress io.Writer) (*LiveBenchReport, 
 					ReplyKind:  &reply,
 					AllocBatch: opts.AllocBatch,
 					SpinIters:  opts.SpinIters,
+					Watchdog:   opts.Watchdog,
 				})
-				if err != nil {
+				if err != nil && opts.Watchdog <= 0 {
 					return nil, fmt.Errorf("live bench %s/%s/%dc: %w", k.Name, alg, n, err)
 				}
 				e := LiveBenchEntry{
@@ -143,15 +163,23 @@ func RunLiveBench(opts LiveBenchOptions, progress io.Writer) (*LiveBenchReport, 
 					PoolRefills: res.All.PoolRefills,
 					PoolSpills:  res.All.PoolSpills,
 				}
+				if err != nil {
+					e.Error = err.Error()
+					failures = append(failures, fmt.Errorf("live bench %s/%s/%dc: %w", k.Name, alg, n, err))
+				}
 				rep.Entries = append(rep.Entries, e)
 				if progress != nil {
-					fmt.Fprintf(progress, "%-10s %-5s %2dc  %12.0f ns/rtt  %11.0f msgs/s  refills=%d\n",
-						k.Name, e.Alg, n, e.NsPerRTT, e.MsgsPerSec, e.PoolRefills)
+					if err != nil {
+						fmt.Fprintf(progress, "%-10s %-5s %2dc  FAILED: %v\n", k.Name, e.Alg, n, err)
+					} else {
+						fmt.Fprintf(progress, "%-10s %-5s %2dc  %12.0f ns/rtt  %11.0f msgs/s  refills=%d\n",
+							k.Name, e.Alg, n, e.NsPerRTT, e.MsgsPerSec, e.PoolRefills)
+					}
 				}
 			}
 		}
 	}
-	return rep, nil
+	return rep, errors.Join(failures...)
 }
 
 // WriteJSON emits the report as indented JSON.
@@ -168,7 +196,11 @@ func (r *LiveBenchReport) RenderText(w io.Writer) {
 	fmt.Fprintf(w, "%-10s %-10s %-6s %-5s %8s %14s %14s %9s %8s\n",
 		"queue", "recv", "reply", "alg", "clients", "ns/rtt", "msgs/s", "refills", "spills")
 	for _, e := range r.Entries {
-		fmt.Fprintf(w, "%-10s %-10s %-6s %-5s %8d %14.0f %14.0f %9d %8d\n",
+		fmt.Fprintf(w, "%-10s %-10s %-6s %-5s %8d %14.0f %14.0f %9d %8d",
 			e.Queue, e.RecvKind, e.ReplyKind, e.Alg, e.Clients, e.NsPerRTT, e.MsgsPerSec, e.PoolRefills, e.PoolSpills)
+		if e.Error != "" {
+			fmt.Fprintf(w, "  FAILED (partial): %s", e.Error)
+		}
+		fmt.Fprintln(w)
 	}
 }

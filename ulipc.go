@@ -14,17 +14,26 @@
 //     evaluation: scheduler interactions, context-switch accounting, and
 //     every table and figure.
 //
-// Quick start:
+// Quick start (v2 surface — context-threaded, error-returning):
 //
-//	sys, _ := ulipc.NewSystem(ulipc.Options{Alg: ulipc.BSLS, Clients: 1})
+//	sys, err := ulipc.NewSystem(ulipc.Options{Alg: ulipc.BSLS, Clients: 1})
+//	if err != nil { ... }
 //	srv := sys.Server()
-//	go srv.Serve(nil)
+//	go srv.ServeCtx(context.Background(), nil)
 //	cl, _ := sys.Client(0)
-//	reply := cl.Send(ulipc.Msg{Op: ulipc.OpEcho, Val: 42})
-//	cl.Send(ulipc.Msg{Op: ulipc.OpDisconnect})
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+//	defer cancel()
+//	reply, err := cl.SendCtx(ctx, ulipc.Msg{Op: ulipc.OpEcho, Val: 42})
+//	...
+//	sys.Shutdown(ctx) // graceful drain; parked waiters get ErrShutdown
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured record of every reproduced artefact.
+// The legacy error-less methods (Send, Serve, ...) remain: where a v1
+// path is unblocked by a shutdown it returns the OpShutdown marker
+// message instead of an error.
+//
+// See DESIGN.md for the system inventory (§7 covers the cancellation
+// and wake-token protocol) and EXPERIMENTS.md for the paper-vs-measured
+// record of every reproduced artefact.
 package ulipc
 
 import (
@@ -44,6 +53,42 @@ const (
 	OpConnect    = core.OpConnect
 	OpDisconnect = core.OpDisconnect
 	OpWork       = core.OpWork
+
+	// OpShutdown marks the message legacy (error-less) blocking calls
+	// return when the system is shut down underneath them.
+	OpShutdown = core.OpShutdown
+)
+
+// Sentinel errors of the context-threaded (v2) API surface. Branch with
+// errors.Is; constructor errors may wrap additional detail.
+var (
+	// ErrShutdown: the system was shut down — parked waiters are
+	// unblocked with it and new sends fail fast while draining.
+	ErrShutdown = core.ErrShutdown
+
+	// ErrNotCancellable: a *Ctx method's binding cannot park cancellably
+	// (the simulator's Actor, for example).
+	ErrNotCancellable = core.ErrNotCancellable
+
+	// ErrDisconnected: send on a connection after a completed
+	// disconnect handshake.
+	ErrDisconnected = core.ErrDisconnected
+
+	// ErrDoubleReply: ReplyCtx with no request outstanding for the
+	// target client.
+	ErrDoubleReply = core.ErrDoubleReply
+
+	// ErrUnknownAlgorithm: an Algorithm value outside the four
+	// protocols (legacy methods panic with this same sentinel).
+	ErrUnknownAlgorithm = core.ErrUnknownAlgorithm
+
+	// ErrBadClients, ErrBadOption, ErrSPSCTopology: typed NewSystem
+	// validation failures. ErrNoFreeSlots: Connect found no free client
+	// slot.
+	ErrBadClients   = livebind.ErrBadClients
+	ErrBadOption    = livebind.ErrBadOption
+	ErrSPSCTopology = livebind.ErrSPSCTopology
+	ErrNoFreeSlots  = livebind.ErrNoFreeSlots
 )
 
 // Algorithm selects a sleep/wake-up protocol.
@@ -77,11 +122,34 @@ type Server = core.Server
 // Options configures a live IPC system.
 type Options = livebind.Options
 
+// Option is a functional setting applied by NewSystem on top of the
+// Options struct (WithReplyKind, WithAllocBatch, WithMaxSpin, ...).
+type Option = livebind.Option
+
+// Functional options — the v2 idiom for Options fields whose zero value
+// is meaningful. WithReplyKind replaces the ReplyKind pointer helper:
+//
+//	sys, err := ulipc.NewSystem(ulipc.Options{Clients: 4},
+//		ulipc.WithReplyKind(ulipc.QueueRing),
+//		ulipc.WithAllocBatch(8))
+var (
+	WithReplyKind  = livebind.WithReplyKind
+	WithAllocBatch = livebind.WithAllocBatch
+	WithMaxSpin    = livebind.WithMaxSpin
+	WithThrottle   = livebind.WithThrottle
+	WithSleepScale = livebind.WithSleepScale
+	WithDuplex     = livebind.WithDuplex
+)
+
 // System wires one server and its clients over live shared queues.
+// System.Shutdown(ctx) tears it down gracefully: drain, unblock, spill.
 type System = livebind.System
 
-// NewSystem builds a live IPC system.
-func NewSystem(opts Options) (*System, error) { return livebind.NewSystem(opts) }
+// NewSystem builds a live IPC system. Configuration errors wrap the
+// typed sentinels (ErrBadClients, ErrBadOption, ErrSPSCTopology).
+func NewSystem(opts Options, extra ...Option) (*System, error) {
+	return livebind.NewSystem(opts, extra...)
+}
 
 // QueueKind selects the shared-queue implementation.
 type QueueKind = queue.Kind
@@ -100,12 +168,12 @@ const (
 
 // ReplyKind wraps a queue kind for Options.ReplyKind, which
 // distinguishes "unset" (nil: the SPSC fast-path default) from an
-// explicit choice:
+// explicit choice.
 //
-//	sys, _ := ulipc.NewSystem(ulipc.Options{
-//		Clients:   4,
-//		ReplyKind: ulipc.ReplyKind(ulipc.QueueRing), // opt out of SPSC replies
-//	})
+// Deprecated: use the WithReplyKind functional option instead —
+// NewSystem(opts, ulipc.WithReplyKind(k)) — which needs no pointer
+// plumbing. See DESIGN.md ("Migration: Options pointers to functional
+// options").
 func ReplyKind(k QueueKind) *QueueKind { return &k }
 
 // DuplexClient and DuplexHandler are the endpoints of a full-duplex
