@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-live
+.PHONY: build test race vet bench bench-live lint cover bench-gate ab
 
 build:
 	$(GO) build ./...
@@ -23,5 +23,34 @@ bench:
 # send path so successive BENCH_live.json snapshots stay comparable;
 # interactive runs default to a watchdog (see README).
 bench-live:
-	$(GO) run ./cmd/ipcbench -live -watchdog 0 -json -o BENCH_live.json
+	$(GO) run ./cmd/ipcbench -live -watchdog 0 -best 3 -json -o BENCH_live.json
 	@echo wrote BENCH_live.json
+
+# Same linters as the CI lint job (.golangci.yml). Needs golangci-lint
+# on PATH; CI installs it via golangci/golangci-lint-action.
+lint:
+	golangci-lint run ./...
+
+# Statement coverage over the library packages, gated on the committed
+# floor (.github/coverage-floor) exactly as the CI coverage job does.
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	floor=$$(cat .github/coverage-floor); \
+	echo "total statement coverage: $$total% (floor: $$floor%)"; \
+	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit !(t+0 >= f+0) }' || \
+		{ echo "coverage $$total% fell below the committed floor $$floor%"; exit 1; }
+
+# The PR bench gate, runnable locally: a short BSS/BSLS subset, three
+# runs, each cell's fastest sample compared against the committed
+# BENCH_live.json (warn >10%, fail >25%).
+bench-gate:
+	for i in 1 2 3; do \
+		$(GO) run ./cmd/ipcbench -live -watchdog 0 -json -algs BSS,BSLS -clients 1 -msgs 1000 -o /tmp/bench_pr_$$i.json || exit 1; \
+	done
+	$(GO) run ./cmd/benchcmp -warn 10 -fail 25 BENCH_live.json /tmp/bench_pr_1.json /tmp/bench_pr_2.json /tmp/bench_pr_3.json
+
+# Observability overhead A/B: interleaved pairs of the BSLS/1-client
+# cell with the hooks disabled and enabled, medians compared.
+ab:
+	$(GO) run ./cmd/ipcbench -live -ab 7 -algs BSLS -clients 1 -msgs 5000

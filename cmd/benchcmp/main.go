@@ -1,0 +1,197 @@
+// Command benchcmp compares two BENCH_live.json documents (a committed
+// baseline and a fresh candidate run) cell by cell and enforces the CI
+// bench gate: a median-RTT regression past the warn threshold prints a
+// warning, past the fail threshold it exits non-zero.
+//
+// Usage:
+//
+//	benchcmp [-warn 10] [-fail 25] baseline.json candidate.json...
+//
+// Cells are matched on (queue, alg, clients). The compared metric is
+// the p50 RTT (rtt_p50_ns) when both documents carry it, falling back
+// to the mean (ns_per_rtt) otherwise — the p50 is the gate's preferred
+// signal because a median is far less sensitive to a single slow
+// outlier round trip than the mean.
+//
+// More than one candidate file may be given: each cell then compares
+// its fastest candidate sample (best-of-K). A single benchmark run on
+// a shared CI box jitters by 10–20%; its distribution floor is far more
+// stable, so best-of-K is what gates. The committed baseline is itself
+// one sample, which biases best-of-K toward leniency — acceptable for
+// a gate that wants to catch real regressions, not noise.
+//
+// When the two documents were generated on visibly different
+// environments (GOMAXPROCS or CPU count differ), failures are
+// downgraded to warnings: cross-machine numbers gate nothing, they only
+// inform. Improvements never fail, whatever their size.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ulipc/internal/workload"
+)
+
+// cellDelta is one compared cell.
+type cellDelta struct {
+	Key      string  // queue/alg/clients
+	Metric   string  // which field was compared
+	BaseNs   float64
+	CandNs   float64
+	DeltaPct float64 // (cand-base)/base * 100; positive = slower
+}
+
+// compareResult is the outcome of comparing two reports.
+type compareResult struct {
+	Cells       []cellDelta
+	Missing     []string // baseline cells absent from the candidate
+	Extra       []string // candidate cells absent from the baseline
+	EnvMismatch bool     // GOMAXPROCS/NumCPU differ between documents
+}
+
+func cellKey(e workload.LiveBenchEntry) string {
+	return fmt.Sprintf("%s/%s/%dc", e.Queue, e.Alg, e.Clients)
+}
+
+// metricOf picks the compared metric for a pair of entries: p50 when
+// both runs recorded histograms, mean RTT otherwise.
+func metricOf(base, cand workload.LiveBenchEntry) (name string, b, c float64) {
+	if base.RTTP50Ns > 0 && cand.RTTP50Ns > 0 {
+		return "rtt_p50_ns", base.RTTP50Ns, cand.RTTP50Ns
+	}
+	return "ns_per_rtt", base.NsPerRTT, cand.NsPerRTT
+}
+
+// compare matches the candidate's cells against the baseline's.
+// Errored or empty cells on either side are skipped — a watchdog-tripped
+// baseline cell carries partial numbers that gate nothing.
+func compare(base, cand *workload.LiveBenchReport) compareResult {
+	res := compareResult{
+		EnvMismatch: base.GOMAXPROCS != cand.GOMAXPROCS || base.NumCPU != cand.NumCPU,
+	}
+	baseBy := make(map[string]workload.LiveBenchEntry, len(base.Entries))
+	for _, e := range base.Entries {
+		baseBy[cellKey(e)] = e
+	}
+	seen := make(map[string]bool, len(cand.Entries))
+	for _, c := range cand.Entries {
+		key := cellKey(c)
+		seen[key] = true
+		b, ok := baseBy[key]
+		if !ok {
+			res.Extra = append(res.Extra, key)
+			continue
+		}
+		if b.Error != "" || c.Error != "" {
+			continue
+		}
+		metric, bv, cv := metricOf(b, c)
+		if bv <= 0 || cv <= 0 {
+			continue
+		}
+		res.Cells = append(res.Cells, cellDelta{
+			Key:      key,
+			Metric:   metric,
+			BaseNs:   bv,
+			CandNs:   cv,
+			DeltaPct: (cv - bv) / bv * 100,
+		})
+	}
+	for _, e := range base.Entries {
+		if !seen[cellKey(e)] {
+			res.Missing = append(res.Missing, cellKey(e))
+		}
+	}
+	return res
+}
+
+// gate renders the comparison and applies the thresholds. It returns
+// the number of failing cells (post-downgrade) — non-zero means the
+// gate is closed.
+func gate(w io.Writer, res compareResult, warnPct, failPct float64) int {
+	fails := 0
+	for _, c := range res.Cells {
+		status := "ok"
+		switch {
+		case c.DeltaPct > failPct:
+			if res.EnvMismatch {
+				status = "WARN (fail downgraded: env mismatch)"
+			} else {
+				status = "FAIL"
+				fails++
+			}
+		case c.DeltaPct > warnPct:
+			status = "WARN"
+		case c.DeltaPct < -warnPct:
+			status = "improved"
+		}
+		fmt.Fprintf(w, "%-28s %-10s %12.0f -> %12.0f  %+7.1f%%  %s\n",
+			c.Key, c.Metric, c.BaseNs, c.CandNs, c.DeltaPct, status)
+	}
+	// The bench gate deliberately runs a subset of the full matrix, so a
+	// long "missing" list is the normal case — summarise past a few.
+	if len(res.Missing) > 3 {
+		fmt.Fprintf(w, "%d baseline cell(s) not in the candidate subset (no gate)\n", len(res.Missing))
+	} else {
+		for _, k := range res.Missing {
+			fmt.Fprintf(w, "%-28s missing from candidate run\n", k)
+		}
+	}
+	for _, k := range res.Extra {
+		fmt.Fprintf(w, "%-28s not in baseline (no gate)\n", k)
+	}
+	if res.EnvMismatch {
+		fmt.Fprintf(w, "note: baseline and candidate environments differ (GOMAXPROCS/CPUs); regressions warn but never fail\n")
+	}
+	if fails > 0 {
+		fmt.Fprintf(w, "bench gate: %d cell(s) regressed past %.0f%%\n", fails, failPct)
+	}
+	return fails
+}
+
+func load(path string) (*workload.LiveBenchReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep workload.LiveBenchReport
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func main() {
+	warnPct := flag.Float64("warn", 10, "warn when a cell's median RTT regresses by more than this percentage")
+	failPct := flag.Float64("fail", 25, "fail (exit 1) when a cell's median RTT regresses by more than this percentage")
+	flag.Parse()
+	if flag.NArg() < 2 {
+		fmt.Fprintf(os.Stderr, "usage: benchcmp [-warn pct] [-fail pct] baseline.json candidate.json...\n")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	var cands []*workload.LiveBenchReport
+	for _, arg := range flag.Args()[1:] {
+		c, err := load(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+			os.Exit(2)
+		}
+		cands = append(cands, c)
+	}
+	if len(cands) > 1 {
+		fmt.Printf("best-of-%d candidate runs per cell\n", len(cands))
+	}
+	if gate(os.Stdout, compare(base, workload.MergeBest(cands)), *warnPct, *failPct) > 0 {
+		os.Exit(1)
+	}
+}

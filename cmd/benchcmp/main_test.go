@@ -1,0 +1,140 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ulipc/internal/workload"
+)
+
+func rep(gomaxprocs int, entries ...workload.LiveBenchEntry) *workload.LiveBenchReport {
+	return &workload.LiveBenchReport{GOMAXPROCS: gomaxprocs, NumCPU: gomaxprocs, Entries: entries}
+}
+
+func entry(queue, alg string, clients int, p50, mean float64) workload.LiveBenchEntry {
+	return workload.LiveBenchEntry{Queue: queue, Alg: alg, Clients: clients, RTTP50Ns: p50, NsPerRTT: mean}
+}
+
+func TestCompareMatchesOnP50(t *testing.T) {
+	base := rep(1, entry("default", "BSS", 1, 1000, 1100))
+	cand := rep(1, entry("default", "BSS", 1, 1200, 9999))
+	res := compare(base, cand)
+	if len(res.Cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(res.Cells))
+	}
+	c := res.Cells[0]
+	if c.Metric != "rtt_p50_ns" {
+		t.Fatalf("metric = %q, want rtt_p50_ns", c.Metric)
+	}
+	if c.DeltaPct < 19.9 || c.DeltaPct > 20.1 {
+		t.Fatalf("delta = %v, want ~20", c.DeltaPct)
+	}
+}
+
+func TestCompareFallsBackToMean(t *testing.T) {
+	// The baseline predates histograms (no p50): the mean gates instead.
+	base := rep(1, entry("default", "BSLS", 4, 0, 1000))
+	cand := rep(1, entry("default", "BSLS", 4, 1300, 1500))
+	res := compare(base, cand)
+	if len(res.Cells) != 1 || res.Cells[0].Metric != "ns_per_rtt" {
+		t.Fatalf("cells = %+v, want one ns_per_rtt cell", res.Cells)
+	}
+	if got := res.Cells[0].DeltaPct; got < 49.9 || got > 50.1 {
+		t.Fatalf("delta = %v, want ~50", got)
+	}
+}
+
+func TestCompareSkipsErroredCells(t *testing.T) {
+	bad := entry("ring", "BSW", 1, 500, 500)
+	bad.Error = "watchdog: context deadline exceeded"
+	base := rep(1, bad)
+	cand := rep(1, entry("ring", "BSW", 1, 10000, 10000))
+	if res := compare(base, cand); len(res.Cells) != 0 {
+		t.Fatalf("errored baseline cell was gated: %+v", res.Cells)
+	}
+}
+
+func TestCompareTracksMissingAndExtra(t *testing.T) {
+	base := rep(1, entry("default", "BSS", 1, 1000, 1000), entry("default", "BSW", 1, 1000, 1000))
+	cand := rep(1, entry("default", "BSS", 1, 1000, 1000), entry("ring", "BSS", 1, 1000, 1000))
+	res := compare(base, cand)
+	if len(res.Missing) != 1 || res.Missing[0] != "default/BSW/1c" {
+		t.Fatalf("missing = %v", res.Missing)
+	}
+	if len(res.Extra) != 1 || res.Extra[0] != "ring/BSS/1c" {
+		t.Fatalf("extra = %v", res.Extra)
+	}
+}
+
+func TestGateThresholds(t *testing.T) {
+	base := rep(1,
+		entry("default", "BSS", 1, 1000, 1000),  // +5%: ok
+		entry("default", "BSW", 1, 1000, 1000),  // +15%: warn
+		entry("default", "BSLS", 1, 1000, 1000), // +40%: fail
+		entry("ring", "BSS", 1, 1000, 1000),     // -30%: improved, never fails
+	)
+	cand := rep(1,
+		entry("default", "BSS", 1, 1050, 1050),
+		entry("default", "BSW", 1, 1150, 1150),
+		entry("default", "BSLS", 1, 1400, 1400),
+		entry("ring", "BSS", 1, 700, 700),
+	)
+	var out strings.Builder
+	fails := gate(&out, compare(base, cand), 10, 25)
+	if fails != 1 {
+		t.Fatalf("fails = %d, want 1\n%s", fails, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"FAIL", "WARN", "improved"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMergeCandidatesBestOfK(t *testing.T) {
+	slow := entry("default", "BSS", 1, 1500, 1500)
+	fast := entry("default", "BSS", 1, 900, 900)
+	errored := entry("default", "BSS", 1, 100, 100)
+	errored.Error = "watchdog"
+	other := entry("ring", "BSS", 1, 700, 700)
+	merged := workload.MergeBest([]*workload.LiveBenchReport{
+		rep(1, slow, other), rep(1, errored), rep(1, fast),
+	})
+	if len(merged.Entries) != 2 {
+		t.Fatalf("merged %d entries, want 2", len(merged.Entries))
+	}
+	for _, e := range merged.Entries {
+		switch cellKey(e) {
+		case "default/BSS/1c":
+			if e.RTTP50Ns != 900 || e.Error != "" {
+				t.Fatalf("best sample not kept: %+v", e)
+			}
+		case "ring/BSS/1c":
+			if e.RTTP50Ns != 700 {
+				t.Fatalf("singleton cell mangled: %+v", e)
+			}
+		}
+	}
+	// Single-report merge is the identity.
+	one := rep(1, slow)
+	if got := workload.MergeBest([]*workload.LiveBenchReport{one}); got != one {
+		t.Fatal("single candidate should pass through")
+	}
+}
+
+func TestGateEnvMismatchDowngradesFailures(t *testing.T) {
+	base := rep(8, entry("default", "BSS", 1, 1000, 1000))
+	cand := rep(1, entry("default", "BSS", 1, 2000, 2000))
+	var out strings.Builder
+	res := compare(base, cand)
+	if !res.EnvMismatch {
+		t.Fatal("EnvMismatch not detected")
+	}
+	if fails := gate(&out, res, 10, 25); fails != 0 {
+		t.Fatalf("fails = %d, want 0 (downgraded)\n%s", fails, out.String())
+	}
+	if !strings.Contains(out.String(), "downgraded") {
+		t.Errorf("output does not mention the downgrade:\n%s", out.String())
+	}
+}

@@ -19,9 +19,15 @@
 //	ipcbench -live -clients 1,4 -algs BSW,BSLS -batch 8
 //	ipcbench -live -watchdog 30s          # per-cell deadline; exits non-zero
 //	                                      # with partial results on deadlock
+//	ipcbench -live -noobs                 # bare fast path, no histograms
+//	ipcbench -live -flight 1024           # flight recorder; SIGQUIT or a
+//	                                      # watchdog trip dumps it to stderr
+//	ipcbench -live -ab 7                  # interleaved A/B observability
+//	                                      # overhead measurement (7 pairs)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -51,11 +57,22 @@ func main() {
 		batch    = flag.Int("batch", 0, "with -live: producer alloc-batch size (two-lock queues; 0 disables)")
 		liveSpin = flag.Int("spin", 0, "with -live: busy-wait spin iterations (0 = yield flavour)")
 		watchdog = flag.Duration("watchdog", 2*time.Minute, "with -live: per-cell deadline on the context-threaded paths; a deadlocked cell is recorded and the sweep continues (0 disables, restoring the legacy error-less fast path)")
+		noObs    = flag.Bool("noobs", false, "with -live: disable the phase-latency histograms (bare legacy fast path; no quantile columns)")
+		flight   = flag.Int("flight", 0, "with -live: attach a flight recorder of this many events per cell; dumped to stderr on a watchdog trip or SIGQUIT")
+		abReps   = flag.Int("ab", 0, "with -live: instead of the matrix, run this many interleaved (observability off, on) pairs of one cell and report the median overhead delta")
+		best     = flag.Int("best", 1, "with -live: run the matrix this many times and keep each cell's fastest sample (best-of-K; stabilises a committed baseline against run-to-run jitter)")
 	)
 	flag.Parse()
 
 	if *live {
-		if err := runLive(*jsonOut, *outFile, *msgs, *quick, *clients, *algs, *batch, *liveSpin, *watchdog); err != nil {
+		if *abReps > 0 {
+			if err := runLiveAB(*abReps, *jsonOut, *msgs, *clients, *algs, *liveSpin, *watchdog); err != nil {
+				fmt.Fprintf(os.Stderr, "ipcbench: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+		if err := runLive(*jsonOut, *outFile, *msgs, *quick, *clients, *algs, *batch, *liveSpin, *watchdog, *noObs, *flight, *best); err != nil {
 			fmt.Fprintf(os.Stderr, "ipcbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -107,28 +124,20 @@ func main() {
 // the sweep: its partial numbers and Error land in the report, the
 // remaining cells still run, and the non-nil error return makes the
 // process exit non-zero after the (partial) report has been written.
-func runLive(jsonOut bool, outFile string, msgs int, quick bool, clients, algs string, batch, spin int, watchdog time.Duration) error {
-	opts := workload.LiveBenchOptions{Msgs: msgs, AllocBatch: batch, SpinIters: spin, Watchdog: watchdog}
+func runLive(jsonOut bool, outFile string, msgs int, quick bool, clients, algs string, batch, spin int, watchdog time.Duration, noObs bool, flight, best int) error {
+	opts := workload.LiveBenchOptions{Msgs: msgs, AllocBatch: batch, SpinIters: spin, Watchdog: watchdog, NoObs: noObs, RecorderCap: flight}
+	if flight > 0 {
+		opts.DumpTo = os.Stderr
+	}
 	if quick && msgs == 0 {
 		opts.Msgs = 200
 	}
-	if clients != "" {
-		for _, f := range strings.Split(clients, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(f))
-			if err != nil || n < 1 {
-				return fmt.Errorf("bad -clients entry %q", f)
-			}
-			opts.Clients = append(opts.Clients, n)
-		}
+	var err error
+	if opts.Clients, err = parseClients(clients); err != nil {
+		return err
 	}
-	if algs != "" {
-		for _, f := range strings.Split(algs, ",") {
-			a, err := core.AlgorithmByName(strings.TrimSpace(f))
-			if err != nil {
-				return err
-			}
-			opts.Algs = append(opts.Algs, a)
-		}
+	if opts.Algs, err = parseAlgs(algs); err != nil {
+		return err
 	}
 	out := os.Stdout
 	if outFile != "" {
@@ -141,7 +150,26 @@ func runLive(jsonOut bool, outFile string, msgs int, quick bool, clients, algs s
 		defer f.Close()
 		out = f
 	}
-	rep, err := workload.RunLiveBench(opts, os.Stderr)
+	var rep *workload.LiveBenchReport
+	if best <= 1 {
+		rep, err = workload.RunLiveBench(opts, os.Stderr)
+	} else {
+		var reps []*workload.LiveBenchReport
+		for i := 0; i < best; i++ {
+			fmt.Fprintf(os.Stderr, "== best-of-%d: run %d ==\n", best, i+1)
+			r, rerr := workload.RunLiveBench(opts, os.Stderr)
+			if r != nil {
+				reps = append(reps, r)
+			}
+			if rerr != nil && err == nil {
+				err = rerr
+			}
+			if r == nil && rerr != nil {
+				break // hard failure before any cell ran
+			}
+		}
+		rep = workload.MergeBest(reps)
+	}
 	if rep != nil {
 		if jsonOut {
 			if werr := rep.WriteJSON(out); werr != nil && err == nil {
@@ -152,4 +180,79 @@ func runLive(jsonOut bool, outFile string, msgs int, quick bool, clients, algs s
 		}
 	}
 	return err
+}
+
+func parseClients(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -clients entry %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseAlgs(s string) ([]core.Algorithm, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []core.Algorithm
+	for _, f := range strings.Split(s, ",") {
+		a, err := core.AlgorithmByName(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// runLiveAB measures the observability hook overhead on one cell:
+// reps interleaved pairs of the same workload with the hooks disabled
+// and enabled, medians compared. The cell is the first -algs/-clients
+// entry (default BSLS, 1 client) on the library-default queues.
+func runLiveAB(reps int, jsonOut bool, msgs int, clients, algs string, spin int, watchdog time.Duration) error {
+	cl, err := parseClients(clients)
+	if err != nil {
+		return err
+	}
+	as, err := parseAlgs(algs)
+	if err != nil {
+		return err
+	}
+	cfg := workload.LiveConfig{
+		Alg:       core.BSLS,
+		Clients:   1,
+		Msgs:      msgs,
+		SpinIters: spin,
+		Watchdog:  watchdog,
+	}
+	if len(as) > 0 {
+		cfg.Alg = as[0]
+	}
+	if len(cl) > 0 {
+		cfg.Clients = cl[0]
+	}
+	if cfg.Msgs <= 0 {
+		cfg.Msgs = 2000
+	}
+	res, err := workload.RunLiveOverheadAB(cfg, reps, os.Stderr)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Printf("A/B overhead %s/%dc over %d interleaved pairs:\n", cfg.Alg, cfg.Clients, res.Reps)
+	fmt.Printf("  base (obs off) median %10.0f ns/rtt\n", res.BaseMedianNs)
+	fmt.Printf("  obs  (obs on)  median %10.0f ns/rtt\n", res.ObsMedianNs)
+	fmt.Printf("  delta %+.2f%%\n", res.DeltaPct)
+	return nil
 }

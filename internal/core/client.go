@@ -2,8 +2,10 @@ package core
 
 import (
 	"context"
+	"time"
 
 	"ulipc/internal/metrics"
+	"ulipc/internal/obs"
 )
 
 // Handoff targets understood by Actor.Handoff, mirroring the paper's
@@ -32,6 +34,7 @@ type Client struct {
 	Rcv     Port      // dequeue endpoint of this client's reply queue
 	A       Actor
 	M       *metrics.Proc // optional spin-loop statistics
+	Obs     obs.Hook      // optional phase histograms + flight recorder
 
 	// UseHandoff enables the Section 6 extension: hand-off hints replace
 	// plain busy_wait/yield on the critical path. HandoffTarget is the
@@ -88,6 +91,19 @@ func (c *Client) Send(m Msg) Msg {
 	if c.M != nil {
 		defer c.M.MsgsSent.Add(1)
 	}
+	if !c.Obs.Enabled() {
+		return c.dispatchSend(m)
+	}
+	c.Obs.Note(obs.EvSend, int64(m.Seq))
+	t0 := time.Now()
+	ans := c.dispatchSend(m)
+	c.Obs.RTT(time.Since(t0))
+	c.Obs.Note(obs.EvRecv, int64(ans.Seq))
+	return ans
+}
+
+// dispatchSend routes a request through the configured protocol.
+func (c *Client) dispatchSend(m Msg) Msg {
 	switch c.Alg {
 	case BSS:
 		return c.sendBSS(m)
@@ -118,9 +134,19 @@ func (c *Client) SendCtx(ctx context.Context, m Msg) (Msg, error) {
 		}
 		c.lag--
 	}
+	var t0 time.Time
+	obsOn := c.Obs.Enabled()
+	if obsOn {
+		c.Obs.Note(obs.EvSend, int64(m.Seq))
+		t0 = time.Now()
+	}
 	ans, err := c.exchangeCtx(ctx, m)
 	if err != nil {
 		return Msg{}, err
+	}
+	if obsOn {
+		c.Obs.RTT(time.Since(t0))
+		c.Obs.Note(obs.EvRecv, int64(ans.Seq))
 	}
 	if m.Op == OpDisconnect {
 		c.disconnected = true
@@ -147,7 +173,7 @@ func (c *Client) exchangeCtx(ctx context.Context, m Msg) (Msg, error) {
 		}
 		return ans, err
 	case BSW, BSWY, BSLS:
-		if err := enqueueOrSleepCtx(ctx, c.Srv, c.A, m, c.M); err != nil {
+		if err := enqueueOrSleepCtxObs(ctx, c.Srv, c.A, m, c.M, c.Obs); err != nil {
 			return Msg{}, err
 		}
 		c.lag++
@@ -188,7 +214,7 @@ func (c *Client) sendBSS(m Msg) Msg {
 // sendBSW is Figure 5: wake the server if its awake flag is clear, then
 // sleep on the reply semaphore via the raced-checked consumer wait.
 func (c *Client) sendBSW(m Msg) Msg {
-	if !enqueueOrSleep(c.Srv, c.A, m) {
+	if !enqueueOrSleepObs(c.Srv, c.A, m, c.Obs) {
 		return ShutdownMsg()
 	}
 	wakeConsumer(c.Srv, c.A)
@@ -199,7 +225,7 @@ func (c *Client) sendBSW(m Msg) Msg {
 // scheduling — one right after waking the server ("and let it run") and
 // one at the top of each wait iteration ("try to handoff").
 func (c *Client) sendBSWY(m Msg) Msg {
-	if !enqueueOrSleep(c.Srv, c.A, m) {
+	if !enqueueOrSleepObs(c.Srv, c.A, m, c.Obs) {
 		return ShutdownMsg()
 	}
 	if !c.Srv.TASAwake() {
@@ -212,11 +238,11 @@ func (c *Client) sendBSWY(m Msg) Msg {
 // sendBSLS is Figure 9: poll the reply queue up to MAX_SPIN times before
 // entering the blocking path.
 func (c *Client) sendBSLS(m Msg) Msg {
-	if !enqueueOrSleep(c.Srv, c.A, m) {
+	if !enqueueOrSleepObs(c.Srv, c.A, m, c.Obs) {
 		return ShutdownMsg()
 	}
 	wakeConsumer(c.Srv, c.A)
-	spinPoll(c.Rcv, c.A, c.maxSpin(), c.M)
+	spinPollObs(c.Rcv, c.A, c.maxSpin(), c.M, c.Obs)
 	return consumerWait(c.Rcv, c.A, c.tryHandoff)
 }
 
@@ -227,7 +253,7 @@ func (c *Client) sendBSLS(m Msg) Msg {
 // silently dropped (use SendAsyncCtx for an error).
 func (c *Client) SendAsync(m Msg) {
 	m.Client = c.ID
-	if !enqueueOrSleep(c.Srv, c.A, m) {
+	if !enqueueOrSleepObs(c.Srv, c.A, m, c.Obs) {
 		return
 	}
 	if c.Alg != BSS {
@@ -249,7 +275,7 @@ func (c *Client) SendAsyncCtx(ctx context.Context, m Msg) error {
 			return err
 		}
 	} else {
-		if err := enqueueOrSleepCtx(ctx, c.Srv, c.A, m, c.M); err != nil {
+		if err := enqueueOrSleepCtxObs(ctx, c.Srv, c.A, m, c.M, c.Obs); err != nil {
 			return err
 		}
 		wakeConsumer(c.Srv, c.A)
@@ -278,7 +304,7 @@ func (c *Client) recvReply() Msg {
 	case BSWY:
 		return consumerWait(c.Rcv, c.A, c.tryHandoff)
 	case BSLS:
-		spinPoll(c.Rcv, c.A, c.maxSpin(), c.M)
+		spinPollObs(c.Rcv, c.A, c.maxSpin(), c.M, c.Obs)
 		return consumerWait(c.Rcv, c.A, c.tryHandoff)
 	}
 	panic(ErrUnknownAlgorithm)
@@ -294,7 +320,7 @@ func (c *Client) recvReplyCtx(ctx context.Context) (Msg, error) {
 	case BSWY:
 		return consumerWaitCtx(ctx, c.Rcv, c.A, c.tryHandoff)
 	case BSLS:
-		spinPoll(c.Rcv, c.A, c.maxSpin(), c.M)
+		spinPollObs(c.Rcv, c.A, c.maxSpin(), c.M, c.Obs)
 		return consumerWaitCtx(ctx, c.Rcv, c.A, c.tryHandoff)
 	}
 	return Msg{}, ErrUnknownAlgorithm

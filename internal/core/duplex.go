@@ -2,8 +2,10 @@ package core
 
 import (
 	"context"
+	"time"
 
 	"ulipc/internal/metrics"
+	"ulipc/internal/obs"
 )
 
 // This file implements the alternative server architecture Section 2.1
@@ -26,6 +28,7 @@ type DuplexClient struct {
 	Rcv     Port // dequeue endpoint of the server->client queue
 	A       Actor
 	M       *metrics.Proc
+	Obs     obs.Hook // optional phase histograms + flight recorder
 
 	lag int
 }
@@ -42,6 +45,19 @@ func (c *DuplexClient) Send(m Msg) Msg {
 	if c.M != nil {
 		defer c.M.MsgsSent.Add(1)
 	}
+	if !c.Obs.Enabled() {
+		return c.dispatchSend(m)
+	}
+	c.Obs.Note(obs.EvSend, int64(m.Seq))
+	t0 := time.Now()
+	ans := c.dispatchSend(m)
+	c.Obs.RTT(time.Since(t0))
+	c.Obs.Note(obs.EvRecv, int64(ans.Seq))
+	return ans
+}
+
+// dispatchSend routes a request through the configured protocol.
+func (c *DuplexClient) dispatchSend(m Msg) Msg {
 	switch c.Alg {
 	case BSS:
 		if !busySpinUntil(c.A, c.Snd, func() bool { return c.Snd.TryEnqueue(m) }) {
@@ -49,13 +65,13 @@ func (c *DuplexClient) Send(m Msg) Msg {
 		}
 		return c.recvReply()
 	case BSW:
-		if !enqueueOrSleep(c.Snd, c.A, m) {
+		if !enqueueOrSleepObs(c.Snd, c.A, m, c.Obs) {
 			return ShutdownMsg()
 		}
 		wakeConsumer(c.Snd, c.A)
 		return consumerWait(c.Rcv, c.A, nil)
 	case BSWY:
-		if !enqueueOrSleep(c.Snd, c.A, m) {
+		if !enqueueOrSleepObs(c.Snd, c.A, m, c.Obs) {
 			return ShutdownMsg()
 		}
 		if !c.Snd.TASAwake() {
@@ -64,11 +80,11 @@ func (c *DuplexClient) Send(m Msg) Msg {
 		}
 		return consumerWait(c.Rcv, c.A, c.A.BusyWait)
 	case BSLS:
-		if !enqueueOrSleep(c.Snd, c.A, m) {
+		if !enqueueOrSleepObs(c.Snd, c.A, m, c.Obs) {
 			return ShutdownMsg()
 		}
 		wakeConsumer(c.Snd, c.A)
-		spinPoll(c.Rcv, c.A, c.maxSpin(), c.M)
+		spinPollObs(c.Rcv, c.A, c.maxSpin(), c.M, c.Obs)
 		return consumerWait(c.Rcv, c.A, c.A.BusyWait)
 	}
 	panic(ErrUnknownAlgorithm)
@@ -83,16 +99,22 @@ func (c *DuplexClient) SendCtx(ctx context.Context, m Msg) (Msg, error) {
 		}
 		c.lag--
 	}
+	var t0 time.Time
+	obsOn := c.Obs.Enabled()
+	if obsOn {
+		c.Obs.Note(obs.EvSend, int64(m.Seq))
+		t0 = time.Now()
+	}
 	var err error
 	switch c.Alg {
 	case BSS:
 		err = spinEnqueueCtx(ctx, c.A, c.Snd, m)
 	case BSW, BSLS:
-		if err = enqueueOrSleepCtx(ctx, c.Snd, c.A, m, c.M); err == nil {
+		if err = enqueueOrSleepCtxObs(ctx, c.Snd, c.A, m, c.M, c.Obs); err == nil {
 			wakeConsumer(c.Snd, c.A)
 		}
 	case BSWY:
-		if err = enqueueOrSleepCtx(ctx, c.Snd, c.A, m, c.M); err == nil {
+		if err = enqueueOrSleepCtxObs(ctx, c.Snd, c.A, m, c.M, c.Obs); err == nil {
 			if !c.Snd.TASAwake() {
 				c.A.V(c.Snd.Sem())
 				c.A.BusyWait()
@@ -110,6 +132,10 @@ func (c *DuplexClient) SendCtx(ctx context.Context, m Msg) (Msg, error) {
 		return Msg{}, err
 	}
 	c.lag--
+	if obsOn {
+		c.Obs.RTT(time.Since(t0))
+		c.Obs.Note(obs.EvRecv, int64(ans.Seq))
+	}
 	if c.M != nil {
 		c.M.MsgsSent.Add(1)
 	}
@@ -134,7 +160,7 @@ func (c *DuplexClient) recvReply() Msg {
 	case BSWY:
 		return consumerWait(c.Rcv, c.A, c.A.BusyWait)
 	case BSLS:
-		spinPoll(c.Rcv, c.A, c.maxSpin(), c.M)
+		spinPollObs(c.Rcv, c.A, c.maxSpin(), c.M, c.Obs)
 		return consumerWait(c.Rcv, c.A, c.A.BusyWait)
 	}
 	panic(ErrUnknownAlgorithm)
@@ -150,7 +176,7 @@ func (c *DuplexClient) recvReplyCtx(ctx context.Context) (Msg, error) {
 	case BSWY:
 		return consumerWaitCtx(ctx, c.Rcv, c.A, c.A.BusyWait)
 	case BSLS:
-		spinPoll(c.Rcv, c.A, c.maxSpin(), c.M)
+		spinPollObs(c.Rcv, c.A, c.maxSpin(), c.M, c.Obs)
 		return consumerWaitCtx(ctx, c.Rcv, c.A, c.A.BusyWait)
 	}
 	return Msg{}, ErrUnknownAlgorithm
@@ -172,6 +198,7 @@ type DuplexHandler struct {
 	Snd     Port // enqueue endpoint of the server->client queue
 	A       Actor
 	M       *metrics.Proc
+	Obs     obs.Hook // optional phase histograms + flight recorder
 
 	// pending counts requests received and not yet replied to — the
 	// double-reply audit consulted by ReplyCtx.
@@ -208,7 +235,7 @@ func (h *DuplexHandler) Receive() Msg {
 		h.A.Yield()
 		m = consumerWait(h.Rcv, h.A, nil)
 	case BSLS:
-		spinPoll(h.Rcv, h.A, h.maxSpin(), h.M)
+		spinPollObs(h.Rcv, h.A, h.maxSpin(), h.M, h.Obs)
 		m = consumerWait(h.Rcv, h.A, nil)
 	default:
 		panic(ErrUnknownAlgorithm)
@@ -240,7 +267,7 @@ func (h *DuplexHandler) ReceiveCtx(ctx context.Context) (Msg, error) {
 		h.A.Yield()
 		m, err = consumerWaitCtx(ctx, h.Rcv, h.A, nil)
 	case BSLS:
-		spinPoll(h.Rcv, h.A, h.maxSpin(), h.M)
+		spinPollObs(h.Rcv, h.A, h.maxSpin(), h.M, h.Obs)
 		m, err = consumerWaitCtx(ctx, h.Rcv, h.A, nil)
 	default:
 		return Msg{}, ErrUnknownAlgorithm
@@ -264,7 +291,7 @@ func (h *DuplexHandler) Reply(m Msg) {
 		busySpinUntil(h.A, h.Snd, func() bool { return h.Snd.TryEnqueue(m) })
 		return
 	}
-	if !enqueueOrSleep(h.Snd, h.A, m) {
+	if !enqueueOrSleepObs(h.Snd, h.A, m, h.Obs) {
 		return
 	}
 	wakeConsumer(h.Snd, h.A)
@@ -284,7 +311,7 @@ func (h *DuplexHandler) ReplyCtx(ctx context.Context, m Msg) error {
 		h.pending--
 		return nil
 	}
-	if err := enqueueOrSleepCtx(ctx, h.Snd, h.A, m, h.M); err != nil {
+	if err := enqueueOrSleepCtxObs(ctx, h.Snd, h.A, m, h.M, h.Obs); err != nil {
 		return err
 	}
 	h.pending--

@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"sync/atomic"
+	"time"
 
 	"ulipc/internal/metrics"
+	"ulipc/internal/obs"
 )
 
 // Worker-pool server: Section 2.1 contemplates "multiple clients and
@@ -98,6 +100,7 @@ type PoolWorker struct {
 	A       Actor
 	C       *PoolCoordinator
 	M       *metrics.Proc
+	Obs     obs.Hook // optional phase histograms + flight recorder
 
 	// outstanding[i] counts requests this worker received from client i
 	// and has not yet replied to — the double-reply audit consulted by
@@ -153,7 +156,7 @@ func (w *PoolWorker) Receive() (Msg, bool) {
 		case BSWY:
 			w.A.Yield()
 		case BSLS:
-			spinPoll(w.Rcv, w.A, w.maxSpin(), w.M)
+			spinPollObs(w.Rcv, w.A, w.maxSpin(), w.M, w.Obs)
 		}
 		w.Rcv.RegisterWaiter()
 		if m, ok := w.Rcv.TryDequeue(); ok {
@@ -202,7 +205,7 @@ func (w *PoolWorker) ReceiveCtx(ctx context.Context) (Msg, error) {
 		case BSWY:
 			w.A.Yield()
 		case BSLS:
-			spinPoll(w.Rcv, w.A, w.maxSpin(), w.M)
+			spinPollObs(w.Rcv, w.A, w.maxSpin(), w.M, w.Obs)
 		}
 		w.Rcv.RegisterWaiter()
 		if m, ok := w.Rcv.TryDequeue(); ok {
@@ -247,7 +250,7 @@ func (w *PoolWorker) Reply(client int32, m Msg) {
 		busySpinUntil(w.A, q, func() bool { return q.TryEnqueue(m) })
 		return
 	}
-	if !enqueueOrSleep(q, w.A, m) {
+	if !enqueueOrSleepObs(q, w.A, m, w.Obs) {
 		return // shutdown: the client is being unblocked anyway
 	}
 	wakeConsumer(q, w.A)
@@ -271,7 +274,7 @@ func (w *PoolWorker) ReplyCtx(ctx context.Context, client int32, m Msg) error {
 		w.noteReplied(client)
 		return nil
 	}
-	if err := enqueueOrSleepCtx(ctx, q, w.A, m, w.M); err != nil {
+	if err := enqueueOrSleepCtxObs(ctx, q, w.A, m, w.M, w.Obs); err != nil {
 		return err
 	}
 	w.noteReplied(client)
@@ -367,6 +370,7 @@ type PoolClient struct {
 	Rcv     Port     // dequeue endpoint of this client's reply queue
 	A       Actor
 	M       *metrics.Proc
+	Obs     obs.Hook // optional phase histograms + flight recorder
 
 	lag int
 }
@@ -395,13 +399,26 @@ func (c *PoolClient) Send(m Msg) Msg {
 	if c.M != nil {
 		defer c.M.MsgsSent.Add(1)
 	}
+	if !c.Obs.Enabled() {
+		return c.dispatchSend(m)
+	}
+	c.Obs.Note(obs.EvSend, int64(m.Seq))
+	t0 := time.Now()
+	ans := c.dispatchSend(m)
+	c.Obs.RTT(time.Since(t0))
+	c.Obs.Note(obs.EvRecv, int64(ans.Seq))
+	return ans
+}
+
+// dispatchSend routes a request through the configured protocol.
+func (c *PoolClient) dispatchSend(m Msg) Msg {
 	if c.Alg == BSS {
 		if !busySpinUntil(c.A, c.Srv, func() bool { return c.Srv.TryEnqueue(m) }) {
 			return ShutdownMsg()
 		}
 		return c.recvReply()
 	}
-	if !enqueueOrSleep(c.Srv, c.A, m) {
+	if !enqueueOrSleepObs(c.Srv, c.A, m, c.Obs) {
 		return ShutdownMsg()
 	}
 	poolWake(c.Srv, c.A)
@@ -421,12 +438,18 @@ func (c *PoolClient) SendCtx(ctx context.Context, m Msg) (Msg, error) {
 		}
 		c.lag--
 	}
+	var t0 time.Time
+	obsOn := c.Obs.Enabled()
+	if obsOn {
+		c.Obs.Note(obs.EvSend, int64(m.Seq))
+		t0 = time.Now()
+	}
 	if c.Alg == BSS {
 		if err := spinEnqueueCtx(ctx, c.A, c.Srv, m); err != nil {
 			return Msg{}, err
 		}
 	} else {
-		if err := enqueueOrSleepCtx(ctx, c.Srv, c.A, m, c.M); err != nil {
+		if err := enqueueOrSleepCtxObs(ctx, c.Srv, c.A, m, c.M, c.Obs); err != nil {
 			return Msg{}, err
 		}
 		poolWake(c.Srv, c.A)
@@ -440,6 +463,10 @@ func (c *PoolClient) SendCtx(ctx context.Context, m Msg) (Msg, error) {
 		return Msg{}, err
 	}
 	c.lag--
+	if obsOn {
+		c.Obs.RTT(time.Since(t0))
+		c.Obs.Note(obs.EvRecv, int64(ans.Seq))
+	}
 	if c.M != nil {
 		c.M.MsgsSent.Add(1)
 	}
@@ -464,7 +491,7 @@ func (c *PoolClient) recvReply() Msg {
 	case BSWY:
 		return consumerWait(c.Rcv, c.A, c.A.BusyWait)
 	case BSLS:
-		spinPoll(c.Rcv, c.A, c.maxSpin(), c.M)
+		spinPollObs(c.Rcv, c.A, c.maxSpin(), c.M, c.Obs)
 		return consumerWait(c.Rcv, c.A, c.A.BusyWait)
 	}
 	panic(ErrUnknownAlgorithm)
@@ -480,7 +507,7 @@ func (c *PoolClient) recvReplyCtx(ctx context.Context) (Msg, error) {
 	case BSWY:
 		return consumerWaitCtx(ctx, c.Rcv, c.A, c.A.BusyWait)
 	case BSLS:
-		spinPoll(c.Rcv, c.A, c.maxSpin(), c.M)
+		spinPollObs(c.Rcv, c.A, c.maxSpin(), c.M, c.Obs)
 		return consumerWaitCtx(ctx, c.Rcv, c.A, c.A.BusyWait)
 	}
 	return Msg{}, ErrUnknownAlgorithm

@@ -2,8 +2,10 @@ package core
 
 import (
 	"context"
+	"time"
 
 	"ulipc/internal/metrics"
+	"ulipc/internal/obs"
 )
 
 // This file contains the shared building blocks of the four protocols,
@@ -237,6 +239,76 @@ func spinPoll(q interface{ Empty() bool }, a Actor, maxSpin int, m *metrics.Proc
 	}
 }
 
+// Observability wrappers. Each forwards to the plain helper when the
+// hook is disabled, so the legacy fast path pays one nil-check and no
+// clock reads; with a hook attached, the phase durations land in the
+// per-protocol histograms and retries/backoffs on the flight recorder.
+// Timestamps are taken only once a wait actually begins (first failed
+// enqueue), so the uncontended path stays clock-free even when enabled.
+
+// spinPollObs is spinPoll with the spin-phase duration recorded.
+func spinPollObs(q interface{ Empty() bool }, a Actor, maxSpin int, m *metrics.Proc, h obs.Hook) {
+	if h.H == nil {
+		spinPoll(q, a, maxSpin, m)
+		return
+	}
+	t0 := time.Now()
+	spinPoll(q, a, maxSpin, m)
+	h.Spin(time.Since(t0))
+}
+
+// enqueueOrSleepObs is enqueueOrSleep with the queue-wait duration
+// recorded when (and only when) the queue was full at least once.
+func enqueueOrSleepObs(q interface{ TryEnqueue(Msg) bool }, a Actor, m Msg, h obs.Hook) bool {
+	if !h.Enabled() {
+		return enqueueOrSleep(q, a, m)
+	}
+	if portRefusing(q) {
+		return false
+	}
+	if q.TryEnqueue(m) {
+		return true // fast path: no clock read
+	}
+	t0 := time.Now()
+	for {
+		h.Note(obs.EvRetry, int64(m.Client))
+		a.SleepSec(1)
+		if portRefusing(q) {
+			return false
+		}
+		if q.TryEnqueue(m) {
+			h.QueueWait(time.Since(t0))
+			return true
+		}
+	}
+}
+
+// enqueueOrSleepCtxObs is enqueueOrSleepCtx with the queue-wait
+// duration recorded when the first attempt found the queue full.
+func enqueueOrSleepCtxObs(ctx context.Context, q interface{ TryEnqueue(Msg) bool }, a Actor, m Msg, pm *metrics.Proc, h obs.Hook) error {
+	if !h.Enabled() {
+		return enqueueOrSleepCtx(ctx, q, a, m, pm)
+	}
+	// First iteration inline (identical to the plain helper's) so the
+	// uncontended path takes no timestamp.
+	if portRefusing(q) {
+		return ErrShutdown
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if q.TryEnqueue(m) {
+		return nil
+	}
+	t0 := time.Now()
+	h.Note(obs.EvRetry, int64(m.Client))
+	err := enqueueOrSleepCtx(ctx, q, a, m, pm)
+	if err == nil {
+		h.QueueWait(time.Since(t0))
+	}
+	return err
+}
+
 // busySpinUntil busy-waits (Figure 1's busy_wait) until ready() holds,
 // polling q's shutdown state so a BSS spinner does not spin forever on
 // a dead system; it reports false on shutdown. Endpoints without port
@@ -249,21 +321,6 @@ func busySpinUntil(a Actor, q any, ready func() bool) bool {
 		a.BusyWait()
 	}
 	return true
-}
-
-// busySpinUntilCtx is busySpinUntil with cancellation: the spin aborts
-// when ctx ends or the port shuts down.
-func busySpinUntilCtx(ctx context.Context, a Actor, q any, ready func() bool) error {
-	for !ready() {
-		if portClosed(q) {
-			return ErrShutdown
-		}
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		a.BusyWait()
-	}
-	return nil
 }
 
 // spinDequeueCtx busy-waits a dequeue with cancellation (the BSS

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"ulipc/internal/metrics"
+	"ulipc/internal/obs"
 )
 
 // Server is the server side of the Send/Receive/Reply interface: a
@@ -18,6 +19,7 @@ type Server struct {
 	Replies []Port // enqueue endpoints of the per-client reply queues
 	A       Actor
 	M       *metrics.Proc // optional spin-loop statistics
+	Obs     obs.Hook      // optional phase histograms + flight recorder
 
 	// UseHandoff makes the server's scheduling hints use
 	// handoff(PID_ANY) instead of plain yield (Section 6).
@@ -125,7 +127,7 @@ func (s *Server) Receive() Msg {
 		s.letClientsRun()
 		m = consumerWait(s.Rcv, s.A, nil)
 	case BSLS:
-		spinPoll(s.Rcv, s.A, s.maxSpin(), s.M)
+		spinPollObs(s.Rcv, s.A, s.maxSpin(), s.M, s.Obs)
 		m = consumerWait(s.Rcv, s.A, nil)
 	default:
 		panic(ErrUnknownAlgorithm)
@@ -170,7 +172,7 @@ func (s *Server) ReceiveCtx(ctx context.Context) (Msg, error) {
 		s.letClientsRun()
 		m, err = consumerWaitCtx(ctx, s.Rcv, s.A, nil)
 	case BSLS:
-		spinPoll(s.Rcv, s.A, s.maxSpin(), s.M)
+		spinPollObs(s.Rcv, s.A, s.maxSpin(), s.M, s.Obs)
 		m, err = consumerWaitCtx(ctx, s.Rcv, s.A, nil)
 	default:
 		return Msg{}, ErrUnknownAlgorithm
@@ -211,7 +213,7 @@ func (s *Server) Reply(client int32, m Msg) {
 		busySpinUntil(s.A, q, func() bool { return q.TryEnqueue(m) })
 		return
 	}
-	if !enqueueOrSleep(q, s.A, m) {
+	if !enqueueOrSleepObs(q, s.A, m, s.Obs) {
 		return // shutdown: the client is being unblocked anyway
 	}
 	if m.Op == OpDisconnect || m.Op == OpConnect {
@@ -244,7 +246,7 @@ func (s *Server) ReplyCtx(ctx context.Context, client int32, m Msg) error {
 		s.noteReplied(client)
 		return nil
 	}
-	if err := enqueueOrSleepCtx(ctx, q, s.A, m, s.M); err != nil {
+	if err := enqueueOrSleepCtxObs(ctx, q, s.A, m, s.M, s.Obs); err != nil {
 		return err
 	}
 	s.noteReplied(client)

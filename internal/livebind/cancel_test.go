@@ -309,7 +309,7 @@ func TestConnectCtxCancelledDoesNotReuseSlot(t *testing.T) {
 	// Now serve, and connect until the slots run out: the quarantined
 	// slot must be missing from the pool.
 	srv := sys.Server()
-	go srv.ServeCtx(context.Background(), nil)
+	go func() { _, _ = srv.ServeCtx(context.Background(), nil) }()
 	long, lcancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer lcancel()
 	c1, err := sys.ConnectCtx(long)
@@ -331,5 +331,7 @@ func TestConnectCtxCancelledDoesNotReuseSlot(t *testing.T) {
 	}
 	shutCtx, shutCancel := context.WithTimeout(context.Background(), time.Second)
 	defer shutCancel()
-	sys.Shutdown(shutCtx)
+	if err := sys.Shutdown(shutCtx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
 }

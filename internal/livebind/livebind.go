@@ -21,6 +21,7 @@ import (
 
 	"ulipc/internal/core"
 	"ulipc/internal/metrics"
+	"ulipc/internal/obs"
 	"ulipc/internal/queue"
 	"ulipc/internal/shm"
 )
@@ -213,6 +214,11 @@ type Actor struct {
 
 	M *metrics.Proc // optional
 
+	// Obs, when enabled, receives the sleep-phase durations (time spent
+	// actually parked on a semaphore) and the block/wake flight-recorder
+	// events. The zero Hook keeps P/V clock-free.
+	Obs obs.Hook
+
 	spinSink int64
 }
 
@@ -248,20 +254,43 @@ func (a *Actor) SleepSec(s int) {
 	time.Sleep(d)
 }
 
-// P implements core.Actor.
+// P implements core.Actor. When the call actually sleeps it is counted
+// as a block; with observability attached the parked duration lands in
+// the sleep-phase histogram and an EvBlock event (arg: blocked ns) on
+// the flight recorder. The non-blocking path takes no timestamps.
 func (a *Actor) P(id core.SemID) {
 	if a.M != nil {
 		a.M.SemP.Add(1)
 	}
-	a.sems[id].P()
+	if !a.Obs.Enabled() {
+		if a.sems[id].P() && a.M != nil {
+			a.M.Blocks.Add(1)
+		}
+		return
+	}
+	t0 := time.Now()
+	if a.sems[id].P() {
+		d := time.Since(t0)
+		if a.M != nil {
+			a.M.Blocks.Add(1)
+		}
+		a.Obs.Sleep(d)
+		a.Obs.Note(obs.EvBlock, d.Nanoseconds())
+	}
 }
 
-// V implements core.Actor.
+// V implements core.Actor. A V that (plausibly) woke a sleeper counts
+// as a wake-up and is noted on the flight recorder (arg: semaphore id).
 func (a *Actor) V(id core.SemID) {
 	if a.M != nil {
 		a.M.SemV.Add(1)
 	}
-	a.sems[id].V()
+	if a.sems[id].V() {
+		if a.M != nil {
+			a.M.Wakeups.Add(1)
+		}
+		a.Obs.Note(obs.EvWake, int64(id))
+	}
 }
 
 // Handoff implements core.Actor. The Go runtime exposes no hand-off
@@ -270,26 +299,49 @@ func (a *Actor) V(id core.SemID) {
 func (a *Actor) Handoff(target int) { a.Yield() }
 
 // countCtxErr attributes a cancellation outcome to the robustness
-// counters.
+// counters and the flight recorder.
 func (a *Actor) countCtxErr(err error) {
-	if a.M == nil || err == nil {
+	if err == nil {
 		return
 	}
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		a.M.Timeouts.Add(1)
+		if a.M != nil {
+			a.M.Timeouts.Add(1)
+		}
+		a.Obs.Note(obs.EvTimeout, 0)
 	case errors.Is(err, context.Canceled):
-		a.M.Cancels.Add(1)
+		if a.M != nil {
+			a.M.Cancels.Add(1)
+		}
+		a.Obs.Note(obs.EvCancel, 0)
 	}
 }
 
 // PCtx implements core.CtxActor: P with cancellation and exact token
-// accounting (see Semaphore.PCtx).
+// accounting (see Semaphore.PCtx). Sleep attribution mirrors P.
 func (a *Actor) PCtx(ctx context.Context, id core.SemID) error {
 	if a.M != nil {
 		a.M.SemP.Add(1)
 	}
-	err := a.sems[id].PCtx(ctx)
+	if !a.Obs.Enabled() {
+		slept, err := a.sems[id].PCtx(ctx)
+		if slept && a.M != nil {
+			a.M.Blocks.Add(1)
+		}
+		a.countCtxErr(err)
+		return err
+	}
+	t0 := time.Now()
+	slept, err := a.sems[id].PCtx(ctx)
+	if slept {
+		d := time.Since(t0)
+		if a.M != nil {
+			a.M.Blocks.Add(1)
+		}
+		a.Obs.Sleep(d)
+		a.Obs.Note(obs.EvBlock, d.Nanoseconds())
+	}
 	a.countCtxErr(err)
 	return err
 }

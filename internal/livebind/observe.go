@@ -1,0 +1,97 @@
+package livebind
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+
+	"ulipc/internal/metrics"
+	"ulipc/internal/obs"
+)
+
+// Observability surface of a live System: the v2 metrics accessor
+// (counters + per-protocol phase histograms), Prometheus text
+// exposition, expvar publication, and flight-recorder dumps. All of it
+// is nil-safe: a System built without WithObserver/WithHistograms
+// reports counters only and dumps nothing.
+
+// Observer returns the attached observer, or nil.
+func (s *System) Observer() *obs.Observer { return s.obs }
+
+// MetricsV2 returns the histogram-aware system snapshot: per-process
+// counters, their total, and — when an observer is attached — the
+// per-protocol phase-latency histograms.
+func (s *System) MetricsV2() metrics.SystemSnapshot {
+	return s.ms.SystemSnapshot(s.obs)
+}
+
+// WritePrometheus writes the system's metrics in Prometheus text
+// exposition format: the observer's phase histograms (if any) followed
+// by the aggregate protocol counters.
+func (s *System) WritePrometheus(w io.Writer) {
+	s.obs.WritePrometheus(w)
+	t := s.ms.Total()
+	for _, c := range []struct {
+		name, help string
+		value      int64
+	}{
+		{"ulipc_msgs_sent", "messages sent by all participants", t.MsgsSent},
+		{"ulipc_msgs_received", "messages received by all participants", t.MsgsReceived},
+		{"ulipc_sem_p", "semaphore P (down) operations", t.SemP},
+		{"ulipc_sem_v", "semaphore V (up) operations", t.SemV},
+		{"ulipc_blocks", "P operations that actually slept", t.Blocks},
+		{"ulipc_wakeups", "V operations that woke a sleeper", t.Wakeups},
+		{"ulipc_yields", "yield system calls", t.Yields},
+		{"ulipc_spin_fallthrus", "BSLS poll loops that exhausted MAX_SPIN", t.SpinFallThrus},
+		{"ulipc_timeouts", "cancellable waits ended by a deadline", t.Timeouts},
+		{"ulipc_cancels", "cancellable waits ended by explicit cancel", t.Cancels},
+		{"ulipc_retries", "queue-full retry rounds", t.Retries},
+	} {
+		obs.WritePrometheusCounter(w, c.name, c.help, c.value)
+	}
+}
+
+// MetricsHandler serves the system's Prometheus exposition over HTTP.
+func (s *System) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.WritePrometheus(w)
+	})
+}
+
+// PublishExpvar publishes the system's v2 metrics snapshot under the
+// given expvar name (shown on /debug/vars when net/http/pprof or the
+// expvar handler is mounted). expvar panics on duplicate names, so a
+// name already taken — e.g. by an earlier System in the same process —
+// is reported as an error instead.
+func (s *System) PublishExpvar(name string) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("livebind: expvar name %q already published", name)
+		}
+	}()
+	expvar.Publish(name, expvar.Func(func() any {
+		snap := s.MetricsV2()
+		// Round-trip through JSON so expvar renders plain data, not
+		// atomic wrappers (SystemSnapshot is plain already; this guards
+		// future fields).
+		b, err := json.Marshal(snap)
+		if err != nil {
+			return map[string]string{"error": err.Error()}
+		}
+		var v any
+		if err := json.Unmarshal(b, &v); err != nil {
+			return map[string]string{"error": err.Error()}
+		}
+		return v
+	}))
+	return nil
+}
+
+// DumpFlightRecorder writes the observer's flight-recorder contents
+// with actor names resolved; a no-op when no recorder is attached.
+func (s *System) DumpFlightRecorder(w io.Writer) {
+	s.obs.Dump(w)
+}

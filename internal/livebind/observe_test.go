@@ -1,0 +1,203 @@
+package livebind
+
+import (
+	"strings"
+	"testing"
+
+	"ulipc/internal/core"
+	"ulipc/internal/metrics"
+	"ulipc/internal/obs"
+)
+
+// driveEcho runs one client against the system's server for msgs echo
+// round trips, completing the full connect/disconnect protocol.
+func driveEcho(t *testing.T, sys *System, msgs int) {
+	t.Helper()
+	srv := sys.Server()
+	done := make(chan int64, 1)
+	go func() { done <- srv.Serve(nil) }()
+	cl, err := sys.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans := cl.Send(core.Msg{Op: core.OpConnect}); ans.Op != core.OpConnect {
+		t.Fatalf("bad connect reply %+v", ans)
+	}
+	for j := 0; j < msgs; j++ {
+		ans := cl.Send(core.Msg{Op: core.OpEcho, Seq: int32(j), Val: float64(j)})
+		if ans.Seq != int32(j) {
+			t.Fatalf("reply mismatch at %d: %+v", j, ans)
+		}
+	}
+	cl.Send(core.Msg{Op: core.OpDisconnect})
+	DrainPort(cl.Srv)
+	if served := <-done; served != int64(msgs) {
+		t.Fatalf("served %d, want %d", served, msgs)
+	}
+	for _, p := range srv.Replies {
+		DrainPort(p)
+	}
+}
+
+// TestObservedSystemFillsHistograms drives a BSW system (every wait
+// blocks, so the sleep phase must appear) and checks the full
+// observability surface: histograms, counters, MetricsV2, Prometheus
+// text, and the flight recorder.
+func TestObservedSystemFillsHistograms(t *testing.T) {
+	const msgs = 50
+	ms := metrics.NewSet()
+	ob := obs.New(obs.Config{RecorderCap: 256})
+	sys, err := NewSystem(Options{Alg: core.BSW, Clients: 1, Metrics: ms, Observer: ob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Observer() != ob {
+		t.Fatal("Observer() accessor lost the observer")
+	}
+	driveEcho(t, sys, msgs)
+
+	snaps := ob.Snapshot()
+	var bsw *obs.ProtoSnapshot
+	for i := range snaps {
+		if snaps[i].Proto == "BSW" {
+			bsw = &snaps[i]
+		} else if snaps[i].RTT.Count != 0 {
+			t.Errorf("protocol %s has %d RTTs in a BSW-only run", snaps[i].Proto, snaps[i].RTT.Count)
+		}
+	}
+	if bsw == nil {
+		t.Fatal("no BSW snapshot")
+	}
+	// connect + echoes + disconnect, one RTT each.
+	if want := uint64(msgs + 2); bsw.RTT.Count != want {
+		t.Fatalf("RTT count = %d, want %d", bsw.RTT.Count, want)
+	}
+	if bsw.RTT.Max == 0 || bsw.RTT.Sum == 0 {
+		t.Fatalf("RTT histogram empty: %+v", bsw.RTT)
+	}
+	// BSW blocks on every empty-queue wait; the sleep phase must have
+	// observations and the Blocks counter must agree with them being real.
+	if bsw.Sleep.Count == 0 {
+		t.Fatal("BSW run recorded no sleep phases")
+	}
+	total := ms.Total()
+	if total.Blocks == 0 {
+		t.Fatal("Blocks counter stayed zero in a BSW run")
+	}
+	if total.Wakeups == 0 {
+		t.Fatal("Wakeups counter stayed zero in a BSW run")
+	}
+
+	// MetricsV2 carries the same histograms alongside the counters.
+	v2 := sys.MetricsV2()
+	if len(v2.Protos) == 0 {
+		t.Fatal("MetricsV2 snapshot has no protocol histograms")
+	}
+	if v2.Total.MsgsSent == 0 {
+		t.Fatal("MetricsV2 total counters empty")
+	}
+
+	// Prometheus exposition: histogram series plus the counter families.
+	var b strings.Builder
+	sys.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`ulipc_rtt_ns_count{proto="BSW"}`,
+		`ulipc_sleep_ns_count{proto="BSW"}`,
+		"ulipc_msgs_sent_total",
+		"ulipc_blocks_total",
+		"ulipc_wakeups_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+
+	// Flight recorder saw the traffic; the dump resolves actor names.
+	if ob.Recorder().Len() == 0 {
+		t.Fatal("flight recorder empty")
+	}
+	b.Reset()
+	sys.DumpFlightRecorder(&b)
+	for _, want := range []string{"flight recorder:", "send", "client0"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("dump missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestWithHistogramsOption exercises the WithHistograms functional
+// option (histograms only, no recorder) on the spin-only protocol: BSS
+// must never record a sleep phase.
+func TestWithHistogramsOption(t *testing.T) {
+	sys, err := NewSystem(Options{Alg: core.BSS, Clients: 1}, WithHistograms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := sys.Observer()
+	if ob == nil {
+		t.Fatal("WithHistograms attached no observer")
+	}
+	if ob.Recorder() != nil {
+		t.Fatal("WithHistograms should not attach a flight recorder")
+	}
+	driveEcho(t, sys, 20)
+	snaps := ob.Snapshot()
+	for _, s := range snaps {
+		if s.Proto == "BSS" {
+			if s.RTT.Count != 22 {
+				t.Fatalf("BSS RTT count = %d, want 22", s.RTT.Count)
+			}
+			if s.Sleep.Count != 0 {
+				t.Fatalf("BSS recorded %d sleeps; both sides spin", s.Sleep.Count)
+			}
+		}
+	}
+	var b strings.Builder
+	sys.DumpFlightRecorder(&b) // no recorder: silent no-op
+	if b.Len() != 0 {
+		t.Fatalf("dump without recorder wrote %q", b.String())
+	}
+}
+
+// TestUnobservedSystemStaysBare: no observer means no histograms
+// anywhere, while the counter surface still works.
+func TestUnobservedSystemStaysBare(t *testing.T) {
+	ms := metrics.NewSet()
+	sys, err := NewSystem(Options{Alg: core.BSLS, Clients: 1, Metrics: ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Observer() != nil {
+		t.Fatal("unconfigured system has an observer")
+	}
+	driveEcho(t, sys, 20)
+	v2 := sys.MetricsV2()
+	if len(v2.Protos) != 0 {
+		t.Fatalf("bare system snapshot carries histograms: %+v", v2.Protos)
+	}
+	if v2.Total.MsgsSent == 0 {
+		t.Fatal("counters missing from bare snapshot")
+	}
+	var b strings.Builder
+	sys.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "ulipc_msgs_sent_total") {
+		t.Fatal("bare system prometheus output missing counters")
+	}
+	if strings.Contains(b.String(), "ulipc_rtt_ns") {
+		t.Fatal("bare system prometheus output has histogram series")
+	}
+}
+
+func TestPublishExpvarDuplicate(t *testing.T) {
+	sys, err := NewSystem(Options{Alg: core.BSS, Clients: 1}, WithHistograms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.PublishExpvar("ulipc_test_dup"); err != nil {
+		t.Fatalf("first publish: %v", err)
+	}
+	if err := sys.PublishExpvar("ulipc_test_dup"); err == nil {
+		t.Fatal("duplicate publish did not error")
+	}
+}

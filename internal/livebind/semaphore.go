@@ -26,11 +26,12 @@ import (
 //     is the property the protocol layer's wake-token accounting
 //     (core.consumerWaitCtx) builds on.
 type Semaphore struct {
-	mu      sync.Mutex
-	cond    sync.Cond // plain P sleepers
-	count   int64
-	closed  bool
-	waiters []*semWaiter // parked PCtx calls, granted in FIFO order
+	mu       sync.Mutex
+	cond     sync.Cond // plain P sleepers
+	count    int64
+	closed   bool
+	sleeping int64        // plain P calls currently parked in cond.Wait
+	waiters  []*semWaiter // parked PCtx calls, granted in FIFO order
 }
 
 // semWaiter is one parked PCtx call. granted is guarded by the
@@ -49,36 +50,45 @@ func NewSemaphore(initial int64) *Semaphore {
 
 // P (down) decrements the count, blocking while it is zero. On a closed
 // semaphore P returns immediately without consuming a token, so parked
-// protocol loops unblock and observe the port state.
-func (s *Semaphore) P() {
+// protocol loops unblock and observe the port state. The return value
+// reports whether the call actually slept (parked at least once) — the
+// paper's "fell through to the blocking path" distinction, surfaced so
+// the binding can attribute sleep time without extra clock reads on the
+// non-blocking path.
+func (s *Semaphore) P() (slept bool) {
 	s.mu.Lock()
 	for s.count == 0 && !s.closed {
+		slept = true
+		s.sleeping++
 		s.cond.Wait()
+		s.sleeping--
 	}
 	if !s.closed {
 		s.count--
 	}
 	s.mu.Unlock()
+	return slept
 }
 
 // PCtx is P with cancellation. It returns nil when a token was
 // consumed; ctx.Err() when the wait was cancelled without consuming a
 // token (a token granted concurrently with the cancellation is handed
-// back); and core.ErrShutdown when the semaphore was closed.
-func (s *Semaphore) PCtx(ctx context.Context) error {
+// back); and core.ErrShutdown when the semaphore was closed. Like P,
+// slept reports whether the call actually parked.
+func (s *Semaphore) PCtx(ctx context.Context) (slept bool, err error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return core.ErrShutdown
+		return false, core.ErrShutdown
 	}
 	if err := ctx.Err(); err != nil {
 		s.mu.Unlock()
-		return err
+		return false, err
 	}
 	if s.count > 0 {
 		s.count--
 		s.mu.Unlock()
-		return nil
+		return false, nil
 	}
 	w := &semWaiter{ready: make(chan struct{})}
 	s.waiters = append(s.waiters, w)
@@ -90,9 +100,9 @@ func (s *Semaphore) PCtx(ctx context.Context) error {
 		granted := w.granted
 		s.mu.Unlock()
 		if granted {
-			return nil
+			return true, nil
 		}
-		return core.ErrShutdown // woken by Close
+		return true, core.ErrShutdown // woken by Close
 	case <-ctx.Done():
 		s.mu.Lock()
 		if w.granted {
@@ -104,7 +114,7 @@ func (s *Semaphore) PCtx(ctx context.Context) error {
 			s.removeWaiterLocked(w)
 		}
 		s.mu.Unlock()
-		return ctx.Err()
+		return true, ctx.Err()
 	}
 }
 
@@ -136,12 +146,15 @@ func (s *Semaphore) removeWaiterLocked(w *semWaiter) {
 // V (up) hands a token to the first listed (cancellable) waiter, or
 // increments the count and signals a plain P sleeper. Vs on a closed
 // semaphore are dropped (every waiter has already been released and no
-// new ones arrive).
-func (s *Semaphore) V() {
+// new ones arrive). The return value reports whether the V plausibly
+// woke a sleeper — it granted a parked cancellable waiter, or a plain P
+// was asleep when the count was bumped (the paper's "expensive wake-up
+// system call" as opposed to a redundant V).
+func (s *Semaphore) V() (woke bool) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return
+		return false
 	}
 	if len(s.waiters) > 0 {
 		w := s.waiters[0]
@@ -149,11 +162,13 @@ func (s *Semaphore) V() {
 		w.granted = true
 		s.mu.Unlock()
 		close(w.ready)
-		return
+		return true
 	}
 	s.count++
+	woke = s.sleeping > 0
 	s.mu.Unlock()
 	s.cond.Signal()
+	return woke
 }
 
 // Close releases every parked waiter without granting tokens and makes

@@ -14,7 +14,7 @@ import (
 
 func TestSemaphorePCtxConsumesToken(t *testing.T) {
 	s := NewSemaphore(2)
-	if err := s.PCtx(context.Background()); err != nil {
+	if _, err := s.PCtx(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if got := s.Count(); got != 1 {
@@ -26,7 +26,7 @@ func TestSemaphorePCtxPreCancelled(t *testing.T) {
 	s := NewSemaphore(1)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if err := s.PCtx(ctx); !errors.Is(err, context.Canceled) {
+	if _, err := s.PCtx(ctx); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	if got := s.Count(); got != 1 {
@@ -39,7 +39,7 @@ func TestSemaphorePCtxDeadline(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	err := s.PCtx(ctx)
+	_, err := s.PCtx(ctx)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
 	}
@@ -62,7 +62,8 @@ func TestSemaphorePCtxWokenByV(t *testing.T) {
 	go func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		done <- s.PCtx(ctx)
+		_, err := s.PCtx(ctx)
+		done <- err
 	}()
 	for s.Waiters() == 0 {
 		time.Sleep(10 * time.Microsecond)
@@ -83,7 +84,8 @@ func TestSemaphoreCloseUnblocksWaiters(t *testing.T) {
 	go func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		ctxErr <- s.PCtx(ctx)
+		_, err := s.PCtx(ctx)
+		ctxErr <- err
 	}()
 	go func() {
 		s.P()
@@ -105,7 +107,7 @@ func TestSemaphoreCloseUnblocksWaiters(t *testing.T) {
 		t.Fatal("plain P not released by Close")
 	}
 	// Later calls observe the closed state without blocking; Vs are dropped.
-	if err := s.PCtx(context.Background()); !errors.Is(err, core.ErrShutdown) {
+	if _, err := s.PCtx(context.Background()); !errors.Is(err, core.ErrShutdown) {
 		t.Fatalf("PCtx on closed = %v, want ErrShutdown", err)
 	}
 	s.V()
@@ -139,7 +141,7 @@ func TestSemaphoreTokenConservationStress(t *testing.T) {
 				// park/grant race on both sides.
 				d := time.Duration(rng.Intn(200)) * time.Microsecond
 				ctx, cancel := context.WithTimeout(context.Background(), d)
-				err := s.PCtx(ctx)
+				_, err := s.PCtx(ctx)
 				cancel()
 				switch {
 				case err == nil:

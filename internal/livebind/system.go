@@ -8,6 +8,7 @@ import (
 
 	"ulipc/internal/core"
 	"ulipc/internal/metrics"
+	"ulipc/internal/obs"
 	"ulipc/internal/queue"
 	"ulipc/internal/shm"
 )
@@ -66,6 +67,13 @@ type Options struct {
 	Duplex bool
 
 	Metrics *metrics.Set // optional; created if nil
+
+	// Observer, when non-nil, attaches per-protocol phase-latency
+	// histograms (and, if configured with a RecorderCap, a flight
+	// recorder) to every handle the system builds. nil keeps the legacy
+	// fast path: handles carry a zero obs.Hook, whose every method is a
+	// single nil-check. Prefer WithObserver/WithHistograms.
+	Observer *obs.Observer
 }
 
 // Option is a functional setting applied by NewSystem on top of the
@@ -106,6 +114,20 @@ func WithSleepScale(d time.Duration) Option {
 // architecture (see Options.Duplex).
 func WithDuplex() Option {
 	return func(o *Options) { o.Duplex = true }
+}
+
+// WithObserver attaches an existing observer (see Options.Observer) —
+// use this to share one observer, or one configured with a flight
+// recorder, across systems.
+func WithObserver(ob *obs.Observer) Option {
+	return func(o *Options) { o.Observer = ob }
+}
+
+// WithHistograms attaches a fresh observer with per-protocol phase
+// histograms and no flight recorder — the cheapest always-on
+// configuration.
+func WithHistograms() Option {
+	return func(o *Options) { o.Observer = obs.New(obs.Config{}) }
 }
 
 // validate rejects nonsensical configurations with typed errors and
@@ -155,6 +177,7 @@ type System struct {
 	sems    []*Semaphore
 	blocks  *shm.BlockPool
 	ms      *metrics.Set
+	obs     *obs.Observer // nil unless Options.Observer was set
 
 	connMu sync.Mutex
 	conns  connPool
@@ -193,7 +216,7 @@ func NewSystem(opts Options, extra ...Option) (*System, error) {
 	if opts.Metrics == nil {
 		opts.Metrics = metrics.NewSet()
 	}
-	s := &System{opts: opts, ms: opts.Metrics, duplexTaken: make([]bool, opts.Clients)}
+	s := &System{opts: opts, ms: opts.Metrics, obs: opts.Observer, duplexTaken: make([]bool, opts.Clients)}
 
 	replyKind := queue.KindSPSC
 	s.replySPSC, s.replyAuto = true, true
@@ -291,12 +314,14 @@ func (s *System) Shutdown(ctx context.Context) error {
 
 	// Phase 1: refuse new requests; replies stay open so in-flight
 	// requests still get answered.
+	s.notePhase(1)
 	s.recv.Refuse()
 	for _, ch := range s.c2s {
 		ch.Refuse()
 	}
 
 	// Phase 2: drain-wait.
+	s.notePhase(2)
 	var derr error
 	for !s.requestsDrained() {
 		if err := ctx.Err(); err != nil {
@@ -309,6 +334,7 @@ func (s *System) Shutdown(ctx context.Context) error {
 	// Phase 3: stop worker pools before their semaphore closes, so a
 	// worker woken by the close observes the stop flag, not a spurious
 	// wake.
+	s.notePhase(3)
 	s.downMu.Lock()
 	pools := append([]*core.PoolCoordinator(nil), s.pools...)
 	ports := append([]*Port(nil), s.ports...)
@@ -321,6 +347,7 @@ func (s *System) Shutdown(ctx context.Context) error {
 	// drain deadline expired, discard the undelivered requests first so
 	// servers exit on their next dequeue instead of processing stale
 	// work against closed reply channels.
+	s.notePhase(4)
 	if derr != nil {
 		queue.Drain(s.recv.q)
 		for _, ch := range s.c2s {
@@ -336,10 +363,18 @@ func (s *System) Shutdown(ctx context.Context) error {
 	}
 
 	// Phase 5: spill batched producer caches.
+	s.notePhase(5)
 	for _, p := range ports {
 		p.Close()
 	}
 	return derr
+}
+
+// notePhase records a shutdown-phase transition on the flight recorder
+// (arg: phase 1..5, actor -1 = the system itself). No-op without a
+// recorder.
+func (s *System) notePhase(phase int64) {
+	s.obs.Recorder().Note(obs.EvShutdown, -1, phase)
 }
 
 // requestsDrained reports whether every request-bearing queue is empty.
@@ -393,6 +428,7 @@ func (s *System) DuplexPair(i int) (*core.DuplexClient, *core.DuplexHandler, err
 		Rcv:     NewPort(s.replies[i]),
 		A:       ca,
 		M:       ca.M,
+		Obs:     ca.Obs,
 	}
 	ha := s.newActor(fmt.Sprintf("server%d", i))
 	h := &core.DuplexHandler{
@@ -402,6 +438,7 @@ func (s *System) DuplexPair(i int) (*core.DuplexClient, *core.DuplexHandler, err
 		Snd:     s.producerPort(s.replies[i], ha.M),
 		A:       ha,
 		M:       ha.M,
+		Obs:     ha.Obs,
 	}
 	return cl, h, nil
 }
@@ -421,12 +458,16 @@ func (s *System) ReceiveChannel() *Channel { return s.recv }
 func (s *System) ReplyChannel(i int) *Channel { return s.replies[i] }
 
 func (s *System) newActor(name string) *Actor {
-	return &Actor{
+	a := &Actor{
 		sems:       s.sems,
 		SpinIters:  s.opts.SpinIters,
 		SleepScale: s.opts.SleepScale,
 		M:          s.ms.NewProc(name),
 	}
+	if s.obs != nil {
+		a.Obs = s.obs.Hook(int(s.opts.Alg), s.obs.RegisterActor(name))
+	}
+	return a
 }
 
 // WorkerPool builds a pool of n server workers sharing the receive
@@ -484,6 +525,7 @@ func (s *System) WorkerPool(n int) ([]*core.PoolWorker, error) {
 			A:       a,
 			C:       coord,
 			M:       a.M,
+			Obs:     a.Obs,
 		}
 	}
 	return workers, nil
@@ -512,6 +554,7 @@ func (s *System) PoolClient(i int) (*core.PoolClient, error) {
 		Rcv:     NewPort(s.replies[i]),
 		A:       a,
 		M:       a.M,
+		Obs:     a.Obs,
 	}, nil
 }
 
@@ -554,6 +597,7 @@ func (s *System) Server() *core.Server {
 		Replies:  replies,
 		A:        a,
 		M:        a.M,
+		Obs:      a.Obs,
 		Throttle: s.opts.Throttle,
 	}
 }
@@ -578,5 +622,6 @@ func (s *System) Client(i int) (*core.Client, error) {
 		Rcv:     NewPort(s.replies[i]),
 		A:       a,
 		M:       a.M,
+		Obs:     a.Obs,
 	}, nil
 }

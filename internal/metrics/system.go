@@ -1,0 +1,25 @@
+package metrics
+
+import "ulipc/internal/obs"
+
+// SystemSnapshot is the histogram-aware (v2) system metrics view: the
+// classic per-process counter snapshots plus, when an observer was
+// attached, the per-protocol phase-latency histograms. The counters
+// answer "how many" (yields, Ps, Vs, blocks); the histograms answer
+// "how long" (round trip, queue wait, spin, sleep) — the paper's Table
+// analyses need both.
+type SystemSnapshot struct {
+	Procs  []Snapshot          `json:"procs"`
+	Total  Snapshot            `json:"total"`
+	Protos []obs.ProtoSnapshot `json:"protos,omitempty"`
+}
+
+// SystemSnapshot builds the v2 view from a metrics set and an optional
+// observer (nil yields counters only).
+func (s *Set) SystemSnapshot(o *obs.Observer) SystemSnapshot {
+	return SystemSnapshot{
+		Procs:  s.Snapshots(),
+		Total:  s.Total(),
+		Protos: o.Snapshot(),
+	}
+}

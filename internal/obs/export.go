@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Prometheus text-format exposition. The histograms are emitted at
+// octave (power of two) granularity — the fine log-linear buckets stay
+// internal so a scrape is a few hundred lines, not ten thousand. All
+// series are nanosecond-valued and follow the Prometheus histogram
+// convention: cumulative `_bucket{le=...}` counts, plus `_sum` and
+// `_count`.
+
+// promName maps a phase to its metric family name.
+func promName(ph Phase) string {
+	return "ulipc_" + ph.String() + "_ns"
+}
+
+// writePromHist emits one histogram series with a proto label.
+func writePromHist(w io.Writer, name, proto string, s HistSnapshot) {
+	cum := s.Cumulative()
+	for _, b := range cum {
+		fmt.Fprintf(w, "%s_bucket{proto=%q,le=\"%d\"} %d\n", name, proto, b.UpperNS, b.Count)
+	}
+	fmt.Fprintf(w, "%s_bucket{proto=%q,le=\"+Inf\"} %d\n", name, proto, s.Count)
+	fmt.Fprintf(w, "%s_sum{proto=%q} %d\n", name, proto, s.Sum)
+	fmt.Fprintf(w, "%s_count{proto=%q} %d\n", name, proto, s.Count)
+}
+
+// WritePrometheus writes every non-empty histogram in Prometheus text
+// exposition format. Families with no observations anywhere are
+// omitted entirely (TYPE lines included), keeping idle scrapes small.
+func (o *Observer) WritePrometheus(w io.Writer) {
+	if o == nil {
+		return
+	}
+	snaps := o.Snapshot()
+	for ph := PhaseRTT; ph < NumPhases; ph++ {
+		name := promName(ph)
+		wroteType := false
+		for _, ps := range snaps {
+			s := ps.PhaseSnap(ph)
+			if s == nil || s.Count == 0 {
+				continue
+			}
+			if !wroteType {
+				fmt.Fprintf(w, "# HELP %s %s phase latency histogram (nanoseconds)\n", name, ph)
+				fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+				wroteType = true
+			}
+			writePromHist(w, name, ps.Proto, *s)
+		}
+	}
+	if o.rec != nil {
+		fmt.Fprintf(w, "# HELP ulipc_flight_events_total events noted on the flight recorder\n")
+		fmt.Fprintf(w, "# TYPE ulipc_flight_events_total counter\n")
+		fmt.Fprintf(w, "ulipc_flight_events_total %d\n", o.rec.Len())
+	}
+}
+
+// WritePrometheusCounter emits one counter family. Helper for callers
+// (the live System) that combine histogram output with their own
+// counters in a single exposition.
+func WritePrometheusCounter(w io.Writer, name, help string, value int64) {
+	if !strings.HasSuffix(name, "_total") {
+		name += "_total"
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s counter\n", name)
+	fmt.Fprintf(w, "%s %d\n", name, value)
+}
+
+// Handler serves the observer's Prometheus exposition over HTTP.
+func (o *Observer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.WritePrometheus(w)
+	})
+}

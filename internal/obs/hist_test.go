@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketInvariants(t *testing.T) {
+	// Every bucket's bounds tile the value space: lower < upper, and
+	// values at both edges map back into the bucket.
+	for i := 0; i < histBuckets; i++ {
+		lo, hi := bucketLower(i), bucketUpper(i)
+		if lo >= hi {
+			t.Fatalf("bucket %d: lower %d >= upper %d", i, lo, hi)
+		}
+		if got := bucketOf(lo); got != i {
+			t.Fatalf("bucketOf(lower %d) = %d, want %d", lo, got, i)
+		}
+		if i < histBuckets-1 {
+			if got := bucketOf(hi - 1); got != i {
+				t.Fatalf("bucketOf(upper-1 %d) = %d, want %d", hi-1, got, i)
+			}
+			if got := bucketOf(hi); got != i+1 {
+				t.Fatalf("bucketOf(upper %d) = %d, want %d", hi, got, i+1)
+			}
+		}
+	}
+	// Exact unit buckets below 16ns.
+	for v := uint64(0); v < histSub; v++ {
+		if got := bucketOf(v); got != int(v) {
+			t.Fatalf("bucketOf(%d) = %d, want exact bucket", v, got)
+		}
+	}
+	// Relative resolution stays within 1/16 above the exact range.
+	for _, v := range []uint64{100, 1000, 12345, 1 << 20, 1e9} {
+		lo, hi := bucketLower(bucketOf(v)), bucketUpper(bucketOf(v))
+		if rel := float64(hi-lo) / float64(lo); rel > 1.0/histSub+1e-9 {
+			t.Fatalf("bucket width at %d: %.4f relative, want <= 1/%d", v, rel, histSub)
+		}
+	}
+}
+
+func TestHistogramRecordAndQuantile(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	if s.Max != uint64(1000*time.Microsecond) {
+		t.Fatalf("max = %d, want 1000us", s.Max)
+	}
+	wantMean := 500.5 * 1000 // ns
+	if m := s.Mean(); math.Abs(m-wantMean)/wantMean > 0.07 {
+		t.Fatalf("mean = %v, want ~%v", m, wantMean)
+	}
+	for _, q := range []struct{ q, want float64 }{
+		{0.5, 500e3}, {0.95, 950e3}, {0.99, 990e3}, {1, 1000e3},
+	} {
+		got := s.Quantile(q.q)
+		if math.Abs(got-q.want)/q.want > 0.08 {
+			t.Errorf("q%.2f = %v, want within 8%% of %v", q.q, got, q.want)
+		}
+	}
+}
+
+func TestHistogramNegativeClampsAndHugeValues(t *testing.T) {
+	var h Histogram
+	h.Record(-time.Second)
+	h.Record(30 * time.Minute) // beyond the top octave: clamps into the last bucket
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("count = %d, want 2", s.Count)
+	}
+	if s.Counts[0] != 1 {
+		t.Fatalf("negative duration did not clamp to bucket 0: %v", s.Counts[:4])
+	}
+	if s.Max != uint64(30*time.Minute) {
+		t.Fatalf("max = %d, want exact 30min despite bucket clamp", s.Max)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines
+// while snapshots run, then verifies the final snapshot lost no counts.
+// Run under -race this also proves Record/Snapshot are data-race free.
+func TestHistogramConcurrent(t *testing.T) {
+	const (
+		writers    = 8
+		perWriter  = 5000
+		totalCount = writers * perWriter
+	)
+	var h Histogram
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent snapshotter: monotonic counts, never over total.
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		prev := uint64(0)
+		for {
+			s := h.Snapshot()
+			if s.Count < prev {
+				t.Errorf("snapshot count went backwards: %d -> %d", prev, s.Count)
+				return
+			}
+			prev = s.Count
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Record(time.Duration(w*1000+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+	s := h.Snapshot()
+	if s.Count != totalCount {
+		t.Fatalf("final count = %d, want %d (lost updates)", s.Count, totalCount)
+	}
+	sumBuckets := uint64(0)
+	for _, c := range s.Counts {
+		sumBuckets += c
+	}
+	if sumBuckets != totalCount {
+		t.Fatalf("bucket sum = %d, want %d", sumBuckets, totalCount)
+	}
+}
+
+// TestSnapshotMergeConcurrent merges per-goroutine snapshots taken from
+// independent histograms and checks the merged totals are exact.
+func TestSnapshotMergeConcurrent(t *testing.T) {
+	const shards = 6
+	const per = 2000
+	hists := make([]Histogram, shards)
+	var wg sync.WaitGroup
+	for i := range hists {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				hists[i].Record(time.Duration(1+j%512) * time.Microsecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	var merged HistSnapshot
+	for i := range hists {
+		merged.Merge(hists[i].Snapshot())
+	}
+	if merged.Count != shards*per {
+		t.Fatalf("merged count = %d, want %d", merged.Count, shards*per)
+	}
+	single := hists[0].Snapshot()
+	if merged.Max != single.Max {
+		t.Fatalf("merged max = %d, want %d (all shards identical)", merged.Max, single.Max)
+	}
+	if merged.Sum != single.Sum*shards {
+		t.Fatalf("merged sum = %d, want %d", merged.Sum, single.Sum*shards)
+	}
+}
+
+func TestQuantileEmptyAndEdge(t *testing.T) {
+	var s HistSnapshot
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Fatal("empty snapshot should report zeros")
+	}
+	var h Histogram
+	h.Record(42 * time.Nanosecond)
+	one := h.Snapshot()
+	if got := one.Quantile(1); got != 42 {
+		t.Fatalf("q1 of single obs = %v, want 42", got)
+	}
+	if got := one.Quantile(-1); got < 0 {
+		t.Fatalf("negative q clamped wrong: %v", got)
+	}
+}

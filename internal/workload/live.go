@@ -3,12 +3,15 @@ package workload
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
+	"syscall"
 	"time"
 
 	"ulipc/internal/core"
 	"ulipc/internal/livebind"
 	"ulipc/internal/metrics"
+	"ulipc/internal/obs"
 	"ulipc/internal/queue"
 )
 
@@ -44,6 +47,22 @@ type LiveConfig struct {
 	// system down, reports partial results and returns an error instead
 	// of hanging forever. Zero keeps the legacy error-less fast path.
 	Watchdog time.Duration
+
+	// Observe attaches phase-latency histograms to the run: the Result's
+	// Phase field then reports RTT/queue-wait/spin/sleep distributions
+	// for the cell's protocol. Off by default so legacy callers keep the
+	// uninstrumented fast path.
+	Observe bool
+
+	// RecorderCap, when positive (and Observe is set), additionally
+	// attaches a flight recorder holding the most recent RecorderCap IPC
+	// events.
+	RecorderCap int
+
+	// DumpOnWatchdog, when non-nil, receives a flight-recorder dump if
+	// the watchdog deadline trips — the last events before the stall.
+	// Requires Observe and RecorderCap.
+	DumpOnWatchdog io.Writer
 }
 
 // RunLive executes the client/server workload on the live runtime and
@@ -64,6 +83,17 @@ func RunLive(cfg LiveConfig) (Result, error) {
 		replyKind = *cfg.ReplyKind
 	}
 	ms := metrics.NewSet()
+	var observer *obs.Observer
+	if cfg.Observe {
+		observer = obs.New(obs.Config{RecorderCap: cfg.RecorderCap})
+		if cfg.RecorderCap > 0 {
+			// Post-mortem on demand: SIGQUIT dumps the ring (and the
+			// histogram exposition) to stderr while the cell runs,
+			// mirroring the Go runtime's own dump-on-SIGQUIT.
+			stop := observer.DumpOnSignal(syscall.SIGQUIT)
+			defer stop()
+		}
+	}
 	sys, err := livebind.NewSystem(livebind.Options{
 		Alg:        cfg.Alg,
 		MaxSpin:    cfg.MaxSpin,
@@ -76,6 +106,7 @@ func RunLive(cfg LiveConfig) (Result, error) {
 		Throttle:   cfg.Throttle,
 		SleepScale: cfg.SleepScale,
 		Metrics:    ms,
+		Observer:   observer,
 	})
 	if err != nil {
 		return Result{}, err
@@ -172,7 +203,22 @@ func RunLive(cfg LiveConfig) (Result, error) {
 	}
 	res.Clients = ms.ByPrefix("client")
 	res.All = ms.Total()
+	res.Phase = phaseSnap(sys.Observer(), cfg.Alg)
 	return res, nil
+}
+
+// phaseSnap extracts the phase-histogram snapshot for the benchmarked
+// protocol (nil without an observer).
+func phaseSnap(o *obs.Observer, alg core.Algorithm) *obs.ProtoSnapshot {
+	if o == nil {
+		return nil
+	}
+	p := o.Proto(int(alg))
+	if p == nil {
+		return nil
+	}
+	s := p.Snapshot(alg.String())
+	return &s
 }
 
 // runLiveCtx is the watchdog variant of RunLive: the whole workload
@@ -264,6 +310,12 @@ func runLiveCtx(cfg LiveConfig, sys *livebind.System, ms *metrics.Set) (Result, 
 		}(i, cl)
 	}
 	wg.Wait()
+	// Flight-recorder dump on a tripped watchdog: the ring holds the
+	// last events before the stall, which is exactly the interleaving a
+	// deadlock post-mortem needs.
+	if cfg.DumpOnWatchdog != nil && rootCtx.Err() != nil {
+		sys.DumpFlightRecorder(cfg.DumpOnWatchdog)
+	}
 	// Unblock the server if clients bailed out without completing the
 	// disconnect protocol (watchdog tripped), then tear the system down;
 	// Shutdown also spills any batched producer caches.
@@ -296,6 +348,7 @@ func runLiveCtx(cfg LiveConfig, sys *livebind.System, ms *metrics.Set) (Result, 
 	}
 	res.Clients = ms.ByPrefix("client")
 	res.All = ms.Total()
+	res.Phase = phaseSnap(sys.Observer(), cfg.Alg)
 
 	if len(errs) > 0 {
 		return res, fmt.Errorf("workload: live validation failed: %v", errs)

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Interleaved A/B overhead measurement: the same benchmark cell runs
+// alternately with observability disabled and enabled, and the two
+// populations' medians are compared. Interleaving (A,B,A,B,...) rather
+// than batching (A,A,...,B,B,...) spreads thermal drift, GC phase and
+// scheduler noise evenly over both arms, so the delta isolates the
+// instrumentation cost: the nil-check on the disabled arm, the clock
+// reads and histogram stores on the enabled one.
+
+// LiveOverheadResult reports one A/B comparison.
+type LiveOverheadResult struct {
+	Reps         int       `json:"reps"`
+	BaseMedianNs float64   `json:"base_median_ns"` // observability disabled
+	ObsMedianNs  float64   `json:"obs_median_ns"`  // observability enabled
+	DeltaPct     float64   `json:"delta_pct"`      // (obs-base)/base * 100
+	BaseNs       []float64 `json:"base_ns"`        // per-rep ns/rtt, disabled
+	ObsNs        []float64 `json:"obs_ns"`         // per-rep ns/rtt, enabled
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// RunLiveOverheadAB measures the observability hook overhead for one
+// cell: reps interleaved pairs of (disabled, enabled) runs of cfg, with
+// the medians compared. cfg.Observe is overridden per arm. progress,
+// when non-nil, receives one line per completed pair.
+func RunLiveOverheadAB(cfg LiveConfig, reps int, progress io.Writer) (LiveOverheadResult, error) {
+	if reps < 1 {
+		reps = 5
+	}
+	out := LiveOverheadResult{Reps: reps}
+	for r := 0; r < reps; r++ {
+		cfg.Observe = false
+		base, err := RunLive(cfg)
+		if err != nil {
+			return out, fmt.Errorf("A/B rep %d (disabled): %w", r, err)
+		}
+		cfg.Observe = true
+		obsRun, err := RunLive(cfg)
+		if err != nil {
+			return out, fmt.Errorf("A/B rep %d (enabled): %w", r, err)
+		}
+		out.BaseNs = append(out.BaseNs, base.RTTMicros*1e3)
+		out.ObsNs = append(out.ObsNs, obsRun.RTTMicros*1e3)
+		if progress != nil {
+			fmt.Fprintf(progress, "rep %d: base %8.0f ns/rtt   obs %8.0f ns/rtt\n",
+				r, base.RTTMicros*1e3, obsRun.RTTMicros*1e3)
+		}
+	}
+	out.BaseMedianNs = median(out.BaseNs)
+	out.ObsMedianNs = median(out.ObsNs)
+	if out.BaseMedianNs > 0 {
+		out.DeltaPct = (out.ObsMedianNs - out.BaseMedianNs) / out.BaseMedianNs * 100
+	}
+	return out, nil
+}

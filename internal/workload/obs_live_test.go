@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ulipc/internal/core"
+)
+
+// TestRunLiveObserved: an observed live run reports the phase
+// histograms alongside the legacy counters.
+func TestRunLiveObserved(t *testing.T) {
+	res, err := RunLive(LiveConfig{Alg: core.BSW, Clients: 2, Msgs: 100, Observe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phase == nil {
+		t.Fatal("observed run returned no phase snapshot")
+	}
+	if res.Phase.Proto != "BSW" {
+		t.Fatalf("phase proto = %q, want BSW", res.Phase.Proto)
+	}
+	// 2 clients x (connect + 100 echoes + disconnect).
+	if want := uint64(2 * 102); res.Phase.RTT.Count != want {
+		t.Fatalf("RTT count = %d, want %d", res.Phase.RTT.Count, want)
+	}
+	if res.Phase.Sleep.Count == 0 {
+		t.Fatal("BSW run recorded no sleep phase")
+	}
+	if p50 := res.Phase.RTT.Quantile(0.5); p50 <= 0 {
+		t.Fatalf("p50 = %v", p50)
+	}
+}
+
+// TestRunLiveUnobserved: the default path carries no snapshot.
+func TestRunLiveUnobserved(t *testing.T) {
+	res, err := RunLive(LiveConfig{Alg: core.BSS, Clients: 1, Msgs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phase != nil {
+		t.Fatalf("unobserved run returned a phase snapshot: %+v", res.Phase)
+	}
+}
+
+// TestWatchdogTripDumpsFlightRecorder forces a watchdog trip (a
+// deadline far shorter than the workload) and checks the flight
+// recorder lands on the configured writer — the post-mortem path.
+func TestWatchdogTripDumpsFlightRecorder(t *testing.T) {
+	var dump bytes.Buffer
+	_, err := RunLive(LiveConfig{
+		Alg:            core.BSW,
+		Clients:        2,
+		Msgs:           2_000_000, // far more than fits in the deadline
+		Watchdog:       25 * time.Millisecond,
+		Observe:        true,
+		RecorderCap:    256,
+		DumpOnWatchdog: &dump,
+	})
+	if err == nil {
+		t.Fatal("run completed 4M round trips in 25ms — watchdog never tripped")
+	}
+	out := dump.String()
+	if !strings.Contains(out, "flight recorder:") {
+		t.Fatalf("no flight-recorder dump on watchdog trip; err=%v dump=%q", err, out)
+	}
+	// The dump must hold real traffic, attributed to named actors.
+	if !strings.Contains(out, "send") || !strings.Contains(out, "client") {
+		t.Fatalf("dump carries no attributed events:\n%s", out)
+	}
+}
+
+// TestLiveBenchQuantileColumns: an observed sweep fills the quantile
+// and phase-breakdown fields of each cell.
+func TestLiveBenchQuantileColumns(t *testing.T) {
+	rep, err := RunLiveBench(LiveBenchOptions{
+		Kinds:   []LiveBenchKind{DefaultLiveBenchKinds()[4]}, // "default"
+		Algs:    []core.Algorithm{core.BSLS},
+		Clients: []int{1},
+		Msgs:    200,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != 1 {
+		t.Fatalf("got %d entries", len(rep.Entries))
+	}
+	e := rep.Entries[0]
+	if e.RTTP50Ns <= 0 || e.RTTP95Ns < e.RTTP50Ns || e.RTTP99Ns < e.RTTP95Ns || e.RTTMaxNs < e.RTTP99Ns {
+		t.Fatalf("quantiles not filled or not ordered: p50=%v p95=%v p99=%v max=%v",
+			e.RTTP50Ns, e.RTTP95Ns, e.RTTP99Ns, e.RTTMaxNs)
+	}
+
+	// NoObs strips them again.
+	rep, err = RunLiveBench(LiveBenchOptions{
+		Kinds:   []LiveBenchKind{DefaultLiveBenchKinds()[4]},
+		Algs:    []core.Algorithm{core.BSS},
+		Clients: []int{1},
+		Msgs:    100,
+		NoObs:   true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := rep.Entries[0]; e.RTTP50Ns != 0 || e.Sleeps != 0 {
+		t.Fatalf("NoObs cell carries histogram columns: %+v", e)
+	}
+}
+
+// TestRunLiveOverheadAB: the A/B harness produces medians for both arms
+// and a finite delta on a tiny cell.
+func TestRunLiveOverheadAB(t *testing.T) {
+	res, err := RunLiveOverheadAB(LiveConfig{Alg: core.BSS, Clients: 1, Msgs: 50}, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reps != 3 || len(res.BaseNs) != 3 || len(res.ObsNs) != 3 {
+		t.Fatalf("rep bookkeeping wrong: %+v", res)
+	}
+	if res.BaseMedianNs <= 0 || res.ObsMedianNs <= 0 {
+		t.Fatalf("medians not positive: %+v", res)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median(nil); got != 0 {
+		t.Fatalf("median(nil) = %v", got)
+	}
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %v, want 2", got)
+	}
+	if got := median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even median = %v, want 2.5", got)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"ulipc/internal/core"
 	"ulipc/internal/machine"
 	"ulipc/internal/metrics"
+	"ulipc/internal/obs"
 	"ulipc/internal/sim"
 	"ulipc/internal/sim/sched"
 )
@@ -115,6 +116,11 @@ type Result struct {
 	Clients    metrics.Snapshot // aggregated over all clients
 	Background metrics.Snapshot // aggregated over background processes
 	All        metrics.Snapshot
+
+	// Phase holds the per-phase latency histograms for the cell's
+	// protocol when the run was observed (live runs with
+	// LiveConfig.Observe); nil otherwise.
+	Phase *obs.ProtoSnapshot
 }
 
 // BackgroundCPUShare returns the fraction of the measured interval the

@@ -39,6 +39,7 @@ package ulipc
 import (
 	"ulipc/internal/core"
 	"ulipc/internal/livebind"
+	"ulipc/internal/obs"
 	"ulipc/internal/queue"
 	"ulipc/internal/shm"
 )
@@ -139,7 +140,25 @@ var (
 	WithThrottle   = livebind.WithThrottle
 	WithSleepScale = livebind.WithSleepScale
 	WithDuplex     = livebind.WithDuplex
+	WithObserver   = livebind.WithObserver
+	WithHistograms = livebind.WithHistograms
 )
+
+// Observer collects per-protocol phase-latency histograms (send RTT,
+// queue wait, spin, sleep) and — when configured with a RecorderCap —
+// a bounded in-memory flight recorder of recent IPC events. Attach one
+// to a System with WithObserver (or use WithHistograms for the
+// histogram-only default); read results through System.MetricsV2,
+// System.WritePrometheus, or Observer.Snapshot.
+type Observer = obs.Observer
+
+// ObserverConfig configures NewObserver (protocol names and the flight
+// recorder capacity).
+type ObserverConfig = obs.Config
+
+// NewObserver builds an observer. The zero config attaches the four
+// protocol histogram sets and no flight recorder.
+func NewObserver(cfg ObserverConfig) *Observer { return obs.New(cfg) }
 
 // System wires one server and its clients over live shared queues.
 // System.Shutdown(ctx) tears it down gracefully: drain, unblock, spill.

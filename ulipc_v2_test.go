@@ -144,7 +144,7 @@ func TestPublicAPIShutdownUnblocksLegacySend(t *testing.T) {
 	time.Sleep(10 * time.Millisecond)
 	shutCtx, shutCancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
 	defer shutCancel()
-	sys.Shutdown(shutCtx) // returns DeadlineExceeded: the request never drains
+	_ = sys.Shutdown(shutCtx) // returns DeadlineExceeded: the request never drains
 	select {
 	case m := <-done:
 		if m.Op != ulipc.OpShutdown {
