@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-live lint cover bench-gate ab
+.PHONY: build test race vet bench bench-live lint cover bench-gate ab chaos
 
 build:
 	$(GO) build ./...
@@ -54,3 +54,13 @@ bench-gate:
 # cell with the hooks disabled and enabled, medians compared.
 ab:
 	$(GO) run ./cmd/ipcbench -live -ab 7 -algs BSLS -clients 1 -msgs 5000
+
+# Chaos sweep: seeded fault injection (crashes in queue critical
+# sections, dropped/duplicated/delayed wake-ups) across the protocol
+# matrix, plus the crash/recovery model check. Exits non-zero if any
+# cell deadlocks, leaks pool refs, or misses a peer death — see
+# DESIGN.md §9. Override the seed with SEED=n.
+SEED ?= 1
+chaos:
+	$(GO) run ./cmd/ipcrace -chaos
+	$(GO) run ./cmd/ipcbench -chaos -seed $(SEED)

@@ -24,6 +24,17 @@
 //	                                      # watchdog trip dumps it to stderr
 //	ipcbench -live -ab 7                  # interleaved A/B observability
 //	                                      # overhead measurement (7 pairs)
+//
+// Chaos mode (seeded fault injection + recovery, pass/fail not speed):
+//
+//	ipcbench -chaos                       # full protocol matrix, text summary
+//	ipcbench -chaos -seed 42              # reproducible fault schedules
+//	ipcbench -chaos -json -o BENCH_chaos.json
+//	ipcbench -chaos -quick                # small matrix for CI smoke
+//
+// A chaos cell fails on deadlock, pool leak, or validation mismatch;
+// any failed cell makes the process exit non-zero after the full
+// report is written.
 package main
 
 import (
@@ -61,8 +72,19 @@ func main() {
 		flight   = flag.Int("flight", 0, "with -live: attach a flight recorder of this many events per cell; dumped to stderr on a watchdog trip or SIGQUIT")
 		abReps   = flag.Int("ab", 0, "with -live: instead of the matrix, run this many interleaved (observability off, on) pairs of one cell and report the median overhead delta")
 		best     = flag.Int("best", 1, "with -live: run the matrix this many times and keep each cell's fastest sample (best-of-K; stabilises a committed baseline against run-to-run jitter)")
+
+		chaos = flag.Bool("chaos", false, "run the seeded chaos matrix (fault injection + recovery) instead of the simulator experiments")
+		seed  = flag.Int64("seed", 1, "with -chaos: base seed for the fault schedules (cell i uses seed+i)")
 	)
 	flag.Parse()
+
+	if *chaos {
+		if err := runChaos(*jsonOut, *outFile, *msgs, *quick, *clients, *algs, *seed, *watchdog); err != nil {
+			fmt.Fprintf(os.Stderr, "ipcbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *live {
 		if *abReps > 0 {
@@ -180,6 +202,69 @@ func runLive(jsonOut bool, outFile string, msgs int, quick bool, clients, algs s
 		}
 	}
 	return err
+}
+
+// runChaos executes the seeded chaos matrix (workload.RunChaosBench).
+// Every cell runs regardless of earlier failures; the report (JSON or
+// text) is written before the error return turns a failed cell into a
+// non-zero exit — the contract CI's chaos gate relies on.
+func runChaos(jsonOut bool, outFile string, msgs int, quick bool, clients, algs string, seed int64, watchdog time.Duration) error {
+	opts := workload.ChaosOptions{Msgs: msgs, Seed: seed, Watchdog: watchdog}
+	var err error
+	if opts.Clients, err = parseClients(clients); err != nil {
+		return err
+	}
+	if opts.Algs, err = parseAlgs(algs); err != nil {
+		return err
+	}
+	if quick {
+		// CI smoke: a protocol pair and small fan-in, seconds not minutes.
+		if opts.Algs == nil {
+			opts.Algs = []core.Algorithm{core.BSW, core.BSLS}
+		}
+		if opts.Clients == nil {
+			opts.Clients = []int{2, 4}
+		}
+		if opts.Msgs == 0 {
+			opts.Msgs = 50
+		}
+	}
+	out := os.Stdout
+	if outFile != "" {
+		f, ferr := os.Create(outFile)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		out = f
+	}
+	rep, err := workload.RunChaosBench(opts, os.Stderr)
+	if rep != nil {
+		if jsonOut {
+			if werr := rep.WriteJSON(out); werr != nil && err == nil {
+				err = werr
+			}
+		} else {
+			renderChaosText(out, rep)
+		}
+	}
+	return err
+}
+
+func renderChaosText(out *os.File, rep *workload.ChaosReport) {
+	fmt.Fprintf(out, "chaos matrix (base seed %d, %d msgs/client, %s, GOMAXPROCS=%d)\n",
+		rep.BaseSeed, rep.MsgsPerCli, rep.GoVersion, rep.GOMAXPROCS)
+	fmt.Fprintf(out, "%-24s %9s %8s %8s %7s %8s %8s %8s %7s  %s\n",
+		"cell", "completed", "aborted", "crashes", "deaths", "reclaims", "orphans", "rescues", "leaked", "status")
+	for _, c := range rep.Cells {
+		status := "ok"
+		if c.Error != "" {
+			status = "FAIL: " + c.Error
+		}
+		fmt.Fprintf(out, "%-24s %9d %8d %8d %7d %8d %8d %8d %7d  %s\n",
+			c.Label, c.Completed, c.Aborted, c.Crashes, c.PeerDeaths,
+			c.LockReclaims, c.OrphanMsgs+c.OrphanRefs, c.WakeRescues, c.PoolLeaked, status)
+	}
 }
 
 func parseClients(s string) ([]int, error) {

@@ -10,6 +10,10 @@
 //
 //	ipcrace             # check the four Figure 4 scenarios
 //	ipcrace -producers 3 -msgs 2
+//	ipcrace -chaos      # crash/recovery scenarios: a producer dies owing
+//	                    # its wake-up V; the run asserts the hazard
+//	                    # deadlocks without the recovery sweeper and is
+//	                    # fully rescued with it, exiting non-zero otherwise
 package main
 
 import (
@@ -24,8 +28,13 @@ func main() {
 	var (
 		producers = flag.Int("producers", 2, "number of producers (1-3)")
 		msgs      = flag.Int("msgs", 2, "messages per producer (1-4)")
+		chaos     = flag.Bool("chaos", false, "check the crash/recovery scenarios (peer death before V, with and without the sweeper) and exit non-zero if the model contradicts the recovery claims")
 	)
 	flag.Parse()
+
+	if *chaos {
+		os.Exit(runChaos(*producers, *msgs))
+	}
 
 	type scenario struct {
 		name   string
@@ -98,6 +107,59 @@ func main() {
 		}
 		report(sc.name, sc.expect, res)
 	}
+}
+
+// runChaos model-checks the peer-death hazard the chaos harness tests
+// end-to-end: a producer dies after enqueueing its last message (and,
+// under TAS, after setting the awake flag) but before its V. Without
+// recovery every protocol with a blocking consumer admits a
+// sleep-forever deadlock — the TAS'd flag makes every surviving
+// producer skip its own V, so more producers do not help. With the
+// sweeper's compensating V (livebind's lost-wake rescue + peer-death
+// close) no interleaving deadlocks and every message, including the
+// dead producer's last one, is still consumed.
+//
+// Unlike the Figure 4 scenarios, these expectations are asserted: a
+// violation exits non-zero so CI can gate on the recovery claims.
+func runChaos(producers, msgs int) int {
+	bad := 0
+
+	crash := protomodel.FullProtocol(producers, msgs)
+	crash.CrashLastV = true
+	res, err := protomodel.Check(crash)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipcrace:", err)
+		return 1
+	}
+	report("peer death: producer 1 crashes before the V of its last message",
+		"harmful: the dead producer owes a V; the TAS'd awake flag silences every survivor", res)
+	if !res.Deadlock {
+		fmt.Fprintln(os.Stderr, "ipcrace: VIOLATION: crash-before-V did not deadlock — the hazard the sweeper exists for is gone from the model")
+		bad = 1
+	}
+
+	rescued := crash
+	rescued.Sweeper = true
+	res, err = protomodel.Check(rescued)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipcrace:", err)
+		return 1
+	}
+	report("peer death + recovery sweeper (compensating V while the consumer is blocked)",
+		"safe: the compensating V rescues every interleaving; all messages consumed; compensation bounded", res)
+	if res.Deadlock {
+		fmt.Fprintln(os.Stderr, "ipcrace: VIOLATION: sweeper failed to rescue a crash interleaving")
+		bad = 1
+	}
+	if !res.AllConsumed {
+		fmt.Fprintln(os.Stderr, "ipcrace: VIOLATION: sweeper run lost messages in some terminal state")
+		bad = 1
+	}
+	if res.MaxSem > producers+1 {
+		fmt.Fprintf(os.Stderr, "ipcrace: VIOLATION: sweeper compensation unbounded (max sem %d > %d)\n", res.MaxSem, producers+1)
+		bad = 1
+	}
+	return bad
 }
 
 func report(name, expect string, res protomodel.Result) {

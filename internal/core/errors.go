@@ -37,6 +37,14 @@ var (
 	// request outstanding for the target — replying twice would enqueue
 	// a stray message the client will misattribute to its next request.
 	ErrDoubleReply = errors.New("core: reply without outstanding request")
+
+	// ErrPeerDead is returned by blocking *Ctx paths when the peer on
+	// the other end of the port died (detected by the recovery sweeper):
+	// a client blocked on a dead server's reply — or a server blocked on
+	// a queue whose every producer is gone — unblocks with this instead
+	// of hanging until its deadline. It is distinct from ErrShutdown so
+	// callers can tell an orderly teardown from a partial failure.
+	ErrPeerDead = errors.New("core: peer died")
 )
 
 // OpShutdown is the control opcode legacy (error-less) blocking paths
@@ -99,4 +107,40 @@ func portRefusing(q any) bool {
 func portClosed(q any) bool {
 	s, ok := q.(PortState)
 	return ok && s.Closed()
+}
+
+// PortHealth is optionally implemented by ports whose system runs a
+// peer-death sweeper (livebind with recovery enabled). A dead port
+// behaves like a closed one — the sweeper sets the closed state too, so
+// legacy paths unblock — but the *Ctx paths consult PeerDead to report
+// ErrPeerDead rather than ErrShutdown.
+type PortHealth interface {
+	// PeerDead reports that the participant on the other side of this
+	// port has been declared dead by the recovery sweeper.
+	PeerDead() bool
+}
+
+// portDead reports whether an endpoint's peer has been declared dead.
+func portDead(q any) bool {
+	h, ok := q.(PortHealth)
+	return ok && h.PeerDead()
+}
+
+// shutdownErr maps a refusing/closed port to the right sentinel: a port
+// whose peer died reports ErrPeerDead, an orderly teardown ErrShutdown.
+func shutdownErr(q any) error {
+	if portDead(q) {
+		return ErrPeerDead
+	}
+	return ErrShutdown
+}
+
+// deadOr upgrades an ErrShutdown that was caused by peer death (the
+// sweeper closes the port's semaphore, so parked waiters surface
+// ErrShutdown) to ErrPeerDead; other errors pass through untouched.
+func deadOr(q any, err error) error {
+	if err == ErrShutdown && portDead(q) {
+		return ErrPeerDead
+	}
+	return err
 }

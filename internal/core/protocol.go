@@ -41,7 +41,7 @@ func enqueueOrSleepCtx(ctx context.Context, q interface{ TryEnqueue(Msg) bool },
 	backoff := 1
 	for {
 		if portRefusing(q) {
-			return ErrShutdown
+			return shutdownErr(q)
 		}
 		if err := ctx.Err(); err != nil {
 			return err
@@ -154,7 +154,7 @@ func consumerWaitCtx(ctx context.Context, q Port, a Actor, preWait func()) (Msg,
 			return m, nil
 		}
 		if portClosed(q) {
-			return Msg{}, ErrShutdown
+			return Msg{}, shutdownErr(q)
 		}
 		if err := ctx.Err(); err != nil {
 			return Msg{}, err
@@ -187,7 +187,7 @@ func consumerWaitCtx(ctx context.Context, q Port, a Actor, preWait func()) (Msg,
 					return m, nil
 				}
 			}
-			return Msg{}, err
+			return Msg{}, deadOr(q, err)
 		}
 		q.SetAwake(true)
 	}
@@ -200,7 +200,7 @@ func spinEnqueueCtx(ctx context.Context, a Actor, q interface {
 }, m Msg) error {
 	for {
 		if portRefusing(q) {
-			return ErrShutdown
+			return shutdownErr(q)
 		}
 		if q.TryEnqueue(m) {
 			return nil
@@ -292,7 +292,7 @@ func enqueueOrSleepCtxObs(ctx context.Context, q interface{ TryEnqueue(Msg) bool
 	// First iteration inline (identical to the plain helper's) so the
 	// uncontended path takes no timestamp.
 	if portRefusing(q) {
-		return ErrShutdown
+		return shutdownErr(q)
 	}
 	if err := ctx.Err(); err != nil {
 		return err
@@ -334,7 +334,7 @@ func spinDequeueCtx(ctx context.Context, a Actor, q interface {
 			return m, nil
 		}
 		if portClosed(q) {
-			return Msg{}, ErrShutdown
+			return Msg{}, shutdownErr(q)
 		}
 		if err := ctx.Err(); err != nil {
 			return Msg{}, err

@@ -1,0 +1,179 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakePool records frees so tests can watch pending-ref reclamation.
+type fakePool struct{ freed []uint32 }
+
+func (f *fakePool) Free(r uint32) { f.freed = append(f.freed, r) }
+
+func TestZeroHookDisabled(t *testing.T) {
+	var h Hook
+	if h.Enabled() {
+		t.Fatal("zero hook reports enabled")
+	}
+	if h.Actor() != -1 {
+		t.Fatalf("zero hook actor = %d, want -1", h.Actor())
+	}
+	// None of these may panic or do anything.
+	h.Crashpoint(PtEnqueueLocked)
+	if op := h.WakeOp(); op != WakeNone {
+		t.Fatalf("zero hook wake op = %v, want none", op)
+	}
+	if d := h.WakeDelayDur(); d != 0 {
+		t.Fatalf("zero hook delay = %v, want 0", d)
+	}
+	h.SetPending(&fakePool{}, 7)
+	h.ClearPending()
+}
+
+func TestDeterministicPerActorStreams(t *testing.T) {
+	plan := UniformPlan(42, 0, 0.2, 0.1, 0.1)
+	draw := func() [2][]WakeOp {
+		inj := NewInjector(plan)
+		var out [2][]WakeOp
+		for a := int32(0); a < 2; a++ {
+			h := inj.Hook(a)
+			for i := 0; i < 64; i++ {
+				out[a] = append(out[a], h.WakeOp())
+			}
+		}
+		return out
+	}
+	first, second := draw(), draw()
+	for a := 0; a < 2; a++ {
+		for i := range first[a] {
+			if first[a][i] != second[a][i] {
+				t.Fatalf("actor %d draw %d differs across runs: %v vs %v",
+					a, i, first[a][i], second[a][i])
+			}
+		}
+	}
+	// Different actors must not mirror each other's streams.
+	same := 0
+	for i := range first[0] {
+		if first[0][i] == first[1][i] {
+			same++
+		}
+	}
+	if same == len(first[0]) {
+		t.Fatal("actor 0 and actor 1 drew identical fault streams")
+	}
+}
+
+func TestCrashpointPanicsOnceAndCounts(t *testing.T) {
+	plan := Plan{Seed: 1}
+	plan.Crash[PtEnqueueLocked] = 1.0
+	inj := NewInjector(plan)
+	h := inj.Hook(3)
+
+	crashed := func() (c Crash, ok bool) {
+		defer func() { c, ok = AsCrash(recover()) }()
+		h.Crashpoint(PtEnqueueLocked)
+		return
+	}
+	c, ok := crashed()
+	if !ok {
+		t.Fatal("crashpoint with probability 1 did not panic")
+	}
+	if c.Actor != 3 || c.Point != PtEnqueueLocked {
+		t.Fatalf("crash = %+v, want actor 3 at enqueue-locked", c)
+	}
+	if c.Error() == "" {
+		t.Fatal("crash error string empty")
+	}
+	// A crashed actor stays dead: no second panic.
+	if _, again := crashed(); again {
+		t.Fatal("crashed actor crashed a second time")
+	}
+	got := inj.Counts()
+	if got.Crashes != 1 || got.ByPoint[PtEnqueueLocked] != 1 {
+		t.Fatalf("counts = %+v, want exactly one enqueue-locked crash", got)
+	}
+}
+
+func TestMaxCrashesBudget(t *testing.T) {
+	plan := Plan{Seed: 9, MaxCrashes: 2}
+	for i := range plan.Crash {
+		plan.Crash[i] = 1.0
+	}
+	inj := NewInjector(plan)
+	crashes := 0
+	for a := int32(0); a < 5; a++ {
+		func() {
+			defer func() {
+				if _, ok := AsCrash(recover()); ok {
+					crashes++
+				}
+			}()
+			inj.Hook(a).Crashpoint(PtBody)
+		}()
+	}
+	if crashes != 2 {
+		t.Fatalf("injected %d crashes, budget was 2", crashes)
+	}
+	if got := inj.Counts().Crashes; got != 2 {
+		t.Fatalf("counted %d crashes, want 2", got)
+	}
+}
+
+func TestPendingRefReclaim(t *testing.T) {
+	inj := NewInjector(Plan{Seed: 5})
+	h := inj.Hook(1)
+	fp := &fakePool{}
+
+	// Cleared pending must not be reclaimed.
+	h.SetPending(fp, 11)
+	h.ClearPending()
+	if inj.ReclaimPending(1) {
+		t.Fatal("reclaimed a cleared pending ref")
+	}
+
+	// Set-but-not-cleared pending is reclaimed exactly once.
+	h.SetPending(fp, 23)
+	if !inj.ReclaimPending(1) {
+		t.Fatal("failed to reclaim a pending ref")
+	}
+	if inj.ReclaimPending(1) {
+		t.Fatal("reclaimed the same pending ref twice")
+	}
+	if len(fp.freed) != 1 || fp.freed[0] != 23 {
+		t.Fatalf("freed = %v, want [23]", fp.freed)
+	}
+
+	// Unknown actors have nothing pending.
+	if inj.ReclaimPending(99) {
+		t.Fatal("reclaimed pending for unknown actor")
+	}
+}
+
+func TestWakeOpCountsAndDelay(t *testing.T) {
+	inj := NewInjector(UniformPlan(7, 0, 1.0, 0, 0)) // every V dropped
+	h := inj.Hook(0)
+	for i := 0; i < 10; i++ {
+		if op := h.WakeOp(); op != WakeDrop {
+			t.Fatalf("draw %d = %v, want drop", i, op)
+		}
+	}
+	if got := inj.Counts().WakeDrops; got != 10 {
+		t.Fatalf("drop count = %d, want 10", got)
+	}
+	if d := h.WakeDelayDur(); d != 200*time.Microsecond {
+		t.Fatalf("default delay = %v, want 200µs", d)
+	}
+}
+
+func TestPointStrings(t *testing.T) {
+	for p := Point(0); p < NumPoints; p++ {
+		if s := p.String(); s == "" || strings.HasPrefix(s, "point(") {
+			t.Fatalf("point %d has fallback string %q", p, s)
+		}
+	}
+	if s := Point(200).String(); !strings.HasPrefix(s, "point(") {
+		t.Fatalf("unknown point string = %q", s)
+	}
+}

@@ -198,9 +198,11 @@ func TestShutdownUnblocksParkedClients(t *testing.T) {
 	if total := ms.Total(); total.PoolSpills == 0 {
 		t.Fatalf("no cache spills recorded: %+v", total)
 	}
-	// Idempotent: a second Shutdown is a no-op and reports success.
-	if err := sys.Shutdown(context.Background()); err != nil {
-		t.Fatalf("second Shutdown = %v", err)
+	// Idempotent: a second Shutdown does not re-run teardown; it returns
+	// the first call's result, so the drain-deadline failure stays
+	// visible to every caller.
+	if err := sys.Shutdown(context.Background()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("second Shutdown = %v, want first call's DeadlineExceeded", err)
 	}
 }
 
@@ -333,5 +335,58 @@ func TestConnectCtxCancelledDoesNotReuseSlot(t *testing.T) {
 	defer shutCancel()
 	if err := sys.Shutdown(shutCtx); err != nil {
 		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestShutdownConcurrent hammers Shutdown from many goroutines at once:
+// exactly one runs the teardown phases, every caller gets the first
+// call's result, and the race detector sees no unsynchronised state.
+// (Sequential idempotence is asserted in
+// TestShutdownUnblocksParkedClients; this is the concurrent half of the
+// contract.)
+func TestShutdownConcurrent(t *testing.T) {
+	sys, err := NewSystem(Options{Alg: core.BSW, Clients: 1, SleepScale: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := sys.Server()
+	serverDone := make(chan error, 1)
+	go func() {
+		_, err := srv.ServeCtx(context.Background(), nil)
+		serverDone <- err
+	}()
+	cl, err := sys.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := cl.SendCtx(ctx, core.Msg{Op: core.OpConnect}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.SendCtx(ctx, core.Msg{Op: core.OpDisconnect}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serverDone; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+
+	const callers = 8
+	errs := make(chan error, callers)
+	var start sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < callers; i++ {
+		go func() {
+			start.Wait()
+			sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer scancel()
+			errs <- sys.Shutdown(sctx)
+		}()
+	}
+	start.Done()
+	for i := 0; i < callers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("concurrent Shutdown = %v", err)
+		}
 	}
 }

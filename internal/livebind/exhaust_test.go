@@ -1,0 +1,85 @@
+package livebind
+
+import (
+	"testing"
+	"time"
+
+	"ulipc/internal/core"
+	"ulipc/internal/metrics"
+	"ulipc/internal/queue"
+)
+
+// TestBatchedPortPoolExhaustion drives a batched producer port whose
+// refill batch exceeds the entire free pool: the cache's AllocN comes
+// back short (and eventually empty), which must degrade to smaller
+// allocations and then clean enqueue failure — never a panic or a spin
+// — while the refill/spill traffic stays visible through the port's
+// PoolRefills/PoolSpills counters.
+func TestBatchedPortPoolExhaustion(t *testing.T) {
+	const capacity = 4
+	ch, err := NewChannel(queue.KindTwoLock, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := metrics.NewSet().NewProc("producer")
+	p := newBatchedPort(ch, 3*capacity, m) // batch far beyond the pool
+	if p.cache == nil {
+		t.Fatal("two-lock channel did not get a cache")
+	}
+
+	// The pool holds capacity+1 nodes (one is the queue's dummy). Every
+	// enqueue draws from the cache; the first refill can only come back
+	// short. Fill the queue to the brim, then overrun it: the overruns
+	// must fail fast with ok=false.
+	done := make(chan int, 1)
+	go func() {
+		sent := 0
+		for i := 0; i < 3*capacity; i++ {
+			if p.TryEnqueue(core.Msg{Seq: int32(i)}) {
+				sent++
+			}
+		}
+		done <- sent
+	}()
+	var sent int
+	select {
+	case sent = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("enqueue against an exhausted pool spun instead of failing")
+	}
+	if sent != capacity {
+		t.Fatalf("sent %d messages, want exactly %d (queue capacity)", sent, capacity)
+	}
+	if got := m.PoolRefills.Load(); got == 0 {
+		t.Fatal("short AllocN refills not surfaced via PoolRefills")
+	}
+
+	// Drain the queue (the freed nodes rejoin the pool), send once more
+	// so the next short refill leaves spare refs parked in the cache,
+	// then retire the producer: the parked refs must spill back, and the
+	// spill must be surfaced via PoolSpills.
+	c := NewPort(ch)
+	for i := 0; i < capacity; i++ {
+		if _, ok := c.TryDequeue(); !ok {
+			t.Fatalf("dequeue %d failed", i)
+		}
+	}
+	if !p.TryEnqueue(core.Msg{Seq: 99}) {
+		t.Fatal("enqueue after drain failed")
+	}
+	if _, ok := c.TryDequeue(); !ok {
+		t.Fatal("final dequeue failed")
+	}
+	p.Close()
+	if got := m.PoolSpills.Load(); got == 0 {
+		t.Fatal("cache drain not surfaced via PoolSpills")
+	}
+	// With the cache drained and every message freed, the pool is whole
+	// again: a fresh producer can run the queue to capacity once more.
+	p2 := NewPort(ch)
+	for i := 0; i < capacity; i++ {
+		if !p2.TryEnqueue(core.Msg{Seq: int32(i)}) {
+			t.Fatalf("enqueue %d after recovery failed: pool leaked", i)
+		}
+	}
+}

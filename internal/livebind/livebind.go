@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"ulipc/internal/core"
+	"ulipc/internal/fault"
 	"ulipc/internal/metrics"
 	"ulipc/internal/obs"
 	"ulipc/internal/queue"
@@ -47,6 +48,13 @@ type Channel struct {
 	// cycles — they share the read-mostly header line by design.
 	refuse atomic.Bool
 	closed atomic.Bool
+
+	// dead marks a channel whose peer (its only consumer, or its every
+	// producer) has been declared dead by the recovery sweeper. It
+	// upgrades the closed state's ErrShutdown to core.ErrPeerDead on the
+	// *Ctx paths (core.PortHealth); like refuse/closed it is written
+	// once and loaded only on blocking cycles.
+	dead atomic.Bool
 
 	_       [64]byte
 	awake   atomic.Bool
@@ -95,6 +103,9 @@ func (c *Channel) Queue() queue.Queue { return c.q }
 // Figure 4 race analysis is about this value staying bounded).
 func (c *Channel) SemCount() int64 { return c.sem.Count() }
 
+// Sem exposes the channel's wake-up semaphore (diagnostics, tests).
+func (c *Channel) Sem() *Semaphore { return c.sem }
+
 // Refuse makes the channel reject new messages (producers observe
 // Refusing and stop) while consumers keep draining — phase one of the
 // graceful shutdown.
@@ -109,6 +120,20 @@ func (c *Channel) CloseDown() {
 	c.sem.Close()
 }
 
+// MarkPeerDead is CloseDown for a partial failure: the sweeper calls it
+// when one side of the channel is entirely dead. The closed state
+// unblocks parked waiters exactly as in a shutdown, and the dead flag
+// makes the *Ctx paths surface core.ErrPeerDead instead of ErrShutdown
+// (legacy error-less paths still get the shutdown marker — they have no
+// error surface).
+func (c *Channel) MarkPeerDead() {
+	c.dead.Store(true)
+	c.CloseDown()
+}
+
+// PeerDead reports whether the sweeper declared the channel's peer dead.
+func (c *Channel) PeerDead() bool { return c.dead.Load() }
+
 // Port is a process's endpoint on a channel; it implements core.Port.
 //
 // A port built by System with Options.AllocBatch > 1 over a two-lock
@@ -119,22 +144,46 @@ func (c *Channel) CloseDown() {
 // invisible to the pool's flow control.
 type Port struct {
 	c     *Channel
-	tl    *queue.TwoLock // non-nil iff cache is non-nil
+	tl    *queue.TwoLock // non-nil iff cache is non-nil or fh is enabled
 	cache *shm.PoolCache
 	m     *metrics.Proc // optional: batching statistics
+
+	// Fault/recovery identity: owner tags the robust queue locks this
+	// port takes (so the sweeper can reclaim them if the owner dies) and
+	// fh carries the owner's injected-fault schedule. System-built ports
+	// bind these when fault injection is on; otherwise the port operates
+	// anonymously and the zero hook keeps the hot path to one nil check.
+	owner int32
+	fh    fault.Hook
 }
 
 // NewPort returns an endpoint view of the channel.
-func NewPort(c *Channel) *Port { return &Port{c: c} }
+func NewPort(c *Channel) *Port { return &Port{c: c, owner: queue.AnonOwner} }
 
 // newBatchedPort returns a producer endpoint with a private allocation
 // cache of the given batch size when the channel's queue supports it
 // (two-lock only — the other kinds have no shared node pool to batch).
 func newBatchedPort(c *Channel, batch int, m *metrics.Proc) *Port {
-	p := &Port{c: c, m: m}
+	p := &Port{c: c, m: m, owner: queue.AnonOwner}
 	if tl, ok := c.q.(*queue.TwoLock); ok && batch > 1 {
 		p.tl = tl
 		p.cache = tl.Pool().NewCache(batch)
+	}
+	return p
+}
+
+// bindActor attaches an actor's fault identity to the port: robust
+// locks it takes are tagged with the actor id, and the actor's fault
+// hook injects crashes inside the queue's critical sections. No-op
+// binding when the actor carries no hook (fault injection off).
+func (p *Port) bindActor(a *Actor) *Port {
+	if !a.FH.Enabled() {
+		return p
+	}
+	p.owner = a.ID
+	p.fh = a.FH
+	if tl, ok := p.c.q.(*queue.TwoLock); ok {
+		p.tl = tl
 	}
 	return p
 }
@@ -149,8 +198,11 @@ func (p *Port) TryEnqueue(m core.Msg) bool {
 		if !ok {
 			return false // cache and pool both exhausted: queue full
 		}
-		p.tl.EnqueueRef(ref, m)
+		p.tl.EnqueueRefAs(p.owner, ref, m, p.fh)
 		return true
+	}
+	if p.fh.Enabled() && p.tl != nil {
+		return p.tl.EnqueueAs(p.owner, m, p.fh)
 	}
 	return p.c.q.Enqueue(m)
 }
@@ -177,7 +229,12 @@ func DrainPort(p core.Port) {
 }
 
 // TryDequeue implements core.Port.
-func (p *Port) TryDequeue() (core.Msg, bool) { return p.c.q.Dequeue() }
+func (p *Port) TryDequeue() (core.Msg, bool) {
+	if p.fh.Enabled() && p.tl != nil {
+		return p.tl.DequeueAs(p.owner, p.fh)
+	}
+	return p.c.q.Dequeue()
+}
 
 // Empty implements core.Port.
 func (p *Port) Empty() bool { return p.c.q.Empty() }
@@ -196,6 +253,9 @@ func (p *Port) Refusing() bool { return p.c.refuse.Load() }
 
 // Closed implements core.PortState.
 func (p *Port) Closed() bool { return p.c.closed.Load() }
+
+// PeerDead implements core.PortHealth.
+func (p *Port) PeerDead() bool { return p.c.dead.Load() }
 
 // Actor implements core.Actor over the Go runtime. Each participant
 // (client or server goroutine) owns one Actor; the sems table maps
@@ -219,7 +279,30 @@ type Actor struct {
 	// events. The zero Hook keeps P/V clock-free.
 	Obs obs.Hook
 
+	// ID is the actor's recovery identity: robust queue locks taken
+	// through this actor's ports are tagged with it, and crash reports
+	// name it. Assigned by System.newActor; queue.AnonOwner otherwise.
+	ID int32
+
+	// FH is the actor's fault-injection hook (zero when injection is
+	// off). The chaos harness also calls FH.Crashpoint(fault.PtBody)
+	// between protocol operations to kill actors outside the runtime's
+	// own injection points.
+	FH fault.Hook
+
+	// life is the actor's slot in the recovery lifetable (nil when
+	// recovery is off); hot operations beat it so lease-based detection
+	// can tell a live-but-parked actor from a vanished one.
+	life *lifeSlot
+
 	spinSink int64
+}
+
+// beat records liveness progress for lease-based peer-death detection.
+func (a *Actor) beat() {
+	if a.life != nil {
+		a.life.beat.Add(1)
+	}
 }
 
 // Yield implements core.Actor.
@@ -262,6 +345,8 @@ func (a *Actor) P(id core.SemID) {
 	if a.M != nil {
 		a.M.SemP.Add(1)
 	}
+	a.beat()
+	a.FH.Crashpoint(fault.PtBlock)
 	if !a.Obs.Enabled() {
 		if a.sems[id].P() && a.M != nil {
 			a.M.Blocks.Add(1)
@@ -281,9 +366,27 @@ func (a *Actor) P(id core.SemID) {
 
 // V implements core.Actor. A V that (plausibly) woke a sleeper counts
 // as a wake-up and is noted on the flight recorder (arg: semaphore id).
+//
+// With fault injection enabled, the V may be mutated: dropped (the lost
+// wake-up the sweeper's rescue heuristic must repair), duplicated (the
+// spurious wake-up the protocols' token accounting must absorb), or
+// delayed. A crashpoint right before the mutation models a producer
+// dying owing its wake-up — Figure 4's race window, made permanent.
 func (a *Actor) V(id core.SemID) {
 	if a.M != nil {
 		a.M.SemV.Add(1)
+	}
+	a.beat()
+	if a.FH.Enabled() {
+		a.FH.Crashpoint(fault.PtWake)
+		switch a.FH.WakeOp() {
+		case fault.WakeDrop:
+			return // the V never happens
+		case fault.WakeDup:
+			a.sems[id].V()
+		case fault.WakeDelay:
+			time.Sleep(a.FH.WakeDelayDur())
+		}
 	}
 	if a.sems[id].V() {
 		if a.M != nil {
@@ -324,6 +427,8 @@ func (a *Actor) PCtx(ctx context.Context, id core.SemID) error {
 	if a.M != nil {
 		a.M.SemP.Add(1)
 	}
+	a.beat()
+	a.FH.Crashpoint(fault.PtBlock)
 	if !a.Obs.Enabled() {
 		slept, err := a.sems[id].PCtx(ctx)
 		if slept && a.M != nil {
@@ -379,10 +484,11 @@ func (a *Actor) spin(n int) {
 }
 
 var (
-	_ core.Port      = (*Port)(nil)
-	_ core.Actor     = (*Actor)(nil)
-	_ core.CtxActor  = (*Actor)(nil)
-	_ core.PortState = (*Port)(nil)
+	_ core.Port       = (*Port)(nil)
+	_ core.Actor      = (*Actor)(nil)
+	_ core.CtxActor   = (*Actor)(nil)
+	_ core.PortState  = (*Port)(nil)
+	_ core.PortHealth = (*Port)(nil)
 )
 
 // PoolPort is a channel endpoint whose consumer side is a worker pool
@@ -421,6 +527,9 @@ func (p *PoolPort) Refusing() bool { return p.c.refuse.Load() }
 // Closed implements core.PortState.
 func (p *PoolPort) Closed() bool { return p.c.closed.Load() }
 
+// PeerDead implements core.PortHealth.
+func (p *PoolPort) PeerDead() bool { return p.c.dead.Load() }
+
 // decIfPositive atomically decrements v if it is positive.
 func decIfPositive(v *atomic.Int64) bool {
 	for {
@@ -435,6 +544,7 @@ func decIfPositive(v *atomic.Int64) bool {
 }
 
 var (
-	_ core.PoolPort  = (*PoolPort)(nil)
-	_ core.PortState = (*PoolPort)(nil)
+	_ core.PoolPort   = (*PoolPort)(nil)
+	_ core.PortState  = (*PoolPort)(nil)
+	_ core.PortHealth = (*PoolPort)(nil)
 )

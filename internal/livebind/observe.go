@@ -48,6 +48,12 @@ func (s *System) WritePrometheus(w io.Writer) {
 		{"ulipc_timeouts", "cancellable waits ended by a deadline", t.Timeouts},
 		{"ulipc_cancels", "cancellable waits ended by explicit cancel", t.Cancels},
 		{"ulipc_retries", "queue-full retry rounds", t.Retries},
+		{"ulipc_crashes", "injected crash panics recovered", t.Crashes},
+		{"ulipc_peer_deaths", "actors declared dead by the sweeper", t.PeerDeaths},
+		{"ulipc_lock_reclaims", "robust queue locks revoked from dead holders", t.LockReclaims},
+		{"ulipc_orphan_msgs", "orphaned queued messages drained to the pool", t.OrphanMsgs},
+		{"ulipc_orphan_refs", "leaked in-flight refs returned to the pool", t.OrphanRefs},
+		{"ulipc_wake_rescues", "rescue Vs issued for lost wake-ups", t.WakeRescues},
 	} {
 		obs.WritePrometheusCounter(w, c.name, c.help, c.value)
 	}

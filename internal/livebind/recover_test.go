@@ -1,0 +1,304 @@
+package livebind
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ulipc/internal/core"
+	"ulipc/internal/fault"
+	"ulipc/internal/metrics"
+	"ulipc/internal/shm"
+)
+
+// TestKillActorDeliversErrPeerDead parks a client on a reply that will
+// never come (the server handle exists but never runs), declares the
+// server dead, and sweeps: the client must unblock with ErrPeerDead —
+// not hang, and not plain ErrShutdown — and the orphaned request must
+// drain back to the pool.
+func TestKillActorDeliversErrPeerDead(t *testing.T) {
+	ms := metrics.NewSet()
+	sys, err := NewSystem(Options{Alg: core.BSW, Clients: 1, Metrics: ms},
+		WithRecovery(RecoveryOptions{SweepInterval: time.Hour}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := sys.Server() // registered, never run
+	serverID := srv.A.(*Actor).ID
+
+	cl, err := sys.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_, err := cl.SendCtx(ctx, core.Msg{Op: core.OpEcho})
+		res <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // request enqueued, client parked
+
+	sys.KillActor(serverID)
+	sys.SweepNow()
+
+	select {
+	case err := <-res:
+		if !errors.Is(err, core.ErrPeerDead) {
+			t.Fatalf("parked SendCtx after server death = %v, want ErrPeerDead", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client still parked after peer-death sweep")
+	}
+	if !sys.ReplyChannel(0).PeerDead() {
+		t.Fatal("reply channel not marked peer-dead")
+	}
+	total := ms.Total()
+	if total.PeerDeaths != 1 {
+		t.Fatalf("PeerDeaths = %d, want 1", total.PeerDeaths)
+	}
+	if total.OrphanMsgs < 1 {
+		t.Fatalf("OrphanMsgs = %d, want >= 1 (the undelivered request)", total.OrphanMsgs)
+	}
+	if err := sys.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+}
+
+// TestLeaseExpiryDetectsSilentDeath registers a client that never makes
+// another move and sweeps after its lease expires: the sweeper must
+// declare it dead without any ReportCrash/KillActor, and subsequent
+// sends on the dead topology must surface ErrPeerDead.
+func TestLeaseExpiryDetectsSilentDeath(t *testing.T) {
+	ms := metrics.NewSet()
+	sys, err := NewSystem(Options{Alg: core.BSW, Clients: 1, Metrics: ms},
+		WithRecovery(RecoveryOptions{SweepInterval: time.Hour, Lease: 30 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := sys.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(80 * time.Millisecond) // lease expires with no beats
+	sys.SweepNow()
+
+	if got := ms.Total().PeerDeaths; got != 1 {
+		t.Fatalf("PeerDeaths = %d, want 1 (lease expiry)", got)
+	}
+	// The dead client was the only consumer of its reply channel and the
+	// only producer of the receive queue: both sides are peer-dead now.
+	if !sys.ReplyChannel(0).PeerDead() || !sys.ReceiveChannel().PeerDead() {
+		t.Fatal("channels not marked peer-dead after lease expiry")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := cl.SendCtx(ctx, core.Msg{Op: core.OpEcho}); !errors.Is(err, core.ErrPeerDead) {
+		t.Fatalf("SendCtx on dead topology = %v, want ErrPeerDead", err)
+	}
+	if err := sys.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+}
+
+// TestDroppedWakeupsRescued runs full round trips with EVERY wake-up V
+// swallowed by the injector: only the sweeper's lost-wake rescue can
+// unpark the two sides, so completion proves the rescue heuristic
+// restores liveness end to end.
+func TestDroppedWakeupsRescued(t *testing.T) {
+	inj := fault.NewInjector(fault.Plan{Seed: 3, DropWake: 1.0})
+	ms := metrics.NewSet()
+	sys, err := NewSystem(Options{Alg: core.BSW, Clients: 1, Metrics: ms},
+		WithFaults(inj),
+		WithRecovery(RecoveryOptions{SweepInterval: 100 * time.Microsecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := sys.Server()
+	serverDone := make(chan error, 1)
+	go func() {
+		_, err := srv.ServeCtx(context.Background(), nil)
+		serverDone <- err
+	}()
+	cl, err := sys.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if _, err := cl.SendCtx(ctx, core.Msg{Op: core.OpConnect}); err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := cl.SendCtx(ctx, core.Msg{Op: core.OpEcho, Seq: int32(i)}); err != nil {
+			t.Fatalf("echo %d: %v", i, err)
+		}
+	}
+	if _, err := cl.SendCtx(ctx, core.Msg{Op: core.OpDisconnect}); err != nil {
+		t.Fatalf("disconnect: %v", err)
+	}
+	if err := <-serverDone; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	if drops := inj.Counts().WakeDrops; drops == 0 {
+		t.Fatal("injector dropped no wake-ups; the test exercised nothing")
+	}
+	if rescues := ms.Total().WakeRescues; rescues == 0 {
+		t.Fatal("round trips completed with all Vs dropped but no rescues recorded")
+	}
+	if err := sys.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+}
+
+// TestServerCrashRecovery is the end-to-end robustness path: an
+// injected crash kills the server inside the receive queue's locked
+// dequeue section. The harness reports the crash, the sweeper revokes
+// the dead holder's queue lock, reclaims the orphaned in-flight ref,
+// and marks the reply side peer-dead so the parked client unblocks
+// with ErrPeerDead instead of hanging forever.
+func TestServerCrashRecovery(t *testing.T) {
+	plan := fault.Plan{Seed: 42, MaxCrashes: 1}
+	plan.Crash[fault.PtDequeueLocked] = 1.0
+	inj := fault.NewInjector(plan)
+	ms := metrics.NewSet()
+	sys, err := NewSystem(Options{Alg: core.BSW, Clients: 1, Metrics: ms},
+		WithFaults(inj),
+		WithRecovery(RecoveryOptions{SweepInterval: time.Hour}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The receive queue is the system's only two-lock queue (replies are
+	// SPSC rings), so the armed dequeue crashpoint can only fire in the
+	// server — deterministically, on its first dequeue.
+	srv := sys.Server()
+	crashed := make(chan struct{})
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				if !sys.ReportCrash(v) {
+					panic(v) // not an injected fault: a real bug
+				}
+				close(crashed)
+			}
+		}()
+		_, _ = srv.ServeCtx(context.Background(), nil)
+	}()
+
+	cl, err := sys.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_, err := cl.SendCtx(ctx, core.Msg{Op: core.OpEcho})
+		res <- err
+	}()
+
+	select {
+	case <-crashed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never hit the armed crashpoint")
+	}
+	sys.SweepNow()
+
+	select {
+	case err := <-res:
+		if !errors.Is(err, core.ErrPeerDead) {
+			t.Fatalf("client after server crash = %v, want ErrPeerDead", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client still parked after crash recovery sweep")
+	}
+
+	if got := inj.Counts().Crashes; got != 1 {
+		t.Fatalf("injected crashes = %d, want 1", got)
+	}
+	total := ms.Total()
+	if total.Crashes != 1 {
+		t.Fatalf("metrics Crashes = %d, want 1", total.Crashes)
+	}
+	if total.PeerDeaths != 1 {
+		t.Fatalf("PeerDeaths = %d, want 1", total.PeerDeaths)
+	}
+	if total.LockReclaims < 1 {
+		t.Fatalf("LockReclaims = %d, want >= 1 (the held head lock)", total.LockReclaims)
+	}
+	// The crash fired before the head advanced, so the request is still
+	// queued — and with its only consumer dead it drains as an orphan.
+	if total.OrphanMsgs < 1 {
+		t.Fatalf("OrphanMsgs = %d, want >= 1 (the undelivered request)", total.OrphanMsgs)
+	}
+	if err := sys.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+}
+
+// TestServerCrashReclaimsPendingRef arms the post-unlock crashpoint
+// (node unlinked, not yet freed): the dead server holds no lock, but
+// the dequeued dummy node would leak from the free pool without the
+// sweeper's pending-ref reclaim.
+func TestServerCrashReclaimsPendingRef(t *testing.T) {
+	plan := fault.Plan{Seed: 7, MaxCrashes: 1}
+	plan.Crash[fault.PtBeforeFree] = 1.0
+	inj := fault.NewInjector(plan)
+	ms := metrics.NewSet()
+	sys, err := NewSystem(Options{Alg: core.BSW, Clients: 1, Metrics: ms},
+		WithFaults(inj),
+		WithRecovery(RecoveryOptions{SweepInterval: time.Hour}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recvPool := sys.ReceiveChannel().q.(interface{ Pool() *shm.Pool }).Pool()
+	before := recvPool.FreeCount()
+
+	srv := sys.Server()
+	crashed := make(chan struct{})
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				if !sys.ReportCrash(v) {
+					panic(v)
+				}
+				close(crashed)
+			}
+		}()
+		_, _ = srv.ServeCtx(context.Background(), nil)
+	}()
+	cl, err := sys.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_, err := cl.SendCtx(ctx, core.Msg{Op: core.OpEcho})
+		res <- err
+	}()
+	select {
+	case <-crashed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never hit the armed crashpoint")
+	}
+	sys.SweepNow()
+	if err := <-res; !errors.Is(err, core.ErrPeerDead) {
+		t.Fatalf("client after server crash = %v, want ErrPeerDead", err)
+	}
+	total := ms.Total()
+	if total.OrphanRefs != 1 {
+		t.Fatalf("OrphanRefs = %d, want 1 (the unfreed dummy node)", total.OrphanRefs)
+	}
+	// No lock was held at the crash and the head had already advanced:
+	// reclaiming the pending ref must restore the pool exactly.
+	if after := recvPool.FreeCount(); after != before {
+		t.Fatalf("pool free count %d after recovery, want %d (no leak)", after, before)
+	}
+	if err := sys.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+}

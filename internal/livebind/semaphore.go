@@ -211,3 +211,12 @@ func (s *Semaphore) Waiters() int {
 	defer s.mu.Unlock()
 	return len(s.waiters)
 }
+
+// Sleeping returns the number of plain P calls currently parked
+// (diagnostics; the recovery sweeper's lost-wake heuristic needs to
+// know whether anyone is actually asleep on the semaphore).
+func (s *Semaphore) Sleeping() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sleeping
+}

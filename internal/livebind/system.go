@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ulipc/internal/core"
+	"ulipc/internal/fault"
 	"ulipc/internal/metrics"
 	"ulipc/internal/obs"
 	"ulipc/internal/queue"
@@ -74,6 +76,18 @@ type Options struct {
 	// fast path: handles carry a zero obs.Hook, whose every method is a
 	// single nil-check. Prefer WithObserver/WithHistograms.
 	Observer *obs.Observer
+
+	// Faults, when non-nil, threads the injector's per-actor hooks
+	// through every handle the system builds: queue critical sections
+	// gain crashpoints, semaphore Vs may be dropped/duplicated/delayed.
+	// nil keeps the zero hook (one nil-check) on every path. Prefer
+	// WithFaults.
+	Faults *fault.Injector
+
+	// Recovery, when non-nil, starts the peer-death sweeper (lifetable,
+	// robust-lock reclaim, orphan drain, ErrPeerDead delivery). Prefer
+	// WithRecovery.
+	Recovery *RecoveryOptions
 }
 
 // Option is a functional setting applied by NewSystem on top of the
@@ -130,6 +144,18 @@ func WithHistograms() Option {
 	return func(o *Options) { o.Observer = obs.New(obs.Config{}) }
 }
 
+// WithFaults attaches a fault injector (see Options.Faults). Usually
+// paired with WithRecovery so the injected faults are survivable.
+func WithFaults(inj *fault.Injector) Option {
+	return func(o *Options) { o.Faults = inj }
+}
+
+// WithRecovery starts the peer-death sweeper (see Options.Recovery and
+// RecoveryOptions).
+func WithRecovery(opts RecoveryOptions) Option {
+	return func(o *Options) { o.Recovery = &opts }
+}
+
 // validate rejects nonsensical configurations with typed errors and
 // fills defaults.
 func (o *Options) validate() error {
@@ -182,14 +208,22 @@ type System struct {
 	connMu sync.Mutex
 	conns  connPool
 
+	// Fault injection and recovery (nil when not configured).
+	inj      *fault.Injector
+	rec      *recovery
+	actorSeq atomic.Int32 // actor id allocator
+
 	// Shutdown bookkeeping: batched producer ports (whose caches must
-	// spill before teardown), worker-pool coordinators (whose stop flag
-	// must rise before the pool semaphore closes), and the one-shot
-	// shutdown latch.
+	// spill before teardown) and worker-pool coordinators (whose stop
+	// flag must rise before the pool semaphore closes). The once/err
+	// pair is the shutdown latch: the first Shutdown call runs the five
+	// phases inside the Once, so concurrent and later calls block until
+	// that run finishes and then return its stored result.
 	downMu   sync.Mutex
 	ports    []*Port
 	pools    []*core.PoolCoordinator
-	shutdown bool
+	downOnce sync.Once
+	downErr  error
 
 	// SPSC topology bookkeeping: which producer endpoints have been
 	// issued. Only consulted while the per-client channels are SPSC.
@@ -262,6 +296,11 @@ func NewSystem(opts Options, extra ...Option) (*System, error) {
 		}
 		s.blocks = pool
 	}
+	s.inj = opts.Faults
+	if opts.Recovery != nil {
+		s.rec = newRecovery(s, *opts.Recovery)
+		go s.rec.run()
+	}
 	return s, nil
 }
 
@@ -269,21 +308,23 @@ func NewSystem(opts Options, extra ...Option) (*System, error) {
 // components, or nil if Options.BlockSlots was zero.
 func (s *System) Blocks() *shm.BlockPool { return s.blocks }
 
-// producerPort builds an enqueue endpoint for a channel, attaching a
-// private allocation cache when Options.AllocBatch asks for one and the
-// channel's queue supports it. Batched ports are tracked so Shutdown
-// can spill their caches back to the shared pool.
-func (s *System) producerPort(c *Channel, m *metrics.Proc) *Port {
+// producerPort builds an enqueue endpoint for a channel owned by the
+// given actor, attaching a private allocation cache when
+// Options.AllocBatch asks for one and the channel's queue supports it.
+// Batched ports are tracked so Shutdown can spill their caches back to
+// the shared pool. The actor's fault identity (lock ownership,
+// crashpoints) is bound to the port when injection is on.
+func (s *System) producerPort(c *Channel, a *Actor) *Port {
 	if s.opts.AllocBatch > 1 {
-		p := newBatchedPort(c, s.opts.AllocBatch, m)
+		p := newBatchedPort(c, s.opts.AllocBatch, a.M)
 		if p.cache != nil {
 			s.downMu.Lock()
 			s.ports = append(s.ports, p)
 			s.downMu.Unlock()
 		}
-		return p
+		return p.bindActor(a)
 	}
-	return NewPort(c)
+	return NewPort(c).bindActor(a)
 }
 
 // Shutdown gracefully tears the system down:
@@ -299,19 +340,23 @@ func (s *System) producerPort(c *Channel, m *metrics.Proc) *Port {
 //     and the *Ctx paths surface core.ErrShutdown (legacy paths return
 //     the OpShutdown marker message);
 //  5. batched producer caches are spilled back to the shared free pool
-//     so no refs leak from the pool's flow control.
+//     so no refs leak from the pool's flow control — and, when a
+//     recovery sweeper is attached, the sweeper is halted after one
+//     final synchronous sweep.
 //
-// Shutdown is idempotent; concurrent and later calls return nil
-// immediately.
+// Shutdown is idempotent and concurrency-safe: the first call runs the
+// phases; concurrent and later calls wait for that run to finish and
+// return the same result (so every caller observes a fully torn-down
+// system, and a drain-deadline error is not swallowed by a racing
+// second call).
 func (s *System) Shutdown(ctx context.Context) error {
-	s.downMu.Lock()
-	if s.shutdown {
-		s.downMu.Unlock()
-		return nil
-	}
-	s.shutdown = true
-	s.downMu.Unlock()
+	s.downOnce.Do(func() { s.downErr = s.shutdownPhases(ctx) })
+	return s.downErr
+}
 
+// shutdownPhases is the body of the first Shutdown call; see Shutdown
+// for the phase contract.
+func (s *System) shutdownPhases(ctx context.Context) error {
 	// Phase 1: refuse new requests; replies stay open so in-flight
 	// requests still get answered.
 	s.notePhase(1)
@@ -362,10 +407,16 @@ func (s *System) Shutdown(ctx context.Context) error {
 		ch.CloseDown()
 	}
 
-	// Phase 5: spill batched producer caches.
+	// Phase 5: spill batched producer caches, then retire the recovery
+	// sweeper: one final synchronous sweep reclaims anything a crashed
+	// actor still held before the background goroutine exits.
 	s.notePhase(5)
 	for _, p := range ports {
 		p.Close()
+	}
+	if s.rec != nil {
+		s.rec.halt()
+		s.rec.sweep()
 	}
 	return derr
 }
@@ -421,25 +472,29 @@ func (s *System) DuplexPair(i int) (*core.DuplexClient, *core.DuplexHandler, err
 	s.topoMu.Unlock()
 
 	ca := s.newActor(fmt.Sprintf("client%d", i))
+	csnd := s.producerPort(s.c2s[i], ca)
 	cl := &core.DuplexClient{
 		Alg:     s.opts.Alg,
 		MaxSpin: s.opts.MaxSpin,
-		Snd:     s.producerPort(s.c2s[i], ca.M),
-		Rcv:     NewPort(s.replies[i]),
+		Snd:     csnd,
+		Rcv:     NewPort(s.replies[i]).bindActor(ca),
 		A:       ca,
 		M:       ca.M,
 		Obs:     ca.Obs,
 	}
+	s.registerActor(ca, []*Channel{s.replies[i]}, []*Channel{s.c2s[i]}, csnd)
 	ha := s.newActor(fmt.Sprintf("server%d", i))
+	hsnd := s.producerPort(s.replies[i], ha)
 	h := &core.DuplexHandler{
 		Alg:     s.opts.Alg,
 		MaxSpin: s.opts.MaxSpin,
-		Rcv:     NewPort(s.c2s[i]),
-		Snd:     s.producerPort(s.replies[i], ha.M),
+		Rcv:     NewPort(s.c2s[i]).bindActor(ha),
+		Snd:     hsnd,
 		A:       ha,
 		M:       ha.M,
 		Obs:     ha.Obs,
 	}
+	s.registerActor(ha, []*Channel{s.c2s[i]}, []*Channel{s.replies[i]}, hsnd)
 	return cl, h, nil
 }
 
@@ -459,6 +514,7 @@ func (s *System) ReplyChannel(i int) *Channel { return s.replies[i] }
 
 func (s *System) newActor(name string) *Actor {
 	a := &Actor{
+		ID:         s.actorSeq.Add(1) - 1,
 		sems:       s.sems,
 		SpinIters:  s.opts.SpinIters,
 		SleepScale: s.opts.SleepScale,
@@ -467,7 +523,18 @@ func (s *System) newActor(name string) *Actor {
 	if s.obs != nil {
 		a.Obs = s.obs.Hook(int(s.opts.Alg), s.obs.RegisterActor(name))
 	}
+	if s.inj != nil {
+		a.FH = s.inj.Hook(a.ID)
+	}
 	return a
+}
+
+// registerActor files an actor's channel topology with the recovery
+// sweeper; a no-op when the system was built without WithRecovery.
+func (s *System) registerActor(a *Actor, consumes, produces []*Channel, ports ...*Port) {
+	if s.rec != nil {
+		s.rec.register(a, consumes, produces, ports...)
+	}
 }
 
 // WorkerPool builds a pool of n server workers sharing the receive
@@ -514,9 +581,12 @@ func (s *System) WorkerPool(n int) ([]*core.PoolWorker, error) {
 	for w := 0; w < n; w++ {
 		a := s.newActor(fmt.Sprintf("server%d", w))
 		replies := make([]core.Port, len(s.replies))
+		replyPorts := make([]*Port, len(s.replies))
 		for i, ch := range s.replies {
-			replies[i] = NewPort(ch)
+			replyPorts[i] = NewPort(ch).bindActor(a)
+			replies[i] = replyPorts[i]
 		}
+		s.registerActor(a, []*Channel{s.recv}, s.replies, replyPorts...)
 		workers[w] = &core.PoolWorker{
 			Alg:     s.opts.Alg,
 			MaxSpin: s.opts.MaxSpin,
@@ -546,12 +616,13 @@ func (s *System) PoolClient(i int) (*core.PoolClient, error) {
 	s.replyHandles = true
 	s.topoMu.Unlock()
 	a := s.newActor(fmt.Sprintf("client%d", i))
+	s.registerActor(a, []*Channel{s.replies[i]}, []*Channel{s.recv})
 	return &core.PoolClient{
 		ID:      int32(i),
 		Alg:     s.opts.Alg,
 		MaxSpin: s.opts.MaxSpin,
 		Srv:     NewPoolPort(s.recv),
-		Rcv:     NewPort(s.replies[i]),
+		Rcv:     NewPort(s.replies[i]).bindActor(a),
 		A:       a,
 		M:       a.M,
 		Obs:     a.Obs,
@@ -587,13 +658,16 @@ func (s *System) Server() *core.Server {
 
 	a := s.newActor("server")
 	replies := make([]core.Port, len(s.replies))
+	replyPorts := make([]*Port, len(s.replies))
 	for i, ch := range s.replies {
-		replies[i] = s.producerPort(ch, a.M)
+		replyPorts[i] = s.producerPort(ch, a)
+		replies[i] = replyPorts[i]
 	}
+	s.registerActor(a, []*Channel{s.recv}, s.replies, replyPorts...)
 	return &core.Server{
 		Alg:      s.opts.Alg,
 		MaxSpin:  s.opts.MaxSpin,
-		Rcv:      NewPort(s.recv),
+		Rcv:      NewPort(s.recv).bindActor(a),
 		Replies:  replies,
 		A:        a,
 		M:        a.M,
@@ -614,12 +688,14 @@ func (s *System) Client(i int) (*core.Client, error) {
 	s.replyHandles = true
 	s.topoMu.Unlock()
 	a := s.newActor(fmt.Sprintf("client%d", i))
+	srv := s.producerPort(s.recv, a)
+	s.registerActor(a, []*Channel{s.replies[i]}, []*Channel{s.recv}, srv)
 	return &core.Client{
 		ID:      int32(i),
 		Alg:     s.opts.Alg,
 		MaxSpin: s.opts.MaxSpin,
-		Srv:     s.producerPort(s.recv, a.M),
-		Rcv:     NewPort(s.replies[i]),
+		Srv:     srv,
+		Rcv:     NewPort(s.replies[i]).bindActor(a),
 		A:       a,
 		M:       a.M,
 		Obs:     a.Obs,

@@ -51,6 +51,16 @@ type Proc struct {
 	Cancels  atomic.Int64 // cancellable waits ended by explicit cancel
 	Retries  atomic.Int64 // queue-full retry-with-backoff rounds
 
+	// Recovery statistics (the chaos/peer-death machinery): what the
+	// sweeper detected and repaired. Attributed to the sweeper's own
+	// Proc, so they roll up through Total() like everything else.
+	Crashes      atomic.Int64 // injected crash panics recovered by wrappers
+	PeerDeaths   atomic.Int64 // actors declared dead by the sweeper
+	LockReclaims atomic.Int64 // robust queue locks revoked from dead holders
+	OrphanMsgs   atomic.Int64 // orphaned queued messages drained to the pool
+	OrphanRefs   atomic.Int64 // leaked in-flight refs returned to the pool
+	WakeRescues  atomic.Int64 // rescue Vs issued for lost wake-ups
+
 	CPUTimeNS atomic.Int64 // virtual (sim) or estimated (live) CPU time
 }
 
@@ -103,6 +113,12 @@ type Snapshot struct {
 	Timeouts      int64
 	Cancels       int64
 	Retries       int64
+	Crashes       int64
+	PeerDeaths    int64
+	LockReclaims  int64
+	OrphanMsgs    int64
+	OrphanRefs    int64
+	WakeRescues   int64
 	CPUTimeNS     int64
 }
 
@@ -131,6 +147,12 @@ func (p *Proc) Snapshot() Snapshot {
 		Timeouts:      p.Timeouts.Load(),
 		Cancels:       p.Cancels.Load(),
 		Retries:       p.Retries.Load(),
+		Crashes:       p.Crashes.Load(),
+		PeerDeaths:    p.PeerDeaths.Load(),
+		LockReclaims:  p.LockReclaims.Load(),
+		OrphanMsgs:    p.OrphanMsgs.Load(),
+		OrphanRefs:    p.OrphanRefs.Load(),
+		WakeRescues:   p.WakeRescues.Load(),
 		CPUTimeNS:     p.CPUTimeNS.Load(),
 	}
 }
@@ -158,6 +180,12 @@ func (s *Snapshot) Add(other Snapshot) {
 	s.Timeouts += other.Timeouts
 	s.Cancels += other.Cancels
 	s.Retries += other.Retries
+	s.Crashes += other.Crashes
+	s.PeerDeaths += other.PeerDeaths
+	s.LockReclaims += other.LockReclaims
+	s.OrphanMsgs += other.OrphanMsgs
+	s.OrphanRefs += other.OrphanRefs
+	s.WakeRescues += other.WakeRescues
 	s.CPUTimeNS += other.CPUTimeNS
 }
 

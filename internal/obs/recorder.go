@@ -25,6 +25,10 @@ const (
 	EvCancel             // a cancellable wait ended by explicit cancel
 	EvTimeout            // a cancellable wait ended by deadline expiry
 	EvShutdown           // the system entered a shutdown phase (arg: phase 1..5)
+	EvCrash              // an injected crash killed an actor (arg: fault point)
+	EvPeerDead           // the sweeper declared an actor dead (arg: actor id)
+	EvReclaim            // the sweeper reclaimed a lock or orphaned node (arg: count)
+	EvRescue             // the sweeper issued a rescue V for a lost wake (arg: sem id)
 )
 
 // String returns the event kind name.
@@ -46,6 +50,14 @@ func (k EventKind) String() string {
 		return "timeout"
 	case EvShutdown:
 		return "shutdown"
+	case EvCrash:
+		return "crash"
+	case EvPeerDead:
+		return "peer-dead"
+	case EvReclaim:
+		return "reclaim"
+	case EvRescue:
+		return "rescue"
 	}
 	return fmt.Sprintf("ev(%d)", uint8(k))
 }

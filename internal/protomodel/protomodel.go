@@ -44,6 +44,20 @@ type Config struct {
 	// test-and-sets the flag and drains a pending redundant V (the
 	// Interleaving 3 fix).
 	ConsumerDrain bool
+
+	// CrashLastV: producer 1 crashes immediately before the V of its
+	// final message — the canonical peer-death hazard. The message is
+	// enqueued and (under ProducerTAS) the awake flag is set, so every
+	// other producer believes the wake-up is already on its way; the
+	// dead producer owes a V that will never arrive.
+	CrashLastV bool
+
+	// Sweeper: a recovery process that may issue a compensating V
+	// whenever the consumer is blocked on the semaphore with work
+	// queued or with a crashed producer owing a wake-up — the abstract
+	// counterpart of livebind's sweeper (lost-wake rescue + peer-death
+	// close). Requires CountingSem (the rescue is a pending wake-up).
+	Sweeper bool
 }
 
 // FullProtocol returns the configuration with every fix applied — the
@@ -101,6 +115,8 @@ type state struct {
 	ppc  [maxProducers]int8
 	preg [maxProducers]bool // producer's stale read of awake
 	sent [maxProducers]int8
+
+	crashed bool // a producer died owing a V (CrashLastV fired)
 }
 
 const maxProducers = 3
@@ -154,6 +170,13 @@ func (c *checker) explore(s state, path []string) {
 	// Producer steps.
 	for i := 0; i < c.cfg.Producers; i++ {
 		if ns, label, ok := c.stepProducer(s, i); ok {
+			moved = true
+			c.explore(ns, pathAppend(path, label))
+		}
+	}
+	// Sweeper step.
+	if c.cfg.Sweeper {
+		if ns, label, ok := c.stepSweeper(s); ok {
 			moved = true
 			c.explore(ns, pathAppend(path, label))
 		}
@@ -310,6 +333,14 @@ func (c *checker) stepProducer(s state, i int) (state, string, bool) {
 		return s, name("2 test"), true
 
 	case pV:
+		if c.cfg.CrashLastV && i == 0 && int(s.sent[i]) >= c.cfg.Msgs {
+			// The producer dies owing this V: the message is enqueued
+			// and (under TAS) the flag is set, but the wake-up never
+			// lands. Peers that test the flag will all skip their Vs.
+			s.crashed = true
+			s.ppc[i] = pDone
+			return s, name("3 CRASH before V"), true
+		}
 		if c.cfg.CountingSem {
 			s.sem++
 		} else if s.blocked {
@@ -322,6 +353,26 @@ func (c *checker) stepProducer(s state, i int) (state, string, bool) {
 		return s, name("3 unblock"), true
 	}
 	return s, "", false
+}
+
+// stepSweeper executes the recovery sweeper's enabled step, if any: a
+// compensating V when the consumer is blocked on the semaphore and
+// either work is queued (the lost-wake rescue heuristic) or a crashed
+// producer owes a wake-up (the peer-death path). Firing only while the
+// consumer is actually blocked keeps the compensation bounded, exactly
+// like the real sweeper's parked-across-two-sweeps condition.
+func (c *checker) stepSweeper(s state) (state, string, bool) {
+	if !c.cfg.CountingSem || s.sem != 0 {
+		return s, "", false
+	}
+	if s.cpc != cSleep && s.cpc != cDrainP {
+		return s, "", false
+	}
+	if s.queue == 0 && !s.crashed {
+		return s, "", false
+	}
+	s.sem++
+	return s, "S compensating V", true
 }
 
 // pathAppend copies on append so sibling branches cannot clobber a

@@ -148,6 +148,70 @@ func TestSemAccumulationGrowsWithProducers(t *testing.T) {
 	}
 }
 
+// TestCrashLastVDeadlocksWithoutSweeper verifies the peer-death hazard:
+// a producer that dies after enqueueing (and, under TAS, after setting
+// the awake flag) but before its V leaves the consumer blocked forever —
+// and the flag it set makes every surviving producer skip its own V, so
+// more producers do not help.
+func TestCrashLastVDeadlocksWithoutSweeper(t *testing.T) {
+	for producers := 1; producers <= 3; producers++ {
+		cfg := FullProtocol(producers, 2)
+		cfg.CrashLastV = true
+		res := check(t, cfg)
+		if !res.Deadlock {
+			t.Errorf("p=%d: a crashed producer owing a V must admit a deadlock", producers)
+		}
+		if len(res.DeadlockPath) == 0 {
+			t.Errorf("p=%d: expected a counterexample trace", producers)
+		}
+	}
+}
+
+// TestSweeperRescuesCrashLastV verifies the recovery claim the chaos
+// harness tests end-to-end: with the sweeper's compensating V (lost-wake
+// rescue + peer-death close), no interleaving of the crash deadlocks and
+// every enqueued message — including the dead producer's last one — is
+// still consumed.
+func TestSweeperRescuesCrashLastV(t *testing.T) {
+	for producers := 1; producers <= 3; producers++ {
+		for msgs := 1; msgs <= 2; msgs++ {
+			cfg := FullProtocol(producers, msgs)
+			cfg.CrashLastV = true
+			cfg.Sweeper = true
+			res := check(t, cfg)
+			if res.Deadlock {
+				t.Errorf("p=%d m=%d: sweeper failed to rescue; trace:\n%v",
+					producers, msgs, res.DeadlockPath)
+			}
+			if !res.AllConsumed {
+				t.Errorf("p=%d m=%d: a terminal state lost messages", producers, msgs)
+			}
+			if res.MaxSem > producers+1 {
+				t.Errorf("p=%d m=%d: compensation unbounded: max sem = %d",
+					producers, msgs, res.MaxSem)
+			}
+		}
+	}
+}
+
+// TestSweeperOnHealthyRunStaysBounded: a spurious rescue is harmless —
+// with no crash at all the sweeper must not break safety or unbound the
+// semaphore.
+func TestSweeperOnHealthyRunStaysBounded(t *testing.T) {
+	cfg := FullProtocol(2, 2)
+	cfg.Sweeper = true
+	res := check(t, cfg)
+	if res.Deadlock {
+		t.Fatalf("sweeper on a healthy run deadlocked; trace:\n%v", res.DeadlockPath)
+	}
+	if !res.AllConsumed {
+		t.Fatal("sweeper on a healthy run lost messages")
+	}
+	if res.MaxSem > 3 {
+		t.Fatalf("sweeper compensation unbounded on healthy run: max sem = %d", res.MaxSem)
+	}
+}
+
 // TestConfigValidation exercises the input guards.
 func TestConfigValidation(t *testing.T) {
 	if _, err := Check(Config{Producers: 0, Msgs: 1}); err == nil {

@@ -1,0 +1,258 @@
+package queue
+
+import (
+	"testing"
+	"time"
+
+	"ulipc/internal/core"
+	"ulipc/internal/fault"
+)
+
+// crashAt builds a hook for actor that crashes with certainty at the
+// given point and nowhere else.
+func crashAt(inj **fault.Injector, actor int32, p fault.Point) fault.Hook {
+	plan := fault.Plan{Seed: 1}
+	plan.Crash[p] = 1.0
+	*inj = fault.NewInjector(plan)
+	return (*inj).Hook(actor)
+}
+
+// mustCrash runs f expecting an injected crash and returns it.
+func mustCrash(t *testing.T, f func()) fault.Crash {
+	t.Helper()
+	var c fault.Crash
+	var ok bool
+	func() {
+		defer func() { c, ok = fault.AsCrash(recover()) }()
+		f()
+	}()
+	if !ok {
+		t.Fatal("expected an injected crash")
+	}
+	return c
+}
+
+func TestRecoverTailLockAfterEnqueueCrash(t *testing.T) {
+	q, err := NewTwoLock(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Enqueue(core.Msg{Seq: 1}) {
+		t.Fatal("seed enqueue failed")
+	}
+
+	var inj *fault.Injector
+	const dead int32 = 7
+	fh := crashAt(&inj, dead, fault.PtEnqueueLocked)
+	c := mustCrash(t, func() { q.EnqueueAs(dead, core.Msg{Seq: 2}, fh) })
+	if c.Point != fault.PtEnqueueLocked {
+		t.Fatalf("crashed at %v, want enqueue-locked", c.Point)
+	}
+
+	// The dead enqueuer holds the tail lock: another enqueuer would
+	// spin forever. Prove the lock is held, then recover.
+	if !q.tailMu.HeldBy(dead) {
+		t.Fatal("tail lock not held by the dead owner")
+	}
+	if got := q.RecoverDead(dead); got != 1 {
+		t.Fatalf("RecoverDead reclaimed %d locks, want 1", got)
+	}
+	if got := q.RecoverDead(dead); got != 0 {
+		t.Fatalf("second RecoverDead reclaimed %d locks, want 0", got)
+	}
+
+	// Tail was re-validated: the crashed enqueuer's node (linked but
+	// tail not advanced) must be preserved, and new enqueues must land
+	// after it, not clobber it.
+	if !q.Enqueue(core.Msg{Seq: 3}) {
+		t.Fatal("post-recovery enqueue failed")
+	}
+	var seqs []int64
+	for {
+		m, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		seqs = append(seqs, int64(m.Seq))
+	}
+	want := []int64{1, 2, 3}
+	if len(seqs) != len(want) {
+		t.Fatalf("drained %v, want %v", seqs, want)
+	}
+	for i := range want {
+		if seqs[i] != want[i] {
+			t.Fatalf("drained %v, want %v", seqs, want)
+		}
+	}
+	// No pending orphan: the node made it into the queue.
+	if inj.ReclaimPending(dead) {
+		t.Fatal("linked node was still registered as pending")
+	}
+}
+
+// TestRecoverTailAfterDummyPassedStaleTail is the regression test for
+// the chaos-found message-loss bug: while a dead enqueuer holds the
+// tail lock with the tail ref stale, dequeuers may legally advance the
+// dummy PAST the stale tail and free that node back to the pool. A
+// repair that walks links from the stale tail then wanders into the
+// free list and plants the tail on a free node — every later enqueue
+// links onto an orphan chain invisible to dequeuers. The repair must
+// re-derive the tail from the head dummy instead.
+func TestRecoverTailAfterDummyPassedStaleTail(t *testing.T) {
+	q, err := NewTwoLock(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Enqueue(core.Msg{Seq: 1}) {
+		t.Fatal("seed enqueue failed")
+	}
+
+	var inj *fault.Injector
+	const dead int32 = 7
+	fh := crashAt(&inj, dead, fault.PtEnqueueLocked)
+	mustCrash(t, func() { q.EnqueueAs(dead, core.Msg{Seq: 2}, fh) })
+
+	// Drain past the stale tail: the second dequeue makes the node the
+	// dead owner's tail ref still points at the dummy, and the third...
+	// would stop — both messages out, the stale-tail node now freed.
+	if m, ok := q.Dequeue(); !ok || m.Seq != 1 {
+		t.Fatalf("first dequeue got (%v,%v)", m, ok)
+	}
+	if m, ok := q.Dequeue(); !ok || m.Seq != 2 {
+		t.Fatalf("second dequeue got (%v,%v)", m, ok)
+	}
+
+	if got := q.RecoverDead(dead); got != 1 {
+		t.Fatalf("RecoverDead reclaimed %d locks, want 1", got)
+	}
+
+	// The tail must point at a live queue node again: an enqueue after
+	// recovery must be visible to dequeuers, and the pool must balance.
+	if !q.Enqueue(core.Msg{Seq: 3}) {
+		t.Fatal("post-recovery enqueue failed")
+	}
+	if m, ok := q.Dequeue(); !ok || m.Seq != 3 {
+		t.Fatalf("post-recovery dequeue got (%v,%v), want seq 3", m, ok)
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("queue should be empty")
+	}
+	if free := q.Pool().FreeCount(); free != int64(q.Cap()) {
+		t.Fatalf("pool free count %d, want %d", free, q.Cap())
+	}
+}
+
+func TestRecoverHeadLockAfterDequeueCrash(t *testing.T) {
+	q, err := NewTwoLock(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Enqueue(core.Msg{Seq: 41})
+	q.Enqueue(core.Msg{Seq: 42})
+
+	var inj *fault.Injector
+	const dead int32 = 3
+	fh := crashAt(&inj, dead, fault.PtDequeueLocked)
+	mustCrash(t, func() { q.DequeueAs(dead, fh) })
+
+	if !q.headMu.HeldBy(dead) {
+		t.Fatal("head lock not held by the dead owner")
+	}
+	if got := q.RecoverDead(dead); got != 1 {
+		t.Fatalf("RecoverDead reclaimed %d locks, want 1", got)
+	}
+
+	// The head never advanced, so the in-flight message is re-delivered.
+	m, ok := q.Dequeue()
+	if !ok || m.Seq != 41 {
+		t.Fatalf("redelivery got (%v,%v), want seq 41", m, ok)
+	}
+	m, ok = q.Dequeue()
+	if !ok || m.Seq != 42 {
+		t.Fatalf("second dequeue got (%v,%v), want seq 42", m, ok)
+	}
+}
+
+func TestPendingOrphanReclaimRestoresPool(t *testing.T) {
+	q, err := NewTwoLock(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Enqueue(core.Msg{Seq: 9})
+	baseline := q.Pool().FreeCount()
+
+	// Crash after the dequeue unlinked the old dummy but before it was
+	// freed: the node is unreachable from the queue — a true orphan.
+	var inj *fault.Injector
+	const dead int32 = 5
+	fh := crashAt(&inj, dead, fault.PtBeforeFree)
+	mustCrash(t, func() { q.DequeueAs(dead, fh) })
+
+	if q.headMu.HeldBy(dead) {
+		t.Fatal("head lock should have been released before the free")
+	}
+	if got := q.Pool().FreeCount(); got != baseline {
+		t.Fatalf("free count %d, want %d (orphan not yet reclaimed)", got, baseline)
+	}
+	if !inj.ReclaimPending(dead) {
+		t.Fatal("orphaned ref was not pending")
+	}
+	if got := q.Pool().FreeCount(); got != baseline+1 {
+		t.Fatalf("free count %d after reclaim, want %d", got, baseline+1)
+	}
+
+	// Crash between alloc and link: same story on the enqueue side.
+	fh2 := crashAt(&inj, dead+1, fault.PtAfterAlloc)
+	before := q.Pool().FreeCount()
+	mustCrash(t, func() { q.EnqueueAs(dead+1, core.Msg{Seq: 10}, fh2) })
+	if got := q.Pool().FreeCount(); got != before-1 {
+		t.Fatalf("free count %d after alloc-crash, want %d", got, before-1)
+	}
+	if !inj.ReclaimPending(dead + 1) {
+		t.Fatal("allocated-unlinked ref was not pending")
+	}
+	if got := q.Pool().FreeCount(); got != before {
+		t.Fatalf("free count %d after reclaim, want %d", got, before)
+	}
+}
+
+func TestRevokedUnlockFailsAndQueueStaysUsable(t *testing.T) {
+	q, err := NewTwoLock(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An owner acquires, is (wrongly) presumed dead and revoked, then
+	// tries to unlock: the release must fail, and the next acquisition
+	// must succeed.
+	h := q.tailMu.Lock(12)
+	if !q.tailMu.Revoke(12) {
+		t.Fatal("revoke of a held lock failed")
+	}
+	if q.tailMu.Unlock(h) {
+		t.Fatal("unlock succeeded after revocation")
+	}
+	done := make(chan struct{})
+	go func() {
+		h2 := q.tailMu.Lock(13)
+		q.tailMu.Unlock(h2)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("lock not acquirable after revocation")
+	}
+}
+
+func TestRecoverDeadNoLocksHeld(t *testing.T) {
+	q, err := NewTwoLock(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.RecoverDead(99); got != 0 {
+		t.Fatalf("RecoverDead of an innocent owner reclaimed %d locks", got)
+	}
+	if !q.Enqueue(core.Msg{Seq: 1}) {
+		t.Fatal("enqueue failed after no-op recovery")
+	}
+}

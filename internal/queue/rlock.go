@@ -1,0 +1,86 @@
+package queue
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// AnonOwner is the owner id used by callers that never crash (or whose
+// crashes nobody recovers from): the plain Enqueue/Dequeue entry points.
+// Anonymous holders are indistinguishable from one another and are never
+// revoked.
+const AnonOwner int32 = -1
+
+// rlock is a generation-stamped, owner-tagged spinlock — the in-process
+// analogue of a robust mutex. The single atomic word packs
+//
+//	[ generation : 32 | holder tag : 32 ]
+//
+// where holder tag 0 means free and tag = uint32(owner)+2 otherwise
+// (the +2 keeps AnonOwner's tag non-zero). A normal release CASes the
+// acquired word to {generation+1, free}; when a holder dies
+// mid-critical-section, the sweeper revokes the lock the same way after
+// repairing the structure the dead holder left half-mutated. The
+// generation bump makes revocation visible: a release CAS by a holder
+// whose lock was revoked out from under it fails instead of silently
+// unlocking someone else's critical section. Generations are 32-bit and
+// may wrap; a wrap-collision would require 2^32 acquisitions between a
+// holder's acquire and release, which the bounded critical sections here
+// cannot approach.
+//
+// Unlike sync.Mutex, a dead holder does not wedge the lock forever —
+// that recoverability is the whole reason TwoLock uses this instead.
+type rlock struct {
+	word atomic.Uint64
+}
+
+func ownerTag(owner int32) uint64 { return uint64(uint32(owner) + 2) }
+
+// Lock acquires the lock for owner, spinning (with escalation to
+// Gosched so a same-P holder can run) until it is free. It returns the
+// acquired word, which Unlock needs to detect revocation.
+func (l *rlock) Lock(owner int32) uint64 {
+	tag := ownerTag(owner)
+	spins := 0
+	for {
+		h := l.word.Load()
+		if h&0xFFFFFFFF == 0 {
+			nh := h | tag
+			if l.word.CompareAndSwap(h, nh) {
+				return nh
+			}
+			continue
+		}
+		spins++
+		if spins >= 32 {
+			runtime.Gosched()
+			spins = 0
+		}
+	}
+}
+
+// Unlock releases a lock acquired as word h. It reports false when the
+// lock had been revoked (the holder was presumed dead while it was in
+// fact alive); the caller must then treat the critical section as lost
+// and not touch the protected structure further.
+func (l *rlock) Unlock(h uint64) bool {
+	return l.word.CompareAndSwap(h, (h>>32+1)<<32)
+}
+
+// HeldBy reports whether owner currently holds the lock.
+func (l *rlock) HeldBy(owner int32) bool {
+	return uint64(uint32(l.word.Load())) == ownerTag(owner)
+}
+
+// Revoke forcibly releases the lock if (and only if) owner holds it,
+// bumping the generation so the dead holder's Unlock can never succeed
+// afterwards. The caller must have repaired the protected structure
+// first: between the HeldBy check and the CAS no third party can
+// acquire, because the word still names the dead holder.
+func (l *rlock) Revoke(owner int32) bool {
+	h := l.word.Load()
+	if uint64(uint32(h)) != ownerTag(owner) {
+		return false
+	}
+	return l.word.CompareAndSwap(h, (h>>32+1)<<32)
+}

@@ -1,0 +1,481 @@
+package workload
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"ulipc/internal/core"
+	"ulipc/internal/fault"
+	"ulipc/internal/livebind"
+	"ulipc/internal/metrics"
+	"ulipc/internal/queue"
+)
+
+// The chaos harness: the live client/server workload run under seeded
+// fault injection with the recovery sweeper on. A cell passes when it
+// stays LIVE — every participant either completes its script, dies to
+// an injected crash, or observes its peer's death and returns — and
+// LEAK-FREE: after teardown every shm pool holds exactly the refs it
+// started with, crashes notwithstanding. Throughput is explicitly not
+// the point; the cell's wall-clock is dominated by recovery latency.
+
+// ChaosConfig describes one chaos cell. The zero value of every rate
+// disables that fault class; Seed makes the cell reproducible.
+type ChaosConfig struct {
+	Alg      core.Algorithm
+	Clients  int
+	Msgs     int // per client
+	QueueCap int
+	MaxSpin  int
+
+	// Seed drives every per-actor fault stream; the same seed and
+	// topology replay the same faults.
+	Seed int64
+
+	// CrashRate is the per-draw probability of an injected crash at each
+	// crashpoint (queue critical sections, semaphore ops, actor bodies).
+	CrashRate float64
+
+	// MaxCrashes caps the total injected crashes (the crash budget);
+	// 0 defaults to half the participants so the cell keeps survivors.
+	MaxCrashes int
+
+	// DropRate/DupRate/DelayRate mutate wake-up Vs: swallowed, doubled,
+	// or delivered late.
+	DropRate  float64
+	DupRate   float64
+	DelayRate float64
+
+	// Watchdog bounds the whole cell (default 30s): if any participant
+	// is still blocked past it, the cell is deadlocked — the failure the
+	// recovery layer exists to prevent.
+	Watchdog time.Duration
+
+	// SweepInterval is the recovery sweeper period (default 200µs).
+	SweepInterval time.Duration
+}
+
+func (c *ChaosConfig) defaults() error {
+	if c.Clients < 1 {
+		return fmt.Errorf("workload: chaos cell needs at least 1 client")
+	}
+	if c.Msgs < 1 {
+		return fmt.Errorf("workload: chaos cell needs at least 1 message")
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.MaxSpin <= 0 {
+		c.MaxSpin = core.DefaultMaxSpin
+	}
+	if c.Watchdog <= 0 {
+		c.Watchdog = 30 * time.Second
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = 200 * time.Microsecond
+	}
+	if c.MaxCrashes <= 0 {
+		c.MaxCrashes = (c.Clients + 1) / 2
+	}
+	return nil
+}
+
+// ChaosResult is one cell's outcome, JSON-ready for the chaos report.
+type ChaosResult struct {
+	Label   string `json:"label"`
+	Alg     string `json:"alg"`
+	Clients int    `json:"clients"`
+	Seed    int64  `json:"seed"`
+
+	Completed int64 `json:"completed"` // validated round trips
+	Aborted   int   `json:"aborted"`   // clients ended early (crash or peer death)
+
+	// Injected fault tallies (from the injector).
+	Crashes    int64 `json:"crashes"`
+	WakeDrops  int64 `json:"wake_drops"`
+	WakeDups   int64 `json:"wake_dups"`
+	WakeDelays int64 `json:"wake_delays"`
+
+	// Recovery tallies (from the sweeper's counters).
+	PeerDeaths   int64 `json:"peer_deaths"`
+	LockReclaims int64 `json:"lock_reclaims"`
+	OrphanMsgs   int64 `json:"orphan_msgs"`
+	OrphanRefs   int64 `json:"orphan_refs"`
+	WakeRescues  int64 `json:"wake_rescues"`
+
+	// Failure modes. Deadlocked: the watchdog expired with participants
+	// still blocked. PoolLeaked: refs missing from (positive) or
+	// double-freed into (negative) the shm pools after teardown.
+	Deadlocked bool   `json:"deadlocked"`
+	PoolLeaked int64  `json:"pool_leaked"`
+	Error      string `json:"error,omitempty"`
+}
+
+// RunChaosCell executes one seeded chaos cell and returns its result.
+// The returned error is non-nil when the cell violated a hard
+// invariant: deadlock, a pool leak, a validation mismatch, or a panic
+// that was not an injected fault.
+func RunChaosCell(cfg ChaosConfig) (ChaosResult, error) {
+	if err := cfg.defaults(); err != nil {
+		return ChaosResult{}, err
+	}
+	plan := fault.Plan{
+		Seed:         cfg.Seed,
+		DropWake:     cfg.DropRate,
+		DupWake:      cfg.DupRate,
+		DelayWake:    cfg.DelayRate,
+		WakeDelayDur: 100 * time.Microsecond,
+		MaxCrashes:   cfg.MaxCrashes,
+	}
+	for _, p := range []fault.Point{
+		fault.PtAfterAlloc, fault.PtEnqueueLocked, fault.PtDequeueLocked,
+		fault.PtBeforeFree, fault.PtWake, fault.PtBlock, fault.PtBody,
+	} {
+		plan.Crash[p] = cfg.CrashRate
+	}
+	inj := fault.NewInjector(plan)
+	ms := metrics.NewSet()
+
+	// Two-lock queues on BOTH legs: the chaos cell wants every enqueue
+	// and dequeue walking the recoverable critical sections, so the SPSC
+	// reply default (no locks, nothing to crash in) is deliberately
+	// overridden.
+	replyKind := queue.KindTwoLock
+	sys, err := livebind.NewSystem(livebind.Options{
+		Alg:        cfg.Alg,
+		MaxSpin:    cfg.MaxSpin,
+		Clients:    cfg.Clients,
+		QueueCap:   cfg.QueueCap,
+		QueueKind:  queue.KindTwoLock,
+		ReplyKind:  &replyKind,
+		SleepScale: time.Millisecond,
+		Metrics:    ms,
+	},
+		livebind.WithFaults(inj),
+		livebind.WithRecovery(livebind.RecoveryOptions{SweepInterval: cfg.SweepInterval}),
+	)
+	if err != nil {
+		return ChaosResult{}, err
+	}
+
+	res := ChaosResult{
+		Label:   fmt.Sprintf("chaos/%s/%dc/seed%d", cfg.Alg, cfg.Clients, cfg.Seed),
+		Alg:     cfg.Alg.String(),
+		Clients: cfg.Clients,
+		Seed:    cfg.Seed,
+	}
+	rootCtx, cancel := context.WithTimeout(context.Background(), cfg.Watchdog)
+	defer cancel()
+
+	var (
+		mu        sync.Mutex
+		completed int64
+		aborted   int
+		deadlock  bool
+		hardErrs  []string
+	)
+	noteErr := func(format string, args ...any) {
+		mu.Lock()
+		if len(hardErrs) < 8 {
+			hardErrs = append(hardErrs, fmt.Sprintf(format, args...))
+		}
+		mu.Unlock()
+	}
+	// endOfRound classifies a client's failed protocol call: injected
+	// peer death and shutdown end the participant gracefully; a watchdog
+	// expiry is the deadlock the cell exists to detect; anything else is
+	// a bug.
+	endOfRound := func(who string, err error) {
+		switch {
+		case errors.Is(err, core.ErrPeerDead), errors.Is(err, core.ErrShutdown):
+			mu.Lock()
+			aborted++
+			mu.Unlock()
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			mu.Lock()
+			deadlock = true
+			mu.Unlock()
+		default:
+			noteErr("%s: %v", who, err)
+		}
+	}
+	// survive wraps a participant body: an injected crash panic is
+	// reported to the lifetable (the FUTEX_OWNER_DIED analogue) and the
+	// goroutine dies in place; any other panic is a real bug.
+	survive := func(body func()) {
+		defer func() {
+			if v := recover(); v != nil {
+				if !sys.ReportCrash(v) {
+					panic(v)
+				}
+			}
+		}()
+		body()
+	}
+
+	// The server's exit is NOT a liveness criterion: a crashed client
+	// never disconnects, so a correct server legitimately waits for work
+	// until the harness cancels it. Only non-ctx, non-peer-death server
+	// errors are bugs.
+	srv := sys.Server()
+	serverDone := make(chan struct{})
+	go func() {
+		defer close(serverDone)
+		survive(func() {
+			_, err := srv.ServeCtx(rootCtx, nil)
+			if err != nil && !errors.Is(err, core.ErrPeerDead) && !errors.Is(err, core.ErrShutdown) &&
+				!errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+				noteErr("server: %v", err)
+			}
+		})
+	}()
+
+	// pos tracks each client's script position (last protocol call) so a
+	// deadlocked cell can name who was stuck where — the first question
+	// any chaos failure raises.
+	pos := make([]string, cfg.Clients)
+	setPos := func(i int, s string) { mu.Lock(); pos[i] = s; mu.Unlock() }
+
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		cl, err := sys.Client(i)
+		if err != nil {
+			return res, err
+		}
+		wg.Add(1)
+		go func(i int, cl *core.Client) {
+			defer wg.Done()
+			fh := cl.A.(*livebind.Actor).FH
+			survive(func() {
+				setPos(i, "connect")
+				if _, err := cl.SendCtx(rootCtx, core.Msg{Op: core.OpConnect}); err != nil {
+					setPos(i, fmt.Sprintf("connect-err:%v", err))
+					endOfRound(fmt.Sprintf("client%d connect", i), err)
+					return
+				}
+				for j := 0; j < cfg.Msgs; j++ {
+					fh.Crashpoint(fault.PtBody)
+					setPos(i, fmt.Sprintf("send %d", j))
+					ans, err := cl.SendCtx(rootCtx, core.Msg{Op: core.OpEcho, Seq: int32(j), Val: float64(j)})
+					if err != nil {
+						setPos(i, fmt.Sprintf("send %d err:%v", j, err))
+						endOfRound(fmt.Sprintf("client%d send %d", i, j), err)
+						return
+					}
+					if ans.Seq != int32(j) || ans.Val != float64(j) {
+						noteErr("client%d: reply mismatch at %d: %+v", i, j, ans)
+						return
+					}
+					mu.Lock()
+					completed++
+					mu.Unlock()
+				}
+				setPos(i, "disconnect")
+				if _, err := cl.SendCtx(rootCtx, core.Msg{Op: core.OpDisconnect}); err != nil {
+					setPos(i, fmt.Sprintf("disconnect-err:%v", err))
+					endOfRound(fmt.Sprintf("client%d disconnect", i), err)
+					return
+				}
+				setPos(i, "done")
+			})
+			mu.Lock()
+			pos[i] += " [exited]"
+			mu.Unlock()
+		}(i, cl)
+	}
+
+	// Join the clients with a grace period past the watchdog: rootCtx
+	// expiry should unblock everyone, so a client still stuck after the
+	// grace is a hard hang even the context could not break. Then cancel
+	// the root context to release the server (which may be correctly
+	// waiting for crashed clients that will never disconnect) and hold it
+	// to the same grace.
+	joined := make(chan struct{})
+	go func() { wg.Wait(); close(joined) }()
+	select {
+	case <-joined:
+	case <-time.After(cfg.Watchdog + 5*time.Second):
+		mu.Lock()
+		deadlock = true
+		hardErrs = append(hardErrs, "clients still blocked past watchdog+grace")
+		mu.Unlock()
+	}
+	cancel()
+	select {
+	case <-serverDone:
+	case <-time.After(5 * time.Second):
+		mu.Lock()
+		deadlock = true
+		hardErrs = append(hardErrs, "server still blocked after cancellation")
+		mu.Unlock()
+	}
+
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 2*time.Second)
+	serr := sys.Shutdown(shutCtx) // halts the sweeper after a final sweep
+	shutCancel()
+	if serr != nil && !errors.Is(serr, context.DeadlineExceeded) {
+		noteErr("shutdown: %v", serr)
+	}
+
+	// Pool-leak audit: drain what teardown left queued, then every
+	// two-lock pool must be whole again — capacity free refs (the +1 of
+	// the pool is the queue's resident dummy). A dead actor's lock,
+	// cached ref, or unlinked node that escaped recovery shows up here.
+	audit := func(ch *livebind.Channel) {
+		tl, ok := ch.Queue().(*queue.TwoLock)
+		if !ok {
+			return
+		}
+		queue.Drain(tl)
+		res.PoolLeaked += int64(tl.Cap()) - tl.Pool().FreeCount()
+	}
+	audit(sys.ReceiveChannel())
+	for i := 0; i < cfg.Clients; i++ {
+		audit(sys.ReplyChannel(i))
+	}
+
+	counts := inj.Counts()
+	total := ms.Total()
+	res.Completed = completed
+	res.Aborted = aborted
+	res.Crashes = counts.Crashes
+	res.WakeDrops = counts.WakeDrops
+	res.WakeDups = counts.WakeDups
+	res.WakeDelays = counts.WakeDelays
+	res.PeerDeaths = total.PeerDeaths
+	res.LockReclaims = total.LockReclaims
+	res.OrphanMsgs = total.OrphanMsgs
+	res.OrphanRefs = total.OrphanRefs
+	res.WakeRescues = total.WakeRescues
+	res.Deadlocked = deadlock
+
+	var fail []string
+	if deadlock {
+		mu.Lock()
+		stuck := fmt.Sprintf("deadlocked: watchdog expired with participants blocked (clients: %v)", pos)
+		mu.Unlock()
+		fail = append(fail, stuck)
+	}
+	if res.PoolLeaked != 0 {
+		fail = append(fail, fmt.Sprintf("pool leak: %d refs unaccounted for", res.PoolLeaked))
+	}
+	fail = append(fail, hardErrs...)
+	if len(fail) > 0 {
+		res.Error = fmt.Sprintf("%v", fail)
+		return res, fmt.Errorf("chaos cell %s: %v", res.Label, fail)
+	}
+	return res, nil
+}
+
+// ChaosOptions configures a chaos sweep over the protocol matrix.
+type ChaosOptions struct {
+	Algs    []core.Algorithm // default all four protocols
+	Clients []int            // default {2, 4, 8}
+	Msgs    int              // per client; default 200
+	Seed    int64            // base seed; cell i uses Seed+i
+
+	// Fault rates for every cell; zero values take the defaults noted.
+	CrashRate float64 // default 0.02
+	DropRate  float64 // default 0.05
+	DupRate   float64 // default 0.02
+	DelayRate float64 // default 0.02
+
+	Watchdog time.Duration // per cell; default 30s
+}
+
+func (o *ChaosOptions) defaults() {
+	if len(o.Algs) == 0 {
+		o.Algs = core.Algorithms()
+	}
+	if len(o.Clients) == 0 {
+		o.Clients = []int{2, 4, 8}
+	}
+	if o.Msgs <= 0 {
+		o.Msgs = 200
+	}
+	if o.CrashRate == 0 {
+		o.CrashRate = 0.02
+	}
+	if o.DropRate == 0 {
+		o.DropRate = 0.05
+	}
+	if o.DupRate == 0 {
+		o.DupRate = 0.02
+	}
+	if o.DelayRate == 0 {
+		o.DelayRate = 0.02
+	}
+	if o.Watchdog <= 0 {
+		o.Watchdog = 30 * time.Second
+	}
+}
+
+// ChaosReport is the chaos sweep document (BENCH_chaos.json).
+type ChaosReport struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	BaseSeed    int64         `json:"base_seed"`
+	MsgsPerCli  int           `json:"msgs_per_client"`
+	Cells       []ChaosResult `json:"cells"`
+}
+
+// RunChaosBench sweeps the protocol matrix under seeded fault
+// injection. Every cell runs to completion regardless of earlier
+// failures; the combined error names each violated cell. progress,
+// when non-nil, receives one line per cell.
+func RunChaosBench(opts ChaosOptions, progress io.Writer) (*ChaosReport, error) {
+	opts.defaults()
+	rep := &ChaosReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		BaseSeed:    opts.Seed,
+		MsgsPerCli:  opts.Msgs,
+	}
+	var failures []error
+	cell := 0
+	for _, alg := range opts.Algs {
+		for _, n := range opts.Clients {
+			res, err := RunChaosCell(ChaosConfig{
+				Alg:       alg,
+				Clients:   n,
+				Msgs:      opts.Msgs,
+				Seed:      opts.Seed + int64(cell),
+				CrashRate: opts.CrashRate,
+				DropRate:  opts.DropRate,
+				DupRate:   opts.DupRate,
+				DelayRate: opts.DelayRate,
+				Watchdog:  opts.Watchdog,
+			})
+			cell++
+			if err != nil {
+				failures = append(failures, err)
+			}
+			rep.Cells = append(rep.Cells, res)
+			if progress != nil {
+				if err != nil {
+					fmt.Fprintf(progress, "%-24s FAILED: %v\n", res.Label, err)
+				} else {
+					fmt.Fprintf(progress, "%-24s ok: %d/%d rtts, %d crashes, %d peer-deaths, %d reclaims, %d rescues\n",
+						res.Label, res.Completed, int64(n*opts.Msgs), res.Crashes,
+						res.PeerDeaths, res.LockReclaims+res.OrphanRefs, res.WakeRescues)
+				}
+			}
+		}
+	}
+	return rep, errors.Join(failures...)
+}
+
+// WriteJSON emits the chaos report as indented JSON.
+func (r *ChaosReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ulipc/internal/core"
+)
+
+// TestChaosCellSurvivesCrashes runs one seeded cell with aggressive
+// crash and wake-mutation rates: the cell must stay live (no deadlock),
+// leak nothing, and actually exercise the injection (at least one fault
+// fired with these rates).
+func TestChaosCellSurvivesCrashes(t *testing.T) {
+	res, err := RunChaosCell(ChaosConfig{
+		Alg:       core.BSW,
+		Clients:   4,
+		Msgs:      100,
+		Seed:      1234,
+		CrashRate: 0.05,
+		DropRate:  0.10,
+		DupRate:   0.05,
+		DelayRate: 0.05,
+		Watchdog:  30 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("chaos cell: %v (result %+v)", err, res)
+	}
+	if res.Deadlocked {
+		t.Fatalf("cell deadlocked: %+v", res)
+	}
+	if res.PoolLeaked != 0 {
+		t.Fatalf("pool leaked %d refs: %+v", res.PoolLeaked, res)
+	}
+	if res.Crashes+res.WakeDrops+res.WakeDups+res.WakeDelays == 0 {
+		t.Fatalf("no faults injected at these rates; the cell exercised nothing: %+v", res)
+	}
+	if res.Crashes > 0 && res.PeerDeaths == 0 {
+		t.Fatalf("crashes without peer-death detection: %+v", res)
+	}
+}
+
+// TestChaosCellCleanRun is the control: zero fault rates must complete
+// every round trip with no recovery activity — the chaos plumbing
+// itself costs the workload nothing.
+func TestChaosCellCleanRun(t *testing.T) {
+	const clients, msgs = 3, 100
+	res, err := RunChaosCell(ChaosConfig{
+		Alg:      core.BSLS,
+		Clients:  clients,
+		Msgs:     msgs,
+		Seed:     1,
+		Watchdog: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("clean cell: %v (result %+v)", err, res)
+	}
+	if res.Completed != clients*msgs {
+		t.Fatalf("clean cell completed %d/%d round trips: %+v", res.Completed, clients*msgs, res)
+	}
+	if res.Crashes != 0 || res.PeerDeaths != 0 {
+		t.Fatalf("clean cell recorded faults: %+v", res)
+	}
+}
+
+// TestChaosBenchShortSweep runs a reduced matrix end to end and checks
+// the report covers every cell.
+func TestChaosBenchShortSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep in -short mode")
+	}
+	var progress strings.Builder
+	rep, err := RunChaosBench(ChaosOptions{
+		Algs:    []core.Algorithm{core.BSW, core.BSLS},
+		Clients: []int{2, 4},
+		Msgs:    50,
+		Seed:    99,
+	}, &progress)
+	if err != nil {
+		t.Fatalf("chaos sweep: %v\n%s", err, progress.String())
+	}
+	if len(rep.Cells) != 4 {
+		t.Fatalf("report has %d cells, want 4", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.Error != "" {
+			t.Fatalf("cell %s failed: %s", c.Label, c.Error)
+		}
+	}
+}

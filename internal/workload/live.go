@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -312,9 +313,18 @@ func runLiveCtx(cfg LiveConfig, sys *livebind.System, ms *metrics.Set) (Result, 
 	wg.Wait()
 	// Flight-recorder dump on a tripped watchdog: the ring holds the
 	// last events before the stall, which is exactly the interleaving a
-	// deadlock post-mortem needs.
-	if cfg.DumpOnWatchdog != nil && rootCtx.Err() != nil {
-		sys.DumpFlightRecorder(cfg.DumpOnWatchdog)
+	// deadlock post-mortem needs. The dump is always captured into the
+	// Result (so reports can embed it) and mirrored to DumpOnWatchdog
+	// when a sink is configured.
+	var flightDump string
+	if rootCtx.Err() != nil {
+		var buf strings.Builder
+		out := io.Writer(&buf)
+		if cfg.DumpOnWatchdog != nil {
+			out = io.MultiWriter(&buf, cfg.DumpOnWatchdog)
+		}
+		sys.DumpFlightRecorder(out)
+		flightDump = buf.String()
 	}
 	// Unblock the server if clients bailed out without completing the
 	// disconnect protocol (watchdog tripped), then tear the system down;
@@ -349,6 +359,7 @@ func runLiveCtx(cfg LiveConfig, sys *livebind.System, ms *metrics.Set) (Result, 
 	res.Clients = ms.ByPrefix("client")
 	res.All = ms.Total()
 	res.Phase = phaseSnap(sys.Observer(), cfg.Alg)
+	res.FlightDump = flightDump
 
 	if len(errs) > 0 {
 		return res, fmt.Errorf("workload: live validation failed: %v", errs)

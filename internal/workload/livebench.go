@@ -122,10 +122,25 @@ type LiveBenchEntry struct {
 	SleepNsPerRTT float64 `json:"sleep_ns_per_rtt,omitempty"`
 	Sleeps        int64   `json:"sleeps,omitempty"` // sleep-phase observations
 
+	// Recovery counters: non-zero only in chaos-instrumented or
+	// recovery-enabled runs, but always carried so a tripped cell's
+	// report shows what the sweeper did (or failed to do).
+	Crashes      int64 `json:"crashes,omitempty"`
+	PeerDeaths   int64 `json:"peer_deaths,omitempty"`
+	LockReclaims int64 `json:"lock_reclaims,omitempty"`
+	OrphanMsgs   int64 `json:"orphan_msgs,omitempty"`
+	OrphanRefs   int64 `json:"orphan_refs,omitempty"`
+	WakeRescues  int64 `json:"wake_rescues,omitempty"`
+
 	// Error records a failed cell (watchdog deadline, validation
 	// mismatch); the numeric fields then hold the partial results
 	// gathered before the failure.
 	Error string `json:"error,omitempty"`
+
+	// FlightDump embeds the tripped cell's flight-recorder contents —
+	// the last IPC events before the stall (requires RecorderCap; empty
+	// for clean cells).
+	FlightDump string `json:"flight_dump,omitempty"`
 }
 
 // LiveBenchReport is the BENCH_live.json document.
@@ -205,8 +220,15 @@ func RunLiveBench(opts LiveBenchOptions, progress io.Writer) (*LiveBenchReport, 
 						e.SleepNsPerRTT = float64(p.Sleep.Sum) / float64(p.RTT.Count)
 					}
 				}
+				e.Crashes = res.All.Crashes
+				e.PeerDeaths = res.All.PeerDeaths
+				e.LockReclaims = res.All.LockReclaims
+				e.OrphanMsgs = res.All.OrphanMsgs
+				e.OrphanRefs = res.All.OrphanRefs
+				e.WakeRescues = res.All.WakeRescues
 				if err != nil {
 					e.Error = err.Error()
+					e.FlightDump = res.FlightDump
 					failures = append(failures, fmt.Errorf("live bench %s/%s/%dc: %w", k.Name, alg, n, err))
 				}
 				rep.Entries = append(rep.Entries, e)

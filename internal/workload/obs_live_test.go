@@ -50,7 +50,7 @@ func TestRunLiveUnobserved(t *testing.T) {
 // recorder lands on the configured writer — the post-mortem path.
 func TestWatchdogTripDumpsFlightRecorder(t *testing.T) {
 	var dump bytes.Buffer
-	_, err := RunLive(LiveConfig{
+	res, err := RunLive(LiveConfig{
 		Alg:            core.BSW,
 		Clients:        2,
 		Msgs:           2_000_000, // far more than fits in the deadline
@@ -69,6 +69,36 @@ func TestWatchdogTripDumpsFlightRecorder(t *testing.T) {
 	// The dump must hold real traffic, attributed to named actors.
 	if !strings.Contains(out, "send") || !strings.Contains(out, "client") {
 		t.Fatalf("dump carries no attributed events:\n%s", out)
+	}
+	// The same dump is embedded in the Result so reports can carry it.
+	if res.FlightDump != out {
+		t.Fatalf("Result.FlightDump diverges from the writer dump:\nresult=%q\nwriter=%q", res.FlightDump, out)
+	}
+}
+
+// TestLiveBenchEmbedsFlightDump: a watchdog-tripped cell of the bench
+// matrix carries its flight-recorder dump in the JSON entry.
+func TestLiveBenchEmbedsFlightDump(t *testing.T) {
+	rep, err := RunLiveBench(LiveBenchOptions{
+		Kinds:       []LiveBenchKind{DefaultLiveBenchKinds()[4]}, // "default"
+		Algs:        []core.Algorithm{core.BSW},
+		Clients:     []int{2},
+		Msgs:        2_000_000, // far more than fits in the deadline
+		Watchdog:    25 * time.Millisecond,
+		RecorderCap: 256,
+	}, nil)
+	if err == nil {
+		t.Fatal("4M round trips in 25ms — watchdog never tripped")
+	}
+	if len(rep.Entries) != 1 {
+		t.Fatalf("got %d entries", len(rep.Entries))
+	}
+	e := rep.Entries[0]
+	if e.Error == "" {
+		t.Fatal("tripped cell has no Error")
+	}
+	if !strings.Contains(e.FlightDump, "flight recorder:") {
+		t.Fatalf("tripped cell carries no flight dump: %+v", e)
 	}
 }
 

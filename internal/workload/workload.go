@@ -121,6 +121,12 @@ type Result struct {
 	// protocol when the run was observed (live runs with
 	// LiveConfig.Observe); nil otherwise.
 	Phase *obs.ProtoSnapshot
+
+	// FlightDump holds the flight-recorder contents captured when a
+	// watchdog deadline tripped (live runs with LiveConfig.Observe and a
+	// RecorderCap): the last IPC events before the stall, ready to embed
+	// in a report.
+	FlightDump string
 }
 
 // BackgroundCPUShare returns the fraction of the measured interval the
