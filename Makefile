@@ -18,12 +18,15 @@ bench:
 	$(GO) test -bench . -benchmem
 
 # Regenerate the live wall-clock benchmark document. One run per cell of
-# {queue configuration} x {protocol} x {1,4,16 clients}; see DESIGN.md §6.
+# {queue configuration} x {protocol} x {1,4,16 clients}, then the
+# server-group scale-out sweep: {2,4,8 shards} x {16,64,256 clients},
+# each group of cells preceded by its single-server baseline so the A/B
+# is interleaved on the same machine state (DESIGN.md §6, §10).
 # -watchdog 0 keeps the recorded trajectory on the legacy (error-less)
 # send path so successive BENCH_live.json snapshots stay comparable;
 # interactive runs default to a watchdog (see README).
 bench-live:
-	$(GO) run ./cmd/ipcbench -live -watchdog 0 -best 3 -json -o BENCH_live.json
+	$(GO) run ./cmd/ipcbench -live -watchdog 0 -best 3 -shards 2,4,8 -json -o BENCH_live.json
 	@echo wrote BENCH_live.json
 
 # Same linters as the CI lint job (.golangci.yml). Needs golangci-lint
@@ -41,12 +44,13 @@ cover:
 	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit !(t+0 >= f+0) }' || \
 		{ echo "coverage $$total% fell below the committed floor $$floor%"; exit 1; }
 
-# The PR bench gate, runnable locally: a short BSS/BSLS subset, three
-# runs, each cell's fastest sample compared against the committed
+# The PR bench gate, runnable locally: a short BSS/BSLS subset plus one
+# sharded cell (4 clients x 2 shards with its interleaved baseline),
+# three runs, each cell's fastest sample compared against the committed
 # BENCH_live.json (warn >10%, fail >25%).
 bench-gate:
 	for i in 1 2 3; do \
-		$(GO) run ./cmd/ipcbench -live -watchdog 0 -json -algs BSS,BSLS -clients 1 -msgs 1000 -o /tmp/bench_pr_$$i.json || exit 1; \
+		$(GO) run ./cmd/ipcbench -live -watchdog 0 -json -algs BSS,BSLS -clients 1 -shards 2 -shardclients 4 -msgs 1000 -o /tmp/bench_pr_$$i.json || exit 1; \
 	done
 	$(GO) run ./cmd/benchcmp -warn 10 -fail 25 BENCH_live.json /tmp/bench_pr_1.json /tmp/bench_pr_2.json /tmp/bench_pr_3.json
 

@@ -7,7 +7,8 @@
 //
 //	benchcmp [-warn 10] [-fail 25] baseline.json candidate.json...
 //
-// Cells are matched on (queue, alg, clients). The compared metric is
+// Cells are matched on (queue, alg, clients) — plus the shard count for
+// server-group cells. The compared metric is
 // the p50 RTT (rtt_p50_ns) when both documents carry it, falling back
 // to the mean (ns_per_rtt) otherwise — the p50 is the gate's preferred
 // signal because a median is far less sensitive to a single slow
@@ -38,8 +39,8 @@ import (
 
 // cellDelta is one compared cell.
 type cellDelta struct {
-	Key      string  // queue/alg/clients
-	Metric   string  // which field was compared
+	Key      string // queue/alg/clients
+	Metric   string // which field was compared
 	BaseNs   float64
 	CandNs   float64
 	DeltaPct float64 // (cand-base)/base * 100; positive = slower
@@ -53,7 +54,13 @@ type compareResult struct {
 	EnvMismatch bool     // GOMAXPROCS/NumCPU differ between documents
 }
 
+// cellKey identifies a cell. Server-group cells additionally carry the
+// shard count; single-server cells keep the legacy three-part key, so
+// documents from before the scale-out sweep still match.
 func cellKey(e workload.LiveBenchEntry) string {
+	if e.Shards > 0 {
+		return fmt.Sprintf("%s/%s/%dc/%ds", e.Queue, e.Alg, e.Clients, e.Shards)
+	}
 	return fmt.Sprintf("%s/%s/%dc", e.Queue, e.Alg, e.Clients)
 }
 

@@ -66,6 +66,32 @@ func TestCompareTracksMissingAndExtra(t *testing.T) {
 	}
 }
 
+// TestCompareShardedCellsKeyOnShards checks sharded cells never collide
+// with single-server cells of the same (queue, alg, clients), and that
+// equal shard counts do match.
+func TestCompareShardedCellsKeyOnShards(t *testing.T) {
+	sharded := func(shards int, p50 float64) workload.LiveBenchEntry {
+		e := entry("lanes", "BSLS", 16, p50, p50)
+		e.Shards = shards
+		return e
+	}
+	base := rep(1, entry("lanes", "BSLS", 16, 1000, 1000), sharded(4, 400))
+	cand := rep(1, sharded(4, 500), sharded(2, 600))
+	res := compare(base, cand)
+	if len(res.Cells) != 1 || res.Cells[0].Key != "lanes/BSLS/16c/4s" {
+		t.Fatalf("cells = %+v, want exactly the 4-shard pair", res.Cells)
+	}
+	if got := res.Cells[0].DeltaPct; got < 24.9 || got > 25.1 {
+		t.Fatalf("delta = %v, want ~25", got)
+	}
+	if len(res.Missing) != 1 || res.Missing[0] != "lanes/BSLS/16c" {
+		t.Fatalf("missing = %v, want the unsharded baseline cell", res.Missing)
+	}
+	if len(res.Extra) != 1 || res.Extra[0] != "lanes/BSLS/16c/2s" {
+		t.Fatalf("extra = %v, want the 2-shard candidate cell", res.Extra)
+	}
+}
+
 func TestGateThresholds(t *testing.T) {
 	base := rep(1,
 		entry("default", "BSS", 1, 1000, 1000),  // +5%: ok

@@ -24,6 +24,10 @@
 //	                                      # watchdog trip dumps it to stderr
 //	ipcbench -live -ab 7                  # interleaved A/B observability
 //	                                      # overhead measurement (7 pairs)
+//	ipcbench -live -shards 2,4,8          # server-group scale-out sweep at
+//	                                      # 16/64/256 clients, each preceded
+//	                                      # by its single-server baseline
+//	ipcbench -live -shards 4 -shardclients 64 -sendbatch 32
 //
 // Chaos mode (seeded fault injection + recovery, pass/fail not speed):
 //
@@ -31,6 +35,7 @@
 //	ipcbench -chaos -seed 42              # reproducible fault schedules
 //	ipcbench -chaos -json -o BENCH_chaos.json
 //	ipcbench -chaos -quick                # small matrix for CI smoke
+//	ipcbench -chaos -shards 2,4           # shard-kill cell sizes (default 2)
 //
 // A chaos cell fails on deadlock, pool leak, or validation mismatch;
 // any failed cell makes the process exit non-zero after the full
@@ -73,13 +78,17 @@ func main() {
 		abReps   = flag.Int("ab", 0, "with -live: instead of the matrix, run this many interleaved (observability off, on) pairs of one cell and report the median overhead delta")
 		best     = flag.Int("best", 1, "with -live: run the matrix this many times and keep each cell's fastest sample (best-of-K; stabilises a committed baseline against run-to-run jitter)")
 
+		shards       = flag.String("shards", "", "with -live: comma-separated shard counts for the server-group scale-out sweep (each cell also runs a shards=0 single-server baseline back to back for interleaved A/B); empty disables the sweep")
+		shardClients = flag.String("shardclients", "", "with -live -shards: comma-separated client counts for the scale-out sweep (default 16,64,256)")
+		sendBatch    = flag.Int("sendbatch", 0, "with -live -shards: messages per SendBatch/ReplyBatch burst in group cells (default 16)")
+
 		chaos = flag.Bool("chaos", false, "run the seeded chaos matrix (fault injection + recovery) instead of the simulator experiments")
 		seed  = flag.Int64("seed", 1, "with -chaos: base seed for the fault schedules (cell i uses seed+i)")
 	)
 	flag.Parse()
 
 	if *chaos {
-		if err := runChaos(*jsonOut, *outFile, *msgs, *quick, *clients, *algs, *seed, *watchdog); err != nil {
+		if err := runChaos(*jsonOut, *outFile, *msgs, *quick, *clients, *algs, *shards, *seed, *watchdog); err != nil {
 			fmt.Fprintf(os.Stderr, "ipcbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -94,7 +103,7 @@ func main() {
 			}
 			return
 		}
-		if err := runLive(*jsonOut, *outFile, *msgs, *quick, *clients, *algs, *batch, *liveSpin, *watchdog, *noObs, *flight, *best); err != nil {
+		if err := runLive(*jsonOut, *outFile, *msgs, *quick, *clients, *algs, *shards, *shardClients, *sendBatch, *batch, *liveSpin, *watchdog, *noObs, *flight, *best); err != nil {
 			fmt.Fprintf(os.Stderr, "ipcbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -146,8 +155,8 @@ func main() {
 // the sweep: its partial numbers and Error land in the report, the
 // remaining cells still run, and the non-nil error return makes the
 // process exit non-zero after the (partial) report has been written.
-func runLive(jsonOut bool, outFile string, msgs int, quick bool, clients, algs string, batch, spin int, watchdog time.Duration, noObs bool, flight, best int) error {
-	opts := workload.LiveBenchOptions{Msgs: msgs, AllocBatch: batch, SpinIters: spin, Watchdog: watchdog, NoObs: noObs, RecorderCap: flight}
+func runLive(jsonOut bool, outFile string, msgs int, quick bool, clients, algs, shards, shardClients string, sendBatch, batch, spin int, watchdog time.Duration, noObs bool, flight, best int) error {
+	opts := workload.LiveBenchOptions{Msgs: msgs, AllocBatch: batch, SpinIters: spin, Watchdog: watchdog, NoObs: noObs, RecorderCap: flight, Batch: sendBatch}
 	if flight > 0 {
 		opts.DumpTo = os.Stderr
 	}
@@ -160,6 +169,15 @@ func runLive(jsonOut bool, outFile string, msgs int, quick bool, clients, algs s
 	}
 	if opts.Algs, err = parseAlgs(algs); err != nil {
 		return err
+	}
+	if opts.Shards, err = parseClients(shards); err != nil {
+		return fmt.Errorf("-shards: %w", err)
+	}
+	if opts.ShardClients, err = parseClients(shardClients); err != nil {
+		return fmt.Errorf("-shardclients: %w", err)
+	}
+	if quick && len(opts.Shards) > 0 && shardClients == "" {
+		opts.ShardClients = []int{16} // keep the CI smoke to seconds
 	}
 	out := os.Stdout
 	if outFile != "" {
@@ -208,7 +226,7 @@ func runLive(jsonOut bool, outFile string, msgs int, quick bool, clients, algs s
 // Every cell runs regardless of earlier failures; the report (JSON or
 // text) is written before the error return turns a failed cell into a
 // non-zero exit — the contract CI's chaos gate relies on.
-func runChaos(jsonOut bool, outFile string, msgs int, quick bool, clients, algs string, seed int64, watchdog time.Duration) error {
+func runChaos(jsonOut bool, outFile string, msgs int, quick bool, clients, algs, shards string, seed int64, watchdog time.Duration) error {
 	opts := workload.ChaosOptions{Msgs: msgs, Seed: seed, Watchdog: watchdog}
 	var err error
 	if opts.Clients, err = parseClients(clients); err != nil {
@@ -216,6 +234,9 @@ func runChaos(jsonOut bool, outFile string, msgs int, quick bool, clients, algs 
 	}
 	if opts.Algs, err = parseAlgs(algs); err != nil {
 		return err
+	}
+	if opts.Shards, err = parseClients(shards); err != nil {
+		return fmt.Errorf("-shards: %w", err)
 	}
 	if quick {
 		// CI smoke: a protocol pair and small fan-in, seconds not minutes.

@@ -1,0 +1,508 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"ulipc/internal/obs"
+)
+
+// Vectored (batched) variants of Send/Receive/Reply. The scalar
+// protocol pays one wake-up per message; these paths move k messages
+// per semaphore V — one wake-up, one enqueue burst, k messages — the
+// same way AllocN amortises pool CASes. The wake-token accounting is
+// unchanged from the scalar Figure 4 protocol: a producer issues at
+// most one V per TAS-cleared awake flag regardless of how many
+// messages the burst carried, and the consumer's TAS-drain on the
+// dequeue success path still retires any redundant token, so batching
+// cannot leak or lose wakes (DESIGN.md §10 walks the accounting).
+
+// BatchPort is an optional Port extension: an endpoint that can accept
+// a burst of messages with one routing/locking decision. TryEnqueueBatch
+// appends a prefix of ms and returns how many were taken (0 when full).
+// Ports without the extension fall back to per-message TryEnqueue.
+type BatchPort interface {
+	TryEnqueueBatch(ms []Msg) int
+}
+
+// tryEnqueueBatch appends a prefix of ms to q, via the port's vectored
+// path when it has one.
+func tryEnqueueBatch(q Port, ms []Msg) int {
+	if bp, ok := q.(BatchPort); ok {
+		return bp.TryEnqueueBatch(ms)
+	}
+	n := 0
+	for _, m := range ms {
+		if !q.TryEnqueue(m) {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// SendBatch sends every message in msgs and returns the replies (in
+// arrival order, which under a sharded server is not necessarily send
+// order). One wake-up is issued per enqueue burst, not per message.
+// Fewer replies than requests means the system shut down mid-batch —
+// the missing replies are the shutdown marker's territory, exactly as
+// a scalar Send would have returned it.
+func (c *Client) SendBatch(msgs []Msg) []Msg {
+	if len(msgs) == 0 {
+		return nil
+	}
+	for i := range msgs {
+		msgs[i].Client = c.ID
+	}
+	for c.lag > 0 {
+		if stale := c.recvReply(); stale.Op == OpShutdown && stale.Client < 0 {
+			return nil
+		}
+		c.lag--
+	}
+	obsOn := c.Obs.Enabled()
+	var t0 time.Time
+	if obsOn {
+		c.Obs.Note(obs.EvSend, int64(msgs[0].Seq))
+		t0 = time.Now()
+		c.Obs.Batch(len(msgs))
+	}
+	out := make([]Msg, 0, len(msgs))
+	sent := 0
+	for sent < len(msgs) {
+		if portRefusing(c.Srv) {
+			break
+		}
+		n := tryEnqueueBatch(c.Srv, msgs[sent:])
+		if n > 0 {
+			sent += n
+			if c.Alg != BSS {
+				wakeConsumer(c.Srv, c.A)
+			}
+			continue
+		}
+		// Request queue full. When the batch is larger than the queues,
+		// progress requires consuming replies while requests are still
+		// being fed in — collect any that are ready before napping, or a
+		// batch of k > cap(request)+cap(reply) would deadlock.
+		if len(out) < sent {
+			if m, ok := c.Rcv.TryDequeue(); ok {
+				out = append(out, m)
+				continue
+			}
+		}
+		if portClosed(c.Srv) {
+			break
+		}
+		if c.Alg == BSS {
+			c.A.BusyWait()
+		} else {
+			c.A.SleepSec(1)
+		}
+	}
+	for len(out) < sent {
+		m := c.recvReply()
+		if m.Op == OpShutdown && m.Client < 0 {
+			c.lag += sent - len(out)
+			break
+		}
+		out = append(out, m)
+	}
+	if c.M != nil {
+		c.M.MsgsSent.Add(int64(sent))
+	}
+	if obsOn {
+		c.Obs.RTT(time.Since(t0))
+		if len(out) > 0 {
+			c.Obs.Note(obs.EvRecv, int64(out[len(out)-1].Seq))
+		}
+	}
+	return out
+}
+
+// SendBatchCtx is SendBatch with deadline/cancellation support. On a
+// context error the replies already collected are returned alongside
+// the error; replies still owed for enqueued requests are tracked as
+// lag and drained by the next Send/SendCtx/SendBatch on this handle,
+// exactly like a cancelled scalar SendCtx.
+func (c *Client) SendBatchCtx(ctx context.Context, msgs []Msg) ([]Msg, error) {
+	if c.disconnected {
+		return nil, ErrDisconnected
+	}
+	if len(msgs) == 0 {
+		return nil, nil
+	}
+	for i := range msgs {
+		msgs[i].Client = c.ID
+	}
+	for c.lag > 0 {
+		if _, err := c.recvReplyCtx(ctx); err != nil {
+			return nil, err
+		}
+		c.lag--
+	}
+	ca, _ := c.A.(CtxActor)
+	obsOn := c.Obs.Enabled()
+	var t0 time.Time
+	if obsOn {
+		c.Obs.Note(obs.EvSend, int64(msgs[0].Seq))
+		t0 = time.Now()
+		c.Obs.Batch(len(msgs))
+	}
+	out := make([]Msg, 0, len(msgs))
+	sent := 0
+	backoff := 1
+	fail := func(err error) ([]Msg, error) {
+		c.lag += sent - len(out)
+		if c.M != nil {
+			c.M.MsgsSent.Add(int64(sent))
+		}
+		return out, err
+	}
+	for sent < len(msgs) {
+		if portRefusing(c.Srv) {
+			return fail(shutdownErr(c.Srv))
+		}
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
+		n := tryEnqueueBatch(c.Srv, msgs[sent:])
+		if n > 0 {
+			sent += n
+			backoff = 1
+			if c.Alg != BSS {
+				wakeConsumer(c.Srv, c.A)
+			}
+			continue
+		}
+		if len(out) < sent {
+			if m, ok := c.Rcv.TryDequeue(); ok {
+				out = append(out, m)
+				continue
+			}
+		}
+		if c.M != nil {
+			c.M.Retries.Add(1)
+		}
+		if ca == nil {
+			return fail(ErrNotCancellable)
+		}
+		if err := ca.SleepCtx(ctx, backoff); err != nil {
+			return fail(err)
+		}
+		if backoff < 8 {
+			backoff <<= 1
+		}
+	}
+	for len(out) < sent {
+		m, err := c.recvReplyCtx(ctx)
+		if err != nil {
+			return fail(err)
+		}
+		out = append(out, m)
+	}
+	if c.M != nil {
+		c.M.MsgsSent.Add(int64(sent))
+	}
+	if obsOn {
+		c.Obs.RTT(time.Since(t0))
+		if len(out) > 0 {
+			c.Obs.Note(obs.EvRecv, int64(out[len(out)-1].Seq))
+		}
+	}
+	return out, nil
+}
+
+// ReceiveBatch receives up to len(buf) requests: one blocking Receive
+// for the head, then a non-blocking drain of whatever else is already
+// queued — the batching a single wake-up pays for. It returns the
+// number of messages stored. A shutdown marker (from the blocking
+// head receive) is stored like any message; the drain itself can never
+// fabricate one, since markers are synthesised, not queued.
+func (s *Server) ReceiveBatch(buf []Msg) int {
+	if len(buf) == 0 {
+		return 0
+	}
+	m := s.Receive()
+	buf[0] = m
+	if m.Op == OpShutdown && m.Client < 0 && portClosed(s.Rcv) {
+		return 1
+	}
+	n := s.drainInto(buf, 1)
+	if s.Obs.Enabled() {
+		s.Obs.Batch(n)
+	}
+	return n
+}
+
+// ReceiveBatchCtx is ReceiveBatch with deadline/cancellation support on
+// the blocking head receive (the drain is non-blocking already).
+func (s *Server) ReceiveBatchCtx(ctx context.Context, buf []Msg) (int, error) {
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	m, err := s.ReceiveCtx(ctx)
+	if err != nil {
+		return 0, err
+	}
+	buf[0] = m
+	n := s.drainInto(buf, 1)
+	if s.Obs.Enabled() {
+		s.Obs.Batch(n)
+	}
+	return n, nil
+}
+
+// drainInto fills buf[from:] with already-queued requests, applying the
+// same per-message accounting as Receive (count, wake retirement,
+// outstanding-request audit), and returns the new length.
+func (s *Server) drainInto(buf []Msg, from int) int {
+	n := from
+	for n < len(buf) {
+		m, ok := s.Rcv.TryDequeue()
+		if !ok {
+			break
+		}
+		if s.M != nil {
+			s.M.MsgsReceived.Add(1)
+		}
+		s.retireWake(m.Client)
+		if s.ValidClient(m.Client) {
+			s.noteReceived(m.Client)
+		}
+		buf[n] = m
+		n++
+	}
+	return n
+}
+
+// Reply pairs a response message with its destination client for
+// ReplyBatch.
+type Reply struct {
+	Client int32
+	Msg    Msg
+}
+
+// ReplyBatch enqueues every reply, then issues at most one wake-up per
+// distinct destination client — the reply-side half of the k-messages-
+// per-V amortisation. Control-path replies (connect/disconnect) keep
+// their immediate, throttle-bypassing wake, as in scalar Reply.
+// Replies to invalid client numbers are dropped, as in scalar Reply.
+func (s *Server) ReplyBatch(batch []Reply) {
+	if len(batch) == 0 {
+		return
+	}
+	touched := s.markClients(batch)
+	if s.Obs.Enabled() {
+		s.Obs.Batch(len(batch))
+	}
+	for _, c := range touched {
+		s.pendWake[c] = false
+		s.wakeClient(c)
+	}
+}
+
+// markClients enqueues the batch and returns the distinct data-path
+// clients still owed a wake. Scratch state lives on the Server so the
+// hot path stays allocation-free.
+func (s *Server) markClients(batch []Reply) []int32 {
+	if len(s.pendWake) < len(s.Replies) {
+		s.pendWake = make([]bool, len(s.Replies))
+	}
+	touched := s.touched[:0]
+	for _, r := range batch {
+		if !s.ValidClient(r.Client) {
+			continue
+		}
+		s.noteReplied(r.Client)
+		q := s.Replies[r.Client]
+		if s.Alg == BSS {
+			busySpinUntil(s.A, q, func() bool { return q.TryEnqueue(r.Msg) })
+			continue
+		}
+		if !enqueueOrSleepObs(q, s.A, r.Msg, s.Obs) {
+			continue // shutdown: the client is being unblocked anyway
+		}
+		if r.Msg.Op == OpConnect || r.Msg.Op == OpDisconnect {
+			wakeConsumer(q, s.A)
+			continue
+		}
+		if !s.pendWake[r.Client] {
+			s.pendWake[r.Client] = true
+			touched = append(touched, r.Client)
+		}
+	}
+	s.touched = touched
+	return touched
+}
+
+// ReplyBatchCtx is ReplyBatch with deadline/cancellation support and
+// the ReplyCtx misuse audit. Replies with no outstanding request are
+// skipped and reported as ErrDoubleReply after the rest of the batch
+// has been delivered; an enqueue failure (shutdown, context) stops the
+// batch, flushes the wakes already owed, and returns that error.
+func (s *Server) ReplyBatchCtx(ctx context.Context, batch []Reply) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	if len(s.pendWake) < len(s.Replies) {
+		s.pendWake = make([]bool, len(s.Replies))
+	}
+	touched := s.touched[:0]
+	flush := func() {
+		for _, c := range touched {
+			s.pendWake[c] = false
+			s.wakeClient(c)
+		}
+		s.touched = touched[:0]
+	}
+	var firstErr error
+	for _, r := range batch {
+		if !s.ValidClient(r.Client) || s.outstanding == nil || s.outstanding[r.Client] <= 0 {
+			if firstErr == nil {
+				firstErr = ErrDoubleReply
+			}
+			continue
+		}
+		q := s.Replies[r.Client]
+		if s.Alg == BSS {
+			if err := spinEnqueueCtx(ctx, s.A, q, r.Msg); err != nil {
+				flush()
+				return err
+			}
+			s.noteReplied(r.Client)
+			continue
+		}
+		if err := enqueueOrSleepCtxObs(ctx, q, s.A, r.Msg, s.M, s.Obs); err != nil {
+			flush()
+			return err
+		}
+		s.noteReplied(r.Client)
+		if r.Msg.Op == OpConnect || r.Msg.Op == OpDisconnect {
+			wakeConsumer(q, s.A)
+			continue
+		}
+		if !s.pendWake[r.Client] {
+			s.pendWake[r.Client] = true
+			touched = append(touched, r.Client)
+		}
+	}
+	if s.Obs.Enabled() {
+		s.Obs.Batch(len(batch))
+	}
+	flush()
+	return firstErr
+}
+
+// ServeBatch is the vectored Serve loop: ReceiveBatch up to batch
+// requests per wake-up, process them, ReplyBatch the responses with
+// one wake per client. Exit conditions match Serve: the shutdown
+// marker, or every connected client having disconnected. Requests
+// already drained when a disconnect empties the connection count are
+// still answered before the loop exits.
+func (s *Server) ServeBatch(work func(*Msg), batch int) (served int64) {
+	if batch < 1 {
+		batch = 1
+	}
+	buf := make([]Msg, batch)
+	out := make([]Reply, 0, batch)
+	connected := 0
+	everConnected := false
+	for {
+		n := s.ReceiveBatch(buf)
+		out = out[:0]
+		stop := false
+		for i := 0; i < n; i++ {
+			m := buf[i]
+			if m.Op == OpShutdown && m.Client < 0 && portClosed(s.Rcv) {
+				stop = true
+				break
+			}
+			if !s.ValidClient(m.Client) {
+				continue
+			}
+			switch m.Op {
+			case OpConnect:
+				connected++
+				everConnected = true
+				s.connected = connected
+				s.Reply(m.Client, m)
+			case OpDisconnect:
+				connected--
+				s.connected = connected
+				s.Reply(m.Client, m)
+				if everConnected && connected == 0 {
+					stop = true
+				}
+			default:
+				if m.Op == OpWork && work != nil {
+					work(&m)
+				}
+				served++
+				out = append(out, Reply{Client: m.Client, Msg: m})
+			}
+		}
+		s.ReplyBatch(out)
+		if stop {
+			return served
+		}
+	}
+}
+
+// ServeBatchCtx is ServeBatch with deadline/cancellation support: a
+// graceful shutdown ends the loop with a nil error (matching ServeCtx),
+// a context end returns ctx.Err().
+func (s *Server) ServeBatchCtx(ctx context.Context, work func(*Msg), batch int) (served int64, err error) {
+	if batch < 1 {
+		batch = 1
+	}
+	buf := make([]Msg, batch)
+	out := make([]Reply, 0, batch)
+	connected := 0
+	everConnected := false
+	for {
+		n, rerr := s.ReceiveBatchCtx(ctx, buf)
+		if rerr != nil {
+			if rerr == ErrShutdown {
+				return served, nil
+			}
+			return served, rerr
+		}
+		out = out[:0]
+		stop := false
+		for i := 0; i < n; i++ {
+			m := buf[i]
+			if m.Op == OpShutdown && m.Client < 0 && portClosed(s.Rcv) {
+				stop = true
+				break
+			}
+			if !s.ValidClient(m.Client) {
+				continue
+			}
+			switch m.Op {
+			case OpConnect:
+				connected++
+				everConnected = true
+				s.connected = connected
+				s.Reply(m.Client, m)
+			case OpDisconnect:
+				connected--
+				s.connected = connected
+				s.Reply(m.Client, m)
+				if everConnected && connected == 0 {
+					stop = true
+				}
+			default:
+				if m.Op == OpWork && work != nil {
+					work(&m)
+				}
+				served++
+				out = append(out, Reply{Client: m.Client, Msg: m})
+			}
+		}
+		s.ReplyBatch(out)
+		if stop {
+			return served, nil
+		}
+	}
+}

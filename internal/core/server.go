@@ -45,6 +45,12 @@ type Server struct {
 	// replied to — the double-reply audit consulted by ReplyCtx. The
 	// server handle is single-goroutine, so plain ints suffice.
 	outstanding []int32
+
+	// Batch-reply scratch (ReplyBatch/ReplyBatchCtx): pending-wake marks
+	// and the distinct-client list, reused across calls so the vectored
+	// reply path stays allocation-free.
+	pendWake []bool
+	touched  []int32
 }
 
 // SetConnected tells the throttle how many clients are currently

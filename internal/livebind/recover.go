@@ -365,4 +365,9 @@ func (r *recovery) recoverLocked(slot *lifeSlot) {
 			ch.MarkPeerDead()
 		}
 	}
+
+	// Server groups: if the dead actor was serving a shard, mark the
+	// shard dead and bounce parked clients so they observe it (see
+	// System.noteActorDead).
+	r.s.noteActorDead(slot.id)
 }

@@ -3,6 +3,7 @@ package livebind
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -88,6 +89,38 @@ type Options struct {
 	// robust-lock reclaim, orphan drain, ErrPeerDead delivery). Prefer
 	// WithRecovery.
 	Recovery *RecoveryOptions
+
+	// Shards, when > 0, builds a server group instead of a single
+	// server: that many shards, each owning one SPSC request lane per
+	// client (see group.go). The group topology replaces the shared
+	// receive queue outright, so it composes with neither Duplex,
+	// WorkerPool, Throttle, nor an explicit ReplyKind. Prefer
+	// WithShards/NewSystemGroup.
+	Shards int
+
+	// Picker selects each request's destination shard (group mode
+	// only); nil defaults to PickHash. Prefer WithShardPicker.
+	Picker ShardPicker
+
+	// StealBatch bounds how many messages one steal moves from a
+	// sibling shard (group mode only); 0 defaults to 8 on a
+	// multiprocessor runtime. On GOMAXPROCS=1 the default is no
+	// stealing at all: stealing exists to put an idle processor on a
+	// backlogged lane, and with a single processor there is no idle
+	// one — every probe and residue re-wake is pure overhead (measured
+	// ~35% of group throughput). Set StealBatch explicitly to force
+	// stealing regardless. Prefer WithStealBatch.
+	StealBatch int
+
+	// StealThreshold is the minimum victim lane depth worth stealing
+	// from (group mode only); 0 defaults to 4.
+	StealThreshold int
+
+	// NoSteal disables work stealing between shards (group mode only).
+	// Prefer WithNoSteal. Useful when strict lane-ownership semantics
+	// matter more than load balance — e.g. the shard-kill chaos suite,
+	// where a dead shard must strand exactly its own clients' traffic.
+	NoSteal bool
 }
 
 // Option is a functional setting applied by NewSystem on top of the
@@ -156,6 +189,42 @@ func WithRecovery(opts RecoveryOptions) Option {
 	return func(o *Options) { o.Recovery = &opts }
 }
 
+// WithShards builds a server group of n shards (see Options.Shards).
+func WithShards(n int) Option {
+	return func(o *Options) { o.Shards = n }
+}
+
+// WithShardPicker sets the client-side shard-selection policy (see
+// Options.Picker).
+func WithShardPicker(p ShardPicker) Option {
+	return func(o *Options) { o.Picker = p }
+}
+
+// WithStealBatch bounds the per-steal message count (see
+// Options.StealBatch).
+func WithStealBatch(n int) Option {
+	return func(o *Options) { o.StealBatch = n }
+}
+
+// WithNoSteal disables inter-shard work stealing (see Options.NoSteal).
+func WithNoSteal() Option {
+	return func(o *Options) { o.NoSteal = true }
+}
+
+// NewSystemGroup builds a sharded system: shards server shards, each
+// owning one SPSC request lane per client, with client-side shard
+// selection and bounded work stealing. Equivalent to NewSystem with
+// WithShards(shards) appended. shards must be at least 1 — a zero
+// count is rejected rather than silently degrading to an unsharded
+// system (callers wanting that should use NewSystem directly).
+func NewSystemGroup(shards int, opts Options, extra ...Option) (*System, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("%w: NewSystemGroup needs at least 1 shard, got %d", ErrBadOption, shards)
+	}
+	extra = append(append([]Option(nil), extra...), WithShards(shards))
+	return NewSystem(opts, extra...)
+}
+
 // validate rejects nonsensical configurations with typed errors and
 // fills defaults.
 func (o *Options) validate() error {
@@ -186,6 +255,38 @@ func (o *Options) validate() error {
 	if o.QueueKind == queue.KindSPSC {
 		return fmt.Errorf("%w: QueueKind cannot be KindSPSC: the shared receive queue has one producer per client; use WithReplyKind for the per-client channels", ErrSPSCTopology)
 	}
+	if o.Shards < 0 {
+		return fmt.Errorf("%w: negative Shards %d", ErrBadOption, o.Shards)
+	}
+	if o.StealBatch < 0 {
+		return fmt.Errorf("%w: negative StealBatch %d", ErrBadOption, o.StealBatch)
+	}
+	if o.StealThreshold < 0 {
+		return fmt.Errorf("%w: negative StealThreshold %d", ErrBadOption, o.StealThreshold)
+	}
+	if o.Shards > 0 {
+		if o.Duplex {
+			return fmt.Errorf("%w: Shards and Duplex are mutually exclusive (a group has no per-connection handler threads)", ErrBadOption)
+		}
+		if o.Throttle > 0 {
+			return fmt.Errorf("%w: Throttle applies to the single-server wake path, not a server group", ErrBadOption)
+		}
+		if o.ReplyKind != nil && *o.ReplyKind != queue.KindSPSC {
+			return fmt.Errorf("%w: a server group's reply lanes are structurally SPSC; ReplyKind cannot override them", ErrSPSCTopology)
+		}
+		if o.Picker == nil {
+			o.Picker = PickHash{}
+		}
+		if o.StealBatch == 0 && runtime.GOMAXPROCS(0) > 1 {
+			o.StealBatch = 8
+		}
+		if o.StealBatch == 0 {
+			o.NoSteal = true
+		}
+		if o.StealThreshold == 0 {
+			o.StealThreshold = 4
+		}
+	}
 	if o.QueueCap == 0 {
 		o.QueueCap = 64
 	}
@@ -197,7 +298,8 @@ func (o *Options) validate() error {
 // in its own goroutine, and issue requests through the Client handles.
 type System struct {
 	opts    Options
-	recv    *Channel
+	recv    *Channel // shared receive channel; nil in group mode
+	grp     *group   // sharded topology; nil unless Options.Shards > 0
 	replies []*Channel
 	c2s     []*Channel // per-client request channels (Duplex only)
 	sems    []*Semaphore
@@ -252,41 +354,49 @@ func NewSystem(opts Options, extra ...Option) (*System, error) {
 	}
 	s := &System{opts: opts, ms: opts.Metrics, obs: opts.Observer, duplexTaken: make([]bool, opts.Clients)}
 
-	replyKind := queue.KindSPSC
-	s.replySPSC, s.replyAuto = true, true
-	if opts.ReplyKind != nil {
-		replyKind = *opts.ReplyKind
-		s.replySPSC = replyKind == queue.KindSPSC
-		s.replyAuto = false
-	}
-	newReply := func() (*Channel, error) {
-		if replyKind == queue.KindSPSC {
-			return newSPSCChannel(opts.QueueCap)
-		}
-		return NewChannel(replyKind, opts.QueueCap)
-	}
-
-	var err error
-	if s.recv, err = NewChannel(opts.QueueKind, opts.QueueCap); err != nil {
-		return nil, err
-	}
-	s.addSem(s.recv)
-	for i := 0; i < opts.Clients; i++ {
-		ch, err := newReply()
-		if err != nil {
+	if opts.Shards > 0 {
+		// Server group: a lane mesh replaces the shared receive queue
+		// and the scalar reply channels (see group.go).
+		if err := s.buildGroup(); err != nil {
 			return nil, err
 		}
-		s.addSem(ch)
-		s.replies = append(s.replies, ch)
-	}
-	if opts.Duplex {
+	} else {
+		replyKind := queue.KindSPSC
+		s.replySPSC, s.replyAuto = true, true
+		if opts.ReplyKind != nil {
+			replyKind = *opts.ReplyKind
+			s.replySPSC = replyKind == queue.KindSPSC
+			s.replyAuto = false
+		}
+		newReply := func() (*Channel, error) {
+			if replyKind == queue.KindSPSC {
+				return newSPSCChannel(opts.QueueCap)
+			}
+			return NewChannel(replyKind, opts.QueueCap)
+		}
+
+		var err error
+		if s.recv, err = NewChannel(opts.QueueKind, opts.QueueCap); err != nil {
+			return nil, err
+		}
+		s.addSem(s.recv)
 		for i := 0; i < opts.Clients; i++ {
 			ch, err := newReply()
 			if err != nil {
 				return nil, err
 			}
 			s.addSem(ch)
-			s.c2s = append(s.c2s, ch)
+			s.replies = append(s.replies, ch)
+		}
+		if opts.Duplex {
+			for i := 0; i < opts.Clients; i++ {
+				ch, err := newReply()
+				if err != nil {
+					return nil, err
+				}
+				s.addSem(ch)
+				s.c2s = append(s.c2s, ch)
+			}
 		}
 	}
 	if opts.BlockSlots > 0 {
@@ -360,8 +470,7 @@ func (s *System) shutdownPhases(ctx context.Context) error {
 	// Phase 1: refuse new requests; replies stay open so in-flight
 	// requests still get answered.
 	s.notePhase(1)
-	s.recv.Refuse()
-	for _, ch := range s.c2s {
+	for _, ch := range s.requestChannels() {
 		ch.Refuse()
 	}
 
@@ -393,14 +502,13 @@ func (s *System) shutdownPhases(ctx context.Context) error {
 	// servers exit on their next dequeue instead of processing stale
 	// work against closed reply channels.
 	s.notePhase(4)
+	reqs := s.requestChannels()
 	if derr != nil {
-		queue.Drain(s.recv.q)
-		for _, ch := range s.c2s {
+		for _, ch := range reqs {
 			queue.Drain(ch.q)
 		}
 	}
-	s.recv.CloseDown()
-	for _, ch := range s.c2s {
+	for _, ch := range reqs {
 		ch.CloseDown()
 	}
 	for _, ch := range s.replies {
@@ -428,12 +536,19 @@ func (s *System) notePhase(phase int64) {
 	s.obs.Recorder().Note(obs.EvShutdown, -1, phase)
 }
 
+// requestChannels returns every request-bearing channel: the shard
+// channels in group mode, otherwise the shared receive queue plus any
+// duplex c2s queues.
+func (s *System) requestChannels() []*Channel {
+	if s.grp != nil {
+		return s.grp.recvs
+	}
+	return append([]*Channel{s.recv}, s.c2s...)
+}
+
 // requestsDrained reports whether every request-bearing queue is empty.
 func (s *System) requestsDrained() bool {
-	if !s.recv.q.Empty() {
-		return false
-	}
-	for _, ch := range s.c2s {
+	for _, ch := range s.requestChannels() {
 		if !ch.q.Empty() {
 			return false
 		}
@@ -543,6 +658,9 @@ func (s *System) registerActor(a *Actor, consumes, produces []*Channel, ports ..
 // client constructor. Run each worker's Serve on its own goroutine and
 // issue requests through PoolClient handles.
 func (s *System) WorkerPool(n int) ([]*core.PoolWorker, error) {
+	if s.grp != nil {
+		return nil, fmt.Errorf("%w: WorkerPool unavailable on a sharded system (shards are the parallel servers; use ShardServer)", ErrBadOption)
+	}
 	if n < 1 {
 		return nil, fmt.Errorf("livebind: worker pool needs >= 1 worker, got %d", n)
 	}
@@ -605,6 +723,9 @@ func (s *System) WorkerPool(n int) ([]*core.PoolWorker, error) {
 // built with WorkerPool (which must be built first: it converts the
 // reply queues from the SPSC default to a multi-producer kind).
 func (s *System) PoolClient(i int) (*core.PoolClient, error) {
+	if s.grp != nil {
+		return nil, fmt.Errorf("%w: PoolClient unavailable on a sharded system; use Client", ErrBadOption)
+	}
 	if i < 0 || i >= len(s.replies) {
 		return nil, fmt.Errorf("livebind: client index %d out of range [0,%d)", i, len(s.replies))
 	}
@@ -639,6 +760,9 @@ func (s *System) PoolClient(i int) (*core.PoolClient, error) {
 // returns no error). Set WithReplyKind to an MPMC kind to lift the
 // restriction.
 func (s *System) Server() *core.Server {
+	if s.grp != nil {
+		panic(fmt.Errorf("%w: Server() unavailable on a sharded system; use ShardServer", ErrBadOption))
+	}
 	s.topoMu.Lock()
 	if s.replySPSC {
 		if s.serverTaken {
@@ -683,6 +807,9 @@ func (s *System) Server() *core.Server {
 func (s *System) Client(i int) (*core.Client, error) {
 	if i < 0 || i >= len(s.replies) {
 		return nil, fmt.Errorf("livebind: client index %d out of range [0,%d)", i, len(s.replies))
+	}
+	if s.grp != nil {
+		return s.groupClient(i)
 	}
 	s.topoMu.Lock()
 	s.replyHandles = true

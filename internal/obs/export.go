@@ -54,6 +54,20 @@ func (o *Observer) WritePrometheus(w io.Writer) {
 			writePromHist(w, name, ps.Proto, *s)
 		}
 	}
+	// Batch sizes are counts, not durations, so they get their own
+	// family outside the *_ns phase loop.
+	wroteBatch := false
+	for _, ps := range snaps {
+		if ps.Batch.Count == 0 {
+			continue
+		}
+		if !wroteBatch {
+			fmt.Fprintf(w, "# HELP ulipc_batch_size messages moved per vectored operation\n")
+			fmt.Fprintf(w, "# TYPE ulipc_batch_size histogram\n")
+			wroteBatch = true
+		}
+		writePromHist(w, "ulipc_batch_size", ps.Proto, ps.Batch)
+	}
 	if o.rec != nil {
 		fmt.Fprintf(w, "# HELP ulipc_flight_events_total events noted on the flight recorder\n")
 		fmt.Fprintf(w, "# TYPE ulipc_flight_events_total counter\n")

@@ -39,12 +39,21 @@ func (p Phase) String() string {
 }
 
 // ProtoHists is the per-protocol histogram block: one Histogram per
-// phase. All fields are lock-free; the zero value is ready for use.
+// phase, plus the batch-size distribution of the vectored
+// SendBatch/ReceiveBatch paths. All fields are lock-free; the zero
+// value is ready for use.
 type ProtoHists struct {
 	RTT       Histogram
 	QueueWait Histogram
 	Spin      Histogram
 	Sleep     Histogram
+
+	// Batch records message counts, not durations: one observation per
+	// vectored operation, valued at the number of messages it moved.
+	// Mean = sum/count is the achieved amortisation factor (messages
+	// per wake-up on the batched paths). It is deliberately not a
+	// Phase — phases are time, this is cardinality.
+	Batch Histogram
 }
 
 // Phase returns the histogram for a phase (nil-safe).
@@ -72,6 +81,7 @@ type ProtoSnapshot struct {
 	QueueWait HistSnapshot `json:"queue_wait"`
 	Spin      HistSnapshot `json:"spin"`
 	Sleep     HistSnapshot `json:"sleep"`
+	Batch     HistSnapshot `json:"batch"`
 }
 
 // Phase returns the snapshot for a phase.
@@ -97,6 +107,7 @@ func (p *ProtoHists) Snapshot(name string) ProtoSnapshot {
 		QueueWait: p.QueueWait.Snapshot(),
 		Spin:      p.Spin.Snapshot(),
 		Sleep:     p.Sleep.Snapshot(),
+		Batch:     p.Batch.Snapshot(),
 	}
 }
 
@@ -258,6 +269,15 @@ func (h Hook) Spin(d time.Duration) {
 func (h Hook) Sleep(d time.Duration) {
 	if h.H != nil {
 		h.H.Sleep.Record(d)
+	}
+}
+
+// Batch records the size of one vectored operation (k messages moved
+// per wake-up). The histogram's time axis is reused as a plain count
+// axis: an observation of k is recorded as k "nanoseconds".
+func (h Hook) Batch(k int) {
+	if h.H != nil {
+		h.H.Batch.Record(time.Duration(k))
 	}
 }
 

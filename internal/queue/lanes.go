@@ -1,0 +1,169 @@
+package queue
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"ulipc/internal/core"
+)
+
+// Lanes is a fan-in view over a set of per-producer SPSC rings that
+// share one logical consumer: each producer owns exactly one lane (so
+// every ring keeps its single-producer contract), and the consumer
+// scans the lanes round-robin. This is the Torquati-style composition
+// — SPSC rings as the building block, fan-in done by the consumer —
+// that lets a server shard own one wait-free lane per client instead
+// of one contended MPMC queue.
+//
+// Lanes implements Queue so it can sit behind a livebind Channel and
+// inherit the existing shutdown-drain and recovery machinery, with one
+// deliberate exception: Enqueue always reports full. Producers must
+// enqueue through their own ring via Lane(i); the fan-in view cannot
+// know which lane a caller owns, and accepting messages on an
+// arbitrary lane would break the SPSC contract the whole construction
+// exists to preserve.
+//
+// The consumer side is guarded by a per-lane try-lock so that a
+// bounded work-stealing peer (Steal) — or a shutdown/recovery drainer
+// running while the owner is still live — can dequeue without racing
+// the owner on the ring's consumer-local state (head + cached tail).
+// The lock is an atomic CAS: release(Store) → acquire(CAS) orders the
+// consumer-local writes between alternating dequeuers. Producers never
+// touch the locks.
+type Lanes struct {
+	lanes []*SPSC
+	locks []laneLock
+	next  atomic.Uint32 // round-robin cursor (shared with drainers)
+}
+
+// laneLock is a padded consumer try-lock, one per lane, each on its
+// own cache line so a thief hammering one lane's lock does not false-
+// share with the owner scanning its neighbours.
+type laneLock struct {
+	held atomic.Bool
+	_    [63]byte
+}
+
+// NewLanes builds the fan-in view. The lane slice is captured, not
+// copied: index i must be the lane owned by producer i for the
+// lifetime of the view.
+func NewLanes(lanes []*SPSC) (*Lanes, error) {
+	if len(lanes) == 0 {
+		return nil, fmt.Errorf("queue: Lanes needs at least one lane")
+	}
+	for i, ln := range lanes {
+		if ln == nil {
+			return nil, fmt.Errorf("queue: Lanes lane %d is nil", i)
+		}
+	}
+	return &Lanes{lanes: lanes, locks: make([]laneLock, len(lanes))}, nil
+}
+
+// Lane returns producer i's ring. The producer enqueues here directly
+// — wait-free, no fan-in coordination.
+func (l *Lanes) Lane(i int) *SPSC { return l.lanes[i] }
+
+// NumLanes returns the number of lanes.
+func (l *Lanes) NumLanes() int { return len(l.lanes) }
+
+// Enqueue always reports full: producers must use Lane(i).Enqueue to
+// keep each ring single-producer. Present only to satisfy Queue.
+func (l *Lanes) Enqueue(core.Msg) bool { return false }
+
+// Dequeue removes one message, scanning the lanes round-robin from
+// just past the last served lane. Lanes that look empty are skipped
+// without touching their lock; a lane whose lock is held (a thief or
+// drainer is on it) is also skipped — the holder is responsible for
+// re-waking this consumer if it leaves messages behind (see the steal
+// protocol in DESIGN.md §10).
+func (l *Lanes) Dequeue() (core.Msg, bool) {
+	n := uint32(len(l.lanes))
+	start := l.next.Load()
+	for k := uint32(0); k < n; k++ {
+		i := (start + k) % n
+		ln := l.lanes[i]
+		if ln.Empty() {
+			continue
+		}
+		if !l.locks[i].held.CompareAndSwap(false, true) {
+			continue
+		}
+		m, ok := ln.Dequeue()
+		l.locks[i].held.Store(false)
+		if ok {
+			l.next.Store((i + 1) % n)
+			return m, true
+		}
+	}
+	return core.Msg{}, false
+}
+
+// Steal drains up to len(dst) messages from the single deepest lane,
+// provided that lane holds at least min messages, and reports how many
+// were taken. It is the bounded work-stealing primitive: a sibling
+// shard whose own lanes ran dry calls it on the victim's Lanes. The
+// caller must re-wake the victim if the stolen lane (or any other)
+// still holds messages afterwards — the victim may have parked while
+// this steal held the lane lock, consuming the producer's wake token
+// without seeing the message it announced.
+func (l *Lanes) Steal(dst []core.Msg, min int) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	if min < 1 {
+		min = 1
+	}
+	best, depth := -1, min-1
+	for i, ln := range l.lanes {
+		if d := ln.Len(); d > depth {
+			best, depth = i, d
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	if !l.locks[best].held.CompareAndSwap(false, true) {
+		return 0
+	}
+	n := 0
+	for n < len(dst) {
+		m, ok := l.lanes[best].Dequeue()
+		if !ok {
+			break
+		}
+		dst[n] = m
+		n++
+	}
+	l.locks[best].held.Store(false)
+	return n
+}
+
+// Empty reports whether every lane appears empty.
+func (l *Lanes) Empty() bool {
+	for _, ln := range l.lanes {
+		if !ln.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the total queued messages across lanes (racy, like the
+// underlying SPSC.Len; used for depth-based shard selection and steal
+// victim choice).
+func (l *Lanes) Len() int {
+	n := 0
+	for _, ln := range l.lanes {
+		n += ln.Len()
+	}
+	return n
+}
+
+// Cap returns the summed lane capacity.
+func (l *Lanes) Cap() int {
+	n := 0
+	for _, ln := range l.lanes {
+		n += ln.Cap()
+	}
+	return n
+}

@@ -1,0 +1,203 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+
+	"ulipc/internal/core"
+)
+
+func mkLanes(t *testing.T, n, capacity int) *Lanes {
+	t.Helper()
+	lanes := make([]*SPSC, n)
+	for i := range lanes {
+		q, err := NewSPSC(capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lanes[i] = q
+	}
+	l, err := NewLanes(lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestLanesFanIn enqueues through per-producer lanes and dequeues
+// through the fan-in view: every message must come out exactly once,
+// and the shared Enqueue must refuse (producers own their lanes).
+func TestLanesFanIn(t *testing.T) {
+	const lanes, per = 3, 10
+	l := mkLanes(t, lanes, 16)
+	if l.Enqueue(core.Msg{}) {
+		t.Fatal("fan-in Enqueue accepted a message; producers must use Lane(i)")
+	}
+	for i := 0; i < lanes; i++ {
+		for j := 0; j < per; j++ {
+			if !l.Lane(i).Enqueue(core.Msg{Client: int32(i), Seq: int32(j)}) {
+				t.Fatalf("lane %d refused message %d", i, j)
+			}
+		}
+	}
+	if l.Len() != lanes*per {
+		t.Fatalf("Len = %d, want %d", l.Len(), lanes*per)
+	}
+	seen := make(map[[2]int32]bool)
+	for k := 0; k < lanes*per; k++ {
+		m, ok := l.Dequeue()
+		if !ok {
+			t.Fatalf("Dequeue %d failed with %d messages left", k, lanes*per-k)
+		}
+		key := [2]int32{m.Client, m.Seq}
+		if seen[key] {
+			t.Fatalf("message %v dequeued twice", key)
+		}
+		seen[key] = true
+	}
+	if _, ok := l.Dequeue(); ok {
+		t.Fatal("Dequeue succeeded on empty lanes")
+	}
+	if !l.Empty() {
+		t.Fatal("Empty = false after full drain")
+	}
+}
+
+// TestLanesRoundRobin checks the consumer does not starve a lane: with
+// every lane non-empty, consecutive dequeues must rotate through all of
+// them rather than draining one to exhaustion.
+func TestLanesRoundRobin(t *testing.T) {
+	const lanes = 4
+	l := mkLanes(t, lanes, 8)
+	for i := 0; i < lanes; i++ {
+		for j := 0; j < 2; j++ {
+			l.Lane(i).Enqueue(core.Msg{Client: int32(i)})
+		}
+	}
+	var order []int32
+	for k := 0; k < lanes; k++ {
+		m, ok := l.Dequeue()
+		if !ok {
+			t.Fatal("unexpected empty")
+		}
+		order = append(order, m.Client)
+	}
+	seen := make(map[int32]bool)
+	for _, c := range order {
+		if seen[c] {
+			t.Fatalf("lane %d served twice in one rotation (order %v): a non-empty lane was starved", c, order)
+		}
+		seen[c] = true
+	}
+}
+
+// TestLanesSteal checks victim selection (deepest lane), the min
+// threshold, and the dst bound.
+func TestLanesSteal(t *testing.T) {
+	l := mkLanes(t, 3, 16)
+	for j := 0; j < 2; j++ {
+		l.Lane(0).Enqueue(core.Msg{Client: 0, Seq: int32(j)})
+	}
+	for j := 0; j < 6; j++ {
+		l.Lane(2).Enqueue(core.Msg{Client: 2, Seq: int32(j)})
+	}
+	dst := make([]core.Msg, 4)
+	if n := l.Steal(dst, 7); n != 0 {
+		t.Fatalf("Steal with min above every depth took %d", n)
+	}
+	n := l.Steal(dst, 3)
+	if n != 4 {
+		t.Fatalf("Steal = %d, want 4 (dst bound)", n)
+	}
+	for i := 0; i < n; i++ {
+		if dst[i].Client != 2 {
+			t.Fatalf("stole from lane %d, want deepest lane 2", dst[i].Client)
+		}
+		if dst[i].Seq != int32(i) {
+			t.Fatalf("stolen messages out of FIFO order: got seq %d at %d", dst[i].Seq, i)
+		}
+	}
+	if got := l.Lane(2).Len(); got != 2 {
+		t.Fatalf("victim lane depth after steal = %d, want 2", got)
+	}
+	if got := l.Lane(0).Len(); got != 2 {
+		t.Fatalf("bystander lane touched: depth %d, want 2", got)
+	}
+}
+
+// TestLanesConcurrent runs producers on their own lanes, the owning
+// consumer on the fan-in, and a thief stealing in a loop — the -race
+// check that the per-lane consumer locks actually serialise the
+// consumer-local ring state between owner and thief.
+func TestLanesConcurrent(t *testing.T) {
+	const lanes, per = 4, 2000
+	l := mkLanes(t, lanes, 64)
+	total := lanes * per
+
+	var wg sync.WaitGroup
+	for i := 0; i < lanes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				for !l.Lane(i).Enqueue(core.Msg{Client: int32(i), Seq: int32(j)}) {
+				}
+			}
+		}(i)
+	}
+
+	results := make(chan core.Msg, total)
+	done := make(chan struct{})
+	var cg sync.WaitGroup
+	cg.Add(2)
+	go func() { // owning consumer
+		defer cg.Done()
+		for {
+			if m, ok := l.Dequeue(); ok {
+				results <- m
+				continue
+			}
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+	go func() { // thief
+		defer cg.Done()
+		buf := make([]core.Msg, 8)
+		for {
+			n := l.Steal(buf, 2)
+			for i := 0; i < n; i++ {
+				results <- buf[i]
+			}
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+
+	wg.Wait()
+	seen := make(map[[2]int32]bool, total)
+	for k := 0; k < total; k++ {
+		m := <-results
+		key := [2]int32{m.Client, m.Seq}
+		if seen[key] {
+			t.Fatalf("message %v delivered twice", key)
+		}
+		seen[key] = true
+	}
+	close(done)
+	cg.Wait()
+	if !l.Empty() {
+		t.Fatal("lanes not empty after all messages consumed")
+	}
+	select {
+	case m := <-results:
+		t.Fatalf("extra message %v fabricated", m)
+	default:
+	}
+}

@@ -115,6 +115,9 @@ type ChaosResult struct {
 	Deadlocked bool   `json:"deadlocked"`
 	PoolLeaked int64  `json:"pool_leaked"`
 	Error      string `json:"error,omitempty"`
+
+	// Shards is set on server-group shard-kill cells (0 = classic cell).
+	Shards int `json:"shards,omitempty"`
 }
 
 // RunChaosCell executes one seeded chaos cell and returns its result.
@@ -373,6 +376,267 @@ func RunChaosCell(cfg ChaosConfig) (ChaosResult, error) {
 	return res, nil
 }
 
+// RunChaosShardKill runs the server-group fault cell: a sharded system
+// (strict lane ownership — stealing is off, so a dead thief cannot
+// strand a live victim's messages) in which one shard is crashed
+// mid-run. The cell passes when the blast radius is exactly the dead
+// shard: every client homed to it observes ErrPeerDead (its parked
+// send released by the recovery layer's compensating wake), every
+// other client completes its full script through the surviving shards,
+// and the dead shard's request lanes are drained by the sweeper's
+// orphan pass. Deadlock anywhere fails the cell.
+func RunChaosShardKill(cfg ChaosConfig, shards int) (ChaosResult, error) {
+	if err := cfg.defaults(); err != nil {
+		return ChaosResult{}, err
+	}
+	if shards < 2 {
+		return ChaosResult{}, fmt.Errorf("workload: shard-kill cell needs at least 2 shards")
+	}
+	if cfg.Clients < shards {
+		return ChaosResult{}, fmt.Errorf("workload: shard-kill cell needs a client per shard")
+	}
+	const batch = 8
+	ms := metrics.NewSet()
+	sys, err := livebind.NewSystemGroup(shards, livebind.Options{
+		Alg:        cfg.Alg,
+		MaxSpin:    cfg.MaxSpin,
+		Clients:    cfg.Clients,
+		QueueCap:   cfg.QueueCap,
+		SleepScale: time.Millisecond,
+		NoSteal:    true,
+		Metrics:    ms,
+	},
+		livebind.WithRecovery(livebind.RecoveryOptions{SweepInterval: cfg.SweepInterval}),
+	)
+	if err != nil {
+		return ChaosResult{}, err
+	}
+
+	res := ChaosResult{
+		Label:   fmt.Sprintf("chaos/shardkill/%s/%dc/%ds", cfg.Alg, cfg.Clients, shards),
+		Alg:     cfg.Alg.String(),
+		Clients: cfg.Clients,
+		Seed:    cfg.Seed,
+		Shards:  shards,
+	}
+	rootCtx, cancel := context.WithTimeout(context.Background(), cfg.Watchdog)
+	defer cancel()
+
+	var (
+		mu        sync.Mutex
+		completed int64
+		aborted   int
+		deadlock  bool
+		hardErrs  []string
+	)
+	noteErr := func(format string, args ...any) {
+		mu.Lock()
+		if len(hardErrs) < 8 {
+			hardErrs = append(hardErrs, fmt.Sprintf(format, args...))
+		}
+		mu.Unlock()
+	}
+
+	const victim = 0
+	srvs, err := sys.ShardServers()
+	if err != nil {
+		return res, err
+	}
+	victimCtx, killVictim := context.WithCancel(rootCtx)
+	defer killVictim()
+	var swg sync.WaitGroup
+	for sh, srv := range srvs {
+		swg.Add(1)
+		go func(sh int, sv *core.Server) {
+			defer swg.Done()
+			ctx := rootCtx
+			if sh == victim {
+				ctx = victimCtx
+			}
+			_, err := sv.ServeBatchCtx(ctx, nil, batch)
+			if err != nil && !errors.Is(err, core.ErrPeerDead) && !errors.Is(err, core.ErrShutdown) &&
+				!errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+				noteErr("shard%d: %v", sh, err)
+			}
+		}(sh, srv)
+	}
+
+	// Client i is homed to shard i%shards by the hash picker. Clients of
+	// the victim send one warm-up batch (proving the shard served), hold
+	// at a gate while the harness crashes it, then send again — the send
+	// that MUST surface ErrPeerDead. Survivor clients run their scripts
+	// uninterrupted.
+	warm := make(chan struct{}, cfg.Clients)
+	killed := make(chan struct{})
+	sendBatch := func(cl *core.Client, base, k int) error {
+		msgs := make([]core.Msg, 0, k)
+		for q := 0; q < k; q++ {
+			msgs = append(msgs, core.Msg{Op: core.OpEcho, Seq: int32(base + q), Val: float64(base + q)})
+		}
+		out, err := cl.SendBatchCtx(rootCtx, msgs)
+		if err != nil {
+			return err
+		}
+		if len(out) != k {
+			return fmt.Errorf("%d replies, want %d", len(out), k)
+		}
+		seen := make(map[int32]bool, k)
+		for _, m := range out {
+			if m.Client != cl.ID || m.Seq < int32(base) || m.Seq >= int32(base+k) ||
+				m.Val != float64(m.Seq) || seen[m.Seq] {
+				return fmt.Errorf("bad reply %+v", m)
+			}
+			seen[m.Seq] = true
+		}
+		mu.Lock()
+		completed += int64(k)
+		mu.Unlock()
+		return nil
+	}
+	victimClients := 0
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		cl, err := sys.Client(i)
+		if err != nil {
+			return res, err
+		}
+		onVictim := i%shards == victim
+		if onVictim {
+			victimClients++
+		}
+		wg.Add(1)
+		go func(i int, cl *core.Client, onVictim bool) {
+			defer wg.Done()
+			j := 0
+			if onVictim {
+				if err := sendBatch(cl, j, batch); err != nil {
+					noteErr("client%d warm-up: %v", i, err)
+					warm <- struct{}{}
+					return
+				}
+				j += batch
+				warm <- struct{}{}
+				<-killed
+			}
+			for ; j < cfg.Msgs; j += batch {
+				k := batch
+				if j+k > cfg.Msgs {
+					k = cfg.Msgs - j
+				}
+				if err := sendBatch(cl, j, k); err != nil {
+					switch {
+					case errors.Is(err, core.ErrPeerDead), errors.Is(err, core.ErrShutdown):
+						mu.Lock()
+						aborted++
+						mu.Unlock()
+						if !onVictim {
+							noteErr("client%d (survivor, shard %d): spurious %v", i, i%shards, err)
+						}
+					case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+						mu.Lock()
+						deadlock = true
+						mu.Unlock()
+					default:
+						noteErr("client%d at %d: %v", i, j, err)
+					}
+					return
+				}
+			}
+			if onVictim {
+				// A victim client whose post-kill sends all succeeded saw
+				// neither ErrPeerDead nor the recovery path — the kill
+				// landed after its script; the cell proves nothing then.
+				noteErr("client%d: completed despite its shard being killed", i)
+			}
+		}(i, cl, onVictim)
+	}
+
+	// Crash the victim once each of its clients has a served warm-up
+	// batch: stop its serve loop, report the actor dead, and force a
+	// sweep so recovery (peer-death marking, lane drain, compensating
+	// client wakes) runs before the held clients send again.
+	for w := 0; w < victimClients; w++ {
+		select {
+		case <-warm:
+		case <-rootCtx.Done():
+			mu.Lock()
+			deadlock = true
+			mu.Unlock()
+		}
+	}
+	killVictim()
+	vid := srvs[victim].A.(*livebind.Actor).ID
+	sys.KillActor(vid)
+	sys.SweepNow()
+	close(killed)
+
+	joined := make(chan struct{})
+	go func() { wg.Wait(); close(joined) }()
+	select {
+	case <-joined:
+	case <-time.After(cfg.Watchdog + 5*time.Second):
+		mu.Lock()
+		deadlock = true
+		hardErrs = append(hardErrs, "clients still blocked past watchdog+grace")
+		mu.Unlock()
+	}
+
+	if !sys.ShardDead(victim) {
+		noteErr("shard %d not marked dead after kill", victim)
+	}
+	for sh := 1; sh < shards; sh++ {
+		if sys.ShardDead(sh) {
+			noteErr("surviving shard %d marked dead", sh)
+		}
+	}
+	sys.SweepNow() // final orphan pass over the dead shard's lanes
+	if !sys.ShardChannel(victim).Queue().Empty() {
+		noteErr("dead shard %d still holds undrained requests", victim)
+	}
+
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	serr := sys.Shutdown(shutCtx)
+	shutCancel()
+	if serr != nil && !errors.Is(serr, context.DeadlineExceeded) {
+		noteErr("shutdown: %v", serr)
+	}
+	cancel()
+	sdone := make(chan struct{})
+	go func() { swg.Wait(); close(sdone) }()
+	select {
+	case <-sdone:
+	case <-time.After(5 * time.Second):
+		mu.Lock()
+		deadlock = true
+		hardErrs = append(hardErrs, "surviving shards still blocked after shutdown")
+		mu.Unlock()
+	}
+
+	total := ms.Total()
+	res.Completed = completed
+	res.Aborted = aborted
+	res.PeerDeaths = total.PeerDeaths
+	res.LockReclaims = total.LockReclaims
+	res.OrphanMsgs = total.OrphanMsgs
+	res.OrphanRefs = total.OrphanRefs
+	res.WakeRescues = total.WakeRescues
+	res.Deadlocked = deadlock
+
+	var fail []string
+	if deadlock {
+		fail = append(fail, "deadlocked: watchdog expired with participants blocked")
+	}
+	if aborted != victimClients {
+		fail = append(fail, fmt.Sprintf("aborted %d clients, want exactly the %d homed to the dead shard", aborted, victimClients))
+	}
+	fail = append(fail, hardErrs...)
+	if len(fail) > 0 {
+		res.Error = fmt.Sprintf("%v", fail)
+		return res, fmt.Errorf("chaos cell %s: %v", res.Label, fail)
+	}
+	return res, nil
+}
+
 // ChaosOptions configures a chaos sweep over the protocol matrix.
 type ChaosOptions struct {
 	Algs    []core.Algorithm // default all four protocols
@@ -385,6 +649,12 @@ type ChaosOptions struct {
 	DropRate  float64 // default 0.05
 	DupRate   float64 // default 0.02
 	DelayRate float64 // default 0.02
+
+	// Shards lists the server-group sizes to run a shard-kill cell at
+	// (one cell per alg × size, after the classic matrix). Default {2};
+	// explicit empty slice via NoShardKill disables them.
+	Shards      []int
+	NoShardKill bool
 
 	Watchdog time.Duration // per cell; default 30s
 }
@@ -410,6 +680,9 @@ func (o *ChaosOptions) defaults() {
 	}
 	if o.DelayRate == 0 {
 		o.DelayRate = 0.02
+	}
+	if len(o.Shards) == 0 && !o.NoShardKill {
+		o.Shards = []int{2}
 	}
 	if o.Watchdog <= 0 {
 		o.Watchdog = 30 * time.Second
@@ -466,6 +739,36 @@ func RunChaosBench(opts ChaosOptions, progress io.Writer) (*ChaosReport, error) 
 					fmt.Fprintf(progress, "%-24s ok: %d/%d rtts, %d crashes, %d peer-deaths, %d reclaims, %d rescues\n",
 						res.Label, res.Completed, int64(n*opts.Msgs), res.Crashes,
 						res.PeerDeaths, res.LockReclaims+res.OrphanRefs, res.WakeRescues)
+				}
+			}
+		}
+	}
+	if !opts.NoShardKill {
+		for _, alg := range opts.Algs {
+			for _, shards := range opts.Shards {
+				clients := shards * 2
+				if max := opts.Clients[len(opts.Clients)-1]; clients < max {
+					clients = max
+				}
+				res, err := RunChaosShardKill(ChaosConfig{
+					Alg:      alg,
+					Clients:  clients,
+					Msgs:     opts.Msgs,
+					Seed:     opts.Seed + int64(cell),
+					Watchdog: opts.Watchdog,
+				}, shards)
+				cell++
+				if err != nil {
+					failures = append(failures, err)
+				}
+				rep.Cells = append(rep.Cells, res)
+				if progress != nil {
+					if err != nil {
+						fmt.Fprintf(progress, "%-24s FAILED: %v\n", res.Label, err)
+					} else {
+						fmt.Fprintf(progress, "%-24s ok: %d rtts, %d clients lost their shard, %d peer-deaths, %d orphans\n",
+							res.Label, res.Completed, res.Aborted, res.PeerDeaths, res.OrphanMsgs)
+					}
 				}
 			}
 		}

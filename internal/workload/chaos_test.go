@@ -65,7 +65,8 @@ func TestChaosCellCleanRun(t *testing.T) {
 }
 
 // TestChaosBenchShortSweep runs a reduced matrix end to end and checks
-// the report covers every cell.
+// the report covers every cell, including the default shard-kill cells
+// appended after the classic matrix.
 func TestChaosBenchShortSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos sweep in -short mode")
@@ -80,12 +81,54 @@ func TestChaosBenchShortSweep(t *testing.T) {
 	if err != nil {
 		t.Fatalf("chaos sweep: %v\n%s", err, progress.String())
 	}
-	if len(rep.Cells) != 4 {
-		t.Fatalf("report has %d cells, want 4", len(rep.Cells))
+	if len(rep.Cells) != 6 {
+		t.Fatalf("report has %d cells, want 6 (4 classic + 2 shard-kill)", len(rep.Cells))
 	}
+	shardKills := 0
 	for _, c := range rep.Cells {
 		if c.Error != "" {
 			t.Fatalf("cell %s failed: %s", c.Label, c.Error)
 		}
+		if c.Shards > 0 {
+			shardKills++
+		}
+	}
+	if shardKills != 2 {
+		t.Fatalf("sweep ran %d shard-kill cells, want 2", shardKills)
+	}
+}
+
+// TestChaosShardKillCell pins the shard-kill contract: with strict lane
+// ownership, killing one of three shards aborts exactly the clients
+// homed to it (each seeing ErrPeerDead on a post-kill send), while the
+// survivors complete every round trip and the dead shard's request
+// lanes end up drained.
+func TestChaosShardKillCell(t *testing.T) {
+	const clients, shards, msgs, warmup = 6, 3, 90, 8
+	res, err := RunChaosShardKill(ChaosConfig{
+		Alg:      core.BSW,
+		Clients:  clients,
+		Msgs:     msgs,
+		Seed:     5,
+		Watchdog: 30 * time.Second,
+	}, shards)
+	if err != nil {
+		t.Fatalf("shard-kill cell: %v (result %+v)", err, res)
+	}
+	if res.Deadlocked {
+		t.Fatalf("cell deadlocked: %+v", res)
+	}
+	victims := clients / shards // clients homed to shard 0
+	if res.Aborted != victims {
+		t.Fatalf("aborted %d clients, want the %d homed to the dead shard: %+v", res.Aborted, victims, res)
+	}
+	survivors := clients - victims
+	want := int64(survivors*msgs + victims*warmup)
+	if res.Completed != want {
+		t.Fatalf("completed %d round trips, want %d (survivors full scripts + victim warm-ups): %+v",
+			res.Completed, want, res)
+	}
+	if res.PeerDeaths == 0 {
+		t.Fatalf("no peer-death detected for the killed shard: %+v", res)
 	}
 }

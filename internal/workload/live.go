@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -64,6 +65,25 @@ type LiveConfig struct {
 	// the watchdog deadline trips — the last events before the stall.
 	// Requires Observe and RecorderCap.
 	DumpOnWatchdog io.Writer
+
+	// Shards, when > 0, runs the cell against a server group of that
+	// many shards (livebind.Options.Shards): per-client SPSC request
+	// lanes, client-side shard selection, bounded work stealing, and
+	// the vectored SendBatch/ServeBatch paths. QueueKind, ReplyKind and
+	// Throttle do not apply in group mode (the lane mesh is
+	// structurally SPSC).
+	Shards int
+
+	// Batch is the vectored transfer size in group mode (messages per
+	// SendBatch / per ServeBatch receive buffer); default 16.
+	Batch int
+
+	// NoSteal disables inter-shard work stealing in group mode.
+	NoSteal bool
+
+	// Picker selects the client-side shard policy in group mode; nil
+	// defaults to hash pinning.
+	Picker livebind.ShardPicker
 }
 
 // RunLive executes the client/server workload on the live runtime and
@@ -94,6 +114,25 @@ func RunLive(cfg LiveConfig) (Result, error) {
 			stop := observer.DumpOnSignal(syscall.SIGQUIT)
 			defer stop()
 		}
+	}
+	if cfg.Shards > 0 {
+		sys, err := livebind.NewSystemGroup(cfg.Shards, livebind.Options{
+			Alg:        cfg.Alg,
+			MaxSpin:    cfg.MaxSpin,
+			Clients:    cfg.Clients,
+			QueueCap:   cfg.QueueCap,
+			AllocBatch: cfg.AllocBatch,
+			SpinIters:  cfg.SpinIters,
+			SleepScale: cfg.SleepScale,
+			NoSteal:    cfg.NoSteal,
+			Picker:     cfg.Picker,
+			Metrics:    ms,
+			Observer:   observer,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		return runLiveGroup(cfg, sys, ms)
 	}
 	sys, err := livebind.NewSystem(livebind.Options{
 		Alg:        cfg.Alg,
@@ -366,6 +405,199 @@ func runLiveCtx(cfg LiveConfig, sys *livebind.System, ms *metrics.Set) (Result, 
 	}
 	if served != total {
 		return res, fmt.Errorf("workload: server served %d, want %d", served, total)
+	}
+	return res, nil
+}
+
+// runLiveGroup is the server-group variant of RunLive: every shard runs
+// a vectored ServeBatch loop on its own goroutine, every client pushes
+// its messages in SendBatch bursts of cfg.Batch. The harness skips the
+// connect/disconnect handshake — shard membership is static and work
+// stealing may carry a control op's bookkeeping to the wrong shard —
+// so shards exit on the Shutdown marker once every client is done.
+// Replies are validated as a per-batch multiset: stealing means another
+// shard may answer, and answers may interleave, but every client must
+// get exactly its own sequence set back.
+func runLiveGroup(cfg LiveConfig, sys *livebind.System, ms *metrics.Set) (Result, error) {
+	batch := cfg.Batch
+	if batch < 1 {
+		batch = 16
+	}
+	rootCtx := context.Background()
+	var cancel context.CancelFunc = func() {}
+	if cfg.Watchdog > 0 {
+		rootCtx, cancel = context.WithTimeout(rootCtx, cfg.Watchdog)
+	}
+	defer cancel()
+
+	var (
+		startMu sync.Mutex
+		started bool
+		start   time.Time
+		errsMu  sync.Mutex
+		errs    []string
+	)
+	noteStart := func() {
+		startMu.Lock()
+		if !started {
+			start = time.Now()
+			started = true
+		}
+		startMu.Unlock()
+	}
+	noteErr := func(format string, args ...any) {
+		errsMu.Lock()
+		if len(errs) < 8 {
+			errs = append(errs, fmt.Sprintf(format, args...))
+		}
+		errsMu.Unlock()
+	}
+
+	srvs, err := sys.ShardServers()
+	if err != nil {
+		return Result{}, err
+	}
+	var served atomic.Int64
+	var swg sync.WaitGroup
+	for _, srv := range srvs {
+		swg.Add(1)
+		go func(sv *core.Server) {
+			defer swg.Done()
+			if cfg.Watchdog > 0 {
+				n, err := sv.ServeBatchCtx(rootCtx, nil, batch)
+				if err != nil {
+					noteErr("shard: %v", err)
+				}
+				served.Add(n)
+				return
+			}
+			served.Add(sv.ServeBatch(nil, batch))
+		}(srv)
+	}
+
+	var barrier sync.WaitGroup
+	barrier.Add(cfg.Clients)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		cl, err := sys.Client(i)
+		if err != nil {
+			return Result{}, err
+		}
+		wg.Add(1)
+		go func(i int, cl *core.Client) {
+			defer wg.Done()
+			barrier.Done()
+			barrier.Wait()
+			noteStart()
+			msgs := make([]core.Msg, 0, batch)
+			var seenBig map[int32]bool // only allocated for batches > 64
+			for j := 0; j < cfg.Msgs; j += len(msgs) {
+				k := batch
+				if j+k > cfg.Msgs {
+					k = cfg.Msgs - j
+				}
+				msgs = msgs[:0]
+				for q := 0; q < k; q++ {
+					msgs = append(msgs, core.Msg{Op: core.OpEcho, Seq: int32(j + q), Val: float64(j + q)})
+				}
+				var out []core.Msg
+				if cfg.Watchdog > 0 {
+					var err error
+					out, err = cl.SendBatchCtx(rootCtx, msgs)
+					if err != nil {
+						noteErr("client%d: batch at %d: %v", i, j, err)
+						return
+					}
+				} else {
+					out = cl.SendBatch(msgs)
+				}
+				if len(out) != k {
+					noteErr("client%d: batch at %d: %d replies, want %d", i, j, len(out), k)
+					return
+				}
+				// Multiset check per batch: stolen work means replies may
+				// interleave across shards, but every sequence must appear
+				// exactly once. A bitmask keeps the check allocation-free
+				// on the hot path (batches ≤ 64).
+				var seen uint64
+				if k > 64 {
+					seenBig = make(map[int32]bool, k)
+				}
+				for _, m := range out {
+					if m.Client != cl.ID || m.Seq < int32(j) || m.Seq >= int32(j+k) ||
+						m.Val != float64(m.Seq) {
+						noteErr("client%d: bad reply %+v in batch at %d", i, m, j)
+						return
+					}
+					if k > 64 {
+						if seenBig[m.Seq] {
+							noteErr("client%d: duplicate reply %+v in batch at %d", i, m, j)
+							return
+						}
+						seenBig[m.Seq] = true
+						continue
+					}
+					bit := uint64(1) << uint(m.Seq-int32(j))
+					if seen&bit != 0 {
+						noteErr("client%d: duplicate reply %+v in batch at %d", i, m, j)
+						return
+					}
+					seen |= bit
+				}
+			}
+		}(i, cl)
+	}
+	wg.Wait()
+	end := time.Now()
+
+	var flightDump string
+	if rootCtx.Err() != nil {
+		var buf strings.Builder
+		out := io.Writer(&buf)
+		if cfg.DumpOnWatchdog != nil {
+			out = io.MultiWriter(&buf, cfg.DumpOnWatchdog)
+		}
+		sys.DumpFlightRecorder(out)
+		flightDump = buf.String()
+	}
+	// Shutdown releases the shard loops (they exit on the marker). The
+	// shards share rootCtx, so cancelling it before they drain would
+	// turn a clean exit into a spurious "context canceled" shard error;
+	// only cancel early if shutdown itself failed to release them.
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := sys.Shutdown(shutCtx); err != nil {
+		noteErr("shutdown: %v", err)
+		cancel()
+	}
+	shutCancel()
+	swg.Wait()
+
+	if !started {
+		start = time.Now()
+		end = start
+	}
+	dur := end.Sub(start)
+	if dur <= 0 {
+		dur = time.Nanosecond
+	}
+	total := int64(cfg.Clients * cfg.Msgs)
+	res := Result{
+		Label:      fmt.Sprintf("live/%s/%dc/%ds", cfg.Alg, cfg.Clients, cfg.Shards),
+		Throughput: float64(served.Load()) / (float64(dur.Nanoseconds()) / 1e6),
+		RTTMicros:  float64(dur.Nanoseconds()) / 1e3 / float64(cfg.Msgs),
+		Duration:   dur.Nanoseconds(),
+		TotalMsgs:  served.Load(),
+	}
+	res.Clients = ms.ByPrefix("client")
+	res.All = ms.Total()
+	res.Phase = phaseSnap(sys.Observer(), cfg.Alg)
+	res.FlightDump = flightDump
+
+	if len(errs) > 0 {
+		return res, fmt.Errorf("workload: live group validation failed: %v", errs)
+	}
+	if served.Load() != total {
+		return res, fmt.Errorf("workload: shards served %d, want %d", served.Load(), total)
 	}
 	return res, nil
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ulipc/internal/core"
+	"ulipc/internal/livebind"
 	"ulipc/internal/machine"
 	"ulipc/internal/queue"
 )
@@ -76,6 +77,48 @@ func TestLiveBSSSingleQueueCapOne(t *testing.T) {
 	res := runLive(t, LiveConfig{Alg: core.BSS, Clients: 2, Msgs: 100, QueueCap: 1})
 	if res.TotalMsgs != 200 {
 		t.Errorf("total %d, want 200", res.TotalMsgs)
+	}
+}
+
+// TestLiveGroupSharded drives the group-mode path: sharded system,
+// batched sends, and the default hash picker. TotalMsgs counts replies
+// actually served across all shards.
+func TestLiveGroupSharded(t *testing.T) {
+	for _, alg := range []core.Algorithm{core.BSW, core.BSLS} {
+		for _, shards := range []int{2, 3} {
+			res := runLive(t, LiveConfig{
+				Alg: alg, Clients: 4, Msgs: 192, Shards: shards, Batch: 16,
+				Watchdog: 30 * time.Second,
+			})
+			if res.TotalMsgs != 4*192 {
+				t.Errorf("group %s/%ds: total %d, want %d", alg, shards, res.TotalMsgs, 4*192)
+			}
+			if res.Throughput <= 0 {
+				t.Errorf("group %s/%ds: throughput %.2f", alg, shards, res.Throughput)
+			}
+		}
+	}
+}
+
+// TestLiveGroupPickersAndNoSteal covers the non-default picker policies
+// and the strict-ownership (NoSteal) configuration end to end.
+func TestLiveGroupPickersAndNoSteal(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  LiveConfig
+	}{
+		{"affinity", LiveConfig{Picker: livebind.PickAffinity{}}},
+		{"leastloaded", LiveConfig{Picker: livebind.PickLeastLoaded{}}},
+		{"nosteal", LiveConfig{NoSteal: true}},
+	}
+	for _, tc := range cases {
+		cfg := tc.cfg
+		cfg.Alg, cfg.Clients, cfg.Msgs, cfg.Shards, cfg.Batch = core.BSLS, 4, 128, 2, 8
+		cfg.Watchdog = 30 * time.Second
+		res := runLive(t, cfg)
+		if res.TotalMsgs != 4*128 {
+			t.Errorf("%s: total %d, want %d", tc.name, res.TotalMsgs, 4*128)
+		}
 	}
 }
 

@@ -73,6 +73,20 @@ type LiveBenchOptions struct {
 	// DumpTo receives flight-recorder dumps from watchdog-tripped cells
 	// (nil suppresses dumps).
 	DumpTo io.Writer
+
+	// Shards, when non-empty, appends the scale-out sweep: for each
+	// protocol and each ShardClients count, one single-server baseline
+	// cell (shards=0) immediately followed by one cell per shard count
+	// — interleaved A/B, so baseline and group samples share the same
+	// machine state within each group of cells.
+	Shards []int
+
+	// ShardClients are the client counts of the scale-out sweep;
+	// default {16, 64, 256}.
+	ShardClients []int
+
+	// Batch is the vectored transfer size for sharded cells; default 16.
+	Batch int
 }
 
 func (o *LiveBenchOptions) defaults() {
@@ -91,6 +105,12 @@ func (o *LiveBenchOptions) defaults() {
 	if o.MaxSpin <= 0 {
 		o.MaxSpin = core.DefaultMaxSpin
 	}
+	if len(o.ShardClients) == 0 {
+		o.ShardClients = []int{16, 64, 256}
+	}
+	if o.Batch <= 0 {
+		o.Batch = 16
+	}
 }
 
 // LiveBenchEntry is one cell of the matrix.
@@ -101,13 +121,20 @@ type LiveBenchEntry struct {
 	Alg         string  `json:"alg"`
 	Clients     int     `json:"clients"`
 	MsgsPerCli  int     `json:"msgs_per_client"`
-	NsPerRTT    float64 `json:"ns_per_rtt"`   // wall-clock RTT per request
-	MsgsPerSec  float64 `json:"msgs_per_sec"` // server throughput
+	Shards      int     `json:"shards,omitempty"` // server-group size (0 = single server)
+	Batch       int     `json:"batch,omitempty"`  // vectored transfer size (sharded cells)
+	NsPerRTT    float64 `json:"ns_per_rtt"`       // wall-clock RTT per request
+	MsgsPerSec  float64 `json:"msgs_per_sec"`     // server throughput
 	Yields      int64   `json:"yields"`
 	SemP        int64   `json:"sem_p"`
 	Blocks      int64   `json:"blocks"`
 	PoolRefills int64   `json:"pool_refills"`
 	PoolSpills  int64   `json:"pool_spills"`
+
+	// WakeupsPerMsg is semaphore Vs that woke a sleeper divided by
+	// total messages — the batching headline: vectored paths should
+	// push it well below the scalar protocol's.
+	WakeupsPerMsg float64 `json:"wakeups_per_msg,omitempty"`
 
 	// Per-request RTT distribution and phase breakdown, from the
 	// client-side histograms (absent when the sweep ran with NoObs).
@@ -173,71 +200,115 @@ func RunLiveBench(opts LiveBenchOptions, progress io.Writer) (*LiveBenchReport, 
 		AllocBatch:  opts.AllocBatch,
 	}
 	var failures []error
+	runCell := func(k LiveBenchKind, alg core.Algorithm, n, shards int) error {
+		cfg := LiveConfig{
+			Alg:            alg,
+			Clients:        n,
+			Msgs:           opts.Msgs,
+			MaxSpin:        opts.MaxSpin,
+			AllocBatch:     opts.AllocBatch,
+			SpinIters:      opts.SpinIters,
+			Watchdog:       opts.Watchdog,
+			Observe:        !opts.NoObs,
+			RecorderCap:    opts.RecorderCap,
+			DumpOnWatchdog: opts.DumpTo,
+		}
+		queueName, recvName, replyName := k.Name, k.Recv.String(), k.Reply.String()
+		if shards > 0 {
+			cfg.Shards = shards
+			cfg.Batch = opts.Batch
+			queueName, recvName, replyName = "lanes", "spsc-lanes", "spsc"
+		} else {
+			reply := k.Reply
+			cfg.QueueKind = k.Recv
+			cfg.ReplyKind = &reply
+		}
+		res, err := RunLive(cfg)
+		cell := fmt.Sprintf("%s/%s/%dc", queueName, alg, n)
+		if shards > 0 {
+			cell += fmt.Sprintf("/%ds", shards)
+		}
+		if err != nil && opts.Watchdog <= 0 {
+			return fmt.Errorf("live bench %s: %w", cell, err)
+		}
+		e := LiveBenchEntry{
+			Queue:       queueName,
+			RecvKind:    recvName,
+			ReplyKind:   replyName,
+			Alg:         alg.String(),
+			Clients:     n,
+			MsgsPerCli:  opts.Msgs,
+			Shards:      shards,
+			NsPerRTT:    res.RTTMicros * 1e3,
+			MsgsPerSec:  res.Throughput * 1e3,
+			Yields:      res.All.Yields,
+			SemP:        res.All.SemP,
+			Blocks:      res.All.Blocks,
+			PoolRefills: res.All.PoolRefills,
+			PoolSpills:  res.All.PoolSpills,
+		}
+		if shards > 0 {
+			e.Batch = opts.Batch
+		}
+		if total := int64(n) * int64(opts.Msgs); total > 0 {
+			e.WakeupsPerMsg = float64(res.All.Wakeups) / float64(total)
+		}
+		if p := res.Phase; p != nil {
+			e.RTTP50Ns = p.RTT.Quantile(0.50)
+			e.RTTP95Ns = p.RTT.Quantile(0.95)
+			e.RTTP99Ns = p.RTT.Quantile(0.99)
+			e.RTTMaxNs = float64(p.RTT.Max)
+			e.Sleeps = int64(p.Sleep.Count)
+			if p.RTT.Count > 0 {
+				e.SpinNsPerRTT = float64(p.Spin.Sum) / float64(p.RTT.Count)
+				e.SleepNsPerRTT = float64(p.Sleep.Sum) / float64(p.RTT.Count)
+			}
+		}
+		e.Crashes = res.All.Crashes
+		e.PeerDeaths = res.All.PeerDeaths
+		e.LockReclaims = res.All.LockReclaims
+		e.OrphanMsgs = res.All.OrphanMsgs
+		e.OrphanRefs = res.All.OrphanRefs
+		e.WakeRescues = res.All.WakeRescues
+		if err != nil {
+			e.Error = err.Error()
+			e.FlightDump = res.FlightDump
+			failures = append(failures, fmt.Errorf("live bench %s: %w", cell, err))
+		}
+		rep.Entries = append(rep.Entries, e)
+		if progress != nil {
+			shardTag := ""
+			if shards > 0 {
+				shardTag = fmt.Sprintf("/%ds", shards)
+			}
+			if err != nil {
+				fmt.Fprintf(progress, "%-10s %-5s %3dc%-4s FAILED: %v\n", queueName, e.Alg, n, shardTag, err)
+			} else {
+				fmt.Fprintf(progress, "%-10s %-5s %3dc%-4s %12.0f ns/rtt  %11.0f msgs/s  wakes/msg=%.3f\n",
+					queueName, e.Alg, n, shardTag, e.NsPerRTT, e.MsgsPerSec, e.WakeupsPerMsg)
+			}
+		}
+		return nil
+	}
 	for _, k := range opts.Kinds {
 		for _, alg := range opts.Algs {
 			for _, n := range opts.Clients {
-				reply := k.Reply
-				res, err := RunLive(LiveConfig{
-					Alg:            alg,
-					Clients:        n,
-					Msgs:           opts.Msgs,
-					MaxSpin:        opts.MaxSpin,
-					QueueKind:      k.Recv,
-					ReplyKind:      &reply,
-					AllocBatch:     opts.AllocBatch,
-					SpinIters:      opts.SpinIters,
-					Watchdog:       opts.Watchdog,
-					Observe:        !opts.NoObs,
-					RecorderCap:    opts.RecorderCap,
-					DumpOnWatchdog: opts.DumpTo,
-				})
-				if err != nil && opts.Watchdog <= 0 {
-					return nil, fmt.Errorf("live bench %s/%s/%dc: %w", k.Name, alg, n, err)
+				if err := runCell(k, alg, n, 0); err != nil {
+					return nil, err
 				}
-				e := LiveBenchEntry{
-					Queue:       k.Name,
-					RecvKind:    k.Recv.String(),
-					ReplyKind:   k.Reply.String(),
-					Alg:         alg.String(),
-					Clients:     n,
-					MsgsPerCli:  opts.Msgs,
-					NsPerRTT:    res.RTTMicros * 1e3,
-					MsgsPerSec:  res.Throughput * 1e3,
-					Yields:      res.All.Yields,
-					SemP:        res.All.SemP,
-					Blocks:      res.All.Blocks,
-					PoolRefills: res.All.PoolRefills,
-					PoolSpills:  res.All.PoolSpills,
-				}
-				if p := res.Phase; p != nil {
-					e.RTTP50Ns = p.RTT.Quantile(0.50)
-					e.RTTP95Ns = p.RTT.Quantile(0.95)
-					e.RTTP99Ns = p.RTT.Quantile(0.99)
-					e.RTTMaxNs = float64(p.RTT.Max)
-					e.Sleeps = int64(p.Sleep.Count)
-					if p.RTT.Count > 0 {
-						e.SpinNsPerRTT = float64(p.Spin.Sum) / float64(p.RTT.Count)
-						e.SleepNsPerRTT = float64(p.Sleep.Sum) / float64(p.RTT.Count)
-					}
-				}
-				e.Crashes = res.All.Crashes
-				e.PeerDeaths = res.All.PeerDeaths
-				e.LockReclaims = res.All.LockReclaims
-				e.OrphanMsgs = res.All.OrphanMsgs
-				e.OrphanRefs = res.All.OrphanRefs
-				e.WakeRescues = res.All.WakeRescues
-				if err != nil {
-					e.Error = err.Error()
-					e.FlightDump = res.FlightDump
-					failures = append(failures, fmt.Errorf("live bench %s/%s/%dc: %w", k.Name, alg, n, err))
-				}
-				rep.Entries = append(rep.Entries, e)
-				if progress != nil {
-					if err != nil {
-						fmt.Fprintf(progress, "%-10s %-5s %2dc  FAILED: %v\n", k.Name, e.Alg, n, err)
-					} else {
-						fmt.Fprintf(progress, "%-10s %-5s %2dc  %12.0f ns/rtt  %11.0f msgs/s  refills=%d\n",
-							k.Name, e.Alg, n, e.NsPerRTT, e.MsgsPerSec, e.PoolRefills)
+			}
+		}
+	}
+	// Scale-out sweep: each group of cells runs the single-server
+	// baseline (shards=0) back to back with the sharded samples, so the
+	// A/B comparison for a given (alg, clients) shares machine state.
+	if len(opts.Shards) > 0 {
+		base := LiveBenchKind{Name: "default", Recv: queue.KindTwoLock, Reply: queue.KindSPSC}
+		for _, alg := range opts.Algs {
+			for _, n := range opts.ShardClients {
+				for _, s := range append([]int{0}, opts.Shards...) {
+					if err := runCell(base, alg, n, s); err != nil {
+						return nil, err
 					}
 				}
 			}
@@ -280,6 +351,9 @@ func MergeBest(reps []*LiveBenchReport) *LiveBenchReport {
 	}
 	best := map[string]int{} // cell key -> index into merged.Entries
 	key := func(e LiveBenchEntry) string {
+		if e.Shards > 0 {
+			return fmt.Sprintf("%s/%s/%dc/%ds", e.Queue, e.Alg, e.Clients, e.Shards)
+		}
 		return fmt.Sprintf("%s/%s/%dc", e.Queue, e.Alg, e.Clients)
 	}
 	for _, r := range reps {
@@ -312,11 +386,15 @@ func (r *LiveBenchReport) WriteJSON(w io.Writer) error {
 func (r *LiveBenchReport) RenderText(w io.Writer) {
 	fmt.Fprintf(w, "Live wall-clock benchmark (GOMAXPROCS=%d, %d msgs/client, alloc batch %d)\n",
 		r.GOMAXPROCS, r.MsgsPerCli, r.AllocBatch)
-	fmt.Fprintf(w, "%-10s %-10s %-6s %-5s %8s %12s %12s %10s %10s %10s %9s %9s\n",
-		"queue", "recv", "reply", "alg", "clients", "ns/rtt", "msgs/s", "p50", "p95", "p99", "spin/rtt", "sleep/rtt")
+	fmt.Fprintf(w, "%-10s %-10s %-6s %-5s %8s %7s %12s %12s %10s %10s %10s %9s %9s\n",
+		"queue", "recv", "reply", "alg", "clients", "shards", "ns/rtt", "msgs/s", "p50", "p95", "p99", "spin/rtt", "sleep/rtt")
 	for _, e := range r.Entries {
-		fmt.Fprintf(w, "%-10s %-10s %-6s %-5s %8d %12.0f %12.0f %10.0f %10.0f %10.0f %9.0f %9.0f",
-			e.Queue, e.RecvKind, e.ReplyKind, e.Alg, e.Clients, e.NsPerRTT, e.MsgsPerSec,
+		shards := "-"
+		if e.Shards > 0 {
+			shards = fmt.Sprintf("%d", e.Shards)
+		}
+		fmt.Fprintf(w, "%-10s %-10s %-6s %-5s %8d %7s %12.0f %12.0f %10.0f %10.0f %10.0f %9.0f %9.0f",
+			e.Queue, e.RecvKind, e.ReplyKind, e.Alg, e.Clients, shards, e.NsPerRTT, e.MsgsPerSec,
 			e.RTTP50Ns, e.RTTP95Ns, e.RTTP99Ns, e.SpinNsPerRTT, e.SleepNsPerRTT)
 		if e.Error != "" {
 			fmt.Fprintf(w, "  FAILED (partial): %s", e.Error)

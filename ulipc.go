@@ -134,14 +134,18 @@ type Option = livebind.Option
 //		ulipc.WithReplyKind(ulipc.QueueRing),
 //		ulipc.WithAllocBatch(8))
 var (
-	WithReplyKind  = livebind.WithReplyKind
-	WithAllocBatch = livebind.WithAllocBatch
-	WithMaxSpin    = livebind.WithMaxSpin
-	WithThrottle   = livebind.WithThrottle
-	WithSleepScale = livebind.WithSleepScale
-	WithDuplex     = livebind.WithDuplex
-	WithObserver   = livebind.WithObserver
-	WithHistograms = livebind.WithHistograms
+	WithReplyKind   = livebind.WithReplyKind
+	WithAllocBatch  = livebind.WithAllocBatch
+	WithMaxSpin     = livebind.WithMaxSpin
+	WithThrottle    = livebind.WithThrottle
+	WithSleepScale  = livebind.WithSleepScale
+	WithDuplex      = livebind.WithDuplex
+	WithObserver    = livebind.WithObserver
+	WithHistograms  = livebind.WithHistograms
+	WithShards      = livebind.WithShards
+	WithShardPicker = livebind.WithShardPicker
+	WithStealBatch  = livebind.WithStealBatch
+	WithNoSteal     = livebind.WithNoSteal
 )
 
 // Observer collects per-protocol phase-latency histograms (send RTT,
@@ -169,6 +173,44 @@ type System = livebind.System
 func NewSystem(opts Options, extra ...Option) (*System, error) {
 	return livebind.NewSystem(opts, extra...)
 }
+
+// NewSystemGroup builds a sharded system: a group of server shards,
+// each owning one SPSC request lane per client, with client-side shard
+// selection (WithShardPicker) and bounded inter-shard work stealing
+// (WithStealBatch / WithNoSteal). Run each shard's ServeBatch (from
+// System.ShardServer or System.ShardServers) on its own goroutine:
+//
+//	sys, err := ulipc.NewSystemGroup(4, ulipc.Options{Alg: ulipc.BSW, Clients: 16})
+//	if err != nil { ... }
+//	srvs, _ := sys.ShardServers()
+//	for _, srv := range srvs {
+//		go srv.ServeBatchCtx(ctx, nil, 16) // vectored echo loop, batch 16
+//	}
+//	cl, _ := sys.Client(0)
+//	replies, err := cl.SendBatchCtx(ctx, msgs) // k messages per wake
+func NewSystemGroup(shards int, opts Options, extra ...Option) (*System, error) {
+	return livebind.NewSystemGroup(shards, opts, extra...)
+}
+
+// ShardPicker selects the destination shard for each request a client
+// sends on a sharded system; ShardView is the load/liveness snapshot a
+// picker decides from.
+type (
+	ShardPicker = livebind.ShardPicker
+	ShardView   = livebind.ShardView
+)
+
+// The built-in shard-selection policies: hash pinning (the default),
+// first-touch least-loaded with affinity, and per-request least-loaded.
+type (
+	PickHash        = livebind.PickHash
+	PickAffinity    = livebind.PickAffinity
+	PickLeastLoaded = livebind.PickLeastLoaded
+)
+
+// Reply pairs a client id with its reply message for Server.ReplyBatch,
+// the vectored reply path (one wake per client per batch).
+type Reply = core.Reply
 
 // QueueKind selects the shared-queue implementation.
 type QueueKind = queue.Kind
