@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-live lint cover bench-gate ab chaos
+.PHONY: build test race vet bench bench-live lint lint-deprecated cover bench-gate ab chaos
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,20 @@ bench-live:
 lint:
 	golangci-lint run ./...
 
+# The repo's own code must not use the deprecated single-knob tuning
+# options (WithMaxSpin/WithThrottle/WithSleepScale) — they exist for
+# downstream compatibility only; in-repo callers take WithTuning or
+# WithAdaptive. The definitions (internal/livebind/system.go) and the
+# facade aliases (ulipc.go) are the only legitimate mentions.
+lint-deprecated:
+	@bad=$$(grep -rn --include='*.go' -E 'WithMaxSpin\(|WithThrottle\(|WithSleepScale\(' . \
+		| grep -v -E '^\./(internal/livebind/system\.go|ulipc\.go):' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "deprecated tuning options used in-repo (use WithTuning/WithAdaptive):"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@echo lint-deprecated: clean
+
 # Statement coverage over the library packages, gated on the committed
 # floor (.github/coverage-floor) exactly as the CI coverage job does.
 cover:
@@ -44,13 +58,13 @@ cover:
 	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit !(t+0 >= f+0) }' || \
 		{ echo "coverage $$total% fell below the committed floor $$floor%"; exit 1; }
 
-# The PR bench gate, runnable locally: a short BSS/BSLS subset plus one
-# sharded cell (4 clients x 2 shards with its interleaved baseline),
+# The PR bench gate, runnable locally: a short BSS/BSLS/BSA subset plus
+# one sharded cell (4 clients x 2 shards with its interleaved baseline),
 # three runs, each cell's fastest sample compared against the committed
 # BENCH_live.json (warn >10%, fail >25%).
 bench-gate:
 	for i in 1 2 3; do \
-		$(GO) run ./cmd/ipcbench -live -watchdog 0 -json -algs BSS,BSLS -clients 1 -shards 2 -shardclients 4 -msgs 1000 -o /tmp/bench_pr_$$i.json || exit 1; \
+		$(GO) run ./cmd/ipcbench -live -watchdog 0 -json -algs BSS,BSLS,BSA -clients 1 -shards 2 -shardclients 4 -msgs 1000 -o /tmp/bench_pr_$$i.json || exit 1; \
 	done
 	$(GO) run ./cmd/benchcmp -warn 10 -fail 25 BENCH_live.json /tmp/bench_pr_1.json /tmp/bench_pr_2.json /tmp/bench_pr_3.json
 

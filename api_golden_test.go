@@ -1,0 +1,122 @@
+package ulipc_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIGolden pins the exported surface of package ulipc to
+// testdata/api_golden.txt. An unreviewed addition, removal, or rename
+// of an exported identifier fails this test; an intended API change
+// updates the golden file in the same commit (run with -update).
+//
+// This is the guard rail for the v2 redesign: it proves the deprecated
+// ReplyKind helper and pointer field stayed removed, and that the
+// consolidated tuning surface (Tuning, WithTuning, WithAdaptive, BSA,
+// ErrBadTuning) is present.
+var update = os.Getenv("ULIPC_UPDATE_GOLDEN") != ""
+
+func TestPublicAPIGolden(t *testing.T) {
+	got := strings.Join(exportedSurface(t), "\n") + "\n"
+	golden := filepath.Join("testdata", "api_golden.txt")
+	if update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (set ULIPC_UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exported API surface drifted from %s.\nSet ULIPC_UPDATE_GOLDEN=1 to accept an intended change.\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// exportedSurface lists every exported top-level identifier of the
+// root package, one "kind name" line each, sorted.
+func exportedSurface(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["ulipc"]
+	if !ok {
+		t.Fatalf("package ulipc not found in %v", pkgs)
+	}
+	var out []string
+	add := func(kind, name string) {
+		if ast.IsExported(name) {
+			out = append(out, fmt.Sprintf("%s %s", kind, name))
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil { // methods live on aliased internal types
+					add("func", d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						add("type", s.Name.Name)
+					case *ast.ValueSpec:
+						kind := "var"
+						if d.Tok == token.CONST {
+							kind = "const"
+						}
+						for _, n := range s.Names {
+							add(kind, n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// The redesign's specific guarantees, asserted directly so a golden
+// regeneration cannot silently revert them.
+func TestPublicAPIRedesignInvariants(t *testing.T) {
+	surface := exportedSurface(t)
+	has := func(line string) bool {
+		for _, s := range surface {
+			if s == line {
+				return true
+			}
+		}
+		return false
+	}
+	for _, want := range []string{
+		"const BSA",
+		"type Tuning",
+		"type TunerSnapshot",
+		"var WithTuning",
+		"var WithAdaptive",
+		"var ErrBadTuning",
+		"var WithReplyKind",
+	} {
+		if !has(want) {
+			t.Errorf("missing %q in exported surface", want)
+		}
+	}
+	// The v1 pointer-field escape hatch must stay removed.
+	if has("func ReplyKind") || has("var ReplyKind") {
+		t.Error("deprecated ReplyKind helper is back in the exported surface")
+	}
+}

@@ -69,7 +69,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "with -live: emit the BENCH_live.json document instead of a text table")
 		outFile  = flag.String("o", "", "with -live: write the output to this file instead of stdout")
 		clients  = flag.String("clients", "", "with -live: comma-separated client counts (default 1,4,16)")
-		algs     = flag.String("algs", "", "with -live: comma-separated protocols (default BSS,BSW,BSWY,BSLS)")
+		algs     = flag.String("algs", "", "with -live: comma-separated protocols (default BSS,BSW,BSWY,BSLS,BSA)")
 		batch    = flag.Int("batch", 0, "with -live: producer alloc-batch size (two-lock queues; 0 disables)")
 		liveSpin = flag.Int("spin", 0, "with -live: busy-wait spin iterations (0 = yield flavour)")
 		watchdog = flag.Duration("watchdog", 2*time.Minute, "with -live: per-cell deadline on the context-threaded paths; a deadlocked cell is recorded and the sweep continues (0 disables, restoring the legacy error-less fast path)")

@@ -30,6 +30,7 @@ type Client struct {
 	ID      int32     // reply-channel number carried in every request
 	Alg     Algorithm // sleep/wake-up protocol
 	MaxSpin int       // BSLS MAX_SPIN (DefaultMaxSpin if zero)
+	Tuner   *Tuner    // BSA spin-budget controller (lazily built if nil)
 	Srv     Port      // enqueue endpoint of the server's receive queue
 	Rcv     Port      // dequeue endpoint of this client's reply queue
 	A       Actor
@@ -55,6 +56,19 @@ func (c *Client) maxSpin() int {
 		return DefaultMaxSpin
 	}
 	return c.MaxSpin
+}
+
+// spinRcv runs the pre-block spin prefix on the reply queue: BSLS's
+// fixed budget, or BSA's controller-tuned budget with feedback.
+func (c *Client) spinRcv() {
+	if c.Alg == BSA {
+		if c.Tuner == nil {
+			c.Tuner = NewTuner(TunerConfig{})
+		}
+		adaptiveSpin(c.Rcv, c.A, c.Tuner, c.M, c.Obs)
+		return
+	}
+	spinPollObs(c.Rcv, c.A, c.maxSpin(), c.M, c.Obs)
 }
 
 // Lag reports how many replies are still owed for cancelled sends
@@ -111,7 +125,7 @@ func (c *Client) dispatchSend(m Msg) Msg {
 		return c.sendBSW(m)
 	case BSWY:
 		return c.sendBSWY(m)
-	case BSLS:
+	case BSLS, BSA:
 		return c.sendBSLS(m)
 	}
 	panic(ErrUnknownAlgorithm)
@@ -172,7 +186,7 @@ func (c *Client) exchangeCtx(ctx context.Context, m Msg) (Msg, error) {
 			c.lag--
 		}
 		return ans, err
-	case BSW, BSWY, BSLS:
+	case BSW, BSWY, BSLS, BSA:
 		if err := enqueueOrSleepCtxObs(ctx, c.Srv, c.A, m, c.M, c.Obs); err != nil {
 			return Msg{}, err
 		}
@@ -236,13 +250,14 @@ func (c *Client) sendBSWY(m Msg) Msg {
 }
 
 // sendBSLS is Figure 9: poll the reply queue up to MAX_SPIN times before
-// entering the blocking path.
+// entering the blocking path. BSA shares the shape — only the spin
+// budget differs (live controller instead of the MAX_SPIN constant).
 func (c *Client) sendBSLS(m Msg) Msg {
 	if !enqueueOrSleepObs(c.Srv, c.A, m, c.Obs) {
 		return ShutdownMsg()
 	}
 	wakeConsumer(c.Srv, c.A)
-	spinPollObs(c.Rcv, c.A, c.maxSpin(), c.M, c.Obs)
+	c.spinRcv()
 	return consumerWait(c.Rcv, c.A, c.tryHandoff)
 }
 
@@ -303,8 +318,8 @@ func (c *Client) recvReply() Msg {
 		return consumerWait(c.Rcv, c.A, nil)
 	case BSWY:
 		return consumerWait(c.Rcv, c.A, c.tryHandoff)
-	case BSLS:
-		spinPollObs(c.Rcv, c.A, c.maxSpin(), c.M, c.Obs)
+	case BSLS, BSA:
+		c.spinRcv()
 		return consumerWait(c.Rcv, c.A, c.tryHandoff)
 	}
 	panic(ErrUnknownAlgorithm)
@@ -319,8 +334,8 @@ func (c *Client) recvReplyCtx(ctx context.Context) (Msg, error) {
 		return consumerWaitCtx(ctx, c.Rcv, c.A, nil)
 	case BSWY:
 		return consumerWaitCtx(ctx, c.Rcv, c.A, c.tryHandoff)
-	case BSLS:
-		spinPollObs(c.Rcv, c.A, c.maxSpin(), c.M, c.Obs)
+	case BSLS, BSA:
+		c.spinRcv()
 		return consumerWaitCtx(ctx, c.Rcv, c.A, c.tryHandoff)
 	}
 	return Msg{}, ErrUnknownAlgorithm

@@ -19,8 +19,6 @@
 // a library.
 package core
 
-import "fmt"
-
 // Msg is the fixed-size message the paper's evaluation exchanges: an
 // opcode identifying the request type, the reply channel on which to
 // return the result, and a double-precision argument. Fixed-size messages
@@ -107,45 +105,18 @@ type Actor interface {
 // Algorithm selects a sleep/wake-up protocol.
 type Algorithm int
 
+// The four protocols of the paper, plus BSA — the adaptive fifth: the
+// BSLS shape with the fixed MAX_SPIN replaced by an online controller
+// (see Tuner) that tunes the spin budget from observed wait feedback.
+// String/AlgorithmByName/Algorithms/AlgorithmNames derive from the
+// registration table in registry.go.
 const (
 	BSS Algorithm = iota
 	BSW
 	BSWY
 	BSLS
+	BSA
 )
-
-// String returns the paper's name for the algorithm.
-func (a Algorithm) String() string {
-	switch a {
-	case BSS:
-		return "BSS"
-	case BSW:
-		return "BSW"
-	case BSWY:
-		return "BSWY"
-	case BSLS:
-		return "BSLS"
-	}
-	return fmt.Sprintf("Algorithm(%d)", int(a))
-}
-
-// AlgorithmByName parses a protocol name (case-sensitive, as printed).
-func AlgorithmByName(s string) (Algorithm, error) {
-	switch s {
-	case "BSS", "bss":
-		return BSS, nil
-	case "BSW", "bsw":
-		return BSW, nil
-	case "BSWY", "bswy":
-		return BSWY, nil
-	case "BSLS", "bsls":
-		return BSLS, nil
-	}
-	return 0, fmt.Errorf("core: unknown algorithm %q", s)
-}
-
-// Algorithms lists all protocols in presentation order.
-func Algorithms() []Algorithm { return []Algorithm{BSS, BSW, BSWY, BSLS} }
 
 // DefaultMaxSpin is the MAX_SPIN the paper recommends for BSLS: "at a
 // MAX_SPIN value of 20, a single client only blocks 3% of the time".

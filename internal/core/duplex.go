@@ -24,7 +24,8 @@ import (
 type DuplexClient struct {
 	Alg     Algorithm
 	MaxSpin int
-	Snd     Port // enqueue endpoint of the client->server queue
+	Tuner   *Tuner // BSA spin-budget controller (lazily built if nil)
+	Snd     Port   // enqueue endpoint of the client->server queue
 	Rcv     Port // dequeue endpoint of the server->client queue
 	A       Actor
 	M       *metrics.Proc
@@ -79,12 +80,12 @@ func (c *DuplexClient) dispatchSend(m Msg) Msg {
 			c.A.BusyWait()
 		}
 		return consumerWait(c.Rcv, c.A, c.A.BusyWait)
-	case BSLS:
+	case BSLS, BSA:
 		if !enqueueOrSleepObs(c.Snd, c.A, m, c.Obs) {
 			return ShutdownMsg()
 		}
 		wakeConsumer(c.Snd, c.A)
-		spinPollObs(c.Rcv, c.A, c.maxSpin(), c.M, c.Obs)
+		c.spinRcv()
 		return consumerWait(c.Rcv, c.A, c.A.BusyWait)
 	}
 	panic(ErrUnknownAlgorithm)
@@ -109,7 +110,7 @@ func (c *DuplexClient) SendCtx(ctx context.Context, m Msg) (Msg, error) {
 	switch c.Alg {
 	case BSS:
 		err = spinEnqueueCtx(ctx, c.A, c.Snd, m)
-	case BSW, BSLS:
+	case BSW, BSLS, BSA:
 		if err = enqueueOrSleepCtxObs(ctx, c.Snd, c.A, m, c.M, c.Obs); err == nil {
 			wakeConsumer(c.Snd, c.A)
 		}
@@ -159,8 +160,8 @@ func (c *DuplexClient) recvReply() Msg {
 		return consumerWait(c.Rcv, c.A, nil)
 	case BSWY:
 		return consumerWait(c.Rcv, c.A, c.A.BusyWait)
-	case BSLS:
-		spinPollObs(c.Rcv, c.A, c.maxSpin(), c.M, c.Obs)
+	case BSLS, BSA:
+		c.spinRcv()
 		return consumerWait(c.Rcv, c.A, c.A.BusyWait)
 	}
 	panic(ErrUnknownAlgorithm)
@@ -175,8 +176,8 @@ func (c *DuplexClient) recvReplyCtx(ctx context.Context) (Msg, error) {
 		return consumerWaitCtx(ctx, c.Rcv, c.A, nil)
 	case BSWY:
 		return consumerWaitCtx(ctx, c.Rcv, c.A, c.A.BusyWait)
-	case BSLS:
-		spinPollObs(c.Rcv, c.A, c.maxSpin(), c.M, c.Obs)
+	case BSLS, BSA:
+		c.spinRcv()
 		return consumerWaitCtx(ctx, c.Rcv, c.A, c.A.BusyWait)
 	}
 	return Msg{}, ErrUnknownAlgorithm
@@ -189,12 +190,26 @@ func (c *DuplexClient) maxSpin() int {
 	return c.MaxSpin
 }
 
+// spinRcv runs the pre-block spin prefix on the reply queue: BSLS's
+// fixed budget, or BSA's controller-tuned budget with feedback.
+func (c *DuplexClient) spinRcv() {
+	if c.Alg == BSA {
+		if c.Tuner == nil {
+			c.Tuner = NewTuner(TunerConfig{})
+		}
+		adaptiveSpin(c.Rcv, c.A, c.Tuner, c.M, c.Obs)
+		return
+	}
+	spinPollObs(c.Rcv, c.A, c.maxSpin(), c.M, c.Obs)
+}
+
 // DuplexHandler is the server endpoint of one full-duplex connection —
 // the body of a per-client server thread.
 type DuplexHandler struct {
 	Alg     Algorithm
 	MaxSpin int
-	Rcv     Port // dequeue endpoint of the client->server queue
+	Tuner   *Tuner // BSA spin-budget controller (lazily built if nil)
+	Rcv     Port   // dequeue endpoint of the client->server queue
 	Snd     Port // enqueue endpoint of the server->client queue
 	A       Actor
 	M       *metrics.Proc
@@ -210,6 +225,19 @@ func (h *DuplexHandler) maxSpin() int {
 		return DefaultMaxSpin
 	}
 	return h.MaxSpin
+}
+
+// spinRcv runs the pre-block spin prefix on the connection's receive
+// queue: BSLS's fixed budget, or BSA's controller-tuned budget.
+func (h *DuplexHandler) spinRcv() {
+	if h.Alg == BSA {
+		if h.Tuner == nil {
+			h.Tuner = NewTuner(TunerConfig{})
+		}
+		adaptiveSpin(h.Rcv, h.A, h.Tuner, h.M, h.Obs)
+		return
+	}
+	spinPollObs(h.Rcv, h.A, h.maxSpin(), h.M, h.Obs)
 }
 
 // Receive returns the connection's next request, or the OpShutdown
@@ -234,8 +262,8 @@ func (h *DuplexHandler) Receive() Msg {
 		}
 		h.A.Yield()
 		m = consumerWait(h.Rcv, h.A, nil)
-	case BSLS:
-		spinPollObs(h.Rcv, h.A, h.maxSpin(), h.M, h.Obs)
+	case BSLS, BSA:
+		h.spinRcv()
 		m = consumerWait(h.Rcv, h.A, nil)
 	default:
 		panic(ErrUnknownAlgorithm)
@@ -266,8 +294,8 @@ func (h *DuplexHandler) ReceiveCtx(ctx context.Context) (Msg, error) {
 		}
 		h.A.Yield()
 		m, err = consumerWaitCtx(ctx, h.Rcv, h.A, nil)
-	case BSLS:
-		spinPollObs(h.Rcv, h.A, h.maxSpin(), h.M, h.Obs)
+	case BSLS, BSA:
+		h.spinRcv()
 		m, err = consumerWaitCtx(ctx, h.Rcv, h.A, nil)
 	default:
 		return Msg{}, ErrUnknownAlgorithm

@@ -95,6 +95,7 @@ func (pc *PoolCoordinator) Served() int64 { return pc.served.Load() }
 type PoolWorker struct {
 	Alg     Algorithm
 	MaxSpin int
+	Tuner   *Tuner // BSA spin-budget controller (lazily built if nil)
 	Rcv     PoolPort
 	Replies []Port
 	A       Actor
@@ -114,6 +115,19 @@ func (w *PoolWorker) maxSpin() int {
 		return DefaultMaxSpin
 	}
 	return w.MaxSpin
+}
+
+// spinRcv runs the pre-block spin prefix on the shared pool queue:
+// BSLS's fixed budget, or BSA's controller-tuned budget.
+func (w *PoolWorker) spinRcv() {
+	if w.Alg == BSA {
+		if w.Tuner == nil {
+			w.Tuner = NewTuner(TunerConfig{})
+		}
+		adaptiveSpin(w.Rcv, w.A, w.Tuner, w.M, w.Obs)
+		return
+	}
+	spinPollObs(w.Rcv, w.A, w.maxSpin(), w.M, w.Obs)
 }
 
 func (w *PoolWorker) noteReceived(client int32) {
@@ -155,8 +169,8 @@ func (w *PoolWorker) Receive() (Msg, bool) {
 			continue
 		case BSWY:
 			w.A.Yield()
-		case BSLS:
-			spinPollObs(w.Rcv, w.A, w.maxSpin(), w.M, w.Obs)
+		case BSLS, BSA:
+			w.spinRcv()
 		}
 		w.Rcv.RegisterWaiter()
 		if m, ok := w.Rcv.TryDequeue(); ok {
@@ -204,8 +218,8 @@ func (w *PoolWorker) ReceiveCtx(ctx context.Context) (Msg, error) {
 			continue
 		case BSWY:
 			w.A.Yield()
-		case BSLS:
-			spinPollObs(w.Rcv, w.A, w.maxSpin(), w.M, w.Obs)
+		case BSLS, BSA:
+			w.spinRcv()
 		}
 		w.Rcv.RegisterWaiter()
 		if m, ok := w.Rcv.TryDequeue(); ok {
@@ -366,6 +380,7 @@ type PoolClient struct {
 	ID      int32
 	Alg     Algorithm
 	MaxSpin int
+	Tuner   *Tuner   // BSA spin-budget controller (lazily built if nil)
 	Srv     PoolPort // enqueue endpoint of the pool's receive queue
 	Rcv     Port     // dequeue endpoint of this client's reply queue
 	A       Actor
@@ -380,6 +395,19 @@ func (c *PoolClient) maxSpin() int {
 		return DefaultMaxSpin
 	}
 	return c.MaxSpin
+}
+
+// spinRcv runs the pre-block spin prefix on the reply queue: BSLS's
+// fixed budget, or BSA's controller-tuned budget.
+func (c *PoolClient) spinRcv() {
+	if c.Alg == BSA {
+		if c.Tuner == nil {
+			c.Tuner = NewTuner(TunerConfig{})
+		}
+		adaptiveSpin(c.Rcv, c.A, c.Tuner, c.M, c.Obs)
+		return
+	}
+	spinPollObs(c.Rcv, c.A, c.maxSpin(), c.M, c.Obs)
 }
 
 // Lag reports how many replies are still owed for cancelled sends
@@ -490,8 +518,8 @@ func (c *PoolClient) recvReply() Msg {
 		return consumerWait(c.Rcv, c.A, nil)
 	case BSWY:
 		return consumerWait(c.Rcv, c.A, c.A.BusyWait)
-	case BSLS:
-		spinPollObs(c.Rcv, c.A, c.maxSpin(), c.M, c.Obs)
+	case BSLS, BSA:
+		c.spinRcv()
 		return consumerWait(c.Rcv, c.A, c.A.BusyWait)
 	}
 	panic(ErrUnknownAlgorithm)
@@ -506,8 +534,8 @@ func (c *PoolClient) recvReplyCtx(ctx context.Context) (Msg, error) {
 		return consumerWaitCtx(ctx, c.Rcv, c.A, nil)
 	case BSWY:
 		return consumerWaitCtx(ctx, c.Rcv, c.A, c.A.BusyWait)
-	case BSLS:
-		spinPollObs(c.Rcv, c.A, c.maxSpin(), c.M, c.Obs)
+	case BSLS, BSA:
+		c.spinRcv()
 		return consumerWaitCtx(ctx, c.Rcv, c.A, c.A.BusyWait)
 	}
 	return Msg{}, ErrUnknownAlgorithm

@@ -15,6 +15,7 @@ import (
 type Server struct {
 	Alg     Algorithm
 	MaxSpin int
+	Tuner   *Tuner // BSA spin-budget controller (lazily built if nil)
 	Rcv     Port   // dequeue endpoint of the receive queue
 	Replies []Port // enqueue endpoints of the per-client reply queues
 	A       Actor
@@ -68,6 +69,19 @@ func (s *Server) maxSpin() int {
 		return DefaultMaxSpin
 	}
 	return s.MaxSpin
+}
+
+// spinRcv runs the pre-block spin prefix on the receive queue: BSLS's
+// fixed budget, or BSA's controller-tuned budget with feedback.
+func (s *Server) spinRcv() {
+	if s.Alg == BSA {
+		if s.Tuner == nil {
+			s.Tuner = NewTuner(TunerConfig{})
+		}
+		adaptiveSpin(s.Rcv, s.A, s.Tuner, s.M, s.Obs)
+		return
+	}
+	spinPollObs(s.Rcv, s.A, s.maxSpin(), s.M, s.Obs)
 }
 
 func (s *Server) letClientsRun() {
@@ -132,8 +146,8 @@ func (s *Server) Receive() Msg {
 		}
 		s.letClientsRun()
 		m = consumerWait(s.Rcv, s.A, nil)
-	case BSLS:
-		spinPollObs(s.Rcv, s.A, s.maxSpin(), s.M, s.Obs)
+	case BSLS, BSA:
+		s.spinRcv()
 		m = consumerWait(s.Rcv, s.A, nil)
 	default:
 		panic(ErrUnknownAlgorithm)
@@ -177,8 +191,8 @@ func (s *Server) ReceiveCtx(ctx context.Context) (Msg, error) {
 		}
 		s.letClientsRun()
 		m, err = consumerWaitCtx(ctx, s.Rcv, s.A, nil)
-	case BSLS:
-		spinPollObs(s.Rcv, s.A, s.maxSpin(), s.M, s.Obs)
+	case BSLS, BSA:
+		s.spinRcv()
 		m, err = consumerWaitCtx(ctx, s.Rcv, s.A, nil)
 	default:
 		return Msg{}, ErrUnknownAlgorithm

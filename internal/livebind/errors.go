@@ -23,4 +23,12 @@ var (
 	// ErrNoFreeSlots reports that Connect found every pre-allocated
 	// client slot in use.
 	ErrNoFreeSlots = errors.New("livebind: all client slots in use")
+
+	// ErrBadTuning reports a contradictory tuning configuration: the
+	// adaptive controller (WithAdaptive / Tuning.Adaptive / Alg BSA)
+	// combined with a hand-set spin budget, a wake throttle, or an
+	// explicit non-BSA protocol. The controller owns those knobs — a
+	// fixed MaxSpin under BSA would be silently ignored, so it is
+	// rejected instead.
+	ErrBadTuning = errors.New("livebind: contradictory tuning")
 )

@@ -329,6 +329,7 @@ func (s *System) ShardServer(sh int) (*core.Server, error) {
 	return &core.Server{
 		Alg:     s.opts.Alg,
 		MaxSpin: s.opts.MaxSpin,
+		Tuner:   s.newTuner(fmt.Sprintf("shard%d", sh), a),
 		Rcv:     &shardRecvPort{g: g, sh: sh, ch: g.recvs[sh], lanes: g.reqLanes[sh], a: a},
 		Replies: replies,
 		A:       a,
@@ -364,6 +365,7 @@ func (s *System) groupClient(i int) (*core.Client, error) {
 		ID:      int32(i),
 		Alg:     s.opts.Alg,
 		MaxSpin: s.opts.MaxSpin,
+		Tuner:   s.newTuner(fmt.Sprintf("client%d", i), a),
 		Srv:     &pickPort{g: g, id: int32(i), home: home, sticky: g.picker.Sticky(), bind: bind},
 		Rcv:     &clientRcvPort{g: g, ch: s.replies[i], bind: bind},
 		A:       a,

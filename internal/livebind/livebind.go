@@ -272,6 +272,11 @@ type Actor struct {
 	// testing; 0 means full UNIX semantics (1 second).
 	SleepScale time.Duration
 
+	// Tun, when non-nil, is the handle's BSA controller: queue-full
+	// naps stretch with its oversubscription backoff (Tuner.NapScale),
+	// the producer-side half of the adaptive protocol.
+	Tun *core.Tuner
+
 	M *metrics.Proc // optional
 
 	// Obs, when enabled, receives the sleep-phase durations (time spent
@@ -333,6 +338,9 @@ func (a *Actor) SleepSec(s int) {
 	d := time.Duration(s) * time.Second
 	if a.SleepScale > 0 {
 		d = time.Duration(s) * a.SleepScale
+	}
+	if a.Tun != nil {
+		d = a.Tun.NapScale(d)
 	}
 	time.Sleep(d)
 }
@@ -459,6 +467,9 @@ func (a *Actor) SleepCtx(ctx context.Context, s int) error {
 	d := time.Duration(s) * time.Second
 	if a.SleepScale > 0 {
 		d = time.Duration(s) * a.SleepScale
+	}
+	if a.Tun != nil {
+		d = a.Tun.NapScale(d)
 	}
 	t := time.NewTimer(d)
 	defer t.Stop()

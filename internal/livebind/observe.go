@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 
+	"ulipc/internal/core"
 	"ulipc/internal/metrics"
 	"ulipc/internal/obs"
 )
@@ -57,6 +58,34 @@ func (s *System) WritePrometheus(w io.Writer) {
 	} {
 		obs.WritePrometheusCounter(w, c.name, c.help, c.value)
 	}
+	s.writeTunerMetrics(w)
+}
+
+// writeTunerMetrics emits the BSA controller exposition: one
+// spin-budget gauge per handle plus the aggregated decision counters.
+// A no-op on the fixed-budget protocols (no tuners registered).
+func (s *System) writeTunerMetrics(w io.Writer) {
+	ts := s.Tuners()
+	if len(ts) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP ulipc_spin_budget current BSA spin budget per handle\n")
+	fmt.Fprintf(w, "# TYPE ulipc_spin_budget gauge\n")
+	var sum core.TunerSnapshot
+	for _, t := range ts {
+		snap := t.T.Snapshot()
+		fmt.Fprintf(w, "ulipc_spin_budget{handle=%q} %d\n", t.Name, snap.Budget)
+		sum.Polls += snap.Polls
+		sum.FallThrus += snap.FallThrus
+		sum.Grows += snap.Grows
+		sum.Shrinks += snap.Shrinks
+		sum.Backoffs += snap.Backoffs
+	}
+	obs.WritePrometheusCounter(w, "ulipc_tuner_polls", "BSA waits observed by the controllers", sum.Polls)
+	obs.WritePrometheusCounter(w, "ulipc_tuner_fallthrus", "BSA waits whose spin budget expired (slept)", sum.FallThrus)
+	obs.WritePrometheusCounter(w, "ulipc_tuner_grows", "BSA budget increases", sum.Grows)
+	obs.WritePrometheusCounter(w, "ulipc_tuner_shrinks", "BSA budget decreases tracking shorter arrivals", sum.Shrinks)
+	obs.WritePrometheusCounter(w, "ulipc_tuner_backoffs", "BSA budget halvings by the oversubscription guard", sum.Backoffs)
 }
 
 // MetricsHandler serves the system's Prometheus exposition over HTTP.

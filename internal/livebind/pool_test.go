@@ -10,7 +10,11 @@ import (
 // runPool drives a live worker pool end-to-end and returns total served.
 func runPool(t *testing.T, alg core.Algorithm, workers, clients, msgs int) int64 {
 	t.Helper()
-	sys, err := NewSystem(Options{Alg: alg, Clients: clients, MaxSpin: 4})
+	maxSpin := 4
+	if alg == core.BSA {
+		maxSpin = 0 // the controller owns the budget; a fixed one is rejected
+	}
+	sys, err := NewSystem(Options{Alg: alg, Clients: clients, MaxSpin: maxSpin})
 	if err != nil {
 		t.Fatal(err)
 	}

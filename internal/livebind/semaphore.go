@@ -25,6 +25,10 @@ import (
 //     destined for a live waiter is never lost to a cancelled one. This
 //     is the property the protocol layer's wake-token accounting
 //     (core.consumerWaitCtx) builds on.
+// A third shape is available as an opt-in mode (NewWaitArraySemaphore):
+// a waiting array where EVERY waiter — plain or cancellable — parks on
+// its own per-waiter slot and V hands the token directly to the oldest
+// live slot. See semarray.go for the mode's invariants.
 type Semaphore struct {
 	mu       sync.Mutex
 	cond     sync.Cond // plain P sleepers
@@ -32,6 +36,7 @@ type Semaphore struct {
 	closed   bool
 	sleeping int64        // plain P calls currently parked in cond.Wait
 	waiters  []*semWaiter // parked PCtx calls, granted in FIFO order
+	wa       *waitArray   // non-nil switches to waiting-array mode
 }
 
 // semWaiter is one parked PCtx call. granted is guarded by the
@@ -48,6 +53,20 @@ func NewSemaphore(initial int64) *Semaphore {
 	return s
 }
 
+// NewWaitArraySemaphore creates a semaphore in waiting-array mode:
+// per-waiter hand-off slots instead of the cond/slice pair, giving O(1)
+// V and O(1) cancellation with no wake-up herd. Same external
+// semantics and the same token-conservation guarantees.
+func NewWaitArraySemaphore(initial int64) *Semaphore {
+	s := NewSemaphore(initial)
+	s.wa = newWaitArray()
+	return s
+}
+
+// WaitArray reports whether the semaphore runs in waiting-array mode
+// (diagnostics and tests).
+func (s *Semaphore) WaitArray() bool { return s.wa != nil }
+
 // P (down) decrements the count, blocking while it is zero. On a closed
 // semaphore P returns immediately without consuming a token, so parked
 // protocol loops unblock and observe the port state. The return value
@@ -56,6 +75,9 @@ func NewSemaphore(initial int64) *Semaphore {
 // the binding can attribute sleep time without extra clock reads on the
 // non-blocking path.
 func (s *Semaphore) P() (slept bool) {
+	if s.wa != nil {
+		return s.pArray()
+	}
 	s.mu.Lock()
 	for s.count == 0 && !s.closed {
 		slept = true
@@ -76,6 +98,9 @@ func (s *Semaphore) P() (slept bool) {
 // back); and core.ErrShutdown when the semaphore was closed. Like P,
 // slept reports whether the call actually parked.
 func (s *Semaphore) PCtx(ctx context.Context) (slept bool, err error) {
+	if s.wa != nil {
+		return s.pCtxArray(ctx)
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -151,6 +176,9 @@ func (s *Semaphore) removeWaiterLocked(w *semWaiter) {
 // was asleep when the count was bumped (the paper's "expensive wake-up
 // system call" as opposed to a redundant V).
 func (s *Semaphore) V() (woke bool) {
+	if s.wa != nil {
+		return s.vArray()
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -175,6 +203,10 @@ func (s *Semaphore) V() (woke bool) {
 // all subsequent P calls non-blocking (PCtx returns core.ErrShutdown).
 // Idempotent.
 func (s *Semaphore) Close() {
+	if s.wa != nil {
+		s.closeArray()
+		return
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -209,6 +241,9 @@ func (s *Semaphore) Count() int64 {
 func (s *Semaphore) Waiters() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.wa != nil {
+		return s.wa.npctx
+	}
 	return len(s.waiters)
 }
 
@@ -218,5 +253,8 @@ func (s *Semaphore) Waiters() int {
 func (s *Semaphore) Sleeping() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.wa != nil {
+		return int64(s.wa.nplain)
+	}
 	return s.sleeping
 }

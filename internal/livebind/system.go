@@ -26,24 +26,35 @@ type Options struct {
 	SpinIters int        // >0: multiprocessor busy_wait flavour
 	Throttle  int        // server wake throttle (0 = unlimited)
 
-	// ReplyKind selects the queue implementation for the per-client
+	// replyKind selects the queue implementation for the per-client
 	// channels (reply queues, and the client->server queues in Duplex
-	// mode). nil picks the SPSC fast path: those channels have exactly
-	// one producer (the server, or the per-connection duplex peer) and
-	// one consumer, so the padded Lamport ring with cached indices
-	// applies and the hot path does no CAS and no cross-core loads.
-	// System enforces the topology: handle constructors fail (or panic,
-	// for the error-less Server) on any acquisition that would attach a
-	// second producer to an SPSC channel, and WorkerPool — whose workers
-	// all produce into every reply queue — transparently falls back to
-	// QueueKind when the SPSC default is in effect (or errors if SPSC
-	// was requested explicitly). Set a non-nil MPMC kind to restore the
-	// old shared-queue behaviour. QueueKind may NOT be KindSPSC: the
-	// receive queue is shared by all clients.
+	// mode), set via WithReplyKind. nil picks the SPSC fast path: those
+	// channels have exactly one producer (the server, or the
+	// per-connection duplex peer) and one consumer, so the padded
+	// Lamport ring with cached indices applies and the hot path does no
+	// CAS and no cross-core loads. System enforces the topology: handle
+	// constructors fail (or panic, for the error-less Server) on any
+	// acquisition that would attach a second producer to an SPSC
+	// channel, and WorkerPool — whose workers all produce into every
+	// reply queue — transparently falls back to QueueKind when the SPSC
+	// default is in effect (or errors if SPSC was requested explicitly).
+	// Select an MPMC kind to restore the old shared-queue behaviour.
+	// QueueKind may NOT be KindSPSC: the receive queue is shared by all
+	// clients.
 	//
-	// Prefer the WithReplyKind functional option over storing a pointer
-	// here directly; the pointer field remains for compatibility.
-	ReplyKind *queue.Kind
+	// This was an exported pointer field (Options.ReplyKind) in v1; the
+	// pointer idiom is gone — WithReplyKind is the only way to set it.
+	// See DESIGN.md ("Migration: Options pointers to functional
+	// options").
+	replyKind *queue.Kind
+
+	// Adaptive switches the system to the BSA protocol: every handle
+	// gets an online controller (core.Tuner) that tunes its spin budget
+	// and nap scale from observed feedback, replacing the hand-set
+	// MaxSpin/Throttle knobs. Those knobs conflict with the controller
+	// and are rejected with ErrBadTuning when combined. Prefer
+	// WithAdaptive or WithTuning.
+	Adaptive bool
 
 	// AllocBatch, when > 1, gives each producer port a private cache of
 	// that many free-pool refs, refilled/spilled in batched operations —
@@ -129,10 +140,66 @@ type Options struct {
 // struct forces through pointers).
 type Option func(*Options)
 
-// WithReplyKind selects the per-client channel queue implementation,
-// replacing the Options.ReplyKind pointer idiom.
+// WithReplyKind selects the per-client channel queue implementation
+// (the sole way to override the SPSC default since the v1
+// Options.ReplyKind pointer field was removed).
 func WithReplyKind(k queue.Kind) Option {
-	return func(o *Options) { o.ReplyKind = &k }
+	return func(o *Options) { o.replyKind = &k }
+}
+
+// Tuning consolidates the protocol tuning knobs that were previously
+// spread across three scalar options. The zero value means "all
+// defaults"; set Adaptive to hand every knob to the BSA controller
+// instead of choosing numbers:
+//
+//	sys, err := NewSystem(Options{Clients: 4},
+//		WithTuning(Tuning{MaxSpin: 64, SleepScale: time.Millisecond}))
+//	sys, err := NewSystem(Options{Clients: 4}, WithAdaptive())
+//
+// Adaptive conflicts with a hand-set MaxSpin or Throttle (the
+// controller owns both decisions) and with an explicit non-BSA
+// protocol; NewSystem rejects such combinations with ErrBadTuning.
+type Tuning struct {
+	// MaxSpin is the BSLS fixed spin budget (core.DefaultMaxSpin if
+	// zero). Mutually exclusive with Adaptive.
+	MaxSpin int
+
+	// SleepScale compresses the queue-full sleep(1); 0 keeps the
+	// paper's full-second UNIX semantics.
+	SleepScale time.Duration
+
+	// Throttle bounds consecutive server wake-ups (0 = unlimited).
+	// Mutually exclusive with Adaptive — the controller's
+	// oversubscription backoff replaces it.
+	Throttle int
+
+	// Adaptive selects the BSA protocol: per-handle controllers tune
+	// the spin budget and nap scale online.
+	Adaptive bool
+}
+
+// WithTuning applies a consolidated tuning configuration. It overwrites
+// MaxSpin, SleepScale and Throttle (so the struct is the single source
+// of truth for the three knobs) and turns Adaptive on if the struct
+// asks for it.
+func WithTuning(t Tuning) Option {
+	return func(o *Options) {
+		o.MaxSpin = t.MaxSpin
+		o.SleepScale = t.SleepScale
+		o.Throttle = t.Throttle
+		if t.Adaptive {
+			o.Adaptive = true
+		}
+	}
+}
+
+// WithAdaptive selects the BSA protocol: instead of hand-tuning
+// MaxSpin/Throttle, every handle gets an online controller that learns
+// its spin budget from observed arrival lag and backs off under
+// oversubscription. Equivalent to WithTuning(Tuning{Adaptive: true})
+// or setting Options.Alg to core.BSA.
+func WithAdaptive() Option {
+	return func(o *Options) { o.Adaptive = true }
 }
 
 // WithAllocBatch sets the producer-side allocation batch (see
@@ -142,17 +209,24 @@ func WithAllocBatch(n int) Option {
 }
 
 // WithMaxSpin sets the BSLS MAX_SPIN budget (see Options.MaxSpin).
+//
+// Deprecated: use WithTuning(Tuning{MaxSpin: n}) — or WithAdaptive to
+// stop choosing the number at all.
 func WithMaxSpin(n int) Option {
 	return func(o *Options) { o.MaxSpin = n }
 }
 
 // WithThrottle sets the server wake throttle (see Options.Throttle).
+//
+// Deprecated: use WithTuning(Tuning{Throttle: n}).
 func WithThrottle(n int) Option {
 	return func(o *Options) { o.Throttle = n }
 }
 
 // WithSleepScale compresses the queue-full sleep(1) (see
 // Options.SleepScale).
+//
+// Deprecated: use WithTuning(Tuning{SleepScale: d}).
 func WithSleepScale(d time.Duration) Option {
 	return func(o *Options) { o.SleepScale = d }
 }
@@ -249,8 +323,27 @@ func (o *Options) validate() error {
 	if o.BlockSlots < 0 {
 		return fmt.Errorf("%w: negative BlockSlots %d", ErrBadOption, o.BlockSlots)
 	}
-	if o.Alg < core.BSS || o.Alg > core.BSLS {
+	if !core.ValidAlgorithm(o.Alg) {
 		return fmt.Errorf("%w: unknown algorithm %d", ErrBadOption, o.Alg)
+	}
+	// Adaptive tuning and BSA imply each other. The zero Alg (BSS) is
+	// treated as "unset" when Adaptive is requested — an explicit
+	// different protocol plus Adaptive is contradictory, as are the
+	// hand-tuned knobs the controller replaces.
+	if o.Alg == core.BSA {
+		o.Adaptive = true
+	}
+	if o.Adaptive {
+		if o.Alg != core.BSA && o.Alg != core.BSS {
+			return fmt.Errorf("%w: Adaptive selects BSA, but Alg is %v", ErrBadTuning, o.Alg)
+		}
+		o.Alg = core.BSA
+		if o.MaxSpin > 0 {
+			return fmt.Errorf("%w: Adaptive and a fixed MaxSpin (%d) are mutually exclusive — the controller owns the spin budget", ErrBadTuning, o.MaxSpin)
+		}
+		if o.Throttle > 0 {
+			return fmt.Errorf("%w: Adaptive and a wake Throttle (%d) are mutually exclusive — the controller's oversubscription backoff replaces it", ErrBadTuning, o.Throttle)
+		}
 	}
 	if o.QueueKind == queue.KindSPSC {
 		return fmt.Errorf("%w: QueueKind cannot be KindSPSC: the shared receive queue has one producer per client; use WithReplyKind for the per-client channels", ErrSPSCTopology)
@@ -271,7 +364,7 @@ func (o *Options) validate() error {
 		if o.Throttle > 0 {
 			return fmt.Errorf("%w: Throttle applies to the single-server wake path, not a server group", ErrBadOption)
 		}
-		if o.ReplyKind != nil && *o.ReplyKind != queue.KindSPSC {
+		if o.replyKind != nil && *o.replyKind != queue.KindSPSC {
 			return fmt.Errorf("%w: a server group's reply lanes are structurally SPSC; ReplyKind cannot override them", ErrSPSCTopology)
 		}
 		if o.Picker == nil {
@@ -314,6 +407,11 @@ type System struct {
 	inj      *fault.Injector
 	rec      *recovery
 	actorSeq atomic.Int32 // actor id allocator
+
+	// BSA controllers, one per handle, registered as handles are built
+	// so the exporters can read every live budget gauge.
+	tunMu  sync.Mutex
+	tuners []TunerSample
 
 	// Shutdown bookkeeping: batched producer ports (whose caches must
 	// spill before teardown) and worker-pool coordinators (whose stop
@@ -363,8 +461,8 @@ func NewSystem(opts Options, extra ...Option) (*System, error) {
 	} else {
 		replyKind := queue.KindSPSC
 		s.replySPSC, s.replyAuto = true, true
-		if opts.ReplyKind != nil {
-			replyKind = *opts.ReplyKind
+		if opts.replyKind != nil {
+			replyKind = *opts.replyKind
 			s.replySPSC = replyKind == queue.KindSPSC
 			s.replyAuto = false
 		}
@@ -591,6 +689,7 @@ func (s *System) DuplexPair(i int) (*core.DuplexClient, *core.DuplexHandler, err
 	cl := &core.DuplexClient{
 		Alg:     s.opts.Alg,
 		MaxSpin: s.opts.MaxSpin,
+		Tuner:   s.newTuner(fmt.Sprintf("client%d", i), ca),
 		Snd:     csnd,
 		Rcv:     NewPort(s.replies[i]).bindActor(ca),
 		A:       ca,
@@ -603,6 +702,7 @@ func (s *System) DuplexPair(i int) (*core.DuplexClient, *core.DuplexHandler, err
 	h := &core.DuplexHandler{
 		Alg:     s.opts.Alg,
 		MaxSpin: s.opts.MaxSpin,
+		Tuner:   s.newTuner(fmt.Sprintf("server%d", i), ha),
 		Rcv:     NewPort(s.c2s[i]).bindActor(ha),
 		Snd:     hsnd,
 		A:       ha,
@@ -614,6 +714,12 @@ func (s *System) DuplexPair(i int) (*core.DuplexClient, *core.DuplexHandler, err
 }
 
 func (s *System) addSem(c *Channel) {
+	if s.opts.Alg == core.BSA {
+		// BSA channels park on the waiting-array semaphore: per-waiter
+		// hand-off slots, O(1) V and cancellation, no cond convoy. The
+		// swap happens before any endpoint exists, so no waiter is lost.
+		c.sem = NewWaitArraySemaphore(0)
+	}
 	c.id = core.SemID(len(s.sems))
 	s.sems = append(s.sems, c.sem)
 }
@@ -642,6 +748,51 @@ func (s *System) newActor(name string) *Actor {
 		a.FH = s.inj.Hook(a.ID)
 	}
 	return a
+}
+
+// newTuner builds and registers the BSA controller for one handle
+// (attaching it to the handle's actor so queue-full naps stretch with
+// the oversubscription backoff), or returns nil for the fixed-budget
+// protocols — handles treat a nil Tuner as "build one lazily", so the
+// nil is harmless even if Alg were BSA.
+func (s *System) newTuner(name string, a *Actor) *core.Tuner {
+	if s.opts.Alg != core.BSA {
+		return nil
+	}
+	t := core.NewTuner(core.TunerConfig{})
+	a.Tun = t
+	s.tunMu.Lock()
+	s.tuners = append(s.tuners, TunerSample{Name: name, T: t})
+	s.tunMu.Unlock()
+	return t
+}
+
+// TunerSample pairs one handle's name with its live BSA controller.
+type TunerSample struct {
+	Name string
+	T    *core.Tuner
+}
+
+// Tuners returns the live BSA controllers in handle-creation order
+// (empty unless the system runs BSA). The exporters read budgets and
+// decision counters through these.
+func (s *System) Tuners() []TunerSample {
+	s.tunMu.Lock()
+	defer s.tunMu.Unlock()
+	return append([]TunerSample(nil), s.tuners...)
+}
+
+// TunerSnapshots reads every live controller's gauge and counters.
+func (s *System) TunerSnapshots() map[string]core.TunerSnapshot {
+	ts := s.Tuners()
+	if len(ts) == 0 {
+		return nil
+	}
+	out := make(map[string]core.TunerSnapshot, len(ts))
+	for _, t := range ts {
+		out[t.Name] = t.T.Snapshot()
+	}
+	return out
 }
 
 // registerActor files an actor's channel topology with the recovery
@@ -708,6 +859,7 @@ func (s *System) WorkerPool(n int) ([]*core.PoolWorker, error) {
 		workers[w] = &core.PoolWorker{
 			Alg:     s.opts.Alg,
 			MaxSpin: s.opts.MaxSpin,
+			Tuner:   s.newTuner(fmt.Sprintf("server%d", w), a),
 			Rcv:     NewPoolPort(s.recv),
 			Replies: replies,
 			A:       a,
@@ -742,6 +894,7 @@ func (s *System) PoolClient(i int) (*core.PoolClient, error) {
 		ID:      int32(i),
 		Alg:     s.opts.Alg,
 		MaxSpin: s.opts.MaxSpin,
+		Tuner:   s.newTuner(fmt.Sprintf("client%d", i), a),
 		Srv:     NewPoolPort(s.recv),
 		Rcv:     NewPort(s.replies[i]).bindActor(a),
 		A:       a,
@@ -791,6 +944,7 @@ func (s *System) Server() *core.Server {
 	return &core.Server{
 		Alg:      s.opts.Alg,
 		MaxSpin:  s.opts.MaxSpin,
+		Tuner:    s.newTuner("server", a),
 		Rcv:      NewPort(s.recv).bindActor(a),
 		Replies:  replies,
 		A:        a,
@@ -821,6 +975,7 @@ func (s *System) Client(i int) (*core.Client, error) {
 		ID:      int32(i),
 		Alg:     s.opts.Alg,
 		MaxSpin: s.opts.MaxSpin,
+		Tuner:   s.newTuner(fmt.Sprintf("client%d", i), a),
 		Srv:     srv,
 		Rcv:     NewPort(s.replies[i]).bindActor(a),
 		A:       a,

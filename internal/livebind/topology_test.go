@@ -39,9 +39,8 @@ func TestDefaultReplyKindIsSPSC(t *testing.T) {
 	if k := sys.ReceiveChannel().Kind(); k == queue.KindSPSC {
 		t.Fatal("receive channel must never be SPSC")
 	}
-	// An explicit MPMC ReplyKind restores the old behaviour.
-	rk := queue.KindRing
-	sys2, err := NewSystem(Options{Clients: 1, ReplyKind: &rk})
+	// An explicit MPMC reply kind restores the old behaviour.
+	sys2, err := NewSystem(Options{Clients: 1}, WithReplyKind(queue.KindRing))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,8 +64,7 @@ func TestServerDoubleTakePanicsUnderSPSC(t *testing.T) {
 }
 
 func TestServerDoubleTakeAllowedWithMPMCReplies(t *testing.T) {
-	rk := queue.KindRing
-	sys, err := NewSystem(Options{Clients: 1, ReplyKind: &rk})
+	sys, err := NewSystem(Options{Clients: 1}, WithReplyKind(queue.KindRing))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,8 +128,7 @@ func TestWorkerPoolRebuildsAutoSPSCReplies(t *testing.T) {
 }
 
 func TestWorkerPoolExplicitSPSCErrors(t *testing.T) {
-	rk := queue.KindSPSC
-	sys, err := NewSystem(Options{Clients: 1, ReplyKind: &rk})
+	sys, err := NewSystem(Options{Clients: 1}, WithReplyKind(queue.KindSPSC))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -149,17 +149,17 @@ func RunChaosCell(cfg ChaosConfig) (ChaosResult, error) {
 	// and dequeue walking the recoverable critical sections, so the SPSC
 	// reply default (no locks, nothing to crash in) is deliberately
 	// overridden.
-	replyKind := queue.KindTwoLock
+	maxSpin, _ := tuneFor(cfg.Alg, cfg.MaxSpin, 0)
 	sys, err := livebind.NewSystem(livebind.Options{
 		Alg:        cfg.Alg,
-		MaxSpin:    cfg.MaxSpin,
+		MaxSpin:    maxSpin,
 		Clients:    cfg.Clients,
 		QueueCap:   cfg.QueueCap,
 		QueueKind:  queue.KindTwoLock,
-		ReplyKind:  &replyKind,
 		SleepScale: time.Millisecond,
 		Metrics:    ms,
 	},
+		livebind.WithReplyKind(queue.KindTwoLock),
 		livebind.WithFaults(inj),
 		livebind.WithRecovery(livebind.RecoveryOptions{SweepInterval: cfg.SweepInterval}),
 	)
@@ -397,9 +397,10 @@ func RunChaosShardKill(cfg ChaosConfig, shards int) (ChaosResult, error) {
 	}
 	const batch = 8
 	ms := metrics.NewSet()
+	groupSpin, _ := tuneFor(cfg.Alg, cfg.MaxSpin, 0)
 	sys, err := livebind.NewSystemGroup(shards, livebind.Options{
 		Alg:        cfg.Alg,
-		MaxSpin:    cfg.MaxSpin,
+		MaxSpin:    groupSpin,
 		Clients:    cfg.Clients,
 		QueueCap:   cfg.QueueCap,
 		SleepScale: time.Millisecond,

@@ -86,6 +86,16 @@ type LiveConfig struct {
 	Picker livebind.ShardPicker
 }
 
+// tuneFor zeroes the hand-tuned knobs when alg is BSA: the controller
+// owns the spin budget and the backoff, and NewSystem rejects the
+// combination with ErrBadTuning.
+func tuneFor(alg core.Algorithm, maxSpin, throttle int) (int, int) {
+	if alg == core.BSA {
+		return 0, 0
+	}
+	return maxSpin, throttle
+}
+
 // RunLive executes the client/server workload on the live runtime and
 // returns wall-clock results. With cfg.Watchdog set it runs the
 // context-threaded variant (see LiveConfig.Watchdog).
@@ -103,6 +113,7 @@ func RunLive(cfg LiveConfig) (Result, error) {
 	if cfg.ReplyKind != nil {
 		replyKind = *cfg.ReplyKind
 	}
+	maxSpin, throttle := tuneFor(cfg.Alg, cfg.MaxSpin, cfg.Throttle)
 	ms := metrics.NewSet()
 	var observer *obs.Observer
 	if cfg.Observe {
@@ -118,7 +129,7 @@ func RunLive(cfg LiveConfig) (Result, error) {
 	if cfg.Shards > 0 {
 		sys, err := livebind.NewSystemGroup(cfg.Shards, livebind.Options{
 			Alg:        cfg.Alg,
-			MaxSpin:    cfg.MaxSpin,
+			MaxSpin:    maxSpin,
 			Clients:    cfg.Clients,
 			QueueCap:   cfg.QueueCap,
 			AllocBatch: cfg.AllocBatch,
@@ -136,18 +147,17 @@ func RunLive(cfg LiveConfig) (Result, error) {
 	}
 	sys, err := livebind.NewSystem(livebind.Options{
 		Alg:        cfg.Alg,
-		MaxSpin:    cfg.MaxSpin,
+		MaxSpin:    maxSpin,
 		Clients:    cfg.Clients,
 		QueueCap:   cfg.QueueCap,
 		QueueKind:  cfg.QueueKind,
-		ReplyKind:  &replyKind,
 		AllocBatch: cfg.AllocBatch,
 		SpinIters:  cfg.SpinIters,
-		Throttle:   cfg.Throttle,
+		Throttle:   throttle,
 		SleepScale: cfg.SleepScale,
 		Metrics:    ms,
 		Observer:   observer,
-	})
+	}, livebind.WithReplyKind(replyKind))
 	if err != nil {
 		return Result{}, err
 	}

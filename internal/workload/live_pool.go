@@ -24,9 +24,10 @@ func RunLivePool(cfg LiveConfig, workers int) (Result, error) {
 		cfg.SleepScale = time.Millisecond
 	}
 	ms := metrics.NewSet()
+	maxSpin, _ := tuneFor(cfg.Alg, cfg.MaxSpin, 0)
 	sys, err := livebind.NewSystem(livebind.Options{
 		Alg:        cfg.Alg,
-		MaxSpin:    cfg.MaxSpin,
+		MaxSpin:    maxSpin,
 		Clients:    cfg.Clients,
 		QueueCap:   cfg.QueueCap,
 		QueueKind:  cfg.QueueKind,

@@ -2,7 +2,8 @@
 // Protocols for User-Level IPC" (Unrau & Krieger, ICPP 1998): a
 // Send/Receive/Reply client-server IPC facility layered over
 // shared-memory FIFO queues, with the paper's four sleep/wake-up
-// protocols (BSS, BSW, BSWY, BSLS).
+// protocols (BSS, BSW, BSWY, BSLS) plus BSA, an adaptive fifth that
+// tunes the paper's hand-set constants online (WithAdaptive).
 //
 // Two bindings execute the same protocol code:
 //
@@ -79,7 +80,7 @@ var (
 	// target client.
 	ErrDoubleReply = core.ErrDoubleReply
 
-	// ErrUnknownAlgorithm: an Algorithm value outside the four
+	// ErrUnknownAlgorithm: an Algorithm value outside the registered
 	// protocols (legacy methods panic with this same sentinel).
 	ErrUnknownAlgorithm = core.ErrUnknownAlgorithm
 
@@ -90,26 +91,33 @@ var (
 	ErrBadOption    = livebind.ErrBadOption
 	ErrSPSCTopology = livebind.ErrSPSCTopology
 	ErrNoFreeSlots  = livebind.ErrNoFreeSlots
+
+	// ErrBadTuning: a contradictory tuning configuration — the adaptive
+	// controller (WithAdaptive / BSA) combined with a hand-set MaxSpin,
+	// a wake Throttle, or an explicit non-BSA protocol.
+	ErrBadTuning = livebind.ErrBadTuning
 )
 
 // Algorithm selects a sleep/wake-up protocol.
 type Algorithm = core.Algorithm
 
-// The four protocols of the paper.
+// The four protocols of the paper, plus the adaptive extension.
 const (
 	BSS  = core.BSS  // Both Sides Spin (Figure 1)
 	BSW  = core.BSW  // Both Sides Wait (Figure 5)
 	BSWY = core.BSWY // Both Sides Wait and Yield (Figure 7)
 	BSLS = core.BSLS // Both Sides Limited Spin (Figure 9)
+	BSA  = core.BSA  // Both Sides Adaptive (online spin-budget controller)
 )
 
 // DefaultMaxSpin is the MAX_SPIN the paper recommends for BSLS.
 const DefaultMaxSpin = core.DefaultMaxSpin
 
-// Algorithms returns the four protocols in presentation order.
+// Algorithms returns the registered protocols in presentation order.
 func Algorithms() []Algorithm { return core.Algorithms() }
 
-// AlgorithmByName parses a protocol name ("BSS", "BSW", "BSWY", "BSLS").
+// AlgorithmByName parses a protocol name ("BSS", "BSW", "BSWY", "BSLS",
+// "BSA"; lowercase accepted).
 func AlgorithmByName(s string) (Algorithm, error) { return core.AlgorithmByName(s) }
 
 // Client is the client side of a connection: synchronous Send plus the
@@ -127,18 +135,27 @@ type Options = livebind.Options
 // Options struct (WithReplyKind, WithAllocBatch, WithMaxSpin, ...).
 type Option = livebind.Option
 
+// Tuning consolidates the protocol tuning knobs (spin budget, nap
+// scale, wake throttle) in one struct, applied with WithTuning. Set
+// Adaptive — or use WithAdaptive — to hand the knobs to the BSA
+// controller instead of choosing numbers.
+type Tuning = livebind.Tuning
+
+// TunerSnapshot is a point-in-time view of one BSA controller (budget
+// gauge plus decision counters), from System.TunerSnapshots.
+type TunerSnapshot = core.TunerSnapshot
+
 // Functional options — the v2 idiom for Options fields whose zero value
-// is meaningful. WithReplyKind replaces the ReplyKind pointer helper:
+// is meaningful:
 //
 //	sys, err := ulipc.NewSystem(ulipc.Options{Clients: 4},
 //		ulipc.WithReplyKind(ulipc.QueueRing),
-//		ulipc.WithAllocBatch(8))
+//		ulipc.WithAdaptive())
 var (
 	WithReplyKind   = livebind.WithReplyKind
 	WithAllocBatch  = livebind.WithAllocBatch
-	WithMaxSpin     = livebind.WithMaxSpin
-	WithThrottle    = livebind.WithThrottle
-	WithSleepScale  = livebind.WithSleepScale
+	WithTuning      = livebind.WithTuning
+	WithAdaptive    = livebind.WithAdaptive
 	WithDuplex      = livebind.WithDuplex
 	WithObserver    = livebind.WithObserver
 	WithHistograms  = livebind.WithHistograms
@@ -146,6 +163,17 @@ var (
 	WithShardPicker = livebind.WithShardPicker
 	WithStealBatch  = livebind.WithStealBatch
 	WithNoSteal     = livebind.WithNoSteal
+)
+
+// Deprecated single-knob tuning options, kept as thin aliases of the
+// livebind originals.
+//
+// Deprecated: use WithTuning (one struct for MaxSpin, SleepScale and
+// Throttle) or WithAdaptive (the BSA controller chooses them online).
+var (
+	WithMaxSpin    = livebind.WithMaxSpin
+	WithThrottle   = livebind.WithThrottle
+	WithSleepScale = livebind.WithSleepScale
 )
 
 // Observer collects per-protocol phase-latency histograms (send RTT,
@@ -217,25 +245,16 @@ type QueueKind = queue.Kind
 
 // Queue implementations: the paper's two-lock Michael & Scott queue, the
 // lock-free M&S queue, a bounded MPMC ring, and a Lamport SPSC ring.
-// QueueSPSC is only valid for Options.ReplyKind (where it is already the
-// default): the per-client channels are the one place the system can
-// prove the single-producer/single-consumer topology it requires.
+// QueueSPSC is only valid for the per-client reply channels — set with
+// WithReplyKind, where it is already the default — because those are
+// the one place the system can prove the single-producer/
+// single-consumer topology it requires.
 const (
 	QueueTwoLock  = queue.KindTwoLock
 	QueueLockFree = queue.KindLockFree
 	QueueRing     = queue.KindRing
 	QueueSPSC     = queue.KindSPSC
 )
-
-// ReplyKind wraps a queue kind for Options.ReplyKind, which
-// distinguishes "unset" (nil: the SPSC fast-path default) from an
-// explicit choice.
-//
-// Deprecated: use the WithReplyKind functional option instead —
-// NewSystem(opts, ulipc.WithReplyKind(k)) — which needs no pointer
-// plumbing. See DESIGN.md ("Migration: Options pointers to functional
-// options").
-func ReplyKind(k QueueKind) *QueueKind { return &k }
 
 // DuplexClient and DuplexHandler are the endpoints of a full-duplex
 // virtual connection — the thread-per-client server architecture

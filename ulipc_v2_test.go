@@ -32,26 +32,22 @@ func TestNewSystemTypedErrors(t *testing.T) {
 	}
 }
 
-// TestFunctionalOptions checks the v2 option idiom against the pointer
-// helper it replaces: both must configure the same reply-queue kind.
+// TestFunctionalOptions checks the v2 option idiom (the pointer helper
+// it replaced is gone — WithReplyKind is the sole path).
 func TestFunctionalOptions(t *testing.T) {
 	viaOption, err := ulipc.NewSystem(ulipc.Options{Alg: ulipc.BSW, Clients: 1},
 		ulipc.WithReplyKind(ulipc.QueueRing))
 	if err != nil {
 		t.Fatal(err)
 	}
-	viaPointer, err := ulipc.NewSystem(ulipc.Options{
-		Alg: ulipc.BSW, Clients: 1, ReplyKind: ulipc.ReplyKind(ulipc.QueueRing),
-	})
-	if err != nil {
-		t.Fatal(err)
+	if k := viaOption.ReplyChannel(0).Kind(); k != ulipc.QueueRing {
+		t.Fatalf("reply kind = %v, want %v", k, ulipc.QueueRing)
 	}
-	if a, b := viaOption.ReplyChannel(0).Kind(), viaPointer.ReplyChannel(0).Kind(); a != b || a != ulipc.QueueRing {
-		t.Fatalf("reply kinds: option=%v pointer=%v, want %v", a, b, ulipc.QueueRing)
-	}
-	// Options that map plain fields compose with the struct.
+	// Options that map plain fields compose with the struct; the
+	// consolidated Tuning struct carries all three scalar knobs.
 	sys, err := ulipc.NewSystem(ulipc.Options{Alg: ulipc.BSLS, Clients: 2},
-		ulipc.WithMaxSpin(7), ulipc.WithAllocBatch(4), ulipc.WithSleepScale(time.Millisecond))
+		ulipc.WithTuning(ulipc.Tuning{MaxSpin: 7, SleepScale: time.Millisecond}),
+		ulipc.WithAllocBatch(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +64,7 @@ func TestFunctionalOptions(t *testing.T) {
 // fail fast with ErrShutdown.
 func TestPublicAPIv2Lifecycle(t *testing.T) {
 	sys, err := ulipc.NewSystem(ulipc.Options{Alg: ulipc.BSLS, Clients: 1},
-		ulipc.WithSleepScale(time.Millisecond))
+		ulipc.WithTuning(ulipc.Tuning{SleepScale: time.Millisecond}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +124,7 @@ func TestPublicAPIv2Lifecycle(t *testing.T) {
 // marker message.
 func TestPublicAPIShutdownUnblocksLegacySend(t *testing.T) {
 	sys, err := ulipc.NewSystem(ulipc.Options{Alg: ulipc.BSW, Clients: 1},
-		ulipc.WithSleepScale(time.Millisecond))
+		ulipc.WithTuning(ulipc.Tuning{SleepScale: time.Millisecond}))
 	if err != nil {
 		t.Fatal(err)
 	}
