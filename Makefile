@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-live lint lint-deprecated cover bench-gate ab chaos
+.PHONY: build test race vet bench bench-live lint lint-deprecated cover bench-gate ab chaos xproc
 
 build:
 	$(GO) build ./...
@@ -20,13 +20,14 @@ bench:
 # Regenerate the live wall-clock benchmark document. One run per cell of
 # {queue configuration} x {protocol} x {1,4,16 clients}, then the
 # server-group scale-out sweep: {2,4,8 shards} x {16,64,256 clients},
-# each group of cells preceded by its single-server baseline so the A/B
-# is interleaved on the same machine state (DESIGN.md §6, §10).
+# then the cross-process sweep (each xproc cell preceded by its
+# in-process xproc-base twin), each group of cells interleaved with its
+# baseline on the same machine state (DESIGN.md §6, §10, §12).
 # -watchdog 0 keeps the recorded trajectory on the legacy (error-less)
 # send path so successive BENCH_live.json snapshots stay comparable;
 # interactive runs default to a watchdog (see README).
 bench-live:
-	$(GO) run ./cmd/ipcbench -live -watchdog 0 -best 3 -shards 2,4,8 -json -o BENCH_live.json
+	$(GO) run ./cmd/ipcbench -live -proc -watchdog 0 -best 3 -shards 2,4,8 -json -o BENCH_live.json
 	@echo wrote BENCH_live.json
 
 # Same linters as the CI lint job (.golangci.yml). Needs golangci-lint
@@ -82,3 +83,13 @@ SEED ?= 1
 chaos:
 	$(GO) run ./cmd/ipcrace -chaos
 	$(GO) run ./cmd/ipcbench -chaos -seed $(SEED)
+
+# Cross-process smoke, runnable locally: the futex wait/wake model
+# check, two real processes exchanging messages through a memfd arena
+# (in-process vs cross-process A/B), then the SIGKILL-the-server chaos
+# cell — the same sequence as the CI cross-process-smoke job. See
+# DESIGN.md §12. Override the seed with SEED=n.
+xproc:
+	$(GO) test -run TestFutex ./internal/protomodel/
+	$(GO) run -race ./cmd/ipcbench -proc -quick -msgs 500
+	$(GO) run -race ./cmd/ipcbench -proc -chaos -seed $(SEED)

@@ -25,6 +25,14 @@
 // environments (GOMAXPROCS or CPU count differ), failures are
 // downgraded to warnings: cross-machine numbers gate nothing, they only
 // inform. Improvements never fail, whatever their size.
+//
+// Cross-process cells (queue "xproc"/"xproc-base") get two extra
+// leniencies in the same spirit: when the two documents were built with
+// different sleep/wake backends (futex_backend field: futex vs poll)
+// their failures downgrade to warnings, and when the committed baseline
+// simply predates the cross-process sweep the candidate's xproc cells
+// are reported informationally instead of failing the gate — a stale
+// baseline is a reason to refresh BENCH_live.json, not to block a PR.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"ulipc/internal/workload"
 )
@@ -52,7 +61,23 @@ type compareResult struct {
 	Missing     []string // baseline cells absent from the candidate
 	Extra       []string // candidate cells absent from the baseline
 	EnvMismatch bool     // GOMAXPROCS/NumCPU differ between documents
+
+	// BackendMismatch: the two documents were built with different
+	// sleep/wake backends (futex vs poll). Cross-process (xproc) cells
+	// are then not comparable — their failures downgrade to warnings,
+	// mirroring the env-mismatch downgrade. In-process cells never
+	// touch the backend and keep gating.
+	BackendMismatch bool
+
+	// ProcBaselineGap: the candidate carries cross-process cells the
+	// baseline predates. Those cells are already unmatched (Extra), so
+	// they gate nothing; the flag only drives the explanatory note.
+	ProcBaselineGap bool
 }
+
+// procCell reports whether a cell key belongs to the cross-process
+// sweep (queue "xproc" or its in-process twin "xproc-base").
+func procCell(key string) bool { return strings.HasPrefix(key, "xproc") }
 
 // cellKey identifies a cell. Server-group cells additionally carry the
 // shard count; single-server cells keep the legacy three-part key, so
@@ -78,7 +103,8 @@ func metricOf(base, cand workload.LiveBenchEntry) (name string, b, c float64) {
 // baseline cell carries partial numbers that gate nothing.
 func compare(base, cand *workload.LiveBenchReport) compareResult {
 	res := compareResult{
-		EnvMismatch: base.GOMAXPROCS != cand.GOMAXPROCS || base.NumCPU != cand.NumCPU,
+		EnvMismatch:     base.GOMAXPROCS != cand.GOMAXPROCS || base.NumCPU != cand.NumCPU,
+		BackendMismatch: base.FutexBackend != cand.FutexBackend,
 	}
 	baseBy := make(map[string]workload.LiveBenchEntry, len(base.Entries))
 	for _, e := range base.Entries {
@@ -91,6 +117,9 @@ func compare(base, cand *workload.LiveBenchReport) compareResult {
 		b, ok := baseBy[key]
 		if !ok {
 			res.Extra = append(res.Extra, key)
+			if procCell(key) {
+				res.ProcBaselineGap = true
+			}
 			continue
 		}
 		if b.Error != "" || c.Error != "" {
@@ -125,9 +154,12 @@ func gate(w io.Writer, res compareResult, warnPct, failPct float64) int {
 		status := "ok"
 		switch {
 		case c.DeltaPct > failPct:
-			if res.EnvMismatch {
+			switch {
+			case res.EnvMismatch:
 				status = "WARN (fail downgraded: env mismatch)"
-			} else {
+			case res.BackendMismatch && procCell(c.Key):
+				status = "WARN (fail downgraded: futex backend mismatch)"
+			default:
 				status = "FAIL"
 				fails++
 			}
@@ -153,6 +185,12 @@ func gate(w io.Writer, res compareResult, warnPct, failPct float64) int {
 	}
 	if res.EnvMismatch {
 		fmt.Fprintf(w, "note: baseline and candidate environments differ (GOMAXPROCS/CPUs); regressions warn but never fail\n")
+	}
+	if res.BackendMismatch {
+		fmt.Fprintf(w, "note: sleep/wake backends differ (futex vs poll); cross-process cells warn but never fail\n")
+	}
+	if res.ProcBaselineGap {
+		fmt.Fprintf(w, "note: baseline predates the cross-process sweep; xproc cells inform but never gate\n")
 	}
 	if fails > 0 {
 		fmt.Fprintf(w, "bench gate: %d cell(s) regressed past %.0f%%\n", fails, failPct)

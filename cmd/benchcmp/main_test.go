@@ -164,3 +164,53 @@ func TestGateEnvMismatchDowngradesFailures(t *testing.T) {
 		t.Errorf("output does not mention the downgrade:\n%s", out.String())
 	}
 }
+
+func TestGateBackendMismatchDowngradesProcCellsOnly(t *testing.T) {
+	base := rep(1,
+		entry("xproc", "BSW", 2, 0, 20000),
+		entry("default", "BSS", 1, 1000, 1000),
+	)
+	base.FutexBackend = "futex"
+	cand := rep(1,
+		entry("xproc", "BSW", 2, 0, 40000),     // +100% but backends differ: warn
+		entry("default", "BSS", 1, 2000, 2000), // +100% in-process: still fails
+	)
+	cand.FutexBackend = "poll"
+	res := compare(base, cand)
+	if !res.BackendMismatch {
+		t.Fatal("BackendMismatch not detected")
+	}
+	var out strings.Builder
+	if fails := gate(&out, res, 10, 25); fails != 1 {
+		t.Fatalf("fails = %d, want 1 (only the in-process cell)\n%s", fails, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "futex backend mismatch") {
+		t.Errorf("output does not mention the backend downgrade:\n%s", s)
+	}
+	if !strings.Contains(s, "backends differ") {
+		t.Errorf("output missing the backend note:\n%s", s)
+	}
+}
+
+func TestGateProcCellsAbsentFromBaselineNeverFail(t *testing.T) {
+	// A committed baseline from before the cross-process sweep: the
+	// candidate's xproc pair must inform, not close the gate.
+	base := rep(1, entry("default", "BSS", 1, 1000, 1000))
+	cand := rep(1,
+		entry("default", "BSS", 1, 1000, 1000),
+		entry("xproc-base", "BSW", 2, 5000, 5000),
+		entry("xproc", "BSW", 2, 0, 50000),
+	)
+	res := compare(base, cand)
+	if !res.ProcBaselineGap {
+		t.Fatal("ProcBaselineGap not detected")
+	}
+	var out strings.Builder
+	if fails := gate(&out, res, 10, 25); fails != 0 {
+		t.Fatalf("fails = %d, want 0\n%s", fails, out.String())
+	}
+	if !strings.Contains(out.String(), "predates the cross-process sweep") {
+		t.Errorf("output missing the stale-baseline note:\n%s", out.String())
+	}
+}

@@ -40,10 +40,26 @@
 // A chaos cell fails on deadlock, pool leak, or validation mismatch;
 // any failed cell makes the process exit non-zero after the full
 // report is written.
+//
+// Cross-process mode (real OS processes over a memfd arena + futexes):
+//
+//	ipcbench -proc                        # in-process vs cross-process A/B
+//	                                      # pairs (xproc-base / xproc cells)
+//	ipcbench -proc -procclients 1,4,16
+//	ipcbench -live -proc                  # full matrix plus the A/B pairs
+//	ipcbench -proc -chaos -seed 42        # SIGKILL the server mid-traffic;
+//	                                      # fails on a hung client, a missed
+//	                                      # ErrPeerDead, or a leaked pool
+//	ipcbench -live -flightout dump.txt    # watchdog flight dumps to a file
+//	                                      # (CI uploads it as an artifact)
+//
+// ipcbench re-executes itself as the worker processes of -proc cells;
+// the ULIPC_PROC_ROLE environment variable marks a worker invocation.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -53,10 +69,14 @@ import (
 
 	"ulipc/internal/core"
 	"ulipc/internal/experiment"
+	"ulipc/internal/shm"
 	"ulipc/internal/workload"
 )
 
 func main() {
+	// A -proc cell re-executes this binary as its server/client worker
+	// processes; a worker invocation runs its role and exits here.
+	workload.MaybeProcWorker()
 	var (
 		exp     = flag.String("exp", "", "experiment id to run (default: all)")
 		msgs    = flag.Int("msgs", 0, "requests per client (0 = experiment default)")
@@ -84,18 +104,28 @@ func main() {
 
 		chaos = flag.Bool("chaos", false, "run the seeded chaos matrix (fault injection + recovery) instead of the simulator experiments")
 		seed  = flag.Int64("seed", 1, "with -chaos: base seed for the fault schedules (cell i uses seed+i)")
+
+		proc        = flag.Bool("proc", false, "cross-process cells over a memfd arena: alone, run the in-process vs cross-process A/B pairs; with -live, append them to the matrix; with -chaos, SIGKILL the server mid-traffic instead of the in-process fault matrix")
+		procClients = flag.String("procclients", "", "with -proc: comma-separated client counts for the cross-process cells (default 1,4)")
+		flightOut   = flag.String("flightout", "", "with -live: write watchdog flight-recorder dumps to this file instead of stderr (enables a 4096-event recorder if -flight is unset); CI uploads it as an artifact")
 	)
 	flag.Parse()
 
 	if *chaos {
-		if err := runChaos(*jsonOut, *outFile, *msgs, *quick, *clients, *algs, *shards, *seed, *watchdog); err != nil {
+		var err error
+		if *proc {
+			err = runProcChaos(*jsonOut, *outFile, *procClients, *algs, *seed, *watchdog)
+		} else {
+			err = runChaos(*jsonOut, *outFile, *msgs, *quick, *clients, *algs, *shards, *seed, *watchdog)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "ipcbench: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	if *live {
+	if *live || *proc {
 		if *abReps > 0 {
 			if err := runLiveAB(*abReps, *jsonOut, *msgs, *clients, *algs, *liveSpin, *watchdog); err != nil {
 				fmt.Fprintf(os.Stderr, "ipcbench: %v\n", err)
@@ -103,7 +133,7 @@ func main() {
 			}
 			return
 		}
-		if err := runLive(*jsonOut, *outFile, *msgs, *quick, *clients, *algs, *shards, *shardClients, *sendBatch, *batch, *liveSpin, *watchdog, *noObs, *flight, *best); err != nil {
+		if err := runLive(*jsonOut, *outFile, *msgs, *quick, *clients, *algs, *shards, *shardClients, *procClients, *flightOut, *sendBatch, *batch, *liveSpin, *watchdog, *noObs, *flight, *best, *proc, !*live); err != nil {
 			fmt.Fprintf(os.Stderr, "ipcbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -155,10 +185,21 @@ func main() {
 // the sweep: its partial numbers and Error land in the report, the
 // remaining cells still run, and the non-nil error return makes the
 // process exit non-zero after the (partial) report has been written.
-func runLive(jsonOut bool, outFile string, msgs int, quick bool, clients, algs, shards, shardClients string, sendBatch, batch, spin int, watchdog time.Duration, noObs bool, flight, best int) error {
+func runLive(jsonOut bool, outFile string, msgs int, quick bool, clients, algs, shards, shardClients, procClients, flightOut string, sendBatch, batch, spin int, watchdog time.Duration, noObs bool, flight, best int, proc, procOnly bool) error {
 	opts := workload.LiveBenchOptions{Msgs: msgs, AllocBatch: batch, SpinIters: spin, Watchdog: watchdog, NoObs: noObs, RecorderCap: flight, Batch: sendBatch}
 	if flight > 0 {
 		opts.DumpTo = os.Stderr
+	}
+	if flightOut != "" {
+		f, err := os.Create(flightOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		opts.DumpTo = f
+		if opts.RecorderCap <= 0 {
+			opts.RecorderCap = 4096
+		}
 	}
 	if quick && msgs == 0 {
 		opts.Msgs = 200
@@ -178,6 +219,18 @@ func runLive(jsonOut bool, outFile string, msgs int, quick bool, clients, algs, 
 	}
 	if quick && len(opts.Shards) > 0 && shardClients == "" {
 		opts.ShardClients = []int{16} // keep the CI smoke to seconds
+	}
+	if proc {
+		opts.ProcOnly = procOnly
+		if opts.ProcClients, err = parseClients(procClients); err != nil {
+			return fmt.Errorf("-procclients: %w", err)
+		}
+		if len(opts.ProcClients) == 0 {
+			opts.ProcClients = []int{1, 4}
+		}
+		if quick && procClients == "" {
+			opts.ProcClients = []int{2}
+		}
 	}
 	out := os.Stdout
 	if outFile != "" {
@@ -270,6 +323,85 @@ func runChaos(jsonOut bool, outFile string, msgs int, quick bool, clients, algs,
 		}
 	}
 	return err
+}
+
+// runProcChaos executes the cross-process SIGKILL cells: for each
+// protocol and client count, server and client processes exchange
+// traffic over a memfd segment until the parent SIGKILLs the server;
+// every surviving client must unblock with ErrPeerDead and the
+// post-mortem audit must make the pool whole. The full report is
+// written before a failed cell turns into a non-zero exit.
+func runProcChaos(jsonOut bool, outFile, clients, algs string, seed int64, watchdog time.Duration) error {
+	cls, err := parseClients(clients)
+	if err != nil {
+		return fmt.Errorf("-procclients: %w", err)
+	}
+	if len(cls) == 0 {
+		cls = []int{2}
+	}
+	as, err := parseAlgs(algs)
+	if err != nil {
+		return err
+	}
+	if len(as) == 0 {
+		as = []core.Algorithm{core.BSW, core.BSA}
+	}
+	out := os.Stdout
+	if outFile != "" {
+		f, ferr := os.Create(outFile)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		out = f
+	}
+	var results []workload.ProcChaosResult
+	var failures []error
+	i := int64(0)
+	for _, alg := range as {
+		for _, n := range cls {
+			res, err := workload.RunProcChaosKill(workload.ProcConfig{
+				Alg:      alg,
+				Clients:  n,
+				Seed:     seed + i,
+				Watchdog: watchdog,
+			})
+			i++
+			if errors.Is(err, shm.ErrMapUnsupported) {
+				fmt.Fprintf(os.Stderr, "xproc-kill %-5s %3dc  skipped: no mapped-segment backend\n", alg, n)
+				continue
+			}
+			results = append(results, res)
+			if err != nil {
+				failures = append(failures, fmt.Errorf("xproc-kill %s/%dc: %w", alg, n, err))
+				fmt.Fprintf(os.Stderr, "xproc-kill %-5s %3dc  FAILED: %v\n", alg, n, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "xproc-kill %-5s %3dc  completed=%d detected=%d detect_max=%.1fms rescues=%d orphans=%d\n",
+					alg, n, res.Completed, res.Detected, res.DetectMsMax, res.WakeRescues, res.OrphanMsgs+res.OrphanRefs)
+			}
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if werr := enc.Encode(results); werr != nil {
+			failures = append(failures, werr)
+		}
+	} else {
+		fmt.Fprintf(out, "cross-process SIGKILL chaos (base seed %d, backend varies per build)\n", seed)
+		fmt.Fprintf(out, "%-20s %9s %9s %5s %11s %8s %8s %7s  %s\n",
+			"cell", "completed", "detected", "hung", "detect(ms)", "rescues", "orphans", "leaked", "status")
+		for _, r := range results {
+			status := "ok"
+			if r.Error != "" {
+				status = "FAIL: " + r.Error
+			}
+			fmt.Fprintf(out, "%-20s %9d %9d %5d %11.1f %8d %8d %7d  %s\n",
+				fmt.Sprintf("xproc-kill/%s/%dc", r.Alg, r.Clients), r.Completed, r.Detected, r.Hung,
+				r.DetectMsMax, r.WakeRescues, r.OrphanMsgs+r.OrphanRefs, r.PoolLeaked, status)
+		}
+	}
+	return errors.Join(failures...)
 }
 
 func renderChaosText(out *os.File, rep *workload.ChaosReport) {

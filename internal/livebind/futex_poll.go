@@ -1,0 +1,42 @@
+//go:build !linux || nofutex
+
+package livebind
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Polling fallback for platforms without futexes (and for the nofutex
+// build tag, which CI uses to keep this path honest on Linux too). The
+// semantics match futex_linux.go from the caller's point of view: wait
+// returns when the word changes, on timeout, or spuriously; wake is a
+// no-op because waiters notice the word change themselves. Latency is
+// bounded by the poll interval instead of a syscall round-trip — worse,
+// but portable and still correct, since ProcSem's loop re-checks its
+// condition after every return.
+
+// FutexBackend names the wake primitive this binary was built with.
+const FutexBackend = "poll"
+
+// pollInterval is the emulated-futex poll period. Short enough that a
+// wake is seen promptly; long enough that a parked process burns ~no CPU.
+const pollInterval = 200 * time.Microsecond
+
+// futexWait polls addr until it differs from val or d elapses
+// (d <= 0 means poll forever).
+func futexWait(addr *atomic.Uint32, val uint32, d time.Duration) {
+	var deadline time.Time
+	if d > 0 {
+		deadline = time.Now().Add(d)
+	}
+	for addr.Load() == val {
+		if d > 0 && !time.Now().Before(deadline) {
+			return
+		}
+		time.Sleep(pollInterval)
+	}
+}
+
+// futexWake is a no-op: pollers observe the word change directly.
+func futexWake(addr *atomic.Uint32, n int) {}

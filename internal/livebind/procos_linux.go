@@ -1,0 +1,21 @@
+//go:build linux
+
+package livebind
+
+import "syscall"
+
+// osYield is a real sched_yield(2): in the cross-process binding a yield
+// must be visible to the kernel scheduler, not just the Go runtime —
+// the peer that should run next lives in another process, which
+// runtime.Gosched cannot help.
+func osYield() {
+	_, _, _ = syscall.Syscall(syscall.SYS_SCHED_YIELD, 0, 0, 0)
+}
+
+// pidAlive probes a peer process with the null signal. EPERM still
+// proves existence (the process is alive but owned by someone else);
+// only ESRCH proves death.
+func pidAlive(pid int) bool {
+	err := syscall.Kill(pid, 0)
+	return err == nil || err == syscall.EPERM
+}

@@ -1,0 +1,12 @@
+//go:build !linux
+
+package livebind
+
+import "runtime"
+
+// osYield degrades to a runtime yield where sched_yield is unavailable.
+func osYield() { runtime.Gosched() }
+
+// pidAlive cannot probe foreign processes portably; report alive and
+// let lease-based (heartbeat) detection do the work.
+func pidAlive(pid int) bool { return true }

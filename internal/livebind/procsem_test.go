@@ -1,0 +1,150 @@
+package livebind
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"ulipc/internal/core"
+	"ulipc/internal/shm"
+)
+
+func newTestSem(t *testing.T) *ProcSem {
+	t.Helper()
+	seg, err := shm.NewHeapSeg(shm.SegConfig{Clients: 1, Nodes: 16, RingCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { seg.Close() })
+	v, _ := seg.View()
+	return NewProcSem(&v.Sems[0], 5*time.Millisecond)
+}
+
+// Tokens are conserved under contention: N producers × K tokens each
+// are consumed exactly once by M consumers, and the count ends at zero.
+func TestProcSemTokenConservation(t *testing.T) {
+	s := newTestSem(t)
+	const producers, consumers, per = 4, 4, 500
+	total := producers * per
+
+	var wg sync.WaitGroup
+	for i := 0; i < producers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				s.V()
+			}
+		}()
+	}
+	got := make(chan int, consumers)
+	for i := 0; i < consumers; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			c := 0
+			for j := 0; j < n; j++ {
+				s.P()
+				c++
+			}
+			got <- c
+		}(total / consumers)
+	}
+	wg.Wait()
+	close(got)
+	sum := 0
+	for c := range got {
+		sum += c
+	}
+	if sum != total {
+		t.Fatalf("consumed %d tokens, produced %d", sum, total)
+	}
+	if s.Count() != 0 {
+		t.Fatalf("count %d after balanced P/V, want 0", s.Count())
+	}
+}
+
+// Poison unblocks a parked waiter promptly and P returns without a
+// token (mirrors Semaphore.P after Close).
+func TestProcSemPoisonUnblocks(t *testing.T) {
+	s := newTestSem(t)
+	done := make(chan bool, 1)
+	go func() {
+		slept := s.P()
+		done <- slept
+	}()
+	time.Sleep(10 * time.Millisecond) // let it park
+	s.Poison()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("P did not return after Poison")
+	}
+	if s.Count() != 0 {
+		t.Fatalf("poisoned P consumed a token: count %d", s.Count())
+	}
+	// V on a poisoned semaphore is dropped.
+	if s.V() {
+		t.Fatal("V on poisoned semaphore claimed a wake")
+	}
+	if s.Count() != 0 {
+		t.Fatalf("V on poisoned semaphore parked a token: count %d", s.Count())
+	}
+}
+
+// A cancelled PCtx consumes no token; the token granted concurrently
+// stays available for the next P.
+func TestProcSemPCtxCancel(t *testing.T) {
+	s := newTestSem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.PCtx(ctx)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	err := <-errc
+	if err != context.Canceled {
+		t.Fatalf("PCtx after cancel: %v, want context.Canceled", err)
+	}
+	s.V()
+	if s.Count() != 1 {
+		t.Fatalf("count %d after V with no waiters, want 1", s.Count())
+	}
+	if slept := s.P(); slept {
+		t.Fatal("P slept with a token available")
+	}
+
+	// Poisoned PCtx surfaces ErrShutdown.
+	s.Poison()
+	if _, err := s.PCtx(context.Background()); err != core.ErrShutdown {
+		t.Fatalf("PCtx on poisoned sem: %v, want ErrShutdown", err)
+	}
+}
+
+// The val-check rendezvous: a V racing a parking waiter is never lost.
+// Hammer the park/wake edge with single tokens.
+func TestProcSemWakeRace(t *testing.T) {
+	s := newTestSem(t)
+	const rounds = 2000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < rounds; i++ {
+			s.P()
+		}
+	}()
+	for i := 0; i < rounds; i++ {
+		s.V()
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("consumer hung: a wake was lost")
+	}
+	if s.Count() != 0 {
+		t.Fatalf("count %d after balanced rounds, want 0", s.Count())
+	}
+}

@@ -25,6 +25,7 @@ import (
 //     destined for a live waiter is never lost to a cancelled one. This
 //     is the property the protocol layer's wake-token accounting
 //     (core.consumerWaitCtx) builds on.
+//
 // A third shape is available as an opt-in mode (NewWaitArraySemaphore):
 // a waiting array where EVERY waiter — plain or cancellable — parks on
 // its own per-waiter slot and V hands the token directly to the oldest

@@ -1,0 +1,97 @@
+package protomodel
+
+import "testing"
+
+// The futex rendezvous with the kernel val-check must be deadlock-free
+// and token-conserving under every interleaving of wakers and waiters.
+func TestFutexNoLostWake(t *testing.T) {
+	for wakers := 1; wakers <= 3; wakers++ {
+		for tokens := 1; tokens <= 2; tokens++ {
+			for waiters := 1; waiters <= 2; waiters++ {
+				if (wakers*tokens)%waiters != 0 {
+					continue
+				}
+				cfg := FutexConfig{Wakers: wakers, Tokens: tokens, Waiters: waiters}
+				res, err := FutexCheck(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tag := "wakers=" + itoa(wakers) + " tokens=" + itoa(tokens) + " waiters=" + itoa(waiters)
+				if res.Deadlock {
+					t.Errorf("%s: deadlock; one path:\n%s", tag, pathString(res.DeadlockPath))
+				}
+				if !res.Conserved {
+					t.Errorf("%s: some terminal state lost or duplicated a token", tag)
+				}
+				if res.Crashed || res.Rescued {
+					t.Errorf("%s: crash/rescue explored in a crash-free run", tag)
+				}
+			}
+		}
+	}
+}
+
+// The naive variant — park without the kernel's val-check — must
+// exhibit the lost wake: the checker finds an interleaving where the
+// waker's increment and its waiters==0 skip both land between the
+// waiter's failed try-acquire and its waiters++, so the waiter parks
+// on a token it is never shown. This is the property that makes the
+// val-check (and ProcSem's poison-in-the-word) load-bearing.
+func TestFutexNaiveVariantLosesWake(t *testing.T) {
+	res, err := FutexCheck(FutexConfig{Wakers: 1, Tokens: 1, Waiters: 1, NoValCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlock {
+		t.Fatal("unconditional park explored no lost-wake deadlock — the model is too weak to justify the val-check")
+	}
+	t.Logf("lost-wake interleaving:\n%s", pathString(res.DeadlockPath))
+}
+
+// A waker that crashes at the worst instants — before an increment, or
+// between an increment and the wake it owes — must never strand a
+// waiter: the sweeper's poison (dead flag + poison bit in the futex
+// word + wake-all) rescues every interleaving.
+func TestFutexCrashRescuedByPoison(t *testing.T) {
+	for wakers := 1; wakers <= 2; wakers++ {
+		for waiters := 1; waiters <= 2; waiters++ {
+			if (wakers*2)%waiters != 0 {
+				continue
+			}
+			cfg := FutexConfig{Wakers: wakers, Tokens: 2, Waiters: waiters, Crash: true}
+			res, err := FutexCheck(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tag := "wakers=" + itoa(wakers) + " waiters=" + itoa(waiters)
+			if res.Deadlock {
+				t.Errorf("%s: crash stranded a waiter; one path:\n%s", tag, pathString(res.DeadlockPath))
+			}
+			if !res.Conserved {
+				t.Errorf("%s: crash lost or duplicated a token", tag)
+			}
+			if !res.Crashed {
+				t.Errorf("%s: no explored path crashed a waker", tag)
+			}
+			if !res.Rescued {
+				t.Errorf("%s: no waiter ever took the poisoned exit", tag)
+			}
+		}
+	}
+}
+
+// The crash machinery must be inert when disabled, and expand the
+// state space when enabled.
+func TestFutexCrashExpandsStateSpace(t *testing.T) {
+	base, err := FutexCheck(FutexConfig{Wakers: 2, Tokens: 2, Waiters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash, err := FutexCheck(FutexConfig{Wakers: 2, Tokens: 2, Waiters: 2, Crash: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crash.States <= base.States {
+		t.Fatalf("crash-enabled run explored %d states, base %d — crashes added nothing", crash.States, base.States)
+	}
+}

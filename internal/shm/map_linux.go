@@ -1,0 +1,153 @@
+//go:build linux
+
+package shm
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// File- and memfd-backed segments. A segment file is mapped MAP_SHARED
+// into every participating process; the offset-based layout (seg.go)
+// makes the base address irrelevant. memfd segments never touch the
+// filesystem — the parent passes the fd to children over exec
+// (os/exec.Cmd.ExtraFiles) and the kernel reclaims the memory when the
+// last fd closes, so a SIGKILLed fleet leaks nothing.
+
+// CreateFileSeg creates (truncating) a segment file of the given
+// geometry and maps it. The returned Seg is mapped and initialised.
+func CreateFileSeg(path string, cfg SegConfig) (*Seg, error) {
+	lay, err := LayoutFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(int64(lay.Size)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	mem, err := syscall.Mmap(int(f.Fd()), 0, lay.Size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("shm: mmap %s: %w", path, err)
+	}
+	s := &Seg{
+		mem: mem, lay: lay, view: viewOver(mem, lay), mapped: true,
+		remap: func() ([]byte, error) { return mapWholeFile(path) },
+		unmap: syscall.Munmap,
+	}
+	s.view.init(lay)
+	return s, nil
+}
+
+// OpenFileSeg returns an unmapped handle on an existing segment file;
+// call Map to validate and attach. MapFileSeg is the one-step variant.
+func OpenFileSeg(path string) (*Seg, error) {
+	if _, err := os.Stat(path); err != nil {
+		return nil, err
+	}
+	return &Seg{
+		remap: func() ([]byte, error) { return mapWholeFile(path) },
+		unmap: syscall.Munmap,
+	}, nil
+}
+
+// MapFileSeg opens and maps an existing segment file, validating its
+// header (magic, version, node ABI, geometry vs file size).
+func MapFileSeg(path string) (*Seg, error) {
+	s, err := OpenFileSeg(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Map(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// mapWholeFile maps an entire existing file read-write/shared.
+func mapWholeFile(path string) ([]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() < int64(unsafe.Sizeof(SegHeader{})) {
+		return nil, fmt.Errorf("%w: %s is %d bytes", ErrShortSegment, path, st.Size())
+	}
+	mem, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("shm: mmap %s: %w", path, err)
+	}
+	return mem, nil
+}
+
+// CreateMemfdSeg creates an anonymous memory-backed segment. The
+// returned *os.File is the memfd: pass it to worker processes via
+// ExtraFiles and map it there with MapFDSeg; close it when the last
+// worker has been spawned. The Seg itself holds a duplicate fd, so the
+// caller's close does not tear down the mapping source.
+func CreateMemfdSeg(name string, cfg SegConfig) (*Seg, *os.File, error) {
+	lay, err := LayoutFor(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := memfdCreate(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := f.Truncate(int64(lay.Size)); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	mem, err := syscall.Mmap(int(f.Fd()), 0, lay.Size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("shm: mmap memfd: %w", err)
+	}
+	s := &Seg{
+		mem: mem, lay: lay, view: viewOver(mem, lay), mapped: true,
+		remap: func() ([]byte, error) { return mapWholeFD(f.Fd()) },
+		unmap: syscall.Munmap,
+	}
+	s.view.init(lay)
+	return s, f, nil
+}
+
+// MapFDSeg maps a segment from an inherited file descriptor (the child
+// side of a memfd hand-off). The fd stays open and owned by the caller.
+func MapFDSeg(fd uintptr) (*Seg, error) {
+	s := &Seg{
+		remap: func() ([]byte, error) { return mapWholeFD(fd) },
+		unmap: syscall.Munmap,
+	}
+	if err := s.Map(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// mapWholeFD maps an entire fd read-write/shared.
+func mapWholeFD(fd uintptr) ([]byte, error) {
+	var st syscall.Stat_t
+	if err := syscall.Fstat(int(fd), &st); err != nil {
+		return nil, fmt.Errorf("shm: fstat fd %d: %w", fd, err)
+	}
+	if st.Size < int64(unsafe.Sizeof(SegHeader{})) {
+		return nil, fmt.Errorf("%w: fd %d is %d bytes", ErrShortSegment, fd, st.Size)
+	}
+	mem, err := syscall.Mmap(int(fd), 0, int(st.Size), syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("shm: mmap fd %d: %w", fd, err)
+	}
+	return mem, nil
+}

@@ -1,0 +1,28 @@
+//go:build !linux
+
+package shm
+
+import "os"
+
+// Non-Linux platforms have no mapping backend yet: the heap segment
+// (NewHeapSeg) remains available for single-process use, and every
+// file/fd entry point fails with the typed sentinel.
+
+// CreateFileSeg is unsupported on this platform.
+func CreateFileSeg(path string, cfg SegConfig) (*Seg, error) {
+	return nil, ErrMapUnsupported
+}
+
+// OpenFileSeg is unsupported on this platform.
+func OpenFileSeg(path string) (*Seg, error) { return nil, ErrMapUnsupported }
+
+// MapFileSeg is unsupported on this platform.
+func MapFileSeg(path string) (*Seg, error) { return nil, ErrMapUnsupported }
+
+// CreateMemfdSeg is unsupported on this platform.
+func CreateMemfdSeg(name string, cfg SegConfig) (*Seg, *os.File, error) {
+	return nil, nil, ErrMapUnsupported
+}
+
+// MapFDSeg is unsupported on this platform.
+func MapFDSeg(fd uintptr) (*Seg, error) { return nil, ErrMapUnsupported }

@@ -1,0 +1,63 @@
+//go:build linux
+
+package shm
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// memfd_create is not exported by the frozen syscall package; the
+// number is ABI-stable per architecture. Architectures without a known
+// number fall back to an unlinked tmpfs file, which has the same
+// lifetime property (kernel reclaims on last close).
+func memfdSyscallNum() (uintptr, bool) {
+	switch runtime.GOARCH {
+	case "amd64":
+		return 319, true
+	case "arm64":
+		return 279, true
+	case "386":
+		return 356, true
+	case "arm":
+		return 385, true
+	case "riscv64":
+		return 279, true
+	case "ppc64", "ppc64le":
+		return 360, true
+	case "s390x":
+		return 350, true
+	}
+	return 0, false
+}
+
+// memfdCreate returns an anonymous memory-backed file.
+func memfdCreate(name string) (*os.File, error) {
+	if num, ok := memfdSyscallNum(); ok {
+		nameb := append([]byte(name), 0)
+		fd, _, errno := syscall.Syscall(num, uintptr(unsafe.Pointer(&nameb[0])), 0, 0)
+		if errno == 0 {
+			return os.NewFile(fd, "memfd:"+name), nil
+		}
+		if errno != syscall.ENOSYS {
+			return nil, fmt.Errorf("shm: memfd_create: %w", errno)
+		}
+	}
+	// Fallback: an unlinked file on tmpfs (or the default temp dir).
+	dir := "/dev/shm"
+	if _, err := os.Stat(dir); err != nil {
+		dir = os.TempDir()
+	}
+	f, err := os.CreateTemp(dir, "ulipc-memfd-*")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.Remove(f.Name()); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,260 @@
+package shm
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ulipc/internal/core"
+)
+
+func segPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "seg")
+}
+
+func mustCreate(t *testing.T, cfg SegConfig) (*Seg, string) {
+	t.Helper()
+	p := segPath(t)
+	s, err := CreateFileSeg(p, cfg)
+	if errors.Is(err, ErrMapUnsupported) {
+		t.Skip("no mapping backend on this platform")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, p
+}
+
+// Two mappings of the same file in one process are two views of the
+// same physical pages: a message written through one must be readable
+// through the other, and the pool head is genuinely shared.
+func TestSegSharedAcrossMappings(t *testing.T) {
+	s1, p := mustCreate(t, SegConfig{Clients: 2, Nodes: 64, RingCap: 8})
+	s2, err := MapFileSeg(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	v1, _ := s1.View()
+	v2, _ := s2.View()
+
+	ref, ok := v1.Pool.Alloc()
+	if !ok {
+		t.Fatal("alloc failed on fresh pool")
+	}
+	v1.Arena().Node(ref).SetMsg(core.Msg{Op: core.OpEcho, Client: 1, Seq: 42, Val: 3.5})
+	if !v1.ReqLane(1).TryPush(ref) {
+		t.Fatal("push failed on empty lane")
+	}
+
+	got, ok := v2.ReqLane(1).TryPop()
+	if !ok {
+		t.Fatal("second mapping saw an empty lane")
+	}
+	m := v2.Arena().Node(got).Msg()
+	if m.Seq != 42 || m.Val != 3.5 || m.Client != 1 {
+		t.Fatalf("message corrupted across mappings: %+v", m)
+	}
+	v2.Pool.Free(got)
+	if free := v1.Pool.FreeCount(); free != 64 {
+		t.Fatalf("pool free count %d through first mapping, want 64", free)
+	}
+}
+
+func TestMapTruncatedFile(t *testing.T) {
+	_, p := mustCreate(t, SegConfig{Clients: 1, Nodes: 32, RingCap: 8})
+
+	// Shorter than even the header.
+	if err := os.Truncate(p, 32); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MapFileSeg(p); !errors.Is(err, ErrShortSegment) {
+		t.Fatalf("header-short file: got %v, want ErrShortSegment", err)
+	}
+
+	// Header intact but the body cut off: the geometry promises more
+	// bytes than the file holds.
+	s2, p2 := mustCreate(t, SegConfig{Clients: 1, Nodes: 32, RingCap: 8})
+	full := s2.Layout().Size
+	s2.Close()
+	if err := os.Truncate(p2, int64(full/2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MapFileSeg(p2); !errors.Is(err, ErrShortSegment) {
+		t.Fatalf("body-short file: got %v, want ErrShortSegment", err)
+	}
+}
+
+func TestMapBadMagicAndVersion(t *testing.T) {
+	s, p := mustCreate(t, SegConfig{Clients: 1, Nodes: 32, RingCap: 8})
+	s.Close()
+
+	// Corrupt the magic.
+	f, err := os.OpenFile(p, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xde, 0xad}, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := MapFileSeg(p); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: got %v, want ErrBadMagic", err)
+	}
+
+	// Fresh segment with a bumped version word (offset 8, after magic).
+	s2, p2 := mustCreate(t, SegConfig{Clients: 1, Nodes: 32, RingCap: 8})
+	v2, _ := s2.View()
+	v2.Hdr.Version.Store(SegVersion + 7)
+	s2.Close()
+	if _, err := MapFileSeg(p2); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("version bump: got %v, want ErrVersionMismatch", err)
+	}
+
+	// Foreign node ABI.
+	s3, p3 := mustCreate(t, SegConfig{Clients: 1, Nodes: 32, RingCap: 8})
+	v3, _ := s3.View()
+	v3.Hdr.NodeSize.Store(1234)
+	s3.Close()
+	if _, err := MapFileSeg(p3); !errors.Is(err, ErrBadGeometry) {
+		t.Fatalf("node-size mismatch: got %v, want ErrBadGeometry", err)
+	}
+}
+
+func TestDoubleMapAndUnmap(t *testing.T) {
+	s, _ := mustCreate(t, SegConfig{Clients: 1, Nodes: 32, RingCap: 8})
+
+	if err := s.Map(); !errors.Is(err, ErrMapped) {
+		t.Fatalf("double map: got %v, want ErrMapped", err)
+	}
+	if err := s.Unmap(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unmap(); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("double unmap: got %v, want ErrNotMapped", err)
+	}
+	if _, err := s.View(); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("view after unmap: got %v, want ErrNotMapped", err)
+	}
+	// Remap works and the data survived (it is a file).
+	if err := s.Map(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Hdr.State.Load() != SegReady {
+		t.Fatalf("remapped segment state %d, want SegReady", v.Hdr.State.Load())
+	}
+}
+
+func TestHeapSegUnmappable(t *testing.T) {
+	s, err := NewHeapSeg(SegConfig{Clients: 1, Nodes: 16, RingCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unmap(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Map(); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("heap remap: got %v, want ErrNotMapped", err)
+	}
+}
+
+func TestMemfdSeg(t *testing.T) {
+	s, f, err := CreateMemfdSeg("ulipc-test", SegConfig{Clients: 1, Nodes: 16, RingCap: 4})
+	if errors.Is(err, ErrMapUnsupported) {
+		t.Skip("no mapping backend on this platform")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	defer f.Close()
+	v, _ := s.View()
+	ref, ok := v.Pool.Alloc()
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	v.Arena().Node(ref).SetMsg(core.Msg{Seq: 9})
+
+	s2, err := MapFDSeg(f.Fd())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	v2, _ := s2.View()
+	if got := v2.Arena().Node(ref).Msg().Seq; got != 9 {
+		t.Fatalf("memfd mapping saw Seq %d, want 9", got)
+	}
+}
+
+func TestLaneOrderAndBounds(t *testing.T) {
+	s, err := NewHeapSeg(SegConfig{Clients: 1, Nodes: 32, RingCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	v, _ := s.View()
+	l := v.ReqLane(0)
+	if !l.Empty() {
+		t.Fatal("fresh lane not empty")
+	}
+	for i := 0; i < 4; i++ {
+		if !l.TryPush(Ref(i)) {
+			t.Fatalf("push %d failed below capacity", i)
+		}
+	}
+	if l.TryPush(99) {
+		t.Fatal("push succeeded on a full lane")
+	}
+	if l.Len() != 4 {
+		t.Fatalf("Len %d, want 4", l.Len())
+	}
+	for i := 0; i < 4; i++ {
+		r, ok := l.TryPop()
+		if !ok || r != Ref(i) {
+			t.Fatalf("pop %d: got (%d,%v)", i, r, ok)
+		}
+	}
+	if _, ok := l.TryPop(); ok {
+		t.Fatal("pop succeeded on an empty lane")
+	}
+}
+
+func TestSegReclaim(t *testing.T) {
+	s, err := NewHeapSeg(SegConfig{Clients: 2, Nodes: 16, RingCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	v, _ := s.View()
+
+	// One ref queued in a lane (a message whose consumer died), two
+	// in-flight (held by a dead process, reachable from nowhere).
+	queued, _ := v.Pool.Alloc()
+	v.ReplyLane(1).TryPush(queued)
+	v.Pool.Alloc()
+	v.Pool.Alloc()
+
+	msgs, refs, err := v.Reclaim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs != 1 || refs != 2 {
+		t.Fatalf("reclaim (%d msgs, %d refs), want (1, 2)", msgs, refs)
+	}
+	if free := v.Pool.FreeCount(); free != 16 {
+		t.Fatalf("after reclaim free=%d, want 16", free)
+	}
+	// The pool must actually be whole: all 16 allocatable again.
+	for i := 0; i < 16; i++ {
+		if _, ok := v.Pool.Alloc(); !ok {
+			t.Fatalf("alloc %d failed after reclaim", i)
+		}
+	}
+}

@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"ulipc/internal/core"
+	"ulipc/internal/livebind"
 	"ulipc/internal/queue"
+	"ulipc/internal/shm"
 )
 
 // The live wall-clock benchmark matrix: {queue configuration} x
@@ -87,6 +89,24 @@ type LiveBenchOptions struct {
 
 	// Batch is the vectored transfer size for sharded cells; default 16.
 	Batch int
+
+	// ProcClients, when non-empty, appends the cross-process sweep: for
+	// each protocol and client count one in-process baseline cell
+	// (queue "xproc-base") immediately followed by the same workload
+	// spread across real OS processes over a memfd segment (queue
+	// "xproc") — interleaved A/B, so the address-space-crossing cost is
+	// read against the same machine state. Skipped with a progress note
+	// on platforms without a mapping backend.
+	ProcClients []int
+
+	// ProcOnly restricts the sweep to the cross-process pairs (the CI
+	// smoke job's mode); ProcClients defaults to {1, 4} when set.
+	ProcOnly bool
+
+	// ProcExe is the worker binary for cross-process cells (default:
+	// this executable, which must call workload.MaybeProcWorker early
+	// in main).
+	ProcExe string
 }
 
 func (o *LiveBenchOptions) defaults() {
@@ -110,6 +130,9 @@ func (o *LiveBenchOptions) defaults() {
 	}
 	if o.Batch <= 0 {
 		o.Batch = 16
+	}
+	if o.ProcOnly && len(o.ProcClients) == 0 {
+		o.ProcClients = []int{1, 4}
 	}
 }
 
@@ -172,13 +195,20 @@ type LiveBenchEntry struct {
 
 // LiveBenchReport is the BENCH_live.json document.
 type LiveBenchReport struct {
-	GeneratedAt string           `json:"generated_at"`
-	GoVersion   string           `json:"go_version"`
-	GOMAXPROCS  int              `json:"gomaxprocs"`
-	NumCPU      int              `json:"num_cpu"`
-	MsgsPerCli  int              `json:"msgs_per_client"`
-	AllocBatch  int              `json:"alloc_batch"`
-	Entries     []LiveBenchEntry `json:"entries"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
+	MsgsPerCli  int    `json:"msgs_per_client"`
+	AllocBatch  int    `json:"alloc_batch"`
+
+	// FutexBackend records which sleep/wake implementation the binary
+	// was built with ("futex" on Linux, "poll" under -tags nofutex or
+	// elsewhere) — cross-process cells are not comparable across
+	// backends, and benchcmp treats a mismatch as an env change.
+	FutexBackend string `json:"futex_backend,omitempty"`
+
+	Entries []LiveBenchEntry `json:"entries"`
 }
 
 // RunLiveBench executes the full matrix and returns the report.
@@ -192,12 +222,13 @@ type LiveBenchReport struct {
 func RunLiveBench(opts LiveBenchOptions, progress io.Writer) (*LiveBenchReport, error) {
 	opts.defaults()
 	rep := &LiveBenchReport{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		NumCPU:      runtime.NumCPU(),
-		MsgsPerCli:  opts.Msgs,
-		AllocBatch:  opts.AllocBatch,
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		MsgsPerCli:   opts.Msgs,
+		AllocBatch:   opts.AllocBatch,
+		FutexBackend: livebind.FutexBackend,
 	}
 	var failures []error
 	runCell := func(k LiveBenchKind, alg core.Algorithm, n, shards int) error {
@@ -290,11 +321,13 @@ func RunLiveBench(opts LiveBenchOptions, progress io.Writer) (*LiveBenchReport, 
 		}
 		return nil
 	}
-	for _, k := range opts.Kinds {
-		for _, alg := range opts.Algs {
-			for _, n := range opts.Clients {
-				if err := runCell(k, alg, n, 0); err != nil {
-					return nil, err
+	if !opts.ProcOnly {
+		for _, k := range opts.Kinds {
+			for _, alg := range opts.Algs {
+				for _, n := range opts.Clients {
+					if err := runCell(k, alg, n, 0); err != nil {
+						return nil, err
+					}
 				}
 			}
 		}
@@ -302,7 +335,7 @@ func RunLiveBench(opts LiveBenchOptions, progress io.Writer) (*LiveBenchReport, 
 	// Scale-out sweep: each group of cells runs the single-server
 	// baseline (shards=0) back to back with the sharded samples, so the
 	// A/B comparison for a given (alg, clients) shares machine state.
-	if len(opts.Shards) > 0 {
+	if !opts.ProcOnly && len(opts.Shards) > 0 {
 		base := LiveBenchKind{Name: "default", Recv: queue.KindTwoLock, Reply: queue.KindSPSC}
 		for _, alg := range opts.Algs {
 			for _, n := range opts.ShardClients {
@@ -314,7 +347,94 @@ func RunLiveBench(opts LiveBenchOptions, progress io.Writer) (*LiveBenchReport, 
 			}
 		}
 	}
+	// Cross-process sweep: for each (alg, clients) the in-process
+	// baseline cell runs immediately before the real-processes cell —
+	// interleaved A/B again, so BENCH_live.json reads the cost of
+	// crossing address spaces against the same machine state.
+	if len(opts.ProcClients) > 0 {
+		base := LiveBenchKind{Name: "xproc-base", Recv: queue.KindTwoLock, Reply: queue.KindSPSC}
+		for _, alg := range opts.Algs {
+			for _, n := range opts.ProcClients {
+				if err := runCell(base, alg, n, 0); err != nil {
+					return nil, err
+				}
+				skipped, err := runProcBenchCell(opts, rep, alg, n, progress)
+				if err != nil {
+					failures = append(failures, err)
+				}
+				if skipped {
+					// No mapping backend on this platform: drop the
+					// orphaned baseline entry too, so the report never
+					// carries half a pair.
+					rep.Entries = rep.Entries[:len(rep.Entries)-1]
+					if progress != nil {
+						fmt.Fprintf(progress, "xproc      %-5s %3dc     skipped: no mapped-segment backend\n", alg, n)
+					}
+					continue
+				}
+			}
+		}
+	}
 	return rep, errors.Join(failures...)
+}
+
+// runProcBenchCell runs one cross-process cell and appends its entry.
+// skipped reports the platform has no mapping backend (not an error).
+func runProcBenchCell(opts LiveBenchOptions, rep *LiveBenchReport, alg core.Algorithm, n int, progress io.Writer) (skipped bool, err error) {
+	watchdog := opts.Watchdog
+	if watchdog <= 0 {
+		// Unlike in-process cells, a cross-process cell always runs
+		// bounded: a hung worker process would otherwise outlive the
+		// whole benchmark.
+		watchdog = time.Minute
+	}
+	res, err := RunProcCell(ProcConfig{
+		Alg:       alg,
+		Clients:   n,
+		Msgs:      opts.Msgs,
+		MaxSpin:   opts.MaxSpin,
+		SpinIters: opts.SpinIters,
+		Watchdog:  watchdog,
+		Exe:       opts.ProcExe,
+	})
+	if errors.Is(err, shm.ErrMapUnsupported) {
+		return true, nil
+	}
+	e := LiveBenchEntry{
+		Queue:      "xproc",
+		RecvKind:   "seg-lanes",
+		ReplyKind:  "seg-lane",
+		Alg:        alg.String(),
+		Clients:    n,
+		MsgsPerCli: opts.Msgs,
+	}
+	if res != nil {
+		e.NsPerRTT = res.RTTMicros * 1e3
+		e.MsgsPerSec = res.Throughput * 1e3
+		e.Yields = res.All.Yields
+		e.SemP = res.All.SemP
+		e.Blocks = res.All.Blocks
+		e.PeerDeaths = res.All.PeerDeaths
+		e.OrphanMsgs = res.All.OrphanMsgs
+		e.WakeRescues = res.All.WakeRescues
+		if total := int64(n) * int64(opts.Msgs); total > 0 {
+			e.WakeupsPerMsg = float64(res.All.Wakeups) / float64(total)
+		}
+	}
+	if err != nil {
+		e.Error = err.Error()
+		err = fmt.Errorf("live bench xproc/%s/%dc: %w", alg, n, err)
+	}
+	rep.Entries = append(rep.Entries, e)
+	if progress != nil {
+		if err != nil {
+			fmt.Fprintf(progress, "%-10s %-5s %3dc     FAILED: %v\n", "xproc", e.Alg, n, err)
+		} else {
+			fmt.Fprintf(progress, "%-10s %-5s %3dc     %12.0f ns/rtt  %11.0f msgs/s  wakes/msg=%.3f\n",
+				"xproc", e.Alg, n, e.NsPerRTT, e.MsgsPerSec, e.WakeupsPerMsg)
+		}
+	}
+	return false, err
 }
 
 // FasterEntry reports whether a beats b on the benchmark's headline
@@ -342,12 +462,13 @@ func MergeBest(reps []*LiveBenchReport) *LiveBenchReport {
 	}
 	last := reps[len(reps)-1]
 	merged := &LiveBenchReport{
-		GeneratedAt: last.GeneratedAt,
-		GoVersion:   last.GoVersion,
-		GOMAXPROCS:  last.GOMAXPROCS,
-		NumCPU:      last.NumCPU,
-		MsgsPerCli:  last.MsgsPerCli,
-		AllocBatch:  last.AllocBatch,
+		GeneratedAt:  last.GeneratedAt,
+		GoVersion:    last.GoVersion,
+		GOMAXPROCS:   last.GOMAXPROCS,
+		NumCPU:       last.NumCPU,
+		MsgsPerCli:   last.MsgsPerCli,
+		AllocBatch:   last.AllocBatch,
+		FutexBackend: last.FutexBackend,
 	}
 	best := map[string]int{} // cell key -> index into merged.Entries
 	key := func(e LiveBenchEntry) string {

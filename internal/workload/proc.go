@@ -1,0 +1,664 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"os/exec"
+	"time"
+
+	"ulipc/internal/core"
+	"ulipc/internal/livebind"
+	"ulipc/internal/metrics"
+	"ulipc/internal/shm"
+)
+
+// The cross-process harness: real OS processes exchanging messages
+// through a memfd segment with futex wake-ups. The parent creates the
+// segment and re-executes its own binary once per participant (the
+// classic helper-process pattern): a worker recognises itself by
+// ULIPC_PROC_ROLE in the environment, maps the inherited fd, runs its
+// script against livebind's proc binding, and reports one JSON line on
+// stdout. Any binary whose main (or TestMain) calls MaybeProcWorker
+// can host workers — cmd/ipcbench and this package's tests both do.
+
+const (
+	procRoleEnv = "ULIPC_PROC_ROLE"
+	procCfgEnv  = "ULIPC_PROC_CFG"
+	// procSegFD is where the inherited memfd lands in a worker:
+	// ExtraFiles[0] is always descriptor 3.
+	procSegFD = 3
+
+	procRoleServer = "server"
+	procRoleClient = "client"
+)
+
+// ProcConfig describes one cross-process cell.
+type ProcConfig struct {
+	Alg     core.Algorithm
+	Clients int
+	Msgs    int // per client; 0 = unbounded (chaos cells run until error)
+
+	MaxSpin   int
+	SpinIters int
+	RingCap   int // per-lane capacity (segment geometry)
+	Nodes     int // arena size; 0 = geometry default
+
+	SleepScale time.Duration // queue-full nap compression (default 1ms)
+	WaitSlice  time.Duration // futex park slice (default livebind's)
+
+	HeartbeatEvery time.Duration
+	SweepEvery     time.Duration
+	Lease          time.Duration
+
+	// Watchdog bounds every worker (default 60s): a cell that trips it
+	// is deadlocked, which is a hard failure.
+	Watchdog time.Duration
+
+	// KillServerAfter arms the chaos cell: the parent SIGKILLs the
+	// server that long after the clients start (default 150ms, plus
+	// seeded jitter when Seed is set).
+	KillServerAfter time.Duration
+	Seed            int64
+
+	// Exe is the worker binary (default: this executable).
+	Exe string
+}
+
+func (c *ProcConfig) defaults() error {
+	if c.Clients < 1 {
+		return fmt.Errorf("workload: proc cell needs at least 1 client")
+	}
+	if c.MaxSpin <= 0 {
+		c.MaxSpin = core.DefaultMaxSpin
+	}
+	if c.RingCap <= 0 {
+		c.RingCap = 64
+	}
+	if c.SleepScale <= 0 {
+		c.SleepScale = time.Millisecond
+	}
+	if c.Watchdog <= 0 {
+		c.Watchdog = 60 * time.Second
+	}
+	if c.Lease <= 0 {
+		// Chaos detection depends on this: the pid probe usually fires
+		// first, but the lease must be short enough that a cell where
+		// probes lie still converges well inside the watchdog.
+		c.Lease = 750 * time.Millisecond
+	}
+	if c.Exe == "" {
+		exe, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("workload: cannot locate worker binary: %w", err)
+		}
+		c.Exe = exe
+	}
+	return nil
+}
+
+// procWireCfg is the parent→worker configuration, serialised into the
+// environment. Durations travel as nanoseconds.
+type procWireCfg struct {
+	Alg         string `json:"alg"`
+	Clients     int    `json:"clients"`
+	Msgs        int    `json:"msgs"`
+	ClientID    int    `json:"client_id"`
+	MaxSpin     int    `json:"max_spin"`
+	SpinIters   int    `json:"spin_iters"`
+	SleepNs     int64  `json:"sleep_ns"`
+	WaitNs      int64  `json:"wait_ns"`
+	HeartbeatNs int64  `json:"heartbeat_ns"`
+	SweepNs     int64  `json:"sweep_ns"`
+	LeaseNs     int64  `json:"lease_ns"`
+	WatchdogNs  int64  `json:"watchdog_ns"`
+}
+
+// procWorkerResult is the worker→parent report: one JSON line on
+// stdout.
+type procWorkerResult struct {
+	Role      string           `json:"role"`
+	ClientID  int              `json:"client_id"`
+	Backend   string           `json:"backend"`
+	Pid       int              `json:"pid"`
+	Served    int64            `json:"served"`
+	Sent      int64            `json:"sent"`
+	ElapsedNs int64            `json:"elapsed_ns"`
+	PeerDead  bool             `json:"peer_dead"`
+	DetectNs  int64            `json:"detect_ns"`
+	Hung      bool             `json:"hung"`
+	Err       string           `json:"err,omitempty"`
+	Metrics   metrics.Snapshot `json:"metrics"`
+}
+
+// MaybeProcWorker turns the current process into a cross-process
+// worker when ULIPC_PROC_ROLE is set, and never returns in that case.
+// Call it first thing in main (before flag parsing) of any binary that
+// spawns proc cells; in tests, call it from TestMain.
+func MaybeProcWorker() {
+	role := os.Getenv(procRoleEnv)
+	if role == "" {
+		return
+	}
+	os.Exit(runProcWorker(role, os.Getenv(procCfgEnv)))
+}
+
+// runProcWorker executes one worker role and reports on stdout. The
+// exit code is 0 whenever a result was produced — including expected
+// failures like observing the server's death — and non-zero only for
+// harness errors (bad config, hung past the watchdog).
+func runProcWorker(role, cfgJSON string) int {
+	res := procWorkerResult{Role: role, Backend: livebind.FutexBackend, Pid: os.Getpid()}
+	emit := func() int {
+		_ = json.NewEncoder(os.Stdout).Encode(&res)
+		if res.Hung || (res.Err != "" && !res.PeerDead) {
+			return 1
+		}
+		return 0
+	}
+	var wire procWireCfg
+	if err := json.Unmarshal([]byte(cfgJSON), &wire); err != nil {
+		res.Err = fmt.Sprintf("bad %s: %v", procCfgEnv, err)
+		return emit()
+	}
+	alg, err := core.AlgorithmByName(wire.Alg)
+	if err != nil {
+		res.Err = err.Error()
+		return emit()
+	}
+	seg, err := shm.MapFDSeg(procSegFD)
+	if err != nil {
+		res.Err = fmt.Sprintf("map inherited segment: %v", err)
+		return emit()
+	}
+	defer seg.Close()
+
+	m := &metrics.Proc{Name: role}
+	opts := livebind.ProcOptions{
+		Alg:            alg,
+		MaxSpin:        wire.MaxSpin,
+		SpinIters:      wire.SpinIters,
+		SleepScale:     time.Duration(wire.SleepNs),
+		WaitSlice:      time.Duration(wire.WaitNs),
+		HeartbeatEvery: time.Duration(wire.HeartbeatNs),
+		SweepEvery:     time.Duration(wire.SweepNs),
+		Lease:          time.Duration(wire.LeaseNs),
+		M:              m,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(wire.WatchdogNs))
+	defer cancel()
+
+	switch role {
+	case procRoleServer:
+		runProcServerRole(ctx, &res, seg, opts, wire)
+	case procRoleClient:
+		runProcClientRole(ctx, &res, seg, opts, wire)
+	default:
+		res.Err = fmt.Sprintf("unknown role %q", role)
+	}
+	res.Metrics = m.Snapshot()
+	return emit()
+}
+
+func runProcServerRole(ctx context.Context, res *procWorkerResult, seg *shm.Seg, opts livebind.ProcOptions, wire procWireCfg) {
+	srv, err := livebind.AttachProcServer(seg, opts)
+	if err != nil {
+		res.Err = err.Error()
+		return
+	}
+	defer srv.Close()
+	t0 := time.Now()
+	served, err := procServe(ctx, srv, wire.Clients)
+	res.Served = served
+	res.ElapsedNs = time.Since(t0).Nanoseconds()
+	if err != nil {
+		res.Err = err.Error()
+		res.PeerDead = errors.Is(err, core.ErrPeerDead)
+		res.Hung = errors.Is(err, context.DeadlineExceeded)
+	}
+}
+
+// procServe is the server loop of a proc cell. It exits after every
+// client has disconnected — counting disconnects against the segment
+// geometry rather than a live connect balance, because client
+// processes start at arbitrary times: with a balance, one fast client
+// connecting and disconnecting before the others attach would end the
+// loop early.
+func procServe(ctx context.Context, srv *livebind.ProcServer, clients int) (served int64, err error) {
+	disconnects := 0
+	for disconnects < clients {
+		m, err := srv.ReceiveCtx(ctx)
+		if err != nil {
+			return served, err
+		}
+		if !srv.ValidClient(m.Client) {
+			continue
+		}
+		switch m.Op {
+		case core.OpConnect:
+		case core.OpDisconnect:
+			disconnects++
+		default:
+			served++
+		}
+		srv.Reply(m.Client, m)
+	}
+	return served, nil
+}
+
+func runProcClientRole(ctx context.Context, res *procWorkerResult, seg *shm.Seg, opts livebind.ProcOptions, wire procWireCfg) {
+	res.ClientID = wire.ClientID
+	cl, err := livebind.AttachProcClient(seg, wire.ClientID, opts)
+	if err != nil {
+		res.Err = err.Error()
+		return
+	}
+	defer cl.Close()
+
+	classify := func(err error) {
+		res.Err = err.Error()
+		switch {
+		case errors.Is(err, core.ErrPeerDead):
+			res.PeerDead = true
+		case errors.Is(err, context.DeadlineExceeded):
+			res.Hung = true
+		}
+	}
+
+	t0 := time.Now()
+	if _, err := cl.SendCtx(ctx, core.Msg{Op: core.OpConnect}); err != nil {
+		classify(err)
+		if res.PeerDead {
+			res.DetectNs = time.Since(t0).Nanoseconds()
+		}
+		res.ElapsedNs = time.Since(t0).Nanoseconds()
+		return
+	}
+	lastOK := time.Now()
+	for i := 0; wire.Msgs == 0 || i < wire.Msgs; i++ {
+		m := core.Msg{Op: core.OpEcho, Seq: int32(i % (1 << 30)), Val: float64(i%1024) * 1.5}
+		r, err := cl.SendCtx(ctx, m)
+		if err != nil {
+			classify(err)
+			if res.PeerDead {
+				res.DetectNs = time.Since(lastOK).Nanoseconds()
+			}
+			break
+		}
+		if r.Seq != m.Seq || r.Val != m.Val {
+			res.Err = fmt.Sprintf("echo %d corrupted: sent %+v got %+v", i, m, r)
+			break
+		}
+		res.Sent++
+		lastOK = time.Now()
+	}
+	if res.Err == "" {
+		if _, err := cl.SendCtx(ctx, core.Msg{Op: core.OpDisconnect}); err != nil {
+			classify(err)
+		}
+	}
+	res.ElapsedNs = time.Since(t0).Nanoseconds()
+}
+
+// procWorker is the parent-side handle on one spawned worker.
+type procWorker struct {
+	cmd  *exec.Cmd
+	out  bytes.Buffer
+	errb bytes.Buffer
+}
+
+func spawnProcWorker(exe, role string, wire procWireCfg, segFile *os.File) (*procWorker, error) {
+	b, err := json.Marshal(wire)
+	if err != nil {
+		return nil, err
+	}
+	w := &procWorker{cmd: exec.Command(exe)}
+	w.cmd.Env = append(os.Environ(),
+		procRoleEnv+"="+role,
+		procCfgEnv+"="+string(b),
+	)
+	w.cmd.ExtraFiles = []*os.File{segFile} // fd 3 in the worker
+	w.cmd.Stdout = &w.out
+	w.cmd.Stderr = &w.errb
+	if err := w.cmd.Start(); err != nil {
+		return nil, fmt.Errorf("workload: spawn %s worker: %w", role, err)
+	}
+	return w, nil
+}
+
+// wait reaps the worker with a deadline and parses its report. A
+// worker that outlives the deadline is killed and reported as hung.
+func (w *procWorker) wait(d time.Duration) (procWorkerResult, error) {
+	done := make(chan error, 1)
+	go func() { done <- w.cmd.Wait() }()
+	var werr error
+	select {
+	case werr = <-done:
+	case <-time.After(d):
+		_ = w.cmd.Process.Kill()
+		<-done
+		return procWorkerResult{Hung: true}, fmt.Errorf("workload: worker exceeded parent deadline (%v); stderr: %s", d, w.errb.String())
+	}
+	var res procWorkerResult
+	if err := json.Unmarshal(lastLine(w.out.Bytes()), &res); err != nil {
+		return res, fmt.Errorf("workload: unparsable worker report (exit: %v, stderr: %s): %w", werr, w.errb.String(), err)
+	}
+	return res, nil
+}
+
+// kill SIGKILLs the worker and reaps it — the chaos hammer. Reaping
+// matters: a zombie still answers kill(pid, 0) probes, so survivors
+// would fall back to the (much slower) lease before declaring death.
+func (w *procWorker) kill() {
+	_ = w.cmd.Process.Kill()
+	_ = w.cmd.Wait()
+}
+
+func lastLine(b []byte) []byte {
+	b = bytes.TrimRight(b, "\n")
+	if i := bytes.LastIndexByte(b, '\n'); i >= 0 {
+		return b[i+1:]
+	}
+	return b
+}
+
+// ProcClientResult is one client process's outcome within a cell.
+type ProcClientResult struct {
+	ID        int     `json:"id"`
+	Sent      int64   `json:"sent"`
+	ElapsedNs int64   `json:"elapsed_ns"`
+	PeerDead  bool    `json:"peer_dead"`
+	DetectMs  float64 `json:"detect_ms,omitempty"`
+	Hung      bool    `json:"hung,omitempty"`
+	Err       string  `json:"err,omitempty"`
+}
+
+// ProcResult is a clean cross-process cell's outcome.
+type ProcResult struct {
+	Served     int64
+	Sent       int64
+	RTTMicros  float64 // wall-clock per round trip (per client)
+	Throughput float64 // msgs per millisecond, cell-wide
+	Backend    string  // futex or poll
+	All        metrics.Snapshot
+	PoolLeaked int64 // refs missing from the pool after teardown
+	Clients    []ProcClientResult
+}
+
+// sumProcMetrics folds a worker's counters into the cell total.
+func sumProcMetrics(all *metrics.Snapshot, s metrics.Snapshot) {
+	all.Yields += s.Yields
+	all.SemP += s.SemP
+	all.SemV += s.SemV
+	all.Blocks += s.Blocks
+	all.Wakeups += s.Wakeups
+	all.Sleeps += s.Sleeps
+	all.Timeouts += s.Timeouts
+	all.Cancels += s.Cancels
+	all.PeerDeaths += s.PeerDeaths
+	all.OrphanMsgs += s.OrphanMsgs
+	all.WakeRescues += s.WakeRescues
+}
+
+// RunProcCell runs one clean cross-process cell: one server process,
+// cfg.Clients client processes, cfg.Msgs echoes each, through a memfd
+// segment. On platforms without a mapping backend it returns
+// shm.ErrMapUnsupported.
+func RunProcCell(cfg ProcConfig) (*ProcResult, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	if cfg.Msgs <= 0 {
+		cfg.Msgs = 1000
+	}
+	seg, segFile, err := shm.CreateMemfdSeg("ulipc-proc", shm.SegConfig{
+		Clients: cfg.Clients, Nodes: cfg.Nodes, RingCap: cfg.RingCap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer seg.Close()
+	defer segFile.Close()
+
+	wire := procWireCfg{
+		Alg:         cfg.Alg.String(),
+		Clients:     cfg.Clients,
+		Msgs:        cfg.Msgs,
+		MaxSpin:     cfg.MaxSpin,
+		SpinIters:   cfg.SpinIters,
+		SleepNs:     int64(cfg.SleepScale),
+		WaitNs:      int64(cfg.WaitSlice),
+		HeartbeatNs: int64(cfg.HeartbeatEvery),
+		SweepNs:     int64(cfg.SweepEvery),
+		LeaseNs:     int64(cfg.Lease),
+		WatchdogNs:  int64(cfg.Watchdog),
+	}
+	server, err := spawnProcWorker(cfg.Exe, procRoleServer, wire, segFile)
+	if err != nil {
+		return nil, err
+	}
+	clients := make([]*procWorker, cfg.Clients)
+	for i := range clients {
+		cw := wire
+		cw.ClientID = i
+		clients[i], err = spawnProcWorker(cfg.Exe, procRoleClient, cw, segFile)
+		if err != nil {
+			server.kill()
+			for _, c := range clients[:i] {
+				c.kill()
+			}
+			return nil, err
+		}
+	}
+
+	res := &ProcResult{}
+	var failures []error
+	deadline := cfg.Watchdog + 10*time.Second
+	var maxElapsed int64
+	for i, c := range clients {
+		r, err := c.wait(deadline)
+		if err != nil {
+			failures = append(failures, fmt.Errorf("client %d: %w", i, err))
+		} else if r.Err != "" {
+			failures = append(failures, fmt.Errorf("client %d: %s", i, r.Err))
+		}
+		res.Backend = r.Backend
+		res.Sent += r.Sent
+		if r.ElapsedNs > maxElapsed {
+			maxElapsed = r.ElapsedNs
+		}
+		sumProcMetrics(&res.All, r.Metrics)
+		res.Clients = append(res.Clients, ProcClientResult{
+			ID: i, Sent: r.Sent, ElapsedNs: r.ElapsedNs,
+			PeerDead: r.PeerDead, Hung: r.Hung, Err: r.Err,
+		})
+	}
+	sr, err := server.wait(deadline)
+	if err != nil {
+		failures = append(failures, fmt.Errorf("server: %w", err))
+	} else if sr.Err != "" {
+		failures = append(failures, fmt.Errorf("server: %s", sr.Err))
+	}
+	res.Served = sr.Served
+	sumProcMetrics(&res.All, sr.Metrics)
+
+	if maxElapsed > 0 {
+		res.RTTMicros = float64(maxElapsed) / 1e3 / float64(cfg.Msgs)
+		res.Throughput = float64(res.Sent) / (float64(maxElapsed) / 1e6)
+	}
+	v, verr := seg.View()
+	if verr == nil {
+		if leaked := int64(v.Config().Nodes) - v.Pool.FreeCount(); leaked != 0 {
+			res.PoolLeaked = leaked
+			failures = append(failures, fmt.Errorf("pool leaked %d refs after clean run", leaked))
+		}
+	}
+	want := int64(cfg.Clients) * int64(cfg.Msgs)
+	if len(failures) == 0 && (res.Sent != want || res.Served != want) {
+		failures = append(failures, fmt.Errorf("message count mismatch: sent %d served %d want %d", res.Sent, res.Served, want))
+	}
+	return res, errors.Join(failures...)
+}
+
+// ProcChaosResult is the SIGKILL chaos cell's outcome.
+type ProcChaosResult struct {
+	Alg         string  `json:"alg"`
+	Clients     int     `json:"clients"`
+	Seed        int64   `json:"seed"`
+	Backend     string  `json:"backend"`
+	KillAfterMs float64 `json:"kill_after_ms"`
+
+	Completed   int64   `json:"completed"`     // validated round trips before the kill
+	Detected    int     `json:"detected"`      // clients that surfaced ErrPeerDead
+	Hung        int     `json:"hung"`          // clients still blocked at the watchdog
+	DetectMsMax float64 `json:"detect_ms_max"` // slowest client's detection latency
+
+	PeerDeaths  int64 `json:"peer_deaths"`
+	WakeRescues int64 `json:"wake_rescues"`
+	OrphanMsgs  int64 `json:"orphan_msgs"` // post-mortem: drained queued messages
+	OrphanRefs  int64 `json:"orphan_refs"` // post-mortem: reclaimed in-flight refs
+	PoolLeaked  int64 `json:"pool_leaked"` // refs still missing AFTER the audit
+
+	Error string `json:"error,omitempty"`
+
+	ClientResults []ProcClientResult `json:"clients_detail,omitempty"`
+}
+
+// RunProcChaosKill runs the cross-process SIGKILL cell: server and
+// clients exchange traffic until the parent SIGKILLs the server, then
+// every surviving client must unblock with core.ErrPeerDead — no
+// hang, and no leak once the post-mortem audit has run. The returned
+// error is non-nil when a hard invariant failed (a hung client, a
+// missed detection, a leaked pool).
+func RunProcChaosKill(cfg ProcConfig) (ProcChaosResult, error) {
+	cfg.Msgs = 0 // clients run until the kill stops them
+	if err := cfg.defaults(); err != nil {
+		return ProcChaosResult{}, err
+	}
+	if cfg.Watchdog > 30*time.Second {
+		cfg.Watchdog = 30 * time.Second
+	}
+	killAfter := cfg.KillServerAfter
+	if killAfter <= 0 {
+		killAfter = 150 * time.Millisecond
+	}
+	if cfg.Seed != 0 {
+		killAfter += time.Duration(rand.New(rand.NewSource(cfg.Seed)).Int63n(int64(150 * time.Millisecond)))
+	}
+	out := ProcChaosResult{
+		Alg: cfg.Alg.String(), Clients: cfg.Clients, Seed: cfg.Seed,
+		KillAfterMs: float64(killAfter) / float64(time.Millisecond),
+	}
+
+	seg, segFile, err := shm.CreateMemfdSeg("ulipc-chaos", shm.SegConfig{
+		Clients: cfg.Clients, Nodes: cfg.Nodes, RingCap: cfg.RingCap,
+	})
+	if err != nil {
+		return out, err
+	}
+	defer seg.Close()
+	defer segFile.Close()
+
+	wire := procWireCfg{
+		Alg:         cfg.Alg.String(),
+		Clients:     cfg.Clients,
+		Msgs:        0,
+		MaxSpin:     cfg.MaxSpin,
+		SpinIters:   cfg.SpinIters,
+		SleepNs:     int64(cfg.SleepScale),
+		WaitNs:      int64(cfg.WaitSlice),
+		HeartbeatNs: int64(cfg.HeartbeatEvery),
+		SweepNs:     int64(cfg.SweepEvery),
+		LeaseNs:     int64(cfg.Lease),
+		WatchdogNs:  int64(cfg.Watchdog),
+	}
+	server, err := spawnProcWorker(cfg.Exe, procRoleServer, wire, segFile)
+	if err != nil {
+		return out, err
+	}
+	clients := make([]*procWorker, cfg.Clients)
+	for i := range clients {
+		cw := wire
+		cw.ClientID = i
+		clients[i], err = spawnProcWorker(cfg.Exe, procRoleClient, cw, segFile)
+		if err != nil {
+			server.kill()
+			for _, c := range clients[:i] {
+				c.kill()
+			}
+			return out, err
+		}
+	}
+
+	// Let traffic flow, then murder the server mid-exchange. kill()
+	// also reaps, so survivors' pid probes see ESRCH immediately.
+	time.Sleep(killAfter)
+	server.kill()
+
+	var failures []error
+	deadline := cfg.Watchdog + 10*time.Second
+	for i, c := range clients {
+		r, err := c.wait(deadline)
+		if err != nil {
+			out.Hung++
+			failures = append(failures, fmt.Errorf("client %d: %w", i, err))
+			continue
+		}
+		out.Backend = r.Backend
+		out.Completed += r.Sent
+		cr := ProcClientResult{
+			ID: i, Sent: r.Sent, ElapsedNs: r.ElapsedNs,
+			PeerDead: r.PeerDead, Hung: r.Hung, Err: r.Err,
+			DetectMs: float64(r.DetectNs) / float64(time.Millisecond),
+		}
+		out.ClientResults = append(out.ClientResults, cr)
+		out.PeerDeaths += r.Metrics.PeerDeaths
+		out.WakeRescues += r.Metrics.WakeRescues
+		switch {
+		case r.Hung:
+			out.Hung++
+			failures = append(failures, fmt.Errorf("client %d hung past the watchdog", i))
+		case r.PeerDead:
+			out.Detected++
+			if cr.DetectMs > out.DetectMsMax {
+				out.DetectMsMax = cr.DetectMs
+			}
+		default:
+			failures = append(failures, fmt.Errorf("client %d exited without observing the server's death: %s", i, r.Err))
+		}
+	}
+
+	// Post-mortem audit: every process is gone, so the parent has
+	// exclusive access. The segment must account for every ref.
+	v, verr := seg.View()
+	if verr != nil {
+		failures = append(failures, verr)
+	} else {
+		msgs, refs, rerr := v.Reclaim()
+		out.OrphanMsgs, out.OrphanRefs = int64(msgs), int64(refs)
+		if rerr != nil {
+			failures = append(failures, rerr)
+		}
+		if leaked := int64(v.Config().Nodes) - v.Pool.FreeCount(); leaked != 0 {
+			out.PoolLeaked = leaked
+			failures = append(failures, fmt.Errorf("pool leaked %d refs after reclaim", leaked))
+		}
+	}
+	err = errors.Join(failures...)
+	if err != nil {
+		out.Error = err.Error()
+	}
+	return out, err
+}
+
+// WriteJSON emits the chaos result as indented JSON.
+func (r *ProcChaosResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

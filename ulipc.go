@@ -38,6 +38,8 @@
 package ulipc
 
 import (
+	"os"
+
 	"ulipc/internal/core"
 	"ulipc/internal/livebind"
 	"ulipc/internal/obs"
@@ -290,3 +292,89 @@ type (
 // serves arbitrarily many short-lived clients over a bounded shared
 // segment.
 type Conn = livebind.Conn
+
+// Cross-process transport: the same Send/Receive/Reply protocols over
+// a file- or memfd-backed shared-memory segment, with futex-backed
+// semaphores (a portable polling fallback builds with -tags nofutex)
+// and a process-granular lifetable, so peers survive each other's
+// SIGKILL with ErrPeerDead instead of a hang. One process creates the
+// segment and attaches the server; other processes map the same
+// segment — by inherited descriptor or by path — and attach clients:
+//
+//	// parent / server process
+//	seg, f, err := ulipc.CreateMemfdSeg("app", ulipc.SegConfig{Clients: 4})
+//	srv, err := ulipc.AttachProcServer(seg, ulipc.ProcOptions{Alg: ulipc.BSW})
+//	go srv.ServeCtx(ctx, nil)
+//	// pass f to children via exec.Cmd.ExtraFiles (it becomes their fd 3)
+//
+//	// child / client process
+//	seg, err := ulipc.MapFDSeg(3)
+//	cl, err := ulipc.AttachProcClient(seg, 0, ulipc.ProcOptions{Alg: ulipc.BSW})
+//	reply, err := cl.SendCtx(ctx, ulipc.Msg{Op: ulipc.OpEcho, Val: 42})
+//
+// See DESIGN.md §12 for the segment ABI, the futex rendezvous, and the
+// peer-death recovery doctrine.
+type (
+	Seg         = shm.Seg
+	SegConfig   = shm.SegConfig
+	ProcOptions = livebind.ProcOptions
+	ProcSystem  = livebind.ProcSystem
+	ProcServer  = livebind.ProcServer
+	ProcClient  = livebind.ProcClient
+	ProcStats   = livebind.ProcStats
+)
+
+// FutexBackend names the sleep/wake implementation this binary was
+// built with: "futex" (Linux FUTEX_WAIT/FUTEX_WAKE) or "poll" (the
+// portable fallback, forced with -tags nofutex).
+const FutexBackend = livebind.FutexBackend
+
+// Segment constructors. Create* initialise a fresh segment; Map*/Open*
+// attach to an existing one (validating magic, version and geometry,
+// with the typed Err* sentinels below wrapped in any failure). On
+// platforms without a mapping backend they return ErrMapUnsupported.
+func CreateFileSeg(path string, cfg SegConfig) (*Seg, error) { return shm.CreateFileSeg(path, cfg) }
+
+// CreateMemfdSeg creates an anonymous memory-backed segment; pass the
+// returned file to child processes via exec.Cmd.ExtraFiles.
+func CreateMemfdSeg(name string, cfg SegConfig) (*Seg, *os.File, error) {
+	return shm.CreateMemfdSeg(name, cfg)
+}
+
+// MapFileSeg maps an existing segment file created by CreateFileSeg.
+func MapFileSeg(path string) (*Seg, error) { return shm.MapFileSeg(path) }
+
+// MapFDSeg maps a segment from an inherited file descriptor
+// (ExtraFiles[0] is fd 3 in the child).
+func MapFDSeg(fd uintptr) (*Seg, error) { return shm.MapFDSeg(fd) }
+
+// Mapping sentinels, for errors.Is on the Map*/Create* paths.
+var (
+	// ErrMapUnsupported: this platform has no file-mapping backend.
+	ErrMapUnsupported = shm.ErrMapUnsupported
+	// ErrShortSegment: the file is smaller than its header claims.
+	ErrShortSegment = shm.ErrShortSegment
+	// ErrBadMagic: the file is not a ulipc segment.
+	ErrBadMagic = shm.ErrBadMagic
+	// ErrVersionMismatch: the segment was built by an incompatible
+	// layout version of this library.
+	ErrVersionMismatch = shm.ErrVersionMismatch
+	// ErrBadGeometry: the header's client/ring/node counts are
+	// inconsistent with the segment size.
+	ErrBadGeometry = shm.ErrBadGeometry
+	// ErrMapped / ErrNotMapped: double-map or unmap-without-map misuse.
+	ErrMapped    = shm.ErrMapped
+	ErrNotMapped = shm.ErrNotMapped
+)
+
+// AttachProcServer claims the segment's server slot and returns the
+// serving handle; there can be only one live server per segment.
+func AttachProcServer(seg *Seg, opts ProcOptions) (*ProcServer, error) {
+	return livebind.AttachProcServer(seg, opts)
+}
+
+// AttachProcClient claims client slot id (in [0, SegConfig.Clients))
+// and returns the sending handle.
+func AttachProcClient(seg *Seg, id int, opts ProcOptions) (*ProcClient, error) {
+	return livebind.AttachProcClient(seg, id, opts)
+}

@@ -1,0 +1,73 @@
+package ulipc_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ulipc"
+)
+
+// The public cross-process surface end to end: a memfd segment, a
+// server and a client attached through the exported wrappers. Both
+// sides live in this test process, but every message crosses the
+// mapped segment and the futex words exactly as two processes would
+// (the multi-process version is internal/workload's proc cells).
+func TestProcPublicSurface(t *testing.T) {
+	seg, f, err := ulipc.CreateMemfdSeg("ulipc-test", ulipc.SegConfig{Clients: 1})
+	if errors.Is(err, ulipc.ErrMapUnsupported) {
+		t.Skip("no mapped-segment backend on this platform")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	defer f.Close()
+
+	if ulipc.FutexBackend != "futex" && ulipc.FutexBackend != "poll" {
+		t.Fatalf("unknown futex backend %q", ulipc.FutexBackend)
+	}
+
+	opts := ulipc.ProcOptions{Alg: ulipc.BSW}
+	srv, err := ulipc.AttachProcServer(seg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var served int64
+	go func() {
+		defer wg.Done()
+		served, _ = srv.ServeCtx(ctx, nil)
+	}()
+
+	cl, err := ulipc.AttachProcClient(seg, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.SendCtx(ctx, ulipc.Msg{Op: ulipc.OpConnect}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		r, err := cl.SendCtx(ctx, ulipc.Msg{Op: ulipc.OpEcho, Seq: int32(i), Val: float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Seq != int32(i) || r.Val != float64(i) {
+			t.Fatalf("echo %d corrupted: %+v", i, r)
+		}
+	}
+	if _, err := cl.SendCtx(ctx, ulipc.Msg{Op: ulipc.OpDisconnect}); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	wg.Wait()
+	srv.Close()
+	if served != 100 {
+		t.Fatalf("served %d, want 100", served)
+	}
+}
