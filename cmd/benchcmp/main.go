@@ -26,6 +26,14 @@
 // downgraded to warnings: cross-machine numbers gate nothing, they only
 // inform. Improvements never fail, whatever their size.
 //
+// Payload cells (pay_size > 0) carry the payload size and transfer mode
+// in their key (".../p1024/zc" vs ".../p1024/copy") so a copy-mode cell
+// never gates its zero-copy twin, and they compare on bytes_per_sec —
+// the axis those cells exist to measure — with the regression sign
+// flipped (lower throughput is the regression). A baseline that simply
+// predates the payload sweep leaves them unmatched, which reports
+// informationally instead of failing the gate.
+//
 // Cross-process cells (queue "xproc"/"xproc-base") get two extra
 // leniencies in the same spirit: when the two documents were built with
 // different sleep/wake backends (futex_backend field: futex vs poll)
@@ -48,11 +56,11 @@ import (
 
 // cellDelta is one compared cell.
 type cellDelta struct {
-	Key      string // queue/alg/clients
-	Metric   string // which field was compared
-	BaseNs   float64
+	Key      string  // queue/alg/clients[/shards][/p<size>/<mode>]
+	Metric   string  // which field was compared
+	BaseNs   float64 // baseline value (ns, or bytes/s for payload cells)
 	CandNs   float64
-	DeltaPct float64 // (cand-base)/base * 100; positive = slower
+	DeltaPct float64 // normalised so positive = regressed, whatever the axis
 }
 
 // compareResult is the outcome of comparing two reports.
@@ -73,25 +81,50 @@ type compareResult struct {
 	// baseline predates. Those cells are already unmatched (Extra), so
 	// they gate nothing; the flag only drives the explanatory note.
 	ProcBaselineGap bool
+
+	// PayBaselineGap: same for payload (pay_size > 0) cells — the
+	// baseline predates the zero-copy sweep.
+	PayBaselineGap bool
 }
 
 // procCell reports whether a cell key belongs to the cross-process
 // sweep (queue "xproc" or its in-process twin "xproc-base").
 func procCell(key string) bool { return strings.HasPrefix(key, "xproc") }
 
-// cellKey identifies a cell. Server-group cells additionally carry the
-// shard count; single-server cells keep the legacy three-part key, so
-// documents from before the scale-out sweep still match.
-func cellKey(e workload.LiveBenchEntry) string {
-	if e.Shards > 0 {
-		return fmt.Sprintf("%s/%s/%dc/%ds", e.Queue, e.Alg, e.Clients, e.Shards)
-	}
-	return fmt.Sprintf("%s/%s/%dc", e.Queue, e.Alg, e.Clients)
+// payCell reports whether a cell key belongs to the zero-copy payload
+// sweep (a "/p<size>/" component, or the sweep's size-0 reference cell
+// on the "payload" queue kind).
+func payCell(key string) bool {
+	return strings.Contains(key, "/p") || strings.HasPrefix(key, "payload/")
 }
 
-// metricOf picks the compared metric for a pair of entries: p50 when
-// both runs recorded histograms, mean RTT otherwise.
+// cellKey identifies a cell. Server-group cells additionally carry the
+// shard count, payload cells the payload size and transfer mode;
+// single-server header-only cells keep the legacy three-part key, so
+// documents from before those sweeps still match.
+func cellKey(e workload.LiveBenchEntry) string {
+	key := fmt.Sprintf("%s/%s/%dc", e.Queue, e.Alg, e.Clients)
+	if e.Shards > 0 {
+		key += fmt.Sprintf("/%ds", e.Shards)
+	}
+	if e.PaySize > 0 {
+		mode := "copy"
+		if e.ZeroCopy {
+			mode = "zc"
+		}
+		key += fmt.Sprintf("/p%d/%s", e.PaySize, mode)
+	}
+	return key
+}
+
+// metricOf picks the compared metric for a pair of entries: bytes/s for
+// payload cells (the axis they exist to measure; the caller flips the
+// regression sign), p50 RTT when both runs recorded histograms, mean
+// RTT otherwise.
 func metricOf(base, cand workload.LiveBenchEntry) (name string, b, c float64) {
+	if base.PaySize > 0 && base.BytesPerSec > 0 && cand.BytesPerSec > 0 {
+		return "bytes_per_sec", base.BytesPerSec, cand.BytesPerSec
+	}
 	if base.RTTP50Ns > 0 && cand.RTTP50Ns > 0 {
 		return "rtt_p50_ns", base.RTTP50Ns, cand.RTTP50Ns
 	}
@@ -120,6 +153,9 @@ func compare(base, cand *workload.LiveBenchReport) compareResult {
 			if procCell(key) {
 				res.ProcBaselineGap = true
 			}
+			if payCell(key) {
+				res.PayBaselineGap = true
+			}
 			continue
 		}
 		if b.Error != "" || c.Error != "" {
@@ -129,12 +165,17 @@ func compare(base, cand *workload.LiveBenchReport) compareResult {
 		if bv <= 0 || cv <= 0 {
 			continue
 		}
+		delta := (cv - bv) / bv * 100
+		if metric == "bytes_per_sec" {
+			// Throughput axis: a lower candidate is the regression.
+			delta = -delta
+		}
 		res.Cells = append(res.Cells, cellDelta{
 			Key:      key,
 			Metric:   metric,
 			BaseNs:   bv,
 			CandNs:   cv,
-			DeltaPct: (cv - bv) / bv * 100,
+			DeltaPct: delta,
 		})
 	}
 	for _, e := range base.Entries {
@@ -191,6 +232,9 @@ func gate(w io.Writer, res compareResult, warnPct, failPct float64) int {
 	}
 	if res.ProcBaselineGap {
 		fmt.Fprintf(w, "note: baseline predates the cross-process sweep; xproc cells inform but never gate\n")
+	}
+	if res.PayBaselineGap {
+		fmt.Fprintf(w, "note: baseline predates the zero-copy payload sweep; payload cells inform but never gate\n")
 	}
 	if fails > 0 {
 		fmt.Fprintf(w, "bench gate: %d cell(s) regressed past %.0f%%\n", fails, failPct)

@@ -28,6 +28,10 @@
 //	                                      # 16/64/256 clients, each preceded
 //	                                      # by its single-server baseline
 //	ipcbench -live -shards 4 -shardclients 64 -sendbatch 32
+//	ipcbench -live -paysize 0,64,1024,4096  # zero-copy payload sweep: each
+//	                                      # non-zero size runs a copy-mode
+//	                                      # cell back to back with its
+//	                                      # lease-transfer twin (bytes/s)
 //
 // Chaos mode (seeded fault injection + recovery, pass/fail not speed):
 //
@@ -36,6 +40,10 @@
 //	ipcbench -chaos -json -o BENCH_chaos.json
 //	ipcbench -chaos -quick                # small matrix for CI smoke
 //	ipcbench -chaos -shards 2,4           # shard-kill cell sizes (default 2)
+//	ipcbench -chaos -paysize 1024         # leak-audited payload cells: the
+//	                                      # lease-conservation audit fails
+//	                                      # the cell if any arena block is
+//	                                      # missing after crash recovery
 //
 // A chaos cell fails on deadlock, pool leak, or validation mismatch;
 // any failed cell makes the process exit non-zero after the full
@@ -105,6 +113,8 @@ func main() {
 		chaos = flag.Bool("chaos", false, "run the seeded chaos matrix (fault injection + recovery) instead of the simulator experiments")
 		seed  = flag.Int64("seed", 1, "with -chaos: base seed for the fault schedules (cell i uses seed+i)")
 
+		paySizes = flag.String("paysize", "", "with -live: comma-separated payload sizes in bytes for the zero-copy sweep (e.g. 0,64,1024,4096; 0 is the legacy header-only reference, each non-zero size runs an interleaved copy vs zero-copy pair; combined with -proc the pairs also run cross-process); with -chaos: payload sizes for the leak-audited crash cells")
+
 		proc        = flag.Bool("proc", false, "cross-process cells over a memfd arena: alone, run the in-process vs cross-process A/B pairs; with -live, append them to the matrix; with -chaos, SIGKILL the server mid-traffic instead of the in-process fault matrix")
 		procClients = flag.String("procclients", "", "with -proc: comma-separated client counts for the cross-process cells (default 1,4)")
 		flightOut   = flag.String("flightout", "", "with -live: write watchdog flight-recorder dumps to this file instead of stderr (enables a 4096-event recorder if -flight is unset); CI uploads it as an artifact")
@@ -114,9 +124,9 @@ func main() {
 	if *chaos {
 		var err error
 		if *proc {
-			err = runProcChaos(*jsonOut, *outFile, *procClients, *algs, *seed, *watchdog)
+			err = runProcChaos(*jsonOut, *outFile, *procClients, *algs, *paySizes, *seed, *watchdog)
 		} else {
-			err = runChaos(*jsonOut, *outFile, *msgs, *quick, *clients, *algs, *shards, *seed, *watchdog)
+			err = runChaos(*jsonOut, *outFile, *msgs, *quick, *clients, *algs, *shards, *paySizes, *seed, *watchdog)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ipcbench: %v\n", err)
@@ -133,7 +143,7 @@ func main() {
 			}
 			return
 		}
-		if err := runLive(*jsonOut, *outFile, *msgs, *quick, *clients, *algs, *shards, *shardClients, *procClients, *flightOut, *sendBatch, *batch, *liveSpin, *watchdog, *noObs, *flight, *best, *proc, !*live); err != nil {
+		if err := runLive(*jsonOut, *outFile, *msgs, *quick, *clients, *algs, *shards, *shardClients, *procClients, *paySizes, *flightOut, *sendBatch, *batch, *liveSpin, *watchdog, *noObs, *flight, *best, *proc, !*live); err != nil {
 			fmt.Fprintf(os.Stderr, "ipcbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -185,7 +195,7 @@ func main() {
 // the sweep: its partial numbers and Error land in the report, the
 // remaining cells still run, and the non-nil error return makes the
 // process exit non-zero after the (partial) report has been written.
-func runLive(jsonOut bool, outFile string, msgs int, quick bool, clients, algs, shards, shardClients, procClients, flightOut string, sendBatch, batch, spin int, watchdog time.Duration, noObs bool, flight, best int, proc, procOnly bool) error {
+func runLive(jsonOut bool, outFile string, msgs int, quick bool, clients, algs, shards, shardClients, procClients, paySizes, flightOut string, sendBatch, batch, spin int, watchdog time.Duration, noObs bool, flight, best int, proc, procOnly bool) error {
 	opts := workload.LiveBenchOptions{Msgs: msgs, AllocBatch: batch, SpinIters: spin, Watchdog: watchdog, NoObs: noObs, RecorderCap: flight, Batch: sendBatch}
 	if flight > 0 {
 		opts.DumpTo = os.Stderr
@@ -216,6 +226,9 @@ func runLive(jsonOut bool, outFile string, msgs int, quick bool, clients, algs, 
 	}
 	if opts.ShardClients, err = parseClients(shardClients); err != nil {
 		return fmt.Errorf("-shardclients: %w", err)
+	}
+	if opts.PaySizes, err = parseSizes(paySizes); err != nil {
+		return fmt.Errorf("-paysize: %w", err)
 	}
 	if quick && len(opts.Shards) > 0 && shardClients == "" {
 		opts.ShardClients = []int{16} // keep the CI smoke to seconds
@@ -279,7 +292,7 @@ func runLive(jsonOut bool, outFile string, msgs int, quick bool, clients, algs, 
 // Every cell runs regardless of earlier failures; the report (JSON or
 // text) is written before the error return turns a failed cell into a
 // non-zero exit — the contract CI's chaos gate relies on.
-func runChaos(jsonOut bool, outFile string, msgs int, quick bool, clients, algs, shards string, seed int64, watchdog time.Duration) error {
+func runChaos(jsonOut bool, outFile string, msgs int, quick bool, clients, algs, shards, paySizes string, seed int64, watchdog time.Duration) error {
 	opts := workload.ChaosOptions{Msgs: msgs, Seed: seed, Watchdog: watchdog}
 	var err error
 	if opts.Clients, err = parseClients(clients); err != nil {
@@ -290,6 +303,9 @@ func runChaos(jsonOut bool, outFile string, msgs int, quick bool, clients, algs,
 	}
 	if opts.Shards, err = parseClients(shards); err != nil {
 		return fmt.Errorf("-shards: %w", err)
+	}
+	if opts.PaySizes, err = parseSizes(paySizes); err != nil {
+		return fmt.Errorf("-paysize: %w", err)
 	}
 	if quick {
 		// CI smoke: a protocol pair and small fan-in, seconds not minutes.
@@ -331,7 +347,7 @@ func runChaos(jsonOut bool, outFile string, msgs int, quick bool, clients, algs,
 // every surviving client must unblock with ErrPeerDead and the
 // post-mortem audit must make the pool whole. The full report is
 // written before a failed cell turns into a non-zero exit.
-func runProcChaos(jsonOut bool, outFile, clients, algs string, seed int64, watchdog time.Duration) error {
+func runProcChaos(jsonOut bool, outFile, clients, algs, paySizes string, seed int64, watchdog time.Duration) error {
 	cls, err := parseClients(clients)
 	if err != nil {
 		return fmt.Errorf("-procclients: %w", err)
@@ -345,6 +361,16 @@ func runProcChaos(jsonOut bool, outFile, clients, algs string, seed int64, watch
 	}
 	if len(as) == 0 {
 		as = []core.Algorithm{core.BSW, core.BSA}
+	}
+	// Each (alg, clients) cell runs once per payload size; size 0 is the
+	// legacy header-only kill, a positive size the SIGKILL-mid-lease
+	// variant whose audit must recover every leased arena block.
+	sizes, err := parseSizes(paySizes)
+	if err != nil {
+		return fmt.Errorf("-paysize: %w", err)
+	}
+	if len(sizes) == 0 {
+		sizes = []int{0}
 	}
 	out := os.Stdout
 	if outFile != "" {
@@ -360,24 +386,31 @@ func runProcChaos(jsonOut bool, outFile, clients, algs string, seed int64, watch
 	i := int64(0)
 	for _, alg := range as {
 		for _, n := range cls {
-			res, err := workload.RunProcChaosKill(workload.ProcConfig{
-				Alg:      alg,
-				Clients:  n,
-				Seed:     seed + i,
-				Watchdog: watchdog,
-			})
-			i++
-			if errors.Is(err, shm.ErrMapUnsupported) {
-				fmt.Fprintf(os.Stderr, "xproc-kill %-5s %3dc  skipped: no mapped-segment backend\n", alg, n)
-				continue
-			}
-			results = append(results, res)
-			if err != nil {
-				failures = append(failures, fmt.Errorf("xproc-kill %s/%dc: %w", alg, n, err))
-				fmt.Fprintf(os.Stderr, "xproc-kill %-5s %3dc  FAILED: %v\n", alg, n, err)
-			} else {
-				fmt.Fprintf(os.Stderr, "xproc-kill %-5s %3dc  completed=%d detected=%d detect_max=%.1fms rescues=%d orphans=%d\n",
-					alg, n, res.Completed, res.Detected, res.DetectMsMax, res.WakeRescues, res.OrphanMsgs+res.OrphanRefs)
+			for _, size := range sizes {
+				label := fmt.Sprintf("xproc-kill %-5s %3dc", alg, n)
+				if size > 0 {
+					label = fmt.Sprintf("%s p%-5d", label, size)
+				}
+				res, err := workload.RunProcChaosKill(workload.ProcConfig{
+					Alg:      alg,
+					Clients:  n,
+					Seed:     seed + i,
+					PaySize:  size,
+					Watchdog: watchdog,
+				})
+				i++
+				if errors.Is(err, shm.ErrMapUnsupported) {
+					fmt.Fprintf(os.Stderr, "%s  skipped: no mapped-segment backend\n", label)
+					continue
+				}
+				results = append(results, res)
+				if err != nil {
+					failures = append(failures, fmt.Errorf("xproc-kill %s/%dc/p%d: %w", alg, n, size, err))
+					fmt.Fprintf(os.Stderr, "%s  FAILED: %v\n", label, err)
+				} else {
+					fmt.Fprintf(os.Stderr, "%s  completed=%d detected=%d detect_max=%.1fms rescues=%d orphans=%d blocks=%d\n",
+						label, res.Completed, res.Detected, res.DetectMsMax, res.WakeRescues, res.OrphanMsgs+res.OrphanRefs, res.OrphanBlocks)
+				}
 			}
 		}
 	}
@@ -396,9 +429,13 @@ func runProcChaos(jsonOut bool, outFile, clients, algs string, seed int64, watch
 			if r.Error != "" {
 				status = "FAIL: " + r.Error
 			}
+			cell := fmt.Sprintf("xproc-kill/%s/%dc", r.Alg, r.Clients)
+			if r.PaySize > 0 {
+				cell += fmt.Sprintf("/p%d", r.PaySize)
+			}
 			fmt.Fprintf(out, "%-20s %9d %9d %5d %11.1f %8d %8d %7d  %s\n",
-				fmt.Sprintf("xproc-kill/%s/%dc", r.Alg, r.Clients), r.Completed, r.Detected, r.Hung,
-				r.DetectMsMax, r.WakeRescues, r.OrphanMsgs+r.OrphanRefs, r.PoolLeaked, status)
+				cell, r.Completed, r.Detected, r.Hung,
+				r.DetectMsMax, r.WakeRescues, r.OrphanMsgs+r.OrphanRefs+r.OrphanBlocks, r.PoolLeaked+r.BlockLeaked, status)
 		}
 	}
 	return errors.Join(failures...)
@@ -429,6 +466,23 @@ func parseClients(s string) ([]int, error) {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil || n < 1 {
 			return nil, fmt.Errorf("bad -clients entry %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// parseSizes parses a -paysize list. Unlike -clients, zero is a legal
+// entry: it names the legacy header-only reference cell.
+func parseSizes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad size entry %q", f)
 		}
 		out = append(out, n)
 	}

@@ -20,8 +20,8 @@ import (
 )
 
 const (
-	opStore = ulipc.OpWork // Seq = document id; Val = block ref+len
-	opLoad  = ulipc.OpEcho // Seq = document id; reply Val = block ref+len
+	opStore = ulipc.OpWork // Seq = document id; Ref = block ref+len
+	opLoad  = ulipc.OpEcho // Seq = document id; reply Ref = block ref+len
 )
 
 func main() {
@@ -54,15 +54,18 @@ func main() {
 		// Server thread for this connection: stores block refs by id and
 		// hands them back on load.
 		go func(h *ulipc.DuplexHandler) {
-			docs := map[int32]float64{}
+			// Block references travel in the dedicated integer Ref field
+			// (they used to be bit-packed into Val's float64, which NaN
+			// canonicalization could silently corrupt).
+			docs := map[int32]uint64{}
 			for {
 				m := h.Receive()
 				switch m.Op {
 				case opStore:
-					docs[m.Seq] = m.Val // keep the packed block ref
+					docs[m.Seq] = m.Ref // keep the packed block ref
 					h.Reply(m)
 				case opLoad:
-					m.Val = docs[m.Seq]
+					m.Ref = docs[m.Seq]
 					h.Reply(m)
 				case ulipc.OpDisconnect:
 					h.Reply(m)

@@ -37,6 +37,13 @@ type Client struct {
 	M       *metrics.Proc // optional spin-loop statistics
 	Obs     obs.Hook      // optional phase histograms + flight recorder
 
+	// Blocks is the payload slab arena (nil when the system was built
+	// without one); Owner is the lease tag this endpoint leases blocks
+	// under — unique per endpoint so a sweeper can attribute leaked
+	// leases after a crash. See payload.go.
+	Blocks BlockStore
+	Owner  uint32
+
 	// UseHandoff enables the Section 6 extension: hand-off hints replace
 	// plain busy_wait/yield on the critical path. HandoffTarget is the
 	// server's pid.
@@ -97,9 +104,13 @@ func (c *Client) tryHandoff() {
 func (c *Client) Send(m Msg) Msg {
 	m.Client = c.ID
 	for c.lag > 0 {
-		if stale := c.recvReply(); stale.Op == OpShutdown {
+		stale := c.recvReply()
+		if stale.Op == OpShutdown {
 			return stale
 		}
+		// A stale reply may carry a payload lease nobody will resolve:
+		// claim-free it so cancelled exchanges cannot leak blocks.
+		dropPayload(c.Blocks, c.Owner, stale)
 		c.lag--
 	}
 	if c.M != nil {
@@ -143,9 +154,11 @@ func (c *Client) SendCtx(ctx context.Context, m Msg) (Msg, error) {
 	}
 	m.Client = c.ID
 	for c.lag > 0 {
-		if _, err := c.recvReplyCtx(ctx); err != nil {
+		stale, err := c.recvReplyCtx(ctx)
+		if err != nil {
 			return Msg{}, err
 		}
+		dropPayload(c.Blocks, c.Owner, stale)
 		c.lag--
 	}
 	var t0 time.Time

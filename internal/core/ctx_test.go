@@ -91,7 +91,7 @@ func TestReplyCtxDoubleReply(t *testing.T) {
 	if err := s.ReplyCtx(context.Background(), 0, Msg{}); !errors.Is(err, ErrDoubleReply) {
 		t.Fatalf("reply before receive = %v, want ErrDoubleReply", err)
 	}
-	rcv.TryEnqueue(Msg{Op: OpEcho, Client: 0})
+	rcv.TryEnqueue(Msg{Op: OpEcho, MsgMeta: MsgMeta{Client: 0}})
 	if _, err := s.ReceiveCtx(context.Background()); err != nil {
 		t.Fatalf("receive: %v", err)
 	}

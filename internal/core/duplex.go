@@ -26,7 +26,7 @@ type DuplexClient struct {
 	MaxSpin int
 	Tuner   *Tuner // BSA spin-budget controller (lazily built if nil)
 	Snd     Port   // enqueue endpoint of the client->server queue
-	Rcv     Port // dequeue endpoint of the server->client queue
+	Rcv     Port   // dequeue endpoint of the server->client queue
 	A       Actor
 	M       *metrics.Proc
 	Obs     obs.Hook // optional phase histograms + flight recorder
@@ -210,7 +210,7 @@ type DuplexHandler struct {
 	MaxSpin int
 	Tuner   *Tuner // BSA spin-budget controller (lazily built if nil)
 	Rcv     Port   // dequeue endpoint of the client->server queue
-	Snd     Port // enqueue endpoint of the server->client queue
+	Snd     Port   // enqueue endpoint of the server->client queue
 	A       Actor
 	M       *metrics.Proc
 	Obs     obs.Hook // optional phase histograms + flight recorder

@@ -49,7 +49,7 @@ var (
 
 // OpShutdown is the control opcode legacy (error-less) blocking paths
 // return when the system is shut down underneath them: Receive hands
-// Serve a Msg{Op: OpShutdown, Client: -1} so the loop can exit instead
+// Serve a Msg{Op: OpShutdown, MsgMeta: MsgMeta{Client: -1}} so the loop can exit instead
 // of panicking, and a legacy Send unblocked by shutdown returns the
 // same marker as its "reply". It is negative so it can never collide
 // with application opcodes (which grow upward from OpEcho).
@@ -57,7 +57,7 @@ const OpShutdown int32 = -1
 
 // ShutdownMsg is the marker message legacy blocking paths return when
 // unblocked by a system shutdown.
-func ShutdownMsg() Msg { return Msg{Op: OpShutdown, Client: -1} }
+func ShutdownMsg() Msg { return Msg{Op: OpShutdown, MsgMeta: MsgMeta{Client: -1}} }
 
 // CtxActor extends Actor with cancellable blocking operations. The live
 // binding implements it; the simulator binding does not (simulated time

@@ -1,21 +1,32 @@
 package core
 
-import "math"
-
 // Variable-sized messages (Section 2.1): a fixed-size message carries a
-// reference to a variable-sized component in shared memory. The Val
-// field's 64 bits hold the block reference and the payload length; the
-// bits are never interpreted as a number, only round-tripped.
+// reference to a variable-sized component in shared memory. The Ref
+// field holds the block reference (bitwise-complemented, high 32 bits)
+// and the payload length (low 32 bits). Complementing the reference
+// makes the zero Msg mean "no payload": a nil block ref (^uint32(0))
+// with length 0 encodes to exactly 0, so HasBlock is a single compare
+// and forgetting to attach a payload can never alias block 0 of class 0.
+//
+// Refs used to round-trip through Val's float64 bits; that was fragile
+// under NaN canonicalization (any runtime or FFI boundary that loads
+// and re-stores the float may quiet the NaN and silently rewrite the
+// reference), which is why Ref is a dedicated integer field.
 
 // SetBlock stores a shared-memory block reference and payload length in
-// the message's Val field.
+// the message's Ref field.
 func (m *Msg) SetBlock(ref uint32, n int) {
-	m.Val = math.Float64frombits(uint64(ref)<<32 | uint64(uint32(n)))
+	m.Ref = uint64(^ref)<<32 | uint64(uint32(n))
 }
 
-// Block extracts a shared-memory block reference and payload length
+// Block extracts the shared-memory block reference and payload length
 // stored by SetBlock.
 func (m *Msg) Block() (ref uint32, n int) {
-	bits := math.Float64bits(m.Val)
-	return uint32(bits >> 32), int(uint32(bits))
+	return ^uint32(m.Ref >> 32), int(uint32(m.Ref))
 }
+
+// HasBlock reports whether the message carries a payload reference.
+func (m *Msg) HasBlock() bool { return m.Ref != 0 }
+
+// ClearBlock removes the payload reference.
+func (m *Msg) ClearBlock() { m.Ref = 0 }

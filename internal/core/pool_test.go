@@ -193,9 +193,9 @@ func TestPoolServeShutdownBroadcast(t *testing.T) {
 	a := newFakeActor(2)
 	coord := &PoolCoordinator{Workers: 3}
 	w := &PoolWorker{Alg: BSW, Rcv: q, Replies: []Port{reply}, A: a, C: coord}
-	q.TryEnqueue(Msg{Op: OpConnect, Client: 0})
-	q.TryEnqueue(Msg{Op: OpEcho, Client: 0})
-	q.TryEnqueue(Msg{Op: OpDisconnect, Client: 0})
+	q.TryEnqueue(Msg{Op: OpConnect, MsgMeta: MsgMeta{Client: 0}})
+	q.TryEnqueue(Msg{Op: OpEcho, MsgMeta: MsgMeta{Client: 0}})
+	q.TryEnqueue(Msg{Op: OpDisconnect, MsgMeta: MsgMeta{Client: 0}})
 	w.Serve(nil)
 	if !coord.Stopped() {
 		t.Fatal("pool not stopped after last disconnect")

@@ -24,12 +24,12 @@ func TestServerDropsOutOfRangeReplyChannel(t *testing.T) {
 func TestServeSurvivesHostileClientField(t *testing.T) {
 	h := newServerHarness(BSW, 1, 0)
 	script := []Msg{
-		{Op: OpConnect, Client: 0},
-		{Op: OpEcho, Client: 99},      // forged reply channel
-		{Op: OpEcho, Client: -7},      // negative reply channel
-		{Op: OpWork, Client: 1 << 20}, // far out of range
-		{Op: OpEcho, Client: 0},       // honest request
-		{Op: OpDisconnect, Client: 0},
+		{Op: OpConnect, MsgMeta: MsgMeta{Client: 0}},
+		{Op: OpEcho, MsgMeta: MsgMeta{Client: 99}},      // forged reply channel
+		{Op: OpEcho, MsgMeta: MsgMeta{Client: -7}},      // negative reply channel
+		{Op: OpWork, MsgMeta: MsgMeta{Client: 1 << 20}}, // far out of range
+		{Op: OpEcho, MsgMeta: MsgMeta{Client: 0}},       // honest request
+		{Op: OpDisconnect, MsgMeta: MsgMeta{Client: 0}},
 	}
 	i := 0
 	h.a.onP = func(id SemID) {
@@ -67,10 +67,10 @@ func TestServeDropsForgedDisconnect(t *testing.T) {
 	// connection count and end the server early.
 	h := newServerHarness(BSW, 1, 0)
 	script := []Msg{
-		{Op: OpConnect, Client: 0},
-		{Op: OpDisconnect, Client: 5}, // forged
-		{Op: OpEcho, Client: 0},
-		{Op: OpDisconnect, Client: 0},
+		{Op: OpConnect, MsgMeta: MsgMeta{Client: 0}},
+		{Op: OpDisconnect, MsgMeta: MsgMeta{Client: 5}}, // forged
+		{Op: OpEcho, MsgMeta: MsgMeta{Client: 0}},
+		{Op: OpDisconnect, MsgMeta: MsgMeta{Client: 0}},
 	}
 	i := 0
 	h.a.onP = func(id SemID) {

@@ -22,6 +22,12 @@ type Server struct {
 	M       *metrics.Proc // optional spin-loop statistics
 	Obs     obs.Hook      // optional phase histograms + flight recorder
 
+	// Blocks is the payload slab arena (nil when the system was built
+	// without one); Owner is the lease tag the server leases blocks
+	// under. See payload.go.
+	Blocks BlockStore
+	Owner  uint32
+
 	// UseHandoff makes the server's scheduling hints use
 	// handoff(PID_ANY) instead of plain yield (Section 6).
 	UseHandoff bool
@@ -225,16 +231,23 @@ func (s *Server) ValidClient(client int32) bool {
 // its wake slot would never retire.
 func (s *Server) Reply(client int32, m Msg) {
 	if !s.ValidClient(client) {
+		dropPayload(s.Blocks, s.Owner, m)
 		return
 	}
 	s.noteReplied(client)
 	q := s.Replies[client]
 	if s.Alg == BSS {
-		busySpinUntil(s.A, q, func() bool { return q.TryEnqueue(m) })
+		if !busySpinUntil(s.A, q, func() bool { return q.TryEnqueue(m) }) {
+			dropPayload(s.Blocks, s.Owner, m)
+		}
 		return
 	}
 	if !enqueueOrSleepObs(q, s.A, m, s.Obs) {
-		return // shutdown: the client is being unblocked anyway
+		// Shutdown or a dead client's closed channel: the reply is
+		// dropped, so any payload lease riding it would be stranded with
+		// a live owner no sweeper walks — return it here.
+		dropPayload(s.Blocks, s.Owner, m)
+		return
 	}
 	if m.Op == OpDisconnect || m.Op == OpConnect {
 		// Control-path replies bypass the throttle: a departing client
@@ -342,7 +355,11 @@ func (s *Server) Serve(work func(*Msg)) (served int64) {
 			return served
 		}
 		if !s.ValidClient(m.Client) {
-			continue // hostile/corrupted request: no usable reply channel
+			// Hostile/corrupted request: no usable reply channel. Any
+			// payload lease it carries is returned (Claim rejects refs
+			// that don't decode, so a corrupted Ref is just dropped).
+			dropPayload(s.Blocks, s.Owner, m)
+			continue
 		}
 		switch m.Op {
 		case OpConnect:
@@ -386,6 +403,7 @@ func (s *Server) ServeCtx(ctx context.Context, work func(*Msg)) (served int64, e
 			return served, err
 		}
 		if !s.ValidClient(m.Client) {
+			dropPayload(s.Blocks, s.Owner, m)
 			continue
 		}
 		switch m.Op {

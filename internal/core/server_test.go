@@ -33,7 +33,7 @@ func (h *serverHarness) push(m Msg) { h.rcvQ.msgs = append(h.rcvQ.msgs, m) }
 func TestServerReceiveReturnsQueued(t *testing.T) {
 	for _, alg := range Algorithms() {
 		h := newServerHarness(alg, 1, 4)
-		h.push(Msg{Op: OpEcho, Client: 0, Seq: 7})
+		h.push(Msg{Op: OpEcho, Seq: 7, MsgMeta: MsgMeta{Client: 0}})
 		m := h.srv.Receive()
 		if m.Seq != 7 {
 			t.Errorf("%s: got %+v", alg, m)
@@ -117,13 +117,13 @@ func TestServerBSLSSpinsBeforeBlocking(t *testing.T) {
 func TestServerServeEchoLoop(t *testing.T) {
 	h := newServerHarness(BSW, 2, 0)
 	script := []Msg{
-		{Op: OpConnect, Client: 0},
-		{Op: OpConnect, Client: 1},
-		{Op: OpEcho, Client: 0, Seq: 1, Val: 10},
-		{Op: OpEcho, Client: 1, Seq: 1, Val: 20},
-		{Op: OpWork, Client: 0, Seq: 2, Val: 30},
-		{Op: OpDisconnect, Client: 0},
-		{Op: OpDisconnect, Client: 1},
+		{Op: OpConnect, MsgMeta: MsgMeta{Client: 0}},
+		{Op: OpConnect, MsgMeta: MsgMeta{Client: 1}},
+		{Op: OpEcho, Seq: 1, Val: 10, MsgMeta: MsgMeta{Client: 0}},
+		{Op: OpEcho, Seq: 1, Val: 20, MsgMeta: MsgMeta{Client: 1}},
+		{Op: OpWork, Seq: 2, Val: 30, MsgMeta: MsgMeta{Client: 0}},
+		{Op: OpDisconnect, MsgMeta: MsgMeta{Client: 0}},
+		{Op: OpDisconnect, MsgMeta: MsgMeta{Client: 1}},
 	}
 	i := 0
 	feed := func(SemID) {
@@ -199,7 +199,7 @@ func TestServerThrottleAdmissionPacing(t *testing.T) {
 	bound := 10 * interval
 	h.a.onP = func(id SemID) { h.a.sems[id]++ }
 	for r := 0; r < bound && h.srv.PendingWakes() > 0; r++ {
-		h.push(Msg{Op: OpEcho, Client: 0})
+		h.push(Msg{Op: OpEcho, MsgMeta: MsgMeta{Client: 0}})
 		h.srv.Receive()
 	}
 	if h.srv.PendingWakes() != 0 {
@@ -266,7 +266,7 @@ func TestServerThrottleAllParkedLiveness(t *testing.T) {
 		if h.srv.PendingWakes() != 0 {
 			t.Error("receive blocked with every connected client parked")
 		}
-		h.push(Msg{Op: OpEcho, Client: 1})
+		h.push(Msg{Op: OpEcho, MsgMeta: MsgMeta{Client: 1}})
 		h.a.sems[id]++
 		select {
 		case woken <- id:
@@ -306,9 +306,9 @@ func TestServerReplyRoutesToCorrectClient(t *testing.T) {
 func TestServerServeWorkNilCallback(t *testing.T) {
 	h := newServerHarness(BSW, 1, 0)
 	script := []Msg{
-		{Op: OpConnect, Client: 0},
-		{Op: OpWork, Client: 0, Val: 5},
-		{Op: OpDisconnect, Client: 0},
+		{Op: OpConnect, MsgMeta: MsgMeta{Client: 0}},
+		{Op: OpWork, Val: 5, MsgMeta: MsgMeta{Client: 0}},
+		{Op: OpDisconnect, MsgMeta: MsgMeta{Client: 0}},
 	}
 	i := 0
 	h.a.onP = func(id SemID) {
@@ -331,9 +331,9 @@ func ExampleServer_Serve() {
 	a := newFakeActor(2)
 	srv := &Server{Alg: BSW, Rcv: rcv, Replies: []Port{reply}, A: a}
 	script := []Msg{
-		{Op: OpConnect, Client: 0},
-		{Op: OpEcho, Client: 0, Val: 3.14},
-		{Op: OpDisconnect, Client: 0},
+		{Op: OpConnect, MsgMeta: MsgMeta{Client: 0}},
+		{Op: OpEcho, Val: 3.14, MsgMeta: MsgMeta{Client: 0}},
+		{Op: OpDisconnect, MsgMeta: MsgMeta{Client: 0}},
 	}
 	i := 0
 	a.onP = func(id SemID) {

@@ -335,6 +335,8 @@ func (s *System) ShardServer(sh int) (*core.Server, error) {
 		A:       a,
 		M:       a.M,
 		Obs:     a.Obs,
+		Blocks:  s.blockStore(a),
+		Owner:   uint32(a.ID),
 	}, nil
 }
 
@@ -371,6 +373,8 @@ func (s *System) groupClient(i int) (*core.Client, error) {
 		A:       a,
 		M:       a.M,
 		Obs:     a.Obs,
+		Blocks:  s.blockStore(a),
+		Owner:   uint32(a.ID),
 	}, nil
 }
 

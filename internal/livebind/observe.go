@@ -25,7 +25,19 @@ func (s *System) Observer() *obs.Observer { return s.obs }
 // counters, their total, and — when an observer is attached — the
 // per-protocol phase-latency histograms.
 func (s *System) MetricsV2() metrics.SystemSnapshot {
-	return s.ms.SystemSnapshot(s.obs)
+	snap := s.ms.SystemSnapshot(s.obs)
+	if s.blocks != nil {
+		for _, cs := range s.blocks.Stats() {
+			snap.Blocks = append(snap.Blocks, metrics.BlockClass{
+				Size:      cs.Size,
+				Count:     cs.Count,
+				Free:      cs.Free,
+				Fallbacks: cs.Fallbacks,
+				Exhausts:  cs.Exhausts,
+			})
+		}
+	}
+	return snap
 }
 
 // WritePrometheus writes the system's metrics in Prometheus text
@@ -54,11 +66,46 @@ func (s *System) WritePrometheus(w io.Writer) {
 		{"ulipc_lock_reclaims", "robust queue locks revoked from dead holders", t.LockReclaims},
 		{"ulipc_orphan_msgs", "orphaned queued messages drained to the pool", t.OrphanMsgs},
 		{"ulipc_orphan_refs", "leaked in-flight refs returned to the pool", t.OrphanRefs},
+		{"ulipc_orphan_blocks", "leaked payload blocks reclaimed from dead owners", t.OrphanBlocks},
 		{"ulipc_wake_rescues", "rescue Vs issued for lost wake-ups", t.WakeRescues},
+		{"ulipc_block_refills", "payload cache batched refills from the arena", t.BlockRefills},
+		{"ulipc_block_spills", "payload cache batched spills back to the arena", t.BlockSpills},
+		{"ulipc_block_fails", "payload allocations denied by class exhaustion", t.BlockFails},
 	} {
 		obs.WritePrometheusCounter(w, c.name, c.help, c.value)
 	}
+	s.writeBlockMetrics(w)
 	s.writeTunerMetrics(w)
+}
+
+// writeBlockMetrics emits the payload slab arena's per-class exposition:
+// free/capacity gauges plus the fallback/exhaustion backpressure
+// counters, labelled by class size. A no-op without a payload arena.
+func (s *System) writeBlockMetrics(w io.Writer) {
+	if s.blocks == nil {
+		return
+	}
+	stats := s.blocks.Stats()
+	fmt.Fprintf(w, "# HELP ulipc_block_free free payload blocks per size class\n")
+	fmt.Fprintf(w, "# TYPE ulipc_block_free gauge\n")
+	for _, cs := range stats {
+		fmt.Fprintf(w, "ulipc_block_free{size=\"%d\"} %d\n", cs.Size, cs.Free)
+	}
+	fmt.Fprintf(w, "# HELP ulipc_block_capacity payload block slots per size class\n")
+	fmt.Fprintf(w, "# TYPE ulipc_block_capacity gauge\n")
+	for _, cs := range stats {
+		fmt.Fprintf(w, "ulipc_block_capacity{size=\"%d\"} %d\n", cs.Size, cs.Count)
+	}
+	fmt.Fprintf(w, "# HELP ulipc_block_fallbacks_total allocs absorbed for a smaller exhausted class\n")
+	fmt.Fprintf(w, "# TYPE ulipc_block_fallbacks_total counter\n")
+	for _, cs := range stats {
+		fmt.Fprintf(w, "ulipc_block_fallbacks_total{size=\"%d\"} %d\n", cs.Size, cs.Fallbacks)
+	}
+	fmt.Fprintf(w, "# HELP ulipc_block_exhausts_total allocs that found the class empty\n")
+	fmt.Fprintf(w, "# TYPE ulipc_block_exhausts_total counter\n")
+	for _, cs := range stats {
+		fmt.Fprintf(w, "ulipc_block_exhausts_total{size=\"%d\"} %d\n", cs.Size, cs.Exhausts)
+	}
 }
 
 // writeTunerMetrics emits the BSA controller exposition: one

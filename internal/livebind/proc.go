@@ -91,11 +91,12 @@ func (o *ProcOptions) defaults() {
 
 // ProcStats is a snapshot of a participant's recovery counters.
 type ProcStats struct {
-	PeerDeaths  int64 // slots this participant's sweeper declared dead
-	WakeRescues int64 // compensating Vs issued for dead producers
-	OrphanMsgs  int64 // refs drained from dead consumers' lanes
-	Epoch       uint32
-	DeadSlot    int32 // first slot declared dead segment-wide (-1 none)
+	PeerDeaths   int64 // slots this participant's sweeper declared dead
+	WakeRescues  int64 // compensating Vs issued for dead producers
+	OrphanMsgs   int64 // refs drained from dead consumers' lanes
+	OrphanBlocks int64 // payload blocks reclaimed from dead peers' leases
+	Epoch        uint32
+	DeadSlot     int32 // first slot declared dead segment-wide (-1 none)
 }
 
 // ProcSystem is one process's attachment to a shared segment: its
@@ -112,9 +113,10 @@ type ProcSystem struct {
 	done      sync.WaitGroup
 	closeOnce sync.Once
 
-	peerDeaths  atomic.Int64
-	wakeRescues atomic.Int64
-	orphanMsgs  atomic.Int64
+	peerDeaths   atomic.Int64
+	wakeRescues  atomic.Int64
+	orphanMsgs   atomic.Int64
+	orphanBlocks atomic.Int64
 
 	// Sweeper-local lease tracking: last observed beat per slot and
 	// when it was observed. Only the runner goroutine touches these.
@@ -243,8 +245,23 @@ func (s *ProcSystem) onPeerDeath(slot int) {
 		if !ok {
 			break
 		}
+		m := s.v.Arena().Node(r).Msg()
 		s.v.Pool.Free(r)
 		s.orphanMsgs.Add(1)
+		// A drained reply may carry a payload lease that now has no
+		// receiver: claim-free it (the claim keeps it race-free against
+		// any other reclaimer — tag already cleared means it was freed).
+		s.reclaimMsgBlock(m)
+	}
+	// Return whatever the dead client still held leased (blocks it had
+	// allocated but not yet sent, or reply payloads it had claimed).
+	if s.v.Blocks != nil {
+		if n := s.v.Blocks.ReclaimOwner(uint32(slot)); n > 0 {
+			s.orphanBlocks.Add(int64(n))
+			if s.opts.M != nil {
+				s.opts.M.OrphanBlocks.Add(int64(n))
+			}
+		}
 	}
 	// The client may have died between enqueueing a request and issuing
 	// its wake-up V — a permanently lost wake. One compensating V keeps
@@ -254,6 +271,22 @@ func (s *ProcSystem) onPeerDeath(slot int) {
 		s.opts.Obs.Note(obs.EvWake, int64(ServerSlot))
 	}
 	s.wakeRescues.Add(1)
+}
+
+// reclaimMsgBlock claim-frees the payload of a message drained during
+// recovery (its receiver is dead, so nobody else will resolve it).
+func (s *ProcSystem) reclaimMsgBlock(m core.Msg) {
+	if s.v.Blocks == nil || !m.HasBlock() {
+		return
+	}
+	ref, _ := m.Block()
+	if s.v.Blocks.Claim(ref, uint32(s.self)) {
+		_ = s.v.Blocks.Free(ref)
+		s.orphanBlocks.Add(1)
+		if s.opts.M != nil {
+			s.opts.M.OrphanBlocks.Add(1)
+		}
+	}
 }
 
 // Close detaches: stops the runner, marks our slot Done, and — when we
@@ -277,11 +310,12 @@ func (s *ProcSystem) Close() {
 // Stats snapshots the recovery counters.
 func (s *ProcSystem) Stats() ProcStats {
 	return ProcStats{
-		PeerDeaths:  s.peerDeaths.Load(),
-		WakeRescues: s.wakeRescues.Load(),
-		OrphanMsgs:  s.orphanMsgs.Load(),
-		Epoch:       s.v.Hdr.Epoch.Load(),
-		DeadSlot:    s.v.Hdr.DeadSlot.Load(),
+		PeerDeaths:   s.peerDeaths.Load(),
+		WakeRescues:  s.wakeRescues.Load(),
+		OrphanMsgs:   s.orphanMsgs.Load(),
+		OrphanBlocks: s.orphanBlocks.Load(),
+		Epoch:        s.v.Hdr.Epoch.Load(),
+		DeadSlot:     s.v.Hdr.DeadSlot.Load(),
 	}
 }
 
@@ -616,6 +650,11 @@ func AttachProcServer(seg *shm.Seg, opts ProcOptions) (*ProcServer, error) {
 		Rcv: rcv, Replies: replies, A: sys.newActor(),
 		M: opts.M, Obs: opts.Obs,
 	}
+	if v.Blocks != nil {
+		// Lease owner = lifetable slot, so the sweeper can attribute and
+		// reclaim a dead participant's payload blocks.
+		srv.Blocks, srv.Owner = v.Blocks, uint32(ServerSlot)
+	}
 	return &ProcServer{Server: srv, Sys: sys}, nil
 }
 
@@ -644,6 +683,9 @@ func AttachProcClient(seg *shm.Seg, id int, opts ProcOptions) (*ProcClient, erro
 		ID: int32(id), Alg: opts.Alg, MaxSpin: opts.MaxSpin,
 		Srv: srvPort, Rcv: rcv, A: sys.newActor(),
 		M: opts.M, Obs: opts.Obs,
+	}
+	if v.Blocks != nil {
+		cl.Blocks, cl.Owner = v.Blocks, uint32(1+id)
 	}
 	return &ProcClient{Client: cl, Sys: sys}, nil
 }

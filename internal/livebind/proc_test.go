@@ -174,7 +174,7 @@ func TestProcClientDeathRescue(t *testing.T) {
 	// the sweeper's compensating V arrives.
 	v.Life[1].State.Store(shm.LifeLive)
 	ref, _ := v.Pool.Alloc()
-	v.Arena().Node(ref).SetMsg(core.Msg{Op: core.OpEcho, Client: 0, Seq: 7})
+	v.Arena().Node(ref).SetMsg(core.Msg{Op: core.OpEcho, Seq: 7, MsgMeta: core.MsgMeta{Client: 0}})
 	v.ReqLane(0).TryPush(ref)
 	// And one stale reply queued to it, to verify the drain.
 	r2, _ := v.Pool.Alloc()
@@ -215,7 +215,7 @@ func TestProcClientDeathRescue(t *testing.T) {
 		t.Fatalf("served %d, want the orphan request processed", n)
 	}
 	// Post-mortem: with everyone gone the audit makes the pool whole.
-	if _, _, err := v.Reclaim(); err != nil {
+	if _, _, _, err := v.Reclaim(); err != nil {
 		t.Fatal(err)
 	}
 	if free := v.Pool.FreeCount(); free != 32 {

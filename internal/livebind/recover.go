@@ -5,10 +5,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ulipc/internal/core"
 	"ulipc/internal/fault"
 	"ulipc/internal/metrics"
 	"ulipc/internal/obs"
 	"ulipc/internal/queue"
+	"ulipc/internal/shm"
 )
 
 // This file is the peer-death detection and self-healing layer: a
@@ -59,6 +61,7 @@ type lifeSlot struct {
 	produces []*Channel
 	consumes []*Channel
 	ports    []*Port
+	bcache   *shm.BlockCache // private payload cache (spilled on death)
 
 	// Sweeper-local lease bookkeeping.
 	lastBeat int64
@@ -157,6 +160,16 @@ func (r *recovery) register(a *Actor, consumes, produces []*Channel, ports ...*P
 	}
 	for _, ch := range consumes {
 		r.meta(ch).consumers++
+	}
+	r.mu.Unlock()
+}
+
+// registerBlockCache attaches a handle's private payload cache to its
+// actor's lifetable slot so the sweeper can spill it post-mortem.
+func (r *recovery) registerBlockCache(id int32, c *shm.BlockCache) {
+	r.mu.Lock()
+	if slot := r.slots[id]; slot != nil {
+		slot.bcache = c
 	}
 	r.mu.Unlock()
 }
@@ -264,7 +277,15 @@ func (r *recovery) sweep() {
 	// drain them back to the pool on every pass.
 	for _, cm := range r.chans {
 		if cm.consumers > 0 && cm.deadCons == cm.consumers {
-			if n := queue.Drain(cm.ch.q); n > 0 {
+			var n int
+			if r.s.blocks != nil {
+				// Drained messages may carry payload leases nobody will
+				// resolve: claim-free each one alongside its node.
+				n = queue.DrainFunc(cm.ch.q, r.reclaimMsgBlock)
+			} else {
+				n = queue.Drain(cm.ch.q)
+			}
+			if n > 0 {
 				r.m.OrphanMsgs.Add(int64(n))
 				r.s.obs.Recorder().Note(obs.EvReclaim, -1, int64(n))
 			}
@@ -296,6 +317,24 @@ func (r *recovery) sweep() {
 				r.s.obs.Recorder().Note(obs.EvRescue, -1, int64(ch.id))
 			}
 		}
+	}
+}
+
+// sweepOwner is the lease tag the sweeper claims under while freeing a
+// drained message's payload — far above the actor-id owner domain.
+const sweepOwner = ^uint32(0) - 1
+
+// reclaimMsgBlock claim-frees one drained message's payload lease (its
+// receiver is dead, so nobody else will resolve it). A failed claim
+// means another reclaimer got there first — not an error.
+func (r *recovery) reclaimMsgBlock(m core.Msg) {
+	if !m.HasBlock() {
+		return
+	}
+	ref, _ := m.Block()
+	if r.s.blocks.Claim(ref, sweepOwner) {
+		_ = r.s.blocks.Free(ref)
+		r.m.OrphanBlocks.Add(1)
 	}
 }
 
@@ -342,6 +381,20 @@ func (r *recovery) recoverLocked(slot *lifeSlot) {
 	// rejoin the pool's flow control.
 	for _, p := range slot.ports {
 		p.Close()
+	}
+
+	// Payload leases: spill the dead actor's private block cache (parked
+	// blocks are free, just invisible), then return every block still
+	// leased under its tag. Claim races with a live receiver adopting an
+	// in-flight payload resolve to one winner, so nothing double-frees.
+	if r.s.blocks != nil {
+		if slot.bcache != nil {
+			slot.bcache.Drain()
+		}
+		if n := r.s.blocks.ReclaimOwner(uint32(slot.id)); n > 0 {
+			r.m.OrphanBlocks.Add(int64(n))
+			r.s.obs.Recorder().Note(obs.EvReclaim, slot.id, int64(n))
+		}
 	}
 
 	// Side accounting: when a whole side of a channel is gone, the

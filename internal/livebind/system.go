@@ -421,6 +421,7 @@ type System struct {
 	// that run finishes and then return its stored result.
 	downMu   sync.Mutex
 	ports    []*Port
+	bcaches  []*shm.BlockCache // per-handle payload caches (spill on teardown)
 	pools    []*core.PoolCoordinator
 	downOnce sync.Once
 	downErr  error
@@ -516,6 +517,74 @@ func NewSystem(opts Options, extra ...Option) (*System, error) {
 // components, or nil if Options.BlockSlots was zero.
 func (s *System) Blocks() *shm.BlockPool { return s.blocks }
 
+// blockSource adapts the shared slab arena to one handle's
+// core.BlockStore, folding allocation-batching and backpressure counts
+// into the handle's metrics. With AllocBatch > 1 allocations go through
+// a private per-handle BlockCache (one shared-head CAS per batch); the
+// cache's parked blocks are spilled by Shutdown and by the recovery
+// sweeper when the handle's actor dies.
+type blockSource struct {
+	pool  *shm.BlockPool
+	cache *shm.BlockCache // nil: uncached, straight to the pool
+	m     *metrics.Proc
+}
+
+func (b *blockSource) Alloc(n int) (uint32, []byte, bool) {
+	if b.cache == nil {
+		ref, buf, ok := b.pool.Alloc(n)
+		if !ok && b.m != nil {
+			b.m.BlockFails.Add(1)
+		}
+		return ref, buf, ok
+	}
+	ref, buf, ok, refilled := b.cache.Alloc(n)
+	if b.m != nil {
+		if refilled {
+			b.m.BlockRefills.Add(1)
+		}
+		if !ok {
+			b.m.BlockFails.Add(1)
+		}
+	}
+	return ref, buf, ok
+}
+
+func (b *blockSource) Free(ref uint32) error {
+	if b.cache == nil {
+		return b.pool.Free(ref)
+	}
+	spilled, err := b.cache.Free(ref)
+	if spilled && b.m != nil {
+		b.m.BlockSpills.Add(1)
+	}
+	return err
+}
+
+func (b *blockSource) Get(ref uint32) ([]byte, error)       { return b.pool.Get(ref) }
+func (b *blockSource) Lease(ref uint32, owner uint32) error { return b.pool.Lease(ref, owner) }
+func (b *blockSource) Claim(ref uint32, owner uint32) bool  { return b.pool.Claim(ref, owner) }
+func (b *blockSource) MaxBlock() int                        { return b.pool.MaxBlock() }
+
+// blockStore builds the payload source for a handle owned by actor a,
+// or returns nil when the system has no arena. The handle's lease owner
+// is the actor id, so the sweeper can attribute a dead actor's leases.
+func (s *System) blockStore(a *Actor) core.BlockStore {
+	if s.blocks == nil {
+		return nil
+	}
+	bs := &blockSource{pool: s.blocks, m: a.M}
+	if s.opts.AllocBatch > 1 {
+		bs.cache = s.blocks.NewBlockCache(s.opts.AllocBatch)
+		s.downMu.Lock()
+		s.bcaches = append(s.bcaches, bs.cache)
+		s.downMu.Unlock()
+		if s.rec != nil {
+			s.rec.registerBlockCache(a.ID, bs.cache)
+		}
+	}
+	return bs
+}
+
 // producerPort builds an enqueue endpoint for a channel owned by the
 // given actor, attaching a private allocation cache when
 // Options.AllocBatch asks for one and the channel's queue supports it.
@@ -590,6 +659,7 @@ func (s *System) shutdownPhases(ctx context.Context) error {
 	s.downMu.Lock()
 	pools := append([]*core.PoolCoordinator(nil), s.pools...)
 	ports := append([]*Port(nil), s.ports...)
+	bcaches := append([]*shm.BlockCache(nil), s.bcaches...)
 	s.downMu.Unlock()
 	for _, pc := range pools {
 		pc.Stop()
@@ -619,6 +689,9 @@ func (s *System) shutdownPhases(ctx context.Context) error {
 	s.notePhase(5)
 	for _, p := range ports {
 		p.Close()
+	}
+	for _, c := range bcaches {
+		c.Drain()
 	}
 	if s.rec != nil {
 		s.rec.halt()
@@ -951,6 +1024,8 @@ func (s *System) Server() *core.Server {
 		M:        a.M,
 		Obs:      a.Obs,
 		Throttle: s.opts.Throttle,
+		Blocks:   s.blockStore(a),
+		Owner:    uint32(a.ID),
 	}
 }
 
@@ -981,5 +1056,7 @@ func (s *System) Client(i int) (*core.Client, error) {
 		A:       a,
 		M:       a.M,
 		Obs:     a.Obs,
+		Blocks:  s.blockStore(a),
+		Owner:   uint32(a.ID),
 	}, nil
 }

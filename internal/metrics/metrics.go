@@ -39,6 +39,13 @@ type Proc struct {
 	PoolRefills atomic.Int64 // batched refill fetches from the pool
 	PoolSpills  atomic.Int64 // batched returns of cached refs
 
+	// Payload-arena statistics: batched block-cache transfers (the slab
+	// analogue of PoolRefills/PoolSpills) and allocation backpressure
+	// (class-exhaustion fall-throughs surfaced to callers).
+	BlockRefills atomic.Int64 // batched block refills from the slab arena
+	BlockSpills  atomic.Int64 // batched block returns to the slab arena
+	BlockFails   atomic.Int64 // payload allocations refused (all classes empty)
+
 	// BSLS spin-loop statistics (Section 4.2): how often the poll loop
 	// fell through to the blocking path, and total iterations executed.
 	SpinLoops     atomic.Int64 // number of poll loops entered
@@ -59,6 +66,7 @@ type Proc struct {
 	LockReclaims atomic.Int64 // robust queue locks revoked from dead holders
 	OrphanMsgs   atomic.Int64 // orphaned queued messages drained to the pool
 	OrphanRefs   atomic.Int64 // leaked in-flight refs returned to the pool
+	OrphanBlocks atomic.Int64 // payload blocks reclaimed from dead peers
 	WakeRescues  atomic.Int64 // rescue Vs issued for lost wake-ups
 
 	CPUTimeNS atomic.Int64 // virtual (sim) or estimated (live) CPU time
@@ -107,6 +115,9 @@ type Snapshot struct {
 	MsgsReceived  int64
 	PoolRefills   int64
 	PoolSpills    int64
+	BlockRefills  int64
+	BlockSpills   int64
+	BlockFails    int64
 	SpinLoops     int64
 	SpinIters     int64
 	SpinFallThrus int64
@@ -118,6 +129,7 @@ type Snapshot struct {
 	LockReclaims  int64
 	OrphanMsgs    int64
 	OrphanRefs    int64
+	OrphanBlocks  int64
 	WakeRescues   int64
 	CPUTimeNS     int64
 }
@@ -141,6 +153,9 @@ func (p *Proc) Snapshot() Snapshot {
 		MsgsReceived:  p.MsgsReceived.Load(),
 		PoolRefills:   p.PoolRefills.Load(),
 		PoolSpills:    p.PoolSpills.Load(),
+		BlockRefills:  p.BlockRefills.Load(),
+		BlockSpills:   p.BlockSpills.Load(),
+		BlockFails:    p.BlockFails.Load(),
 		SpinLoops:     p.SpinLoops.Load(),
 		SpinIters:     p.SpinIters.Load(),
 		SpinFallThrus: p.SpinFallThrus.Load(),
@@ -152,6 +167,7 @@ func (p *Proc) Snapshot() Snapshot {
 		LockReclaims:  p.LockReclaims.Load(),
 		OrphanMsgs:    p.OrphanMsgs.Load(),
 		OrphanRefs:    p.OrphanRefs.Load(),
+		OrphanBlocks:  p.OrphanBlocks.Load(),
 		WakeRescues:   p.WakeRescues.Load(),
 		CPUTimeNS:     p.CPUTimeNS.Load(),
 	}
@@ -174,6 +190,9 @@ func (s *Snapshot) Add(other Snapshot) {
 	s.MsgsReceived += other.MsgsReceived
 	s.PoolRefills += other.PoolRefills
 	s.PoolSpills += other.PoolSpills
+	s.BlockRefills += other.BlockRefills
+	s.BlockSpills += other.BlockSpills
+	s.BlockFails += other.BlockFails
 	s.SpinLoops += other.SpinLoops
 	s.SpinIters += other.SpinIters
 	s.SpinFallThrus += other.SpinFallThrus
@@ -185,6 +204,7 @@ func (s *Snapshot) Add(other Snapshot) {
 	s.LockReclaims += other.LockReclaims
 	s.OrphanMsgs += other.OrphanMsgs
 	s.OrphanRefs += other.OrphanRefs
+	s.OrphanBlocks += other.OrphanBlocks
 	s.WakeRescues += other.WakeRescues
 	s.CPUTimeNS += other.CPUTimeNS
 }

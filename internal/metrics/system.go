@@ -12,6 +12,20 @@ type SystemSnapshot struct {
 	Procs  []Snapshot          `json:"procs"`
 	Total  Snapshot            `json:"total"`
 	Protos []obs.ProtoSnapshot `json:"protos,omitempty"`
+	Blocks []BlockClass        `json:"blocks,omitempty"`
+}
+
+// BlockClass mirrors one payload size class of the slab arena
+// (shm.BlockClassStats) without importing shm: size/capacity geometry
+// plus the backpressure counters — fallbacks (allocs absorbed for a
+// smaller exhausted class) and exhausts (allocs that found the class
+// empty). Populated by the runtime layer that owns the pool.
+type BlockClass struct {
+	Size      int   `json:"size"`
+	Count     int   `json:"count"`
+	Free      int64 `json:"free"`
+	Fallbacks int64 `json:"fallbacks"`
+	Exhausts  int64 `json:"exhausts"`
 }
 
 // SystemSnapshot builds the v2 view from a metrics set and an optional

@@ -68,6 +68,19 @@ func (o *Observer) WritePrometheus(w io.Writer) {
 		}
 		writePromHist(w, "ulipc_batch_size", ps.Proto, ps.Batch)
 	}
+	// Payload sizes are bytes, not durations — their own family too.
+	wrotePayload := false
+	for _, ps := range snaps {
+		if ps.Payload.Count == 0 {
+			continue
+		}
+		if !wrotePayload {
+			fmt.Fprintf(w, "# HELP ulipc_payload_bytes payload size per payload-carrying send\n")
+			fmt.Fprintf(w, "# TYPE ulipc_payload_bytes histogram\n")
+			wrotePayload = true
+		}
+		writePromHist(w, "ulipc_payload_bytes", ps.Proto, ps.Payload)
+	}
 	if o.rec != nil {
 		fmt.Fprintf(w, "# HELP ulipc_flight_events_total events noted on the flight recorder\n")
 		fmt.Fprintf(w, "# TYPE ulipc_flight_events_total counter\n")

@@ -54,6 +54,12 @@ type ProtoHists struct {
 	// per wake-up on the batched paths). It is deliberately not a
 	// Phase — phases are time, this is cardinality.
 	Batch Histogram
+
+	// Payload records payload sizes in bytes, one observation per
+	// payload-carrying send. Like Batch it reuses the histogram's time
+	// axis as a plain magnitude axis; mean = sum/count is the average
+	// transferred payload size.
+	Payload Histogram
 }
 
 // Phase returns the histogram for a phase (nil-safe).
@@ -82,6 +88,7 @@ type ProtoSnapshot struct {
 	Spin      HistSnapshot `json:"spin"`
 	Sleep     HistSnapshot `json:"sleep"`
 	Batch     HistSnapshot `json:"batch"`
+	Payload   HistSnapshot `json:"payload"`
 }
 
 // Phase returns the snapshot for a phase.
@@ -108,6 +115,7 @@ func (p *ProtoHists) Snapshot(name string) ProtoSnapshot {
 		Spin:      p.Spin.Snapshot(),
 		Sleep:     p.Sleep.Snapshot(),
 		Batch:     p.Batch.Snapshot(),
+		Payload:   p.Payload.Snapshot(),
 	}
 }
 
@@ -278,6 +286,13 @@ func (h Hook) Sleep(d time.Duration) {
 func (h Hook) Batch(k int) {
 	if h.H != nil {
 		h.H.Batch.Record(time.Duration(k))
+	}
+}
+
+// Payload records the size in bytes of one transferred payload.
+func (h Hook) Payload(n int) {
+	if h.H != nil {
+		h.H.Payload.Record(time.Duration(n))
 	}
 }
 

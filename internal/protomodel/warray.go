@@ -50,18 +50,18 @@ type WArrayResult struct {
 // Consumer program counters: the consumerWaitCtx shape, plus the
 // cancel-path drain (wCxl*) it runs after a cancelled park.
 const (
-	wTop     = iota // dequeue attempt
-	wClear          // awake <- false
-	wDeq2           // second dequeue attempt
-	wDrain          // tas(awake) after a successful second dequeue
-	wDrainP         // drain the pending V
-	wPark           // PCtx: fast path or park on a waiting-array slot
-	wParked         // parked; wakes by direct grant (or cancels)
-	wWake           // awake <- true
-	wCxl            // cancelled: tas(awake) token accounting
-	wCxlP           // cancelled with a signal pending: P to claim it
-	wCxlParked      // the claim parked (plain P on the waiting array)
-	wCxlDeq         // claimed the token: dequeue the message it covers
+	wTop       = iota // dequeue attempt
+	wClear            // awake <- false
+	wDeq2             // second dequeue attempt
+	wDrain            // tas(awake) after a successful second dequeue
+	wDrainP           // drain the pending V
+	wPark             // PCtx: fast path or park on a waiting-array slot
+	wParked           // parked; wakes by direct grant (or cancels)
+	wWake             // awake <- true
+	wCxl              // cancelled: tas(awake) token accounting
+	wCxlP             // cancelled with a signal pending: P to claim it
+	wCxlParked        // the claim parked (plain P on the waiting array)
+	wCxlDeq           // claimed the token: dequeue the message it covers
 	wDone
 )
 

@@ -35,7 +35,7 @@ func TestLanesFanIn(t *testing.T) {
 	}
 	for i := 0; i < lanes; i++ {
 		for j := 0; j < per; j++ {
-			if !l.Lane(i).Enqueue(core.Msg{Client: int32(i), Seq: int32(j)}) {
+			if !l.Lane(i).Enqueue(core.Msg{Seq: int32(j), MsgMeta: core.MsgMeta{Client: int32(i)}}) {
 				t.Fatalf("lane %d refused message %d", i, j)
 			}
 		}
@@ -71,7 +71,7 @@ func TestLanesRoundRobin(t *testing.T) {
 	l := mkLanes(t, lanes, 8)
 	for i := 0; i < lanes; i++ {
 		for j := 0; j < 2; j++ {
-			l.Lane(i).Enqueue(core.Msg{Client: int32(i)})
+			l.Lane(i).Enqueue(core.Msg{MsgMeta: core.MsgMeta{Client: int32(i)}})
 		}
 	}
 	var order []int32
@@ -96,10 +96,10 @@ func TestLanesRoundRobin(t *testing.T) {
 func TestLanesSteal(t *testing.T) {
 	l := mkLanes(t, 3, 16)
 	for j := 0; j < 2; j++ {
-		l.Lane(0).Enqueue(core.Msg{Client: 0, Seq: int32(j)})
+		l.Lane(0).Enqueue(core.Msg{Seq: int32(j), MsgMeta: core.MsgMeta{Client: 0}})
 	}
 	for j := 0; j < 6; j++ {
-		l.Lane(2).Enqueue(core.Msg{Client: 2, Seq: int32(j)})
+		l.Lane(2).Enqueue(core.Msg{Seq: int32(j), MsgMeta: core.MsgMeta{Client: 2}})
 	}
 	dst := make([]core.Msg, 4)
 	if n := l.Steal(dst, 7); n != 0 {
@@ -140,7 +140,7 @@ func TestLanesConcurrent(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			for j := 0; j < per; j++ {
-				for !l.Lane(i).Enqueue(core.Msg{Client: int32(i), Seq: int32(j)}) {
+				for !l.Lane(i).Enqueue(core.Msg{Seq: int32(j), MsgMeta: core.MsgMeta{Client: int32(i)}}) {
 				}
 			}
 		}(i)

@@ -122,3 +122,19 @@ func Drain(q Queue) int {
 		n++
 	}
 }
+
+// DrainFunc is Drain with a per-message callback, for teardown paths
+// that must account for resources the discarded messages reference —
+// e.g. payload-block leases that would otherwise be stranded with the
+// message.
+func DrainFunc(q Queue, fn func(core.Msg)) int {
+	n := 0
+	for {
+		m, ok := q.Dequeue()
+		if !ok {
+			return n
+		}
+		fn(m)
+		n++
+	}
+}

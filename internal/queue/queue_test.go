@@ -163,7 +163,7 @@ func TestConcurrentConservation(t *testing.T) {
 			go func(p int) {
 				defer wg.Done()
 				for i := 0; i < perProducer; i++ {
-					m := core.Msg{Client: int32(p), Seq: int32(i)}
+					m := core.Msg{Seq: int32(i), MsgMeta: core.MsgMeta{Client: int32(p)}}
 					for !q.Enqueue(m) {
 						runtime.Gosched()
 					}

@@ -50,7 +50,7 @@ var (
 // checked on every map.
 const (
 	SegMagic   uint64 = 0x756c6970632d7631 // "ulipc-v1"
-	SegVersion uint32 = 1
+	SegVersion uint32 = 2                  // v2: payload slab arena + Msg.Ref
 )
 
 // Segment lifecycle states (SegHeader.State).
@@ -66,6 +66,13 @@ type SegConfig struct {
 	Clients int // reply channels / client lifetable slots
 	Nodes   int // arena size (shared free pool)
 	RingCap int // per-lane slot count (rounded up to a power of two)
+
+	// Blocks is the payload slab arena geometry: slots per size class.
+	// 0 disables the arena (control-message-only segment, the pre-v2
+	// shape). BlockSizes are the class sizes (ascending multiples of 8,
+	// at most MaxBlockClasses); empty defaults to DefaultBlockSizes.
+	Blocks     int
+	BlockSizes []int
 }
 
 func (c *SegConfig) defaults() error {
@@ -84,6 +91,12 @@ func (c *SegConfig) defaults() error {
 	if c.Nodes >= int(NilRef) {
 		return fmt.Errorf("%w: %d nodes exceeds ref space", ErrBadGeometry, c.Nodes)
 	}
+	if c.Blocks < 0 {
+		return fmt.Errorf("%w: negative block count %d", ErrBadGeometry, c.Blocks)
+	}
+	if c.Blocks > 0 && len(c.BlockSizes) == 0 {
+		c.BlockSizes = append([]int(nil), DefaultBlockSizes...)
+	}
 	return nil
 }
 
@@ -100,7 +113,13 @@ type SegHeader struct {
 	State    atomic.Uint32
 	DeadSlot atomic.Int32  // first lifetable slot declared dead (-1 none)
 	Epoch    atomic.Uint32 // bumped by the sweeper on every declaration
-	_        [24]byte
+
+	// Payload slab arena geometry (v2). BlockSlots is the per-class slot
+	// count (0 = no arena); BlockClasses the class count; BlockSizes the
+	// class sizes (only the first BlockClasses entries are meaningful).
+	BlockSlots   atomic.Uint32
+	BlockClasses atomic.Uint32
+	BlockSizes   [MaxBlockClasses]atomic.Uint32
 
 	PoolHead atomic.Uint64 // Treiber head: tag<<32 | top ref
 	_        [56]byte
@@ -164,8 +183,10 @@ type Layout struct {
 	LaneOff   int // lane controls (2*Clients)
 	SlotOff   int // lane slot arrays (2*Clients × RingCap refs)
 	ArenaOff  int // node array
+	BlockOff  int // payload slab arena (0 when Cfg.Blocks == 0)
 	Size      int
 	slotBytes int // per-lane slot array, 64-padded
+	blockLay  BlockLayout
 }
 
 func align64(n int) int { return (n + 63) &^ 63 }
@@ -188,6 +209,15 @@ func LayoutFor(cfg SegConfig) (Layout, error) {
 	off += 2 * cfg.Clients * l.slotBytes
 	l.ArenaOff = align64(off)
 	off = l.ArenaOff + cfg.Nodes*int(unsafe.Sizeof(Node{}))
+	if cfg.Blocks > 0 {
+		bl, err := BlockLayoutFor(cfg.BlockSizes, cfg.Blocks)
+		if err != nil {
+			return Layout{}, fmt.Errorf("%w: %v", ErrBadGeometry, err)
+		}
+		l.BlockOff = align64(off)
+		l.blockLay = bl
+		off = l.BlockOff + bl.Size
+	}
 	l.Size = align64(off)
 	return l, nil
 }
@@ -211,13 +241,14 @@ type Seg struct {
 // SegView is the typed window onto a mapped segment. It is invalid
 // after Seg.Unmap.
 type SegView struct {
-	Hdr   *SegHeader
-	Life  []LifeSlot
-	Sems  []SemSlot
-	Pool  *SegPool
-	arena *Arena
-	lanes []Lane
-	lay   Layout
+	Hdr    *SegHeader
+	Life   []LifeSlot
+	Sems   []SemSlot
+	Pool   *SegPool
+	Blocks *BlockPool // payload slab arena; nil when the geometry has none
+	arena  *Arena
+	lanes  []Lane
+	lay    Layout
 }
 
 // viewOver builds the typed views. The caller has validated geometry.
@@ -237,6 +268,9 @@ func viewOver(mem []byte, lay Layout) *SegView {
 		ctl := (*laneCtl)(unsafe.Pointer(&mem[lay.LaneOff+i*int(unsafe.Sizeof(laneCtl{}))]))
 		slots := unsafe.Slice((*atomic.Uint32)(unsafe.Pointer(&mem[lay.SlotOff+i*lay.slotBytes])), cfg.RingCap)
 		v.lanes[i] = Lane{ctl: ctl, slots: slots, cap: uint64(cfg.RingCap)}
+	}
+	if cfg.Blocks > 0 {
+		v.Blocks = viewBlockPool(mem[lay.BlockOff:lay.BlockOff+lay.blockLay.Size:lay.BlockOff+lay.blockLay.Size], lay.blockLay)
 	}
 	return v
 }
@@ -272,6 +306,14 @@ func (v *SegView) init(lay Layout) {
 	v.arena.Node(Ref(cfg.Nodes - 1)).SetNext(NilRef)
 	v.Hdr.PoolHead.Store(packHead(0, 0))
 	v.Hdr.PoolFree.Store(int64(cfg.Nodes))
+	v.Hdr.BlockSlots.Store(uint32(cfg.Blocks))
+	v.Hdr.BlockClasses.Store(uint32(len(cfg.BlockSizes)))
+	if cfg.Blocks > 0 {
+		for i, size := range cfg.BlockSizes {
+			v.Hdr.BlockSizes[i].Store(uint32(size))
+		}
+		v.Blocks.initBlocks()
+	}
 	for i := range v.Sems {
 		v.Sems[i].Awake.Store(1)
 	}
@@ -301,9 +343,19 @@ func validateHeader(mem []byte) (Layout, error) {
 		Clients: int(h.Clients.Load()),
 		Nodes:   int(h.Nodes.Load()),
 		RingCap: int(h.RingCap.Load()),
+		Blocks:  int(h.BlockSlots.Load()),
 	}
 	if cfg.Clients < 1 || cfg.Nodes < 1 || cfg.RingCap < 1 || cfg.RingCap&(cfg.RingCap-1) != 0 {
 		return Layout{}, fmt.Errorf("%w: clients=%d nodes=%d ringcap=%d", ErrBadGeometry, cfg.Clients, cfg.Nodes, cfg.RingCap)
+	}
+	if cfg.Blocks > 0 {
+		classes := int(h.BlockClasses.Load())
+		if classes < 1 || classes > MaxBlockClasses {
+			return Layout{}, fmt.Errorf("%w: %d block classes", ErrBadGeometry, classes)
+		}
+		for i := 0; i < classes; i++ {
+			cfg.BlockSizes = append(cfg.BlockSizes, int(h.BlockSizes[i].Load()))
+		}
 	}
 	lay, err := LayoutFor(cfg)
 	if err != nil {
@@ -493,12 +545,15 @@ func (l *Lane) Len() int { return int(l.ctl.Tail.Load() - l.ctl.Head.Load()) }
 // or exited — the post-mortem doctrine): it drains every lane back to
 // the pool (queued messages whose consumer died), then walks the free
 // list and returns every unreachable node (refs a dead process held
-// in-flight). After Reclaim the pool is whole: FreeCount == Nodes.
+// in-flight), and finally audits the payload slab arena the same way —
+// every block unreachable from its class's free list was leased by a
+// corpse and is returned. After Reclaim the pools are whole:
+// Pool.FreeCount == Nodes and Blocks.TotalFree == Blocks.Capacity.
 //
-// Returns the two orphan classes separately — queued messages vs
-// in-flight refs — mirroring the in-process sweeper's OrphanMsgs /
-// OrphanRefs counters.
-func (v *SegView) Reclaim() (orphanMsgs, orphanRefs int, err error) {
+// Returns the three orphan classes separately — queued messages,
+// in-flight node refs, leaked payload blocks — mirroring the in-process
+// sweeper's OrphanMsgs / OrphanRefs / OrphanBlocks counters.
+func (v *SegView) Reclaim() (orphanMsgs, orphanRefs, orphanBlocks int, err error) {
 	nodes := v.lay.Cfg.Nodes
 	for i := range v.lanes {
 		for {
@@ -507,7 +562,7 @@ func (v *SegView) Reclaim() (orphanMsgs, orphanRefs int, err error) {
 				break
 			}
 			if int(r) >= nodes {
-				return orphanMsgs, orphanRefs, fmt.Errorf("%w: lane %d held ref %d outside arena", ErrBadGeometry, i, r)
+				return orphanMsgs, orphanRefs, 0, fmt.Errorf("%w: lane %d held ref %d outside arena", ErrBadGeometry, i, r)
 			}
 			v.Pool.Free(r)
 			orphanMsgs++
@@ -518,7 +573,7 @@ func (v *SegView) Reclaim() (orphanMsgs, orphanRefs int, err error) {
 	walked := 0
 	for r := top; r != NilRef; r = v.arena.Node(r).Next() {
 		if int(r) >= nodes || seen[r] {
-			return orphanMsgs, orphanRefs, fmt.Errorf("%w: free list cycle or wild ref at %d", ErrBadGeometry, r)
+			return orphanMsgs, orphanRefs, 0, fmt.Errorf("%w: free list cycle or wild ref at %d", ErrBadGeometry, r)
 		}
 		seen[r] = true
 		walked++
@@ -530,5 +585,11 @@ func (v *SegView) Reclaim() (orphanMsgs, orphanRefs int, err error) {
 		}
 	}
 	v.Hdr.PoolFree.Store(int64(nodes))
-	return orphanMsgs, orphanRefs, nil
+	if v.Blocks != nil {
+		orphanBlocks, err = v.Blocks.ReclaimAll()
+		if err != nil {
+			return orphanMsgs, orphanRefs, orphanBlocks, err
+		}
+	}
+	return orphanMsgs, orphanRefs, orphanBlocks, nil
 }

@@ -45,7 +45,7 @@ func TestSegSharedAcrossMappings(t *testing.T) {
 	if !ok {
 		t.Fatal("alloc failed on fresh pool")
 	}
-	v1.Arena().Node(ref).SetMsg(core.Msg{Op: core.OpEcho, Client: 1, Seq: 42, Val: 3.5})
+	v1.Arena().Node(ref).SetMsg(core.Msg{Op: core.OpEcho, Seq: 42, Val: 3.5, MsgMeta: core.MsgMeta{Client: 1}})
 	if !v1.ReqLane(1).TryPush(ref) {
 		t.Fatal("push failed on empty lane")
 	}
@@ -241,7 +241,7 @@ func TestSegReclaim(t *testing.T) {
 	v.Pool.Alloc()
 	v.Pool.Alloc()
 
-	msgs, refs, err := v.Reclaim()
+	msgs, refs, _, err := v.Reclaim()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -59,6 +59,12 @@ type ChaosConfig struct {
 
 	// SweepInterval is the recovery sweeper period (default 200µs).
 	SweepInterval time.Duration
+
+	// PaySize, when > 0, attaches a leased payload block to every echo:
+	// the system is built with a slab arena and the cell additionally
+	// audits lease conservation — after teardown every block must be
+	// back in the arena, crashes mid-lease notwithstanding.
+	PaySize int
 }
 
 func (c *ChaosConfig) defaults() error {
@@ -107,14 +113,21 @@ type ChaosResult struct {
 	LockReclaims int64 `json:"lock_reclaims"`
 	OrphanMsgs   int64 `json:"orphan_msgs"`
 	OrphanRefs   int64 `json:"orphan_refs"`
+	OrphanBlocks int64 `json:"orphan_blocks,omitempty"`
 	WakeRescues  int64 `json:"wake_rescues"`
 
 	// Failure modes. Deadlocked: the watchdog expired with participants
 	// still blocked. PoolLeaked: refs missing from (positive) or
 	// double-freed into (negative) the shm pools after teardown.
-	Deadlocked bool   `json:"deadlocked"`
-	PoolLeaked int64  `json:"pool_leaked"`
-	Error      string `json:"error,omitempty"`
+	// BlockLeaked is the payload analogue — blocks missing from the slab
+	// arena after teardown and reclaim (payload cells only).
+	Deadlocked  bool   `json:"deadlocked"`
+	PoolLeaked  int64  `json:"pool_leaked"`
+	BlockLeaked int64  `json:"block_leaked,omitempty"`
+	Error       string `json:"error,omitempty"`
+
+	// PaySize is set on payload cells (0 = bare 24-byte messages).
+	PaySize int `json:"pay_size,omitempty"`
 
 	// Shards is set on server-group shard-kill cells (0 = classic cell).
 	Shards int `json:"shards,omitempty"`
@@ -150,12 +163,20 @@ func RunChaosCell(cfg ChaosConfig) (ChaosResult, error) {
 	// reply default (no locks, nothing to crash in) is deliberately
 	// overridden.
 	maxSpin, _ := tuneFor(cfg.Alg, cfg.MaxSpin, 0)
+	blockSlots := 0
+	if cfg.PaySize > 0 {
+		blockSlots = 4 * (cfg.Clients + 1)
+		if blockSlots < 32 {
+			blockSlots = 32
+		}
+	}
 	sys, err := livebind.NewSystem(livebind.Options{
 		Alg:        cfg.Alg,
 		MaxSpin:    maxSpin,
 		Clients:    cfg.Clients,
 		QueueCap:   cfg.QueueCap,
 		QueueKind:  queue.KindTwoLock,
+		BlockSlots: blockSlots,
 		SleepScale: time.Millisecond,
 		Metrics:    ms,
 	},
@@ -167,11 +188,16 @@ func RunChaosCell(cfg ChaosConfig) (ChaosResult, error) {
 		return ChaosResult{}, err
 	}
 
+	label := fmt.Sprintf("chaos/%s/%dc/seed%d", cfg.Alg, cfg.Clients, cfg.Seed)
+	if cfg.PaySize > 0 {
+		label += fmt.Sprintf("/p%d", cfg.PaySize)
+	}
 	res := ChaosResult{
-		Label:   fmt.Sprintf("chaos/%s/%dc/seed%d", cfg.Alg, cfg.Clients, cfg.Seed),
+		Label:   label,
 		Alg:     cfg.Alg.String(),
 		Clients: cfg.Clients,
 		Seed:    cfg.Seed,
+		PaySize: cfg.PaySize,
 	}
 	rootCtx, cancel := context.WithTimeout(context.Background(), cfg.Watchdog)
 	defer cancel()
@@ -227,11 +253,27 @@ func RunChaosCell(cfg ChaosConfig) (ChaosResult, error) {
 	// until the harness cancels it. Only non-ctx, non-peer-death server
 	// errors are bugs.
 	srv := sys.Server()
+	// Payload cells route echoes through the OpWork handler so the
+	// server side of the lease discipline (claim + re-attach) is under
+	// fire too: a crash between the claim and the reply leaves the block
+	// tagged by the server, which only the sweeper's owner walk can
+	// recover.
+	var work func(*core.Msg)
+	if cfg.PaySize > 0 {
+		work = func(m *core.Msg) {
+			p, err := srv.Payload(*m)
+			if err != nil {
+				m.ClearBlock()
+				return
+			}
+			m.AttachPayload(p)
+		}
+	}
 	serverDone := make(chan struct{})
 	go func() {
 		defer close(serverDone)
 		survive(func() {
-			_, err := srv.ServeCtx(rootCtx, nil)
+			_, err := srv.ServeCtx(rootCtx, work)
 			if err != nil && !errors.Is(err, core.ErrPeerDead) && !errors.Is(err, core.ErrShutdown) &&
 				!errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
 				noteErr("server: %v", err)
@@ -256,6 +298,18 @@ func RunChaosCell(cfg ChaosConfig) (ChaosResult, error) {
 			defer wg.Done()
 			fh := cl.A.(*livebind.Actor).FH
 			survive(func() {
+				// An injected crash (panic) deliberately skips closePE so
+				// the dead client strands its lease — the sweeper's owner
+				// walk must recover it or the block audit fails the cell.
+				var pe *payEcho
+				if cfg.PaySize > 0 {
+					pe = &payEcho{cl: cl, size: cfg.PaySize}
+				}
+				closePE := func() {
+					if pe != nil {
+						pe.close()
+					}
+				}
 				setPos(i, "connect")
 				if _, err := cl.SendCtx(rootCtx, core.Msg{Op: core.OpConnect}); err != nil {
 					setPos(i, fmt.Sprintf("connect-err:%v", err))
@@ -265,20 +319,31 @@ func RunChaosCell(cfg ChaosConfig) (ChaosResult, error) {
 				for j := 0; j < cfg.Msgs; j++ {
 					fh.Crashpoint(fault.PtBody)
 					setPos(i, fmt.Sprintf("send %d", j))
-					ans, err := cl.SendCtx(rootCtx, core.Msg{Op: core.OpEcho, Seq: int32(j), Val: float64(j)})
+					m := core.Msg{Op: core.OpEcho, Seq: int32(j), Val: float64(j)}
+					var ans core.Msg
+					var err error
+					if pe != nil {
+						m.Op = core.OpWork
+						ans, err = pe.echo(rootCtx, m)
+					} else {
+						ans, err = cl.SendCtx(rootCtx, m)
+					}
 					if err != nil {
 						setPos(i, fmt.Sprintf("send %d err:%v", j, err))
+						closePE()
 						endOfRound(fmt.Sprintf("client%d send %d", i, j), err)
 						return
 					}
 					if ans.Seq != int32(j) || ans.Val != float64(j) {
 						noteErr("client%d: reply mismatch at %d: %+v", i, j, ans)
+						closePE()
 						return
 					}
 					mu.Lock()
 					completed++
 					mu.Unlock()
 				}
+				closePE()
 				setPos(i, "disconnect")
 				if _, err := cl.SendCtx(rootCtx, core.Msg{Op: core.OpDisconnect}); err != nil {
 					setPos(i, fmt.Sprintf("disconnect-err:%v", err))
@@ -330,17 +395,39 @@ func RunChaosCell(cfg ChaosConfig) (ChaosResult, error) {
 	// two-lock pool must be whole again — capacity free refs (the +1 of
 	// the pool is the queue's resident dummy). A dead actor's lock,
 	// cached ref, or unlinked node that escaped recovery shows up here.
+	pool := sys.Blocks()
 	audit := func(ch *livebind.Channel) {
 		tl, ok := ch.Queue().(*queue.TwoLock)
 		if !ok {
 			return
 		}
-		queue.Drain(tl)
+		if pool != nil {
+			// Teardown leftovers may still carry payload leases (a reply
+			// to a crashed client the sweeper had no reason to drain):
+			// claim-free them alongside their nodes, same race-safe rule
+			// as the sweeper's own drain.
+			const auditOwner = ^uint32(0)
+			queue.DrainFunc(tl, func(m core.Msg) {
+				if !m.HasBlock() {
+					return
+				}
+				if ref, _ := m.Block(); pool.Claim(ref, auditOwner) {
+					_ = pool.Free(ref)
+				}
+			})
+		} else {
+			queue.Drain(tl)
+		}
 		res.PoolLeaked += int64(tl.Cap()) - tl.Pool().FreeCount()
 	}
 	audit(sys.ReceiveChannel())
 	for i := 0; i < cfg.Clients; i++ {
 		audit(sys.ReplyChannel(i))
+	}
+	// Lease-conservation audit: with queues drained, crashes reclaimed
+	// and caches spilled, every payload block must be back in the arena.
+	if pool != nil {
+		res.BlockLeaked = int64(pool.Capacity()) - pool.TotalFree()
 	}
 
 	counts := inj.Counts()
@@ -355,6 +442,7 @@ func RunChaosCell(cfg ChaosConfig) (ChaosResult, error) {
 	res.LockReclaims = total.LockReclaims
 	res.OrphanMsgs = total.OrphanMsgs
 	res.OrphanRefs = total.OrphanRefs
+	res.OrphanBlocks = total.OrphanBlocks
 	res.WakeRescues = total.WakeRescues
 	res.Deadlocked = deadlock
 
@@ -367,6 +455,9 @@ func RunChaosCell(cfg ChaosConfig) (ChaosResult, error) {
 	}
 	if res.PoolLeaked != 0 {
 		fail = append(fail, fmt.Sprintf("pool leak: %d refs unaccounted for", res.PoolLeaked))
+	}
+	if res.BlockLeaked != 0 {
+		fail = append(fail, fmt.Sprintf("payload leak: %d blocks unaccounted for", res.BlockLeaked))
 	}
 	fail = append(fail, hardErrs...)
 	if len(fail) > 0 {
@@ -657,6 +748,11 @@ type ChaosOptions struct {
 	Shards      []int
 	NoShardKill bool
 
+	// PaySizes lists payload sizes to run leak-audited payload cells at
+	// (one cell per alg × size at the largest client count, after the
+	// classic matrix). Empty disables them.
+	PaySizes []int
+
 	Watchdog time.Duration // per cell; default 30s
 }
 
@@ -740,6 +836,39 @@ func RunChaosBench(opts ChaosOptions, progress io.Writer) (*ChaosReport, error) 
 					fmt.Fprintf(progress, "%-24s ok: %d/%d rtts, %d crashes, %d peer-deaths, %d reclaims, %d rescues\n",
 						res.Label, res.Completed, int64(n*opts.Msgs), res.Crashes,
 						res.PeerDeaths, res.LockReclaims+res.OrphanRefs, res.WakeRescues)
+				}
+			}
+		}
+	}
+	for _, size := range opts.PaySizes {
+		if size <= 0 {
+			continue
+		}
+		for _, alg := range opts.Algs {
+			n := opts.Clients[len(opts.Clients)-1]
+			res, err := RunChaosCell(ChaosConfig{
+				Alg:       alg,
+				Clients:   n,
+				Msgs:      opts.Msgs,
+				Seed:      opts.Seed + int64(cell),
+				CrashRate: opts.CrashRate,
+				DropRate:  opts.DropRate,
+				DupRate:   opts.DupRate,
+				DelayRate: opts.DelayRate,
+				Watchdog:  opts.Watchdog,
+				PaySize:   size,
+			})
+			cell++
+			if err != nil {
+				failures = append(failures, err)
+			}
+			rep.Cells = append(rep.Cells, res)
+			if progress != nil {
+				if err != nil {
+					fmt.Fprintf(progress, "%-24s FAILED: %v\n", res.Label, err)
+				} else {
+					fmt.Fprintf(progress, "%-24s ok: %d/%d rtts, %d crashes, %d orphan blocks, 0 leaked\n",
+						res.Label, res.Completed, int64(n*opts.Msgs), res.Crashes, res.OrphanBlocks)
 				}
 			}
 		}

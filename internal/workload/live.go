@@ -84,6 +84,25 @@ type LiveConfig struct {
 	// Picker selects the client-side shard policy in group mode; nil
 	// defaults to hash pinning.
 	Picker livebind.ShardPicker
+
+	// PaySize, when > 0, attaches a payload of that many bytes to every
+	// request (and its echo): the system is built with a slab arena and
+	// clients exchange leased blocks instead of bare 24-byte messages.
+	// Payload cells always run the context-threaded paths (SendPayload
+	// is context-based), so a zero Watchdog gets a generous default.
+	// Not supported in group mode (the vectored batch paths move
+	// fixed-size messages only).
+	PaySize int
+
+	// PayCopy selects the copy-in/copy-out baseline for the A/B axis:
+	// the client copies bytes through a private scratch buffer on both
+	// legs and the server re-allocates and copies the echo, so every
+	// round trip pays the memcpys zero-copy elides.
+	PayCopy bool
+
+	// Blocks overrides the arena slot count; default 4*(Clients+1),
+	// minimum 32.
+	Blocks int
 }
 
 // tuneFor zeroes the hand-tuned knobs when alg is BSA: the controller
@@ -108,6 +127,22 @@ func RunLive(cfg LiveConfig) (Result, error) {
 	}
 	if cfg.SleepScale == 0 {
 		cfg.SleepScale = time.Millisecond
+	}
+	blockSlots := 0
+	if cfg.PaySize > 0 {
+		if cfg.Shards > 0 {
+			return Result{}, fmt.Errorf("workload: payload cells not supported in group mode")
+		}
+		blockSlots = cfg.Blocks
+		if blockSlots <= 0 {
+			blockSlots = 4 * (cfg.Clients + 1)
+			if blockSlots < 32 {
+				blockSlots = 32
+			}
+		}
+		if cfg.Watchdog <= 0 {
+			cfg.Watchdog = 2 * time.Minute
+		}
 	}
 	replyKind := cfg.QueueKind
 	if cfg.ReplyKind != nil {
@@ -152,6 +187,7 @@ func RunLive(cfg LiveConfig) (Result, error) {
 		QueueCap:   cfg.QueueCap,
 		QueueKind:  cfg.QueueKind,
 		AllocBatch: cfg.AllocBatch,
+		BlockSlots: blockSlots,
 		SpinIters:  cfg.SpinIters,
 		Throttle:   throttle,
 		SleepScale: cfg.SleepScale,
@@ -306,9 +342,31 @@ func runLiveCtx(cfg LiveConfig, sys *livebind.System, ms *metrics.Set) (Result, 
 	}
 
 	srv := sys.Server()
+	// Payload cells route requests through the OpWork handler: the
+	// server claims the request lease and re-attaches it to the reply
+	// (zero-copy), or pays the full re-alloc + memcpy (copy baseline).
+	var work func(*core.Msg)
+	if cfg.PaySize > 0 {
+		work = func(m *core.Msg) {
+			p, err := srv.Payload(*m)
+			if err != nil {
+				m.ClearBlock()
+				return
+			}
+			if cfg.PayCopy {
+				q, err := srv.AllocPayload(p.Len())
+				if err == nil {
+					copy(q.Bytes(), p.Bytes())
+					_ = p.Release()
+					p = q
+				}
+			}
+			m.AttachPayload(p)
+		}
+	}
 	serverDone := make(chan int64, 1)
 	go func() {
-		served, err := srv.ServeCtx(rootCtx, nil)
+		served, err := srv.ServeCtx(rootCtx, work)
 		if err != nil {
 			noteErr("server: %v", err)
 		}
@@ -344,8 +402,24 @@ func runLiveCtx(cfg LiveConfig, sys *livebind.System, ms *metrics.Set) (Result, 
 			barrier.Done()
 			barrier.Wait()
 			noteStart()
+			var pe *payEcho
+			if cfg.PaySize > 0 {
+				pe = &payEcho{cl: cl, size: cfg.PaySize}
+				if cfg.PayCopy {
+					pe.scratch = make([]byte, cfg.PaySize)
+				}
+				defer pe.close()
+			}
 			for j := 0; j < cfg.Msgs; j++ {
-				ans, err := cl.SendCtx(cctx, core.Msg{Op: core.OpEcho, Seq: int32(j), Val: float64(j)})
+				m := core.Msg{Op: core.OpEcho, Seq: int32(j), Val: float64(j)}
+				var ans core.Msg
+				var err error
+				if pe != nil {
+					m.Op = core.OpWork
+					ans, err = pe.echo(cctx, m)
+				} else {
+					ans, err = cl.SendCtx(cctx, m)
+				}
 				if err != nil {
 					noteErr("client%d: send %d: %v", i, j, err)
 					return
@@ -353,6 +427,9 @@ func runLiveCtx(cfg LiveConfig, sys *livebind.System, ms *metrics.Set) (Result, 
 				if ans.Seq != int32(j) || ans.Val != float64(j) {
 					noteErr("client%d: reply mismatch at %d: %+v", i, j, ans)
 				}
+			}
+			if pe != nil {
+				pe.close()
 			}
 			if _, err := cl.SendCtx(cctx, core.Msg{Op: core.OpDisconnect}); err != nil {
 				noteErr("client%d: disconnect: %v", i, err)
@@ -385,6 +462,13 @@ func runLiveCtx(cfg LiveConfig, sys *livebind.System, ms *metrics.Set) (Result, 
 		noteErr("shutdown: %v", err)
 	}
 	shutCancel()
+	// Lease-conservation audit: with every participant gone and the
+	// caches spilled, a clean cell must have returned every block.
+	if pool := sys.Blocks(); pool != nil && rootCtx.Err() == nil {
+		if leaked := int64(pool.Capacity()) - pool.TotalFree(); leaked != 0 {
+			noteErr("payload blocks leaked: %d", leaked)
+		}
+	}
 
 	if !started {
 		start = time.Now()
@@ -395,8 +479,16 @@ func runLiveCtx(cfg LiveConfig, sys *livebind.System, ms *metrics.Set) (Result, 
 		dur = time.Nanosecond
 	}
 	total := int64(cfg.Clients * cfg.Msgs)
+	label := fmt.Sprintf("live/%s/%dc", cfg.Alg, cfg.Clients)
+	if cfg.PaySize > 0 {
+		mode := "zc"
+		if cfg.PayCopy {
+			mode = "copy"
+		}
+		label = fmt.Sprintf("%s/p%d/%s", label, cfg.PaySize, mode)
+	}
 	res := Result{
-		Label:      fmt.Sprintf("live/%s/%dc", cfg.Alg, cfg.Clients),
+		Label:      label,
 		Throughput: float64(served) / (float64(dur.Nanoseconds()) / 1e6),
 		RTTMicros:  float64(dur.Nanoseconds()) / 1e3 / float64(cfg.Msgs),
 		Duration:   dur.Nanoseconds(),
@@ -409,6 +501,10 @@ func runLiveCtx(cfg LiveConfig, sys *livebind.System, ms *metrics.Set) (Result, 
 	res.All = ms.Total()
 	res.Phase = phaseSnap(sys.Observer(), cfg.Alg)
 	res.FlightDump = flightDump
+	if cfg.PaySize > 0 {
+		res.PaySize, res.PayCopy = cfg.PaySize, cfg.PayCopy
+		res.BytesPerSec = float64(served*2*int64(cfg.PaySize)) / (float64(dur.Nanoseconds()) / 1e9)
+	}
 
 	if len(errs) > 0 {
 		return res, fmt.Errorf("workload: live validation failed: %v", errs)

@@ -107,6 +107,15 @@ type LiveBenchOptions struct {
 	// this executable, which must call workload.MaybeProcWorker early
 	// in main).
 	ProcExe string
+
+	// PaySizes, when non-empty, appends the payload (bytes/s) sweep: for
+	// each protocol, client count and non-zero size, one copy-baseline
+	// cell immediately followed by its zero-copy twin — interleaved A/B,
+	// so the memcpy cost is read against the same machine state. A size
+	// of 0 runs the bare 24-byte legacy cell for reference. When
+	// ProcClients is also set, each size additionally runs the
+	// cross-process copy/zero-copy pair.
+	PaySizes []int
 }
 
 func (o *LiveBenchOptions) defaults() {
@@ -138,21 +147,29 @@ func (o *LiveBenchOptions) defaults() {
 
 // LiveBenchEntry is one cell of the matrix.
 type LiveBenchEntry struct {
-	Queue       string  `json:"queue"`      // configuration name
-	RecvKind    string  `json:"recv_kind"`  // receive-queue implementation
-	ReplyKind   string  `json:"reply_kind"` // reply-queue implementation
-	Alg         string  `json:"alg"`
-	Clients     int     `json:"clients"`
-	MsgsPerCli  int     `json:"msgs_per_client"`
-	Shards      int     `json:"shards,omitempty"` // server-group size (0 = single server)
-	Batch       int     `json:"batch,omitempty"`  // vectored transfer size (sharded cells)
-	NsPerRTT    float64 `json:"ns_per_rtt"`       // wall-clock RTT per request
-	MsgsPerSec  float64 `json:"msgs_per_sec"`     // server throughput
-	Yields      int64   `json:"yields"`
-	SemP        int64   `json:"sem_p"`
-	Blocks      int64   `json:"blocks"`
-	PoolRefills int64   `json:"pool_refills"`
-	PoolSpills  int64   `json:"pool_spills"`
+	Queue      string  `json:"queue"`      // configuration name
+	RecvKind   string  `json:"recv_kind"`  // receive-queue implementation
+	ReplyKind  string  `json:"reply_kind"` // reply-queue implementation
+	Alg        string  `json:"alg"`
+	Clients    int     `json:"clients"`
+	MsgsPerCli int     `json:"msgs_per_client"`
+	Shards     int     `json:"shards,omitempty"` // server-group size (0 = single server)
+	Batch      int     `json:"batch,omitempty"`  // vectored transfer size (sharded cells)
+	NsPerRTT   float64 `json:"ns_per_rtt"`       // wall-clock RTT per request
+	MsgsPerSec float64 `json:"msgs_per_sec"`     // server throughput
+
+	// Payload axis (payload sweep cells only): bytes per message, the
+	// transfer discipline, and the achieved payload bandwidth (request +
+	// response bytes over the measured interval).
+	PaySize     int     `json:"pay_size,omitempty"`
+	ZeroCopy    bool    `json:"zero_copy,omitempty"`
+	BytesPerSec float64 `json:"bytes_per_sec,omitempty"`
+
+	Yields      int64 `json:"yields"`
+	SemP        int64 `json:"sem_p"`
+	Blocks      int64 `json:"blocks"`
+	PoolRefills int64 `json:"pool_refills"`
+	PoolSpills  int64 `json:"pool_spills"`
 
 	// WakeupsPerMsg is semaphore Vs that woke a sleeper divided by
 	// total messages — the batching headline: vectored paths should
@@ -180,6 +197,8 @@ type LiveBenchEntry struct {
 	LockReclaims int64 `json:"lock_reclaims,omitempty"`
 	OrphanMsgs   int64 `json:"orphan_msgs,omitempty"`
 	OrphanRefs   int64 `json:"orphan_refs,omitempty"`
+	OrphanBlocks int64 `json:"orphan_blocks,omitempty"`
+	BlockFails   int64 `json:"block_fails,omitempty"`
 	WakeRescues  int64 `json:"wake_rescues,omitempty"`
 
 	// Error records a failed cell (watchdog deadline, validation
@@ -231,7 +250,7 @@ func RunLiveBench(opts LiveBenchOptions, progress io.Writer) (*LiveBenchReport, 
 		FutexBackend: livebind.FutexBackend,
 	}
 	var failures []error
-	runCell := func(k LiveBenchKind, alg core.Algorithm, n, shards int) error {
+	runCell := func(k LiveBenchKind, alg core.Algorithm, n, shards, paySize int, payCopy bool) error {
 		cfg := LiveConfig{
 			Alg:            alg,
 			Clients:        n,
@@ -243,6 +262,8 @@ func RunLiveBench(opts LiveBenchOptions, progress io.Writer) (*LiveBenchReport, 
 			Observe:        !opts.NoObs,
 			RecorderCap:    opts.RecorderCap,
 			DumpOnWatchdog: opts.DumpTo,
+			PaySize:        paySize,
+			PayCopy:        payCopy,
 		}
 		queueName, recvName, replyName := k.Name, k.Recv.String(), k.Reply.String()
 		if shards > 0 {
@@ -258,6 +279,9 @@ func RunLiveBench(opts LiveBenchOptions, progress io.Writer) (*LiveBenchReport, 
 		cell := fmt.Sprintf("%s/%s/%dc", queueName, alg, n)
 		if shards > 0 {
 			cell += fmt.Sprintf("/%ds", shards)
+		}
+		if paySize > 0 {
+			cell += fmt.Sprintf("/p%d/%s", paySize, payMode(payCopy))
 		}
 		if err != nil && opts.Watchdog <= 0 {
 			return fmt.Errorf("live bench %s: %w", cell, err)
@@ -281,6 +305,9 @@ func RunLiveBench(opts LiveBenchOptions, progress io.Writer) (*LiveBenchReport, 
 		if shards > 0 {
 			e.Batch = opts.Batch
 		}
+		if paySize > 0 {
+			e.PaySize, e.ZeroCopy, e.BytesPerSec = paySize, !payCopy, res.BytesPerSec
+		}
 		if total := int64(n) * int64(opts.Msgs); total > 0 {
 			e.WakeupsPerMsg = float64(res.All.Wakeups) / float64(total)
 		}
@@ -300,6 +327,8 @@ func RunLiveBench(opts LiveBenchOptions, progress io.Writer) (*LiveBenchReport, 
 		e.LockReclaims = res.All.LockReclaims
 		e.OrphanMsgs = res.All.OrphanMsgs
 		e.OrphanRefs = res.All.OrphanRefs
+		e.OrphanBlocks = res.All.OrphanBlocks
+		e.BlockFails = res.All.BlockFails
 		e.WakeRescues = res.All.WakeRescues
 		if err != nil {
 			e.Error = err.Error()
@@ -308,15 +337,21 @@ func RunLiveBench(opts LiveBenchOptions, progress io.Writer) (*LiveBenchReport, 
 		}
 		rep.Entries = append(rep.Entries, e)
 		if progress != nil {
-			shardTag := ""
+			tag := ""
 			if shards > 0 {
-				shardTag = fmt.Sprintf("/%ds", shards)
+				tag = fmt.Sprintf("/%ds", shards)
+			}
+			if paySize > 0 {
+				tag += fmt.Sprintf("/p%d/%s", paySize, payMode(payCopy))
 			}
 			if err != nil {
-				fmt.Fprintf(progress, "%-10s %-5s %3dc%-4s FAILED: %v\n", queueName, e.Alg, n, shardTag, err)
+				fmt.Fprintf(progress, "%-10s %-5s %3dc%-12s FAILED: %v\n", queueName, e.Alg, n, tag, err)
+			} else if paySize > 0 {
+				fmt.Fprintf(progress, "%-10s %-5s %3dc%-12s %12.0f ns/rtt  %11.0f msgs/s  %8.1f MB/s\n",
+					queueName, e.Alg, n, tag, e.NsPerRTT, e.MsgsPerSec, e.BytesPerSec/1e6)
 			} else {
-				fmt.Fprintf(progress, "%-10s %-5s %3dc%-4s %12.0f ns/rtt  %11.0f msgs/s  wakes/msg=%.3f\n",
-					queueName, e.Alg, n, shardTag, e.NsPerRTT, e.MsgsPerSec, e.WakeupsPerMsg)
+				fmt.Fprintf(progress, "%-10s %-5s %3dc%-12s %12.0f ns/rtt  %11.0f msgs/s  wakes/msg=%.3f\n",
+					queueName, e.Alg, n, tag, e.NsPerRTT, e.MsgsPerSec, e.WakeupsPerMsg)
 			}
 		}
 		return nil
@@ -325,7 +360,7 @@ func RunLiveBench(opts LiveBenchOptions, progress io.Writer) (*LiveBenchReport, 
 		for _, k := range opts.Kinds {
 			for _, alg := range opts.Algs {
 				for _, n := range opts.Clients {
-					if err := runCell(k, alg, n, 0); err != nil {
+					if err := runCell(k, alg, n, 0, 0, false); err != nil {
 						return nil, err
 					}
 				}
@@ -340,8 +375,32 @@ func RunLiveBench(opts LiveBenchOptions, progress io.Writer) (*LiveBenchReport, 
 		for _, alg := range opts.Algs {
 			for _, n := range opts.ShardClients {
 				for _, s := range append([]int{0}, opts.Shards...) {
-					if err := runCell(base, alg, n, s); err != nil {
+					if err := runCell(base, alg, n, s, 0, false); err != nil {
 						return nil, err
+					}
+				}
+			}
+		}
+	}
+	// Payload sweep: for each size the copy baseline runs immediately
+	// before its zero-copy twin — interleaved A/B, so the bytes/s column
+	// reads the elided memcpys against the same machine state. Size 0 is
+	// the bare legacy cell, kept in the same section for reference.
+	if !opts.ProcOnly && len(opts.PaySizes) > 0 {
+		base := LiveBenchKind{Name: "payload", Recv: queue.KindTwoLock, Reply: queue.KindSPSC}
+		for _, alg := range opts.Algs {
+			for _, n := range opts.Clients {
+				for _, size := range opts.PaySizes {
+					if size <= 0 {
+						if err := runCell(base, alg, n, 0, 0, false); err != nil {
+							return nil, err
+						}
+						continue
+					}
+					for _, payCopy := range []bool{true, false} {
+						if err := runCell(base, alg, n, 0, size, payCopy); err != nil {
+							return nil, err
+						}
 					}
 				}
 			}
@@ -355,10 +414,10 @@ func RunLiveBench(opts LiveBenchOptions, progress io.Writer) (*LiveBenchReport, 
 		base := LiveBenchKind{Name: "xproc-base", Recv: queue.KindTwoLock, Reply: queue.KindSPSC}
 		for _, alg := range opts.Algs {
 			for _, n := range opts.ProcClients {
-				if err := runCell(base, alg, n, 0); err != nil {
+				if err := runCell(base, alg, n, 0, 0, false); err != nil {
 					return nil, err
 				}
-				skipped, err := runProcBenchCell(opts, rep, alg, n, progress)
+				skipped, err := runProcBenchCell(opts, rep, alg, n, 0, false, progress)
 				if err != nil {
 					failures = append(failures, err)
 				}
@@ -372,15 +431,36 @@ func RunLiveBench(opts LiveBenchOptions, progress io.Writer) (*LiveBenchReport, 
 					}
 					continue
 				}
+				// Cross-process payload pairs: copy baseline immediately
+				// before its zero-copy twin, same interleaved-A/B shape as
+				// the in-process payload sweep.
+				for _, size := range opts.PaySizes {
+					if size <= 0 {
+						continue
+					}
+					for _, payCopy := range []bool{true, false} {
+						if _, err := runProcBenchCell(opts, rep, alg, n, size, payCopy, progress); err != nil {
+							failures = append(failures, err)
+						}
+					}
+				}
 			}
 		}
 	}
 	return rep, errors.Join(failures...)
 }
 
+// payMode names the payload transfer discipline in cell labels.
+func payMode(payCopy bool) string {
+	if payCopy {
+		return "copy"
+	}
+	return "zc"
+}
+
 // runProcBenchCell runs one cross-process cell and appends its entry.
 // skipped reports the platform has no mapping backend (not an error).
-func runProcBenchCell(opts LiveBenchOptions, rep *LiveBenchReport, alg core.Algorithm, n int, progress io.Writer) (skipped bool, err error) {
+func runProcBenchCell(opts LiveBenchOptions, rep *LiveBenchReport, alg core.Algorithm, n, paySize int, payCopy bool, progress io.Writer) (skipped bool, err error) {
 	watchdog := opts.Watchdog
 	if watchdog <= 0 {
 		// Unlike in-process cells, a cross-process cell always runs
@@ -396,6 +476,8 @@ func runProcBenchCell(opts LiveBenchOptions, rep *LiveBenchReport, alg core.Algo
 		SpinIters: opts.SpinIters,
 		Watchdog:  watchdog,
 		Exe:       opts.ProcExe,
+		PaySize:   paySize,
+		PayCopy:   payCopy,
 	})
 	if errors.Is(err, shm.ErrMapUnsupported) {
 		return true, nil
@@ -408,14 +490,24 @@ func runProcBenchCell(opts LiveBenchOptions, rep *LiveBenchReport, alg core.Algo
 		Clients:    n,
 		MsgsPerCli: opts.Msgs,
 	}
+	cell := fmt.Sprintf("xproc/%s/%dc", alg, n)
+	tag := ""
+	if paySize > 0 {
+		e.PaySize, e.ZeroCopy = paySize, !payCopy
+		tag = fmt.Sprintf("/p%d/%s", paySize, payMode(payCopy))
+		cell += tag
+	}
 	if res != nil {
 		e.NsPerRTT = res.RTTMicros * 1e3
 		e.MsgsPerSec = res.Throughput * 1e3
+		e.BytesPerSec = res.BytesPerSec
 		e.Yields = res.All.Yields
 		e.SemP = res.All.SemP
 		e.Blocks = res.All.Blocks
 		e.PeerDeaths = res.All.PeerDeaths
 		e.OrphanMsgs = res.All.OrphanMsgs
+		e.OrphanBlocks = res.All.OrphanBlocks
+		e.BlockFails = res.All.BlockFails
 		e.WakeRescues = res.All.WakeRescues
 		if total := int64(n) * int64(opts.Msgs); total > 0 {
 			e.WakeupsPerMsg = float64(res.All.Wakeups) / float64(total)
@@ -423,15 +515,19 @@ func runProcBenchCell(opts LiveBenchOptions, rep *LiveBenchReport, alg core.Algo
 	}
 	if err != nil {
 		e.Error = err.Error()
-		err = fmt.Errorf("live bench xproc/%s/%dc: %w", alg, n, err)
+		err = fmt.Errorf("live bench %s: %w", cell, err)
 	}
 	rep.Entries = append(rep.Entries, e)
 	if progress != nil {
-		if err != nil {
-			fmt.Fprintf(progress, "%-10s %-5s %3dc     FAILED: %v\n", "xproc", e.Alg, n, err)
-		} else {
-			fmt.Fprintf(progress, "%-10s %-5s %3dc     %12.0f ns/rtt  %11.0f msgs/s  wakes/msg=%.3f\n",
-				"xproc", e.Alg, n, e.NsPerRTT, e.MsgsPerSec, e.WakeupsPerMsg)
+		switch {
+		case err != nil:
+			fmt.Fprintf(progress, "%-10s %-5s %3dc%-12s FAILED: %v\n", "xproc", e.Alg, n, tag, err)
+		case paySize > 0:
+			fmt.Fprintf(progress, "%-10s %-5s %3dc%-12s %12.0f ns/rtt  %11.0f msgs/s  %8.1f MB/s\n",
+				"xproc", e.Alg, n, tag, e.NsPerRTT, e.MsgsPerSec, e.BytesPerSec/1e6)
+		default:
+			fmt.Fprintf(progress, "%-10s %-5s %3dc%-12s %12.0f ns/rtt  %11.0f msgs/s  wakes/msg=%.3f\n",
+				"xproc", e.Alg, n, tag, e.NsPerRTT, e.MsgsPerSec, e.WakeupsPerMsg)
 		}
 	}
 	return false, err
@@ -472,10 +568,14 @@ func MergeBest(reps []*LiveBenchReport) *LiveBenchReport {
 	}
 	best := map[string]int{} // cell key -> index into merged.Entries
 	key := func(e LiveBenchEntry) string {
+		k := fmt.Sprintf("%s/%s/%dc", e.Queue, e.Alg, e.Clients)
 		if e.Shards > 0 {
-			return fmt.Sprintf("%s/%s/%dc/%ds", e.Queue, e.Alg, e.Clients, e.Shards)
+			k += fmt.Sprintf("/%ds", e.Shards)
 		}
-		return fmt.Sprintf("%s/%s/%dc", e.Queue, e.Alg, e.Clients)
+		if e.PaySize > 0 {
+			k += fmt.Sprintf("/p%d/%s", e.PaySize, payMode(!e.ZeroCopy))
+		}
+		return k
 	}
 	for _, r := range reps {
 		for _, e := range r.Entries {
@@ -507,16 +607,23 @@ func (r *LiveBenchReport) WriteJSON(w io.Writer) error {
 func (r *LiveBenchReport) RenderText(w io.Writer) {
 	fmt.Fprintf(w, "Live wall-clock benchmark (GOMAXPROCS=%d, %d msgs/client, alloc batch %d)\n",
 		r.GOMAXPROCS, r.MsgsPerCli, r.AllocBatch)
-	fmt.Fprintf(w, "%-10s %-10s %-6s %-5s %8s %7s %12s %12s %10s %10s %10s %9s %9s\n",
-		"queue", "recv", "reply", "alg", "clients", "shards", "ns/rtt", "msgs/s", "p50", "p95", "p99", "spin/rtt", "sleep/rtt")
+	fmt.Fprintf(w, "%-10s %-10s %-6s %-5s %8s %7s %10s %12s %12s %10s %10s %10s %9s %9s\n",
+		"queue", "recv", "reply", "alg", "clients", "shards", "payload", "ns/rtt", "msgs/s", "p50", "p95", "p99", "spin/rtt", "sleep/rtt")
 	for _, e := range r.Entries {
 		shards := "-"
 		if e.Shards > 0 {
 			shards = fmt.Sprintf("%d", e.Shards)
 		}
-		fmt.Fprintf(w, "%-10s %-10s %-6s %-5s %8d %7s %12.0f %12.0f %10.0f %10.0f %10.0f %9.0f %9.0f",
-			e.Queue, e.RecvKind, e.ReplyKind, e.Alg, e.Clients, shards, e.NsPerRTT, e.MsgsPerSec,
+		payload := "-"
+		if e.PaySize > 0 {
+			payload = fmt.Sprintf("%d/%s", e.PaySize, payMode(!e.ZeroCopy))
+		}
+		fmt.Fprintf(w, "%-10s %-10s %-6s %-5s %8d %7s %10s %12.0f %12.0f %10.0f %10.0f %10.0f %9.0f %9.0f",
+			e.Queue, e.RecvKind, e.ReplyKind, e.Alg, e.Clients, shards, payload, e.NsPerRTT, e.MsgsPerSec,
 			e.RTTP50Ns, e.RTTP95Ns, e.RTTP99Ns, e.SpinNsPerRTT, e.SleepNsPerRTT)
+		if e.BytesPerSec > 0 {
+			fmt.Fprintf(w, "  %8.1f MB/s", e.BytesPerSec/1e6)
+		}
 		if e.Error != "" {
 			fmt.Fprintf(w, "  FAILED (partial): %s", e.Error)
 		}

@@ -49,6 +49,16 @@ type ProcConfig struct {
 	RingCap   int // per-lane capacity (segment geometry)
 	Nodes     int // arena size; 0 = geometry default
 
+	// PaySize arms the payload path: every echo carries that many bytes
+	// in a leased shared-memory block. PayCopy selects the copy-mode
+	// baseline (memcpy in and out of the blocks plus a server-side
+	// re-allocation) against which the zero-copy default is A/B'd.
+	// Blocks sizes the slab arena (slots per class; defaulted when
+	// PaySize > 0 and Blocks is 0).
+	PaySize int
+	PayCopy bool
+	Blocks  int
+
 	SleepScale time.Duration // queue-full nap compression (default 1ms)
 	WaitSlice  time.Duration // futex park slice (default livebind's)
 
@@ -92,6 +102,14 @@ func (c *ProcConfig) defaults() error {
 		// probes lie still converges well inside the watchdog.
 		c.Lease = 750 * time.Millisecond
 	}
+	if c.PaySize > 0 && c.Blocks <= 0 {
+		// Enough slots per class that every client can hold a request and
+		// a reply block simultaneously, with headroom for in-flight ones.
+		c.Blocks = 4 * (c.Clients + 1)
+		if c.Blocks < 32 {
+			c.Blocks = 32
+		}
+	}
 	if c.Exe == "" {
 		exe, err := os.Executable()
 		if err != nil {
@@ -117,6 +135,8 @@ type procWireCfg struct {
 	SweepNs     int64  `json:"sweep_ns"`
 	LeaseNs     int64  `json:"lease_ns"`
 	WatchdogNs  int64  `json:"watchdog_ns"`
+	PaySize     int    `json:"pay_size,omitempty"`
+	PayCopy     bool   `json:"pay_copy,omitempty"`
 }
 
 // procWorkerResult is the worker→parent report: one JSON line on
@@ -213,7 +233,7 @@ func runProcServerRole(ctx context.Context, res *procWorkerResult, seg *shm.Seg,
 	}
 	defer srv.Close()
 	t0 := time.Now()
-	served, err := procServe(ctx, srv, wire.Clients)
+	served, err := procServe(ctx, srv, wire.Clients, wire.PayCopy)
 	res.Served = served
 	res.ElapsedNs = time.Since(t0).Nanoseconds()
 	if err != nil {
@@ -229,7 +249,7 @@ func runProcServerRole(ctx context.Context, res *procWorkerResult, seg *shm.Seg,
 // processes start at arbitrary times: with a balance, one fast client
 // connecting and disconnecting before the others attach would end the
 // loop early.
-func procServe(ctx context.Context, srv *livebind.ProcServer, clients int) (served int64, err error) {
+func procServe(ctx context.Context, srv *livebind.ProcServer, clients int, payCopy bool) (served int64, err error) {
 	disconnects := 0
 	for disconnects < clients {
 		m, err := srv.ReceiveCtx(ctx)
@@ -245,10 +265,38 @@ func procServe(ctx context.Context, srv *livebind.ProcServer, clients int) (serv
 			disconnects++
 		default:
 			served++
+			if m.HasBlock() {
+				procEchoPayload(srv, payCopy, m)
+				continue
+			}
 		}
 		srv.Reply(m.Client, m)
 	}
 	return served, nil
+}
+
+// procEchoPayload echoes a payload-carrying request: claim the lease,
+// then hand it back — re-leasing the same block (zero-copy), or copying
+// into a fresh block first (the copy-mode baseline a copy API would
+// force on the server).
+func procEchoPayload(srv *livebind.ProcServer, payCopy bool, m core.Msg) {
+	p, err := srv.Payload(m)
+	if err != nil {
+		// The payload was lost to recovery (its sender died and a sweeper
+		// reclaimed the block): reply without it rather than forwarding a
+		// dangling reference.
+		m.ClearBlock()
+		srv.Reply(m.Client, m)
+		return
+	}
+	if payCopy {
+		if q, qerr := srv.AllocPayload(p.Len()); qerr == nil {
+			copy(q.Bytes(), p.Bytes())
+			_ = p.Release()
+			p = q
+		}
+	}
+	srv.ReplyPayload(m.Client, m, p)
 }
 
 func runProcClientRole(ctx context.Context, res *procWorkerResult, seg *shm.Seg, opts livebind.ProcOptions, wire procWireCfg) {
@@ -279,10 +327,25 @@ func runProcClientRole(ctx context.Context, res *procWorkerResult, seg *shm.Seg,
 		res.ElapsedNs = time.Since(t0).Nanoseconds()
 		return
 	}
+	pe := &payEcho{cl: cl.Client, size: wire.PaySize}
+	if wire.PaySize > 0 && wire.PayCopy {
+		// Copy-mode scratch: the "user buffer" a copy API would force the
+		// payload through (memcpy in before send, memcpy out after receive).
+		pe.scratch = make([]byte, wire.PaySize)
+		for j := range pe.scratch {
+			pe.scratch[j] = byte(j)
+		}
+	}
 	lastOK := time.Now()
 	for i := 0; wire.Msgs == 0 || i < wire.Msgs; i++ {
 		m := core.Msg{Op: core.OpEcho, Seq: int32(i % (1 << 30)), Val: float64(i%1024) * 1.5}
-		r, err := cl.SendCtx(ctx, m)
+		var r core.Msg
+		var err error
+		if wire.PaySize > 0 {
+			r, err = pe.echo(ctx, m)
+		} else {
+			r, err = cl.SendCtx(ctx, m)
+		}
 		if err != nil {
 			classify(err)
 			if res.PeerDead {
@@ -297,12 +360,86 @@ func runProcClientRole(ctx context.Context, res *procWorkerResult, seg *shm.Seg,
 		res.Sent++
 		lastOK = time.Now()
 	}
+	pe.close()
 	if res.Err == "" {
 		if _, err := cl.SendCtx(ctx, core.Msg{Op: core.OpDisconnect}); err != nil {
 			classify(err)
 		}
 	}
 	res.ElapsedNs = time.Since(t0).Nanoseconds()
+}
+
+// payEcho drives one client's payload echoes. In zero-copy mode one
+// block circulates: the request block comes back as the reply block and
+// is reused for the next request, so steady state touches no free list.
+// In copy mode every exchange allocates, memcpys in, memcpys out, and
+// frees — the per-call cost a copy API would impose.
+type payEcho struct {
+	cl      *core.Client
+	size    int
+	scratch []byte        // non-nil selects copy mode
+	held    *core.Payload // zero-copy: the circulating block
+}
+
+func (pe *payEcho) echo(ctx context.Context, m core.Msg) (core.Msg, error) {
+	p := pe.held
+	pe.held = nil
+	if p == nil {
+		var err error
+		p, err = pe.cl.AllocPayload(pe.size)
+		if err != nil {
+			// Backpressure (or no arena): degrade to a plain exchange so
+			// the loop keeps making progress and still surfaces shutdown
+			// or peer death the usual way.
+			return pe.cl.SendCtx(ctx, m)
+		}
+	}
+	stamp := byte(m.Seq)
+	if pe.scratch != nil {
+		pe.scratch[0], pe.scratch[len(pe.scratch)-1] = stamp, stamp
+		copy(p.Bytes(), pe.scratch)
+	} else {
+		b := p.Bytes()
+		b[0], b[len(b)-1] = stamp, stamp
+	}
+	r, rp, err := pe.cl.SendPayload(ctx, m, p)
+	if errors.Is(err, core.ErrPayloadLost) {
+		// The reply's payload holder died mid-lease and the sweeper
+		// reclaimed the block before we could claim it — an expected
+		// outcome under chaos, not a protocol failure. The round trip
+		// itself succeeded; there is just nothing to verify.
+		return r, nil
+	}
+	if err != nil {
+		return r, err
+	}
+	if rp == nil {
+		return r, nil // server dropped a recovery-lost payload: nothing to verify
+	}
+	b := rp.Bytes()
+	if pe.scratch != nil {
+		copy(pe.scratch, b)
+		b = pe.scratch
+	}
+	if len(b) == 0 || b[0] != stamp || b[len(b)-1] != stamp {
+		_ = rp.Release()
+		return r, fmt.Errorf("payload echo corrupted at seq %d", m.Seq)
+	}
+	if pe.scratch != nil {
+		_ = rp.Release()
+	} else {
+		_ = rp.Resize(pe.size)
+		pe.held = rp
+	}
+	return r, nil
+}
+
+// close returns the circulating block so clean cells audit leak-free.
+func (pe *payEcho) close() {
+	if pe.held != nil {
+		_ = pe.held.Release()
+		pe.held = nil
+	}
 }
 
 // procWorker is the parent-side handle on one spawned worker.
@@ -380,14 +517,18 @@ type ProcClientResult struct {
 
 // ProcResult is a clean cross-process cell's outcome.
 type ProcResult struct {
-	Served     int64
-	Sent       int64
-	RTTMicros  float64 // wall-clock per round trip (per client)
-	Throughput float64 // msgs per millisecond, cell-wide
-	Backend    string  // futex or poll
-	All        metrics.Snapshot
-	PoolLeaked int64 // refs missing from the pool after teardown
-	Clients    []ProcClientResult
+	Served      int64
+	Sent        int64
+	RTTMicros   float64 // wall-clock per round trip (per client)
+	Throughput  float64 // msgs per millisecond, cell-wide
+	BytesPerSec float64 // payload bytes moved per second (PaySize cells)
+	PaySize     int     // payload bytes per echo (0 = legacy 24-byte cell)
+	PayCopy     bool    // copy-mode baseline rather than zero-copy
+	Backend     string  // futex or poll
+	All         metrics.Snapshot
+	PoolLeaked  int64 // refs missing from the pool after teardown
+	BlockLeaked int64 // payload blocks missing from the arena after teardown
+	Clients     []ProcClientResult
 }
 
 // sumProcMetrics folds a worker's counters into the cell total.
@@ -402,7 +543,11 @@ func sumProcMetrics(all *metrics.Snapshot, s metrics.Snapshot) {
 	all.Cancels += s.Cancels
 	all.PeerDeaths += s.PeerDeaths
 	all.OrphanMsgs += s.OrphanMsgs
+	all.OrphanBlocks += s.OrphanBlocks
 	all.WakeRescues += s.WakeRescues
+	all.BlockRefills += s.BlockRefills
+	all.BlockSpills += s.BlockSpills
+	all.BlockFails += s.BlockFails
 }
 
 // RunProcCell runs one clean cross-process cell: one server process,
@@ -418,6 +563,7 @@ func RunProcCell(cfg ProcConfig) (*ProcResult, error) {
 	}
 	seg, segFile, err := shm.CreateMemfdSeg("ulipc-proc", shm.SegConfig{
 		Clients: cfg.Clients, Nodes: cfg.Nodes, RingCap: cfg.RingCap,
+		Blocks: cfg.Blocks,
 	})
 	if err != nil {
 		return nil, err
@@ -437,6 +583,8 @@ func RunProcCell(cfg ProcConfig) (*ProcResult, error) {
 		SweepNs:     int64(cfg.SweepEvery),
 		LeaseNs:     int64(cfg.Lease),
 		WatchdogNs:  int64(cfg.Watchdog),
+		PaySize:     cfg.PaySize,
+		PayCopy:     cfg.PayCopy,
 	}
 	server, err := spawnProcWorker(cfg.Exe, procRoleServer, wire, segFile)
 	if err != nil {
@@ -487,15 +635,27 @@ func RunProcCell(cfg ProcConfig) (*ProcResult, error) {
 	res.Served = sr.Served
 	sumProcMetrics(&res.All, sr.Metrics)
 
+	res.PaySize, res.PayCopy = cfg.PaySize, cfg.PayCopy
 	if maxElapsed > 0 {
 		res.RTTMicros = float64(maxElapsed) / 1e3 / float64(cfg.Msgs)
 		res.Throughput = float64(res.Sent) / (float64(maxElapsed) / 1e6)
+		if cfg.PaySize > 0 {
+			// Each validated round trip moved the payload both ways.
+			res.BytesPerSec = float64(res.Sent) * 2 * float64(cfg.PaySize) /
+				(float64(maxElapsed) / 1e9)
+		}
 	}
 	v, verr := seg.View()
 	if verr == nil {
 		if leaked := int64(v.Config().Nodes) - v.Pool.FreeCount(); leaked != 0 {
 			res.PoolLeaked = leaked
 			failures = append(failures, fmt.Errorf("pool leaked %d refs after clean run", leaked))
+		}
+		if v.Blocks != nil {
+			if leaked := int64(v.Blocks.Capacity()) - v.Blocks.TotalFree(); leaked != 0 {
+				res.BlockLeaked = leaked
+				failures = append(failures, fmt.Errorf("payload arena leaked %d blocks after clean run", leaked))
+			}
 		}
 	}
 	want := int64(cfg.Clients) * int64(cfg.Msgs)
@@ -512,17 +672,20 @@ type ProcChaosResult struct {
 	Seed        int64   `json:"seed"`
 	Backend     string  `json:"backend"`
 	KillAfterMs float64 `json:"kill_after_ms"`
+	PaySize     int     `json:"pay_size,omitempty"` // SIGKILL-mid-lease cell when > 0
 
 	Completed   int64   `json:"completed"`     // validated round trips before the kill
 	Detected    int     `json:"detected"`      // clients that surfaced ErrPeerDead
 	Hung        int     `json:"hung"`          // clients still blocked at the watchdog
 	DetectMsMax float64 `json:"detect_ms_max"` // slowest client's detection latency
 
-	PeerDeaths  int64 `json:"peer_deaths"`
-	WakeRescues int64 `json:"wake_rescues"`
-	OrphanMsgs  int64 `json:"orphan_msgs"` // post-mortem: drained queued messages
-	OrphanRefs  int64 `json:"orphan_refs"` // post-mortem: reclaimed in-flight refs
-	PoolLeaked  int64 `json:"pool_leaked"` // refs still missing AFTER the audit
+	PeerDeaths   int64 `json:"peer_deaths"`
+	WakeRescues  int64 `json:"wake_rescues"`
+	OrphanMsgs   int64 `json:"orphan_msgs"`   // post-mortem: drained queued messages
+	OrphanRefs   int64 `json:"orphan_refs"`   // post-mortem: reclaimed in-flight refs
+	OrphanBlocks int64 `json:"orphan_blocks"` // post-mortem: reclaimed payload blocks
+	PoolLeaked   int64 `json:"pool_leaked"`   // refs still missing AFTER the audit
+	BlockLeaked  int64 `json:"block_leaked"`  // payload blocks still missing AFTER the audit
 
 	Error string `json:"error,omitempty"`
 
@@ -553,10 +716,12 @@ func RunProcChaosKill(cfg ProcConfig) (ProcChaosResult, error) {
 	out := ProcChaosResult{
 		Alg: cfg.Alg.String(), Clients: cfg.Clients, Seed: cfg.Seed,
 		KillAfterMs: float64(killAfter) / float64(time.Millisecond),
+		PaySize:     cfg.PaySize,
 	}
 
 	seg, segFile, err := shm.CreateMemfdSeg("ulipc-chaos", shm.SegConfig{
 		Clients: cfg.Clients, Nodes: cfg.Nodes, RingCap: cfg.RingCap,
+		Blocks: cfg.Blocks,
 	})
 	if err != nil {
 		return out, err
@@ -576,6 +741,8 @@ func RunProcChaosKill(cfg ProcConfig) (ProcChaosResult, error) {
 		SweepNs:     int64(cfg.SweepEvery),
 		LeaseNs:     int64(cfg.Lease),
 		WatchdogNs:  int64(cfg.Watchdog),
+		PaySize:     cfg.PaySize,
+		PayCopy:     cfg.PayCopy,
 	}
 	server, err := spawnProcWorker(cfg.Exe, procRoleServer, wire, segFile)
 	if err != nil {
@@ -639,14 +806,20 @@ func RunProcChaosKill(cfg ProcConfig) (ProcChaosResult, error) {
 	if verr != nil {
 		failures = append(failures, verr)
 	} else {
-		msgs, refs, rerr := v.Reclaim()
-		out.OrphanMsgs, out.OrphanRefs = int64(msgs), int64(refs)
+		msgs, refs, blocks, rerr := v.Reclaim()
+		out.OrphanMsgs, out.OrphanRefs, out.OrphanBlocks = int64(msgs), int64(refs), int64(blocks)
 		if rerr != nil {
 			failures = append(failures, rerr)
 		}
 		if leaked := int64(v.Config().Nodes) - v.Pool.FreeCount(); leaked != 0 {
 			out.PoolLeaked = leaked
 			failures = append(failures, fmt.Errorf("pool leaked %d refs after reclaim", leaked))
+		}
+		if v.Blocks != nil {
+			if leaked := int64(v.Blocks.Capacity()) - v.Blocks.TotalFree(); leaked != 0 {
+				out.BlockLeaked = leaked
+				failures = append(failures, fmt.Errorf("payload arena leaked %d blocks after reclaim", leaked))
+			}
 		}
 	}
 	err = errors.Join(failures...)

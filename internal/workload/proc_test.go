@@ -56,6 +56,42 @@ func TestProcCellClean(t *testing.T) {
 	}
 }
 
+// Cross-process payloads: leased blocks in the shared slab arena ride
+// the lanes both ways — zero-copy (lease transfer) and the copy
+// baseline — and the cell must end leak-free with a bytes/s figure.
+func TestProcCellPayload(t *testing.T) {
+	for _, payCopy := range []bool{false, true} {
+		name := "zerocopy"
+		if payCopy {
+			name = "copy"
+		}
+		t.Run(name, func(t *testing.T) {
+			res, err := RunProcCell(ProcConfig{
+				Alg:     core.BSW,
+				Clients: 2,
+				Msgs:    300,
+				PaySize: 1024,
+				PayCopy: payCopy,
+			})
+			skipIfNoMmap(t, err)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Sent != 600 || res.Served != 600 {
+				t.Fatalf("sent %d served %d, want 600/600", res.Sent, res.Served)
+			}
+			if res.PoolLeaked != 0 || res.BlockLeaked != 0 {
+				t.Fatalf("leaked %d refs, %d payload blocks", res.PoolLeaked, res.BlockLeaked)
+			}
+			if res.BytesPerSec <= 0 {
+				t.Fatalf("no payload bandwidth recorded: %+v", res)
+			}
+			t.Logf("%s: %.1f MB/s, fails=%d refills=%d spills=%d",
+				name, res.BytesPerSec/1e6, res.All.BlockFails, res.All.BlockRefills, res.All.BlockSpills)
+		})
+	}
+}
+
 // SIGKILL the server mid-traffic: every surviving client must surface
 // ErrPeerDead promptly — no hang — and the post-mortem audit must make
 // the pool whole.
@@ -82,6 +118,33 @@ func TestProcChaosKillServer(t *testing.T) {
 	}
 	t.Logf("chaos: completed=%d detect_max=%.1fms orphan_msgs=%d orphan_refs=%d backend=%s",
 		res.Completed, res.DetectMsMax, res.OrphanMsgs, res.OrphanRefs, res.Backend)
+}
+
+// SIGKILL mid-lease: the server dies while payload blocks are claimed
+// by it or in flight to it. Survivors surface ErrPeerDead, and the
+// post-mortem reclaim walks the lifetable owner tags — zero blocks may
+// stay missing from the arena.
+func TestProcChaosKillServerPayload(t *testing.T) {
+	res, err := RunProcChaosKill(ProcConfig{
+		Alg:             core.BSW,
+		Clients:         2,
+		Seed:            7,
+		PaySize:         1024,
+		KillServerAfter: 80 * time.Millisecond,
+		Watchdog:        20 * time.Second,
+	})
+	skipIfNoMmap(t, err)
+	if err != nil {
+		t.Fatalf("chaos cell: %v\nresult: %+v", err, res)
+	}
+	if res.Detected != 2 || res.Hung != 0 {
+		t.Fatalf("detected %d hung %d, want 2/0", res.Detected, res.Hung)
+	}
+	if res.PoolLeaked != 0 || res.BlockLeaked != 0 {
+		t.Fatalf("leaked %d refs, %d payload blocks after reclaim", res.PoolLeaked, res.BlockLeaked)
+	}
+	t.Logf("payload chaos: completed=%d orphan_blocks=%d detect_max=%.1fms",
+		res.Completed, res.OrphanBlocks, res.DetectMsMax)
 }
 
 // Worker-spawn plumbing failure paths stay typed and non-panicking.

@@ -127,6 +127,14 @@ type Result struct {
 	// RecorderCap): the last IPC events before the stall, ready to embed
 	// in a report.
 	FlightDump string
+
+	// Payload axis (live cells with LiveConfig.PaySize > 0): bytes per
+	// message, whether the copy-in/copy-out baseline ran instead of the
+	// lease transfer, and the achieved payload bandwidth (request +
+	// response bytes over the measured interval).
+	PaySize     int
+	PayCopy     bool
+	BytesPerSec float64
 }
 
 // BackgroundCPUShare returns the fraction of the measured interval the

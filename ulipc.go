@@ -48,8 +48,19 @@ import (
 )
 
 // Msg is the fixed-size IPC message (opcode, reply channel, sequence
-// number, double-precision argument).
+// number, double-precision argument, payload block reference). The
+// reply route and payload reference live in the embedded MsgMeta;
+// field promotion makes m.Client and m.Ref work directly, so the
+// nested type only shows up when constructing a Msg literal that sets
+// them.
 type Msg = core.Msg
+
+// MsgMeta is the runtime-owned part of a Msg: the reply route (Client)
+// and the payload block reference (Ref, encoded by Msg.SetBlock). It is
+// a separate embedded struct so Msg stays within the compiler's
+// four-field limit for keeping struct copies in registers — see the
+// core.Msg doc comment before changing either.
+type MsgMeta = core.MsgMeta
 
 // Operation codes understood by Server.Serve.
 const (
@@ -267,13 +278,60 @@ type (
 	DuplexHandler = core.DuplexHandler
 )
 
-// BlockPool stores the variable-sized components fixed-size messages
-// reference (Section 2.1). Obtain one from System.Blocks (requires
-// Options.BlockSlots); pack references with Msg.SetBlock / Msg.Block.
+// BlockPool is the offset-addressed slab arena storing the
+// variable-sized components fixed-size messages reference (Section
+// 2.1): size-classed blocks under lock-free free lists, allocatable
+// from any process mapping the segment. Obtain one from System.Blocks
+// (requires Options.BlockSlots); prefer the lease discipline below to
+// raw Alloc/Free + Msg.SetBlock.
 type BlockPool = shm.BlockPool
 
 // BlockRef is a position-independent reference into a BlockPool.
 type BlockRef = shm.BlockRef
+
+// BlockClassStats is one size class's point-in-time view (capacity,
+// free blocks, fallback and exhaustion counters), from BlockPool.Stats
+// — the backpressure signal for sizing Options.BlockSlots.
+type BlockClassStats = shm.BlockClassStats
+
+// Payload is a leased view of a shared-memory block — the zero-copy
+// path for variable-size message bodies. Exactly one endpoint holds a
+// block's lease at any instant:
+//
+//	p, err := cl.AllocPayload(len(body))   // client leases a block
+//	copy(p.Bytes(), body)                  // fill in place
+//	ans, rp, err := cl.SendPayload(ctx, ulipc.Msg{Op: ulipc.OpWork}, p)
+//	// the request lease rode the message; rp (if non-nil) is the
+//	// reply's payload, now leased to this client
+//	... use rp.Bytes() ...
+//	rp.Release()
+//
+// Server side, inside a ServeCtx work callback:
+//
+//	p, err := srv.Payload(*m) // claim the request's payload
+//	... read or rewrite p.Bytes() in place ...
+//	m.AttachPayload(p)        // the auto-reply carries the lease back
+//
+// Payload bytes never cross a queue — only the 32-bit reference does.
+// If an endpoint dies mid-lease, the recovery sweep returns its blocks
+// to the pool; a receiver that loses that race gets ErrPayloadLost.
+type Payload = core.Payload
+
+// Sentinel errors of the payload lease paths.
+var (
+	// ErrNoBlocks: the system was built without a payload arena
+	// (Options.BlockSlots == 0 / SegConfig.Blocks == 0).
+	ErrNoBlocks = core.ErrNoBlocks
+	// ErrBlocksExhausted: every size class that fits the request is
+	// empty — backpressure, exactly like a full queue.
+	ErrBlocksExhausted = core.ErrBlocksExhausted
+	// ErrNoPayload: the message carries no payload reference.
+	ErrNoPayload = core.ErrNoPayload
+	// ErrPayloadLost: the payload's previous holder died and the
+	// recovery sweep reclaimed the block before the receiver could
+	// claim it; the bytes are gone.
+	ErrPayloadLost = core.ErrPayloadLost
+)
 
 // PoolWorker and PoolClient are the endpoints of a worker-pool server
 // ("multiple server threads" on one shared queue, Section 2.1). The pool
