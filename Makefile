@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-live lint lint-deprecated cover bench-gate ab chaos xproc
+.PHONY: build test race vet bench bench-live lint lint-deprecated cover bench-gate ab chaos xproc overload
 
 build:
 	$(GO) build ./...
@@ -89,6 +89,18 @@ SEED ?= 1
 chaos:
 	$(GO) run ./cmd/ipcrace -chaos
 	$(GO) run ./cmd/ipcbench -chaos -seed $(SEED) -paysize 1024
+
+# Overload doctrine sweep: the open-loop unit/chaos cells under the
+# race detector (deadline shedding, admission, the SIGKILL-a-client-
+# mid-overload cell), then the full open-loop overload sweep — per
+# protocol a closed-loop capacity probe anchors open-loop cells at
+# 0.5x/1x/2x that capacity, Poisson and bursty arrivals. The headline:
+# at 2x the goodput column should hold near the 1x plateau while sheds
+# and rejects absorb the excess (DESIGN.md §14). Override the seed with
+# SEED=n.
+overload:
+	$(GO) test -race -count=1 -run 'OpenLoop|Overload|Shed|Admission|Backoff|RetryBudget|Circuit|CopyFallback' ./internal/...
+	$(GO) run ./cmd/ipcbench -openloop -burst -seed $(SEED)
 
 # Cross-process smoke, runnable locally: the futex wait/wake model
 # check, two real processes exchanging messages through a memfd arena

@@ -34,6 +34,14 @@
 // predates the payload sweep leaves them unmatched, which reports
 // informationally instead of failing the gate.
 //
+// Open-loop overload cells (queue "openloop", keyed with their rate
+// factor ".../x2" and "/burst" variant) compare on goodput_per_sec —
+// completions within deadline per second, the axis the overload sweep
+// exists to measure — with the regression sign flipped like the other
+// throughput axes. Their closed-loop capacity probes ("openloop-base")
+// stay on the RTT axis. A baseline that predates the overload sweep
+// leaves both unmatched: they inform, they never gate.
+//
 // Cross-process cells (queue "xproc"/"xproc-base") get two extra
 // leniencies in the same spirit: when the two documents were built with
 // different sleep/wake backends (futex_backend field: futex vs poll)
@@ -85,6 +93,10 @@ type compareResult struct {
 	// PayBaselineGap: same for payload (pay_size > 0) cells — the
 	// baseline predates the zero-copy sweep.
 	PayBaselineGap bool
+
+	// OpenLoopBaselineGap: same for open-loop overload cells ("openloop"
+	// and "openloop-base") — the baseline predates the overload sweep.
+	OpenLoopBaselineGap bool
 }
 
 // procCell reports whether a cell key belongs to the cross-process
@@ -97,6 +109,11 @@ func procCell(key string) bool { return strings.HasPrefix(key, "xproc") }
 func payCell(key string) bool {
 	return strings.Contains(key, "/p") || strings.HasPrefix(key, "payload/")
 }
+
+// openLoopCell reports whether a cell key belongs to the open-loop
+// overload sweep (queue "openloop" or its interleaved closed-loop
+// capacity probe "openloop-base").
+func openLoopCell(key string) bool { return strings.HasPrefix(key, "openloop") }
 
 // cellKey identifies a cell. Server-group cells additionally carry the
 // shard count, payload cells the payload size and transfer mode;
@@ -114,16 +131,30 @@ func cellKey(e workload.LiveBenchEntry) string {
 		}
 		key += fmt.Sprintf("/p%d/%s", e.PaySize, mode)
 	}
+	// Open-loop cells at different offered rates are different
+	// experiments; a 2x overload cell must never gate (or be gated by)
+	// the 0.5x underload cell, and a bursty arrival process is its own
+	// variant.
+	if e.RateFactor > 0 {
+		key += fmt.Sprintf("/x%g", e.RateFactor)
+	}
+	if e.Burst {
+		key += "/burst"
+	}
 	return key
 }
 
 // metricOf picks the compared metric for a pair of entries: bytes/s for
-// payload cells (the axis they exist to measure; the caller flips the
-// regression sign), p50 RTT when both runs recorded histograms, mean
-// RTT otherwise.
+// payload cells and goodput/s for open-loop overload cells (the axes
+// those cells exist to measure; the caller flips the regression sign on
+// both), p50 RTT when both runs recorded histograms, mean RTT
+// otherwise.
 func metricOf(base, cand workload.LiveBenchEntry) (name string, b, c float64) {
 	if base.PaySize > 0 && base.BytesPerSec > 0 && cand.BytesPerSec > 0 {
 		return "bytes_per_sec", base.BytesPerSec, cand.BytesPerSec
+	}
+	if base.GoodputPerSec > 0 && cand.GoodputPerSec > 0 {
+		return "goodput_per_sec", base.GoodputPerSec, cand.GoodputPerSec
 	}
 	if base.RTTP50Ns > 0 && cand.RTTP50Ns > 0 {
 		return "rtt_p50_ns", base.RTTP50Ns, cand.RTTP50Ns
@@ -156,6 +187,9 @@ func compare(base, cand *workload.LiveBenchReport) compareResult {
 			if payCell(key) {
 				res.PayBaselineGap = true
 			}
+			if openLoopCell(key) {
+				res.OpenLoopBaselineGap = true
+			}
 			continue
 		}
 		if b.Error != "" || c.Error != "" {
@@ -166,8 +200,8 @@ func compare(base, cand *workload.LiveBenchReport) compareResult {
 			continue
 		}
 		delta := (cv - bv) / bv * 100
-		if metric == "bytes_per_sec" {
-			// Throughput axis: a lower candidate is the regression.
+		if metric == "bytes_per_sec" || metric == "goodput_per_sec" {
+			// Throughput axes: a lower candidate is the regression.
 			delta = -delta
 		}
 		res.Cells = append(res.Cells, cellDelta{
@@ -235,6 +269,9 @@ func gate(w io.Writer, res compareResult, warnPct, failPct float64) int {
 	}
 	if res.PayBaselineGap {
 		fmt.Fprintf(w, "note: baseline predates the zero-copy payload sweep; payload cells inform but never gate\n")
+	}
+	if res.OpenLoopBaselineGap {
+		fmt.Fprintf(w, "note: baseline predates the open-loop overload sweep; openloop cells inform but never gate\n")
 	}
 	if fails > 0 {
 		fmt.Fprintf(w, "bench gate: %d cell(s) regressed past %.0f%%\n", fails, failPct)

@@ -193,6 +193,66 @@ func TestGateBackendMismatchDowngradesProcCellsOnly(t *testing.T) {
 	}
 }
 
+// olEntry builds an open-loop overload cell: keyed by rate factor (and
+// burst variant), compared on goodput.
+func olEntry(alg string, clients int, factor float64, burst bool, goodput float64) workload.LiveBenchEntry {
+	return workload.LiveBenchEntry{
+		Queue: "openloop", Alg: alg, Clients: clients,
+		RateFactor: factor, Burst: burst,
+		OfferedPerSec: factor * 100000, GoodputPerSec: goodput,
+		RTTP50Ns: 1000, NsPerRTT: 1000,
+	}
+}
+
+func TestCompareOpenLoopCellsKeyOnRateFactor(t *testing.T) {
+	// Different rate factors are different experiments; the bursty twin
+	// is its own variant. Only the exact (factor, burst) pair matches,
+	// and the compared axis is goodput with the regression sign flipped
+	// (lower goodput = regressed).
+	base := rep(1, olEntry("BSLS", 4, 2, false, 100000), olEntry("BSLS", 4, 0.5, false, 50000))
+	cand := rep(1, olEntry("BSLS", 4, 2, false, 80000), olEntry("BSLS", 4, 2, true, 90000))
+	res := compare(base, cand)
+	if len(res.Cells) != 1 || res.Cells[0].Key != "openloop/BSLS/4c/x2" {
+		t.Fatalf("cells = %+v, want exactly the x2 pair", res.Cells)
+	}
+	c := res.Cells[0]
+	if c.Metric != "goodput_per_sec" {
+		t.Fatalf("metric = %q, want goodput_per_sec", c.Metric)
+	}
+	if c.DeltaPct < 19.9 || c.DeltaPct > 20.1 {
+		t.Fatalf("delta = %v, want ~20 (goodput fell 20%%)", c.DeltaPct)
+	}
+	if len(res.Extra) != 1 || res.Extra[0] != "openloop/BSLS/4c/x2/burst" {
+		t.Fatalf("extra = %v, want the unmatched burst variant", res.Extra)
+	}
+	if len(res.Missing) != 1 || res.Missing[0] != "openloop/BSLS/4c/x0.5" {
+		t.Fatalf("missing = %v, want the x0.5 baseline cell", res.Missing)
+	}
+}
+
+func TestGateOpenLoopCellsAbsentFromBaselineNeverFail(t *testing.T) {
+	// A committed baseline from before the overload sweep: the
+	// candidate's open-loop cells (and their capacity probes) must
+	// inform, not close the gate.
+	base := rep(1, entry("default", "BSS", 1, 1000, 1000))
+	cand := rep(1,
+		entry("default", "BSS", 1, 1000, 1000),
+		entry("openloop-base", "BSW", 4, 2000, 2000),
+		olEntry("BSW", 4, 2, false, 90000),
+	)
+	res := compare(base, cand)
+	if !res.OpenLoopBaselineGap {
+		t.Fatal("OpenLoopBaselineGap not detected")
+	}
+	var out strings.Builder
+	if fails := gate(&out, res, 10, 25); fails != 0 {
+		t.Fatalf("fails = %d, want 0\n%s", fails, out.String())
+	}
+	if !strings.Contains(out.String(), "predates the open-loop overload sweep") {
+		t.Errorf("output missing the stale-baseline note:\n%s", out.String())
+	}
+}
+
 func TestGateProcCellsAbsentFromBaselineNeverFail(t *testing.T) {
 	// A committed baseline from before the cross-process sweep: the
 	// candidate's xproc pair must inform, not close the gate.

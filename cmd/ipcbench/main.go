@@ -33,6 +33,16 @@
 //	                                      # cell back to back with its
 //	                                      # lease-transfer twin (bytes/s)
 //
+// Open-loop overload mode (offered rate decoupled from completions):
+//
+//	ipcbench -openloop                    # per protocol: closed-loop capacity
+//	                                      # probe, then open-loop cells at
+//	                                      # 0.5x/1x/2x the measured capacity
+//	ipcbench -openloop -rate 0.5,1,2,4    # custom rate factors
+//	ipcbench -openloop -burst             # add a bursty (on/off) twin per cell
+//	ipcbench -openloop -json -o BENCH_openloop.json
+//	ipcbench -openloop -highwater 48 -retrycap 32 -deadline 5ms
+//
 // Chaos mode (seeded fault injection + recovery, pass/fail not speed):
 //
 //	ipcbench -chaos                       # full protocol matrix, text summary
@@ -110,6 +120,14 @@ func main() {
 		shardClients = flag.String("shardclients", "", "with -live -shards: comma-separated client counts for the scale-out sweep (default 16,64,256)")
 		sendBatch    = flag.Int("sendbatch", 0, "with -live -shards: messages per SendBatch/ReplyBatch burst in group cells (default 16)")
 
+		openLoop   = flag.Bool("openloop", false, "run the open-loop overload sweep: per protocol, a closed-loop capacity probe then open-loop cells at -rate multiples of the measured capacity")
+		rates      = flag.String("rate", "", "with -openloop: comma-separated offered-rate factors as multiples of measured capacity (default 0.5,1,2)")
+		burst      = flag.Bool("burst", false, "with -openloop: run a bursty (on/off) twin after each Poisson cell")
+		olDeadline = flag.Duration("deadline", 0, "with -openloop: per-message deadline (default 5ms)")
+		hwMark     = flag.Int("highwater", 0, "with -openloop: admission high-water mark on the request queue (default 48)")
+		retryCap   = flag.Float64("retrycap", 0, "with -openloop: client retry-budget capacity (default 32)")
+		olDur      = flag.Duration("duration", 0, "with -openloop: arrival window per open-loop cell (default 300ms)")
+
 		chaos = flag.Bool("chaos", false, "run the seeded chaos matrix (fault injection + recovery) instead of the simulator experiments")
 		seed  = flag.Int64("seed", 1, "with -chaos: base seed for the fault schedules (cell i uses seed+i)")
 
@@ -120,6 +138,14 @@ func main() {
 		flightOut   = flag.String("flightout", "", "with -live: write watchdog flight-recorder dumps to this file instead of stderr (enables a 4096-event recorder if -flight is unset); CI uploads it as an artifact")
 	)
 	flag.Parse()
+
+	if *openLoop {
+		if err := runOpenLoopSweep(*jsonOut, *outFile, *msgs, *quick, *clients, *algs, *rates, *burst, *hwMark, *retryCap, *olDeadline, *olDur, uint64(*seed), *liveSpin, *watchdog); err != nil {
+			fmt.Fprintf(os.Stderr, "ipcbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *chaos {
 		var err error
@@ -286,6 +312,90 @@ func runLive(jsonOut bool, outFile string, msgs int, quick bool, clients, algs, 
 		}
 	}
 	return err
+}
+
+// runOpenLoopSweep executes the open-loop overload sweep
+// (workload.RunOpenLoopBench): per protocol and rate factor, an
+// interleaved closed-loop capacity probe ("openloop-base" entries,
+// admission disabled) anchors the offered rate of the open-loop cell
+// ("openloop" entries) that follows it. Failing cells are recorded and
+// the sweep continues; any failure makes the exit non-zero after the
+// report is written.
+func runOpenLoopSweep(jsonOut bool, outFile string, msgs int, quick bool, clients, algs, rates string, burst bool, highWater int, retryCap float64, deadline, duration time.Duration, seed uint64, spin int, watchdog time.Duration) error {
+	opts := workload.OpenLoopBenchOptions{
+		Msgs:      msgs,
+		Burst:     burst,
+		HighWater: highWater,
+		RetryCap:  retryCap,
+		Deadline:  deadline,
+		Duration:  duration,
+		Seed:      seed,
+		SpinIters: spin,
+		Watchdog:  watchdog,
+	}
+	var err error
+	if opts.Factors, err = parseFactors(rates); err != nil {
+		return fmt.Errorf("-rate: %w", err)
+	}
+	if opts.Algs, err = parseAlgs(algs); err != nil {
+		return err
+	}
+	cls, err := parseClients(clients)
+	if err != nil {
+		return err
+	}
+	if len(cls) > 0 {
+		opts.Clients = cls[0]
+	}
+	if quick {
+		// CI smoke: one protocol pair, short probes and windows.
+		if opts.Msgs == 0 {
+			opts.Msgs = 500
+		}
+		if opts.Duration == 0 {
+			opts.Duration = 100 * time.Millisecond
+		}
+		if len(opts.Algs) == 0 {
+			opts.Algs = []core.Algorithm{core.BSW, core.BSLS}
+		}
+	}
+	out := os.Stdout
+	if outFile != "" {
+		f, ferr := os.Create(outFile)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		out = f
+	}
+	rep, err := workload.RunOpenLoopBench(opts, os.Stderr)
+	if rep != nil {
+		if jsonOut {
+			if werr := rep.WriteJSON(out); werr != nil && err == nil {
+				err = werr
+			}
+		} else {
+			rep.RenderText(out)
+		}
+	}
+	return err
+}
+
+// parseFactors parses a -rate list of offered-rate multipliers; any
+// positive float is legal (0.5 = half capacity, 2 = overload).
+func parseFactors(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad rate factor %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // runChaos executes the seeded chaos matrix (workload.RunChaosBench).

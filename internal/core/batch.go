@@ -141,6 +141,9 @@ func (c *Client) SendBatchCtx(ctx context.Context, msgs []Msg) ([]Msg, error) {
 		}
 		c.lag--
 	}
+	if err := c.admit(); err != nil {
+		return nil, err
+	}
 	ca, _ := c.A.(CtxActor)
 	obsOn := c.Obs.Enabled()
 	var t0 time.Time
@@ -151,7 +154,7 @@ func (c *Client) SendBatchCtx(ctx context.Context, msgs []Msg) ([]Msg, error) {
 	}
 	out := make([]Msg, 0, len(msgs))
 	sent := 0
-	backoff := 1
+	var bo backoff
 	fail := func(err error) ([]Msg, error) {
 		c.lag += sent - len(out)
 		if c.M != nil {
@@ -169,7 +172,8 @@ func (c *Client) SendBatchCtx(ctx context.Context, msgs []Msg) ([]Msg, error) {
 		n := tryEnqueueBatch(c.Srv, msgs[sent:])
 		if n > 0 {
 			sent += n
-			backoff = 1
+			c.Budget.credit()
+			bo.reset()
 			if c.Alg != BSS {
 				wakeConsumer(c.Srv, c.A)
 			}
@@ -181,17 +185,8 @@ func (c *Client) SendBatchCtx(ctx context.Context, msgs []Msg) ([]Msg, error) {
 				continue
 			}
 		}
-		if c.M != nil {
-			c.M.Retries.Add(1)
-		}
-		if ca == nil {
-			return fail(ErrNotCancellable)
-		}
-		if err := ca.SleepCtx(ctx, backoff); err != nil {
+		if err := bo.sleep(ctx, ca, c.Budget, c.M); err != nil {
 			return fail(err)
-		}
-		if backoff < 8 {
-			backoff <<= 1
 		}
 	}
 	for len(out) < sent {
@@ -255,7 +250,9 @@ func (s *Server) ReceiveBatchCtx(ctx context.Context, buf []Msg) (int, error) {
 
 // drainInto fills buf[from:] with already-queued requests, applying the
 // same per-message accounting as Receive (count, wake retirement,
-// outstanding-request audit), and returns the new length.
+// outstanding-request audit, deadline shed), and returns the new
+// length. Shed messages are dropped in place, not stored — the burst
+// just comes up shorter.
 func (s *Server) drainInto(buf []Msg, from int) int {
 	n := from
 	for n < len(buf) {
@@ -267,6 +264,9 @@ func (s *Server) drainInto(buf []Msg, from int) int {
 			s.M.MsgsReceived.Add(1)
 		}
 		s.retireWake(m.Client)
+		if s.shed(m) {
+			continue
+		}
 		if s.ValidClient(m.Client) {
 			s.noteReceived(m.Client)
 		}
@@ -373,7 +373,7 @@ func (s *Server) ReplyBatchCtx(ctx context.Context, batch []Reply) error {
 			s.noteReplied(r.Client)
 			continue
 		}
-		if err := enqueueOrSleepCtxObs(ctx, q, s.A, r.Msg, s.M, s.Obs); err != nil {
+		if err := enqueueOrSleepCtxObs(ctx, q, s.A, r.Msg, s.M, nil, s.Obs); err != nil {
 			flush()
 			return err
 		}

@@ -50,6 +50,14 @@ type Client struct {
 	UseHandoff    bool
 	HandoffTarget int
 
+	// HighWater enables bounded admission on the *Ctx send paths: when
+	// positive and the request port reports a depth at or above it, a
+	// send is rejected with ErrOverload instead of enqueued. Budget
+	// bounds the full-queue retry naps on the same paths (nil or zero =
+	// unbounded retry). See overload.go.
+	HighWater int
+	Budget    *RetryBudget
+
 	// lag counts replies still owed for requests whose SendCtx was
 	// cancelled after the request had been enqueued. disconnected is
 	// set once a disconnect handshake completes. Both are single-owner
@@ -161,6 +169,9 @@ func (c *Client) SendCtx(ctx context.Context, m Msg) (Msg, error) {
 		dropPayload(c.Blocks, c.Owner, stale)
 		c.lag--
 	}
+	if err := c.admit(); err != nil {
+		return Msg{}, err
+	}
 	var t0 time.Time
 	obsOn := c.Obs.Enabled()
 	if obsOn {
@@ -200,7 +211,7 @@ func (c *Client) exchangeCtx(ctx context.Context, m Msg) (Msg, error) {
 		}
 		return ans, err
 	case BSW, BSWY, BSLS, BSA:
-		if err := enqueueOrSleepCtxObs(ctx, c.Srv, c.A, m, c.M, c.Obs); err != nil {
+		if err := enqueueOrSleepCtxObs(ctx, c.Srv, c.A, m, c.M, c.Budget, c.Obs); err != nil {
 			return Msg{}, err
 		}
 		c.lag++
@@ -292,18 +303,23 @@ func (c *Client) SendAsync(m Msg) {
 	}
 }
 
-// SendAsyncCtx is SendAsync with deadline/cancellation support.
+// SendAsyncCtx is SendAsync with deadline/cancellation support. With
+// admission configured it rejects with ErrOverload before enqueueing
+// (the request is simply not sent; nothing is owed).
 func (c *Client) SendAsyncCtx(ctx context.Context, m Msg) error {
 	if c.disconnected {
 		return ErrDisconnected
 	}
 	m.Client = c.ID
+	if err := c.admit(); err != nil {
+		return err
+	}
 	if c.Alg == BSS {
 		if err := spinEnqueueCtx(ctx, c.A, c.Srv, m); err != nil {
 			return err
 		}
 	} else {
-		if err := enqueueOrSleepCtxObs(ctx, c.Srv, c.A, m, c.M, c.Obs); err != nil {
+		if err := enqueueOrSleepCtxObs(ctx, c.Srv, c.A, m, c.M, c.Budget, c.Obs); err != nil {
 			return err
 		}
 		wakeConsumer(c.Srv, c.A)

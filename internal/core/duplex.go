@@ -111,11 +111,11 @@ func (c *DuplexClient) SendCtx(ctx context.Context, m Msg) (Msg, error) {
 	case BSS:
 		err = spinEnqueueCtx(ctx, c.A, c.Snd, m)
 	case BSW, BSLS, BSA:
-		if err = enqueueOrSleepCtxObs(ctx, c.Snd, c.A, m, c.M, c.Obs); err == nil {
+		if err = enqueueOrSleepCtxObs(ctx, c.Snd, c.A, m, c.M, nil, c.Obs); err == nil {
 			wakeConsumer(c.Snd, c.A)
 		}
 	case BSWY:
-		if err = enqueueOrSleepCtxObs(ctx, c.Snd, c.A, m, c.M, c.Obs); err == nil {
+		if err = enqueueOrSleepCtxObs(ctx, c.Snd, c.A, m, c.M, nil, c.Obs); err == nil {
 			if !c.Snd.TASAwake() {
 				c.A.V(c.Snd.Sem())
 				c.A.BusyWait()
@@ -339,7 +339,7 @@ func (h *DuplexHandler) ReplyCtx(ctx context.Context, m Msg) error {
 		h.pending--
 		return nil
 	}
-	if err := enqueueOrSleepCtxObs(ctx, h.Snd, h.A, m, h.M, h.Obs); err != nil {
+	if err := enqueueOrSleepCtxObs(ctx, h.Snd, h.A, m, h.M, nil, h.Obs); err != nil {
 		return err
 	}
 	h.pending--

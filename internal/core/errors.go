@@ -45,6 +45,17 @@ var (
 	// of hanging until its deadline. It is distinct from ErrShutdown so
 	// callers can tell an orderly teardown from a partial failure.
 	ErrPeerDead = errors.New("core: peer died")
+
+	// ErrOverload is returned by the *Ctx send paths when the system is
+	// saturated and the caller opted into bounded admission: the request
+	// queue is at or above the high-water mark, or the handle's retry
+	// budget is spent. The request was NOT enqueued — no reply is owed
+	// and no payload lease has moved — so the caller may back off,
+	// degrade, or drop the work. It is distinct from the ctx errors
+	// (the caller's own deadline) and from ErrShutdown (the system is
+	// going away): overload is a property of the current load, not of
+	// this request or this system's lifetime. See overload.go.
+	ErrOverload = errors.New("core: overloaded, request rejected")
 )
 
 // OpShutdown is the control opcode legacy (error-less) blocking paths

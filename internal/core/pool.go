@@ -288,7 +288,7 @@ func (w *PoolWorker) ReplyCtx(ctx context.Context, client int32, m Msg) error {
 		w.noteReplied(client)
 		return nil
 	}
-	if err := enqueueOrSleepCtxObs(ctx, q, w.A, m, w.M, w.Obs); err != nil {
+	if err := enqueueOrSleepCtxObs(ctx, q, w.A, m, w.M, nil, w.Obs); err != nil {
 		return err
 	}
 	w.noteReplied(client)
@@ -477,7 +477,7 @@ func (c *PoolClient) SendCtx(ctx context.Context, m Msg) (Msg, error) {
 			return Msg{}, err
 		}
 	} else {
-		if err := enqueueOrSleepCtxObs(ctx, c.Srv, c.A, m, c.M, c.Obs); err != nil {
+		if err := enqueueOrSleepCtxObs(ctx, c.Srv, c.A, m, c.M, nil, c.Obs); err != nil {
 			return Msg{}, err
 		}
 		poolWake(c.Srv, c.A)

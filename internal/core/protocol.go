@@ -33,12 +33,14 @@ func enqueueOrSleep(q interface{ TryEnqueue(Msg) bool }, a Actor, m Msg) bool {
 
 // enqueueOrSleepCtx is enqueueOrSleep with cancellation and bounded
 // retry-with-backoff: instead of the paper's flat sleep(1) forever, the
-// nap doubles (1, 2, 4, 8 "seconds", scaled by the actor's sleep scale)
-// and the loop gives up when ctx ends or the port refuses. Each retry
-// is counted in pm.Retries.
-func enqueueOrSleepCtx(ctx context.Context, q interface{ TryEnqueue(Msg) bool }, a Actor, m Msg, pm *metrics.Proc) error {
+// nap ceiling doubles (1, 2, 4, 8 "seconds", scaled by the actor's
+// sleep scale) with uniform jitter below it (see backoff), and the
+// loop gives up when ctx ends, the port refuses, or the optional retry
+// budget runs dry (ErrOverload). Each retry is counted in pm.Retries;
+// each successful enqueue credits the budget.
+func enqueueOrSleepCtx(ctx context.Context, q interface{ TryEnqueue(Msg) bool }, a Actor, m Msg, pm *metrics.Proc, budget *RetryBudget) error {
 	ca, _ := a.(CtxActor)
-	backoff := 1
+	var bo backoff
 	for {
 		if portRefusing(q) {
 			return shutdownErr(q)
@@ -47,19 +49,11 @@ func enqueueOrSleepCtx(ctx context.Context, q interface{ TryEnqueue(Msg) bool },
 			return err
 		}
 		if q.TryEnqueue(m) {
+			budget.credit()
 			return nil
 		}
-		if pm != nil {
-			pm.Retries.Add(1)
-		}
-		if ca == nil {
-			return ErrNotCancellable
-		}
-		if err := ca.SleepCtx(ctx, backoff); err != nil {
+		if err := bo.sleep(ctx, ca, budget, pm); err != nil {
 			return err
-		}
-		if backoff < 8 {
-			backoff <<= 1
 		}
 	}
 }
@@ -285,9 +279,9 @@ func enqueueOrSleepObs(q interface{ TryEnqueue(Msg) bool }, a Actor, m Msg, h ob
 
 // enqueueOrSleepCtxObs is enqueueOrSleepCtx with the queue-wait
 // duration recorded when the first attempt found the queue full.
-func enqueueOrSleepCtxObs(ctx context.Context, q interface{ TryEnqueue(Msg) bool }, a Actor, m Msg, pm *metrics.Proc, h obs.Hook) error {
+func enqueueOrSleepCtxObs(ctx context.Context, q interface{ TryEnqueue(Msg) bool }, a Actor, m Msg, pm *metrics.Proc, budget *RetryBudget, h obs.Hook) error {
 	if !h.Enabled() {
-		return enqueueOrSleepCtx(ctx, q, a, m, pm)
+		return enqueueOrSleepCtx(ctx, q, a, m, pm, budget)
 	}
 	// First iteration inline (identical to the plain helper's) so the
 	// uncontended path takes no timestamp.
@@ -298,11 +292,12 @@ func enqueueOrSleepCtxObs(ctx context.Context, q interface{ TryEnqueue(Msg) bool
 		return err
 	}
 	if q.TryEnqueue(m) {
+		budget.credit()
 		return nil
 	}
 	t0 := time.Now()
 	h.Note(obs.EvRetry, int64(m.Client))
-	err := enqueueOrSleepCtx(ctx, q, a, m, pm)
+	err := enqueueOrSleepCtx(ctx, q, a, m, pm, budget)
 	if err == nil {
 		h.QueueWait(time.Since(t0))
 	}

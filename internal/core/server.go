@@ -32,6 +32,12 @@ type Server struct {
 	// handoff(PID_ANY) instead of plain yield (Section 6).
 	UseHandoff bool
 
+	// Shed, when non-nil, enables deadline-aware shedding: messages
+	// whose deadline has already passed are dropped at dequeue (payload
+	// lease claim-freed, sender woken with at most one compensating V
+	// per shed batch) instead of served late. See overload.go.
+	Shed *ShedPolicy
+
 	// Throttle, when positive, caps the number of simultaneously awake
 	// (unparked) clients — the Section 5 "future work" extension that
 	// breaks the BSLS positive-feedback collapse on multiprocessors.
@@ -121,99 +127,109 @@ func (s *Server) noteReplied(client int32) {
 // down it returns the OpShutdown marker message (Client == -1) so a
 // driving loop can exit; ReceiveCtx is the error-returning variant.
 func (s *Server) Receive() Msg {
-	if s.Throttle > 0 && s.connected > 0 && len(s.deferred) >= s.connected {
-		// Every connected client is parked: the parked clients are the
-		// only possible source of new requests, so admit one now or the
-		// system would deadlock.
-		s.admitOne()
-	}
-	var m Msg
-	switch s.Alg {
-	case BSS:
-		if !busySpinUntil(s.A, s.Rcv, func() bool {
-			var ok bool
-			m, ok = s.Rcv.TryDequeue()
-			return ok
-		}) {
-			return ShutdownMsg()
+	for {
+		if s.Throttle > 0 && s.connected > 0 && len(s.deferred) >= s.connected {
+			// Every connected client is parked: the parked clients are the
+			// only possible source of new requests, so admit one now or the
+			// system would deadlock.
+			s.admitOne()
 		}
-	case BSW:
-		m = consumerWait(s.Rcv, s.A, nil)
-	case BSWY:
-		// Figure 7: if a request is already queued, take it; otherwise
-		// yield once to let clients run (and possibly enqueue) before
-		// entering the blocking path. The extra dequeue attempt is what
-		// makes the algorithm scale with multiple clients: with several
-		// outstanding entries it is more productive to keep processing
-		// than to give up the processor after every reply.
-		if got, ok := s.Rcv.TryDequeue(); ok {
-			m = got
-			break
+		var m Msg
+		switch s.Alg {
+		case BSS:
+			if !busySpinUntil(s.A, s.Rcv, func() bool {
+				var ok bool
+				m, ok = s.Rcv.TryDequeue()
+				return ok
+			}) {
+				return ShutdownMsg()
+			}
+		case BSW:
+			m = consumerWait(s.Rcv, s.A, nil)
+		case BSWY:
+			// Figure 7: if a request is already queued, take it; otherwise
+			// yield once to let clients run (and possibly enqueue) before
+			// entering the blocking path. The extra dequeue attempt is what
+			// makes the algorithm scale with multiple clients: with several
+			// outstanding entries it is more productive to keep processing
+			// than to give up the processor after every reply.
+			if got, ok := s.Rcv.TryDequeue(); ok {
+				m = got
+				break
+			}
+			s.letClientsRun()
+			m = consumerWait(s.Rcv, s.A, nil)
+		case BSLS, BSA:
+			s.spinRcv()
+			m = consumerWait(s.Rcv, s.A, nil)
+		default:
+			panic(ErrUnknownAlgorithm)
 		}
-		s.letClientsRun()
-		m = consumerWait(s.Rcv, s.A, nil)
-	case BSLS, BSA:
-		s.spinRcv()
-		m = consumerWait(s.Rcv, s.A, nil)
-	default:
-		panic(ErrUnknownAlgorithm)
-	}
-	if m.Op == OpShutdown && m.Client < 0 {
-		// Honour the marker only when the port really is shut down: a
-		// forged in-band Op=-1 message from a hostile client must not
-		// stop the server (it falls to the invalid-client drop below).
-		if portClosed(s.Rcv) {
-			return m
+		if m.Op == OpShutdown && m.Client < 0 {
+			// Honour the marker only when the port really is shut down: a
+			// forged in-band Op=-1 message from a hostile client must not
+			// stop the server (it falls to the invalid-client drop below).
+			if portClosed(s.Rcv) {
+				return m
+			}
 		}
+		if s.M != nil {
+			s.M.MsgsReceived.Add(1)
+		}
+		s.retireWake(m.Client)
+		if s.shed(m) {
+			continue // already expired: dropped, receive the next one
+		}
+		if s.ValidClient(m.Client) {
+			s.noteReceived(m.Client)
+		}
+		return m
 	}
-	if s.M != nil {
-		s.M.MsgsReceived.Add(1)
-	}
-	s.retireWake(m.Client)
-	if s.ValidClient(m.Client) {
-		s.noteReceived(m.Client)
-	}
-	return m
 }
 
 // ReceiveCtx is Receive with deadline/cancellation support: it returns
 // ctx.Err() when the context ends first and ErrShutdown once the system
 // is shut down and the receive queue has drained.
 func (s *Server) ReceiveCtx(ctx context.Context) (Msg, error) {
-	if s.Throttle > 0 && s.connected > 0 && len(s.deferred) >= s.connected {
-		s.admitOne()
-	}
-	var m Msg
-	var err error
-	switch s.Alg {
-	case BSS:
-		m, err = spinDequeueCtx(ctx, s.A, s.Rcv)
-	case BSW:
-		m, err = consumerWaitCtx(ctx, s.Rcv, s.A, nil)
-	case BSWY:
-		if got, ok := s.Rcv.TryDequeue(); ok {
-			m = got
-			break
+	for {
+		if s.Throttle > 0 && s.connected > 0 && len(s.deferred) >= s.connected {
+			s.admitOne()
 		}
-		s.letClientsRun()
-		m, err = consumerWaitCtx(ctx, s.Rcv, s.A, nil)
-	case BSLS, BSA:
-		s.spinRcv()
-		m, err = consumerWaitCtx(ctx, s.Rcv, s.A, nil)
-	default:
-		return Msg{}, ErrUnknownAlgorithm
+		var m Msg
+		var err error
+		switch s.Alg {
+		case BSS:
+			m, err = spinDequeueCtx(ctx, s.A, s.Rcv)
+		case BSW:
+			m, err = consumerWaitCtx(ctx, s.Rcv, s.A, nil)
+		case BSWY:
+			if got, ok := s.Rcv.TryDequeue(); ok {
+				m = got
+				break
+			}
+			s.letClientsRun()
+			m, err = consumerWaitCtx(ctx, s.Rcv, s.A, nil)
+		case BSLS, BSA:
+			s.spinRcv()
+			m, err = consumerWaitCtx(ctx, s.Rcv, s.A, nil)
+		default:
+			return Msg{}, ErrUnknownAlgorithm
+		}
+		if err != nil {
+			return Msg{}, err
+		}
+		if s.M != nil {
+			s.M.MsgsReceived.Add(1)
+		}
+		s.retireWake(m.Client)
+		if s.shed(m) {
+			continue // already expired: dropped, receive the next one
+		}
+		if s.ValidClient(m.Client) {
+			s.noteReceived(m.Client)
+		}
+		return m, nil
 	}
-	if err != nil {
-		return Msg{}, err
-	}
-	if s.M != nil {
-		s.M.MsgsReceived.Add(1)
-	}
-	s.retireWake(m.Client)
-	if s.ValidClient(m.Client) {
-		s.noteReceived(m.Client)
-	}
-	return m, nil
 }
 
 // ValidClient reports whether a client-supplied reply-channel number is
@@ -279,7 +295,7 @@ func (s *Server) ReplyCtx(ctx context.Context, client int32, m Msg) error {
 		s.noteReplied(client)
 		return nil
 	}
-	if err := enqueueOrSleepCtxObs(ctx, q, s.A, m, s.M, s.Obs); err != nil {
+	if err := enqueueOrSleepCtxObs(ctx, q, s.A, m, s.M, nil, s.Obs); err != nil {
 		return err
 	}
 	s.noteReplied(client)

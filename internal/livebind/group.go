@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"ulipc/internal/core"
+	"ulipc/internal/metrics"
 	"ulipc/internal/queue"
 )
 
@@ -130,16 +131,103 @@ type group struct {
 	stealMax int // messages per steal; 0 disables stealing
 	stealMin int // minimum victim depth worth stealing from
 
+	// Quarantine-circuit configuration (Admission; 0 = circuits off).
+	quarAfter    int // consecutive high-water observations to open
+	reprobeAfter int // picks sat out before a half-open trial
+	highWater    int // lane depth considered "high"
+
 	recvs    []*Channel      // shard wake carriers; recvs[s].q == reqLanes[s]
 	reqLanes []*queue.Lanes  // per-shard fan-in over req[s][*]
 	repLanes []*queue.Lanes  // per-client fan-in over rep[*][i]
 	rep      [][]*queue.SPSC // reply lanes [shard][client]
 
 	dead      []atomic.Bool  // shard declared dead by the sweeper
+	circuits  []shardCircuit // per-shard quarantine state
 	shardActs []atomic.Int32 // actor id serving each shard (-1 until taken)
 
 	mu    sync.Mutex
 	taken []bool // ShardServer(s) issued
+}
+
+// shardCircuit is one shard's quarantine state (DESIGN.md §14): a
+// breaker that opens after quarAfter consecutive picks saw the shard's
+// lanes at or above the high-water mark, sits out reprobeAfter picks,
+// then half-opens for one trial pick whose observation closes or
+// re-opens it. All fields are advisory atomics updated from client
+// goroutines; approximate counts are fine — the circuit bounds
+// sustained saturation, not instantaneous depth.
+type shardCircuit struct {
+	state   atomic.Int32 // circClosed / circOpen / circHalfOpen
+	strikes atomic.Int32 // consecutive high-water observations
+	idle    atomic.Int32 // picks sat out while open
+}
+
+const (
+	circClosed int32 = iota
+	circOpen
+	circHalfOpen
+)
+
+// circuitAllows reports whether shard s is pickable despite its
+// circuit. An open circuit counts the picks routed around it and
+// half-opens after reprobeAfter of them, letting exactly the
+// transitioning pick through as the trial (CAS: one winner).
+func (g *group) circuitAllows(s int) bool {
+	if g.quarAfter <= 0 {
+		return true
+	}
+	c := &g.circuits[s]
+	if c.state.Load() != circOpen {
+		return true
+	}
+	if c.idle.Add(1) >= int32(g.reprobeAfter) {
+		return c.state.CompareAndSwap(circOpen, circHalfOpen)
+	}
+	return false
+}
+
+// observeShard feeds one pick's depth observation of shard sh into its
+// circuit. m (may be nil) receives the Quarantines count when this
+// observation opens the circuit.
+func (g *group) observeShard(sh, depth int, m *metrics.Proc) {
+	if g.quarAfter <= 0 {
+		return
+	}
+	c := &g.circuits[sh]
+	high := depth >= g.highWater
+	switch c.state.Load() {
+	case circHalfOpen:
+		// The trial pick's verdict: drained closes the circuit, still
+		// saturated re-opens it for another sit-out round.
+		if high {
+			c.idle.Store(0)
+			c.state.Store(circOpen)
+		} else {
+			c.strikes.Store(0)
+			c.state.Store(circClosed)
+		}
+	case circClosed:
+		if !high {
+			c.strikes.Store(0)
+			return
+		}
+		if c.strikes.Add(1) >= int32(g.quarAfter) && c.state.CompareAndSwap(circClosed, circOpen) {
+			c.idle.Store(0)
+			if m != nil {
+				m.Quarantines.Add(1)
+			}
+		}
+	}
+}
+
+// Quarantined reports whether shard sh's circuit is currently open or
+// half-open (diagnostics and tests; false on a non-sharded system).
+func (s *System) Quarantined(sh int) bool {
+	g := s.grp
+	if g == nil || g.quarAfter <= 0 || sh < 0 || sh >= g.shards {
+		return false
+	}
+	return g.circuits[sh].state.Load() != circClosed
 }
 
 // newLanesChannel wraps a fan-in lane set as a Channel so the wake
@@ -156,16 +244,20 @@ func newLanesChannel(l *queue.Lanes) *Channel {
 func (s *System) buildGroup() error {
 	o := &s.opts
 	g := &group{
-		s:        s,
-		shards:   o.Shards,
-		picker:   o.Picker,
-		stealMax: o.StealBatch,
-		stealMin: o.StealThreshold,
+		s:            s,
+		shards:       o.Shards,
+		picker:       o.Picker,
+		stealMax:     o.StealBatch,
+		stealMin:     o.StealThreshold,
+		quarAfter:    o.Admission.QuarantineAfter,
+		reprobeAfter: o.Admission.ReprobeAfter,
+		highWater:    o.Admission.HighWater,
 	}
 	if o.NoSteal || g.shards < 2 {
 		g.stealMax = 0
 	}
 	g.dead = make([]atomic.Bool, g.shards)
+	g.circuits = make([]shardCircuit, g.shards)
 	g.shardActs = make([]atomic.Int32, g.shards)
 	for i := range g.shardActs {
 		g.shardActs[i].Store(-1)
@@ -238,12 +330,18 @@ func (g *group) allDead() bool {
 	return true
 }
 
-// shardView adapts group state for ShardPicker.
+// shardView adapts group state for ShardPicker. Alive folds the
+// quarantine circuits into the liveness view, so non-sticky pickers
+// route around a saturated shard exactly as they route around a dead
+// one — the probe that half-opens an open circuit reports the shard
+// alive again for its one trial pick.
 type shardView struct{ g *group }
 
-func (v shardView) Shards() int      { return v.g.shards }
-func (v shardView) Depth(s int) int  { return v.g.reqLanes[s].Len() }
-func (v shardView) Alive(s int) bool { return !v.g.dead[s].Load() }
+func (v shardView) Shards() int     { return v.g.shards }
+func (v shardView) Depth(s int) int { return v.g.reqLanes[s].Len() }
+func (v shardView) Alive(s int) bool {
+	return !v.g.dead[s].Load() && v.g.circuitAllows(s)
+}
 
 // Shards returns the shard count (0 for a non-sharded system).
 func (s *System) Shards() int {
@@ -364,17 +462,19 @@ func (s *System) groupClient(i int) (*core.Client, error) {
 	bind := &clientBind{cur: home, last: -1}
 	s.registerActor(a, []*Channel{s.replies[i]}, g.recvs)
 	return &core.Client{
-		ID:      int32(i),
-		Alg:     s.opts.Alg,
-		MaxSpin: s.opts.MaxSpin,
-		Tuner:   s.newTuner(fmt.Sprintf("client%d", i), a),
-		Srv:     &pickPort{g: g, id: int32(i), home: home, sticky: g.picker.Sticky(), bind: bind},
-		Rcv:     &clientRcvPort{g: g, ch: s.replies[i], bind: bind},
-		A:       a,
-		M:       a.M,
-		Obs:     a.Obs,
-		Blocks:  s.blockStore(a),
-		Owner:   uint32(a.ID),
+		ID:        int32(i),
+		Alg:       s.opts.Alg,
+		MaxSpin:   s.opts.MaxSpin,
+		Tuner:     s.newTuner(fmt.Sprintf("client%d", i), a),
+		Srv:       &pickPort{g: g, id: int32(i), home: home, sticky: g.picker.Sticky(), bind: bind, m: a.M},
+		Rcv:       &clientRcvPort{g: g, ch: s.replies[i], bind: bind},
+		A:         a,
+		M:         a.M,
+		Obs:       a.Obs,
+		Blocks:    s.blockStore(a),
+		Owner:     uint32(a.ID),
+		HighWater: s.opts.Admission.HighWater,
+		Budget:    s.retryBudget(),
 	}, nil
 }
 
@@ -399,9 +499,13 @@ type pickPort struct {
 	home   int
 	sticky bool
 	bind   *clientBind
+	m      *metrics.Proc // quarantine attribution; may be nil
 }
 
-// pick selects the destination shard for one message.
+// pick selects the destination shard for one message and feeds the
+// chosen shard's depth into its quarantine circuit (the "N picks"
+// clock of the breaker runs on actual traffic, so an idle system
+// never quarantines anybody).
 func (p *pickPort) pick(m core.Msg) int {
 	if m.Op == core.OpConnect || m.Op == core.OpDisconnect {
 		return p.home
@@ -411,6 +515,7 @@ func (p *pickPort) pick(m core.Msg) int {
 		sh = p.home
 	}
 	p.bind.last = sh
+	p.g.observeShard(sh, p.g.reqLanes[sh].Len(), p.m)
 	return sh
 }
 
@@ -460,6 +565,43 @@ func (p *pickPort) TryDequeue() (core.Msg, bool) { return core.Msg{}, false }
 
 // Empty implements core.Port.
 func (p *pickPort) Empty() bool { return p.g.reqLanes[p.bind.cur].Empty() }
+
+// Depth implements core.DepthPort, the admission-control observable: a
+// sticky client reports its pinned shard's lane depth (that shard is
+// the only place its traffic can go), a non-sticky client the
+// shallowest live shard's (if even the best destination is past high
+// water, the whole group is saturated). Dead shards are excluded;
+// quarantined ones are not — their depth is real backlog the breaker
+// is draining, and admission should see it.
+// Every depth read also feeds the quarantine circuit: under sustained
+// overload the admission check rejects sends before any pick happens,
+// so the depth probe is the only place a saturated shard is reliably
+// observed — without it the circuit could never open exactly when it
+// matters most.
+func (p *pickPort) Depth() int {
+	g := p.g
+	if p.sticky {
+		sh := p.pin()
+		d := g.reqLanes[sh].Len()
+		g.observeShard(sh, d, p.m)
+		return d
+	}
+	min := -1
+	for s := 0; s < g.shards; s++ {
+		if g.dead[s].Load() {
+			continue
+		}
+		d := g.reqLanes[s].Len()
+		g.observeShard(s, d, p.m)
+		if min < 0 || d < min {
+			min = d
+		}
+	}
+	if min < 0 {
+		return int(^uint(0) >> 1) // every shard dead: nothing admits
+	}
+	return min
+}
 
 // SetAwake implements core.Port.
 func (p *pickPort) SetAwake(v bool) { p.g.recvs[p.bind.cur].awake.Store(v) }
@@ -695,6 +837,7 @@ var (
 	_ core.PortState  = (*pickPort)(nil)
 	_ core.PortHealth = (*pickPort)(nil)
 	_ core.BatchPort  = (*pickPort)(nil)
+	_ core.DepthPort  = (*pickPort)(nil)
 	_ core.Port       = (*clientRcvPort)(nil)
 	_ core.PortState  = (*clientRcvPort)(nil)
 	_ core.PortHealth = (*clientRcvPort)(nil)

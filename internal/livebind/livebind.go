@@ -239,6 +239,15 @@ func (p *Port) TryDequeue() (core.Msg, bool) {
 // Empty implements core.Port.
 func (p *Port) Empty() bool { return p.c.q.Empty() }
 
+// Depth implements core.DepthPort: the channel's queued-message count,
+// the admission-control observable (racy snapshot, like queue Len).
+func (p *Port) Depth() int {
+	if l, ok := p.c.q.(interface{ Len() int }); ok {
+		return l.Len()
+	}
+	return 0
+}
+
 // SetAwake implements core.Port.
 func (p *Port) SetAwake(v bool) { p.c.awake.Store(v) }
 
@@ -500,6 +509,7 @@ var (
 	_ core.CtxActor   = (*Actor)(nil)
 	_ core.PortState  = (*Port)(nil)
 	_ core.PortHealth = (*Port)(nil)
+	_ core.DepthPort  = (*Port)(nil)
 )
 
 // PoolPort is a channel endpoint whose consumer side is a worker pool

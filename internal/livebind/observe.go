@@ -61,6 +61,11 @@ func (s *System) WritePrometheus(w io.Writer) {
 		{"ulipc_timeouts", "cancellable waits ended by a deadline", t.Timeouts},
 		{"ulipc_cancels", "cancellable waits ended by explicit cancel", t.Cancels},
 		{"ulipc_retries", "queue-full retry rounds", t.Retries},
+		{"ulipc_overloads", "sends rejected by admission control or a dry retry budget", t.Overloads},
+		{"ulipc_sheds", "expired messages shed at server dequeue", t.Sheds},
+		{"ulipc_expiries", "replies that arrived after their deadline", t.Expiries},
+		{"ulipc_copy_fallbacks", "payload allocations degraded to the heap fallback", t.CopyFallbacks},
+		{"ulipc_quarantines", "shard circuits opened on sustained high water", t.Quarantines},
 		{"ulipc_crashes", "injected crash panics recovered", t.Crashes},
 		{"ulipc_peer_deaths", "actors declared dead by the sweeper", t.PeerDeaths},
 		{"ulipc_lock_reclaims", "robust queue locks revoked from dead holders", t.LockReclaims},

@@ -1,0 +1,167 @@
+package livebind
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ulipc/internal/shm"
+)
+
+// Heap-overflow payload blocks: the CopyFallback degraded mode
+// (DESIGN.md §14). When the slab arena's size classes are exhausted, a
+// system built WithCopyFallback serves the allocation from this
+// mutex-guarded table of heap buffers instead of failing it. The refs
+// it hands out live in a reserved size class (overflowClass) of the
+// arena's 8/24 class/slot encoding, so they travel through Msg.Ref,
+// the lease/claim discipline, and dropPayload untouched — every
+// BlockStore operation routes on the class bits.
+//
+// The trade is explicit: a mutex and a GC allocation per block instead
+// of one CAS on a pre-faulted slab — slower, but lossless under a
+// burst that outruns the arena. In-process only: heap buffers cannot
+// cross an address space, so the cross-process transport never sees
+// overflow refs (its systems are built without CopyFallback).
+
+// overflowClass is the reserved class id of heap-overflow refs. Real
+// arenas have a handful of classes and NilBlock decodes to class 0xFF,
+// so 0x7F collides with neither.
+const overflowClass = 0x7F
+
+// overflowSlots bounds the table (24-bit slot space is the hard
+// ceiling; the practical bound keeps a leak from growing unchecked).
+const overflowSlots = 1 << 16
+
+// isOverflowRef reports whether a payload ref names a heap-overflow
+// block rather than an arena slot.
+func isOverflowRef(ref uint32) bool { return ref>>24 == overflowClass }
+
+// heapOverflow is the degraded-mode block table. All slots are
+// mutex-guarded; the outstanding count is atomic so audits read it
+// without the lock.
+type heapOverflow struct {
+	max int // largest block servable (mirrors the arena's MaxBlock)
+
+	mu       sync.Mutex
+	slots    []overflowSlot
+	recycled []uint32 // free slot indexes awaiting reuse
+	out      atomic.Int64
+}
+
+type overflowSlot struct {
+	buf   []byte
+	owner uint32 // lease tag (owner+1); 0 = free/reclaimed
+	used  bool
+}
+
+func newHeapOverflow(maxBlock int) *heapOverflow {
+	return &heapOverflow{max: maxBlock}
+}
+
+// alloc returns a heap block of at least n bytes. It fails only past
+// the arena's MaxBlock (so degraded mode never accepts a payload the
+// normal mode would reject) or when the table itself is full.
+func (o *heapOverflow) alloc(n int) (uint32, []byte, bool) {
+	if o == nil || n < 0 || n > o.max {
+		return shm.NilBlock, nil, false
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var idx uint32
+	if ln := len(o.recycled); ln > 0 {
+		idx = o.recycled[ln-1]
+		o.recycled = o.recycled[:ln-1]
+	} else {
+		if len(o.slots) >= overflowSlots {
+			return shm.NilBlock, nil, false
+		}
+		idx = uint32(len(o.slots))
+		o.slots = append(o.slots, overflowSlot{})
+	}
+	s := &o.slots[idx]
+	if cap(s.buf) < o.max {
+		s.buf = make([]byte, o.max)
+	}
+	s.used, s.owner = true, 0
+	o.out.Add(1)
+	return uint32(overflowClass)<<24 | idx, s.buf[:o.max], true
+}
+
+// slot resolves a ref to its table entry; the caller holds the lock.
+func (o *heapOverflow) slot(ref uint32) (*overflowSlot, error) {
+	if o == nil {
+		return nil, fmt.Errorf("livebind: overflow ref %#x without CopyFallback", ref)
+	}
+	idx := ref & 0xFFFFFF
+	if int(idx) >= len(o.slots) || !o.slots[idx].used {
+		return nil, fmt.Errorf("livebind: bad overflow ref %#x", ref)
+	}
+	return &o.slots[idx], nil
+}
+
+func (o *heapOverflow) free(ref uint32) error {
+	if o == nil {
+		return fmt.Errorf("livebind: overflow ref %#x without CopyFallback", ref)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s, err := o.slot(ref)
+	if err != nil {
+		return err
+	}
+	s.used, s.owner = false, 0
+	o.recycled = append(o.recycled, ref&0xFFFFFF)
+	o.out.Add(-1)
+	return nil
+}
+
+func (o *heapOverflow) get(ref uint32) ([]byte, error) {
+	if o == nil {
+		return nil, fmt.Errorf("livebind: overflow ref %#x without CopyFallback", ref)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s, err := o.slot(ref)
+	if err != nil {
+		return nil, err
+	}
+	return s.buf[:o.max], nil
+}
+
+func (o *heapOverflow) lease(ref uint32, owner uint32) error {
+	if o == nil {
+		return fmt.Errorf("livebind: overflow ref %#x without CopyFallback", ref)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s, err := o.slot(ref)
+	if err != nil {
+		return err
+	}
+	s.owner = owner + 1
+	return nil
+}
+
+// claim transfers the lease, succeeding only while the block is leased
+// — the same single-winner contract as shm.BlockPool.Claim.
+func (o *heapOverflow) claim(ref uint32, owner uint32) bool {
+	if o == nil {
+		return false
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s, err := o.slot(ref)
+	if err != nil || s.owner == 0 {
+		return false
+	}
+	s.owner = owner + 1
+	return true
+}
+
+// live returns the outstanding overflow-block count (audits); nil-safe.
+func (o *heapOverflow) live() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.out.Load()
+}

@@ -1,0 +1,377 @@
+package livebind
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ulipc/internal/core"
+	"ulipc/internal/metrics"
+)
+
+// ---- heap-overflow table (the CopyFallback degraded mode) ----
+
+func TestHeapOverflowLifecycle(t *testing.T) {
+	o := newHeapOverflow(256)
+
+	ref, buf, ok := o.alloc(64)
+	if !ok {
+		t.Fatal("alloc failed on an empty table")
+	}
+	if !isOverflowRef(ref) {
+		t.Fatalf("ref %#x not in the overflow class", ref)
+	}
+	if len(buf) != 256 {
+		t.Fatalf("buf len %d, want the full max block 256", len(buf))
+	}
+	if got := o.live(); got != 1 {
+		t.Fatalf("live = %d after alloc, want 1", got)
+	}
+
+	// The lease/claim discipline mirrors the arena's: claim wins only
+	// while leased, frees clear the lease.
+	if o.claim(ref, 9) {
+		t.Fatal("claim succeeded before any lease")
+	}
+	if err := o.lease(ref, 3); err != nil {
+		t.Fatalf("lease: %v", err)
+	}
+	if !o.claim(ref, 9) {
+		t.Fatal("claim of a leased block failed")
+	}
+	if _, err := o.get(ref); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if err := o.free(ref); err != nil {
+		t.Fatalf("free: %v", err)
+	}
+	if got := o.live(); got != 0 {
+		t.Fatalf("live = %d after free, want 0", got)
+	}
+	if err := o.free(ref); err == nil {
+		t.Fatal("double free not rejected")
+	}
+	if o.claim(ref, 9) {
+		t.Fatal("claim succeeded on a freed block")
+	}
+	if _, err := o.get(ref); err == nil {
+		t.Fatal("get of a freed block not rejected")
+	}
+
+	// Freed slots are recycled, not leaked: the next alloc reuses the
+	// slot index instead of growing the table.
+	ref2, _, ok := o.alloc(10)
+	if !ok {
+		t.Fatal("alloc after free failed")
+	}
+	if ref2 != ref {
+		t.Fatalf("freed slot not recycled: got %#x, want %#x", ref2, ref)
+	}
+	if len(o.slots) != 1 {
+		t.Fatalf("table grew to %d slots despite a free slot", len(o.slots))
+	}
+}
+
+func TestHeapOverflowBounds(t *testing.T) {
+	o := newHeapOverflow(128)
+	// Degraded mode never accepts a payload the normal mode would
+	// reject: past MaxBlock the alloc fails.
+	if _, _, ok := o.alloc(129); ok {
+		t.Fatal("alloc past MaxBlock succeeded")
+	}
+	if _, _, ok := o.alloc(-1); ok {
+		t.Fatal("negative alloc succeeded")
+	}
+	// Bad refs are rejected, not dereferenced.
+	bad := uint32(overflowClass)<<24 | 42
+	if err := o.free(bad); err == nil {
+		t.Fatal("free of an unallocated slot not rejected")
+	}
+	if o.claim(bad, 1) {
+		t.Fatal("claim of an unallocated slot succeeded")
+	}
+}
+
+// The nil table (systems built without CopyFallback) fails every
+// operation instead of panicking — overflow refs must never appear
+// there, and if one does the error names the misuse.
+func TestHeapOverflowNil(t *testing.T) {
+	var o *heapOverflow
+	if _, _, ok := o.alloc(1); ok {
+		t.Fatal("nil table alloc succeeded")
+	}
+	ref := uint32(overflowClass) << 24
+	if err := o.free(ref); err == nil {
+		t.Fatal("nil table free not rejected")
+	}
+	if _, err := o.get(ref); err == nil {
+		t.Fatal("nil table get not rejected")
+	}
+	if err := o.lease(ref, 1); err == nil {
+		t.Fatal("nil table lease not rejected")
+	}
+	if o.claim(ref, 1) {
+		t.Fatal("nil table claim succeeded")
+	}
+	if o.live() != 0 {
+		t.Fatal("nil table reports live blocks")
+	}
+}
+
+// ---- CopyFallback end to end through a system's block source ----
+
+// Exhausting the slab arena on a WithCopyFallback system degrades
+// allocation to the heap table (counted, audited by FallbackLive)
+// instead of failing; releasing the payloads drains the table again.
+func TestCopyFallbackDegradesExhaustion(t *testing.T) {
+	sys, err := NewSystem(Options{Alg: core.BSW, Clients: 1, BlockSlots: 2}, WithCopyFallback())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Shutdown(context.Background())
+	cl, err := sys.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain the largest size class (2 slots, and no bigger class to
+	// spill into) and keep going: the overflow table must absorb the
+	// excess.
+	max := sys.Blocks().MaxBlock()
+	var pays []*core.Payload
+	for i := 0; i < 5; i++ {
+		p, err := cl.AllocPayload(max)
+		if err != nil {
+			t.Fatalf("alloc %d degraded to error %v, want heap fallback", i, err)
+		}
+		pays = append(pays, p)
+	}
+	fell := sys.FallbackLive()
+	if fell == 0 {
+		t.Fatal("no allocation fell back despite an exhausted class")
+	}
+	if got := cl.M.CopyFallbacks.Load(); got != fell {
+		t.Errorf("CopyFallbacks = %d, want %d (one per overflow block)", got, fell)
+	}
+	overflowSeen := false
+	for _, p := range pays {
+		if isOverflowRef(p.Ref()) {
+			overflowSeen = true
+			// Overflow payloads are real payloads: writable storage.
+			p.Bytes()[0] = 0xAB
+		}
+	}
+	if !overflowSeen {
+		t.Fatal("FallbackLive > 0 but no payload carries an overflow ref")
+	}
+	for _, p := range pays {
+		p.Release()
+	}
+	if got := sys.FallbackLive(); got != 0 {
+		t.Errorf("FallbackLive = %d after releasing everything, want 0", got)
+	}
+	if free := sys.Blocks().TotalFree(); free != int64(sys.Blocks().Capacity()) {
+		t.Errorf("arena free %d / %d after releasing everything", free, sys.Blocks().Capacity())
+	}
+}
+
+// Without CopyFallback the same exhaustion surfaces as
+// ErrBlocksExhausted — the pre-doctrine contract is unchanged.
+func TestNoFallbackStillFailsExhaustion(t *testing.T) {
+	sys, err := NewSystem(Options{Alg: core.BSW, Clients: 1, BlockSlots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Shutdown(context.Background())
+	cl, err := sys.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pays []*core.Payload
+	for {
+		p, err := cl.AllocPayload(64)
+		if err != nil {
+			if !errors.Is(err, core.ErrBlocksExhausted) {
+				t.Fatalf("exhaustion error = %v, want ErrBlocksExhausted", err)
+			}
+			break
+		}
+		pays = append(pays, p)
+		if len(pays) > 1024 {
+			t.Fatal("arena never exhausted")
+		}
+	}
+	if sys.FallbackLive() != 0 {
+		t.Fatal("overflow table active without WithCopyFallback")
+	}
+	for _, p := range pays {
+		p.Release()
+	}
+}
+
+// ---- admission option validation ----
+
+func TestAdmissionValidation(t *testing.T) {
+	base := func() Options { return Options{Alg: core.BSW, Clients: 1} }
+	for _, tc := range []struct {
+		name string
+		mut  func(*Options)
+	}{
+		{"negative high water", func(o *Options) { o.Admission.HighWater = -1 }},
+		{"negative retry cap", func(o *Options) { o.Admission.RetryCap = -1 }},
+		{"negative retry refill", func(o *Options) { o.Admission.RetryRefill = -0.5 }},
+		{"negative quarantine", func(o *Options) { o.Admission.QuarantineAfter = -1 }},
+		{"negative reprobe", func(o *Options) { o.Admission.ReprobeAfter = -1 }},
+		{"quarantine without high water", func(o *Options) { o.Admission.QuarantineAfter = 8 }},
+		{"fallback without arena", func(o *Options) { o.CopyFallback = true }},
+	} {
+		o := base()
+		tc.mut(&o)
+		if _, err := NewSystem(o); !errors.Is(err, ErrBadOption) {
+			t.Errorf("%s: err = %v, want ErrBadOption", tc.name, err)
+		}
+	}
+
+	// Defaults: a retry cap implies a refill, a quarantine implies a
+	// reprobe interval.
+	o := base()
+	o.Admission = Admission{HighWater: 32, RetryCap: 16, QuarantineAfter: 8}
+	if err := o.validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if o.Admission.RetryRefill != 0.1 {
+		t.Errorf("RetryRefill defaulted to %g, want 0.1", o.Admission.RetryRefill)
+	}
+	if o.Admission.ReprobeAfter != 64 {
+		t.Errorf("ReprobeAfter defaulted to %d, want 64", o.Admission.ReprobeAfter)
+	}
+}
+
+// A system with admission configured hands every client handle the
+// high-water mark and a private retry budget; one without hands out
+// neither (the zero-cost default).
+func TestAdmissionPlumbedToClients(t *testing.T) {
+	sys, err := NewSystem(Options{Alg: core.BSW, Clients: 2},
+		WithAdmission(Admission{HighWater: 32, RetryCap: 16}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Shutdown(context.Background())
+	c0, _ := sys.Client(0)
+	c1, _ := sys.Client(1)
+	if c0.HighWater != 32 || c1.HighWater != 32 {
+		t.Errorf("HighWater = %d/%d, want 32/32", c0.HighWater, c1.HighWater)
+	}
+	if c0.Budget == nil || c1.Budget == nil {
+		t.Fatal("retry budget not plumbed")
+	}
+	if c0.Budget == c1.Budget {
+		t.Error("clients share one retry budget; it must be per handle")
+	}
+	if c0.Budget.Cap != 16 || c0.Budget.Refill != 0.1 {
+		t.Errorf("budget = %+v, want Cap 16 Refill 0.1", c0.Budget)
+	}
+
+	open, err := NewSystem(Options{Alg: core.BSW, Clients: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer open.Shutdown(context.Background())
+	cl, _ := open.Client(0)
+	if cl.HighWater != 0 || cl.Budget != nil {
+		t.Errorf("open system client got HighWater %d Budget %v", cl.HighWater, cl.Budget)
+	}
+}
+
+// ---- quarantine circuit state machine ----
+
+func circuitGroup(quarAfter, reprobeAfter, highWater int) *group {
+	return &group{
+		shards:       1,
+		quarAfter:    quarAfter,
+		reprobeAfter: reprobeAfter,
+		highWater:    highWater,
+		circuits:     make([]shardCircuit, 1),
+	}
+}
+
+func TestCircuitOpensOnSustainedHighWater(t *testing.T) {
+	g := circuitGroup(3, 4, 10)
+	m := &metrics.Proc{}
+
+	// Interleaved low observations reset the strike count: only
+	// CONSECUTIVE high-water picks open the circuit.
+	g.observeShard(0, 12, m)
+	g.observeShard(0, 11, m)
+	g.observeShard(0, 2, m) // drained: strikes reset
+	g.observeShard(0, 15, m)
+	g.observeShard(0, 15, m)
+	if st := g.circuits[0].state.Load(); st != circClosed {
+		t.Fatalf("circuit state %d after a reset sequence, want closed", st)
+	}
+	if !g.circuitAllows(0) {
+		t.Fatal("closed circuit refused a pick")
+	}
+
+	g.observeShard(0, 10, m) // third consecutive at the mark (>=)
+	if st := g.circuits[0].state.Load(); st != circOpen {
+		t.Fatalf("circuit state %d after 3 consecutive highs, want open", st)
+	}
+	if got := m.Quarantines.Load(); got != 1 {
+		t.Fatalf("Quarantines = %d, want 1", got)
+	}
+
+	// Open: picks are refused while the shard sits out ReprobeAfter
+	// rounds; the pick that crosses the threshold wins the half-open
+	// CAS and goes through as the trial.
+	satOut := 0
+	for !g.circuitAllows(0) {
+		satOut++
+		if satOut > 16 {
+			t.Fatal("open circuit never half-opened")
+		}
+	}
+	if satOut != 3 {
+		t.Fatalf("sat out %d picks before the trial, want ReprobeAfter-1 = 3", satOut)
+	}
+	if st := g.circuits[0].state.Load(); st != circHalfOpen {
+		t.Fatalf("state %d after the trial pick, want half-open", st)
+	}
+
+	// Trial verdict "still saturated": re-open and sit out again.
+	g.observeShard(0, 99, m)
+	if st := g.circuits[0].state.Load(); st != circOpen {
+		t.Fatalf("state %d after a saturated trial, want open", st)
+	}
+	if got := m.Quarantines.Load(); got != 1 {
+		t.Errorf("re-opening counted as a new quarantine: %d", got)
+	}
+
+	// Next trial sees a drained lane: the circuit closes and stays
+	// closed through further low observations.
+	for i := 0; i < 8 && g.circuits[0].state.Load() == circOpen; i++ {
+		g.circuitAllows(0)
+	}
+	g.observeShard(0, 0, m)
+	if st := g.circuits[0].state.Load(); st != circClosed {
+		t.Fatalf("state %d after a drained trial, want closed", st)
+	}
+	if !g.circuitAllows(0) {
+		t.Fatal("closed circuit refused a pick after recovery")
+	}
+}
+
+// With circuits disabled (QuarantineAfter 0) observation is a no-op
+// and every pick is allowed — the zero-cost default.
+func TestCircuitDisabled(t *testing.T) {
+	g := circuitGroup(0, 0, 10)
+	for i := 0; i < 100; i++ {
+		g.observeShard(0, 1000, nil)
+		if !g.circuitAllows(0) {
+			t.Fatal("disabled circuit refused a pick")
+		}
+	}
+	if st := g.circuits[0].state.Load(); st != circClosed {
+		t.Fatalf("disabled circuit changed state to %d", st)
+	}
+}

@@ -132,6 +132,59 @@ type Options struct {
 	// matter more than load balance — e.g. the shard-kill chaos suite,
 	// where a dead shard must strand exactly its own clients' traffic.
 	NoSteal bool
+
+	// Admission configures overload admission control: a request-queue
+	// high-water mark past which client sends fast-reject with
+	// core.ErrOverload, a client retry budget bounding queue-full retry
+	// rounds, and (group mode) the per-shard quarantine circuit. The
+	// zero value keeps the system fully open — no depth checks, no
+	// budget, no circuits — at zero cost on the send path. Prefer
+	// WithAdmission.
+	Admission Admission
+
+	// CopyFallback degrades payload allocation instead of failing it:
+	// when the slab arena's size classes are exhausted, Alloc is served
+	// from a mutex-guarded heap overflow table (counted in
+	// CopyFallbacks) rather than returning core.ErrBlocksExhausted.
+	// Slower but lossless — the degraded mode of DESIGN.md §14. Requires
+	// BlockSlots > 0; in-process only (heap blocks cannot cross an
+	// address space). Prefer WithCopyFallback.
+	CopyFallback bool
+}
+
+// Admission is the overload-doctrine configuration (DESIGN.md §14).
+// Every field is opt-in: a zero field disables that mechanism.
+type Admission struct {
+	// HighWater, when > 0, is the request-queue depth at which client
+	// *Ctx sends stop enqueueing and fail fast with core.ErrOverload.
+	// On a sharded system the depth consulted is the pinned shard's
+	// lane depth (sticky pickers) or the shallowest live shard's
+	// (non-sticky — if even the best shard is past high water, the
+	// group is saturated).
+	HighWater int
+
+	// RetryCap, when > 0, bounds queue-full retry rounds with a token
+	// bucket of that capacity per client handle: each backoff nap
+	// spends a token, each successful enqueue earns RetryRefill back,
+	// and a dry bucket turns the retry into core.ErrOverload. Zero
+	// keeps the unbounded exponential-backoff retry.
+	RetryCap float64
+
+	// RetryRefill is the budget earned back per successful send;
+	// defaults to 0.1 when RetryCap > 0 (ten successes buy one retry).
+	RetryRefill float64
+
+	// QuarantineAfter, when > 0 (group mode), opens a shard's circuit
+	// after that many consecutive picks observed its lane at or above
+	// HighWater: ShardView.Alive reports the shard down, so non-sticky
+	// pickers route around it while it drains. Requires HighWater > 0.
+	QuarantineAfter int
+
+	// ReprobeAfter is how many picks a quarantined shard sits out
+	// before one half-open trial pick re-probes it (close the circuit
+	// if the lane drained, re-open otherwise). Defaults to 64 when
+	// QuarantineAfter > 0.
+	ReprobeAfter int
 }
 
 // Option is a functional setting applied by NewSystem on top of the
@@ -285,6 +338,17 @@ func WithNoSteal() Option {
 	return func(o *Options) { o.NoSteal = true }
 }
 
+// WithAdmission configures overload admission control (see Admission).
+func WithAdmission(a Admission) Option {
+	return func(o *Options) { o.Admission = a }
+}
+
+// WithCopyFallback degrades exhausted payload allocations to a heap
+// overflow table instead of failing them (see Options.CopyFallback).
+func WithCopyFallback() Option {
+	return func(o *Options) { o.CopyFallback = true }
+}
+
 // NewSystemGroup builds a sharded system: shards server shards, each
 // owning one SPSC request lane per client, with client-side shard
 // selection and bounded work stealing. Equivalent to NewSystem with
@@ -380,6 +444,33 @@ func (o *Options) validate() error {
 			o.StealThreshold = 4
 		}
 	}
+	if o.Admission.HighWater < 0 {
+		return fmt.Errorf("%w: negative Admission.HighWater %d", ErrBadOption, o.Admission.HighWater)
+	}
+	if o.Admission.RetryCap < 0 {
+		return fmt.Errorf("%w: negative Admission.RetryCap %g", ErrBadOption, o.Admission.RetryCap)
+	}
+	if o.Admission.RetryRefill < 0 {
+		return fmt.Errorf("%w: negative Admission.RetryRefill %g", ErrBadOption, o.Admission.RetryRefill)
+	}
+	if o.Admission.QuarantineAfter < 0 {
+		return fmt.Errorf("%w: negative Admission.QuarantineAfter %d", ErrBadOption, o.Admission.QuarantineAfter)
+	}
+	if o.Admission.ReprobeAfter < 0 {
+		return fmt.Errorf("%w: negative Admission.ReprobeAfter %d", ErrBadOption, o.Admission.ReprobeAfter)
+	}
+	if o.Admission.QuarantineAfter > 0 && o.Admission.HighWater <= 0 {
+		return fmt.Errorf("%w: Admission.QuarantineAfter needs a HighWater mark to observe", ErrBadOption)
+	}
+	if o.Admission.RetryCap > 0 && o.Admission.RetryRefill == 0 {
+		o.Admission.RetryRefill = 0.1
+	}
+	if o.Admission.QuarantineAfter > 0 && o.Admission.ReprobeAfter == 0 {
+		o.Admission.ReprobeAfter = 64
+	}
+	if o.CopyFallback && o.BlockSlots <= 0 {
+		return fmt.Errorf("%w: CopyFallback degrades the payload arena, which needs BlockSlots > 0", ErrBadOption)
+	}
 	if o.QueueCap == 0 {
 		o.QueueCap = 64
 	}
@@ -397,6 +488,7 @@ type System struct {
 	c2s     []*Channel // per-client request channels (Duplex only)
 	sems    []*Semaphore
 	blocks  *shm.BlockPool
+	over    *heapOverflow // CopyFallback overflow table; nil unless enabled
 	ms      *metrics.Set
 	obs     *obs.Observer // nil unless Options.Observer was set
 
@@ -504,6 +596,9 @@ func NewSystem(opts Options, extra ...Option) (*System, error) {
 			return nil, err
 		}
 		s.blocks = pool
+		if opts.CopyFallback {
+			s.over = newHeapOverflow(pool.MaxBlock())
+		}
 	}
 	s.inj = opts.Faults
 	if opts.Recovery != nil {
@@ -526,30 +621,51 @@ func (s *System) Blocks() *shm.BlockPool { return s.blocks }
 type blockSource struct {
 	pool  *shm.BlockPool
 	cache *shm.BlockCache // nil: uncached, straight to the pool
+	over  *heapOverflow   // nil: exhaustion fails instead of degrading
 	m     *metrics.Proc
 }
 
 func (b *blockSource) Alloc(n int) (uint32, []byte, bool) {
 	if b.cache == nil {
 		ref, buf, ok := b.pool.Alloc(n)
-		if !ok && b.m != nil {
-			b.m.BlockFails.Add(1)
+		if !ok {
+			return b.allocFallback(n)
 		}
 		return ref, buf, ok
 	}
 	ref, buf, ok, refilled := b.cache.Alloc(n)
-	if b.m != nil {
-		if refilled {
-			b.m.BlockRefills.Add(1)
-		}
-		if !ok {
-			b.m.BlockFails.Add(1)
-		}
+	if b.m != nil && refilled {
+		b.m.BlockRefills.Add(1)
+	}
+	if !ok {
+		return b.allocFallback(n)
 	}
 	return ref, buf, ok
 }
 
+// allocFallback is the degraded allocation path: serve the request from
+// the heap overflow table (CopyFallbacks) when the system opted in,
+// otherwise report the failure (BlockFails) to the caller's flow
+// control exactly as before.
+func (b *blockSource) allocFallback(n int) (uint32, []byte, bool) {
+	if b.over != nil {
+		if ref, buf, ok := b.over.alloc(n); ok {
+			if b.m != nil {
+				b.m.CopyFallbacks.Add(1)
+			}
+			return ref, buf, true
+		}
+	}
+	if b.m != nil {
+		b.m.BlockFails.Add(1)
+	}
+	return shm.NilBlock, nil, false
+}
+
 func (b *blockSource) Free(ref uint32) error {
+	if isOverflowRef(ref) {
+		return b.over.free(ref)
+	}
 	if b.cache == nil {
 		return b.pool.Free(ref)
 	}
@@ -560,10 +676,28 @@ func (b *blockSource) Free(ref uint32) error {
 	return err
 }
 
-func (b *blockSource) Get(ref uint32) ([]byte, error)       { return b.pool.Get(ref) }
-func (b *blockSource) Lease(ref uint32, owner uint32) error { return b.pool.Lease(ref, owner) }
-func (b *blockSource) Claim(ref uint32, owner uint32) bool  { return b.pool.Claim(ref, owner) }
-func (b *blockSource) MaxBlock() int                        { return b.pool.MaxBlock() }
+func (b *blockSource) Get(ref uint32) ([]byte, error) {
+	if isOverflowRef(ref) {
+		return b.over.get(ref)
+	}
+	return b.pool.Get(ref)
+}
+
+func (b *blockSource) Lease(ref uint32, owner uint32) error {
+	if isOverflowRef(ref) {
+		return b.over.lease(ref, owner)
+	}
+	return b.pool.Lease(ref, owner)
+}
+
+func (b *blockSource) Claim(ref uint32, owner uint32) bool {
+	if isOverflowRef(ref) {
+		return b.over.claim(ref, owner)
+	}
+	return b.pool.Claim(ref, owner)
+}
+
+func (b *blockSource) MaxBlock() int { return b.pool.MaxBlock() }
 
 // blockStore builds the payload source for a handle owned by actor a,
 // or returns nil when the system has no arena. The handle's lease owner
@@ -572,7 +706,7 @@ func (s *System) blockStore(a *Actor) core.BlockStore {
 	if s.blocks == nil {
 		return nil
 	}
-	bs := &blockSource{pool: s.blocks, m: a.M}
+	bs := &blockSource{pool: s.blocks, over: s.over, m: a.M}
 	if s.opts.AllocBatch > 1 {
 		bs.cache = s.blocks.NewBlockCache(s.opts.AllocBatch)
 		s.downMu.Lock()
@@ -1047,16 +1181,34 @@ func (s *System) Client(i int) (*core.Client, error) {
 	srv := s.producerPort(s.recv, a)
 	s.registerActor(a, []*Channel{s.replies[i]}, []*Channel{s.recv}, srv)
 	return &core.Client{
-		ID:      int32(i),
-		Alg:     s.opts.Alg,
-		MaxSpin: s.opts.MaxSpin,
-		Tuner:   s.newTuner(fmt.Sprintf("client%d", i), a),
-		Srv:     srv,
-		Rcv:     NewPort(s.replies[i]).bindActor(a),
-		A:       a,
-		M:       a.M,
-		Obs:     a.Obs,
-		Blocks:  s.blockStore(a),
-		Owner:   uint32(a.ID),
+		ID:        int32(i),
+		Alg:       s.opts.Alg,
+		MaxSpin:   s.opts.MaxSpin,
+		Tuner:     s.newTuner(fmt.Sprintf("client%d", i), a),
+		Srv:       srv,
+		Rcv:       NewPort(s.replies[i]).bindActor(a),
+		A:         a,
+		M:         a.M,
+		Obs:       a.Obs,
+		Blocks:    s.blockStore(a),
+		Owner:     uint32(a.ID),
+		HighWater: s.opts.Admission.HighWater,
+		Budget:    s.retryBudget(),
 	}, nil
 }
+
+// retryBudget builds one handle's retry token bucket, or nil when the
+// admission configuration leaves retries unbounded. Each handle gets
+// its own bucket (the handle is single-goroutine, so the bucket needs
+// no synchronisation).
+func (s *System) retryBudget() *core.RetryBudget {
+	if s.opts.Admission.RetryCap <= 0 {
+		return nil
+	}
+	return &core.RetryBudget{Cap: s.opts.Admission.RetryCap, Refill: s.opts.Admission.RetryRefill}
+}
+
+// FallbackLive returns the number of outstanding heap-overflow payload
+// blocks (0 unless WithCopyFallback is on) — the degraded-mode half of
+// the post-run lease audit.
+func (s *System) FallbackLive() int64 { return s.over.live() }

@@ -58,6 +58,15 @@ type Proc struct {
 	Cancels  atomic.Int64 // cancellable waits ended by explicit cancel
 	Retries  atomic.Int64 // queue-full retry-with-backoff rounds
 
+	// Overload-doctrine statistics (DESIGN.md §14): admission rejects,
+	// server-side deadline sheds, client-observed late replies, payload
+	// heap fallbacks, and shard quarantine trips.
+	Overloads     atomic.Int64 // sends rejected by admission or a dry retry budget
+	Sheds         atomic.Int64 // expired messages dropped at server dequeue
+	Expiries      atomic.Int64 // replies that arrived after their deadline
+	CopyFallbacks atomic.Int64 // payload allocs degraded to the heap fallback
+	Quarantines   atomic.Int64 // shard circuits opened on sustained high water
+
 	// Recovery statistics (the chaos/peer-death machinery): what the
 	// sweeper detected and repaired. Attributed to the sweeper's own
 	// Proc, so they roll up through Total() like everything else.
@@ -124,6 +133,11 @@ type Snapshot struct {
 	Timeouts      int64
 	Cancels       int64
 	Retries       int64
+	Overloads     int64
+	Sheds         int64
+	Expiries      int64
+	CopyFallbacks int64
+	Quarantines   int64
 	Crashes       int64
 	PeerDeaths    int64
 	LockReclaims  int64
@@ -162,6 +176,11 @@ func (p *Proc) Snapshot() Snapshot {
 		Timeouts:      p.Timeouts.Load(),
 		Cancels:       p.Cancels.Load(),
 		Retries:       p.Retries.Load(),
+		Overloads:     p.Overloads.Load(),
+		Sheds:         p.Sheds.Load(),
+		Expiries:      p.Expiries.Load(),
+		CopyFallbacks: p.CopyFallbacks.Load(),
+		Quarantines:   p.Quarantines.Load(),
 		Crashes:       p.Crashes.Load(),
 		PeerDeaths:    p.PeerDeaths.Load(),
 		LockReclaims:  p.LockReclaims.Load(),
@@ -199,6 +218,11 @@ func (s *Snapshot) Add(other Snapshot) {
 	s.Timeouts += other.Timeouts
 	s.Cancels += other.Cancels
 	s.Retries += other.Retries
+	s.Overloads += other.Overloads
+	s.Sheds += other.Sheds
+	s.Expiries += other.Expiries
+	s.CopyFallbacks += other.CopyFallbacks
+	s.Quarantines += other.Quarantines
 	s.Crashes += other.Crashes
 	s.PeerDeaths += other.PeerDeaths
 	s.LockReclaims += other.LockReclaims

@@ -126,6 +126,11 @@ type ChaosResult struct {
 	BlockLeaked int64  `json:"block_leaked,omitempty"`
 	Error       string `json:"error,omitempty"`
 
+	// Overload tallies, set by the overload-kill cell (the kill lands
+	// while admission rejects and deadline sheds are in flight).
+	Sheds     int64 `json:"sheds,omitempty"`
+	Overloads int64 `json:"overloads,omitempty"`
+
 	// PaySize is set on payload cells (0 = bare 24-byte messages).
 	PaySize int `json:"pay_size,omitempty"`
 
@@ -748,6 +753,11 @@ type ChaosOptions struct {
 	Shards      []int
 	NoShardKill bool
 
+	// NoOverloadKill disables the overload-kill cells (one per alg,
+	// after the shard-kill cells: a client SIGKILLed mid-overload with
+	// sheds in flight, payload leases audited).
+	NoOverloadKill bool
+
 	// PaySizes lists payload sizes to run leak-audited payload cells at
 	// (one cell per alg × size at the largest client count, after the
 	// classic matrix). Empty disables them.
@@ -899,6 +909,38 @@ func RunChaosBench(opts ChaosOptions, progress io.Writer) (*ChaosReport, error) 
 						fmt.Fprintf(progress, "%-24s ok: %d rtts, %d clients lost their shard, %d peer-deaths, %d orphans\n",
 							res.Label, res.Completed, res.Aborted, res.PeerDeaths, res.OrphanMsgs)
 					}
+				}
+			}
+		}
+	}
+	if !opts.NoOverloadKill {
+		// Full-tilt sends are cheap; the storm needs volume — with too few
+		// messages the blast is over before anything queues long enough to
+		// shed, and a cell that never overloads proves nothing.
+		overloadMsgs := opts.Msgs * 4
+		if overloadMsgs < 2000 {
+			overloadMsgs = 2000
+		}
+		for _, alg := range opts.Algs {
+			res, err := RunChaosOverloadKill(ChaosConfig{
+				Alg:      alg,
+				Clients:  4,
+				Msgs:     overloadMsgs,
+				Seed:     opts.Seed + int64(cell),
+				Watchdog: opts.Watchdog,
+				PaySize:  64,
+			})
+			cell++
+			if err != nil {
+				failures = append(failures, err)
+			}
+			rep.Cells = append(rep.Cells, res)
+			if progress != nil {
+				if err != nil {
+					fmt.Fprintf(progress, "%-24s FAILED: %v\n", res.Label, err)
+				} else {
+					fmt.Fprintf(progress, "%-24s ok: %d rtts, %d sheds, %d rejects, %d orphan blocks, 0 leaked\n",
+						res.Label, res.Completed, res.Sheds, res.Overloads, res.OrphanBlocks)
 				}
 			}
 		}

@@ -81,10 +81,10 @@ func TestChaosBenchShortSweep(t *testing.T) {
 	if err != nil {
 		t.Fatalf("chaos sweep: %v\n%s", err, progress.String())
 	}
-	if len(rep.Cells) != 6 {
-		t.Fatalf("report has %d cells, want 6 (4 classic + 2 shard-kill)", len(rep.Cells))
+	if len(rep.Cells) != 8 {
+		t.Fatalf("report has %d cells, want 8 (4 classic + 2 shard-kill + 2 overload-kill)", len(rep.Cells))
 	}
-	shardKills := 0
+	shardKills, overloadKills := 0, 0
 	for _, c := range rep.Cells {
 		if c.Error != "" {
 			t.Fatalf("cell %s failed: %s", c.Label, c.Error)
@@ -92,9 +92,19 @@ func TestChaosBenchShortSweep(t *testing.T) {
 		if c.Shards > 0 {
 			shardKills++
 		}
+		if strings.Contains(c.Label, "overloadkill") {
+			overloadKills++
+			if c.Sheds == 0 || c.Overloads == 0 {
+				t.Errorf("overload-kill cell %s recorded no overload (sheds %d, rejects %d)",
+					c.Label, c.Sheds, c.Overloads)
+			}
+		}
 	}
 	if shardKills != 2 {
 		t.Fatalf("sweep ran %d shard-kill cells, want 2", shardKills)
+	}
+	if overloadKills != 2 {
+		t.Fatalf("sweep ran %d overload-kill cells, want 2", overloadKills)
 	}
 }
 
@@ -130,5 +140,37 @@ func TestChaosShardKillCell(t *testing.T) {
 	}
 	if res.PeerDeaths == 0 {
 		t.Fatalf("no peer-death detected for the killed shard: %+v", res)
+	}
+}
+
+// TestChaosOverloadKillCell pins the overload-kill contract: a client
+// SIGKILLed mid-overload (sheds and admission rejects in flight,
+// payload leases riding the traffic) must cost nothing durable — the
+// sweeper reclaims its stranded lease and orphaned replies, the
+// server's reply path drops (and claim-frees) what it sends the corpse,
+// and after teardown every node pool and the slab arena are whole.
+func TestChaosOverloadKillCell(t *testing.T) {
+	res, err := RunChaosOverloadKill(ChaosConfig{
+		Alg:      core.BSLS,
+		Clients:  4,
+		Msgs:     2000,
+		Seed:     9,
+		Watchdog: 60 * time.Second,
+		PaySize:  64,
+	})
+	if err != nil {
+		t.Fatalf("overload-kill cell: %v (result %+v)", err, res)
+	}
+	if res.Sheds == 0 || res.Overloads == 0 {
+		t.Fatalf("cell never overloaded: %+v", res)
+	}
+	if res.PeerDeaths == 0 {
+		t.Fatalf("victim's death never recovered: %+v", res)
+	}
+	if res.OrphanBlocks == 0 {
+		t.Fatalf("stranded lease not reclaimed: %+v", res)
+	}
+	if res.PoolLeaked != 0 || res.BlockLeaked != 0 {
+		t.Fatalf("leak past the sweeper: %+v", res)
 	}
 }

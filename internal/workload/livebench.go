@@ -165,6 +165,23 @@ type LiveBenchEntry struct {
 	ZeroCopy    bool    `json:"zero_copy,omitempty"`
 	BytesPerSec float64 `json:"bytes_per_sec,omitempty"`
 
+	// Open-loop axis (overload sweep cells only): offered vs goodput
+	// rates, the rate factor relative to the interleaved closed-loop
+	// capacity probe, and the overload-doctrine counters. For these
+	// cells MsgsPerSec carries the goodput and the RTT quantiles the
+	// collected-within-deadline latency distribution.
+	RateFactor    float64 `json:"rate_factor,omitempty"`
+	Burst         bool    `json:"burst,omitempty"`
+	OfferedPerSec float64 `json:"offered_per_sec,omitempty"`
+	GoodputPerSec float64 `json:"goodput_per_sec,omitempty"`
+	Offered       int64   `json:"offered,omitempty"`
+	Admitted      int64   `json:"admitted,omitempty"`
+	Overloads     int64   `json:"overloads,omitempty"`
+	Sheds         int64   `json:"sheds,omitempty"`
+	Expiries      int64   `json:"expiries,omitempty"`
+	CopyFallbacks int64   `json:"copy_fallbacks,omitempty"`
+	Quarantines   int64   `json:"quarantines,omitempty"`
+
 	Yields      int64 `json:"yields"`
 	SemP        int64 `json:"sem_p"`
 	Blocks      int64 `json:"blocks"`
@@ -534,9 +551,14 @@ func runProcBenchCell(opts LiveBenchOptions, rep *LiveBenchReport, alg core.Algo
 }
 
 // FasterEntry reports whether a beats b on the benchmark's headline
-// metric: the p50 RTT when both entries carry histograms, the mean RTT
-// otherwise.
+// metric: goodput for open-loop cells (higher is better — latency of
+// an overloaded cell is bounded by shedding, not a figure of merit),
+// otherwise the p50 RTT when both entries carry histograms, the mean
+// RTT as a last resort.
 func FasterEntry(a, b LiveBenchEntry) bool {
+	if a.OfferedPerSec > 0 && b.OfferedPerSec > 0 {
+		return a.GoodputPerSec > b.GoodputPerSec
+	}
 	if a.RTTP50Ns > 0 && b.RTTP50Ns > 0 {
 		return a.RTTP50Ns < b.RTTP50Ns
 	}
@@ -574,6 +596,12 @@ func MergeBest(reps []*LiveBenchReport) *LiveBenchReport {
 		}
 		if e.PaySize > 0 {
 			k += fmt.Sprintf("/p%d/%s", e.PaySize, payMode(!e.ZeroCopy))
+		}
+		if e.RateFactor > 0 {
+			k += fmt.Sprintf("/x%g", e.RateFactor)
+		}
+		if e.Burst {
+			k += "/burst"
 		}
 		return k
 	}
@@ -623,6 +651,13 @@ func (r *LiveBenchReport) RenderText(w io.Writer) {
 			e.RTTP50Ns, e.RTTP95Ns, e.RTTP99Ns, e.SpinNsPerRTT, e.SleepNsPerRTT)
 		if e.BytesPerSec > 0 {
 			fmt.Fprintf(w, "  %8.1f MB/s", e.BytesPerSec/1e6)
+		}
+		if e.OfferedPerSec > 0 {
+			fmt.Fprintf(w, "  x%-4g offered=%.0f/s goodput=%.0f/s sheds=%d rejects=%d expiries=%d",
+				e.RateFactor, e.OfferedPerSec, e.GoodputPerSec, e.Sheds, e.Overloads, e.Expiries)
+			if e.Burst {
+				fmt.Fprintf(w, " burst")
+			}
 		}
 		if e.Error != "" {
 			fmt.Fprintf(w, "  FAILED (partial): %s", e.Error)

@@ -1,0 +1,232 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"ulipc/internal/core"
+	"ulipc/internal/livebind"
+)
+
+// The open-loop overload sweep (`ipcbench -openloop`): for each
+// protocol, a closed-loop capacity probe immediately followed by
+// open-loop cells at fractions and multiples of that measured capacity
+// — interleaved A/B, so each cell's offered rate is anchored to a
+// capacity number read from the same machine state moments earlier.
+// The headline acceptance: at 2x the measured capacity, goodput should
+// hold near the 1x plateau (admission + shedding discard the excess
+// cheaply) instead of collapsing, and the admitted messages' latency
+// distribution stays bounded by the deadline.
+
+// OpenLoopBenchOptions configures the overload sweep. Zero values pick
+// the defaults noted per field.
+type OpenLoopBenchOptions struct {
+	Algs    []core.Algorithm // default all four protocols
+	Clients int              // default 4
+	Factors []float64        // offered rate as a multiple of measured capacity; default {0.5, 1, 2}
+
+	Duration time.Duration // arrival window per open-loop cell; default 300ms
+	Deadline time.Duration // per-message deadline; default 5ms
+
+	// Burst additionally runs a bursty (on/off) twin after each Poisson
+	// cell.
+	Burst bool
+
+	// HighWater / RetryCap configure admission for the open-loop cells;
+	// defaults 48 and 32 (the closed-loop probes always run with
+	// admission disabled — they are the baseline).
+	HighWater int
+	RetryCap  float64
+
+	Msgs      int // capacity-probe messages per client; default 2000
+	MaxSpin   int
+	SpinIters int
+	Seed      uint64
+	Watchdog  time.Duration // per closed-loop probe; default 1 minute
+}
+
+func (o *OpenLoopBenchOptions) defaults() {
+	if len(o.Algs) == 0 {
+		o.Algs = core.Algorithms()
+	}
+	if o.Clients <= 0 {
+		o.Clients = 4
+	}
+	if len(o.Factors) == 0 {
+		o.Factors = []float64{0.5, 1, 2}
+	}
+	if o.Duration <= 0 {
+		o.Duration = 300 * time.Millisecond
+	}
+	if o.Deadline <= 0 {
+		o.Deadline = 5 * time.Millisecond
+	}
+	if o.HighWater == 0 {
+		o.HighWater = 48
+	}
+	if o.RetryCap == 0 {
+		o.RetryCap = 32
+	}
+	if o.Msgs <= 0 {
+		o.Msgs = 2000
+	}
+	if o.Watchdog <= 0 {
+		o.Watchdog = time.Minute
+	}
+}
+
+// RunOpenLoopBench executes the overload sweep and returns the report.
+// Failing cells are recorded with their Error and the sweep continues;
+// the combined error names every failure.
+func RunOpenLoopBench(opts OpenLoopBenchOptions, progress io.Writer) (*LiveBenchReport, error) {
+	opts.defaults()
+	rep := &LiveBenchReport{
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		MsgsPerCli:   opts.Msgs,
+		FutexBackend: livebind.FutexBackend,
+	}
+	var failures []error
+	for _, alg := range opts.Algs {
+		for _, factor := range opts.Factors {
+			// Interleaved closed-loop probe: the freshest capacity
+			// measurement anchors this factor's offered rate, and the
+			// probe entry doubles as the A/B baseline (admission and
+			// shedding disabled — the bar the doctrine's disabled cost
+			// is held to by benchcmp's regular cells).
+			capacity, err := openLoopProbe(opts, rep, alg, progress)
+			if err != nil {
+				failures = append(failures, err)
+				continue
+			}
+			variants := []bool{false}
+			if opts.Burst {
+				variants = append(variants, true)
+			}
+			for _, burst := range variants {
+				if err := runOpenLoopCell(opts, rep, alg, factor, capacity, burst, progress); err != nil {
+					failures = append(failures, err)
+				}
+			}
+		}
+	}
+	return rep, errors.Join(failures...)
+}
+
+// openLoopProbe runs the closed-loop capacity probe, appends its entry
+// (queue "openloop-base") and returns the measured capacity in
+// messages/second.
+func openLoopProbe(opts OpenLoopBenchOptions, rep *LiveBenchReport, alg core.Algorithm, progress io.Writer) (float64, error) {
+	res, err := RunLive(LiveConfig{
+		Alg:       alg,
+		Clients:   opts.Clients,
+		Msgs:      opts.Msgs,
+		MaxSpin:   opts.MaxSpin,
+		SpinIters: opts.SpinIters,
+		Watchdog:  opts.Watchdog,
+		Observe:   true,
+	})
+	e := LiveBenchEntry{
+		Queue:      "openloop-base",
+		RecvKind:   "two-lock",
+		ReplyKind:  "spsc",
+		Alg:        alg.String(),
+		Clients:    opts.Clients,
+		MsgsPerCli: opts.Msgs,
+		NsPerRTT:   res.RTTMicros * 1e3,
+		MsgsPerSec: res.Throughput * 1e3,
+		Yields:     res.All.Yields,
+		SemP:       res.All.SemP,
+		Blocks:     res.All.Blocks,
+	}
+	if p := res.Phase; p != nil {
+		e.RTTP50Ns = p.RTT.Quantile(0.50)
+		e.RTTP95Ns = p.RTT.Quantile(0.95)
+		e.RTTP99Ns = p.RTT.Quantile(0.99)
+		e.RTTMaxNs = float64(p.RTT.Max)
+	}
+	if err != nil {
+		e.Error = err.Error()
+	}
+	rep.Entries = append(rep.Entries, e)
+	if err != nil {
+		return 0, fmt.Errorf("open-loop probe %s/%dc: %w", alg, opts.Clients, err)
+	}
+	if progress != nil {
+		fmt.Fprintf(progress, "%-13s %-5s %3dc          %12.0f ns/rtt  %11.0f msgs/s  (capacity probe)\n",
+			"openloop-base", e.Alg, opts.Clients, e.NsPerRTT, e.MsgsPerSec)
+	}
+	return e.MsgsPerSec, nil
+}
+
+// runOpenLoopCell runs one open-loop cell at factor x capacity and
+// appends its entry (queue "openloop").
+func runOpenLoopCell(opts OpenLoopBenchOptions, rep *LiveBenchReport, alg core.Algorithm,
+	factor, capacity float64, burst bool, progress io.Writer) error {
+	res, err := RunOpenLoop(OpenLoopConfig{
+		Alg:       alg,
+		Clients:   opts.Clients,
+		Rate:      factor * capacity,
+		Duration:  opts.Duration,
+		Deadline:  opts.Deadline,
+		Burst:     burst,
+		Seed:      opts.Seed,
+		HighWater: opts.HighWater,
+		RetryCap:  opts.RetryCap,
+		MaxSpin:   opts.MaxSpin,
+		SpinIters: opts.SpinIters,
+	})
+	e := LiveBenchEntry{
+		Queue:         "openloop",
+		RecvKind:      "two-lock",
+		ReplyKind:     "spsc",
+		Alg:           alg.String(),
+		Clients:       opts.Clients,
+		RateFactor:    factor,
+		Burst:         burst,
+		OfferedPerSec: res.OfferedPerSec,
+		GoodputPerSec: res.GoodputPerSec,
+		MsgsPerSec:    res.GoodputPerSec,
+		Offered:       res.Offered,
+		Admitted:      res.Admitted,
+		Overloads:     res.All.Overloads,
+		Sheds:         res.All.Sheds,
+		Expiries:      res.All.Expiries,
+		CopyFallbacks: res.All.CopyFallbacks,
+		Quarantines:   res.All.Quarantines,
+		RTTP50Ns:      res.P50Ns,
+		RTTP95Ns:      res.P95Ns,
+		RTTP99Ns:      res.P99Ns,
+		RTTMaxNs:      res.MaxNs,
+		Yields:        res.All.Yields,
+		SemP:          res.All.SemP,
+		Blocks:        res.All.Blocks,
+	}
+	cell := fmt.Sprintf("openloop/%s/%dc/x%g", alg, opts.Clients, factor)
+	if burst {
+		cell += "/burst"
+	}
+	if err != nil {
+		e.Error = err.Error()
+		err = fmt.Errorf("open-loop cell %s: %w", cell, err)
+	}
+	rep.Entries = append(rep.Entries, e)
+	if progress != nil {
+		tag := fmt.Sprintf("/x%g", factor)
+		if burst {
+			tag += "/burst"
+		}
+		if err != nil {
+			fmt.Fprintf(progress, "%-13s %-5s %3dc%-10s FAILED: %v\n", "openloop", e.Alg, opts.Clients, tag, err)
+		} else {
+			fmt.Fprintf(progress, "%-13s %-5s %3dc%-10s offered=%8.0f/s goodput=%8.0f/s p99=%8.0fns sheds=%d rejects=%d\n",
+				"openloop", e.Alg, opts.Clients, tag, e.OfferedPerSec, e.GoodputPerSec, e.RTTP99Ns, e.Sheds, e.Overloads)
+		}
+	}
+	return err
+}

@@ -1,0 +1,6 @@
+//go:build race
+
+package workload
+
+// raceEnabled: see race_test.go.
+const raceEnabled = true

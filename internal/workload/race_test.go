@@ -1,0 +1,9 @@
+//go:build !race
+
+package workload
+
+// raceEnabled reports whether the race detector is compiled in. The
+// open-loop tests scale their per-message deadlines by it: the
+// detector's 5-20x slowdown would otherwise expire every message,
+// turning a goodput assertion into a shed-everything cell.
+const raceEnabled = false

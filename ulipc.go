@@ -97,6 +97,12 @@ var (
 	// protocols (legacy methods panic with this same sentinel).
 	ErrUnknownAlgorithm = core.ErrUnknownAlgorithm
 
+	// ErrOverload: a *Ctx send rejected by admission control (request
+	// queue at or past the WithAdmission high-water mark) or by a dry
+	// retry budget. The request was not enqueued; back off or shed
+	// load — retrying immediately is what admission exists to stop.
+	ErrOverload = core.ErrOverload
+
 	// ErrBadClients, ErrBadOption, ErrSPSCTopology: typed NewSystem
 	// validation failures. ErrNoFreeSlots: Connect found no free client
 	// slot.
@@ -176,7 +182,30 @@ var (
 	WithShardPicker = livebind.WithShardPicker
 	WithStealBatch  = livebind.WithStealBatch
 	WithNoSteal     = livebind.WithNoSteal
+
+	// Overload doctrine (DESIGN.md §14): WithAdmission turns on
+	// bounded admission, retry budgets and (group mode) the per-shard
+	// quarantine circuit; WithCopyFallback degrades exhausted payload
+	// allocations to heap blocks instead of failing them.
+	WithAdmission    = livebind.WithAdmission
+	WithCopyFallback = livebind.WithCopyFallback
 )
+
+// Admission is the overload-doctrine configuration applied with
+// WithAdmission. Every field is opt-in — the zero value keeps the
+// system fully open at zero send-path cost: HighWater (request-queue
+// depth past which *Ctx sends fail fast with ErrOverload), RetryCap /
+// RetryRefill (token bucket bounding queue-full retry rounds), and
+// QuarantineAfter / ReprobeAfter (the per-shard circuit, group mode).
+type Admission = livebind.Admission
+
+// ShedPolicy configures deadline-aware shedding at the server's
+// dequeue: assign one to Server.Shed and messages whose Deadline has
+// passed are dropped before any service time is spent on them (payload
+// lease claim-freed, Sheds counter ticked, the sender's consumer woken
+// through the token-conserving TAS guard). Pair it with deadline-aware
+// clients — a shed message's reply never comes.
+type ShedPolicy = core.ShedPolicy
 
 // Deprecated single-knob tuning options, kept as thin aliases of the
 // livebind originals.
